@@ -1,0 +1,177 @@
+// Benchmarks regenerating each of the paper's evaluation artifacts as
+// testing.B targets (one per table/figure; see EXPERIMENTS.md):
+//
+//	BenchmarkFig9  — CPU kernel grid (library × precision × kernel)
+//	BenchmarkFig10 — single-worker grid (narrow-parallelism proxy)
+//	BenchmarkFig11 — float32-base grid (GPU proxy)
+//	BenchmarkFig2to7 — per-operation cost of the six FPANs of Figs. 2–7
+//	BenchmarkAblation* — design-choice ablations called out in DESIGN.md
+//
+// Each kernel benchmark reports GOPS (billions of extended-precision
+// operations per second, 1 op = 1 mul + 1 add) as a custom metric, which
+// is the unit of the paper's Figures 9–11. For the full formatted tables
+// use: go run ./cmd/mfbench -fig 9
+package multifloats
+
+import (
+	"fmt"
+	"testing"
+
+	"multifloats/internal/core"
+	"multifloats/internal/eft"
+	"multifloats/internal/fpan"
+	"multifloats/internal/qd"
+	"multifloats/internal/tables"
+)
+
+func benchGrid(b *testing.B, entries []tables.Entry, workers int) {
+	for _, kn := range tables.KernelNames {
+		for _, e := range entries {
+			name := fmt.Sprintf("%s/%s/%dbit", kn, e.Library, tables.PrecBits[e.Terms])
+			var run func(int)
+			var ops float64
+			switch kn {
+			case "AXPY":
+				run, ops = e.Kernels.Axpy, e.Kernels.AxpyOps
+			case "DOT":
+				run, ops = e.Kernels.Dot, e.Kernels.DotOps
+			case "GEMV":
+				run, ops = e.Kernels.Gemv, e.Kernels.GemvOps
+			case "GEMM":
+				run, ops = e.Kernels.Gemm, e.Kernels.GemmOps
+			}
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					run(workers)
+				}
+				gops := ops * float64(b.N) / b.Elapsed().Seconds() / 1e9
+				b.ReportMetric(gops, "GOPS")
+			})
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates the CPU tables of Figure 9.
+func BenchmarkFig9(b *testing.B) {
+	benchGrid(b, tables.BuildEntries(tables.QuickSizes()), tables.Workers())
+}
+
+// BenchmarkFig10 regenerates the narrow-parallelism tables of Figure 10
+// (single worker; see DESIGN.md for the substitution argument).
+func BenchmarkFig10(b *testing.B) {
+	benchGrid(b, tables.BuildEntries(tables.QuickSizes()), 1)
+}
+
+// BenchmarkFig11 regenerates the float32-base (GPU proxy) table of
+// Figure 11.
+func BenchmarkFig11(b *testing.B) {
+	benchGrid(b, tables.BuildFloat32Entries(tables.QuickSizes()), tables.Workers())
+}
+
+// BenchmarkFig2to7 measures the per-operation cost of each production
+// FPAN, both as interpreted networks and as the flattened kernels the
+// library actually ships — the artifact behind Figures 2–7.
+func BenchmarkFig2to7(b *testing.B) {
+	for _, name := range []string{"add2", "add3", "add4", "mul2", "mul3", "mul4"} {
+		net := fpan.ByName(name)
+		in := make([]float64, net.NumWires)
+		for i := range in {
+			in[i] = 1.0 / float64(i+3)
+		}
+		w := make([]float64, net.NumWires)
+		b.Run("interp/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				copy(w, in)
+				fpan.RunInPlace(net, w)
+			}
+		})
+	}
+	var s0, s1, s2, s3 float64
+	b.Run("flat/add2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s0, s1 = core.Add2(1.5, 0x1p-55, 0.7, 0x1p-56)
+		}
+	})
+	b.Run("flat/add3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s0, s1, s2 = core.Add3(1.5, 0x1p-55, 0x1p-110, 0.7, 0x1p-56, 0x1p-111)
+		}
+	})
+	b.Run("flat/add4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s0, s1, s2, s3 = core.Add4(1.5, 0x1p-55, 0x1p-110, 0x1p-165, 0.7, 0x1p-56, 0x1p-111, 0x1p-166)
+		}
+	})
+	b.Run("flat/mul2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s0, s1 = core.Mul2(1.5, 0x1p-55, 0.7, 0x1p-56)
+		}
+	})
+	b.Run("flat/mul3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s0, s1, s2 = core.Mul3(1.5, 0x1p-55, 0x1p-110, 0.7, 0x1p-56, 0x1p-111)
+		}
+	})
+	b.Run("flat/mul4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s0, s1, s2, s3 = core.Mul4(1.5, 0x1p-55, 0x1p-110, 0x1p-165, 0.7, 0x1p-56, 0x1p-111, 0x1p-166)
+		}
+	})
+	_, _, _, _ = s0, s1, s2, s3
+}
+
+// BenchmarkAblationDivision compares the paper's Newton/Karp–Markstein
+// division (§4.3) against classical quotient refinement.
+func BenchmarkAblationDivision(b *testing.B) {
+	var q0, q1 float64
+	b.Run("newton-km", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q0, q1 = core.Div2(1.5, 0x1p-55, 1.1, 0x1p-56)
+		}
+	})
+	b.Run("long-division", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q0, q1 = core.DivLong2(1.5, 0x1p-55, 1.1, 0x1p-56)
+		}
+	})
+	_, _ = q0, q1
+}
+
+// BenchmarkAblationTwoProd compares the FMA-based TwoProd against the
+// Dekker/Veltkamp splitting fallback (17 FLOPs, for targets without FMA).
+func BenchmarkAblationTwoProd(b *testing.B) {
+	var p, e float64
+	b.Run("fma", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, e = eft.TwoProd(1.0000000001, 0.9999999999)
+		}
+	})
+	b.Run("dekker", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, e = eft.TwoProdDekker(1.0000000001, 0.9999999999)
+		}
+	})
+	_, _ = p, e
+}
+
+// BenchmarkAblationBranchFree contrasts the branch-free 4-term FPAN
+// addition with QD's branching accurate addition — the paper's central
+// architectural argument.
+func BenchmarkAblationBranchFree(b *testing.B) {
+	x := qd.QD{1.5, 0x1p-55, 0x1p-110, 0x1p-168}
+	y := qd.QD{0.7, 0x1p-56, 0x1p-111, 0x1p-169}
+	b.Run("fpan-add4", func(b *testing.B) {
+		var z0, z1, z2, z3 float64
+		for i := 0; i < b.N; i++ {
+			z0, z1, z2, z3 = core.Add4(x[0], x[1], x[2], x[3], y[0], y[1], y[2], y[3])
+		}
+		_, _, _, _ = z0, z1, z2, z3
+	})
+	b.Run("qd-branching-add", func(b *testing.B) {
+		var z qd.QD
+		for i := 0; i < b.N; i++ {
+			z = x.Add(y)
+		}
+		_ = z
+	})
+}

@@ -1,0 +1,54 @@
+// Command internal-dump reruns the deterministic searches used to produce
+// the discovered networks recorded in internal/fpan and prints their gate
+// lists (development utility).
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"multifloats/internal/anneal"
+)
+
+func main() {
+	which := "add3"
+	if len(os.Args) > 1 {
+		which = os.Args[1]
+	}
+	cfg := anneal.DefaultConfig()
+	switch which {
+	case "add3":
+		cfg.Iters = 25000
+		cfg.MaxGates = 30
+		cfg.Seed = 1
+		dump(anneal.SearchAdd(3, cfg, io.Discard))
+	case "mul3":
+		cfg.Iters = 20000
+		cfg.MaxGates = 20
+		cfg.Seed = 1
+		dump(anneal.SearchMul(3, cfg, io.Discard))
+	case "add4":
+		cfg.Iters = 30000
+		cfg.MaxGates = 45
+		cfg.Seed = 1
+		dump(anneal.SearchAdd(4, cfg, io.Discard))
+	case "mul3c":
+		cfg.Iters = 25000
+		cfg.MaxGates = 20
+		cfg.Seed = 1
+		cfg.RequireCommutative = true
+		dump(anneal.SearchMul(3, cfg, io.Discard))
+	}
+}
+
+func dump(res *anneal.Result) {
+	if res.Best == nil {
+		fmt.Println("none")
+		return
+	}
+	fmt.Printf("size %d depth %d outputs %v\n", res.Best.Size(), res.Best.Depth(), res.Best.Outputs)
+	for _, g := range res.Best.Gates {
+		fmt.Printf("{%v, %d, %d},\n", g.Kind, g.A, g.B)
+	}
+}

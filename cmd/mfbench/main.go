@@ -1,0 +1,73 @@
+// Command mfbench regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	mfbench -fig 9            # CPU tables, all GOMAXPROCS (paper Fig. 9)
+//	mfbench -fig 10           # single-worker tables (narrow-parallelism proxy, Fig. 10)
+//	mfbench -fig 11           # float32-base tables (GPU proxy, Fig. 11)
+//	mfbench -fig 8            # peak-performance ratio summary (Fig. 8)
+//	mfbench -quick            # smaller workloads for a fast smoke run
+//
+// Substitutions versus the paper's hardware are documented in DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"multifloats/internal/tables"
+)
+
+func main() {
+	fig := flag.String("fig", "9", "figure to regenerate: 8, 9, 10, or 11")
+	quick := flag.Bool("quick", false, "use small workloads")
+	verbose := flag.Bool("v", false, "print each cell as it is measured")
+	flag.Parse()
+
+	s := tables.DefaultSizes()
+	if *quick {
+		s = tables.QuickSizes()
+	}
+	var progress = os.Stderr
+	if !*verbose {
+		progress = nil
+	}
+
+	switch *fig {
+	case "8":
+		entries := tables.BuildEntries(s)
+		tabs := tables.RunTables(progress, entries, s, workerChoices(), "fig8")
+		tables.PrintRatios(os.Stdout, tabs)
+	case "9":
+		entries := tables.BuildEntries(s)
+		tabs := tables.RunTables(progress, entries, s, workerChoices(), "fig9")
+		fmt.Printf("Measured on %d-core host (GOMAXPROCS=%d); values in billions of extended-precision ops/s.\n",
+			runtime.NumCPU(), runtime.GOMAXPROCS(0))
+		tables.Print(os.Stdout, "CPU (Fig. 9 analogue)", tabs)
+		tables.PrintRatios(os.Stdout, tabs)
+	case "10":
+		entries := tables.BuildEntries(s)
+		tabs := tables.RunTables(progress, entries, s, []int{1}, "fig10")
+		fmt.Println("Single-worker configuration (narrow-parallelism architecture proxy; see DESIGN.md).")
+		tables.Print(os.Stdout, "CPU serial (Fig. 10 analogue)", tabs)
+		tables.PrintRatios(os.Stdout, tabs)
+	case "11":
+		entries := tables.BuildFloat32Entries(s)
+		tabs := tables.RunTables(progress, entries, s, workerChoices(), "fig11")
+		fmt.Println("float32 base type (the paper's GPU configuration, Fig. 11).")
+		tables.Print(os.Stdout, "float32 base (Fig. 11 analogue)", tabs)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -fig %q (want 8, 9, 10, or 11)\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func workerChoices() []int {
+	n := runtime.GOMAXPROCS(0)
+	if n <= 1 {
+		return []int{1}
+	}
+	return []int{1, n}
+}

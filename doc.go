@@ -1,0 +1,24 @@
+// Package multifloats is a Go reproduction of "High-Performance
+// Branch-Free Algorithms for Extended-Precision Floating-Point Arithmetic"
+// (Zhang & Aiken, SC '25): floating-point expansion arithmetic built on
+// verified floating-point accumulation networks (FPANs).
+//
+// The public API lives in multifloats/mf. The paper's contribution and
+// every substrate it depends on are implemented under internal/:
+//
+//	internal/eft      error-free transformations (TwoSum, TwoProd, FMA32)
+//	internal/fpan     FPAN representation, executor, the six networks of Figs. 2–7
+//	internal/core     flattened branch-free expansion arithmetic (+ Newton div/sqrt)
+//	internal/verify   the adversarial verification substrate (paper §3 substitute)
+//	internal/anneal   simulated-annealing FPAN search and optimality enumeration (§4.1)
+//	internal/softfloat parametric-precision RNE float for small-p exhaustive checks
+//	internal/qd       QD-like double-double/quad-double baseline
+//	internal/campary  CAMPARY-certified-like n-term baseline
+//	internal/mpfloat  MPFR-like limb-based multiprecision baseline
+//	internal/blas     AXPY/DOT/GEMV/GEMM kernels, serial and parallel
+//	internal/tables   the benchmark harness regenerating Figures 8–11
+//
+// See README.md for a user guide, DESIGN.md for the system inventory and
+// paper-to-repo mapping, and EXPERIMENTS.md for measured results against
+// the paper's tables and figures.
+package multifloats

@@ -1,0 +1,114 @@
+// Chaotic dynamics and reproducibility (the paper's §1 motivation from
+// nonlinear dynamical systems).
+//
+// The logistic map x ← r·x·(1-x) at r = 3.9 has a positive Lyapunov
+// exponent: perturbations grow by a factor ~e^λ per step, so double
+// precision loses all memory of the initial condition after ~80
+// iterations. Extended precision pushes the predictability horizon out
+// linearly in the number of extra bits — the same trajectory stays
+// faithful 2×, 3×, 4× longer.
+//
+// Run with: go run ./examples/dynamics
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"multifloats/mf"
+)
+
+const (
+	r     = 3.9
+	x0    = 0.5123
+	steps = 400
+)
+
+// Reference trajectory at 400-bit big.Float precision.
+func reference() []*big.Float {
+	prec := uint(500)
+	rb := new(big.Float).SetPrec(prec).SetFloat64(r)
+	x := new(big.Float).SetPrec(prec).SetFloat64(x0)
+	one := new(big.Float).SetPrec(prec).SetInt64(1)
+	out := make([]*big.Float, steps+1)
+	out[0] = new(big.Float).Set(x)
+	t := new(big.Float).SetPrec(prec)
+	for i := 1; i <= steps; i++ {
+		t.Sub(one, x)
+		t.Mul(t, x)
+		x.Mul(rb, t)
+		out[i] = new(big.Float).SetPrec(prec).Set(x)
+	}
+	return out
+}
+
+// horizon returns the first step where |x - ref| > tol.
+func horizon(traj []float64, ref []*big.Float, tol float64) int {
+	for i := range traj {
+		rf, _ := ref[i].Float64()
+		if math.Abs(traj[i]-rf) > tol {
+			return i
+		}
+	}
+	return len(traj)
+}
+
+func main() {
+	ref := reference()
+	tol := 1e-3
+
+	// float64 trajectory.
+	tf := make([]float64, steps+1)
+	tf[0] = x0
+	for i := 1; i <= steps; i++ {
+		tf[i] = r * tf[i-1] * (1 - tf[i-1])
+	}
+
+	// MultiFloat trajectories at 2, 3, 4 terms.
+	run2 := func() []float64 {
+		out := make([]float64, steps+1)
+		x := mf.New2(x0)
+		rr := mf.New2(r)
+		one := mf.New2(1.0)
+		out[0] = x.Float()
+		for i := 1; i <= steps; i++ {
+			x = rr.Mul(x).Mul(one.Sub(x))
+			out[i] = x.Float()
+		}
+		return out
+	}
+	run3 := func() []float64 {
+		out := make([]float64, steps+1)
+		x := mf.New3(x0)
+		rr := mf.New3(r)
+		one := mf.New3(1.0)
+		out[0] = x.Float()
+		for i := 1; i <= steps; i++ {
+			x = rr.Mul(x).Mul(one.Sub(x))
+			out[i] = x.Float()
+		}
+		return out
+	}
+	run4 := func() []float64 {
+		out := make([]float64, steps+1)
+		x := mf.New4(x0)
+		rr := mf.New4(r)
+		one := mf.New4(1.0)
+		out[0] = x.Float()
+		for i := 1; i <= steps; i++ {
+			x = rr.Mul(x).Mul(one.Sub(x))
+			out[i] = x.Float()
+		}
+		return out
+	}
+
+	fmt.Printf("Logistic map x ← %.1f·x·(1-x), x₀ = %g, tolerance %g\n\n", r, x0, tol)
+	fmt.Printf("%-22s %12s %16s\n", "arithmetic", "precision", "faithful steps")
+	fmt.Printf("%-22s %12s %16d\n", "float64", "53 bits", horizon(tf, ref, tol))
+	fmt.Printf("%-22s %12s %16d\n", "MultiFloat x2", "~106 bits", horizon(run2(), ref, tol))
+	fmt.Printf("%-22s %12s %16d\n", "MultiFloat x3", "~159 bits", horizon(run3(), ref, tol))
+	fmt.Printf("%-22s %12s %16d\n", "MultiFloat x4", "~212 bits", horizon(run4(), ref, tol))
+	fmt.Println("\nThe predictability horizon grows linearly with precision: each extra")
+	fmt.Println("expansion term buys the same number of additional faithful steps.")
+}

@@ -1,0 +1,163 @@
+// Ill-conditioned linear solve with extended-precision iterative
+// refinement: the κ ≈ 10^10–10^20 regime that motivates the paper (§1).
+//
+// The Hilbert matrix H[i][j] = 1/(i+j+1) has condition number κ ≈ 10^13 at
+// n = 10 and ≈ 10^17 at n = 13. Solving H·x = b in float64 loses most or
+// all digits; iterative refinement with residuals computed in MultiFloat
+// arithmetic recovers a fully accurate solution from the same float64
+// factorization.
+//
+// Run with: go run ./examples/linsolve
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"multifloats/mf"
+)
+
+type f4 = mf.Float64x4
+
+// hilbert builds H and the right-hand side b = H·ones exactly in F4.
+func hilbert(n int) (h []f4, b []f4) {
+	h = make([]f4, n*n)
+	b = make([]f4, n)
+	one := mf.New4(1.0)
+	for i := 0; i < n; i++ {
+		sum := mf.New4(0.0)
+		for j := 0; j < n; j++ {
+			e := one.Div(mf.New4(float64(i + j + 1)))
+			h[i*n+j] = e
+			sum = sum.Add(e)
+		}
+		b[i] = sum // exact row sums: the true solution is all ones
+	}
+	return h, b
+}
+
+// luFactor performs float64 LU with partial pivoting in place.
+func luFactor(a []float64, n int) []int {
+	piv := make([]int, n)
+	for k := 0; k < n; k++ {
+		p := k
+		for i := k + 1; i < n; i++ {
+			if math.Abs(a[i*n+k]) > math.Abs(a[p*n+k]) {
+				p = i
+			}
+		}
+		piv[k] = p
+		if p != k {
+			for j := 0; j < n; j++ {
+				a[k*n+j], a[p*n+j] = a[p*n+j], a[k*n+j]
+			}
+		}
+		for i := k + 1; i < n; i++ {
+			a[i*n+k] /= a[k*n+k]
+			l := a[i*n+k]
+			for j := k + 1; j < n; j++ {
+				a[i*n+j] -= l * a[k*n+j]
+			}
+		}
+	}
+	return piv
+}
+
+// luSolve solves LU·x = b using the float64 factorization. The row
+// interchanges are applied to b first, in factorization order (the stored
+// multipliers live in final row positions), then the triangular solves run.
+func luSolve(lu []float64, piv []int, n int, b []float64) []float64 {
+	x := append([]float64(nil), b...)
+	for k := 0; k < n; k++ {
+		if piv[k] != k {
+			x[k], x[piv[k]] = x[piv[k]], x[k]
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := k + 1; i < n; i++ {
+			x[i] -= lu[i*n+k] * x[k]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := i + 1; j < n; j++ {
+			x[i] -= lu[i*n+j] * x[j]
+		}
+		x[i] /= lu[i*n+i]
+	}
+	return x
+}
+
+// residual computes r = b - H·x in full F4 precision.
+func residual(h, b []f4, x []f4, n int) []f4 {
+	r := make([]f4, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for j := 0; j < n; j++ {
+			s = s.Sub(h[i*n+j].Mul(x[j]))
+		}
+		r[i] = s
+	}
+	return r
+}
+
+func maxErr(x []f4) float64 {
+	worst := 0.0
+	one := mf.New4(1.0)
+	for _, v := range x {
+		e := math.Abs(v.Sub(one).Float())
+		if e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+func main() {
+	for _, n := range []int{8, 10, 12} {
+		h4, b4 := hilbert(n)
+		// Round the system to float64 for the factorization.
+		hf := make([]float64, n*n)
+		bf := make([]float64, n)
+		for i, v := range h4 {
+			hf[i] = v.Float()
+		}
+		for i, v := range b4 {
+			bf[i] = v.Float()
+		}
+		lu := append([]float64(nil), hf...)
+		piv := luFactor(lu, n)
+
+		// Plain float64 solve.
+		xf := luSolve(lu, piv, n, bf)
+		x4 := make([]f4, n)
+		for i, v := range xf {
+			x4[i] = mf.New4(v)
+		}
+		fmt.Printf("Hilbert n=%d (κ ≈ 10^%.0f):\n", n, hilbertCond(n))
+		fmt.Printf("  float64 solve:                 max |x_i - 1| = %.3e\n", maxErr(x4))
+
+		// Iterative refinement: residuals in F4, corrections via the
+		// float64 factorization.
+		for it := 1; it <= 6; it++ {
+			r := residual(h4, b4, x4, n)
+			rf := make([]float64, n)
+			for i, v := range r {
+				rf[i] = v.Float()
+			}
+			d := luSolve(lu, piv, n, rf)
+			for i := range x4 {
+				x4[i] = x4[i].AddFloat(d[i])
+			}
+		}
+		fmt.Printf("  + 6 refinement steps (F4 residuals): max |x_i - 1| = %.3e\n\n", maxErr(x4))
+	}
+	fmt.Println("Extended-precision residuals let a float64 factorization solve systems")
+	fmt.Println("whose condition number would otherwise consume every double-precision digit.")
+}
+
+// hilbertCond estimates log10 κ₂ of the Hilbert matrix (known asymptotic
+// κ ≈ e^(3.5n)/√n up to constants; table values for display only).
+func hilbertCond(n int) float64 {
+	table := map[int]float64{8: 10, 10: 13, 12: 16}
+	return table[n]
+}

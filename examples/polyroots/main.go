@@ -1,0 +1,113 @@
+// Ill-conditioned polynomial evaluation (the κ·ε story of the paper's §1).
+//
+// Wilkinson's polynomial W(x) = Π (x - k), k = 1..20, expanded into
+// monomial coefficients, is catastrophically ill-conditioned near its
+// roots: evaluating it in double precision gives garbage signs, so
+// Newton's method cannot even decide which side of a root it is on.
+// Quadruple-or-better precision restores correct behaviour.
+//
+// Run with: go run ./examples/polyroots
+package main
+
+import (
+	"fmt"
+	"math/big"
+
+	"multifloats/mf"
+)
+
+const degree = 20
+
+// coefficients of Π (x-k) as exact integers (they fit in big.Int).
+func wilkinsonCoeffs() []*big.Int {
+	coeffs := []*big.Int{big.NewInt(1)} // leading 1
+	for k := 1; k <= degree; k++ {
+		next := make([]*big.Int, len(coeffs)+1)
+		for i := range next {
+			next[i] = new(big.Int)
+		}
+		kk := big.NewInt(int64(-k))
+		for i, c := range coeffs {
+			next[i].Add(next[i], new(big.Int).Mul(c, kk)) // -k · c · x^i
+			next[i+1].Add(next[i+1], c)                   // c · x^(i+1)
+		}
+		coeffs = next
+	}
+	return coeffs // coeffs[i] is the x^i coefficient
+}
+
+// trunc shortens a decimal string for column display.
+func trunc(s string, n int) string {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}
+
+func evalFloat64(c []float64, x float64) float64 {
+	s := 0.0
+	for i := len(c) - 1; i >= 0; i-- {
+		s = s*x + c[i]
+	}
+	return s
+}
+
+func evalF4(c []mf.Float64x4, x mf.Float64x4) mf.Float64x4 {
+	s := mf.New4(0.0)
+	for i := len(c) - 1; i >= 0; i-- {
+		s = s.Mul(x).Add(c[i])
+	}
+	return s
+}
+
+func main() {
+	ci := wilkinsonCoeffs()
+	cf := make([]float64, len(ci))
+	c4 := make([]mf.Float64x4, len(ci))
+	for i, c := range ci {
+		f, _ := new(big.Float).SetInt(c).Float64()
+		cf[i] = f
+		// Coefficients up to 20! ≈ 2.4e18 exceed 53 bits: decompose
+		// exactly into a 4-term expansion.
+		c4[i] = mf.FromBig4[float64](new(big.Float).SetPrec(300).SetInt(c))
+	}
+
+	fmt.Println("Wilkinson polynomial W(x) = (x-1)(x-2)...(x-20) near x = 16:")
+	fmt.Printf("%8s %22s %28s %12s\n", "x", "float64 W(x)", "MultiFloat x4 W(x)", "true sign")
+	for _, dx := range []float64{-0.004, -0.002, -0.001, 0.001, 0.002, 0.004} {
+		x := 16 + dx
+		vf := evalFloat64(cf, x)
+		v4 := evalF4(c4, mf.New4(x))
+		// True sign: W(16+dx) has the sign of dx·Π_{k≠16}(16+dx-k):
+		// 15!·(-1)^4·... — for tiny |dx|, sign = sign(dx)·sign(Π) where
+		// Π over k≠16 of (16-k) = (15·14·…·1)·(−1·−2·−3·−4) = +.
+		trueSign := "+"
+		if dx < 0 {
+			trueSign = "-"
+		}
+		fmt.Printf("%8.3f %22.6e %28s %12s\n", x, vf, trunc(v4.String(), 22), trueSign)
+	}
+
+	fmt.Println("\nNewton's method for the root at 16, starting from 16.003:")
+	fmt.Println("(derivative evaluated analytically in each arithmetic)")
+
+	// Derivative coefficients.
+	df := make([]float64, degree)
+	d4 := make([]mf.Float64x4, degree)
+	for i := 1; i <= degree; i++ {
+		df[i-1] = cf[i] * float64(i)
+		d4[i-1] = c4[i].MulFloat(float64(i))
+	}
+
+	xf := 16.003
+	x4 := mf.New4(16.003)
+	fmt.Printf("%6s %22s %30s\n", "iter", "float64", "MultiFloat x4")
+	for it := 1; it <= 8; it++ {
+		xf = xf - evalFloat64(cf, xf)/evalFloat64(df, xf)
+		x4 = x4.Sub(evalF4(c4, x4).Div(evalF4(d4, x4)))
+		fmt.Printf("%6d %22.15f %30s\n", it, xf, trunc(x4.String(), 28))
+	}
+	fmt.Println("\nThe extended-precision iteration converges to 16 with ~60 digits;")
+	fmt.Println("the float64 iteration wanders, because W(x) evaluated in double")
+	fmt.Println("precision has the wrong sign and magnitude near the root.")
+}

@@ -1,0 +1,54 @@
+// Quickstart: a tour of the MultiFloats public API.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"multifloats/mf"
+)
+
+func main() {
+	fmt.Println("== MultiFloats quickstart ==")
+
+	// Construct values from machine numbers, strings, or constants.
+	a := mf.New2(1.0)
+	b, _ := mf.Parse2[float64]("1e-30")
+	sum := a.Add(b)
+	fmt.Printf("1 + 1e-30 at double-double precision:\n  %s\n", sum)
+	fmt.Printf("the same sum in plain float64:\n  %g  (the 1e-30 is lost)\n\n", 1.0+1e-30)
+
+	// Subtraction recovers the tiny term exactly.
+	diff := sum.Sub(a)
+	fmt.Printf("(1 + 1e-30) - 1 = %s\n\n", diff)
+
+	// π at three precisions.
+	fmt.Println("π to 32, 48, and 64 digits:")
+	fmt.Printf("  F2: %s\n", mf.Pi2)
+	fmt.Printf("  F3: %s\n", mf.Pi3)
+	fmt.Printf("  F4: %s\n\n", mf.Pi4)
+
+	// Full arithmetic: compute the area of a unit circle's inscribed
+	// square error, √2, and friends at octuple precision.
+	two := mf.New4(2.0)
+	sqrt2 := two.Sqrt()
+	fmt.Printf("√2        = %s\n", sqrt2)
+	fmt.Printf("√2·√2 - 2 = %s   (exact)\n", sqrt2.Mul(sqrt2).Sub(two))
+	fmt.Printf("1/√2      = %s\n", two.Rsqrt())
+	fmt.Printf("2/√2      = %s\n\n", two.Div(sqrt2))
+
+	// A classic: the difference of π approximations.
+	ratio, _ := mf.Parse4[float64]("355")
+	den, _ := mf.Parse4[float64]("113")
+	milu := ratio.Div(den)
+	fmt.Printf("355/113     = %s\n", milu)
+	fmt.Printf("355/113 - π = %s\n", milu.Sub(mf.Pi4))
+
+	// Comparisons are by value, at full precision.
+	fmt.Printf("\n355/113 > π? %v\n", milu.Cmp(mf.Pi4) > 0)
+
+	// float32 base type: the paper's GPU configuration.
+	g := mf.New4(float32(1)).Div(mf.New4(float32(3)))
+	fmt.Printf("\n1/3 with float32 base, 4 terms (≈96 bits): %s\n", g)
+}

@@ -1,0 +1,3 @@
+module multifloats
+
+go 1.22

@@ -1,0 +1,114 @@
+package anneal
+
+import (
+	"io"
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"multifloats/internal/fpan"
+)
+
+func TestGrowExpansionExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		vals := make([]float64, 2+rng.Intn(6))
+		for j := range vals {
+			vals[j] = math.Ldexp(rng.Float64()-0.5, rng.Intn(200)-100)
+		}
+		e := exactExpansion(vals)
+		want := new(big.Float).SetPrec(2048)
+		tmp := new(big.Float)
+		for _, v := range vals {
+			want.Add(want, tmp.SetFloat64(v))
+		}
+		got := new(big.Float).SetPrec(2048)
+		for _, v := range e {
+			got.Add(got, tmp.SetFloat64(v))
+		}
+		if want.Cmp(got) != 0 {
+			t.Fatalf("growExpansion inexact for %v", vals)
+		}
+	}
+}
+
+func TestCheckFastAcceptsProductionNetworks(t *testing.T) {
+	for _, tc := range []struct {
+		net *fpan.Network
+		n   int
+	}{
+		{fpan.Add2(), 2},
+		{fpan.Add3(), 3},
+		{fpan.Add4(), 4},
+	} {
+		cases := MakeCases(tc.n, 30000, 17)
+		buf := make([]float64, 2*tc.n)
+		if !CheckFast(tc.net, cases, buf) {
+			t.Errorf("%s rejected by fast checker", tc.net.Name)
+		}
+	}
+}
+
+func TestCheckFastRejectsBadNetwork(t *testing.T) {
+	cases := MakeCases(2, 30000, 18)
+	buf := make([]float64, 4)
+	if CheckFast(fpan.Add2Small(), cases, buf) {
+		t.Error("add2small accepted by fast checker")
+	}
+}
+
+func TestSearchFindsVerifiedNetwork(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Iters = 400
+	cfg.QuickCases = 1500
+	cfg.DeepCases = 30000
+	res := SearchAdd(2, cfg, io.Discard)
+	if res.Best == nil {
+		t.Fatal("search returned no verified network")
+	}
+	if res.Best.Size() > cfg.MaxGates {
+		t.Errorf("best network oversize: %d", res.Best.Size())
+	}
+	// Whatever the search found must pass an independent deep check.
+	cases := MakeCases(2, 30000, 99)
+	buf := make([]float64, 4)
+	if !CheckFast(res.Best, cases, buf) {
+		t.Errorf("search result fails independent verification: %s", res.Best)
+	}
+}
+
+func TestMulCasesExact(t *testing.T) {
+	// The exact-product reference must match the FPAN inputs plus the
+	// dropped terms: running the production network on the inputs must
+	// land within its bound of the reference.
+	cases := MakeMulCases(2, 20000, 21)
+	buf := make([]float64, 4)
+	if !CheckFast(fpan.Mul2(), cases, buf) {
+		t.Error("mul2 rejected by its own fast checker")
+	}
+	cases3 := MakeMulCases(3, 10000, 22)
+	buf3 := make([]float64, 9)
+	if !CheckFast(fpan.Mul3(), cases3, buf3) {
+		t.Error("mul3 rejected by its own fast checker")
+	}
+}
+
+func TestSearchMulFindsNetwork(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Iters = 600
+	cfg.QuickCases = 1500
+	cfg.DeepCases = 25000
+	cfg.MaxGates = 10
+	res := SearchMul(2, cfg, io.Discard)
+	if res.Best == nil {
+		t.Fatal("mul2 search found no verified network")
+	}
+	t.Logf("discovered mul2-class network: size %d depth %d (production: 3, 3)",
+		res.Best.Size(), res.Best.Depth())
+	cases := MakeMulCases(2, 40000, 77)
+	buf := make([]float64, 4)
+	if !CheckFast(res.Best, cases, buf) {
+		t.Errorf("mul2 search result fails independent verification")
+	}
+}

@@ -1,0 +1,189 @@
+package blas
+
+import (
+	"multifloats/internal/eft"
+	"multifloats/mf"
+)
+
+// Additional BLAS Level-1/Level-2 routines on expansion types, rounding
+// out the kernel set of §5 into the surface a downstream solver needs
+// (norms, scaling, triangular solves for the iterative-refinement use
+// case of examples/linsolve).
+
+// Scal2 computes x[i] ·= alpha on 2-term expansions.
+func Scal2[T eft.Float](alpha mf.F2[T], x []mf.F2[T]) {
+	for i := range x {
+		x[i] = x[i].Mul(alpha)
+	}
+}
+
+// Scal3 computes x[i] ·= alpha on 3-term expansions.
+func Scal3[T eft.Float](alpha mf.F3[T], x []mf.F3[T]) {
+	for i := range x {
+		x[i] = x[i].Mul(alpha)
+	}
+}
+
+// Scal4 computes x[i] ·= alpha on 4-term expansions.
+func Scal4[T eft.Float](alpha mf.F4[T], x []mf.F4[T]) {
+	for i := range x {
+		x[i] = x[i].Mul(alpha)
+	}
+}
+
+// Nrm2F2 returns ‖x‖₂ at 2-term precision.
+func Nrm2F2[T eft.Float](x []mf.F2[T]) mf.F2[T] {
+	return DotF2(x, x).Sqrt()
+}
+
+// Nrm2F3 returns ‖x‖₂ at 3-term precision.
+func Nrm2F3[T eft.Float](x []mf.F3[T]) mf.F3[T] {
+	return DotF3(x, x).Sqrt()
+}
+
+// Nrm2F4 returns ‖x‖₂ at 4-term precision.
+func Nrm2F4[T eft.Float](x []mf.F4[T]) mf.F4[T] {
+	return DotF4(x, x).Sqrt()
+}
+
+// Asum2 returns Σ|x[i]| at 2-term precision.
+func Asum2[T eft.Float](x []mf.F2[T]) mf.F2[T] {
+	var s mf.F2[T]
+	for i := range x {
+		s = s.Add(x[i].Abs())
+	}
+	return s
+}
+
+// Asum3 returns Σ|x[i]| at 3-term precision.
+func Asum3[T eft.Float](x []mf.F3[T]) mf.F3[T] {
+	var s mf.F3[T]
+	for i := range x {
+		s = s.Add(x[i].Abs())
+	}
+	return s
+}
+
+// Asum4 returns Σ|x[i]| at 4-term precision.
+func Asum4[T eft.Float](x []mf.F4[T]) mf.F4[T] {
+	var s mf.F4[T]
+	for i := range x {
+		s = s.Add(x[i].Abs())
+	}
+	return s
+}
+
+// Iamax2 returns the index of the element with the largest magnitude
+// (first occurrence wins ties), or -1 for an empty vector.
+func Iamax2[T eft.Float](x []mf.F2[T]) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best := 0
+	bv := x[0].Abs()
+	for i := 1; i < len(x); i++ {
+		if v := x[i].Abs(); bv.Less(v) {
+			best, bv = i, v
+		}
+	}
+	return best
+}
+
+// Iamax4 is Iamax2 on 4-term expansions.
+func Iamax4[T eft.Float](x []mf.F4[T]) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best := 0
+	bv := x[0].Abs()
+	for i := 1; i < len(x); i++ {
+		if v := x[i].Abs(); bv.Less(v) {
+			best, bv = i, v
+		}
+	}
+	return best
+}
+
+// TrsvLowerF4 solves L·x = b in place for a row-major lower-triangular
+// matrix with a unit or general diagonal (x starts as b).
+func TrsvLowerF4[T eft.Float](l []mf.F4[T], n int, x []mf.F4[T], unitDiag bool) {
+	for i := 0; i < n; i++ {
+		s := x[i]
+		row := l[i*n : i*n+i]
+		for j := 0; j < i; j++ {
+			s = s.Sub(row[j].Mul(x[j]))
+		}
+		if unitDiag {
+			x[i] = s
+		} else {
+			x[i] = s.Div(l[i*n+i])
+		}
+	}
+}
+
+// TrsvUpperF4 solves U·x = b in place for a row-major upper-triangular
+// matrix.
+func TrsvUpperF4[T eft.Float](u []mf.F4[T], n int, x []mf.F4[T]) {
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s = s.Sub(u[i*n+j].Mul(x[j]))
+		}
+		x[i] = s.Div(u[i*n+i])
+	}
+}
+
+// GerF4 performs the rank-1 update A += alpha·x·yᵀ on 4-term expansions.
+func GerF4[T eft.Float](alpha mf.F4[T], x, y []mf.F4[T], a []mf.F4[T], n, m int) {
+	for i := 0; i < n; i++ {
+		ax := alpha.Mul(x[i])
+		row := a[i*m : (i+1)*m]
+		for j := 0; j < m; j++ {
+			row[j] = row[j].Add(ax.Mul(y[j]))
+		}
+	}
+}
+
+// LuFactorF4 performs LU factorization with partial pivoting entirely in
+// 4-term arithmetic, returning the pivot vector. Used with the Trsv
+// routines it gives a fully extended-precision dense solver.
+func LuFactorF4[T eft.Float](a []mf.F4[T], n int) []int {
+	piv := make([]int, n)
+	for k := 0; k < n; k++ {
+		p := k
+		bv := a[k*n+k].Abs()
+		for i := k + 1; i < n; i++ {
+			if v := a[i*n+k].Abs(); bv.Less(v) {
+				p, bv = i, v
+			}
+		}
+		piv[k] = p
+		if p != k {
+			for j := 0; j < n; j++ {
+				a[k*n+j], a[p*n+j] = a[p*n+j], a[k*n+j]
+			}
+		}
+		d := a[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := a[i*n+k].Div(d)
+			a[i*n+k] = l
+			for j := k + 1; j < n; j++ {
+				a[i*n+j] = a[i*n+j].Sub(l.Mul(a[k*n+j]))
+			}
+		}
+	}
+	return piv
+}
+
+// LuSolveF4 solves A·x = b from the LuFactorF4 output.
+func LuSolveF4[T eft.Float](lu []mf.F4[T], piv []int, n int, b []mf.F4[T]) []mf.F4[T] {
+	x := append([]mf.F4[T](nil), b...)
+	for k := 0; k < n; k++ {
+		if piv[k] != k {
+			x[k], x[piv[k]] = x[piv[k]], x[k]
+		}
+	}
+	TrsvLowerF4(lu, n, x, true)
+	TrsvUpperF4(lu, n, x)
+	return x
+}

@@ -1,0 +1,195 @@
+package blas
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"multifloats/mf"
+)
+
+func TestScalAndNrm2(t *testing.T) {
+	// ‖(3,4)‖ = 5 exactly; scaling by 2 doubles it.
+	x := []mf.Float64x2{mf.New2(3.0), mf.New2(4.0)}
+	n := Nrm2F2(x)
+	if f, _ := n.Sub(mf.New2(5.0)).Big().Float64(); math.Abs(f) > 0x1p-98 {
+		t.Errorf("‖(3,4)‖ error %g", f)
+	}
+	Scal2(mf.New2(2.0), x)
+	n = Nrm2F2(x)
+	if f, _ := n.Sub(mf.New2(10.0)).Big().Float64(); math.Abs(f) > 0x1p-96 {
+		t.Errorf("scaled norm error %g", f)
+	}
+	// 3- and 4-term variants on a known vector.
+	x3 := []mf.Float64x3{mf.New3(1.0), mf.New3(2.0), mf.New3(2.0)}
+	if f, _ := Nrm2F3(x3).Sub(mf.New3(3.0)).Big().Float64(); math.Abs(f) > 0x1p-148 {
+		t.Errorf("F3 norm error %g", f)
+	}
+	x4 := []mf.Float64x4{mf.New4(1.0), mf.New4(2.0), mf.New4(2.0)}
+	Scal4(mf.New4(3.0), x4)
+	if f, _ := Nrm2F4(x4).Sub(mf.New4(9.0)).Big().Float64(); math.Abs(f) > 0x1p-196 {
+		t.Errorf("F4 scaled norm error %g", f)
+	}
+	x3b := []mf.Float64x3{mf.New3(-1.5), mf.New3(0.5)}
+	Scal3(mf.New3(-2.0), x3b)
+	if !x3b[0].Eq(mf.New3(3.0)) || !x3b[1].Eq(mf.New3(-1.0)) {
+		t.Error("Scal3 values wrong")
+	}
+}
+
+func TestAsumIamax(t *testing.T) {
+	x := []mf.Float64x2{mf.New2(-1.0), mf.New2(3.0), mf.New2(-2.0)}
+	if got := Asum2(x); !got.Eq(mf.New2(6.0)) {
+		t.Errorf("Asum2 = %v", got)
+	}
+	if got := Iamax2(x); got != 1 {
+		t.Errorf("Iamax2 = %d", got)
+	}
+	if Iamax2[float64](nil) != -1 {
+		t.Error("Iamax2(empty) != -1")
+	}
+	// Magnitude differences below float64 resolution still decide Iamax.
+	y := []mf.Float64x4{
+		mf.New4(1.0),
+		mf.New4(1.0).AddFloat(0x1p-80),
+		mf.New4(1.0).AddFloat(-0x1p-90),
+	}
+	if got := Iamax4(y); got != 1 {
+		t.Errorf("Iamax4 sub-ulp tie-break = %d, want 1", got)
+	}
+	x3 := []mf.Float64x3{mf.New3(0.5), mf.New3(-0.25)}
+	if got := Asum3(x3); !got.Eq(mf.New3(0.75)) {
+		t.Errorf("Asum3 = %v", got)
+	}
+	x4 := []mf.Float64x4{mf.New4(-4.0)}
+	if got := Asum4(x4); !got.Eq(mf.New4(4.0)) {
+		t.Errorf("Asum4 = %v", got)
+	}
+}
+
+func TestFullPrecisionLUSolve(t *testing.T) {
+	// Solve a moderately conditioned random system entirely in 4-term
+	// arithmetic and check the residual at ~200-bit accuracy.
+	rng := rand.New(rand.NewSource(11))
+	n := 12
+	a := make([]mf.Float64x4, n*n)
+	orig := make([]mf.Float64x4, n*n)
+	b := make([]mf.Float64x4, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i*n+j] = mf.New4(rng.NormFloat64())
+			orig[i*n+j] = a[i*n+j]
+			b[i] = b[i].Add(a[i*n+j]) // x_true = ones
+		}
+	}
+	piv := LuFactorF4(a, n)
+	x := LuSolveF4(a, piv, n, b)
+	for i := 0; i < n; i++ {
+		// Residual r_i = b_i - Σ A_ij x_j computed in F4.
+		r := b[i]
+		for j := 0; j < n; j++ {
+			r = r.Sub(orig[i*n+j].Mul(x[j]))
+		}
+		if f, _ := r.Big().Float64(); math.Abs(f) > 0x1p-180 {
+			t.Fatalf("row %d residual %g", i, f)
+		}
+		// And the solution is ones to high precision.
+		if f, _ := x[i].AddFloat(-1).Big().Float64(); math.Abs(f) > 0x1p-170 {
+			t.Fatalf("x[%d] - 1 = %g", i, f)
+		}
+	}
+}
+
+func TestTrsvAgainstDirect(t *testing.T) {
+	// L (unit diag) then U solves reproduce a known vector.
+	n := 6
+	rng := rand.New(rand.NewSource(12))
+	l := make([]mf.Float64x4, n*n)
+	u := make([]mf.Float64x4, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			switch {
+			case i > j:
+				l[i*n+j] = mf.New4(rng.NormFloat64())
+			case i == j:
+				l[i*n+j] = mf.New4(1.0)
+				u[i*n+j] = mf.New4(rng.NormFloat64() + 3) // well away from 0
+			case j > i:
+				u[i*n+j] = mf.New4(rng.NormFloat64())
+			}
+		}
+	}
+	want := make([]mf.Float64x4, n)
+	for i := range want {
+		want[i] = mf.New4(rng.NormFloat64())
+	}
+	// b = L·want, solve, compare.
+	b := make([]mf.Float64x4, n)
+	for i := 0; i < n; i++ {
+		s := mf.Float64x4{}
+		for j := 0; j <= i; j++ {
+			s = s.Add(l[i*n+j].Mul(want[j]))
+		}
+		b[i] = s
+	}
+	TrsvLowerF4(l, n, b, true)
+	for i := range want {
+		if f, _ := b[i].Sub(want[i]).Big().Float64(); math.Abs(f) > 0x1p-190 {
+			t.Fatalf("lower trsv x[%d] error %g", i, f)
+		}
+	}
+	// Same for U.
+	bu := make([]mf.Float64x4, n)
+	for i := 0; i < n; i++ {
+		s := mf.Float64x4{}
+		for j := i; j < n; j++ {
+			s = s.Add(u[i*n+j].Mul(want[j]))
+		}
+		bu[i] = s
+	}
+	TrsvUpperF4(u, n, bu)
+	for i := range want {
+		if f, _ := bu[i].Sub(want[i]).Big().Float64(); math.Abs(f) > 0x1p-185 {
+			t.Fatalf("upper trsv x[%d] error %g", i, f)
+		}
+	}
+}
+
+func TestGerRank1(t *testing.T) {
+	// A += 2·x·yᵀ on a zero matrix gives exactly 2·x_i·y_j.
+	n, m := 3, 4
+	x := []mf.Float64x4{mf.New4(1.0), mf.New4(-2.0), mf.New4(0.5)}
+	y := []mf.Float64x4{mf.New4(3.0), mf.New4(0.0), mf.New4(-1.0), mf.New4(4.0)}
+	a := make([]mf.Float64x4, n*m)
+	GerF4(mf.New4(2.0), x, y, a, n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			want := 2 * x[i].Float() * y[j].Float()
+			if a[i*m+j].Float() != want {
+				t.Fatalf("A[%d][%d] = %v, want %g", i, j, a[i*m+j], want)
+			}
+		}
+	}
+}
+
+func TestNrm2MatchesBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	x := make([]mf.Float64x4, 200)
+	ref := new(big.Float).SetPrec(600)
+	tmp := new(big.Float).SetPrec(600)
+	for i := range x {
+		v := rng.NormFloat64()
+		x[i] = mf.New4(v)
+		tmp.SetFloat64(v)
+		tmp.Mul(tmp, tmp)
+		ref.Add(ref, tmp)
+	}
+	ref.Sqrt(ref)
+	got := Nrm2F4(x).Big()
+	diff := new(big.Float).Sub(ref, got)
+	rel := new(big.Float).Quo(diff.Abs(diff), ref)
+	if f, _ := rel.Float64(); f > 0x1p-195 {
+		t.Errorf("Nrm2F4 relative error %g", f)
+	}
+}

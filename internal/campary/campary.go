@@ -1,0 +1,266 @@
+// Package campary reimplements the "certified" algorithm family of the
+// CAMPARY library (Joldes, Muller, Popescu, Tucker — ICMS 2016): n-term
+// floating-point expansion arithmetic built on VecSum passes and the
+// branching VecSumErrBranch renormalization, with a magnitude-ordered merge
+// for addition.
+//
+// It serves as the paper's CAMPARY comparison baseline (§5). The paper
+// benchmarks only CAMPARY's certified set — the "fast" branch-free set is
+// known to be incorrect on some inputs — so this package implements the
+// certified, data-dependent-branching algorithms. The branching merge and
+// renormalization are exactly the costs the FPAN approach removes.
+package campary
+
+import (
+	"math"
+
+	"multifloats/internal/eft"
+)
+
+// Expansion is an n-term ulp-nonoverlapping floating-point expansion with
+// decreasing-magnitude terms.
+type Expansion []float64
+
+// FromFloat returns an n-term expansion of a machine number.
+func FromFloat(x float64, n int) Expansion {
+	e := make(Expansion, n)
+	e[0] = x
+	return e
+}
+
+// Float returns the closest machine number.
+func (x Expansion) Float() float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return x[0]
+}
+
+// vecSum applies one bottom-up error-free TwoSum pass in place and
+// returns its input slice: x[0] accumulates the rounded total, x[1:] the
+// per-step errors (Joldes et al., Algorithm 3).
+func vecSum(x []float64) []float64 {
+	s := x[len(x)-1]
+	for i := len(x) - 2; i >= 0; i-- {
+		s, x[i+1] = eft.TwoSum(x[i], s)
+	}
+	x[0] = s
+	return x
+}
+
+// vecSumErrBranch extracts up to m nonoverlapping terms from an error
+// vector, skipping zeros with data-dependent branches (Joldes et al.,
+// Algorithm 4).
+func vecSumErrBranch(e []float64, m int) []float64 {
+	out := make([]float64, m)
+	j := 0
+	eps := e[0]
+	for i := 0; i < len(e)-1; i++ {
+		r, epsNext := eft.TwoSum(eps, e[i+1])
+		if epsNext != 0 {
+			if j >= m {
+				return out
+			}
+			out[j] = r
+			j++
+			eps = epsNext
+		} else {
+			eps = r
+		}
+	}
+	if j < m && eps != 0 {
+		out[j] = eps
+	}
+	return out
+}
+
+// vecSumErr runs one error-compensation pass over out[start:] (Joldes et
+// al., Algorithm 5).
+func vecSumErr(x []float64, start int) {
+	if start >= len(x)-1 {
+		return
+	}
+	eps := x[start]
+	for i := start; i < len(x)-1; i++ {
+		r, e := eft.TwoSum(eps, x[i+1])
+		x[i] = r
+		eps = e
+	}
+	x[len(x)-1] = eps
+}
+
+// Renormalize compresses an arbitrary value vector into an m-term
+// nonoverlapping expansion (Joldes et al., Algorithm 6: VecSum, then
+// VecSumErrBranch, then m VecSumErr passes).
+func Renormalize(x []float64, m int) Expansion {
+	tmp := make([]float64, len(x))
+	copy(tmp, x)
+	tmp = vecSum(tmp)
+	f := vecSumErrBranch(tmp, m+1)
+	for i := 0; i < m-1; i++ {
+		vecSumErr(f, i)
+	}
+	return Expansion(f[:m])
+}
+
+// merge combines two decreasing-magnitude slices into one, by magnitude —
+// the data-dependent merge at the heart of CAMPARY's certified addition.
+func merge(a, b []float64) []float64 {
+	out := make([]float64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if math.Abs(a[i]) >= math.Abs(b[j]) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Add returns x + y as an expansion with len(x) terms (certified addition:
+// merge by magnitude, then renormalize).
+func (x Expansion) Add(y Expansion) Expansion {
+	return Renormalize(merge(x, y), len(x))
+}
+
+// Sub returns x - y.
+func (x Expansion) Sub(y Expansion) Expansion {
+	ny := make(Expansion, len(y))
+	for i, v := range y {
+		ny[i] = -v
+	}
+	return x.Add(ny)
+}
+
+// Neg returns -x.
+func (x Expansion) Neg() Expansion {
+	out := make(Expansion, len(x))
+	for i, v := range x {
+		out[i] = -v
+	}
+	return out
+}
+
+// Mul returns x · y with len(x) terms (certified truncated multiplication:
+// error-free partial products for all significant orders, merged by
+// magnitude and renormalized).
+func (x Expansion) Mul(y Expansion) Expansion {
+	n := len(x)
+	// Collect error-free partial products up to the dropped order.
+	prods := make([]float64, 0, n*(n+3)/2)
+	for i := 0; i < n; i++ {
+		for j := 0; j+i < n && j < len(y); j++ {
+			if i+j < n-1 {
+				p, e := eft.TwoProd(x[i], y[j])
+				prods = append(prods, p, e)
+			} else {
+				prods = append(prods, x[i]*y[j])
+			}
+		}
+	}
+	// Sort by decreasing magnitude with a simple insertion sort (the
+	// certified algorithms assume magnitude order; sizes are ≤ 16).
+	for i := 1; i < len(prods); i++ {
+		v := prods[i]
+		j := i - 1
+		for j >= 0 && math.Abs(prods[j]) < math.Abs(v) {
+			prods[j+1] = prods[j]
+			j--
+		}
+		prods[j+1] = v
+	}
+	return Renormalize(prods, n)
+}
+
+// MulFloat returns x · c.
+func (x Expansion) MulFloat(c float64) Expansion {
+	vals := make([]float64, 0, 2*len(x))
+	for i, t := range x {
+		if i < len(x)-1 {
+			p, e := eft.TwoProd(t, c)
+			vals = append(vals, p, e)
+		} else {
+			vals = append(vals, t*c)
+		}
+	}
+	return Renormalize(vals, len(x))
+}
+
+// AddFloat returns x + c.
+func (x Expansion) AddFloat(c float64) Expansion {
+	return x.Add(Expansion{c})
+}
+
+// Div returns x / y via Newton–Raphson reciprocal iteration in certified
+// arithmetic (as in CAMPARY's divExpans).
+func (x Expansion) Div(y Expansion) Expansion {
+	n := len(x)
+	r := Expansion{1 / y[0]}
+	// Newton: r ← r + r(1 - y·r), doubling terms each step.
+	for k := 2; ; k *= 2 {
+		m := k
+		if m > n {
+			m = n
+		}
+		yr := y.resize(m).Mul(r.resize(m))
+		one := FromFloat(1, m)
+		corr := one.Sub(yr)
+		r = r.resize(m).Add(r.resize(m).Mul(corr))
+		if m == n {
+			break
+		}
+	}
+	return x.Mul(r.resize(n))
+}
+
+// Sqrt returns √x via Newton–Raphson on the inverse square root.
+func (x Expansion) Sqrt() Expansion {
+	n := len(x)
+	if x[0] == 0 {
+		return make(Expansion, n)
+	}
+	r := Expansion{1 / math.Sqrt(x[0])}
+	for k := 2; ; k *= 2 {
+		m := k
+		if m > n {
+			m = n
+		}
+		xr2 := x.resize(m).Mul(r.resize(m)).Mul(r.resize(m))
+		one := FromFloat(1, m)
+		corr := one.Sub(xr2).MulFloat(0.5)
+		r = r.resize(m).Add(r.resize(m).Mul(corr))
+		if m == n {
+			break
+		}
+	}
+	return x.Mul(r.resize(n))
+}
+
+// resize truncates or zero-extends the expansion to m terms.
+func (x Expansion) resize(m int) Expansion {
+	if len(x) == m {
+		return x
+	}
+	out := make(Expansion, m)
+	copy(out, x)
+	return out
+}
+
+// Cmp compares two expansions by value.
+func (x Expansion) Cmp(y Expansion) int {
+	d := x.Sub(y)
+	for _, t := range d {
+		if t > 0 {
+			return 1
+		}
+		if t < 0 {
+			return -1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,164 @@
+package campary
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"multifloats/internal/verify"
+)
+
+func toBig(terms ...float64) *big.Float {
+	acc := new(big.Float).SetPrec(2200)
+	tmp := new(big.Float).SetPrec(2200)
+	for _, t := range terms {
+		if t == 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+			continue
+		}
+		acc.Add(acc, tmp.SetFloat64(t))
+	}
+	return acc
+}
+
+func relBits(want *big.Float, terms ...float64) float64 {
+	got := toBig(terms...)
+	diff := new(big.Float).SetPrec(2200).Sub(want, got)
+	if diff.Sign() == 0 {
+		return math.Inf(1)
+	}
+	if want.Sign() == 0 {
+		return math.Inf(-1)
+	}
+	rel := new(big.Float).Quo(diff.Abs(diff), new(big.Float).Abs(want))
+	f, _ := rel.Float64()
+	return -math.Log2(f)
+}
+
+// Certified accuracy floors: the certified algorithms must hold close to
+// full format precision even under cancellation (their selling point).
+var floor = map[int]float64{2: 102, 3: 152, 4: 203}
+
+func TestCertifiedAdd(t *testing.T) {
+	gen := verify.NewExpansionGen(51)
+	gen.MaxLeadExp = 100
+	gen.Strict = true
+	for i := 0; i < 15000; i++ {
+		for n := 2; n <= 4; n++ {
+			x, y := gen.Pair(n)
+			want := toBig(x...)
+			want.Add(want, toBig(y...))
+			z := Expansion(x).Add(Expansion(y))
+			if len(z) != n {
+				t.Fatalf("n=%d: got %d terms", n, len(z))
+			}
+			if want.Sign() == 0 {
+				for _, v := range z {
+					if v != 0 {
+						t.Fatalf("n=%d: nonzero on exact cancellation: %v", n, z)
+					}
+				}
+				continue
+			}
+			if bits := relBits(want, z...); bits < floor[n] {
+				t.Fatalf("n=%d: certified add accuracy 2^-%.1f (x=%v y=%v)", n, bits, x, y)
+			}
+		}
+	}
+}
+
+func TestCertifiedMul(t *testing.T) {
+	gen := verify.NewExpansionGen(52)
+	gen.MaxLeadExp = 100
+	gen.Strict = true
+	mulFloor := map[int]float64{2: 99, 3: 149, 4: 200}
+	for i := 0; i < 10000; i++ {
+		for n := 2; n <= 4; n++ {
+			x, y := gen.Pair(n)
+			want := new(big.Float).SetPrec(2200).Mul(toBig(x...), toBig(y...))
+			z := Expansion(x).Mul(Expansion(y))
+			if want.Sign() == 0 {
+				continue
+			}
+			if bits := relBits(want, z...); bits < mulFloor[n] {
+				t.Fatalf("n=%d: certified mul accuracy 2^-%.1f (x=%v y=%v)", n, bits, x, y)
+			}
+		}
+	}
+}
+
+func TestDivSqrt(t *testing.T) {
+	third := FromFloat(1, 4).Div(FromFloat(3, 4))
+	want := new(big.Float).SetPrec(400).Quo(big.NewFloat(1), big.NewFloat(3))
+	if bits := relBits(want, third...); bits < 198 {
+		t.Errorf("campary 1/3 accuracy 2^-%.1f", bits)
+	}
+	s := FromFloat(2, 3).Sqrt()
+	want = new(big.Float).SetPrec(400).Sqrt(big.NewFloat(2))
+	if bits := relBits(want, s...); bits < 148 {
+		t.Errorf("campary sqrt(2) accuracy 2^-%.1f", bits)
+	}
+}
+
+func TestRenormalizeNonoverlap(t *testing.T) {
+	gen := verify.NewExpansionGen(53)
+	for i := 0; i < 20000; i++ {
+		x := gen.Expansion(4)
+		vals := []float64{x[0], x[1] * 3, x[2] * 7, x[3] * 5}
+		r := Renormalize(vals, 4)
+		want := toBig(vals...)
+		if want.Sign() == 0 {
+			continue
+		}
+		if bits := relBits(want, r...); bits < 200 {
+			t.Fatalf("Renormalize lost accuracy: 2^-%.1f (%v)", bits, vals)
+		}
+		for j := 1; j < len(r); j++ {
+			if r[j-1] == 0 {
+				continue
+			}
+			// Certified renorm produces ulp-nonoverlapping output.
+			if math.Abs(r[j]) > math.Abs(r[j-1])*0x1p-51 {
+				t.Fatalf("Renormalize overlap at %d: %v", j, r)
+			}
+		}
+	}
+}
+
+func TestMergeOrders(t *testing.T) {
+	a := []float64{8, -2, 0.5}
+	b := []float64{4, 1}
+	m := merge(a, b)
+	for i := 1; i < len(m); i++ {
+		if math.Abs(m[i]) > math.Abs(m[i-1]) {
+			t.Fatalf("merge not ordered: %v", m)
+		}
+	}
+}
+
+func TestCmp(t *testing.T) {
+	a := Expansion{1, 0x1p-60}
+	b := Expansion{1, 0}
+	if a.Cmp(b) != 1 || b.Cmp(a) != -1 || a.Cmp(a) != 0 {
+		t.Error("Cmp inconsistent")
+	}
+}
+
+func BenchmarkCertifiedAdd4(b *testing.B) {
+	x := Expansion{1.5, 0x1p-55, 0x1p-110, 0x1p-168}
+	y := Expansion{0.7, 0x1p-56, 0x1p-111, 0x1p-169}
+	var z Expansion
+	for i := 0; i < b.N; i++ {
+		z = x.Add(y)
+	}
+	_ = z
+}
+
+func BenchmarkCertifiedMul4(b *testing.B) {
+	x := Expansion{1.5, 0x1p-55, 0x1p-110, 0x1p-168}
+	y := Expansion{0.7, 0x1p-56, 0x1p-111, 0x1p-169}
+	var z Expansion
+	for i := 0; i < b.N; i++ {
+		z = x.Mul(y)
+	}
+	_ = z
+}

@@ -1,0 +1,163 @@
+// Package core implements the paper's primary contribution as a library:
+// branch-free arithmetic on floating-point expansions with two, three, and
+// four terms, at double, triple, and quadruple the native machine
+// precision (§4).
+//
+// Every addition and multiplication kernel in this package is a flattened,
+// allocation-free transcription of a verified FPAN from internal/fpan; the
+// equivalence is enforced by tests (TestFlattenedMatchesNetworks). Division
+// and square root use the division-free Newton–Raphson iterations of §4.3
+// with term-doubling iterates and Karp–Markstein fusion.
+//
+// Expansions are weakly nonoverlapping: |x_{i+1}| ≤ 2·ulp(x_i), the closed
+// invariant preserved by every kernel (two bits weaker than the paper's
+// Eq. 8; see DESIGN.md). All
+// kernels are generic over float32 and float64 base types, mirroring the
+// paper's MultiFloat<T,N> template.
+package core
+
+import "multifloats/internal/eft"
+
+// Add2 returns the 2-term expansion sum (x + y), flattening the add2 FPAN
+// (6 gates, 20 FLOPs). Discarded error ≤ 2^-(2p-3)·|x+y|.
+func Add2[T eft.Float](x0, x1, y0, y1 T) (z0, z1 T) {
+	s0, e0 := eft.TwoSum(x0, y0)
+	s1, e1 := eft.TwoSum(x1, y1)
+	c := e0 + s1
+	v, w := eft.FastTwoSum(s0, c)
+	t := e1 + w
+	return eft.FastTwoSum(v, t)
+}
+
+// Sub2 returns x - y for 2-term expansions.
+func Sub2[T eft.Float](x0, x1, y0, y1 T) (z0, z1 T) {
+	return Add2(x0, x1, -y0, -y1)
+}
+
+// Add3 returns the 3-term expansion sum, flattening the add3 FPAN: a
+// TwoSum sorting network over the six inputs followed by two bottom-up
+// VecSum passes (22 gates). Discarded error ≤ 2^-(3p-3)·|x+y|.
+func Add3[T eft.Float](x0, x1, x2, y0, y1, y2 T) (z0, z1, z2 T) {
+	w0, w1, w2, w3, w4, w5 := x0, y0, x1, y1, x2, y2
+	// Sorting network (first layer = the commutative (x_i, y_i) layer).
+	w0, w1 = eft.TwoSum(w0, w1)
+	w2, w3 = eft.TwoSum(w2, w3)
+	w4, w5 = eft.TwoSum(w4, w5)
+	w0, w2 = eft.TwoSum(w0, w2)
+	w3, w5 = eft.TwoSum(w3, w5)
+	w1, w4 = eft.TwoSum(w1, w4)
+	w0, w1 = eft.TwoSum(w0, w1)
+	w2, w3 = eft.TwoSum(w2, w3)
+	w4, w5 = eft.TwoSum(w4, w5)
+	w1, w2 = eft.TwoSum(w1, w2)
+	w3, w4 = eft.TwoSum(w3, w4)
+	w2, w3 = eft.TwoSum(w2, w3)
+	// Bottom-up VecSum pass 1.
+	w4, w5 = eft.TwoSum(w4, w5)
+	w3, w4 = eft.TwoSum(w3, w4)
+	w2, w3 = eft.TwoSum(w2, w3)
+	w1, w2 = eft.TwoSum(w1, w2)
+	w0, w1 = eft.TwoSum(w0, w1)
+	// Bottom-up VecSum pass 2.
+	w4, w5 = eft.TwoSum(w4, w5)
+	w3, w4 = eft.TwoSum(w3, w4)
+	w2, w3 = eft.TwoSum(w2, w3)
+	w1, w2 = eft.TwoSum(w1, w2)
+	w0, w1 = eft.TwoSum(w0, w1)
+	return w0, w1, w2
+}
+
+// Sub3 returns x - y for 3-term expansions.
+func Sub3[T eft.Float](x0, x1, x2, y0, y1, y2 T) (z0, z1, z2 T) {
+	return Add3(x0, x1, x2, -y0, -y1, -y2)
+}
+
+// Add4 returns the 4-term expansion sum, flattening the add4 FPAN: a
+// Batcher odd-even TwoSum sorting network over the eight inputs, two
+// bottom-up VecSum passes, and a truncated top-down error-propagation
+// pass (37 gates). Discarded error ≤ 2^-(4p-4)·|x+y|.
+func Add4[T eft.Float](x0, x1, x2, x3, y0, y1, y2, y3 T) (z0, z1, z2, z3 T) {
+	w0, w1, w2, w3, w4, w5, w6, w7 := x0, y0, x1, y1, x2, y2, x3, y3
+	// Batcher odd-even mergesort network (19 TwoSum gates); the first
+	// layer is the commutative (x_i, y_i) layer.
+	w0, w1 = eft.TwoSum(w0, w1)
+	w2, w3 = eft.TwoSum(w2, w3)
+	w4, w5 = eft.TwoSum(w4, w5)
+	w6, w7 = eft.TwoSum(w6, w7)
+	w0, w2 = eft.TwoSum(w0, w2)
+	w1, w3 = eft.TwoSum(w1, w3)
+	w4, w6 = eft.TwoSum(w4, w6)
+	w5, w7 = eft.TwoSum(w5, w7)
+	w1, w2 = eft.TwoSum(w1, w2)
+	w5, w6 = eft.TwoSum(w5, w6)
+	w0, w4 = eft.TwoSum(w0, w4)
+	w1, w5 = eft.TwoSum(w1, w5)
+	w2, w6 = eft.TwoSum(w2, w6)
+	w3, w7 = eft.TwoSum(w3, w7)
+	w2, w4 = eft.TwoSum(w2, w4)
+	w3, w5 = eft.TwoSum(w3, w5)
+	w1, w2 = eft.TwoSum(w1, w2)
+	w3, w4 = eft.TwoSum(w3, w4)
+	w5, w6 = eft.TwoSum(w5, w6)
+	// Bottom-up VecSum pass 1.
+	w6, w7 = eft.TwoSum(w6, w7)
+	w5, w6 = eft.TwoSum(w5, w6)
+	w4, w5 = eft.TwoSum(w4, w5)
+	w3, w4 = eft.TwoSum(w3, w4)
+	w2, w3 = eft.TwoSum(w2, w3)
+	w1, w2 = eft.TwoSum(w1, w2)
+	w0, w1 = eft.TwoSum(w0, w1)
+	// Bottom-up VecSum pass 2.
+	w6, w7 = eft.TwoSum(w6, w7)
+	w5, w6 = eft.TwoSum(w5, w6)
+	w4, w5 = eft.TwoSum(w4, w5)
+	w3, w4 = eft.TwoSum(w3, w4)
+	w2, w3 = eft.TwoSum(w2, w3)
+	w1, w2 = eft.TwoSum(w1, w2)
+	w0, w1 = eft.TwoSum(w0, w1)
+	// Top-down error-propagation pass (truncated at the output window:
+	// the remaining pass gates only touch discarded wires).
+	w0, w1 = eft.TwoSum(w0, w1)
+	w1, w2 = eft.TwoSum(w1, w2)
+	w2, w3 = eft.TwoSum(w2, w3)
+	w3, w4 = eft.TwoSum(w3, w4)
+	return w0, w1, w2, w3
+}
+
+// Sub4 returns x - y for 4-term expansions.
+func Sub4[T eft.Float](x0, x1, x2, x3, y0, y1, y2, y3 T) (z0, z1, z2, z3 T) {
+	return Add4(x0, x1, x2, x3, -y0, -y1, -y2, -y3)
+}
+
+// Add21 adds a machine number c to a 2-term expansion (the double-word +
+// word kernel used by reductions and Newton iterations).
+func Add21[T eft.Float](x0, x1, c T) (z0, z1 T) {
+	s0, e0 := eft.TwoSum(x0, c)
+	t := e0 + x1
+	return eft.FastTwoSum(s0, t)
+}
+
+// Add31 adds a machine number to a 3-term expansion.
+func Add31[T eft.Float](x0, x1, x2, c T) (z0, z1, z2 T) {
+	s0, e0 := eft.TwoSum(x0, c)
+	s1, e1 := eft.TwoSum(x1, e0)
+	s2, e2 := eft.TwoSum(x2, e1)
+	// Error-propagation pass restores the nonoverlap invariant.
+	s0, s1 = eft.FastTwoSum(s0, s1)
+	s1, s2 = eft.TwoSum(s1, s2)
+	s2, _ = eft.TwoSum(s2, e2)
+	return s0, s1, s2
+}
+
+// Add41 adds a machine number to a 4-term expansion.
+func Add41[T eft.Float](x0, x1, x2, x3, c T) (z0, z1, z2, z3 T) {
+	s0, e0 := eft.TwoSum(x0, c)
+	s1, e1 := eft.TwoSum(x1, e0)
+	s2, e2 := eft.TwoSum(x2, e1)
+	s3, e3 := eft.TwoSum(x3, e2)
+	s0, s1 = eft.FastTwoSum(s0, s1)
+	s1, s2 = eft.TwoSum(s1, s2)
+	s2, s3 = eft.TwoSum(s2, s3)
+	s3, _ = eft.TwoSum(s3, e3)
+	return s0, s1, s2, s3
+}

@@ -1,0 +1,441 @@
+package core
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"multifloats/internal/fpan"
+	"multifloats/internal/verify"
+)
+
+// TestFlattenedMatchesNetworks verifies bit-for-bit equivalence between the
+// flattened production kernels and the verified FPAN data structures in
+// internal/fpan, on adversarial inputs.
+func TestFlattenedMatchesNetworks(t *testing.T) {
+	gen := verify.NewExpansionGen(101)
+	add2, add3n, add4n := fpan.Add2(), fpan.Add3(), fpan.Add4()
+	mul2n, mul3n, mul4n := fpan.Mul2(), fpan.Mul3(), fpan.Mul4()
+	for i := 0; i < 50000; i++ {
+		{
+			x, y := gen.Pair(2)
+			want := fpan.Run(add2, verify.Interleave(x, y))
+			z0, z1 := Add2(x[0], x[1], y[0], y[1])
+			if z0 != want[0] || z1 != want[1] {
+				t.Fatalf("Add2(%v,%v) = (%g,%g), network gives %v", x, y, z0, z1, want)
+			}
+			in := fpan.MulInputs(2, x, y)
+			wantM := fpan.Run(mul2n, in)
+			m0, m1 := Mul2(x[0], x[1], y[0], y[1])
+			if m0 != wantM[0] || m1 != wantM[1] {
+				t.Fatalf("Mul2(%v,%v) = (%g,%g), network gives %v", x, y, m0, m1, wantM)
+			}
+		}
+		{
+			x, y := gen.Pair(3)
+			want := fpan.Run(add3n, verify.Interleave(x, y))
+			z0, z1, z2 := Add3(x[0], x[1], x[2], y[0], y[1], y[2])
+			if z0 != want[0] || z1 != want[1] || z2 != want[2] {
+				t.Fatalf("Add3(%v,%v) mismatch: (%g,%g,%g) vs %v", x, y, z0, z1, z2, want)
+			}
+			in := fpan.MulInputs(3, x, y)
+			wantM := fpan.Run(mul3n, in)
+			m0, m1, m2 := Mul3(x[0], x[1], x[2], y[0], y[1], y[2])
+			if m0 != wantM[0] || m1 != wantM[1] || m2 != wantM[2] {
+				t.Fatalf("Mul3(%v,%v) mismatch: (%g,%g,%g) vs %v", x, y, m0, m1, m2, wantM)
+			}
+		}
+		{
+			x, y := gen.Pair(4)
+			want := fpan.Run(add4n, verify.Interleave(x, y))
+			z0, z1, z2, z3 := Add4(x[0], x[1], x[2], x[3], y[0], y[1], y[2], y[3])
+			if z0 != want[0] || z1 != want[1] || z2 != want[2] || z3 != want[3] {
+				t.Fatalf("Add4(%v,%v) mismatch", x, y)
+			}
+			in := fpan.MulInputs(4, x, y)
+			wantM := fpan.Run(mul4n, in)
+			m0, m1, m2, m3 := Mul4(x[0], x[1], x[2], x[3], y[0], y[1], y[2], y[3])
+			if m0 != wantM[0] || m1 != wantM[1] || m2 != wantM[2] || m3 != wantM[3] {
+				t.Fatalf("Mul4(%v,%v) mismatch", x, y)
+			}
+		}
+	}
+}
+
+// relErrBits returns -log2(|got - want| / |want|) using big.Float, or +Inf
+// if exact.
+func relErrBits(want *big.Float, terms ...float64) float64 {
+	got := ToBig(terms...)
+	diff := new(big.Float).SetPrec(2200).Sub(want, got)
+	if diff.Sign() == 0 {
+		return math.Inf(1)
+	}
+	if want.Sign() == 0 {
+		return math.Inf(-1)
+	}
+	rel := new(big.Float).Quo(diff.Abs(diff), new(big.Float).Abs(want))
+	f, _ := rel.Float64()
+	return -math.Log2(f)
+}
+
+func TestAddAccuracy(t *testing.T) {
+	gen := verify.NewExpansionGen(7)
+	mins := map[int]float64{2: 103, 3: 156, 4: 208}
+	for i := 0; i < 30000; i++ {
+		for n := 2; n <= 4; n++ {
+			x, y := gen.Pair(n)
+			want := ToBig(x...)
+			want.Add(want, ToBig(y...))
+			var got []float64
+			switch n {
+			case 2:
+				a, b := Add2(x[0], x[1], y[0], y[1])
+				got = []float64{a, b}
+			case 3:
+				a, b, c := Add3(x[0], x[1], x[2], y[0], y[1], y[2])
+				got = []float64{a, b, c}
+			case 4:
+				a, b, c, d := Add4(x[0], x[1], x[2], x[3], y[0], y[1], y[2], y[3])
+				got = []float64{a, b, c, d}
+			}
+			if want.Sign() == 0 {
+				for _, g := range got {
+					if g != 0 {
+						t.Fatalf("n=%d: nonzero output %v for zero sum (x=%v y=%v)", n, got, x, y)
+					}
+				}
+				continue
+			}
+			if bits := relErrBits(want, got...); bits < mins[n] {
+				t.Fatalf("n=%d: Add accuracy 2^-%.1f < 2^-%g (x=%v y=%v)", n, bits, mins[n], x, y)
+			}
+			if !NonOverlapping(got...) {
+				t.Fatalf("n=%d: Add output overlaps: %v", n, got)
+			}
+		}
+	}
+}
+
+func TestMulAccuracy(t *testing.T) {
+	gen := verify.NewExpansionGen(8)
+	gen.MaxLeadExp = 100
+	mins := map[int]float64{2: 100, 3: 151, 4: 201}
+	for i := 0; i < 30000; i++ {
+		for n := 2; n <= 4; n++ {
+			x, y := gen.Pair(n)
+			want := new(big.Float).SetPrec(2200).Mul(ToBig(x...), ToBig(y...))
+			var got []float64
+			switch n {
+			case 2:
+				a, b := Mul2(x[0], x[1], y[0], y[1])
+				got = []float64{a, b}
+			case 3:
+				a, b, c := Mul3(x[0], x[1], x[2], y[0], y[1], y[2])
+				got = []float64{a, b, c}
+			case 4:
+				a, b, c, d := Mul4(x[0], x[1], x[2], x[3], y[0], y[1], y[2], y[3])
+				got = []float64{a, b, c, d}
+			}
+			if want.Sign() == 0 {
+				for _, g := range got {
+					if g != 0 {
+						t.Fatalf("n=%d: nonzero product %v for zero operand", n, got)
+					}
+				}
+				continue
+			}
+			if bits := relErrBits(want, got...); bits < mins[n] {
+				t.Fatalf("n=%d: Mul accuracy 2^-%.1f < 2^-%g (x=%v y=%v)", n, bits, mins[n], x, y)
+			}
+			if !NonOverlapping(got...) {
+				t.Fatalf("n=%d: Mul output overlaps: %v", n, got)
+			}
+		}
+	}
+}
+
+// TestMulCommutative checks the paper's §4.2 commutativity property:
+// Mul(x,y) and Mul(y,x) are bit-identical.
+func TestMulCommutative(t *testing.T) {
+	gen := verify.NewExpansionGen(9)
+	gen.MaxLeadExp = 100
+	for i := 0; i < 50000; i++ {
+		{
+			x, y := gen.Pair(2)
+			a0, a1 := Mul2(x[0], x[1], y[0], y[1])
+			b0, b1 := Mul2(y[0], y[1], x[0], x[1])
+			if a0 != b0 || a1 != b1 {
+				t.Fatalf("Mul2 not commutative: %v × %v", x, y)
+			}
+		}
+		{
+			x, y := gen.Pair(3)
+			a0, a1, a2 := Mul3(x[0], x[1], x[2], y[0], y[1], y[2])
+			b0, b1, b2 := Mul3(y[0], y[1], y[2], x[0], x[1], x[2])
+			if a0 != b0 || a1 != b1 || a2 != b2 {
+				t.Fatalf("Mul3 not commutative: %v × %v", x, y)
+			}
+		}
+		{
+			x, y := gen.Pair(4)
+			a0, a1, a2, a3 := Mul4(x[0], x[1], x[2], x[3], y[0], y[1], y[2], y[3])
+			b0, b1, b2, b3 := Mul4(y[0], y[1], y[2], y[3], x[0], x[1], x[2], x[3])
+			if a0 != b0 || a1 != b1 || a2 != b2 || a3 != b3 {
+				t.Fatalf("Mul4 not commutative: %v × %v", x, y)
+			}
+		}
+	}
+}
+
+func TestAddCommutative(t *testing.T) {
+	gen := verify.NewExpansionGen(10)
+	for i := 0; i < 50000; i++ {
+		x, y := gen.Pair(4)
+		a0, a1, a2, a3 := Add4(x[0], x[1], x[2], x[3], y[0], y[1], y[2], y[3])
+		b0, b1, b2, b3 := Add4(y[0], y[1], y[2], y[3], x[0], x[1], x[2], x[3])
+		if a0 != b0 || a1 != b1 || a2 != b2 || a3 != b3 {
+			t.Fatalf("Add4 not commutative: %v + %v", x, y)
+		}
+	}
+}
+
+func TestScalarKernels(t *testing.T) {
+	gen := verify.NewExpansionGen(11)
+	gen.MaxLeadExp = 100
+	for i := 0; i < 30000; i++ {
+		x := gen.Expansion(4)
+		c := gen.Expansion(1)[0]
+		if c == 0 {
+			c = 1.5
+		}
+		{
+			want := ToBig(x[:2]...)
+			want.Add(want, ToBig(c))
+			z0, z1 := Add21(x[0], x[1], c)
+			if b := relErrBits(want, z0, z1); b < 102 && want.Sign() != 0 {
+				t.Fatalf("Add21 accuracy 2^-%.1f (x=%v c=%g)", b, x[:2], c)
+			}
+		}
+		{
+			want := new(big.Float).SetPrec(2200).Mul(ToBig(x[:2]...), ToBig(c))
+			z0, z1 := Mul21(x[0], x[1], c)
+			if b := relErrBits(want, z0, z1); b < 101 && want.Sign() != 0 {
+				t.Fatalf("Mul21 accuracy 2^-%.1f (x=%v c=%g)", b, x[:2], c)
+			}
+		}
+		{
+			want := new(big.Float).SetPrec(2200).Mul(ToBig(x[:3]...), ToBig(c))
+			z0, z1, z2 := Mul31(x[0], x[1], x[2], c)
+			if b := relErrBits(want, z0, z1, z2); b < 150 && want.Sign() != 0 {
+				t.Fatalf("Mul31 accuracy 2^-%.1f (x=%v c=%g)", b, x[:3], c)
+			}
+		}
+		{
+			want := new(big.Float).SetPrec(2200).Mul(ToBig(x...), ToBig(c))
+			z0, z1, z2, z3 := Mul41(x[0], x[1], x[2], x[3], c)
+			if b := relErrBits(want, z0, z1, z2, z3); b < 198 && want.Sign() != 0 {
+				t.Fatalf("Mul41 accuracy 2^-%.1f (x=%v c=%g)", b, x, c)
+			}
+		}
+	}
+}
+
+func TestCmp(t *testing.T) {
+	if Cmp2(1.0, 0x1p-60, 1.0, 0) != 1 {
+		t.Error("Cmp2: 1+2^-60 should exceed 1")
+	}
+	if Cmp2(1.0, 0, 1.0, 0x1p-60) != -1 {
+		t.Error("Cmp2: 1 should be below 1+2^-60")
+	}
+	// Distinct representations of the same value compare equal.
+	if Cmp2(1.0, 0x1p-53, 1+0x1p-52, -0x1p-53) != 0 {
+		t.Error("Cmp2: equal values with different representations")
+	}
+	if Cmp4(1.0, 0x1p-60, 0x1p-120, 0x1p-180, 1.0, 0x1p-60, 0x1p-120, 0x1p-180) != 0 {
+		t.Error("Cmp4: identical expansions")
+	}
+	if Cmp3(-1.0, 0, 0, 1.0, 0, 0) != -1 {
+		t.Error("Cmp3 sign")
+	}
+}
+
+func TestFromBigRoundTrip(t *testing.T) {
+	pi := new(big.Float).SetPrec(2200)
+	pi.SetString("3.14159265358979323846264338327950288419716939937510582097494459230781640628620899862803482534211706798214808651328230664709384460955058223172535940812848111745028410270193852110555964462294895493038196")
+	for n := 2; n <= 4; n++ {
+		x := FromBig(pi, n)
+		if !NonOverlapping(x...) {
+			t.Errorf("n=%d: decomposition overlaps: %v", n, x)
+		}
+		back := ToBig(x...)
+		diff := new(big.Float).SetPrec(2200).Sub(pi, back)
+		rel := new(big.Float).Quo(diff.Abs(diff), pi)
+		f, _ := rel.Float64()
+		minBits := float64(n*53 + n - 1)
+		if -math.Log2(f) < minBits {
+			t.Errorf("n=%d: round-trip only 2^-%.1f accurate, want 2^-%g (Eq. 7)", n, -math.Log2(f), minBits)
+		}
+	}
+}
+
+func TestRenormalizers(t *testing.T) {
+	gen := verify.NewExpansionGen(12)
+	for i := 0; i < 30000; i++ {
+		// Feed overlapping values: an expansion with terms scaled up to
+		// force overlap, as Newton iterations produce.
+		x := gen.Expansion(4)
+		a0, a1, a2, a3 := x[0], x[1]*3, x[2]*5, x[3]*7
+		want := ToBig(a0, a1, a2, a3)
+		{
+			z0, z1, z2, z3 := Renorm4(a0, a1, a2, a3)
+			if !NonOverlapping(z0, z1, z2, z3) {
+				t.Fatalf("Renorm4 output overlaps: %v", []float64{z0, z1, z2, z3})
+			}
+			if b := relErrBits(want, z0, z1, z2, z3); b < 200 && want.Sign() != 0 {
+				t.Fatalf("Renorm4 lost accuracy: 2^-%.1f for %v", b, x)
+			}
+		}
+		{
+			z0, z1, z2 := Renorm3(a0, a1, a2)
+			if !NonOverlapping(z0, z1, z2) {
+				t.Fatalf("Renorm3 output overlaps")
+			}
+			w := ToBig(a0, a1, a2)
+			if b := relErrBits(w, z0, z1, z2); b < 150 && w.Sign() != 0 {
+				t.Fatalf("Renorm3 lost accuracy: 2^-%.1f", b)
+			}
+		}
+	}
+}
+
+func TestSpecialValues(t *testing.T) {
+	// §4.4: ±Inf collapses to NaN through TwoSum-based kernels; NaN
+	// propagates; -0.0 is not preserved. These are the documented
+	// semantics, so lock them in.
+	inf := math.Inf(1)
+	z0, _ := Add2(inf, 0, 1, 0)
+	if !math.IsNaN(z0) && !math.IsInf(z0, 1) {
+		t.Errorf("Add2(+Inf + 1) = %g, want Inf or NaN", z0)
+	}
+	z0, _ = Add2(inf, 0, -inf, 0)
+	if !math.IsNaN(z0) {
+		t.Errorf("Add2(+Inf + -Inf) = %g, want NaN", z0)
+	}
+	z0, _ = Mul2(math.NaN(), 0, 1, 0)
+	if !math.IsNaN(z0) {
+		t.Errorf("Mul2(NaN, 1) = %g, want NaN", z0)
+	}
+	// Negative zero is normalized away (documented limitation).
+	z0, z1 := Add2(math.Copysign(0, -1), 0, 0, 0)
+	if math.Signbit(z0) || z1 != 0 {
+		t.Errorf("Add2(-0.0 + 0) = (%g,%g), want (+0,0)", z0, z1)
+	}
+}
+
+// TestOverflowThreshold locks in §4.4's last limitation: near ±DBL_MAX the
+// TwoSum internals overflow, so the effective overflow threshold of
+// expansions is one ulp narrower than the base type.
+func TestOverflowThreshold(t *testing.T) {
+	m := math.MaxFloat64
+	z0, z1 := Add2(m, 0, m, 0)
+	if !math.IsInf(z0, 1) && !math.IsNaN(z0) {
+		t.Errorf("MaxFloat64 + MaxFloat64 = (%g,%g), expected overflow", z0, z1)
+	}
+	// Well below the threshold everything is finite.
+	z0, z1 = Add2(m/4, 0, m/4, 0)
+	if math.IsInf(z0, 0) || math.IsNaN(z0) {
+		t.Errorf("m/4 + m/4 overflowed: %g", z0)
+	}
+}
+
+func TestScalePow2AndNeg(t *testing.T) {
+	x := []float64{1.5, 0x1p-54, 0x1p-110}
+	y := ScalePow2(x, 10)
+	for i := range x {
+		if y[i] != x[i]*1024 {
+			t.Errorf("ScalePow2: term %d = %g", i, y[i])
+		}
+	}
+	n := Neg(x)
+	for i := range x {
+		if n[i] != -x[i] {
+			t.Errorf("Neg: term %d", i)
+		}
+	}
+}
+
+func TestFloat32Kernels(t *testing.T) {
+	// The generic kernels work on float32 (the GPU base type of Fig. 11).
+	x0, x1 := float32(1.5), float32(0x1p-25)
+	y0, y1 := float32(2.5), float32(0x1p-26)
+	z0, z1 := Add2(x0, x1, y0, y1)
+	if z0 != 4 {
+		t.Errorf("float32 Add2: z0 = %g", z0)
+	}
+	if z1 != 0x1p-25+0x1p-26 {
+		t.Errorf("float32 Add2: z1 = %g", z1)
+	}
+	m0, _ := Mul2(x0, x1, y0, y1)
+	if m0 != 3.75 {
+		t.Errorf("float32 Mul2: m0 = %g", m0)
+	}
+}
+
+// TestSqrMatchesMul: squaring must agree with self-multiplication to the
+// format's accuracy (not necessarily bit-for-bit: the pre-merged symmetric
+// pairs round in a different order).
+func TestSqrMatchesMul(t *testing.T) {
+	gen := verify.NewExpansionGen(31)
+	gen.MaxLeadExp = 100
+	mins := map[int]float64{2: 100, 3: 150, 4: 200}
+	for i := 0; i < 30000; i++ {
+		for n := 2; n <= 4; n++ {
+			x := gen.Expansion(n)
+			want := new(big.Float).SetPrec(2200).Mul(ToBig(x...), ToBig(x...))
+			var got []float64
+			switch n {
+			case 2:
+				a, b := Sqr2(x[0], x[1])
+				got = []float64{a, b}
+			case 3:
+				a, b, c := Sqr3(x[0], x[1], x[2])
+				got = []float64{a, b, c}
+			case 4:
+				a, b, c, d := Sqr4(x[0], x[1], x[2], x[3])
+				got = []float64{a, b, c, d}
+			}
+			if want.Sign() == 0 {
+				for _, g := range got {
+					if g != 0 {
+						t.Fatalf("n=%d: Sqr(0) has nonzero term", n)
+					}
+				}
+				continue
+			}
+			if bits := relErrBits(want, got...); bits < mins[n] {
+				t.Fatalf("n=%d: Sqr accuracy 2^-%.1f (x=%v)", n, bits, x)
+			}
+			if !NonOverlapping(got...) {
+				t.Fatalf("n=%d: Sqr output overlaps: %v", n, got)
+			}
+		}
+	}
+}
+
+func BenchmarkAblationSqrVsMul(b *testing.B) {
+	x0, x1, x2, x3 := 1.5, 0x1p-55, 0x1p-110, 0x1p-165
+	b.Run("sqr4", func(b *testing.B) {
+		var z0, z1, z2, z3 float64
+		for i := 0; i < b.N; i++ {
+			z0, z1, z2, z3 = Sqr4(x0, x1, x2, x3)
+		}
+		_, _, _, _ = z0, z1, z2, z3
+	})
+	b.Run("mul4-self", func(b *testing.B) {
+		var z0, z1, z2, z3 float64
+		for i := 0; i < b.N; i++ {
+			z0, z1, z2, z3 = Mul4(x0, x1, x2, x3, x0, x1, x2, x3)
+		}
+		_, _, _, _ = z0, z1, z2, z3
+	})
+}

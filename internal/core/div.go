@@ -1,0 +1,98 @@
+package core
+
+import "multifloats/internal/eft"
+
+// Division via division-free Newton–Raphson iteration (§4.3).
+//
+// The iteration x_{k+1} = x_k + x_k(1 - a·x_k) doubles the number of
+// correct bits each step, so iterates are carried at term counts 1, 2, 4
+// (and 3 for the sextuple type). The quotient b/a is obtained by
+// multiplying the reciprocal by b with a Karp–Markstein-style final
+// correction that folds the last Newton step into the multiplication.
+
+// Recip2 returns 1/a as a 2-term expansion: one Newton step from the
+// machine reciprocal.
+func Recip2[T eft.Float](a0, a1 T) (z0, z1 T) {
+	x := 1 / a0
+	p0, p1 := Mul21(a0, a1, x)   // a·x
+	r0, r1 := Add21(-p0, -p1, 1) // 1 - a·x
+	d0, d1 := Mul21(r0, r1, x)   // x·(1 - a·x)
+	return Add21(d0, d1, x)      // x + x·(1 - a·x)
+}
+
+// Div2 returns b/a as a 2-term expansion using the Karp–Markstein
+// formulation: y = b·x at machine precision, then q = y + x·(b - a·y).
+func Div2[T eft.Float](b0, b1, a0, a1 T) (z0, z1 T) {
+	x := 1 / a0
+	y := b0 * x
+	t0, t1 := Mul21(a0, a1, y) // a·y
+	r0, r1 := Sub2(b0, b1, t0, t1)
+	c0, c1 := Mul21(r0, r1, x) // x·(b - a·y)
+	return Add21(c0, c1, y)
+}
+
+// Recip3 returns 1/a as a 3-term expansion: Newton at 2 terms, then one
+// more step at 3 terms.
+func Recip3[T eft.Float](a0, a1, a2 T) (z0, z1, z2 T) {
+	x0, x1 := Recip2(a0, a1)
+	// r = 1 - a·x at 3-term precision.
+	t0, t1, t2 := Mul3(a0, a1, a2, x0, x1, 0)
+	r0, r1, r2 := Add31(-t0, -t1, -t2, 1)
+	// z = x + x·r.
+	d0, d1, d2 := Mul3(x0, x1, 0, r0, r1, r2)
+	s0, s1, s2 := Add3(d0, d1, d2, x0, x1, 0)
+	return Renorm3(s0, s1, s2)
+}
+
+// Div3 returns b/a as a 3-term expansion with a Karp–Markstein final step:
+// the 2-term reciprocal is applied to b and the residual b - a·q is folded
+// back through the reciprocal.
+func Div3[T eft.Float](b0, b1, b2, a0, a1, a2 T) (z0, z1, z2 T) {
+	x0, x1 := Recip2(a0, a1) // 1/a to ~2p bits
+	// q ≈ b·x (3-term).
+	q0, q1, q2 := Mul3(b0, b1, b2, x0, x1, 0)
+	// One correction: r = b - a·q; q += x·r.
+	t0, t1, t2 := Mul3(a0, a1, a2, q0, q1, q2)
+	r0, r1, r2 := Sub3(b0, b1, b2, t0, t1, t2)
+	c0, c1 := Mul2(r0, r1, x0, x1) // full 2-term reciprocal in the correction
+	_ = r2
+	s0, s1, s2 := Add3(q0, q1, q2, c0, c1, 0)
+	return s0, s1, s2
+}
+
+// Recip4 returns 1/a as a 4-term expansion: Newton at 2 terms, then one
+// step at 4 terms (quadratic convergence: p → 2p → 4p bits).
+func Recip4[T eft.Float](a0, a1, a2, a3 T) (z0, z1, z2, z3 T) {
+	x0, x1 := Recip2(a0, a1)
+	t0, t1, t2, t3 := Mul4(a0, a1, a2, a3, x0, x1, 0, 0)
+	r0, r1, r2, r3 := Add41(-t0, -t1, -t2, -t3, 1)
+	d0, d1, d2, d3 := Mul4(x0, x1, 0, 0, r0, r1, r2, r3)
+	s0, s1, s2, s3 := Add4(d0, d1, d2, d3, x0, x1, 0, 0)
+	return Renorm4(s0, s1, s2, s3)
+}
+
+// Div4 returns b/a as a 4-term expansion with a Karp–Markstein final step.
+func Div4[T eft.Float](b0, b1, b2, b3, a0, a1, a2, a3 T) (z0, z1, z2, z3 T) {
+	x0, x1 := Recip2(a0, a1)
+	q0, q1, q2, q3 := Mul4(b0, b1, b2, b3, x0, x1, 0, 0)
+	t0, t1, t2, t3 := Mul4(a0, a1, a2, a3, q0, q1, q2, q3)
+	r0, r1, r2, r3 := Sub4(b0, b1, b2, b3, t0, t1, t2, t3)
+	c0, c1 := Mul2(r0, r1, x0, x1) // full 2-term reciprocal in the correction
+	_, _ = r2, r3
+	return Add4(q0, q1, q2, q3, c0, c1, 0, 0)
+}
+
+// DivLong2 is the classical quotient-refinement ("long division")
+// alternative to Div2: successive machine quotients of the running
+// residual. Kept as the ablation baseline for the Newton/Karp–Markstein
+// design choice (see bench_test.go).
+func DivLong2[T eft.Float](b0, b1, a0, a1 T) (z0, z1 T) {
+	q0 := b0 / a0
+	t0, t1 := Mul21(a0, a1, q0)
+	r0, r1 := Sub2(b0, b1, t0, t1)
+	q1 := r0 / a0
+	t0, t1 = Mul21(a0, a1, q1)
+	r0, r1 = Sub2(r0, r1, t0, t1)
+	q2 := r0 / a0
+	return Renorm3to2(q0, q1, q2)
+}

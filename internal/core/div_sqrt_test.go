@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"multifloats/internal/verify"
+)
+
+// Accuracy floors for division and square root (bits of relative error).
+// Newton–Raphson with a Karp–Markstein final step is not correctly rounded,
+// but must deliver nearly the full precision of the format; these floors
+// were set from deep measurement runs with a few bits of margin
+// (EXPERIMENTS.md, experiment E-Newton).
+var divSqrtFloor = map[int]float64{2: 99, 3: 149, 4: 199}
+
+func nonZeroExpansion(gen *verify.ExpansionGen, n int) []float64 {
+	for {
+		x := gen.Expansion(n)
+		if x[0] != 0 {
+			return x
+		}
+	}
+}
+
+func TestDivAccuracy(t *testing.T) {
+	gen := verify.NewExpansionGen(21)
+	gen.MaxLeadExp = 100
+	for i := 0; i < 20000; i++ {
+		for n := 2; n <= 4; n++ {
+			b := nonZeroExpansion(gen, n)
+			a := nonZeroExpansion(gen, n)
+			want := new(big.Float).SetPrec(2200).Quo(ToBig(b...), ToBig(a...))
+			var got []float64
+			switch n {
+			case 2:
+				q0, q1 := Div2(b[0], b[1], a[0], a[1])
+				got = []float64{q0, q1}
+			case 3:
+				q0, q1, q2 := Div3(b[0], b[1], b[2], a[0], a[1], a[2])
+				got = []float64{q0, q1, q2}
+			case 4:
+				q0, q1, q2, q3 := Div4(b[0], b[1], b[2], b[3], a[0], a[1], a[2], a[3])
+				got = []float64{q0, q1, q2, q3}
+			}
+			if bits := relErrBits(want, got...); bits < divSqrtFloor[n] {
+				t.Fatalf("n=%d: Div accuracy 2^-%.1f < 2^-%g (b=%v a=%v)", n, bits, divSqrtFloor[n], b, a)
+			}
+		}
+	}
+}
+
+func TestRecipAccuracy(t *testing.T) {
+	gen := verify.NewExpansionGen(22)
+	gen.MaxLeadExp = 100
+	one := new(big.Float).SetPrec(2200).SetInt64(1)
+	for i := 0; i < 20000; i++ {
+		for n := 2; n <= 4; n++ {
+			a := nonZeroExpansion(gen, n)
+			want := new(big.Float).SetPrec(2200).Quo(one, ToBig(a...))
+			var got []float64
+			switch n {
+			case 2:
+				r0, r1 := Recip2(a[0], a[1])
+				got = []float64{r0, r1}
+			case 3:
+				r0, r1, r2 := Recip3(a[0], a[1], a[2])
+				got = []float64{r0, r1, r2}
+			case 4:
+				r0, r1, r2, r3 := Recip4(a[0], a[1], a[2], a[3])
+				got = []float64{r0, r1, r2, r3}
+			}
+			if bits := relErrBits(want, got...); bits < divSqrtFloor[n] {
+				t.Fatalf("n=%d: Recip accuracy 2^-%.1f (a=%v)", n, bits, a)
+			}
+		}
+	}
+}
+
+func positiveExpansion(gen *verify.ExpansionGen, n int) []float64 {
+	x := nonZeroExpansion(gen, n)
+	if x[0] < 0 {
+		x = Neg(x)
+	}
+	return x
+}
+
+func TestSqrtAccuracy(t *testing.T) {
+	gen := verify.NewExpansionGen(23)
+	gen.MaxLeadExp = 100
+	for i := 0; i < 20000; i++ {
+		for n := 2; n <= 4; n++ {
+			a := positiveExpansion(gen, n)
+			want := new(big.Float).SetPrec(2200).Sqrt(ToBig(a...))
+			var got []float64
+			switch n {
+			case 2:
+				s0, s1 := Sqrt2(a[0], a[1])
+				got = []float64{s0, s1}
+			case 3:
+				s0, s1, s2 := Sqrt3(a[0], a[1], a[2])
+				got = []float64{s0, s1, s2}
+			case 4:
+				s0, s1, s2, s3 := Sqrt4(a[0], a[1], a[2], a[3])
+				got = []float64{s0, s1, s2, s3}
+			}
+			if bits := relErrBits(want, got...); bits < divSqrtFloor[n] {
+				t.Fatalf("n=%d: Sqrt accuracy 2^-%.1f (a=%v)", n, bits, a)
+			}
+		}
+	}
+}
+
+func TestRsqrtAccuracy(t *testing.T) {
+	gen := verify.NewExpansionGen(24)
+	gen.MaxLeadExp = 100
+	one := new(big.Float).SetPrec(2200).SetInt64(1)
+	for i := 0; i < 20000; i++ {
+		for n := 2; n <= 4; n++ {
+			a := positiveExpansion(gen, n)
+			want := new(big.Float).SetPrec(2200).Sqrt(ToBig(a...))
+			want.Quo(one, want)
+			var got []float64
+			switch n {
+			case 2:
+				s0, s1 := Rsqrt2(a[0], a[1])
+				got = []float64{s0, s1}
+			case 3:
+				s0, s1, s2 := Rsqrt3(a[0], a[1], a[2])
+				got = []float64{s0, s1, s2}
+			case 4:
+				s0, s1, s2, s3 := Rsqrt4(a[0], a[1], a[2], a[3])
+				got = []float64{s0, s1, s2, s3}
+			}
+			if bits := relErrBits(want, got...); bits < divSqrtFloor[n] {
+				t.Fatalf("n=%d: Rsqrt accuracy 2^-%.1f (a=%v)", n, bits, a)
+			}
+		}
+	}
+}
+
+func TestDivSpecialCases(t *testing.T) {
+	// Exact quotients come out exact.
+	q0, q1 := Div2(6.0, 0, 3.0, 0)
+	if q0 != 2 || q1 != 0 {
+		t.Errorf("6/3 = (%g,%g)", q0, q1)
+	}
+	// Division by an expansion equal to 1 is the identity.
+	q0, q1 = Div2(1.5, 0x1p-55, 1.0, 0)
+	if q0 != 1.5 || q1 != 0x1p-55 {
+		t.Errorf("x/1 = (%g,%g)", q0, q1)
+	}
+	// 0/a = 0.
+	q0, q1, q2, q3 := Div4(0, 0, 0, 0, 3.0, 0x1p-55, 0, 0)
+	if q0 != 0 || q1 != 0 || q2 != 0 || q3 != 0 {
+		t.Errorf("0/a = (%g,%g,%g,%g)", q0, q1, q2, q3)
+	}
+	// a/0 produces Inf or NaN (error signalling, §4.4).
+	q0, _ = Div2(1.0, 0, 0.0, 0)
+	if !math.IsInf(q0, 0) && !math.IsNaN(q0) {
+		t.Errorf("1/0 = %g, want Inf or NaN", q0)
+	}
+}
+
+func TestSqrtSpecialCases(t *testing.T) {
+	for n := 2; n <= 4; n++ {
+		var got []float64
+		switch n {
+		case 2:
+			a, b := Sqrt2(0.0, 0)
+			got = []float64{a, b}
+		case 3:
+			a, b, c := Sqrt3(0.0, 0, 0)
+			got = []float64{a, b, c}
+		case 4:
+			a, b, c, d := Sqrt4(0.0, 0, 0, 0)
+			got = []float64{a, b, c, d}
+		}
+		for _, v := range got {
+			if v != 0 {
+				t.Errorf("n=%d: sqrt(0) has nonzero term %g", n, v)
+			}
+		}
+	}
+	// Perfect squares are computed exactly at the leading term.
+	s0, s1 := Sqrt2(9.0, 0)
+	if s0 != 3 || s1 != 0 {
+		t.Errorf("sqrt(9) = (%g,%g)", s0, s1)
+	}
+	// Negative argument → NaN (§4.4 error signalling).
+	s0, _ = Sqrt2(-4.0, 0)
+	if !math.IsNaN(s0) {
+		t.Errorf("sqrt(-4) = %g, want NaN", s0)
+	}
+}
+
+func TestDivLong2MatchesDiv2(t *testing.T) {
+	// The ablation baseline must agree with the production division to
+	// within the format's accuracy floor.
+	gen := verify.NewExpansionGen(25)
+	gen.MaxLeadExp = 100
+	for i := 0; i < 20000; i++ {
+		b := nonZeroExpansion(gen, 2)
+		a := nonZeroExpansion(gen, 2)
+		want := new(big.Float).SetPrec(2200).Quo(ToBig(b...), ToBig(a...))
+		q0, q1 := DivLong2(b[0], b[1], a[0], a[1])
+		if bits := relErrBits(want, q0, q1); bits < divSqrtFloor[2] {
+			t.Fatalf("DivLong2 accuracy 2^-%.1f (b=%v a=%v)", bits, b, a)
+		}
+	}
+}
+
+func BenchmarkDiv2(b *testing.B) {
+	var q0, q1 float64
+	for i := 0; i < b.N; i++ {
+		q0, q1 = Div2(1.5, 0x1p-55, 1.1, 0x1p-56)
+	}
+	_, _ = q0, q1
+}
+
+func BenchmarkDivLong2(b *testing.B) {
+	var q0, q1 float64
+	for i := 0; i < b.N; i++ {
+		q0, q1 = DivLong2(1.5, 0x1p-55, 1.1, 0x1p-56)
+	}
+	_, _ = q0, q1
+}
+
+func BenchmarkSqrt4(b *testing.B) {
+	var s0, s1, s2, s3 float64
+	for i := 0; i < b.N; i++ {
+		s0, s1, s2, s3 = Sqrt4(2.0, 0x1p-54, 0x1p-110, 0x1p-165)
+	}
+	_, _, _, _ = s0, s1, s2, s3
+}

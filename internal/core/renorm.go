@@ -1,0 +1,83 @@
+package core
+
+import "multifloats/internal/eft"
+
+// This file implements renormalization: compressing a short sequence of
+// machine numbers with bounded overlap (a few bits) into a weakly
+// nonoverlapping expansion. Renormalization is the glue of the
+// Newton–Raphson division and square root algorithms (§4.3), which produce
+// iterates as loosely overlapping sums before the next step. Each
+// renormalizer uses the same VecSum pass structure as the addition FPANs'
+// tails: two bottom-up passes and (for four or more values) one top-down
+// error-propagation pass.
+
+// Renorm2 renormalizes (a0, a1) — arbitrary order and overlap — into a
+// nonoverlapping 2-term expansion.
+func Renorm2[T eft.Float](a0, a1 T) (z0, z1 T) {
+	return eft.TwoSum(a0, a1)
+}
+
+// Renorm3to2 renormalizes three values into a 2-term expansion.
+func Renorm3to2[T eft.Float](a0, a1, a2 T) (z0, z1 T) {
+	a1, a2 = eft.TwoSum(a1, a2)
+	a0, a1 = eft.TwoSum(a0, a1)
+	a1 = a1 + a2
+	return eft.FastTwoSum(a0, a1)
+}
+
+// Renorm3 renormalizes three values into a 3-term expansion.
+func Renorm3[T eft.Float](a0, a1, a2 T) (z0, z1, z2 T) {
+	a1, a2 = eft.TwoSum(a1, a2)
+	a0, a1 = eft.TwoSum(a0, a1)
+	a1, a2 = eft.TwoSum(a1, a2)
+	a0, a1 = eft.TwoSum(a0, a1)
+	a1, a2 = eft.TwoSum(a1, a2)
+	return a0, a1, a2
+}
+
+// Renorm4 renormalizes four values into a 4-term expansion.
+func Renorm4[T eft.Float](a0, a1, a2, a3 T) (z0, z1, z2, z3 T) {
+	// Bottom-up pass 1.
+	a2, a3 = eft.TwoSum(a2, a3)
+	a1, a2 = eft.TwoSum(a1, a2)
+	a0, a1 = eft.TwoSum(a0, a1)
+	// Bottom-up pass 2.
+	a2, a3 = eft.TwoSum(a2, a3)
+	a1, a2 = eft.TwoSum(a1, a2)
+	a0, a1 = eft.TwoSum(a0, a1)
+	// Top-down error-propagation pass.
+	a0, a1 = eft.TwoSum(a0, a1)
+	a1, a2 = eft.TwoSum(a1, a2)
+	a2, a3 = eft.TwoSum(a2, a3)
+	return a0, a1, a2, a3
+}
+
+// Renorm5to4 renormalizes five values into a 4-term expansion.
+func Renorm5to4[T eft.Float](a0, a1, a2, a3, a4 T) (z0, z1, z2, z3 T) {
+	a3, a4 = eft.TwoSum(a3, a4)
+	a2, a3 = eft.TwoSum(a2, a3)
+	a1, a2 = eft.TwoSum(a1, a2)
+	a0, a1 = eft.TwoSum(a0, a1)
+	a3, a4 = eft.TwoSum(a3, a4)
+	a2, a3 = eft.TwoSum(a2, a3)
+	a1, a2 = eft.TwoSum(a1, a2)
+	a0, a1 = eft.TwoSum(a0, a1)
+	a0, a1 = eft.TwoSum(a0, a1)
+	a1, a2 = eft.TwoSum(a1, a2)
+	a2, a3 = eft.TwoSum(a2, a3)
+	a3 = a3 + a4
+	return a0, a1, a2, a3
+}
+
+// Renorm4to3 renormalizes four values into a 3-term expansion.
+func Renorm4to3[T eft.Float](a0, a1, a2, a3 T) (z0, z1, z2 T) {
+	a2, a3 = eft.TwoSum(a2, a3)
+	a1, a2 = eft.TwoSum(a1, a2)
+	a0, a1 = eft.TwoSum(a0, a1)
+	a2, a3 = eft.TwoSum(a2, a3)
+	a1, a2 = eft.TwoSum(a1, a2)
+	a0, a1 = eft.TwoSum(a0, a1)
+	a1, a2 = eft.TwoSum(a1, a2)
+	a2 = a2 + a3
+	return a0, a1, a2
+}

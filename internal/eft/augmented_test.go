@@ -1,0 +1,136 @@
+package eft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAugmentedAddSpecials(t *testing.T) {
+	inf := math.Inf(1)
+	// Inf + finite stays Inf (plain TwoSum would produce a NaN error).
+	s, e := AugmentedAdd(inf, 1)
+	if !math.IsInf(s, 1) || !math.IsInf(e, 1) {
+		t.Errorf("Inf+1 = (%g,%g)", s, e)
+	}
+	// Inf + (-Inf) = NaN in both outputs.
+	s, e = AugmentedAdd(inf, math.Inf(-1))
+	if !math.IsNaN(s) || !math.IsNaN(e) {
+		t.Errorf("Inf-Inf = (%g,%g)", s, e)
+	}
+	// -0 + -0 keeps its sign; plain TwoSum loses it.
+	nz := math.Copysign(0, -1)
+	s, e = AugmentedAdd(nz, nz)
+	if !math.Signbit(s) || e != 0 {
+		t.Errorf("-0 + -0 = (%g,%g), want (-0, 0)", s, e)
+	}
+	ts, _ := TwoSum(nz, nz)
+	if math.Signbit(ts) {
+		t.Log("note: plain TwoSum preserved -0 here; augmented semantics remain a superset")
+	}
+	// NaN propagates.
+	s, e = AugmentedAdd(math.NaN(), 1)
+	if !math.IsNaN(s) || !math.IsNaN(e) {
+		t.Errorf("NaN+1 = (%g,%g)", s, e)
+	}
+}
+
+func TestAugmentedAddNearOverflow(t *testing.T) {
+	// §4.4: when the rounded sum is exactly ±MaxFloat64, plain TwoSum can
+	// overflow internally and return NaN. The augmented version must not.
+	m := math.MaxFloat64
+	cases := [][2]float64{
+		{m, -0x1p970},
+		{m / 2, m / 2},
+		{m, 0x1p960},
+		{-m, -0x1p969},
+	}
+	for _, c := range cases {
+		s, e := AugmentedAdd(c[0], c[1])
+		if math.IsNaN(s) || math.IsNaN(e) {
+			t.Errorf("AugmentedAdd(%g,%g) = (%g,%g): spurious NaN", c[0], c[1], s, e)
+		}
+		if !math.IsInf(s, 0) {
+			// Finite results must still be error-free: s + e == x + y in
+			// exact arithmetic. Verify at half scale (exact transform).
+			hs, he := s/2, e/2
+			hx, hy := c[0]/2, c[1]/2
+			ts, te := TwoSum(hx, hy)
+			if hs != ts || he != te {
+				t.Errorf("AugmentedAdd(%g,%g): (%g,%g) vs scaled TwoSum (%g,%g)",
+					c[0], c[1], hs, he, ts, te)
+			}
+		}
+	}
+}
+
+func TestAugmentedAddAgreesWithTwoSum(t *testing.T) {
+	// On ordinary finite inputs the augmented operation is TwoSum.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200000; i++ {
+		x := math.Ldexp(rng.Float64()+0.5, rng.Intn(600)-300)
+		y := math.Ldexp(rng.Float64()+0.5, rng.Intn(600)-300)
+		if rng.Intn(2) == 0 {
+			y = -y
+		}
+		as, ae := AugmentedAdd(x, y)
+		ts, te := TwoSum(x, y)
+		if as != ts || ae != te {
+			t.Fatalf("AugmentedAdd(%g,%g) = (%g,%g), TwoSum gives (%g,%g)", x, y, as, ae, ts, te)
+		}
+	}
+}
+
+func TestAugmentedMulSpecials(t *testing.T) {
+	inf := math.Inf(1)
+	p, e := AugmentedMul(inf, 2)
+	if !math.IsInf(p, 1) || !math.IsInf(e, 1) {
+		t.Errorf("Inf·2 = (%g,%g)", p, e)
+	}
+	p, e = AugmentedMul(inf, 0)
+	if !math.IsNaN(p) || !math.IsNaN(e) {
+		t.Errorf("Inf·0 = (%g,%g)", p, e)
+	}
+	// Signed zero products keep their sign.
+	p, e = AugmentedMul(math.Copysign(0, -1), 3)
+	if !math.Signbit(p) || e != 0 {
+		t.Errorf("-0·3 = (%g,%g)", p, e)
+	}
+	p, e = AugmentedMul(-3, 0)
+	if !math.Signbit(p) || e != 0 {
+		t.Errorf("-3·0 = (%g,%g)", p, e)
+	}
+}
+
+func TestAugmentedMulNearOverflow(t *testing.T) {
+	big := 0x1.fffffffffffffp+511 // just below 2^512
+	p, e := AugmentedMul(big, big)
+	if math.IsNaN(p) || math.IsNaN(e) {
+		t.Errorf("near-overflow product: (%g,%g)", p, e)
+	}
+	if !math.IsInf(p, 0) && e != 0 {
+		// Residual must reproduce the exact product at half scale.
+		hp := p * 0.5
+		he := e * 0.5
+		tp, te := TwoProd(big*0.5, big)
+		if hp != tp || he != te {
+			t.Errorf("augmented residual mismatch: (%g,%g) vs (%g,%g)", hp, he, tp, te)
+		}
+	}
+}
+
+func TestAugmentedMulAgreesWithTwoProd(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200000; i++ {
+		x := math.Ldexp(rng.Float64()+0.5, rng.Intn(300)-150)
+		y := math.Ldexp(rng.Float64()+0.5, rng.Intn(300)-150)
+		if rng.Intn(2) == 0 {
+			x = -x
+		}
+		ap, ae := AugmentedMul(x, y)
+		tp, te := TwoProd(x, y)
+		if ap != tp || ae != te {
+			t.Fatalf("AugmentedMul(%g,%g) = (%g,%g), TwoProd gives (%g,%g)", x, y, ap, ae, tp, te)
+		}
+	}
+}

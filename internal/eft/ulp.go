@@ -1,0 +1,52 @@
+package eft
+
+import "math"
+
+// Ulp64 returns the unit in the last place of x: the distance between x and
+// the next float64 of larger magnitude, for finite nonzero x. Ulp64(0) = 0.
+func Ulp64(x float64) float64 {
+	if x == 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	x = math.Abs(x)
+	next := math.Nextafter(x, math.Inf(1))
+	return next - x
+}
+
+// Ulp32 is Ulp64 for float32.
+func Ulp32(x float32) float32 {
+	if x == 0 {
+		return 0
+	}
+	x64 := float64(x)
+	if math.IsNaN(x64) || math.IsInf(x64, 0) {
+		return 0
+	}
+	if x < 0 {
+		x = -x
+	}
+	next := math.Nextafter32(x, float32(math.Inf(1)))
+	return next - x
+}
+
+// Ulp returns the unit in the last place generically.
+func Ulp[T Float](x T) T {
+	switch xv := any(x).(type) {
+	case float64:
+		return any(Ulp64(xv)).(T)
+	case float32:
+		return any(Ulp32(xv)).(T)
+	}
+	panic("eft: unreachable")
+}
+
+// Exponent returns the binary exponent e such that |x| ∈ [2^e, 2^(e+1)),
+// or the minimum int for x = 0.
+func Exponent[T Float](x T) int {
+	f := float64(x)
+	if f == 0 {
+		return math.MinInt32
+	}
+	_, e := math.Frexp(math.Abs(f))
+	return e - 1
+}

@@ -1,0 +1,73 @@
+package fpan
+
+import "fmt"
+
+// BuildAdd constructs an n-term addition FPAN from the regular family the
+// production networks are drawn from:
+//
+//	layer 1: a commutative TwoSum layer pairing (x_i, y_i), as in all of
+//	the paper's addition networks (§4.1); then, over the 2n intermediate
+//	values arranged in expected-magnitude order, a sequence of VecSum
+//	passes described by pattern: 'U' is a bottom-up pass (2n-1 TwoSum
+//	gates, accumulating magnitude toward the top), 'D' is a top-down
+//	error-propagation pass (2n-1 TwoSum gates, pushing rounding errors
+//	toward the bottom). Outputs are the top n positions; the bottom n
+//	positions are the discarded residues. There are no Add gates; every
+//	discard is a final residue.
+//
+// Size = n + len(pattern)·(2n-1). The production Add3 and Add4 networks
+// are instances of this family with the smallest pattern that passes
+// verification; see EXPERIMENTS.md.
+func BuildAdd(n int, pattern string) *Network {
+	if n < 2 {
+		panic("fpan: BuildAdd needs n >= 2")
+	}
+	net := &Network{
+		Name:     fmt.Sprintf("add%d[%s]", n, pattern),
+		NumWires: 2 * n,
+	}
+	for i := 0; i < n; i++ {
+		net.InputLabels = append(net.InputLabels, fmt.Sprintf("x%d", i), fmt.Sprintf("y%d", i))
+	}
+	for i := 0; i < n; i++ {
+		net.OutputLabels = append(net.OutputLabels, fmt.Sprintf("z%d", i))
+	}
+
+	// Commutative first layer: (a_i, b_i) = TwoSum(x_i, y_i) on wires
+	// (2i, 2i+1).
+	for i := 0; i < n; i++ {
+		net.Gates = append(net.Gates, Gate{Sum, 2 * i, 2*i + 1})
+	}
+
+	// Expected-magnitude order of the 2n values: a_0 (scale 1), then the
+	// same-scale pairs (a_1, b_0) at u, (a_2, b_1) at u², ..., and b_{n-1}
+	// at uⁿ. a_i lives on wire 2i, b_i on wire 2i+1.
+	seq := make([]int, 0, 2*n)
+	seq = append(seq, 0)
+	for i := 1; i < n; i++ {
+		seq = append(seq, 2*i, 2*(i-1)+1)
+	}
+	seq = append(seq, 2*(n-1)+1)
+
+	for _, p := range pattern {
+		switch p {
+		case 'U', 'u':
+			for i := len(seq) - 2; i >= 0; i-- {
+				net.Gates = append(net.Gates, Gate{Sum, seq[i], seq[i+1]})
+			}
+		case 'D', 'd':
+			for i := 0; i+1 < len(seq); i++ {
+				net.Gates = append(net.Gates, Gate{Sum, seq[i], seq[i+1]})
+			}
+		default:
+			panic("fpan: BuildAdd pattern must contain only 'U' and 'D'")
+		}
+	}
+
+	net.Outputs = append(net.Outputs, seq[:n]...)
+	net.ErrorBoundBits = BoundSpec{n, n}.Bits(P64)
+	if n == 2 {
+		net.ErrorBoundBits = BoundAdd2.Bits(P64)
+	}
+	return net
+}

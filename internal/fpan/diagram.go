@@ -1,0 +1,74 @@
+package fpan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Diagram renders the network in the paper's graphical notation (Figures
+// 2–7), as ASCII art: one horizontal wire per row, gates as vertical
+// connectors executed left to right.
+//
+//	x0 ──●──────  z0     TwoSum:     ●───●
+//	x1 ──●──────  z1     FastTwoSum: ●───▼
+//	                     Add:        ●───+   (error discarded at +)
+func Diagram(n *Network) string {
+	const gateWidth = 4
+	width := gateWidth * (len(n.Gates) + 1)
+	runeRows := make([][]rune, n.NumWires)
+	for i := range runeRows {
+		runeRows[i] = []rune(strings.Repeat("─", width))
+	}
+
+	for gi, g := range n.Gates {
+		col := gateWidth * (gi + 1)
+		top, bot := g.A, g.B
+		if top > bot {
+			top, bot = bot, top
+		}
+		var topMark, botMark rune
+		switch g.Kind {
+		case Sum:
+			topMark, botMark = '●', '●'
+		case FastSum:
+			// The arrowhead marks the wire whose operand must be the
+			// larger (the first operand, wire A).
+			if g.A == top {
+				topMark, botMark = '●', '▼'
+			} else {
+				topMark, botMark = '▼', '●'
+			}
+		case Add:
+			if g.A == top {
+				topMark, botMark = '●', '+'
+			} else {
+				topMark, botMark = '+', '●'
+			}
+		}
+		runeRows[top][col] = topMark
+		runeRows[bot][col] = botMark
+		for w := top + 1; w < bot; w++ {
+			runeRows[w][col] = '┼'
+		}
+	}
+
+	outLabel := make(map[int]string, len(n.Outputs))
+	for i, w := range n.Outputs {
+		outLabel[w] = n.OutputLabels[i]
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", n.String())
+	for w := 0; w < n.NumWires; w++ {
+		label := ""
+		if w < len(n.InputLabels) {
+			label = n.InputLabels[w]
+		}
+		fmt.Fprintf(&b, "%4s %s", label, string(runeRows[w]))
+		if out, ok := outLabel[w]; ok {
+			fmt.Fprintf(&b, " %s", out)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

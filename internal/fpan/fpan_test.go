@@ -1,0 +1,283 @@
+package fpan
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"multifloats/internal/eft"
+)
+
+func TestNetworksValidate(t *testing.T) {
+	for name, net := range All() {
+		if err := net.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if err := Add2Small().Validate(); err != nil {
+		t.Errorf("add2small: %v", err)
+	}
+}
+
+func TestNetworkMetrics(t *testing.T) {
+	cases := []struct {
+		net        *Network
+		size, deep int
+	}{
+		{Add2(), 6, 5},
+		{Add3(), 22, 11},
+		{Add4(), 37, 19},
+		{Mul2(), 3, 3},
+		{Mul3(), 12, 7},
+		{Mul4(), 26, 10},
+	}
+	for _, c := range cases {
+		if got := c.net.Size(); got != c.size {
+			t.Errorf("%s: size %d, want %d", c.net.Name, got, c.size)
+		}
+		if got := c.net.Depth(); got != c.deep {
+			t.Errorf("%s: depth %d, want %d", c.net.Name, got, c.deep)
+		}
+	}
+}
+
+func TestRunSimpleSums(t *testing.T) {
+	add2 := Add2()
+	// (1 + 2^-60) + (3 + 2^-70)
+	out := Run(add2, []float64{1, 3, 0x1p-60, 0x1p-70})
+	if out[0] != 4 {
+		t.Errorf("z0 = %g, want 4", out[0])
+	}
+	want := 0x1p-60 + 0x1p-70
+	if out[1] != want {
+		t.Errorf("z1 = %g, want %g", out[1], want)
+	}
+}
+
+func TestRunZeroInputs(t *testing.T) {
+	for name, net := range All() {
+		in := make([]float64, net.NumWires)
+		out := Run(net, in)
+		for i, z := range out {
+			if z != 0 {
+				t.Errorf("%s: output %d = %g on zero input", name, i, z)
+			}
+		}
+	}
+}
+
+func TestRunExactCancellation(t *testing.T) {
+	add3 := Add3()
+	x := []float64{1.5, 0x1p-55, -0x1p-120}
+	in := []float64{x[0], -x[0], x[1], -x[1], x[2], -x[2]}
+	out := Run(add3, in)
+	for i, z := range out {
+		if z != 0 {
+			t.Errorf("z%d = %g, want exact 0", i, z)
+		}
+	}
+}
+
+func TestCommutativity(t *testing.T) {
+	// Swapping the x and y expansions must not change any output
+	// (the paper's commutativity property, §4.1).
+	nets := map[int]*Network{2: Add2(), 3: Add3(), 4: Add4()}
+	f := func(a, b, c, d, e, g float64) bool {
+		for n, net := range nets {
+			x := []float64{a, norm(b, a), norm(c, norm(b, a)), 0}[:n]
+			y := []float64{d, norm(e, d), norm(g, norm(e, d)), 0}[:n]
+			in1 := make([]float64, 0, 2*n)
+			in2 := make([]float64, 0, 2*n)
+			for i := 0; i < n; i++ {
+				in1 = append(in1, x[i], y[i])
+				in2 = append(in2, y[i], x[i])
+			}
+			o1 := Run(net, in1)
+			o2 := Run(net, in2)
+			for i := range o1 {
+				if o1[i] != o2[i] && !(math.IsNaN(o1[i]) && math.IsNaN(o2[i])) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 5000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// norm clamps v to be nonoverlapping below prev (test helper).
+func norm(v, prev float64) float64 {
+	if prev == 0 || math.IsNaN(v) || math.IsInf(v, 0) || math.IsNaN(prev) || math.IsInf(prev, 0) {
+		return 0
+	}
+	u := eft.Ulp64(prev)
+	for math.Abs(v) > u/2 && v != 0 {
+		v /= 4
+	}
+	if math.Abs(v) < 0x1p-1000 {
+		return 0
+	}
+	return v
+}
+
+func TestMulInputsCount(t *testing.T) {
+	// The expansion step produces exactly n² FPAN inputs (§4.2).
+	x := []float64{1.5, 0x1p-54, 0x1p-110, 0x1p-165}
+	y := []float64{2.25, 0x1p-53, 0x1p-109, 0x1p-164}
+	for n := 2; n <= 4; n++ {
+		in := MulInputs(n, x[:n], y[:n])
+		if len(in) != n*n {
+			t.Errorf("n=%d: %d inputs, want %d", n, len(in), n*n)
+		}
+	}
+}
+
+func TestMulInputsMatchNetworks(t *testing.T) {
+	for n := 2; n <= 4; n++ {
+		net := ByName(map[int]string{2: "mul2", 3: "mul3", 4: "mul4"}[n])
+		if net.NumWires != n*n {
+			t.Errorf("mul%d: %d wires, want %d", n, net.NumWires, n*n)
+		}
+	}
+}
+
+func TestRunFloat32(t *testing.T) {
+	// The generic executor works on float32 too (the GPU base type, §5).
+	add2 := Add2()
+	out := Run(add2, []float32{1, 2, 0x1p-30, 0x1p-35})
+	if out[0] != 3 {
+		t.Errorf("z0 = %g, want 3", out[0])
+	}
+	if out[1] != 0x1p-30+0x1p-35 {
+		t.Errorf("z1 = %g", out[1])
+	}
+}
+
+func TestDepthOfEmptyAndSingle(t *testing.T) {
+	n := &Network{Name: "t", NumWires: 2, InputLabels: []string{"a", "b"},
+		OutputLabels: []string{"z"}, Outputs: []int{0}}
+	if n.Depth() != 0 {
+		t.Error("empty network depth should be 0")
+	}
+	n.Gates = []Gate{{Sum, 0, 1}}
+	if n.Depth() != 1 {
+		t.Error("single gate depth should be 1")
+	}
+}
+
+func TestValidateRejectsBadNetworks(t *testing.T) {
+	bad := []*Network{
+		{Name: "w0", NumWires: 0},
+		{Name: "self", NumWires: 2, InputLabels: []string{"a", "b"},
+			Gates: []Gate{{Sum, 1, 1}}},
+		{Name: "range", NumWires: 2, InputLabels: []string{"a", "b"},
+			Gates: []Gate{{Sum, 0, 5}}},
+		{Name: "dupout", NumWires: 2, InputLabels: []string{"a", "b"},
+			OutputLabels: []string{"z0", "z1"}, Outputs: []int{0, 0}},
+	}
+	for _, n := range bad {
+		if err := n.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", n.Name)
+		}
+	}
+}
+
+func TestFLOPCounts(t *testing.T) {
+	// Per-gate FLOP accounting: TwoSum 6, FastTwoSum 3, Add 1.
+	if got := Mul2().FLOPs(); got != 1+1+3 {
+		t.Errorf("mul2 FLOPs = %d, want 5", got)
+	}
+	if got := Add2().FLOPs(); got != 6+6+1+3+1+3 {
+		t.Errorf("add2 FLOPs = %d, want 20", got)
+	}
+}
+
+func TestDiagramRenders(t *testing.T) {
+	for name, net := range All() {
+		d := Diagram(net)
+		if !strings.Contains(d, name) {
+			t.Errorf("%s: diagram missing name", name)
+		}
+		lines := strings.Split(strings.TrimRight(d, "\n"), "\n")
+		if len(lines) != net.NumWires+1 {
+			t.Errorf("%s: diagram has %d lines, want %d", name, len(lines), net.NumWires+1)
+		}
+		for _, lbl := range net.OutputLabels {
+			if !strings.Contains(d, lbl) {
+				t.Errorf("%s: diagram missing output label %s", name, lbl)
+			}
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := Add2()
+	b := a.Clone()
+	b.Gates[0].Kind = Add
+	b.Outputs[0] = 1
+	if a.Gates[0].Kind == Add || a.Outputs[0] == 1 {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func BenchmarkRunAdd2(b *testing.B) {
+	net := Add2()
+	in := []float64{1, 0.5, 0x1p-60, 0x1p-61}
+	w := make([]float64, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(w, in)
+		RunInPlace(net, w)
+	}
+}
+
+func BenchmarkRunAdd4(b *testing.B) {
+	net := Add4()
+	in := []float64{1, 0.5, 0x1p-60, 0x1p-61, 0x1p-120, 0x1p-121, 0x1p-180, 0x1p-181}
+	w := make([]float64, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(w, in)
+		RunInPlace(net, w)
+	}
+}
+
+func TestSimplifyRemovesDeadGates(t *testing.T) {
+	// Append gates on wires that never reach the outputs.
+	n := Add2()
+	n.Gates = append(n.Gates, Gate{Sum, 1, 2}) // wires 1,2 are not outputs
+	simp := Simplify(n)
+	if simp.Size() != Add2().Size() {
+		t.Errorf("Simplify left %d gates, want %d", simp.Size(), Add2().Size())
+	}
+	// Behaviour is unchanged on sample inputs.
+	inputs := [][]float64{
+		{1, 0.5, 0x1p-60, 0x1p-61},
+		{1, -1, 0x1p-55, -0x1p-55},
+		{3.5, -1.25, 0x1p-70, 0},
+	}
+	if !EquivalentOn(n, simp, inputs) {
+		t.Error("Simplify changed behaviour")
+	}
+}
+
+func TestSimplifyKeepsLiveNetworksIntact(t *testing.T) {
+	for name, net := range All() {
+		simp := Simplify(net)
+		if simp.Size() != net.Size() {
+			t.Errorf("%s: production network had dead gates (%d -> %d)",
+				name, net.Size(), simp.Size())
+		}
+	}
+	// The discovered networks are also fully live.
+	for _, net := range []*Network{Add2Discovered(), Add3Discovered(), Add4Discovered(), Mul3DiscoveredC()} {
+		simp := Simplify(net)
+		if simp.Size() != net.Size() {
+			t.Errorf("%s: dead gates (%d -> %d)", net.Name, net.Size(), simp.Size())
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package fpan
+
+import "multifloats/internal/eft"
+
+// This file implements the "initial expansion step" of FPAN-based
+// multiplication (paper §4.2): the exact product xy of two n-term
+// expansions is rewritten as a sum of machine numbers using TwoProd, with
+// the paper's term-dropping optimization. Terms p_{i,j} with i+j ≥ n and
+// error terms e_{i,j} with i+j+1 ≥ n fall below the significance threshold
+// 2^(ex+ey-n(p+1)) and are dropped, leaving n(n-1)/2 TwoProd operations
+// plus n plain products — exactly n² FPAN inputs.
+
+// MulInputs2 computes the 4 FPAN inputs for Mul2:
+// p00, e00, c01 = x0⊗y1, c10 = x1⊗y0.
+func MulInputs2[T eft.Float](x0, x1, y0, y1 T) (in [4]T) {
+	in[0], in[1] = eft.TwoProd(x0, y0)
+	in[2] = x0 * y1
+	in[3] = x1 * y0
+	return in
+}
+
+// MulInputs3 computes the 9 FPAN inputs for Mul3:
+// p00,e00; p01,p10,e01,e10; c02,c11,c20.
+func MulInputs3[T eft.Float](x0, x1, x2, y0, y1, y2 T) (in [9]T) {
+	in[0], in[1] = eft.TwoProd(x0, y0)
+	in[2], in[4] = eft.TwoProd(x0, y1)
+	in[3], in[5] = eft.TwoProd(x1, y0)
+	in[6] = x0 * y2
+	in[7] = x1 * y1
+	in[8] = x2 * y0
+	return in
+}
+
+// MulInputs4 computes the 16 FPAN inputs for Mul4:
+// p00,e00; p01,p10,e01,e10; p02,p20,p11,e02,e20,e11; c03,c12,c21,c30.
+func MulInputs4[T eft.Float](x0, x1, x2, x3, y0, y1, y2, y3 T) (in [16]T) {
+	in[0], in[1] = eft.TwoProd(x0, y0)
+	in[2], in[4] = eft.TwoProd(x0, y1)
+	in[3], in[5] = eft.TwoProd(x1, y0)
+	in[6], in[9] = eft.TwoProd(x0, y2)
+	in[7], in[10] = eft.TwoProd(x2, y0)
+	in[8], in[11] = eft.TwoProd(x1, y1)
+	in[12] = x0 * y3
+	in[13] = x1 * y2
+	in[14] = x2 * y1
+	in[15] = x3 * y0
+	return in
+}
+
+// MulInputs computes the FPAN input vector for an n-term multiplication,
+// n ∈ {2,3,4}, from slices of length n.
+func MulInputs[T eft.Float](n int, x, y []T) []T {
+	switch n {
+	case 2:
+		in := MulInputs2(x[0], x[1], y[0], y[1])
+		return in[:]
+	case 3:
+		in := MulInputs3(x[0], x[1], x[2], y[0], y[1], y[2])
+		return in[:]
+	case 4:
+		in := MulInputs4(x[0], x[1], x[2], x[3], y[0], y[1], y[2], y[3])
+		return in[:]
+	}
+	panic("fpan: MulInputs supports n = 2, 3, 4")
+}

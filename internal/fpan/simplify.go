@@ -1,0 +1,74 @@
+package fpan
+
+// Network simplification: backward liveness analysis removing gates whose
+// results cannot influence any output. Search-produced networks often
+// carry such dead gates; Simplify normalizes them before size comparison.
+//
+// A gate is live if, at its position, either of the wires it writes is
+// live downstream. Both outputs of a TwoSum/FastTwoSum gate are written;
+// an Add gate writes its A wire and zeroes its B wire (so B's downstream
+// liveness keeps an Add gate live too: it changes B to 0).
+
+// Simplify returns a copy of the network with dead gates removed.
+func Simplify(n *Network) *Network {
+	out := n.Clone()
+	for {
+		live := liveGates(out)
+		kept := out.Gates[:0]
+		removed := false
+		for i, g := range out.Gates {
+			if live[i] {
+				kept = append(kept, g)
+			} else {
+				removed = true
+			}
+		}
+		out.Gates = kept
+		if !removed {
+			return out
+		}
+	}
+}
+
+// liveGates marks each gate whose effect can reach an output.
+func liveGates(n *Network) []bool {
+	live := make([]bool, len(n.Gates))
+	wireLive := make([]bool, n.NumWires)
+	for _, w := range n.Outputs {
+		wireLive[w] = true
+	}
+	for i := len(n.Gates) - 1; i >= 0; i-- {
+		g := n.Gates[i]
+		gateLive := wireLive[g.A] || wireLive[g.B]
+		live[i] = gateLive
+		if gateLive {
+			// The gate reads both wires, so both are live upstream.
+			wireLive[g.A] = true
+			wireLive[g.B] = true
+		}
+	}
+	return live
+}
+
+// EquivalentOn reports whether two networks produce bit-identical outputs
+// on every input vector in the given set (a cheap behavioural check used
+// by tests and the search tooling; it is not a proof of equivalence).
+func EquivalentOn(a, b *Network, inputs [][]float64) bool {
+	if a.NumWires != b.NumWires || len(a.Outputs) != len(b.Outputs) {
+		return false
+	}
+	wa := make([]float64, a.NumWires)
+	wb := make([]float64, b.NumWires)
+	for _, in := range inputs {
+		copy(wa, in)
+		copy(wb, in)
+		RunInPlace(a, wa)
+		RunInPlace(b, wb)
+		for i := range a.Outputs {
+			if wa[a.Outputs[i]] != wb[b.Outputs[i]] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,93 @@
+package fpan
+
+import "fmt"
+
+// This file builds addition FPANs structured as sorting networks, following
+// the paper's observation (§6) that FPANs are close relatives of sorting
+// networks: a TwoSum gate acts as a magnitude compare-exchange that also
+// normalizes the pair (lead on the first wire, nonoverlapping error on the
+// second). Arranging TwoSum gates in a sorting-network pattern moves values
+// long distances in few layers, which is exactly what deep-cancellation
+// inputs require (a VecSum pass only advances a stranded low-order value by
+// one position per pass).
+//
+// With interleaved inputs (x0,y0,x1,y1,...) the first comparator layer of
+// the odd-even network is precisely the paper's commutative TwoSum layer
+// pairing (x_i, y_i).
+
+// sortPairs returns the compare-exchange sequence of a sorting network for
+// k inputs (k = 4, 6, or 8), using known size-optimal networks.
+func sortPairs(k int) [][2]int {
+	switch k {
+	case 4:
+		return [][2]int{
+			{0, 1}, {2, 3},
+			{0, 2}, {1, 3},
+			{1, 2},
+		}
+	case 6:
+		// First layer rewritten to pair adjacent wires so that it
+		// coincides with the commutative (x_i, y_i) layer.
+		return [][2]int{
+			{0, 1}, {2, 3}, {4, 5},
+			{0, 2}, {3, 5}, {1, 4},
+			{0, 1}, {2, 3}, {4, 5},
+			{1, 2}, {3, 4},
+			{2, 3},
+		}
+	case 8:
+		// Batcher odd-even mergesort, 19 comparators, depth 6.
+		return [][2]int{
+			{0, 1}, {2, 3}, {4, 5}, {6, 7},
+			{0, 2}, {1, 3}, {4, 6}, {5, 7},
+			{1, 2}, {5, 6},
+			{0, 4}, {1, 5}, {2, 6}, {3, 7},
+			{2, 4}, {3, 5},
+			{1, 2}, {3, 4}, {5, 6},
+		}
+	}
+	panic(fmt.Sprintf("fpan: no sorting network for %d inputs", k))
+}
+
+// BuildAddSort constructs an n-term addition FPAN as a TwoSum sorting
+// network over the 2n interleaved inputs, followed by the finishing VecSum
+// passes given by pattern ('U' bottom-up, 'D' top-down, as in BuildAdd).
+// Outputs are wires 0..n-1.
+func BuildAddSort(n int, pattern string) *Network {
+	if n < 2 || n > 4 {
+		panic("fpan: BuildAddSort supports n = 2, 3, 4")
+	}
+	net := &Network{
+		Name:     fmt.Sprintf("add%d[S%s]", n, pattern),
+		NumWires: 2 * n,
+	}
+	for i := 0; i < n; i++ {
+		net.InputLabels = append(net.InputLabels, fmt.Sprintf("x%d", i), fmt.Sprintf("y%d", i))
+	}
+	for i := 0; i < n; i++ {
+		net.OutputLabels = append(net.OutputLabels, fmt.Sprintf("z%d", i))
+		net.Outputs = append(net.Outputs, i)
+	}
+	for _, p := range sortPairs(2 * n) {
+		net.Gates = append(net.Gates, Gate{Sum, p[0], p[1]})
+	}
+	for _, p := range pattern {
+		switch p {
+		case 'U', 'u':
+			for i := 2*n - 2; i >= 0; i-- {
+				net.Gates = append(net.Gates, Gate{Sum, i, i + 1})
+			}
+		case 'D', 'd':
+			for i := 0; i+1 < 2*n; i++ {
+				net.Gates = append(net.Gates, Gate{Sum, i, i + 1})
+			}
+		default:
+			panic("fpan: BuildAddSort pattern must contain only 'U' and 'D'")
+		}
+	}
+	net.ErrorBoundBits = BoundSpec{n, n}.Bits(P64)
+	if n == 2 {
+		net.ErrorBoundBits = BoundAdd2.Bits(P64)
+	}
+	return net
+}

@@ -1,0 +1,171 @@
+package fpan
+
+import (
+	"math"
+	"math/big"
+
+	"multifloats/internal/eft"
+)
+
+// Trace is the result of an instrumented network execution. It records
+// everything the paper's correctness conditions quantify over (§3):
+// the discarded error terms and the FastTwoSum precondition.
+type Trace struct {
+	Outputs []float64
+	// Discarded holds the exact rounding error lost at each Add gate, in
+	// gate order (zero-valued entries for Sum/FastSum gates).
+	Discarded []float64
+	// FastSumLost holds, per gate, the exact amount lost by a FastTwoSum
+	// whose precondition was violated: (a+b) - (s+e). Zero when the gate
+	// was exact.
+	FastSumLost []float64
+	// PreconditionViolations counts FastTwoSum gates executed with
+	// exponent(A) < exponent(B) and both operands nonzero. A violation is
+	// only *harmful* if FastSumLost is nonzero for that gate.
+	PreconditionViolations int
+}
+
+// RunTraced executes the network on float64 inputs with full instrumentation.
+func RunTraced(n *Network, in []float64) *Trace {
+	w := make([]float64, len(in))
+	copy(w, in)
+	tr := &Trace{
+		Discarded:   make([]float64, len(n.Gates)),
+		FastSumLost: make([]float64, len(n.Gates)),
+	}
+	for i, g := range n.Gates {
+		a, b := w[g.A], w[g.B]
+		switch g.Kind {
+		case Add:
+			s, e := eft.TwoSum(a, b)
+			w[g.A] = s
+			w[g.B] = 0
+			tr.Discarded[i] = e
+		case Sum:
+			w[g.A], w[g.B] = eft.TwoSum(a, b)
+		case FastSum:
+			s, e := eft.FastTwoSum(a, b)
+			if a != 0 && b != 0 && eft.Exponent(a) < eft.Exponent(b) {
+				tr.PreconditionViolations++
+				// Exact loss: (a+b) - (s+e), computed via TwoSum.
+				_, trueErr := eft.TwoSum(a, b)
+				// s is identical in both algorithms; only e differs.
+				tr.FastSumLost[i] = trueErr - e // exact: both ≤ ulp(s)/2-scale
+			}
+			w[g.A], w[g.B] = s, e
+		}
+	}
+	tr.Outputs = make([]float64, len(n.Outputs))
+	for i, idx := range n.Outputs {
+		tr.Outputs[i] = w[idx]
+	}
+	return tr
+}
+
+// ExactSum returns the exact sum of xs as a big.Float with generous
+// precision.
+func ExactSum(xs []float64) *big.Float {
+	acc := new(big.Float).SetPrec(2048)
+	tmp := new(big.Float).SetPrec(2048)
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		acc.Add(acc, tmp.SetFloat64(x))
+	}
+	return acc
+}
+
+// CheckResult is the verdict of CheckCase.
+type CheckResult struct {
+	// ErrBits is -log2 of the relative deviation |Σout - Σin| / |Σin|,
+	// or +Inf when the deviation is zero. Large is good.
+	ErrBits float64
+	// BoundOK reports ErrBits ≥ n.ErrorBoundBits (or exact).
+	BoundOK bool
+	// StrictNonOverlap: |z_{i+1}| ≤ ulp(z_i)/2 for all i (paper Eq. 8).
+	StrictNonOverlap bool
+	// UlpNonOverlap: |z_{i+1}| ≤ ulp(z_i) for all i (CAMPARY's weaker
+	// invariant, losing at most one bit of the precision claim).
+	UlpNonOverlap bool
+	// WeakNonOverlap: |z_{i+1}| ≤ 2·ulp(z_i) for all i. This is the
+	// library's closed invariant: branch-free renormalization chains can
+	// exceed the ulp boundary by one rounding (ulp·(1+2^-p+1)) in rare
+	// tie cases, so the fixed point that is provably preserved with wide
+	// margin is the 2·ulp band. Costs at most one further bit of the
+	// per-term precision claim relative to CAMPARY's invariant.
+	WeakNonOverlap bool
+	// PreconditionHarm: a FastTwoSum precondition violation actually lost
+	// a nonzero amount.
+	PreconditionHarm bool
+	Outputs          []float64
+}
+
+// CheckCase runs the network on one input vector and evaluates the paper's
+// two correctness conditions (§3): the discarded-error bound and the
+// nonoverlapping invariant on the outputs.
+func CheckCase(n *Network, in []float64) CheckResult {
+	tr := RunTraced(n, in)
+	res := CheckResult{Outputs: tr.Outputs}
+
+	exactIn := ExactSum(in)
+	exactOut := ExactSum(tr.Outputs)
+	diff := new(big.Float).SetPrec(2048).Sub(exactIn, exactOut)
+
+	if diff.Sign() == 0 {
+		res.ErrBits = math.Inf(1)
+		res.BoundOK = true
+	} else if exactIn.Sign() == 0 {
+		// Nonzero deviation from an exactly-zero sum: unbounded relative
+		// error. The paper's bound 2^-q·|Σin| = 0 requires exactness.
+		res.ErrBits = math.Inf(-1)
+		res.BoundOK = false
+	} else {
+		rel := new(big.Float).SetPrec(2048).Quo(
+			new(big.Float).Abs(diff),
+			new(big.Float).SetPrec(2048).Abs(exactIn))
+		f, _ := rel.Float64()
+		res.ErrBits = -math.Log2(f)
+		res.BoundOK = res.ErrBits >= float64(n.ErrorBoundBits)
+	}
+
+	res.StrictNonOverlap, res.UlpNonOverlap, res.WeakNonOverlap = NonOverlap(tr.Outputs)
+
+	for _, lost := range tr.FastSumLost {
+		if lost != 0 {
+			res.PreconditionHarm = true
+			break
+		}
+	}
+	return res
+}
+
+// NonOverlap reports whether the expansion z satisfies the strict
+// (|z_{i+1}| ≤ ulp(z_i)/2, paper Eq. 8), ulp (|z_{i+1}| ≤ ulp(z_i),
+// CAMPARY), and weak (|z_{i+1}| ≤ 2·ulp(z_i), this library's closed
+// invariant) nonoverlapping conditions. Interior zero terms are skipped:
+// each nonzero term is compared against the previous nonzero term
+// (Shewchuk's convention for expansions with zeros).
+func NonOverlap(z []float64) (strict, ulp, weak bool) {
+	strict, ulp, weak = true, true, true
+	prev := 0.0
+	for _, lo := range z {
+		if lo == 0 {
+			continue
+		}
+		if prev != 0 {
+			u := eft.Ulp64(prev)
+			if math.Abs(lo) > 2*u {
+				weak = false
+			}
+			if math.Abs(lo) > u {
+				ulp = false
+			}
+			if math.Abs(lo) > u/2 {
+				strict = false
+			}
+		}
+		prev = lo
+	}
+	return strict, ulp, weak
+}

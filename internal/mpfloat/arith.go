@@ -1,0 +1,297 @@
+package mpfloat
+
+// Addition, subtraction, and multiplication with correct round-to-nearest-
+// even rounding. These operations carry the full conditional apparatus the
+// paper's §2.2 describes — operand swapping, exponent alignment, sticky-bit
+// collection, borrow normalization after cancellation — which is the
+// structural reason limb-based libraries vectorize poorly.
+
+// Add sets z = x + y (RNE at z's precision) and returns z.
+func (z *Float) Add(x, y *Float) *Float {
+	switch {
+	case x.form == nan || y.form == nan:
+		z.form = nan
+		return z
+	case x.form == inf && y.form == inf:
+		if x.neg != y.neg {
+			z.form = nan
+			return z
+		}
+		z.form, z.neg = inf, x.neg
+		return z
+	case x.form == inf:
+		z.form, z.neg = inf, x.neg
+		return z
+	case y.form == inf:
+		z.form, z.neg = inf, y.neg
+		return z
+	case x.form == zero:
+		return z.Set(y)
+	case y.form == zero:
+		return z.Set(x)
+	}
+	if x.neg == y.neg {
+		neg := x.neg
+		z.addAbs(x, y)
+		if z.form == finite || z.form == inf {
+			z.neg = neg
+		}
+		return z
+	}
+	// Opposite signs: subtract the smaller magnitude from the larger.
+	switch x.cmpAbs(y) {
+	case 0:
+		return z.setZero(false)
+	case 1:
+		neg := x.neg
+		z.subAbs(x, y)
+		if z.form == finite {
+			z.neg = neg
+		}
+	default:
+		neg := y.neg
+		z.subAbs(y, x)
+		if z.form == finite {
+			z.neg = neg
+		}
+	}
+	return z
+}
+
+// Sub sets z = x - y and returns z.
+func (z *Float) Sub(x, y *Float) *Float {
+	my := *y
+	my.neg = !my.neg
+	return z.Add(x, &my)
+}
+
+// Neg sets z = -x.
+func (z *Float) Neg(x *Float) *Float {
+	z.Set(x)
+	if z.form == finite || z.form == inf {
+		z.neg = !z.neg
+	}
+	return z
+}
+
+// Abs sets z = |x|.
+func (z *Float) Abs(x *Float) *Float {
+	z.Set(x)
+	if z.form == finite || z.form == inf {
+		z.neg = false
+	}
+	return z
+}
+
+// workLen returns the working limb count for an operation on x and y at
+// z's precision: the widest operand plus one guard limb.
+func (z *Float) workLen(x, y *Float) int {
+	n := len(z.mant)
+	if len(x.mant) > n {
+		n = len(x.mant)
+	}
+	if len(y.mant) > n {
+		n = len(y.mant)
+	}
+	return n + 1
+}
+
+// place copies f's significand into the top limbs of a working buffer.
+func place(buf []uint64, f *Float) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	copy(buf[len(buf)-len(f.mant):], f.mant)
+}
+
+// addAbs sets z = |x| + |y|.
+func (z *Float) addAbs(x, y *Float) {
+	if x.exp < y.exp {
+		x, y = y, x
+	}
+	wl := z.workLen(x, y)
+	bx := make([]uint64, wl)
+	by := make([]uint64, wl)
+	place(bx, x)
+	place(by, y)
+	d := x.exp - y.exp
+	sticky := false
+	if d > 0 {
+		sticky = shrSticky(by, int(min64(d, int64(wl*64+1))))
+	}
+	exp := x.exp
+	if addVV(bx, by) != 0 {
+		// Carry out: shift right one bit, capturing the lost bit.
+		if bx[0]&1 != 0 {
+			sticky = true
+		}
+		shrSticky(bx, 1)
+		bx[wl-1] |= 1 << 63
+		exp++
+	}
+	z.form = finite
+	z.exp = exp
+	z.takeRounded(bx, sticky)
+}
+
+// subAbs sets z = |x| - |y|, requiring |x| > |y|.
+func (z *Float) subAbs(x, y *Float) {
+	wl := z.workLen(x, y)
+	bx := make([]uint64, wl)
+	by := make([]uint64, wl)
+	place(bx, x)
+	place(by, y)
+	d := x.exp - y.exp
+	sticky := false
+	if d > 0 {
+		sticky = shrSticky(by, int(min64(d, int64(wl*64+1))))
+	}
+	subVV(bx, by)
+	if sticky {
+		// The true value is bx - frac with frac ∈ (0,1) bottom units:
+		// replace by (bx-1) + (1-frac) so the sticky bit points the
+		// right way for rounding.
+		borrowOne(bx)
+	}
+	if isZeroV(bx) {
+		if sticky {
+			// Cannot happen: |x| > |y| guarantees a nonzero difference
+			// at this resolution when sticky is set (d ≥ 1 keeps the
+			// top bit of x).
+			panic("mpfloat: subAbs underflow")
+		}
+		z.setZero(false)
+		return
+	}
+	// Renormalize after cancellation. When sticky is set the shift is at
+	// most one bit (cancellation beyond one bit implies d ≤ 1, which
+	// collects no sticky since the guard limb holds the entire shift).
+	s := nlz(bx)
+	if s > 0 {
+		shlV(bx, s)
+	}
+	z.form = finite
+	z.exp = x.exp - int64(s)
+	z.takeRounded(bx, sticky)
+}
+
+// takeRounded moves a normalized working significand into z, rounding to
+// z's precision (RNE) inside the working buffer so that guard bits in the
+// extra limb participate correctly even when the precision is an exact
+// multiple of the word size.
+func (z *Float) takeRounded(buf []uint64, sticky bool) {
+	nl := len(z.mant)
+	wl := len(buf)
+	if wl < nl {
+		// Widen: no rounding needed beyond the incoming sticky, which is
+		// strictly below the lowest buffer bit and therefore truncates.
+		for i := range z.mant {
+			z.mant[i] = 0
+		}
+		copy(z.mant[nl-wl:], buf)
+		z.roundNormalized(sticky)
+		return
+	}
+	if isZeroV(buf) && !sticky {
+		z.setZero(z.neg)
+		return
+	}
+	drop := uint(wl*64) - uint(z.prec)
+	if drop > 0 {
+		g := bitAt(buf, drop-1)
+		below := sticky || anyBitsBelow(buf, drop-1)
+		lsb := bitAt(buf, drop)
+		clearLow(buf, drop)
+		if g && (below || lsb) {
+			if addBitAt(buf, drop) != 0 {
+				buf[wl-1] = 1 << 63
+				for i := 0; i < wl-1; i++ {
+					buf[i] = 0
+				}
+				z.exp++
+			}
+		}
+	}
+	copy(z.mant, buf[wl-nl:])
+	if isZeroV(z.mant) {
+		z.setZero(z.neg)
+	}
+}
+
+// borrowOne subtracts 1 from the bottom of the vector.
+func borrowOne(a []uint64) {
+	for i := range a {
+		old := a[i]
+		a[i]--
+		if old != 0 {
+			return
+		}
+	}
+}
+
+// shlV shifts left by s bits (s may exceed 64).
+func shlV(a []uint64, s int) {
+	words := s / 64
+	rem := uint(s % 64)
+	if words > 0 {
+		n := len(a)
+		for i := n - 1; i >= words; i-- {
+			a[i] = a[i-words]
+		}
+		for i := 0; i < words; i++ {
+			a[i] = 0
+		}
+	}
+	if rem > 0 {
+		shl(a, rem)
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Mul sets z = x · y (RNE at z's precision) and returns z.
+func (z *Float) Mul(x, y *Float) *Float {
+	switch {
+	case x.form == nan || y.form == nan:
+		z.form = nan
+		return z
+	case x.form == inf || y.form == inf:
+		if x.form == zero || y.form == zero {
+			z.form = nan
+			return z
+		}
+		z.form = inf
+		z.neg = x.neg != y.neg
+		return z
+	case x.form == zero || y.form == zero:
+		return z.setZero(x.neg != y.neg)
+	}
+	neg := x.neg != y.neg
+	prod := make([]uint64, len(x.mant)+len(y.mant))
+	mulVV(prod, x.mant, y.mant)
+	exp := x.exp + y.exp
+	// Significands are in [1/4, 1): renormalize at most one bit.
+	if s := nlz(prod); s > 0 {
+		shlV(prod, s)
+		exp -= int64(s)
+	}
+	z.form = finite
+	z.exp = exp
+	z.takeRounded(prod, false)
+	z.neg = neg
+	return z
+}
+
+// MulPow2 sets z = x · 2^k exactly.
+func (z *Float) MulPow2(x *Float, k int) *Float {
+	z.Set(x)
+	if z.form == finite {
+		z.exp += int64(k)
+	}
+	return z
+}

@@ -1,0 +1,125 @@
+package mpfloat
+
+import "math"
+
+// Division and square root by Newton–Raphson iteration at an extended
+// working precision of prec+64 bits, seeded from a 53-bit machine
+// approximation of the top limb, then upgraded to correct RNE rounding by
+// the exact remainder/boundary checks of exact.go — the full MPFR
+// contract.
+
+// guardBits is the extra working precision for Newton iterations.
+const guardBits = 64
+
+// topFrac returns the leading significand of f as a float64 in [1/2, 1).
+func (f *Float) topFrac() float64 {
+	return float64(f.mant[len(f.mant)-1]>>11) * 0x1p-53
+}
+
+// Quo sets z = x / y and returns z.
+func (z *Float) Quo(x, y *Float) *Float {
+	switch {
+	case x.form == nan || y.form == nan,
+		x.form == inf && y.form == inf,
+		x.form == zero && y.form == zero:
+		z.form = nan
+		return z
+	case x.form == inf:
+		z.form, z.neg = inf, x.neg != y.neg
+		return z
+	case y.form == inf:
+		return z.setZero(x.neg != y.neg)
+	case x.form == zero:
+		return z.setZero(x.neg != y.neg)
+	case y.form == zero:
+		z.form, z.neg = inf, x.neg != y.neg
+		return z
+	}
+	wprec := uint(z.prec) + guardBits
+	r := recipNewton(y, wprec)
+	q := New(wprec).Mul(x, r)
+	// One final correction: q += r·(x - y·q), recovering the bits the
+	// truncated reciprocal missed.
+	t := New(wprec).Mul(y, q)
+	rres := New(wprec).Sub(x, t)
+	corr := New(wprec).Mul(r, rres)
+	q = New(wprec).Add(q, corr)
+	z.Set(q)
+	// Upgrade the faithful Newton result to correct RNE rounding via an
+	// exact remainder check (internal/mpfloat/exact.go).
+	z.correctQuo(x, y)
+	return z
+}
+
+// recipNewton computes 1/y at the given working precision.
+func recipNewton(y *Float, wprec uint) *Float {
+	// Iterate on |y| and restore the sign at the end.
+	ay := *y
+	ay.neg = false
+	r := New(wprec)
+	seed := 1 / ay.topFrac() // ∈ (1, 2]
+	r.SetFloat64(seed)
+	r.exp -= ay.exp
+	one := New(wprec).SetInt64(1)
+	t := New(wprec)
+	corr := New(wprec)
+	// 53-bit seed doubles per step; +2 steps of margin.
+	for bits := uint(50); bits < 2*wprec; bits *= 2 {
+		t.Mul(&ay, r)
+		corr.Sub(one, t)
+		t.Mul(r, corr)
+		r = New(wprec).Add(r, t)
+	}
+	r.neg = y.neg
+	return r
+}
+
+// Sqrt sets z = √x and returns z. Negative x yields NaN.
+func (z *Float) Sqrt(x *Float) *Float {
+	switch {
+	case x.form == nan:
+		z.form = nan
+		return z
+	case x.form == zero:
+		return z.setZero(false)
+	case x.neg:
+		z.form = nan
+		return z
+	case x.form == inf:
+		z.form, z.neg = inf, false
+		return z
+	}
+	wprec := uint(z.prec) + guardBits
+	// Seed 1/√x from the top 53 bits, keeping the exponent parity even.
+	frac := x.topFrac()
+	e := x.exp
+	if e%2 != 0 {
+		frac /= 2
+		e++
+	}
+	r := New(wprec).SetFloat64(1 / math.Sqrt(frac))
+	r.exp -= e / 2
+	one := New(wprec).SetInt64(1)
+	t := New(wprec)
+	u := New(wprec)
+	for bits := uint(50); bits < 2*wprec; bits *= 2 {
+		// r += r·(1 - x·r²)/2
+		t.Mul(x, r)
+		t.Mul(t, r)
+		u.Sub(one, t)
+		u.MulPow2(u, -1)
+		t.Mul(r, u)
+		r = New(wprec).Add(r, t)
+	}
+	s := New(wprec).Mul(x, r)
+	// Correction: s += (x - s²)·r/2.
+	t.Mul(s, s)
+	u.Sub(x, t)
+	t.Mul(u, r)
+	t.MulPow2(t, -1)
+	s = New(wprec).Add(s, t)
+	z.Set(s)
+	// Upgrade to correct RNE rounding via exact boundary checks.
+	z.correctSqrt(x)
+	return z
+}

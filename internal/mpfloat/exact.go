@@ -1,0 +1,295 @@
+package mpfloat
+
+// Exact fixed-point helpers for the correct-rounding checks in Quo and
+// Sqrt: every finite Float is a dyadic rational, so quantities like
+// x - q·y and x - q² can be computed exactly in a bounded limb window and
+// compared against half an ulp. This is the machinery that upgrades the
+// Newton results from faithful to correct rounding (MPFR's contract).
+
+// fix is an exact signed fixed-point value: magnitude·2^exp with the
+// magnitude in little-endian limbs (value = Σ mag[i]·2^(64i) · 2^exp).
+type fix struct {
+	neg bool
+	exp int64
+	mag []uint64
+}
+
+// fixFromFloat converts a finite nonzero Float exactly.
+func fixFromFloat(f *Float) fix {
+	mag := make([]uint64, len(f.mant))
+	copy(mag, f.mant)
+	return fix{neg: f.neg, exp: f.exp - int64(len(f.mant))*64, mag: mag}
+}
+
+// fixZero reports whether the value is zero.
+func (a fix) isZero() bool { return isZeroV(a.mag) }
+
+// norm trims leading and trailing zero limbs (adjusting exp for trailing).
+func (a fix) norm() fix {
+	lo := 0
+	for lo < len(a.mag) && a.mag[lo] == 0 {
+		lo++
+	}
+	hi := len(a.mag)
+	for hi > lo && a.mag[hi-1] == 0 {
+		hi--
+	}
+	if lo == hi {
+		return fix{mag: nil, exp: 0}
+	}
+	return fix{neg: a.neg, exp: a.exp + int64(lo)*64, mag: a.mag[lo:hi]}
+}
+
+// mulFix returns a·b exactly.
+func mulFix(a, b fix) fix {
+	if a.isZero() || b.isZero() {
+		return fix{}
+	}
+	out := make([]uint64, len(a.mag)+len(b.mag))
+	mulVV(out, a.mag, b.mag)
+	return fix{neg: a.neg != b.neg, exp: a.exp + b.exp, mag: out}.norm()
+}
+
+// mulPow2Fix returns a·2^k exactly.
+func mulPow2Fix(a fix, k int64) fix {
+	if a.isZero() {
+		return a
+	}
+	out := a
+	out.exp += k
+	return out
+}
+
+// cmpAbsFix compares |a| and |b|: -1, 0, +1.
+func cmpAbsFix(a, b fix) int {
+	a, b = a.norm(), b.norm()
+	switch {
+	case a.isZero() && b.isZero():
+		return 0
+	case a.isZero():
+		return -1
+	case b.isZero():
+		return 1
+	}
+	topA := a.exp + int64(len(a.mag))*64 - int64(nlz(a.mag))
+	topB := b.exp + int64(len(b.mag))*64 - int64(nlz(b.mag))
+	if topA != topB {
+		if topA > topB {
+			return 1
+		}
+		return -1
+	}
+	// Same top bit: compare bit strings downward.
+	botA, botB := a.exp, b.exp
+	lo := botA
+	if botB < lo {
+		lo = botB
+	}
+	// Width in limbs of the common window.
+	width := int((topA-lo)/64) + 2
+	wa := windowize(a, lo, width)
+	wb := windowize(b, lo, width)
+	return cmpVV(wa, wb)
+}
+
+// windowize renders |a| into a window of `width` limbs whose bit 0 is at
+// exponent lo (a.exp ≥ lo required).
+func windowize(a fix, lo int64, width int) []uint64 {
+	out := make([]uint64, width)
+	shift := a.exp - lo // ≥ 0
+	limb := int(shift / 64)
+	bits := uint(shift % 64)
+	for i, w := range a.mag {
+		if limb+i < width {
+			out[limb+i] |= w << bits
+		}
+		if bits > 0 && limb+i+1 < width {
+			out[limb+i+1] |= w >> (64 - bits)
+		}
+	}
+	return out
+}
+
+// subFix returns a - b exactly.
+func subFix(a, b fix) fix {
+	b.neg = !b.neg
+	return addFix(a, b)
+}
+
+// addFix returns a + b exactly.
+func addFix(a, b fix) fix {
+	a, b = a.norm(), b.norm()
+	if a.isZero() {
+		return b
+	}
+	if b.isZero() {
+		return a
+	}
+	lo := a.exp
+	if b.exp < lo {
+		lo = b.exp
+	}
+	topA := a.exp + int64(len(a.mag))*64
+	topB := b.exp + int64(len(b.mag))*64
+	top := topA
+	if topB > top {
+		top = topB
+	}
+	width := int((top-lo)/64) + 2
+	wa := windowize(a, lo, width)
+	wb := windowize(b, lo, width)
+	if a.neg == b.neg {
+		addVV(wa, wb) // width has headroom; carry cannot escape
+		return fix{neg: a.neg, exp: lo, mag: wa}.norm()
+	}
+	switch cmpVV(wa, wb) {
+	case 0:
+		return fix{}
+	case 1:
+		subVV(wa, wb)
+		return fix{neg: a.neg, exp: lo, mag: wa}.norm()
+	default:
+		subVV(wb, wa)
+		return fix{neg: b.neg, exp: lo, mag: wb}.norm()
+	}
+}
+
+// ulpFix returns one ulp of the finite nonzero Float f as an exact value:
+// 2^(exp - prec).
+func ulpFix(f *Float) fix {
+	return fix{exp: f.exp - int64(f.prec), mag: []uint64{1}}
+}
+
+// nudge adds k ulps (k = ±1) to the finite nonzero Float in place.
+func (f *Float) nudge(k int) {
+	nl := len(f.mant)
+	drop := uint(nl*64) - uint(f.prec)
+	if k > 0 {
+		if addBitAt(f.mant, drop) != 0 {
+			f.mant[nl-1] = 1 << 63
+			for i := 0; i < nl-1; i++ {
+				f.mant[i] = 0
+			}
+			f.exp++
+		}
+		return
+	}
+	// Subtract one ulp.
+	w := int(drop / 64)
+	c := uint64(1) << (drop % 64)
+	borrowAt(f.mant, w, c)
+	if nlz(f.mant) > 0 {
+		// Crossed a binade: renormalize one bit left.
+		shl(f.mant, 1)
+		f.exp--
+		// The vacated low bit stays zero, matching RNE at the wider ulp.
+		if isZeroV(f.mant) {
+			f.setZero(f.neg)
+		}
+	}
+}
+
+// borrowAt subtracts c·2^(64w) from the vector.
+func borrowAt(a []uint64, w int, c uint64) {
+	for i := w; i < len(a); i++ {
+		old := a[i]
+		a[i] -= c
+		if old >= c {
+			return
+		}
+		c = 1
+	}
+}
+
+// valueNudge moves the finite nonzero Float one ulp in the signed value
+// direction d (+1 toward +∞, -1 toward -∞).
+func (f *Float) valueNudge(d int) {
+	if f.neg {
+		d = -d
+	}
+	f.nudge(d)
+}
+
+// lsbOdd reports whether the significand's last kept bit is 1.
+func (f *Float) lsbOdd() bool {
+	drop := uint(len(f.mant)*64) - uint(f.prec)
+	return bitAt(f.mant, drop)
+}
+
+// correctQuo adjusts z (≈ x/y, within a few ulps) to the correctly rounded
+// RNE quotient using exact remainder comparisons.
+func (z *Float) correctQuo(x, y *Float) {
+	if z.form != finite || x.form != finite || y.form != finite {
+		return
+	}
+	fy := fixFromFloat(y)
+	ay := fy
+	ay.neg = false
+	fx := fixFromFloat(x)
+	for iter := 0; iter < 8; iter++ {
+		fz := fixFromFloat(z)
+		e := subFix(fx, mulFix(fz, fy))
+		if e.isZero() {
+			return // exact quotient
+		}
+		// half = ulp(z)·|y| / 2
+		half := mulPow2Fix(mulFix(ulpFix(z), ay), -1)
+		cmp := cmpAbsFix(e, half)
+		// q_true > z  ⟺  sign(e) == sign(y).
+		d := -1
+		if e.neg == fy.neg {
+			d = 1
+		}
+		switch {
+		case cmp < 0:
+			return // strictly inside the rounding interval
+		case cmp > 0:
+			z.valueNudge(d)
+		default:
+			// Exact tie: round to even.
+			if z.lsbOdd() {
+				z.valueNudge(d)
+			}
+			return
+		}
+	}
+}
+
+// correctSqrt adjusts z (≈ √x, within a few ulps, z > 0) to the correctly
+// rounded RNE square root.
+func (z *Float) correctSqrt(x *Float) {
+	if z.form != finite || x.form != finite {
+		return
+	}
+	fx := fixFromFloat(x)
+	quarter := func(u fix) fix { return mulPow2Fix(mulFix(u, u), -2) } // u²/4
+	for iter := 0; iter < 8; iter++ {
+		fz := fixFromFloat(z)
+		u := ulpFix(z)
+		e := subFix(fx, mulFix(fz, fz)) // x - z²
+		zu := mulFix(fz, u)             // z·u  (z > 0)
+		uq := quarter(u)
+		// upper boundary: a = (z+u/2)² - x = zu + u²/4 - e
+		a := subFix(addFix(zu, uq), e)
+		// lower boundary: b = x - (z-u/2)² = e + zu - u²/4
+		b := subFix(addFix(e, zu), uq)
+		switch {
+		case a.isZero() || b.isZero():
+			// √x exactly at a midpoint: ties to even.
+			if z.lsbOdd() {
+				if a.isZero() {
+					z.valueNudge(1)
+				} else {
+					z.valueNudge(-1)
+				}
+			}
+			return
+		case a.neg:
+			z.valueNudge(1) // x beyond the upper midpoint: z too small
+		case b.neg:
+			z.valueNudge(-1) // x below the lower midpoint: z too big
+		default:
+			return
+		}
+	}
+}

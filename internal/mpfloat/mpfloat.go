@@ -1,0 +1,388 @@
+// Package mpfloat is a from-scratch arbitrary-precision binary
+// floating-point library in the style of MPFR: big-integer significands
+// stored as machine-word limbs, explicit alignment and normalization, and
+// round-to-nearest-even rounding applied after every operation.
+//
+// It serves as the paper's software-FPU-emulation baseline (§2.2, §5),
+// standing in for GMP/MPFR/FLINT/Boost.Multiprecision: the conventional
+// approach whose "sophisticated conditional logic to handle mantissa
+// alignment, normalization, and rounding" is exactly what floating-point
+// expansions avoid. All five operations are correctly rounded (RNE):
+// addition, subtraction, and multiplication directly, and division and
+// square root via Newton iteration followed by an exact remainder check
+// (exact.go). The tests verify every operation bit-for-bit against
+// math/big.Float.
+package mpfloat
+
+import (
+	"math"
+	"math/big"
+	"math/bits"
+)
+
+type form uint8
+
+const (
+	finite form = iota
+	zero
+	inf
+	nan
+)
+
+// Float is an arbitrary-precision binary floating-point number:
+// value = (-1)^neg · significand · 2^exp, with significand ∈ [1/2, 1)
+// represented by the top prec bits of the limb vector (little-endian,
+// normalized so the most significant bit of the top limb is 1).
+type Float struct {
+	prec uint32
+	neg  bool
+	form form
+	exp  int64
+	mant []uint64
+}
+
+// New returns a zero-valued Float with the given precision in bits.
+func New(prec uint) *Float {
+	if prec < 2 {
+		prec = 2
+	}
+	return &Float{prec: uint32(prec), form: zero, mant: make([]uint64, limbsFor(prec))}
+}
+
+func limbsFor(prec uint) int { return int(prec+63) / 64 }
+
+// Prec returns the precision in bits.
+func (f *Float) Prec() uint { return uint(f.prec) }
+
+// IsZero reports whether f is zero.
+func (f *Float) IsZero() bool { return f.form == zero }
+
+// IsNaN reports whether f is NaN.
+func (f *Float) IsNaN() bool { return f.form == nan }
+
+// IsInf reports whether f is ±Inf.
+func (f *Float) IsInf() bool { return f.form == inf }
+
+// Sign returns -1, 0, +1 (NaN returns 0).
+func (f *Float) Sign() int {
+	switch f.form {
+	case zero, nan:
+		return 0
+	}
+	if f.neg {
+		return -1
+	}
+	return 1
+}
+
+// setZero sets f to ±0.
+func (f *Float) setZero(neg bool) *Float {
+	f.form = zero
+	f.neg = neg
+	for i := range f.mant {
+		f.mant[i] = 0
+	}
+	f.exp = 0
+	return f
+}
+
+// SetFloat64 sets f to x (exactly if prec ≥ 53, else rounded).
+func (f *Float) SetFloat64(x float64) *Float {
+	switch {
+	case math.IsNaN(x):
+		f.form = nan
+		return f
+	case math.IsInf(x, 0):
+		f.form = inf
+		f.neg = x < 0
+		return f
+	case x == 0:
+		return f.setZero(math.Signbit(x))
+	}
+	f.form = finite
+	f.neg = x < 0
+	fr, e := math.Frexp(math.Abs(x)) // fr ∈ [1/2, 1)
+	f.exp = int64(e)
+	m := uint64(fr * 0x1p64) // top 64 bits of the significand; exact for float64
+	for i := range f.mant {
+		f.mant[i] = 0
+	}
+	f.mant[len(f.mant)-1] = m
+	f.roundNormalized(false)
+	return f
+}
+
+// SetInt64 sets f to x.
+func (f *Float) SetInt64(x int64) *Float {
+	if x == 0 {
+		return f.setZero(false)
+	}
+	neg := x < 0
+	u := uint64(x)
+	if neg {
+		u = uint64(-x)
+	}
+	f.form = finite
+	f.neg = neg
+	sh := bits.LeadingZeros64(u)
+	f.exp = int64(64 - sh)
+	for i := range f.mant {
+		f.mant[i] = 0
+	}
+	f.mant[len(f.mant)-1] = u << uint(sh)
+	f.roundNormalized(false)
+	return f
+}
+
+// Set copies x into f, rounding to f's precision.
+func (f *Float) Set(x *Float) *Float {
+	f.neg = x.neg
+	f.form = x.form
+	f.exp = x.exp
+	if f.form != finite {
+		return f
+	}
+	nf, nx := len(f.mant), len(x.mant)
+	if nf >= nx {
+		for i := 0; i < nf-nx; i++ {
+			f.mant[i] = 0
+		}
+		copy(f.mant[nf-nx:], x.mant)
+		f.roundNormalized(false)
+		return f
+	}
+	// Narrowing: round the full source significand at f's precision.
+	buf := make([]uint64, nx)
+	copy(buf, x.mant)
+	f.takeRounded(buf, false)
+	return f
+}
+
+// Float64 returns the nearest float64.
+func (f *Float) Float64() float64 {
+	switch f.form {
+	case nan:
+		return math.NaN()
+	case inf:
+		if f.neg {
+			return math.Inf(-1)
+		}
+		return math.Inf(1)
+	case zero:
+		return 0
+	}
+	// Take the top 64 bits and round to 53 via big-free arithmetic.
+	top := f.mant[len(f.mant)-1]
+	v := math.Ldexp(float64(top>>11), int(f.exp)-53)
+	// Round-to-nearest on the discarded 11 bits (plus sticky below).
+	low := top & 0x7FF
+	half := uint64(1 << 10)
+	stick := low&(half-1) != 0
+	for i := 0; i < len(f.mant)-1 && !stick; i++ {
+		if f.mant[i] != 0 {
+			stick = true
+		}
+	}
+	if low > half || (low == half && (stick || (top>>11)&1 == 1)) {
+		v = math.Nextafter(v, math.Inf(1))
+	}
+	if f.neg {
+		v = -v
+	}
+	return v
+}
+
+// roundNormalized rounds the limb vector to prec bits (RNE) assuming the
+// vector is already normalized (top bit set) or zero; sticky carries
+// information about bits below the vector.
+func (f *Float) roundNormalized(sticky bool) {
+	if isZeroV(f.mant) {
+		if !sticky {
+			f.setZero(f.neg)
+		}
+		return
+	}
+	nl := len(f.mant)
+	total := uint(nl * 64)
+	drop := total - uint(f.prec)
+	if drop == 0 {
+		return
+	}
+	// Identify guard bit and below-guard sticky.
+	guardIdx := drop - 1
+	g := bitAt(f.mant, guardIdx)
+	below := sticky || anyBitsBelow(f.mant, guardIdx)
+	lsb := bitAt(f.mant, drop)
+	// Clear dropped bits.
+	clearLow(f.mant, drop)
+	if g && (below || lsb) {
+		// Round up: add 1 at position drop.
+		if addBitAt(f.mant, drop) != 0 {
+			// Carry out: significand became 1.0 → renormalize to 0.5.
+			f.mant[nl-1] = 1 << 63
+			for i := 0; i < nl-1; i++ {
+				f.mant[i] = 0
+			}
+			f.exp++
+		}
+	}
+}
+
+// bitAt returns bit k (LSB-first across the limb vector).
+func bitAt(a []uint64, k uint) bool {
+	return a[k/64]>>(k%64)&1 == 1
+}
+
+// anyBitsBelow reports whether any bit strictly below position k is set.
+func anyBitsBelow(a []uint64, k uint) bool {
+	w := int(k / 64)
+	r := k % 64
+	for i := 0; i < w; i++ {
+		if a[i] != 0 {
+			return true
+		}
+	}
+	if r == 0 {
+		return false
+	}
+	return a[w]&(1<<r-1) != 0
+}
+
+// clearLow zeroes all bits strictly below position k.
+func clearLow(a []uint64, k uint) {
+	w := int(k / 64)
+	r := k % 64
+	for i := 0; i < w; i++ {
+		a[i] = 0
+	}
+	if r != 0 {
+		a[w] &^= 1<<r - 1
+	}
+}
+
+// addBitAt adds 2^k into the vector, returning the final carry.
+func addBitAt(a []uint64, k uint) uint64 {
+	w := int(k / 64)
+	c := uint64(1) << (k % 64)
+	for i := w; i < len(a); i++ {
+		var carry uint64
+		a[i], carry = bits.Add64(a[i], c, 0)
+		if carry == 0 {
+			return 0
+		}
+		c = 1
+		if i+1 < len(a) {
+			c = carry
+		} else {
+			return carry
+		}
+	}
+	return 1
+}
+
+// Big converts to a math/big.Float at f's precision (test oracle support).
+func (f *Float) Big() *big.Float {
+	out := new(big.Float).SetPrec(uint(f.prec))
+	switch f.form {
+	case zero:
+		return out
+	case inf:
+		return out.SetInf(f.neg)
+	case nan:
+		// big.Float has no NaN; callers must check IsNaN first.
+		panic("mpfloat: Big() on NaN")
+	}
+	acc := new(big.Float).SetPrec(uint(len(f.mant)*64) + 64)
+	tmp := new(big.Float)
+	for i, w := range f.mant {
+		if w == 0 {
+			continue
+		}
+		tmp.SetPrec(64).SetUint64(w)
+		tmp.SetMantExp(tmp, int(f.exp)+64*(i-len(f.mant)))
+		acc.Add(acc, tmp)
+	}
+	if f.neg {
+		acc.Neg(acc)
+	}
+	return out.Set(acc)
+}
+
+// Cmp compares f and g by value (-1, 0, +1); NaN compares as 0.
+func (f *Float) Cmp(g *Float) int {
+	if f.form == nan || g.form == nan {
+		return 0
+	}
+	sf, sg := f.Sign(), g.Sign()
+	if sf != sg {
+		switch {
+		case sf < sg:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if sf == 0 {
+		return 0
+	}
+	// Same nonzero sign: compare magnitudes.
+	mag := f.cmpAbs(g)
+	if f.neg {
+		return -mag
+	}
+	return mag
+}
+
+func (f *Float) cmpAbs(g *Float) int {
+	if f.form == inf || g.form == inf {
+		switch {
+		case f.form == inf && g.form == inf:
+			return 0
+		case f.form == inf:
+			return 1
+		default:
+			return -1
+		}
+	}
+	if f.exp != g.exp {
+		if f.exp > g.exp {
+			return 1
+		}
+		return -1
+	}
+	// Align lengths from the top.
+	nf, ng := len(f.mant), len(g.mant)
+	n := nf
+	if ng < n {
+		n = ng
+	}
+	for i := 1; i <= n; i++ {
+		a, b := f.mant[nf-i], g.mant[ng-i]
+		if a != b {
+			if a > b {
+				return 1
+			}
+			return -1
+		}
+	}
+	for i := n + 1; i <= nf; i++ {
+		if f.mant[nf-i] != 0 {
+			return 1
+		}
+	}
+	for i := n + 1; i <= ng; i++ {
+		if g.mant[ng-i] != 0 {
+			return -1
+		}
+	}
+	return 0
+}
+
+// String renders the value in decimal with the precision's digit count.
+func (f *Float) String() string {
+	if f.form == nan {
+		return "NaN"
+	}
+	digits := int(float64(f.prec)*0.30103) + 1
+	return f.Big().Text('g', digits)
+}

@@ -1,0 +1,287 @@
+package mpfloat
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+var testPrecs = []uint{53, 64, 103, 130, 156, 208, 300}
+
+func randVal(rng *rand.Rand) float64 {
+	f := rng.Float64() + 0.5
+	e := rng.Intn(400) - 200
+	if rng.Intn(2) == 0 {
+		f = -f
+	}
+	return math.Ldexp(f, e)
+}
+
+// bigAt rounds to prec with RNE — the reference for our rounding.
+func bigAt(prec uint, v *big.Float) *big.Float {
+	return new(big.Float).SetPrec(prec).Set(v)
+}
+
+func fromBigExact(prec uint, v *big.Float) *Float {
+	// Build the value exactly at a very wide working precision (each
+	// component is a float64, so 1200 bits cover any alignment), then
+	// round once to the target precision.
+	const wide = 1216
+	f := New(wide)
+	rem := new(big.Float).SetPrec(v.Prec() + 64).Set(v)
+	tmp := new(big.Float)
+	term := New(wide)
+	first := true
+	for i := 0; i < 10; i++ {
+		fv, _ := rem.Float64()
+		if fv == 0 || math.IsInf(fv, 0) {
+			break
+		}
+		if first {
+			f.SetFloat64(fv)
+			first = false
+		} else {
+			term.SetFloat64(fv)
+			f = New(wide).Add(f, term)
+		}
+		rem.Sub(rem, tmp.SetFloat64(fv))
+	}
+	return New(prec).Set(f)
+}
+
+func TestSetGetFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range testPrecs {
+		for i := 0; i < 20000; i++ {
+			v := randVal(rng)
+			f := New(p).SetFloat64(v)
+			if p >= 53 {
+				if got := f.Float64(); got != v {
+					t.Fatalf("prec %d: round-trip %g -> %g", p, v, got)
+				}
+			}
+		}
+	}
+}
+
+func TestFloat64RoundsCorrectly(t *testing.T) {
+	// A 200-bit value halfway between two float64s rounds to even.
+	a := New(200).SetFloat64(1)
+	b := New(200).SetFloat64(0x1p-53) // exactly half ulp(1)
+	s := New(200).Add(a, b)
+	if got := s.Float64(); got != 1 {
+		t.Errorf("1 + 2^-53 at 200 bits -> %g, want 1 (ties to even)", got)
+	}
+	c := New(200).SetFloat64(0x1p-60)
+	s = New(200).Add(s, c)
+	if got := s.Float64(); got != 1+0x1p-52 {
+		t.Errorf("1 + 2^-53 + 2^-60 -> %g, want next float", got)
+	}
+}
+
+// opRef applies the reference big.Float operation at precision p.
+func opRef(p uint, op string, x, y *big.Float) *big.Float {
+	z := new(big.Float).SetPrec(p)
+	switch op {
+	case "add":
+		z.Add(x, y)
+	case "sub":
+		z.Sub(x, y)
+	case "mul":
+		z.Mul(x, y)
+	}
+	return z
+}
+
+func TestAddSubMulMatchBigFloatExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, p := range testPrecs {
+		for i := 0; i < 8000; i++ {
+			// Values with up to three float64 components to exercise
+			// alignment and sticky paths.
+			xb := new(big.Float).SetPrec(p + 200)
+			yb := new(big.Float).SetPrec(p + 200)
+			tmp := new(big.Float)
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				xb.Add(xb, tmp.SetFloat64(randVal(rng)))
+			}
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				yb.Add(yb, tmp.SetFloat64(randVal(rng)))
+			}
+			if i%7 == 0 {
+				yb.Neg(xb)
+				yb.Add(yb, tmp.SetFloat64(randVal(rng)*1e-40))
+			}
+			x := fromBigExact(p, xb)
+			y := fromBigExact(p, yb)
+			// Round the references to p as our operands are rounded.
+			xr := bigAt(p, xb)
+			yr := bigAt(p, yb)
+			for _, op := range []string{"add", "sub", "mul"} {
+				want := opRef(p, op, xr, yr)
+				var got *Float
+				switch op {
+				case "add":
+					got = New(p).Add(x, y)
+				case "sub":
+					got = New(p).Sub(x, y)
+				case "mul":
+					got = New(p).Mul(x, y)
+				}
+				if got.IsNaN() {
+					t.Fatalf("prec %d %s: unexpected NaN", p, op)
+				}
+				if got.Big().Cmp(want) != 0 {
+					t.Fatalf("prec %d %s:\n x=%s\n y=%s\n got  %s\n want %s",
+						p, op, xr.Text('e', 50), yr.Text('e', 50),
+						got.Big().Text('e', 50), want.Text('e', 50))
+				}
+			}
+		}
+	}
+}
+
+func TestQuoFaithful(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, p := range testPrecs {
+		for i := 0; i < 3000; i++ {
+			xv, yv := randVal(rng), randVal(rng)
+			x := New(p).SetFloat64(xv)
+			y := New(p).SetFloat64(yv)
+			got := New(p).Quo(x, y)
+			want := new(big.Float).SetPrec(p+80).Quo(
+				new(big.Float).SetPrec(p+80).SetFloat64(xv),
+				new(big.Float).SetPrec(p+80).SetFloat64(yv))
+			diff := new(big.Float).SetPrec(p+80).Sub(got.Big(), want)
+			if diff.Sign() == 0 {
+				continue
+			}
+			rel := new(big.Float).Quo(diff.Abs(diff), new(big.Float).Abs(want))
+			f, _ := rel.Float64()
+			if -math.Log2(f) < float64(p)-1 {
+				t.Fatalf("prec %d: %g / %g error 2^-%.1f", p, xv, yv, -math.Log2(f))
+			}
+		}
+	}
+}
+
+func TestSqrtFaithful(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, p := range testPrecs {
+		for i := 0; i < 3000; i++ {
+			xv := math.Abs(randVal(rng))
+			x := New(p).SetFloat64(xv)
+			got := New(p).Sqrt(x)
+			want := new(big.Float).SetPrec(p + 80).Sqrt(
+				new(big.Float).SetPrec(p + 80).SetFloat64(xv))
+			diff := new(big.Float).SetPrec(p+80).Sub(got.Big(), want)
+			if diff.Sign() == 0 {
+				continue
+			}
+			rel := new(big.Float).Quo(diff.Abs(diff), want)
+			f, _ := rel.Float64()
+			if -math.Log2(f) < float64(p)-1 {
+				t.Fatalf("prec %d: sqrt(%g) error 2^-%.1f", p, xv, -math.Log2(f))
+			}
+		}
+	}
+}
+
+func TestSpecialForms(t *testing.T) {
+	p := uint(103)
+	inf := New(p)
+	inf.form, inf.neg = 2, false // +Inf  (form enum: finite=0, zero=1, inf=2)
+	one := New(p).SetInt64(1)
+	z := New(p).Add(inf, one)
+	if !z.IsInf() {
+		t.Error("Inf + 1 should be Inf")
+	}
+	minf := New(p).Neg(inf)
+	z = New(p).Add(inf, minf)
+	if !z.IsNaN() {
+		t.Error("Inf - Inf should be NaN")
+	}
+	z = New(p).Quo(one, New(p))
+	if !z.IsInf() {
+		t.Error("1/0 should be Inf")
+	}
+	z = New(p).Sqrt(New(p).SetInt64(-4))
+	if !z.IsNaN() {
+		t.Error("sqrt(-4) should be NaN")
+	}
+	z = New(p).Mul(inf, New(p))
+	if !z.IsNaN() {
+		t.Error("Inf · 0 should be NaN")
+	}
+}
+
+func TestCmp(t *testing.T) {
+	p := uint(156)
+	a := New(p).SetFloat64(1.5)
+	b := New(p).SetFloat64(1.5)
+	small := New(p).SetFloat64(0x1p-100)
+	bPlus := New(p).Add(b, small)
+	if a.Cmp(b) != 0 {
+		t.Error("equal values")
+	}
+	if a.Cmp(bPlus) != -1 || bPlus.Cmp(a) != 1 {
+		t.Error("ordering with 100-bit difference")
+	}
+	if New(p).SetInt64(-3).Cmp(New(p).SetInt64(2)) != -1 {
+		t.Error("sign ordering")
+	}
+}
+
+func TestExactCancellation(t *testing.T) {
+	p := uint(208)
+	x := New(p).SetFloat64(1.5)
+	z := New(p).Sub(x, x)
+	if !z.IsZero() {
+		t.Errorf("x - x = %s, want 0", z)
+	}
+}
+
+func TestSetInt64(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 42, -9007199254740993, 1 << 62} {
+		f := New(100).SetInt64(v)
+		got, _ := f.Big().Int64()
+		if got != v {
+			t.Errorf("SetInt64(%d) -> %d", v, got)
+		}
+	}
+}
+
+func TestPrecisionConversion(t *testing.T) {
+	// Rounding 1 + 2^-100 down to 53 bits loses the tail.
+	x := New(200).Add(New(200).SetInt64(1), New(200).SetFloat64(0x1p-100))
+	y := New(53).Set(x)
+	if y.Float64() != 1 {
+		t.Errorf("narrowing: got %g", y.Float64())
+	}
+	// Widening preserves the value exactly.
+	w := New(300).Set(x)
+	if w.Big().Cmp(x.Big()) != 0 {
+		t.Error("widening changed value")
+	}
+}
+
+func BenchmarkAdd103(b *testing.B) { benchOp(b, 103, "add") }
+func BenchmarkAdd208(b *testing.B) { benchOp(b, 208, "add") }
+func BenchmarkMul103(b *testing.B) { benchOp(b, 103, "mul") }
+func BenchmarkMul208(b *testing.B) { benchOp(b, 208, "mul") }
+
+func benchOp(b *testing.B, prec uint, op string) {
+	x := New(prec).SetFloat64(1.5000000001)
+	y := New(prec).SetFloat64(0.7499999999)
+	z := New(prec)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		switch op {
+		case "add":
+			z.Add(x, y)
+		case "mul":
+			z.Mul(x, y)
+		}
+	}
+}

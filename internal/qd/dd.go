@@ -1,0 +1,110 @@
+// Package qd reimplements the algorithms of the QD library of Hida, Li,
+// and Bailey ("Algorithms for quad-double precision floating point
+// arithmetic", ARITH-15, 2001): double-double and quad-double arithmetic
+// with the classical branching renormalization.
+//
+// It serves as the paper's QD comparison baseline (§5). The double-double
+// kernels are branch-free (which is why QD remains competitive at two
+// terms in the paper's Figure 9), while the quad-double kernels use the
+// original data-dependent renormalization, whose branches are what the
+// FPAN approach eliminates.
+package qd
+
+import "multifloats/internal/eft"
+
+// DD is a double-double value: the unevaluated sum Hi + Lo with
+// |Lo| ≤ ulp(Hi)/2.
+type DD struct {
+	Hi, Lo float64
+}
+
+// FromFloat returns the DD representation of a float64.
+func FromFloat(x float64) DD { return DD{x, 0} }
+
+// Float returns the closest float64.
+func (a DD) Float() float64 { return a.Hi }
+
+// Add returns a + b using the accurate ("IEEE") double-double addition.
+func (a DD) Add(b DD) DD {
+	s1, s2 := eft.TwoSum(a.Hi, b.Hi)
+	t1, t2 := eft.TwoSum(a.Lo, b.Lo)
+	s2 += t1
+	s1, s2 = eft.FastTwoSum(s1, s2)
+	s2 += t2
+	s1, s2 = eft.FastTwoSum(s1, s2)
+	return DD{s1, s2}
+}
+
+// AddSloppy returns a + b using QD's faster "sloppy" addition, which is
+// inaccurate under cancellation (kept for the ablation benchmarks).
+func (a DD) AddSloppy(b DD) DD {
+	s, e := eft.TwoSum(a.Hi, b.Hi)
+	e += a.Lo + b.Lo
+	s, e = eft.FastTwoSum(s, e)
+	return DD{s, e}
+}
+
+// Sub returns a - b.
+func (a DD) Sub(b DD) DD { return a.Add(DD{-b.Hi, -b.Lo}) }
+
+// Neg returns -a.
+func (a DD) Neg() DD { return DD{-a.Hi, -a.Lo} }
+
+// Mul returns a · b.
+func (a DD) Mul(b DD) DD {
+	p1, p2 := eft.TwoProd(a.Hi, b.Hi)
+	p2 += a.Hi*b.Lo + a.Lo*b.Hi
+	p1, p2 = eft.FastTwoSum(p1, p2)
+	return DD{p1, p2}
+}
+
+// MulFloat returns a · c.
+func (a DD) MulFloat(c float64) DD {
+	p1, p2 := eft.TwoProd(a.Hi, c)
+	p2 += a.Lo * c
+	p1, p2 = eft.FastTwoSum(p1, p2)
+	return DD{p1, p2}
+}
+
+// AddFloat returns a + c.
+func (a DD) AddFloat(c float64) DD {
+	s1, s2 := eft.TwoSum(a.Hi, c)
+	s2 += a.Lo
+	s1, s2 = eft.FastTwoSum(s1, s2)
+	return DD{s1, s2}
+}
+
+// Div returns a / b (QD's long-division style quotient refinement).
+func (a DD) Div(b DD) DD {
+	q1 := a.Hi / b.Hi
+	r := a.Sub(b.MulFloat(q1))
+	q2 := r.Hi / b.Hi
+	r = r.Sub(b.MulFloat(q2))
+	q3 := r.Hi / b.Hi
+	s, e := eft.FastTwoSum(q1, q2)
+	return DD{s, e}.AddFloat(q3)
+}
+
+// Sqrt returns √a (Karp–Markstein style, as in QD).
+func (a DD) Sqrt() DD {
+	if a.Hi == 0 {
+		return DD{}
+	}
+	x := 1 / sqrt64(a.Hi)
+	ax := a.Hi * x
+	s := FromFloat(ax)
+	r := a.Sub(s.Mul(s))
+	return s.AddFloat(r.Hi * (x * 0.5))
+}
+
+// Cmp compares a and b by value.
+func (a DD) Cmp(b DD) int {
+	d := a.Sub(b)
+	switch {
+	case d.Hi > 0 || (d.Hi == 0 && d.Lo > 0):
+		return 1
+	case d.Hi < 0 || (d.Hi == 0 && d.Lo < 0):
+		return -1
+	}
+	return 0
+}

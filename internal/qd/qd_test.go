@@ -1,0 +1,236 @@
+package qd
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"multifloats/internal/verify"
+)
+
+func toBig(terms ...float64) *big.Float {
+	acc := new(big.Float).SetPrec(2200)
+	tmp := new(big.Float).SetPrec(2200)
+	for _, t := range terms {
+		if t == 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+			continue
+		}
+		acc.Add(acc, tmp.SetFloat64(t))
+	}
+	return acc
+}
+
+func relBits(want *big.Float, terms ...float64) float64 {
+	got := toBig(terms...)
+	diff := new(big.Float).SetPrec(2200).Sub(want, got)
+	if diff.Sign() == 0 {
+		return math.Inf(1)
+	}
+	if want.Sign() == 0 {
+		return math.Inf(-1)
+	}
+	rel := new(big.Float).Quo(diff.Abs(diff), new(big.Float).Abs(want))
+	f, _ := rel.Float64()
+	return -math.Log2(f)
+}
+
+func TestDDAddMul(t *testing.T) {
+	gen := verify.NewExpansionGen(41)
+	gen.MaxLeadExp = 100
+	gen.Strict = true
+	for i := 0; i < 30000; i++ {
+		x, y := gen.Pair(2)
+		a := DD{x[0], x[1]}
+		b := DD{y[0], y[1]}
+		{
+			want := toBig(x...)
+			want.Add(want, toBig(y...))
+			z := a.Add(b)
+			if want.Sign() == 0 {
+				continue
+			}
+			if bits := relBits(want, z.Hi, z.Lo); bits < 102 {
+				t.Fatalf("DD.Add accuracy 2^-%.1f (x=%v y=%v)", bits, x, y)
+			}
+		}
+		{
+			want := new(big.Float).SetPrec(2200).Mul(toBig(x...), toBig(y...))
+			z := a.Mul(b)
+			if want.Sign() == 0 {
+				continue
+			}
+			if bits := relBits(want, z.Hi, z.Lo); bits < 100 {
+				t.Fatalf("DD.Mul accuracy 2^-%.1f (x=%v y=%v)", bits, x, y)
+			}
+		}
+	}
+}
+
+func TestDDDivSqrt(t *testing.T) {
+	a := DD{2, 0}
+	s := a.Sqrt()
+	// √2 to ~2^-104.
+	want := new(big.Float).SetPrec(300).Sqrt(big.NewFloat(2))
+	if bits := relBits(want, s.Hi, s.Lo); bits < 100 {
+		t.Errorf("DD sqrt(2) accuracy 2^-%.1f", bits)
+	}
+	q := DD{1, 0}.Div(DD{3, 0})
+	want = new(big.Float).SetPrec(300).Quo(big.NewFloat(1), big.NewFloat(3))
+	if bits := relBits(want, q.Hi, q.Lo); bits < 100 {
+		t.Errorf("DD 1/3 accuracy 2^-%.1f", bits)
+	}
+}
+
+func TestQDAddAccuracy(t *testing.T) {
+	gen := verify.NewExpansionGen(42)
+	gen.MaxLeadExp = 100
+	gen.Strict = true
+	for i := 0; i < 20000; i++ {
+		x, y := gen.Pair(4)
+		a, b := QD(toArr4(x)), QD(toArr4(y))
+		want := toBig(x...)
+		want.Add(want, toBig(y...))
+		z := a.Add(b)
+		if want.Sign() == 0 {
+			// QD's accurate addition is exact under full cancellation.
+			for _, v := range z {
+				if v != 0 {
+					t.Fatalf("QD.Add nonzero on cancellation: %v (x=%v y=%v)", z, x, y)
+				}
+			}
+			continue
+		}
+		// QD's ieee_add was never formally certified; under interior and
+		// deep cancellation its renormalization (quick_two_sum chains that
+		// assume magnitude ordering) loses bits, bottoming out near
+		// 2^-168 on this adversarial family. That uncertified behaviour
+		// is precisely the motivation for CAMPARY's certified algorithms
+		// and the paper's verified FPANs (which hold 2^-208 here).
+		if bits := relBits(want, z[0], z[1], z[2], z[3]); bits < 163 {
+			t.Fatalf("QD.Add accuracy 2^-%.1f (x=%v y=%v)", bits, x, y)
+		}
+	}
+}
+
+// TestQDAddBenignInputs: without leading-term cancellation QD's accurate
+// addition does clearly better than the adversarial floor, though interior
+// mixed-sign components still keep it below the certified ~2^-205 level —
+// a gap the paper's verified FPANs close.
+func TestQDAddBenignInputs(t *testing.T) {
+	gen := verify.NewExpansionGen(44)
+	gen.MaxLeadExp = 100
+	gen.Strict = true
+	for i := 0; i < 20000; i++ {
+		x := gen.Expansion(4)
+		y := gen.Expansion(4)
+		if x[0] == 0 || y[0] == 0 {
+			continue
+		}
+		// Force same sign to rule out leading cancellation.
+		if (x[0] < 0) != (y[0] < 0) {
+			for j := range y {
+				y[j] = -y[j]
+			}
+		}
+		a, b := QD(toArr4(x)), QD(toArr4(y))
+		want := toBig(x...)
+		want.Add(want, toBig(y...))
+		z := a.Add(b)
+		if bits := relBits(want, z[0], z[1], z[2], z[3]); bits < 175 {
+			t.Fatalf("QD.Add benign accuracy 2^-%.1f (x=%v y=%v)", bits, x, y)
+		}
+	}
+}
+
+func TestQDMulAccuracy(t *testing.T) {
+	gen := verify.NewExpansionGen(43)
+	gen.MaxLeadExp = 100
+	gen.Strict = true
+	for i := 0; i < 20000; i++ {
+		x, y := gen.Pair(4)
+		a, b := QD(toArr4(x)), QD(toArr4(y))
+		want := new(big.Float).SetPrec(2200).Mul(toBig(x...), toBig(y...))
+		z := a.Mul(b)
+		if want.Sign() == 0 {
+			continue
+		}
+		if bits := relBits(want, z[0], z[1], z[2], z[3]); bits < 200 {
+			t.Fatalf("QD.Mul accuracy 2^-%.1f (x=%v y=%v)", bits, x, y)
+		}
+	}
+}
+
+func toArr4(x []float64) [4]float64 {
+	var a [4]float64
+	copy(a[:], x)
+	return a
+}
+
+func TestQDDivSqrt(t *testing.T) {
+	third := QDFromFloat(1).Div(QDFromFloat(3))
+	want := new(big.Float).SetPrec(400).Quo(big.NewFloat(1), big.NewFloat(3))
+	if bits := relBits(want, third[0], third[1], third[2], third[3]); bits < 200 {
+		t.Errorf("QD 1/3 accuracy 2^-%.1f", bits)
+	}
+	s2 := QDFromFloat(2).Sqrt()
+	want = new(big.Float).SetPrec(400).Sqrt(big.NewFloat(2))
+	if bits := relBits(want, s2[0], s2[1], s2[2], s2[3]); bits < 198 {
+		t.Errorf("QD sqrt(2) accuracy 2^-%.1f", bits)
+	}
+}
+
+func TestQDSloppyAddLosesOnCancellation(t *testing.T) {
+	// The "fast" non-certified algorithms can lose precision under
+	// cancellation — the reason the paper benchmarks only certified
+	// variants (§5, footnote 5). Verify the accurate path handles a case
+	// the sloppy path may not: this documents the behaviour difference.
+	a := QD{1, 0x1p-55, 0x1p-110, 0x1p-165}
+	b := QD{-1, -0x1p-55, -0x1p-110, 0x1p-170}
+	acc := a.Add(b)
+	want := 0x1p-165 + 0x1p-170
+	if acc[0] != want {
+		t.Errorf("accurate add got %g, want %g", acc[0], want)
+	}
+}
+
+func TestDDCmp(t *testing.T) {
+	if (DD{1, 0x1p-60}).Cmp(DD{1, 0}) != 1 {
+		t.Error("cmp >")
+	}
+	if (DD{1, 0}).Cmp(DD{1, 0}) != 0 {
+		t.Error("cmp ==")
+	}
+	if QDFromFloat(1).Cmp(QDFromFloat(2)) != -1 {
+		t.Error("qd cmp <")
+	}
+}
+
+func BenchmarkDDAdd(b *testing.B) {
+	x := DD{1.5, 0x1p-55}
+	y := DD{0.7, 0x1p-56}
+	var z DD
+	for i := 0; i < b.N; i++ {
+		z = x.Add(y)
+	}
+	_ = z
+}
+
+func BenchmarkQDAdd(b *testing.B) {
+	x := QD{1.5, 0x1p-55, 0x1p-110, 0x1p-168}
+	y := QD{0.7, 0x1p-56, 0x1p-111, 0x1p-169}
+	var z QD
+	for i := 0; i < b.N; i++ {
+		z = x.Add(y)
+	}
+	_ = z
+}
+
+func BenchmarkQDMul(b *testing.B) {
+	x := QD{1.5, 0x1p-55, 0x1p-110, 0x1p-168}
+	y := QD{0.7, 0x1p-56, 0x1p-111, 0x1p-169}
+	var z QD
+	for i := 0; i < b.N; i++ {
+		z = x.Mul(y)
+	}
+	_ = z
+}

@@ -1,0 +1,217 @@
+package softfloat
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Num is a scalar binary floating-point value at a small parametric
+// precision: value = (-1)^Neg · Mant · 2^(Exp-P+1), with Mant ∈
+// [2^(P-1), 2^P) for nonzero values (Exp is the exponent of the leading
+// bit). Exponents are unbounded (int32), matching the paper's §2.1 model:
+// no overflow, no underflow, no subnormals. A Format provides correctly
+// rounded RNE arithmetic for 2 ≤ P ≤ 28 (the widest precision whose
+// square-root scaling fits uint64); the operations are validated
+// bit-for-bit against internal/mpfloat at equal precision
+// (TestNumMatchesMPFloat).
+type Num struct {
+	Neg  bool
+	Exp  int32
+	Mant uint64
+}
+
+// Format carries the precision.
+type Format struct{ P uint }
+
+// IsZero reports whether a is zero.
+func (a Num) IsZero() bool { return a.Mant == 0 }
+
+// Neg returns -a.
+func (f Format) Neg(a Num) Num {
+	if a.IsZero() {
+		return a
+	}
+	a.Neg = !a.Neg
+	return a
+}
+
+// normRound builds the RNE-rounded Num for the exact value
+// (-1)^neg · (mant + sticky·ε) · 2^scaleExp, with ε ∈ (0, 1).
+func (f Format) normRound(neg bool, mant uint64, scaleExp int32, sticky bool) Num {
+	if mant == 0 {
+		return Num{}
+	}
+	width := uint(bits.Len64(mant))
+	if width > f.P {
+		shift := width - f.P
+		rem := mant & (1<<shift - 1)
+		half := uint64(1) << (shift - 1)
+		mant >>= shift
+		scaleExp += int32(shift)
+		roundUp := rem > half || (rem == half && (sticky || mant&1 == 1))
+		if roundUp {
+			mant++
+			if uint(bits.Len64(mant)) > f.P {
+				mant >>= 1
+				scaleExp++
+			}
+		}
+	} else if width < f.P {
+		// Sticky below bit zero is strictly under half an ulp here, so
+		// RNE truncates: just widen positionally.
+		mant <<= f.P - width
+		scaleExp -= int32(f.P - width)
+	}
+	return Num{Neg: neg, Exp: scaleExp + int32(f.P) - 1, Mant: mant}
+}
+
+// FromFloat64 rounds x to the format (RNE). NaN and ±Inf map to zero
+// (the model has no special values).
+func (f Format) FromFloat64(x float64) Num {
+	if x == 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+		return Num{}
+	}
+	neg := x < 0
+	fr, e := math.Frexp(math.Abs(x)) // fr ∈ [0.5, 1)
+	m := uint64(fr * (1 << 53))      // exact 53-bit significand
+	return f.normRound(neg, m, int32(e-53), false)
+}
+
+// Float64 converts exactly (always possible for P ≤ 30).
+func (f Format) Float64(a Num) float64 {
+	if a.IsZero() {
+		return 0
+	}
+	v := math.Ldexp(float64(a.Mant), int(a.Exp)-int(f.P)+1)
+	if a.Neg {
+		v = -v
+	}
+	return v
+}
+
+// addGuard is the number of guard bits carried through alignment; three
+// suffice for correct RNE because cancellation of more than one bit only
+// occurs at exponent distance ≤ 1, where alignment is exact.
+const addGuard = 3
+
+// Add returns RNE(a + b).
+func (f Format) Add(a, b Num) Num {
+	if a.IsZero() {
+		return b
+	}
+	if b.IsZero() {
+		return a
+	}
+	// Order so |a| ≥ |b|.
+	if a.Exp < b.Exp || (a.Exp == b.Exp && a.Mant < b.Mant) {
+		a, b = b, a
+	}
+	d := uint(a.Exp - b.Exp)
+	am := a.Mant << addGuard
+	var bm uint64
+	sticky := false
+	if d >= 64 {
+		sticky = true
+	} else {
+		full := b.Mant << addGuard
+		if d > 0 {
+			sticky = full&(1<<d-1) != 0
+			bm = full >> d
+		} else {
+			bm = full
+		}
+		if bm == 0 && b.Mant != 0 && d >= uint(bits.Len64(full)) {
+			sticky = true
+		}
+	}
+	var sum uint64
+	if a.Neg == b.Neg {
+		sum = am + bm
+	} else {
+		sum = am - bm
+		if sticky {
+			// True value is (am - bm) - ε with ε ∈ (0,1) guard units:
+			// re-express as (am - bm - 1) + (1-ε).
+			sum--
+		}
+		if sum == 0 && !sticky {
+			return Num{}
+		}
+	}
+	// sum · 2^(exponent of a's bit 0 - addGuard).
+	return f.normRound(a.Neg, sum, a.Exp-int32(f.P)+1-addGuard, sticky)
+}
+
+// Sub returns RNE(a - b).
+func (f Format) Sub(a, b Num) Num { return f.Add(a, f.Neg(b)) }
+
+// Mul returns RNE(a · b).
+func (f Format) Mul(a, b Num) Num {
+	if a.IsZero() || b.IsZero() {
+		return Num{}
+	}
+	prod := a.Mant * b.Mant // ≤ 2^60 for P ≤ 30
+	scale := (a.Exp - int32(f.P) + 1) + (b.Exp - int32(f.P) + 1)
+	return f.normRound(a.Neg != b.Neg, prod, scale, false)
+}
+
+// Quo returns RNE(a / b), b nonzero.
+func (f Format) Quo(a, b Num) Num {
+	if a.IsZero() {
+		return Num{}
+	}
+	if b.IsZero() {
+		panic("softfloat: division by zero")
+	}
+	// a/b = (aMant<<s)/bMant · 2^(aExp-bExp-s); the quotient carries at
+	// least P+2 significant bits for s = P+2.
+	const extra = 2
+	s := f.P + extra
+	num := a.Mant << s
+	q := num / b.Mant
+	r := num % b.Mant
+	return f.normRound(a.Neg != b.Neg, q, a.Exp-b.Exp-int32(s), r != 0)
+}
+
+// Sqrt returns RNE(√a), a ≥ 0.
+func (f Format) Sqrt(a Num) Num {
+	if a.IsZero() {
+		return Num{}
+	}
+	if a.Neg {
+		panic("softfloat: sqrt of negative")
+	}
+	// a = m·2^e with e = Exp-P+1; bring to an even scaled exponent with
+	// P+4 extra bits, so the integer root carries ≥ P+2 bits:
+	// √(m·2^(2k+e')) = √(m·2^(2k))·2^(e'/2).
+	m := a.Mant
+	e := int32(a.Exp) - int32(f.P) + 1
+	shift := int32(f.P + 4)
+	if (e-shift)%2 != 0 {
+		m <<= 1
+		e--
+	}
+	wide := m << uint(shift)
+	root := uint64(math.Sqrt(float64(wide)))
+	for root > 0 && root*root > wide {
+		root--
+	}
+	for (root+1)*(root+1) <= wide {
+		root++
+	}
+	sticky := root*root != wide
+	return f.normRound(false, root, (e-shift)/2, sticky)
+}
+
+// Cmp compares by value: -1, 0, +1.
+func (f Format) Cmp(a, b Num) int {
+	d := f.Sub(a, b)
+	switch {
+	case d.IsZero():
+		return 0
+	case d.Neg:
+		return -1
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,141 @@
+package softfloat
+
+import (
+	"math/rand"
+	"testing"
+
+	"multifloats/internal/mpfloat"
+)
+
+// randNum draws a random value in the format with a moderate exponent
+// range.
+func randNum(rng *rand.Rand, f Format) Num {
+	if rng.Intn(20) == 0 {
+		return Num{}
+	}
+	mant := uint64(1)<<(f.P-1) | uint64(rng.Int63n(1<<(f.P-1)))
+	return Num{
+		Neg:  rng.Intn(2) == 0,
+		Exp:  int32(rng.Intn(60) - 30),
+		Mant: mant,
+	}
+}
+
+// TestNumMatchesMPFloat validates every Num operation bit-for-bit against
+// the limb-based mpfloat library at the same precision — two independent
+// implementations of the same RNE semantics.
+func TestNumMatchesMPFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range []uint{3, 4, 5, 8, 13, 24, 28} {
+		f := Format{P: p}
+		for i := 0; i < 30000; i++ {
+			a := randNum(rng, f)
+			b := randNum(rng, f)
+			av, bv := f.Float64(a), f.Float64(b)
+			ma := mpfloat.New(p).SetFloat64(av)
+			mb := mpfloat.New(p).SetFloat64(bv)
+
+			check := func(op string, got Num, want *mpfloat.Float) {
+				gv := f.Float64(got)
+				if want.IsNaN() || want.IsInf() {
+					return
+				}
+				wv, _ := want.Big().Float64()
+				if gv != wv {
+					t.Fatalf("p=%d %s(a=%g, b=%g) = %g, mpfloat gives %g", p, op, av, bv, gv, wv)
+				}
+			}
+			check("add", f.Add(a, b), mpfloat.New(p).Add(ma, mb))
+			check("sub", f.Sub(a, b), mpfloat.New(p).Sub(ma, mb))
+			check("mul", f.Mul(a, b), mpfloat.New(p).Mul(ma, mb))
+			if !b.IsZero() {
+				check("quo", f.Quo(a, b), mpfloat.New(p).Quo(ma, mb))
+			}
+			if !a.Neg && !a.IsZero() {
+				check("sqrt", f.Sqrt(a), mpfloat.New(p).Sqrt(ma))
+			}
+		}
+	}
+}
+
+// TestNumMatchesRNEModel cross-checks the Num type against the scaled
+// integer model for values inside the integer window.
+func TestNumMatchesRNEModel(t *testing.T) {
+	const p = 5
+	f := Format{P: p}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100000; i++ {
+		ai := randP(rng, p, 30)
+		bi := randP(rng, p, 30)
+		a := f.FromFloat64(float64(ai))
+		b := f.FromFloat64(float64(bi))
+		sum := f.Add(a, b)
+		want := RNE(ai+bi, p)
+		if got := f.Float64(sum); got != float64(want) {
+			t.Fatalf("Add(%d,%d) = %g, int model gives %d", ai, bi, got, want)
+		}
+	}
+}
+
+func TestNumFromFloatRoundTrip(t *testing.T) {
+	f := Format{P: 9}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50000; i++ {
+		a := randNum(rng, f)
+		back := f.FromFloat64(f.Float64(a))
+		if back != a {
+			t.Fatalf("round trip %+v -> %+v", a, back)
+		}
+	}
+}
+
+func TestNumCmp(t *testing.T) {
+	f := Format{P: 6}
+	one := f.FromFloat64(1)
+	two := f.FromFloat64(2)
+	if f.Cmp(one, two) != -1 || f.Cmp(two, one) != 1 || f.Cmp(one, one) != 0 {
+		t.Error("Cmp ordering broken")
+	}
+	negOne := f.Neg(one)
+	if f.Cmp(negOne, one) != -1 {
+		t.Error("Cmp sign broken")
+	}
+}
+
+func TestNumExactCases(t *testing.T) {
+	f := Format{P: 4}
+	// 3 + 5 = 8 exactly (1000 = 4 bits).
+	got := f.Add(f.FromFloat64(3), f.FromFloat64(5))
+	if f.Float64(got) != 8 {
+		t.Errorf("3+5 = %g", f.Float64(got))
+	}
+	// 9 + 1 = 10: 1010 fits in 4 bits exactly.
+	got = f.Add(f.FromFloat64(9), f.FromFloat64(1))
+	if f.Float64(got) != 10 {
+		t.Errorf("9+1 = %g", f.Float64(got))
+	}
+	// 9 + 0.5 = 9.5 rounds to 10 (1001|1 tie → even 1010... wait: 9.5 =
+	// 10011·2^-1: 5 bits → round to 4: 1001|1 tie, 1001 odd → up → 1010
+	// = 10).
+	got = f.Add(f.FromFloat64(9), f.FromFloat64(0.5))
+	if f.Float64(got) != 10 {
+		t.Errorf("9+0.5 at p=4 = %g, want 10 (ties to even)", f.Float64(got))
+	}
+	// 10 + 0.5 ties to even 10.
+	got = f.Add(f.FromFloat64(10), f.FromFloat64(0.5))
+	if f.Float64(got) != 10 {
+		t.Errorf("10+0.5 at p=4 = %g, want 10 (ties to even)", f.Float64(got))
+	}
+	// √16 = 4 exactly; √2 at p=4: 1.0110|1... ≈ 1.414 → 1.375 or 1.4375?
+	// 1.4142 in 4 bits: candidates 1.375 (1011·2^-3) and 1.4375? No —
+	// 4-bit significands around √2: 1.250, 1.375, 1.500. |√2-1.375| =
+	// .039, |√2-1.5| = .086 → 1.375.
+	got = f.Sqrt(f.FromFloat64(16))
+	if f.Float64(got) != 4 {
+		t.Errorf("sqrt(16) = %g", f.Float64(got))
+	}
+	got = f.Sqrt(f.FromFloat64(2))
+	if f.Float64(got) != 1.375 {
+		t.Errorf("sqrt(2) at p=4 = %g, want 1.375", f.Float64(got))
+	}
+}

@@ -1,0 +1,159 @@
+package tables
+
+import (
+	"math/rand"
+
+	"multifloats/internal/blas"
+	"multifloats/internal/eft"
+	"multifloats/mf"
+)
+
+// Kernel constructors for the MultiFloats rows using the specialized
+// (fully instantiated) kernels from internal/blas, which avoid Go's
+// generic-dictionary method dispatch; see the comment in
+// internal/blas/specialized.go and EXPERIMENTS.md.
+
+func opCounts(s Sizes) *Kernels {
+	return &Kernels{
+		AxpyOps: float64(s.VecN),
+		DotOps:  float64(s.VecN),
+		GemvOps: float64(s.GemvN) * float64(s.GemvN),
+		GemmOps: float64(s.GemmN) * float64(s.GemmN) * float64(s.GemmN),
+	}
+}
+
+func makeKernelsNative[T eft.Float](s Sizes) *Kernels {
+	rng := rand.New(rand.NewSource(7))
+	rnd := func() T { return T(rng.Float64() + 0.5) }
+	x := make([]T, s.VecN)
+	y := make([]T, s.VecN)
+	for i := range x {
+		x[i], y[i] = rnd(), rnd()
+	}
+	alpha := T(1.0000000001)
+	av := make([]T, s.GemvN*s.GemvN)
+	xv := make([]T, s.GemvN)
+	yv := make([]T, s.GemvN)
+	for i := range av {
+		av[i] = rnd()
+	}
+	for i := range xv {
+		xv[i] = rnd()
+	}
+	am := make([]T, s.GemmN*s.GemmN)
+	bm := make([]T, s.GemmN*s.GemmN)
+	cm := make([]T, s.GemmN*s.GemmN)
+	for i := range am {
+		am[i], bm[i] = rnd(), rnd()
+	}
+	var sink T
+	k := opCounts(s)
+	k.Axpy = func(w int) { blas.AxpyNative(alpha, x, y, w) }
+	k.Dot = func(w int) { sink = blas.DotNative(x, y, w) }
+	k.Gemv = func(w int) { blas.GemvNative(av, s.GemvN, s.GemvN, xv, yv, w) }
+	k.Gemm = func(w int) { blas.GemmNative(am, bm, cm, s.GemmN, w) }
+	_ = sink
+	return k
+}
+
+func makeKernelsF2[T eft.Float](s Sizes) *Kernels {
+	rng := rand.New(rand.NewSource(7))
+	rnd := func() mf.F2[T] { return mf.New2(T(rng.Float64() + 0.5)) }
+	x := make([]mf.F2[T], s.VecN)
+	y := make([]mf.F2[T], s.VecN)
+	for i := range x {
+		x[i], y[i] = rnd(), rnd()
+	}
+	alpha := mf.New2(T(1.0000000001))
+	av := make([]mf.F2[T], s.GemvN*s.GemvN)
+	xv := make([]mf.F2[T], s.GemvN)
+	yv := make([]mf.F2[T], s.GemvN)
+	for i := range av {
+		av[i] = rnd()
+	}
+	for i := range xv {
+		xv[i] = rnd()
+	}
+	am := make([]mf.F2[T], s.GemmN*s.GemmN)
+	bm := make([]mf.F2[T], s.GemmN*s.GemmN)
+	cm := make([]mf.F2[T], s.GemmN*s.GemmN)
+	for i := range am {
+		am[i], bm[i] = rnd(), rnd()
+	}
+	var sink mf.F2[T]
+	k := opCounts(s)
+	k.Axpy = func(w int) { blas.AxpyF2Parallel(alpha, x, y, w) }
+	k.Dot = func(w int) { sink = blas.DotF2Parallel(x, y, w) }
+	k.Gemv = func(w int) { blas.GemvF2Parallel(av, s.GemvN, s.GemvN, xv, yv, w) }
+	k.Gemm = func(w int) { blas.GemmF2Parallel(am, bm, cm, s.GemmN, w) }
+	_ = sink
+	return k
+}
+
+func makeKernelsF3[T eft.Float](s Sizes) *Kernels {
+	rng := rand.New(rand.NewSource(7))
+	rnd := func() mf.F3[T] { return mf.New3(T(rng.Float64() + 0.5)) }
+	x := make([]mf.F3[T], s.VecN)
+	y := make([]mf.F3[T], s.VecN)
+	for i := range x {
+		x[i], y[i] = rnd(), rnd()
+	}
+	alpha := mf.New3(T(1.0000000001))
+	av := make([]mf.F3[T], s.GemvN*s.GemvN)
+	xv := make([]mf.F3[T], s.GemvN)
+	yv := make([]mf.F3[T], s.GemvN)
+	for i := range av {
+		av[i] = rnd()
+	}
+	for i := range xv {
+		xv[i] = rnd()
+	}
+	am := make([]mf.F3[T], s.GemmN*s.GemmN)
+	bm := make([]mf.F3[T], s.GemmN*s.GemmN)
+	cm := make([]mf.F3[T], s.GemmN*s.GemmN)
+	for i := range am {
+		am[i], bm[i] = rnd(), rnd()
+	}
+	var sink mf.F3[T]
+	k := opCounts(s)
+	k.Axpy = func(w int) { blas.AxpyF3Parallel(alpha, x, y, w) }
+	k.Dot = func(w int) { sink = blas.DotF3Parallel(x, y, w) }
+	k.Gemv = func(w int) { blas.GemvF3Parallel(av, s.GemvN, s.GemvN, xv, yv, w) }
+	k.Gemm = func(w int) { blas.GemmF3Parallel(am, bm, cm, s.GemmN, w) }
+	_ = sink
+	return k
+}
+
+func makeKernelsF4[T eft.Float](s Sizes) *Kernels {
+	rng := rand.New(rand.NewSource(7))
+	rnd := func() mf.F4[T] { return mf.New4(T(rng.Float64() + 0.5)) }
+	x := make([]mf.F4[T], s.VecN)
+	y := make([]mf.F4[T], s.VecN)
+	for i := range x {
+		x[i], y[i] = rnd(), rnd()
+	}
+	alpha := mf.New4(T(1.0000000001))
+	av := make([]mf.F4[T], s.GemvN*s.GemvN)
+	xv := make([]mf.F4[T], s.GemvN)
+	yv := make([]mf.F4[T], s.GemvN)
+	for i := range av {
+		av[i] = rnd()
+	}
+	for i := range xv {
+		xv[i] = rnd()
+	}
+	am := make([]mf.F4[T], s.GemmN*s.GemmN)
+	bm := make([]mf.F4[T], s.GemmN*s.GemmN)
+	cm := make([]mf.F4[T], s.GemmN*s.GemmN)
+	for i := range am {
+		am[i], bm[i] = rnd(), rnd()
+	}
+	var sink mf.F4[T]
+	k := opCounts(s)
+	k.Axpy = func(w int) { blas.AxpyF4Parallel(alpha, x, y, w) }
+	k.Dot = func(w int) { sink = blas.DotF4Parallel(x, y, w) }
+	k.Gemv = func(w int) { blas.GemvF4Parallel(av, s.GemvN, s.GemvN, xv, yv, w) }
+	k.Gemm = func(w int) { blas.GemmF4Parallel(am, bm, cm, s.GemmN, w) }
+	_ = sink
+	return k
+}

@@ -1,0 +1,315 @@
+// Package tables is the benchmark harness that regenerates the paper's
+// evaluation artifacts (Figures 8–11): AXPY, DOT, GEMV, and GEMM throughput
+// for MultiFloats and every baseline library, at 53-, 103-, 156-, and
+// 208-bit precision, reported in billions of extended-precision operations
+// per second (1 op = 1 multiplication + 1 addition, the usual linear
+// algebra convention, §5).
+//
+// As in the paper, each cell reports the maximum throughput over execution
+// configurations — here serial and parallel (goroutine worker pool)
+// variants, standing in for the paper's compiler/thread-count sweep.
+// Substitutions relative to the paper's hardware are documented in
+// DESIGN.md §2.
+package tables
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"multifloats/internal/blas"
+	"multifloats/internal/campary"
+	"multifloats/internal/qd"
+)
+
+// Sizes holds the workload dimensions. The defaults keep every vector and
+// matrix within L3 cache, matching the paper's methodology.
+type Sizes struct {
+	VecN    int // AXPY/DOT vector length
+	GemvN   int // GEMV matrix dimension
+	GemmN   int // GEMM matrix dimension
+	MinTime time.Duration
+}
+
+// Default sizes for the full run.
+func DefaultSizes() Sizes {
+	return Sizes{VecN: 1 << 14, GemvN: 192, GemmN: 72, MinTime: 300 * time.Millisecond}
+}
+
+// QuickSizes for smoke tests.
+func QuickSizes() Sizes {
+	return Sizes{VecN: 1 << 11, GemvN: 64, GemmN: 28, MinTime: 30 * time.Millisecond}
+}
+
+// Kernels bundles single-pass benchmark closures for one element type and
+// workload, plus the operation count of each pass.
+type Kernels struct {
+	Axpy, Dot, Gemv, Gemm             func(workers int)
+	AxpyOps, DotOps, GemvOps, GemmOps float64
+}
+
+// KernelNames lists the four kernels in the paper's order.
+var KernelNames = []string{"AXPY", "DOT", "GEMV", "GEMM"}
+
+// one kernel pass per call; workers ≤ 1 selects the serial variant.
+func makeKernels[E blas.Arith[E]](from func(float64) E, s Sizes) *Kernels {
+	rng := rand.New(rand.NewSource(7))
+	rnd := func() E { return from(rng.Float64() + 0.5) }
+
+	x := make([]E, s.VecN)
+	y := make([]E, s.VecN)
+	for i := range x {
+		x[i], y[i] = rnd(), rnd()
+	}
+	alpha := from(1.0000000001)
+	zero := from(0)
+
+	av := make([]E, s.GemvN*s.GemvN)
+	xv := make([]E, s.GemvN)
+	yv := make([]E, s.GemvN)
+	for i := range av {
+		av[i] = rnd()
+	}
+	for i := range xv {
+		xv[i] = rnd()
+	}
+
+	am := make([]E, s.GemmN*s.GemmN)
+	bm := make([]E, s.GemmN*s.GemmN)
+	cm := make([]E, s.GemmN*s.GemmN)
+	for i := range am {
+		am[i], bm[i], cm[i] = rnd(), rnd(), from(0)
+	}
+	for i := range yv {
+		yv[i] = from(0)
+	}
+
+	var sink E
+	k := &Kernels{
+		AxpyOps: float64(s.VecN),
+		DotOps:  float64(s.VecN),
+		GemvOps: float64(s.GemvN) * float64(s.GemvN),
+		GemmOps: float64(s.GemmN) * float64(s.GemmN) * float64(s.GemmN),
+	}
+	k.Axpy = func(workers int) {
+		if workers > 1 {
+			blas.AxpyParallel(alpha, x, y, workers)
+		} else {
+			blas.Axpy(alpha, x, y)
+		}
+	}
+	k.Dot = func(workers int) {
+		if workers > 1 {
+			sink = blas.DotParallel(zero, x, y, workers)
+		} else {
+			sink = blas.Dot(zero, x, y)
+		}
+	}
+	k.Gemv = func(workers int) {
+		if workers > 1 {
+			blas.GemvParallel(zero, av, s.GemvN, s.GemvN, xv, yv, workers)
+		} else {
+			blas.Gemv(zero, av, s.GemvN, s.GemvN, xv, yv)
+		}
+	}
+	k.Gemm = func(workers int) {
+		if workers > 1 {
+			blas.GemmParallel(am, bm, cm, s.GemmN, workers)
+		} else {
+			blas.Gemm(am, bm, cm, s.GemmN)
+		}
+	}
+	_ = sink
+	return k
+}
+
+// Entry is one library at one precision level.
+type Entry struct {
+	Library string
+	Terms   int // 1..4 ⇒ 53/103/156/208-bit columns
+	Kernels *Kernels
+}
+
+// PrecBits maps term count to the paper's column label.
+var PrecBits = map[int]int{1: 53, 2: 103, 3: 156, 4: 208}
+
+// BuildEntries constructs the full library × precision grid of Figure 9.
+// Entries that a library does not support (QD at 3 terms, for example) are
+// omitted, and render as "N/A" in the tables.
+func BuildEntries(s Sizes) []Entry {
+	var out []Entry
+	// MultiFloats (ours): N=1 is the native base type, as in the paper.
+	// The specialized (fully instantiated) kernels are used, matching the
+	// paper's template instantiation; see internal/blas/specialized.go.
+	out = append(out,
+		Entry{"MultiFloats", 1, makeKernelsNative[float64](s)},
+		Entry{"MultiFloats", 2, makeKernelsF2[float64](s)},
+		Entry{"MultiFloats", 3, makeKernelsF3[float64](s)},
+		Entry{"MultiFloats", 4, makeKernelsF4[float64](s)},
+	)
+	// mpfloat: our MPFR-like limb library.
+	for n, bits := range PrecBits {
+		b := uint(bits)
+		out = append(out, Entry{"mpfloat (MPFR-like)", n,
+			makeKernels(func(v float64) blas.MP { return blas.MPFromFloat(v, b) }, s)})
+	}
+	// big.Float: Boost.Multiprecision stand-in.
+	for n, bits := range PrecBits {
+		b := uint(bits)
+		out = append(out, Entry{"big.Float (Boost-like)", n,
+			makeKernels(func(v float64) blas.BF { return blas.BFFromFloat(v, b) }, s)})
+	}
+	// QD: double-double and quad-double only, as in the paper.
+	out = append(out,
+		Entry{"QD", 2, makeKernels(func(v float64) qd.DD { return qd.FromFloat(v) }, s)},
+		Entry{"QD", 4, makeKernels(func(v float64) qd.QD { return qd.QDFromFloat(v) }, s)},
+	)
+	// CAMPARY certified, all term counts.
+	for n := 1; n <= 4; n++ {
+		nn := n
+		out = append(out, Entry{"CAMPARY (certified)", n,
+			makeKernels(func(v float64) campary.Expansion { return campary.FromFloat(v, nn) }, s)})
+	}
+	return out
+}
+
+// BuildFloat32Entries constructs the Figure 11 grid: MultiFloat kernels on
+// the float32 base type (the GPU configuration).
+func BuildFloat32Entries(s Sizes) []Entry {
+	return []Entry{
+		{"MultiFloats", 1, makeKernelsNative[float32](s)},
+		{"MultiFloats", 2, makeKernelsF2[float32](s)},
+		{"MultiFloats", 3, makeKernelsF3[float32](s)},
+		{"MultiFloats", 4, makeKernelsF4[float32](s)},
+	}
+}
+
+// Measure runs f repeatedly until minTime elapses and returns the
+// throughput in GOPS (billions of operations per second).
+func Measure(f func(int), workers int, opsPerPass float64, minTime time.Duration) float64 {
+	// Warm up.
+	f(workers)
+	var passes int
+	start := time.Now()
+	for {
+		f(workers)
+		passes++
+		if time.Since(start) >= minTime {
+			break
+		}
+	}
+	sec := time.Since(start).Seconds()
+	return opsPerPass * float64(passes) / sec / 1e9
+}
+
+// Cell measures one (entry, kernel) pair, taking the max over serial and
+// parallel configurations as the paper takes the max over its compiler and
+// thread sweeps.
+func Cell(e Entry, kernel string, s Sizes, workerChoices []int) float64 {
+	var f func(int)
+	var ops float64
+	switch kernel {
+	case "AXPY":
+		f, ops = e.Kernels.Axpy, e.Kernels.AxpyOps
+	case "DOT":
+		f, ops = e.Kernels.Dot, e.Kernels.DotOps
+	case "GEMV":
+		f, ops = e.Kernels.Gemv, e.Kernels.GemvOps
+	case "GEMM":
+		f, ops = e.Kernels.Gemm, e.Kernels.GemmOps
+	default:
+		panic("tables: unknown kernel " + kernel)
+	}
+	best := 0.0
+	for _, w := range workerChoices {
+		if g := Measure(f, w, ops, s.MinTime); g > best {
+			best = g
+		}
+	}
+	return best
+}
+
+// Table is the measured grid for one kernel: library → terms → GOPS.
+type Table struct {
+	Kernel string
+	Rows   map[string]map[int]float64
+	Order  []string
+}
+
+// RunTables measures every entry for every kernel.
+func RunTables(w io.Writer, entries []Entry, s Sizes, workerChoices []int, label string) []Table {
+	tables := make([]Table, 0, len(KernelNames))
+	for _, kn := range KernelNames {
+		tab := Table{Kernel: kn, Rows: map[string]map[int]float64{}}
+		for _, e := range entries {
+			if tab.Rows[e.Library] == nil {
+				tab.Rows[e.Library] = map[int]float64{}
+				tab.Order = append(tab.Order, e.Library)
+			}
+			g := Cell(e, kn, s, workerChoices)
+			tab.Rows[e.Library][e.Terms] = g
+			if w != nil {
+				fmt.Fprintf(w, "# %s %s %s %d-bit: %.4f GOPS\n",
+					label, kn, e.Library, PrecBits[e.Terms], g)
+			}
+		}
+		tables = append(tables, tab)
+	}
+	return tables
+}
+
+// Print renders a table in the layout of Figures 9–10.
+func Print(w io.Writer, label string, tabs []Table) {
+	for _, tab := range tabs {
+		fmt.Fprintf(w, "\n%s %s Performance\n", label, tab.Kernel)
+		fmt.Fprintf(w, "%-24s %10s %10s %10s %10s\n", "Library", "53-bit", "103-bit", "156-bit", "208-bit")
+		for _, lib := range tab.Order {
+			fmt.Fprintf(w, "%-24s", lib)
+			for n := 1; n <= 4; n++ {
+				if g, ok := tab.Rows[lib][n]; ok {
+					fmt.Fprintf(w, " %10.4f", g)
+				} else {
+					fmt.Fprintf(w, " %10s", "N/A")
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// PrintRatios renders the Figure 8 summary: MultiFloats' peak throughput
+// over the best competing library, per kernel and precision.
+func PrintRatios(w io.Writer, tabs []Table) {
+	fmt.Fprintf(w, "\nRatio of MultiFloats peak performance over next best library (Figure 8)\n")
+	fmt.Fprintf(w, "%-8s %10s %10s %10s %10s\n", "Kernel", "53-bit", "103-bit", "156-bit", "208-bit")
+	for _, tab := range tabs {
+		fmt.Fprintf(w, "%-8s", tab.Kernel)
+		for n := 1; n <= 4; n++ {
+			ours, ok := tab.Rows["MultiFloats"][n]
+			if !ok {
+				fmt.Fprintf(w, " %10s", "N/A")
+				continue
+			}
+			best := 0.0
+			for lib, row := range tab.Rows {
+				if lib == "MultiFloats" {
+					continue
+				}
+				if g, ok := row[n]; ok && g > best {
+					best = g
+				}
+			}
+			if best == 0 {
+				fmt.Fprintf(w, " %10s", "N/A")
+			} else {
+				fmt.Fprintf(w, " %9.2fx", ours/best)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Workers returns the parallel worker count used for the "max over
+// configurations" sweep.
+func Workers() int { return blas.Workers() }

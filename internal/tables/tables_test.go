@@ -1,0 +1,92 @@
+package tables
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func tinySizes() Sizes {
+	return Sizes{VecN: 256, GemvN: 24, GemmN: 12, MinTime: time.Millisecond}
+}
+
+func TestBuildEntriesGrid(t *testing.T) {
+	s := tinySizes()
+	entries := BuildEntries(s)
+	byLib := map[string][]int{}
+	for _, e := range entries {
+		byLib[e.Library] = append(byLib[e.Library], e.Terms)
+	}
+	if len(byLib["MultiFloats"]) != 4 {
+		t.Errorf("MultiFloats should cover 4 precisions, got %v", byLib["MultiFloats"])
+	}
+	if len(byLib["QD"]) != 2 {
+		t.Errorf("QD supports exactly 2 precisions (paper: N/A at 53/156), got %v", byLib["QD"])
+	}
+	if len(byLib["CAMPARY (certified)"]) != 4 {
+		t.Errorf("CAMPARY should cover 4 precisions")
+	}
+}
+
+func TestMeasurePositive(t *testing.T) {
+	s := tinySizes()
+	entries := BuildFloat32Entries(s)
+	for _, e := range entries {
+		g := Cell(e, "DOT", s, []int{1})
+		if g <= 0 {
+			t.Errorf("%s %d-term: nonpositive GOPS %f", e.Library, e.Terms, g)
+		}
+	}
+}
+
+func TestRunAndPrintSmoke(t *testing.T) {
+	s := tinySizes()
+	// A small subset for speed: float32 grid.
+	entries := BuildFloat32Entries(s)
+	tabs := RunTables(nil, entries, s, []int{1}, "smoke")
+	var buf bytes.Buffer
+	Print(&buf, "Smoke", tabs)
+	out := buf.String()
+	for _, kn := range KernelNames {
+		if !strings.Contains(out, kn) {
+			t.Errorf("output missing kernel %s", kn)
+		}
+	}
+	if !strings.Contains(out, "MultiFloats") {
+		t.Error("output missing library name")
+	}
+	PrintRatios(&buf, tabs)
+}
+
+func TestThroughputOrdering(t *testing.T) {
+	// Native (1-term) must beat the 4-term expansion arithmetic, and the
+	// branch-free 2-term arithmetic must beat the limb-based mpfloat at
+	// the same precision — the paper's central performance claim, in
+	// miniature.
+	s := tinySizes()
+	s.MinTime = 10 * time.Millisecond
+	entries := BuildEntries(s)
+	get := func(lib string, n int) float64 {
+		for _, e := range entries {
+			if e.Library == lib && e.Terms == n {
+				return Cell(e, "DOT", s, []int{1})
+			}
+		}
+		t.Fatalf("entry %s/%d missing", lib, n)
+		return 0
+	}
+	native := get("MultiFloats", 1)
+	mf2 := get("MultiFloats", 2)
+	mf4 := get("MultiFloats", 4)
+	mp2 := get("mpfloat (MPFR-like)", 2)
+	if native < mf2 {
+		t.Errorf("native (%.3f) should outperform 2-term (%.3f)", native, mf2)
+	}
+	if mf2 < mf4 {
+		t.Errorf("2-term (%.3f) should outperform 4-term (%.3f)", mf2, mf4)
+	}
+	if mf2 < 2*mp2 {
+		t.Errorf("branch-free 2-term (%.3f GOPS) should be well above limb-based (%.3f GOPS)", mf2, mp2)
+	}
+}

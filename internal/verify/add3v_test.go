@@ -1,0 +1,26 @@
+package verify
+
+import (
+	"testing"
+
+	"multifloats/internal/fpan"
+)
+
+func TestAdd3Variants(t *testing.T) {
+	for _, pat := range []string{"D", "DU", "UD", "DD", "UU", "UDU", "DUD"} {
+		net := fpan.BuildAddSort(3, pat)
+		worst := 1e18
+		var fails, weak, ulpf int
+		for _, seed := range []int64{999, 7, 123456, 31337} {
+			rep := VerifyAdd(net, 3, 150000, seed)
+			fails += rep.BoundFailures + rep.ZeroFailures
+			weak += rep.WeakNOFailures
+			ulpf += rep.UlpNOFailures
+			if rep.WorstErrBits < worst {
+				worst = rep.WorstErrBits
+			}
+		}
+		t.Logf("%-10s size %2d depth %2d: worst 2^-%.2f, bound/zero %d, ulp-NO %d, weak-NO %d",
+			net.Name, net.Size(), net.Depth(), worst, fails, ulpf, weak)
+	}
+}

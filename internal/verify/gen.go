@@ -1,0 +1,268 @@
+// Package verify implements the correctness-checking half of the paper's
+// search-and-verify pipeline (§3).
+//
+// The paper verifies FPANs formally by encoding the existence of a
+// counterexample as an integer linear program and asking an SMT solver for
+// infeasibility. This package substitutes two complementary mechanisms
+// (documented in DESIGN.md):
+//
+//  1. adversarial statistical verification at p = 53: structured random
+//     input families that concentrate on the rounding-error patterns the
+//     paper's case analysis quantifies over (cancellation at every depth,
+//     half-ulp boundaries, exponent ladders, zero terms), and
+//  2. exhaustive/stratified verification at small machine precision via
+//     internal/softfloat, where the pattern space is small enough to cover
+//     densely.
+package verify
+
+import (
+	"math"
+	"math/rand"
+
+	"multifloats/internal/eft"
+)
+
+// ExpansionGen generates adversarial nonoverlapping floating-point
+// expansions for the verifier.
+type ExpansionGen struct {
+	Rng *rand.Rand
+	// MaxLeadExp bounds the leading exponent magnitude. Keep well inside
+	// overflow/underflow so that error terms stay representable, matching
+	// the paper's "within machine thresholds" assumption (§2.1).
+	MaxLeadExp int
+	// Strict restricts generation to the paper's strict half-ulp
+	// nonoverlap invariant (Eq. 8). The default is the library's closed
+	// weak (2·ulp) nonoverlap invariant, a superset.
+	Strict bool
+}
+
+// NewExpansionGen returns a generator with the given seed.
+func NewExpansionGen(seed int64) *ExpansionGen {
+	return &ExpansionGen{Rng: rand.New(rand.NewSource(seed)), MaxLeadExp: 200}
+}
+
+// mantissa53 returns a random odd-ish 53-bit significand in [2^52, 2^53),
+// biased toward adversarial bit patterns.
+func (g *ExpansionGen) mantissa() uint64 {
+	switch g.Rng.Intn(6) {
+	case 0:
+		return 1 << 52 // power of two: exact half-ulp boundaries
+	case 1:
+		return 1<<53 - 1 // all ones: maximal carry propagation
+	case 2:
+		return 1<<52 + 1 // just above a power of two
+	case 3:
+		return 1<<53 - 2 // all ones but last
+	default:
+		return 1<<52 | (g.Rng.Uint64() & (1<<52 - 1))
+	}
+}
+
+// term builds ±mant·2^(exp-52) as a float64.
+func term(neg bool, mant uint64, exp int) float64 {
+	v := math.Ldexp(float64(mant), exp-52)
+	if neg {
+		v = -v
+	}
+	return v
+}
+
+// Expansion returns an n-term expansion satisfying the generator's
+// nonoverlap invariant (weak 2·ulp by default, strict half-ulp when
+// Strict is set), possibly with trailing zero terms.
+func (g *ExpansionGen) Expansion(n int) []float64 {
+	x := make([]float64, n)
+	if g.Rng.Intn(64) == 0 {
+		return x // all-zero expansion
+	}
+	exp := g.Rng.Intn(2*g.MaxLeadExp) - g.MaxLeadExp
+	x[0] = term(g.Rng.Intn(2) == 0, g.mantissa(), exp)
+	for i := 1; i < n; i++ {
+		if g.Rng.Intn(8) == 0 {
+			// Zero tail (remaining terms must also be zero to keep the
+			// nonoverlapping convention meaningful).
+			break
+		}
+		// The library's closed invariant is weak nonoverlap:
+		// |x_i| ≤ 2·ulp(x_{i-1}). Generate the full spectrum from the
+		// exact band boundary (the hardest inputs) down to wide gaps,
+		// including the strict half-ulp boundary of the paper's Eq. 8.
+		prevExp := eft.Exponent(x[i-1])
+		var e int
+		var m uint64
+		switch g.Rng.Intn(9) {
+		case 0:
+			// Exact boundary of the allowed band: 2·ulp(x_{i-1}) for the
+			// library's weak invariant, ulp/2 for the paper's strict one.
+			if g.Strict {
+				e, m = prevExp-53, 1<<52
+			} else {
+				e, m = prevExp-51, 1<<52
+			}
+		case 1:
+			// Exact half-ulp boundary (strict, paper Eq. 8).
+			e, m = prevExp-53, 1<<52
+		case 2, 3:
+			// Interior of the widest allowed band: (ulp, 2·ulp) for the
+			// weak invariant, (ulp/4, ulp/2) for the strict one.
+			if g.Strict {
+				e, m = prevExp-54, g.mantissa()
+			} else {
+				e, m = prevExp-52, g.mantissa()
+			}
+		case 4:
+			// The ulp band (ulp/2, ulp); legal only under the weak
+			// invariant — degrade to the strict interior otherwise.
+			if g.Strict {
+				e, m = prevExp-54, g.mantissa()
+			} else {
+				e, m = prevExp-53, g.mantissa()
+			}
+		case 5:
+			e, m = prevExp-54-g.Rng.Intn(3), g.mantissa()
+		case 6:
+			e, m = prevExp-54-g.Rng.Intn(60), g.mantissa()
+		default:
+			e, m = prevExp-54-g.Rng.Intn(12), g.mantissa()
+		}
+		if e < -1000 {
+			break
+		}
+		x[i] = term(g.Rng.Intn(2) == 0, m, e)
+	}
+	return x
+}
+
+// Pair returns two n-term expansions (x, y) drawn from one of several
+// adversarial families.
+func (g *ExpansionGen) Pair(n int) (x, y []float64) {
+	x = g.Expansion(n)
+	switch g.Rng.Intn(10) {
+	case 0:
+		// Exact negation: x + y = 0 exactly; the FPAN must return zeros.
+		y = negate(x)
+	case 8, 9:
+		// Deep partial cancellation with live tails: y_i = -x_i exactly
+		// for i < k, y_k within a few ulps of -x_k, and fresh independent
+		// tails on both sides below depth k. This is the family that
+		// stresses discarded-error placement: the true sum shrinks to
+		// ~ulp(x_k) while low-order rounding errors stay at their
+		// original absolute scale.
+		k := g.Rng.Intn(n)
+		y = negate(x)
+		if y[k] != 0 {
+			y[k] = perturb(g.Rng, y[k])
+		}
+		for i := k + 1; i < n; i++ {
+			x[i] = g.freshBelow(x[i-1])
+			y[i] = g.freshBelow(y[i-1])
+		}
+		x = g.renorm(x)
+		y = g.renorm(y)
+	case 1, 2:
+		// Cancellation to depth k: y_i = -x_i for i < k, then a
+		// perturbed term. Exercises the Sterbenz-exactness paths.
+		y = negate(x)
+		k := g.Rng.Intn(n)
+		y[k] = perturb(g.Rng, y[k])
+		for i := k + 1; i < n; i++ {
+			if g.Rng.Intn(2) == 0 {
+				y[i] = g.freshBelow(y[i-1])
+			}
+		}
+		y = g.renorm(y)
+	case 3:
+		// Same leading exponent, independent mantissas: partial
+		// cancellation of the leading terms.
+		y = g.Expansion(n)
+		if x[0] != 0 && y[0] != 0 {
+			y[0] = math.Copysign(y[0], -x[0])
+			e := eft.Exponent(x[0])
+			y[0] = term(math.Signbit(y[0]), g.mantissa(), e)
+			if math.Signbit(x[0]) == math.Signbit(y[0]) {
+				y[0] = -y[0]
+			}
+			y = g.renorm(y)
+		}
+	case 4:
+		// Offset copies: y = x shifted by a small exponent delta.
+		y = make([]float64, n)
+		d := g.Rng.Intn(5) - 2
+		for i, v := range x {
+			y[i] = math.Ldexp(v, d)
+			if g.Rng.Intn(2) == 0 {
+				y[i] = -y[i]
+			}
+		}
+		y = g.renorm(y)
+	default:
+		y = g.Expansion(n)
+	}
+	return x, y
+}
+
+func negate(x []float64) []float64 {
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = -v
+	}
+	return y
+}
+
+// perturb moves v by a few ulps (or replaces a zero with a tiny value).
+func perturb(rng *rand.Rand, v float64) float64 {
+	if v == 0 {
+		return term(rng.Intn(2) == 0, 1<<52, -300-rng.Intn(100))
+	}
+	for k := rng.Intn(3) + 1; k > 0; k-- {
+		if rng.Intn(2) == 0 {
+			v = math.Nextafter(v, math.Inf(1))
+		} else {
+			v = math.Nextafter(v, math.Inf(-1))
+		}
+	}
+	return v
+}
+
+// freshBelow returns a random term strictly nonoverlapping below prev.
+func (g *ExpansionGen) freshBelow(prev float64) float64 {
+	if prev == 0 {
+		return 0
+	}
+	e := eft.Exponent(prev) - 53 - g.Rng.Intn(10) - 1
+	if e < -1000 {
+		return 0
+	}
+	return term(g.Rng.Intn(2) == 0, g.mantissa(), e)
+}
+
+// renorm restores the generator's nonoverlap invariant after a
+// perturbation, zeroing any term that would overlap its predecessor.
+// (Generator-side utility only; the library's real renormalization lives
+// in internal/core.)
+func (g *ExpansionGen) renorm(x []float64) []float64 {
+	for i := 1; i < len(x); i++ {
+		if x[i-1] == 0 {
+			x[i] = 0
+			continue
+		}
+		limit := 2 * eft.Ulp64(x[i-1])
+		if g.Strict {
+			limit /= 4
+		}
+		if math.Abs(x[i]) > limit {
+			x[i] = 0
+		}
+	}
+	return x
+}
+
+// Interleave builds the FPAN input vector (x0,y0,x1,y1,...) used by the
+// addition networks.
+func Interleave(x, y []float64) []float64 {
+	in := make([]float64, 0, len(x)+len(y))
+	for i := range x {
+		in = append(in, x[i], y[i])
+	}
+	return in
+}

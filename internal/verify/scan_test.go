@@ -1,0 +1,55 @@
+package verify
+
+import (
+	"testing"
+
+	"multifloats/internal/fpan"
+)
+
+// TestScanAddFamily reproduces, in miniature, the paper's structure search:
+// it sweeps the VecSum pass patterns of the BuildAdd family and reports
+// which members pass adversarial verification. This is how the production
+// Add3/Add4 patterns were chosen.
+func TestScanAddFamily(t *testing.T) {
+	if testing.Short() {
+		t.Skip("structure scan skipped in -short mode")
+	}
+	const cases = 60000
+	patterns := []string{
+		"U", "UU", "UD", "UUU", "UUD", "UDU", "UDD",
+		"UUUU", "UUUD", "UUDU", "UDUD", "UUDD", "UDUU",
+		"UUUDU", "UUDUD", "UDUDU", "UUUUD",
+	}
+	for n := 2; n <= 4; n++ {
+		for _, pat := range patterns {
+			net := fpan.BuildAdd(n, pat)
+			rep := VerifyAdd(net, n, cases, int64(1000+n*137)+int64(len(pat)))
+			status := "PASS"
+			if rep.Failed() {
+				status = "FAIL"
+			}
+			t.Logf("%-14s size %2d depth %2d: %s  (%s)",
+				net.Name, net.Size(), net.Depth(), status, rep)
+		}
+	}
+}
+
+// TestScanAddSortFamily sweeps the sorting-network-based family.
+func TestScanAddSortFamily(t *testing.T) {
+	if testing.Short() {
+		t.Skip("structure scan skipped in -short mode")
+	}
+	const cases = 60000
+	for n := 2; n <= 4; n++ {
+		for _, pat := range []string{"", "U", "D", "UU", "UD", "DU", "UDU", "UUD", "UUU"} {
+			net := fpan.BuildAddSort(n, pat)
+			rep := VerifyAdd(net, n, cases, int64(2000+n*137)+int64(len(pat)))
+			status := "PASS"
+			if rep.Failed() {
+				status = "FAIL"
+			}
+			t.Logf("%-14s size %2d depth %2d: %s  (%s)",
+				net.Name, net.Size(), net.Depth(), status, rep)
+		}
+	}
+}

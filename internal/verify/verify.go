@@ -1,0 +1,178 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"multifloats/internal/fpan"
+)
+
+// Report aggregates the outcome of a verification run.
+type Report struct {
+	Network string
+	Cases   int
+
+	// BoundFailures counts cases whose relative deviation exceeded the
+	// network's claimed 2^-q bound.
+	BoundFailures int
+	// ZeroFailures counts cases with an exactly-zero true result where the
+	// network returned nonzero outputs (the bound demands exactness).
+	ZeroFailures int
+	// StrictNOFailures / UlpNOFailures / WeakNOFailures count violations
+	// of the strict (half-ulp, paper Eq. 8), ulp (CAMPARY), and weak
+	// (2·ulp, this library's closed) nonoverlapping invariants.
+	StrictNOFailures int
+	UlpNOFailures    int
+	WeakNOFailures   int
+	// PrecondHarm counts cases where a FastTwoSum precondition violation
+	// actually lost a nonzero amount.
+	PrecondHarm int
+
+	// WorstErrBits is the smallest observed -log2(relative error): the
+	// empirical error-bound exponent. +Inf when every case was exact.
+	WorstErrBits float64
+	// WorstInputs is the FPAN input vector achieving WorstErrBits.
+	WorstInputs []float64
+}
+
+// Failed reports whether the run found any violation of the claimed
+// correctness conditions (using the weak 2·ulp nonoverlap invariant;
+// strict and ulp violations are reported separately as statistics).
+func (r *Report) Failed() bool {
+	return r.BoundFailures > 0 || r.ZeroFailures > 0 || r.WeakNOFailures > 0
+}
+
+func (r *Report) String() string {
+	worst := "exact"
+	if !math.IsInf(r.WorstErrBits, 1) {
+		worst = fmt.Sprintf("2^-%.1f", r.WorstErrBits)
+	}
+	return fmt.Sprintf(
+		"%s: %d cases, worst rel err %s, bound fails %d, zero fails %d, strict-NO fails %d, ulp-NO fails %d, weak-NO fails %d, fastsum harm %d",
+		r.Network, r.Cases, worst, r.BoundFailures, r.ZeroFailures,
+		r.StrictNOFailures, r.UlpNOFailures, r.WeakNOFailures, r.PrecondHarm)
+}
+
+func newReport(name string) *Report {
+	return &Report{Network: name, WorstErrBits: math.Inf(1)}
+}
+
+// record folds one case's CheckResult into the report.
+func (r *Report) record(res fpan.CheckResult, in []float64, exactZero bool) {
+	r.Cases++
+	if exactZero {
+		for _, z := range res.Outputs {
+			if z != 0 {
+				r.ZeroFailures++
+				break
+			}
+		}
+	} else if !res.BoundOK {
+		r.BoundFailures++
+	}
+	if !res.StrictNonOverlap {
+		r.StrictNOFailures++
+	}
+	if !res.UlpNonOverlap {
+		r.UlpNOFailures++
+	}
+	if !res.WeakNonOverlap {
+		r.WeakNOFailures++
+	}
+	if res.PreconditionHarm {
+		r.PrecondHarm++
+	}
+	if res.ErrBits < r.WorstErrBits {
+		r.WorstErrBits = res.ErrBits
+		r.WorstInputs = append([]float64(nil), in...)
+	}
+}
+
+// VerifyAdd runs `cases` adversarial cases through an n-term addition
+// network and checks the paper's correctness conditions.
+func VerifyAdd(net *fpan.Network, nTerms, cases int, seed int64) *Report {
+	return VerifyAddWith(NewExpansionGen(seed), net, nTerms, cases)
+}
+
+// VerifyAddWith is VerifyAdd with a caller-configured generator (e.g. one
+// restricted to the paper's strict nonoverlap invariant).
+func VerifyAddWith(gen *ExpansionGen, net *fpan.Network, nTerms, cases int) *Report {
+	rep := newReport(net.Name)
+	for i := 0; i < cases; i++ {
+		x, y := gen.Pair(nTerms)
+		in := Interleave(x, y)
+		res := fpan.CheckCase(net, in)
+		exactZero := fpan.ExactSum(in).Sign() == 0
+		rep.record(res, in, exactZero)
+	}
+	return rep
+}
+
+// VerifyMul runs `cases` adversarial cases through an n-term multiplication
+// network. The bound for multiplication is relative to the exact product
+// x·y (which includes the error of the dropped TwoProd terms), not to the
+// sum of the FPAN inputs, so the check is performed against a big.Float
+// product.
+func VerifyMul(net *fpan.Network, nTerms, cases int, seed int64) *Report {
+	gen := NewExpansionGen(seed)
+	// Multiplication squares the exponent range; halve it so products and
+	// their low-order error terms stay within thresholds.
+	gen.MaxLeadExp = 100
+	return VerifyMulWith(gen, net, nTerms, cases)
+}
+
+// VerifyMulWith is VerifyMul with a caller-configured generator.
+func VerifyMulWith(gen *ExpansionGen, net *fpan.Network, nTerms, cases int) *Report {
+	rep := newReport(net.Name)
+	for i := 0; i < cases; i++ {
+		x, y := gen.Pair(nTerms)
+		verifyMulOne(rep, net, nTerms, x, y)
+	}
+	return rep
+}
+
+// verifyMulOne evaluates one (x, y) operand pair against the network's
+// bound and nonoverlap conditions, folding the outcome into rep.
+func verifyMulOne(rep *Report, net *fpan.Network, nTerms int, x, y []float64) *Report {
+	in := fpan.MulInputs(nTerms, x, y)
+	tr := fpan.RunTraced(net, in)
+
+	exact := exactProduct(x, y)
+	outSum := fpan.ExactSum(tr.Outputs)
+	diff := new(big.Float).SetPrec(2048).Sub(exact, outSum)
+
+	res := fpan.CheckResult{Outputs: tr.Outputs}
+	res.StrictNonOverlap, res.UlpNonOverlap, res.WeakNonOverlap = fpan.NonOverlap(tr.Outputs)
+	for _, lost := range tr.FastSumLost {
+		if lost != 0 {
+			res.PreconditionHarm = true
+			break
+		}
+	}
+	exactZero := exact.Sign() == 0
+	switch {
+	case diff.Sign() == 0:
+		res.ErrBits = math.Inf(1)
+		res.BoundOK = true
+	case exactZero:
+		res.ErrBits = math.Inf(-1)
+		res.BoundOK = false
+	default:
+		rel := new(big.Float).SetPrec(2048).Quo(
+			new(big.Float).Abs(diff),
+			new(big.Float).SetPrec(2048).Abs(exact))
+		f, _ := rel.Float64()
+		res.ErrBits = -math.Log2(f)
+		res.BoundOK = res.ErrBits >= float64(net.ErrorBoundBits)
+	}
+	rep.record(res, in, exactZero)
+	return rep
+}
+
+// exactProduct returns (Σx)·(Σy) exactly.
+func exactProduct(x, y []float64) *big.Float {
+	bx := fpan.ExactSum(x)
+	by := fpan.ExactSum(y)
+	return new(big.Float).SetPrec(4096).Mul(bx, by)
+}

@@ -1,0 +1,100 @@
+package mf
+
+// Complex arithmetic over expansion types. Because the FPAN multiplication
+// is exactly commutative (§4.2), the conjugate product z·z̄ has an exactly
+// zero imaginary part — the property whose absence in prior expansion
+// libraries "severely degrades the performance of certain numerical
+// algorithms, such as eigensolvers" (paper §4.2). See
+// examples/complexmul and examples/fft.
+
+// Cmplx is a complex number with expansion-valued parts.
+type Cmplx[E expLike[E, T], T Float] struct {
+	Re, Im E
+}
+
+// Common instantiations.
+type (
+	Complex64x2 = Cmplx[Float64x2, float64]
+	Complex64x3 = Cmplx[Float64x3, float64]
+	Complex64x4 = Cmplx[Float64x4, float64]
+)
+
+// NewComplex builds a complex value from its parts.
+func NewComplex[E expLike[E, T], T Float](re, im E) Cmplx[E, T] {
+	return Cmplx[E, T]{re, im}
+}
+
+// Add returns z + w.
+func (z Cmplx[E, T]) Add(w Cmplx[E, T]) Cmplx[E, T] {
+	return Cmplx[E, T]{z.Re.Add(w.Re), z.Im.Add(w.Im)}
+}
+
+// Sub returns z - w.
+func (z Cmplx[E, T]) Sub(w Cmplx[E, T]) Cmplx[E, T] {
+	return Cmplx[E, T]{z.Re.Sub(w.Re), z.Im.Sub(w.Im)}
+}
+
+// Mul returns z · w.
+func (z Cmplx[E, T]) Mul(w Cmplx[E, T]) Cmplx[E, T] {
+	return Cmplx[E, T]{
+		Re: z.Re.Mul(w.Re).Sub(z.Im.Mul(w.Im)),
+		Im: z.Re.Mul(w.Im).Add(z.Im.Mul(w.Re)),
+	}
+}
+
+// Conj returns the complex conjugate.
+func (z Cmplx[E, T]) Conj() Cmplx[E, T] {
+	return Cmplx[E, T]{z.Re, z.Im.Neg()}
+}
+
+// Neg returns -z.
+func (z Cmplx[E, T]) Neg() Cmplx[E, T] {
+	return Cmplx[E, T]{z.Re.Neg(), z.Im.Neg()}
+}
+
+// AbsSq returns |z|² = re² + im² (a real expansion).
+func (z Cmplx[E, T]) AbsSq() E {
+	return z.Re.Mul(z.Re).Add(z.Im.Mul(z.Im))
+}
+
+// Abs returns |z|.
+func (z Cmplx[E, T]) Abs() E { return z.AbsSq().Sqrt() }
+
+// Div returns z / w via the conjugate formula.
+func (z Cmplx[E, T]) Div(w Cmplx[E, T]) Cmplx[E, T] {
+	d := w.AbsSq()
+	num := z.Mul(w.Conj())
+	return Cmplx[E, T]{num.Re.Div(d), num.Im.Div(d)}
+}
+
+// MulFloat scales both parts by a machine number.
+func (z Cmplx[E, T]) MulFloat(c T) Cmplx[E, T] {
+	return Cmplx[E, T]{z.Re.MulFloat(c), z.Im.MulFloat(c)}
+}
+
+// IsZero reports exact zero.
+func (z Cmplx[E, T]) IsZero() bool { return z.Re.IsZero() && z.Im.IsZero() }
+
+// RootOfUnity2 returns e^(2πi·k/n) at 2-term precision.
+func RootOfUnity2[T Float](k, n int) Cmplx[F2[T], T] {
+	c := ctx2[T]()
+	ang := c.pi.MulPow2(1).MulFloat(T(k)).DivFloat(T(n))
+	s, co := sincosE(c, ang)
+	return Cmplx[F2[T], T]{co, s}
+}
+
+// RootOfUnity3 returns e^(2πi·k/n) at 3-term precision.
+func RootOfUnity3[T Float](k, n int) Cmplx[F3[T], T] {
+	c := ctx3[T]()
+	ang := c.pi.MulPow2(1).MulFloat(T(k)).DivFloat(T(n))
+	s, co := sincosE(c, ang)
+	return Cmplx[F3[T], T]{co, s}
+}
+
+// RootOfUnity4 returns e^(2πi·k/n) at 4-term precision.
+func RootOfUnity4[T Float](k, n int) Cmplx[F4[T], T] {
+	c := ctx4[T]()
+	ang := c.pi.MulPow2(1).MulFloat(T(k)).DivFloat(T(n))
+	s, co := sincosE(c, ang)
+	return Cmplx[F4[T], T]{co, s}
+}

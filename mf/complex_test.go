@@ -1,0 +1,89 @@
+package mf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestComplexConjugateProductExactlyReal(t *testing.T) {
+	// The §4.2 property: (a+bi)(a-bi) has an exactly zero imaginary part,
+	// because the FPAN multiplication is exactly commutative.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50000; i++ {
+		a := New3(rng.NormFloat64()).Add(New3(rng.NormFloat64() * 0x1p-55))
+		b := New3(rng.NormFloat64()).Add(New3(rng.NormFloat64() * 0x1p-55))
+		z := NewComplex[Float64x3, float64](a, b)
+		w := z.Mul(z.Conj())
+		if !w.Im.IsZero() {
+			t.Fatalf("Im(z·z̄) = %v for z = (%v, %v)", w.Im, a, b)
+		}
+	}
+}
+
+func TestComplexArithmetic(t *testing.T) {
+	// (1+2i)(3+4i) = -5 + 10i, exactly.
+	z := NewComplex[Float64x2, float64](New2(1.0), New2(2.0))
+	w := NewComplex[Float64x2, float64](New2(3.0), New2(4.0))
+	p := z.Mul(w)
+	if !p.Re.Eq(New2(-5.0)) || !p.Im.Eq(New2(10.0)) {
+		t.Errorf("(1+2i)(3+4i) = (%v, %v)", p.Re, p.Im)
+	}
+	// Division inverts multiplication.
+	back := p.Div(w)
+	if f, _ := back.Re.Sub(z.Re).Big().Float64(); math.Abs(f) > 0x1p-98 {
+		t.Errorf("division re error %g", f)
+	}
+	if f, _ := back.Im.Sub(z.Im).Big().Float64(); math.Abs(f) > 0x1p-98 {
+		t.Errorf("division im error %g", f)
+	}
+	// |3+4i| = 5.
+	abs := w.Abs()
+	if f, _ := abs.Sub(New2(5.0)).Big().Float64(); math.Abs(f) > 0x1p-98 {
+		t.Errorf("|3+4i| error %g", f)
+	}
+	// Add/Sub/Neg round trip.
+	if !z.Add(w).Sub(w).Sub(z).IsZero() {
+		t.Error("z+w-w != z")
+	}
+	if !z.Add(z.Neg()).IsZero() {
+		t.Error("z + (-z) != 0")
+	}
+}
+
+func TestRootsOfUnity(t *testing.T) {
+	// The n-th power of a primitive n-th root is 1.
+	for _, n := range []int{3, 5, 8, 12} {
+		w := RootOfUnity4[float64](1, n)
+		acc := NewComplex[Float64x4, float64](New4(1.0), New4(0.0))
+		for i := 0; i < n; i++ {
+			acc = acc.Mul(w)
+		}
+		if f, _ := acc.Re.AddFloat(-1).Big().Float64(); math.Abs(f) > 0x1p-190 {
+			t.Errorf("n=%d: Re(w^n) - 1 = %g", n, f)
+		}
+		if f, _ := acc.Im.Big().Float64(); math.Abs(f) > 0x1p-190 {
+			t.Errorf("n=%d: Im(w^n) = %g", n, f)
+		}
+	}
+	// |w| = 1 at every precision.
+	w2 := RootOfUnity2[float64](3, 7)
+	if f, _ := w2.AbsSq().AddFloat(-1).Big().Float64(); math.Abs(f) > 0x1p-96 {
+		t.Errorf("|w|² - 1 = %g", f)
+	}
+	w3 := RootOfUnity3[float64](2, 9)
+	if f, _ := w3.AbsSq().AddFloat(-1).Big().Float64(); math.Abs(f) > 0x1p-148 {
+		t.Errorf("|w3|² - 1 = %g", f)
+	}
+}
+
+func TestComplexFloat32(t *testing.T) {
+	z := NewComplex[F2[float32], float32](New2(float32(1)), New2(float32(1)))
+	p := z.Mul(z) // (1+i)² = 2i
+	if !p.Re.IsZero() {
+		t.Errorf("(1+i)² re = %v", p.Re)
+	}
+	if !p.Im.Eq(New2(float32(2))) {
+		t.Errorf("(1+i)² im = %v", p.Im)
+	}
+}

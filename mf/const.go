@@ -1,0 +1,43 @@
+package mf
+
+// Mathematical constants to the full precision of each float64-based
+// format, decomposed at package init from 70-digit decimal literals.
+
+const (
+	piStr    = "3.141592653589793238462643383279502884197169399375105820974944592307816"
+	eStr     = "2.718281828459045235360287471352662497757247093699959574966967627724077"
+	ln2Str   = "0.693147180559945309417232121458176568075500134360255254120680009493394"
+	log2eStr = "1.442695040888963407359924681001892137426645954152985934135449406931110"
+	sqrt2Str = "1.414213562373095048801688724209698078569671875376948073176679737990733"
+	phiStr   = "1.618033988749894848204586834365638117720309179805762862135448622705261"
+)
+
+// Constants at 2-term (≈quadruple) precision.
+var (
+	Pi2    = MustParse2[float64](piStr)
+	E2     = MustParse2[float64](eStr)
+	Ln2x2  = MustParse2[float64](ln2Str)
+	Log2E2 = MustParse2[float64](log2eStr)
+	Sqrt22 = MustParse2[float64](sqrt2Str)
+	Phi2   = MustParse2[float64](phiStr)
+)
+
+// Constants at 3-term (≈sextuple) precision.
+var (
+	Pi3    = MustParse3[float64](piStr)
+	E3     = MustParse3[float64](eStr)
+	Ln2x3  = MustParse3[float64](ln2Str)
+	Log2E3 = MustParse3[float64](log2eStr)
+	Sqrt23 = MustParse3[float64](sqrt2Str)
+	Phi3   = MustParse3[float64](phiStr)
+)
+
+// Constants at 4-term (≈octuple) precision.
+var (
+	Pi4    = MustParse4[float64](piStr)
+	E4     = MustParse4[float64](eStr)
+	Ln2x4  = MustParse4[float64](ln2Str)
+	Log2E4 = MustParse4[float64](log2eStr)
+	Sqrt24 = MustParse4[float64](sqrt2Str)
+	Phi4   = MustParse4[float64](phiStr)
+)

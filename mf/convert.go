@@ -1,0 +1,209 @@
+package mf
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// Decimal digits carried by each format on a float64 base: enough to make
+// decimal round trips value-exact for expansions within the format's
+// nominal span plus one extra rounding level (terms separated by wider
+// exponent gaps can exceed any fixed digit budget).
+const (
+	Digits2 = 39 // spans ≈ 2·53+17 bits
+	Digits3 = 55 // spans ≈ 3·53+17 bits
+	Digits4 = 71 // spans ≈ 4·53+17 bits
+)
+
+// bigPrec is the working precision for conversions, comfortably above the
+// widest format.
+const bigPrec = 480
+
+// toBig sums expansion terms exactly into a big.Float.
+func toBig[T Float](terms []T) *big.Float {
+	acc := new(big.Float).SetPrec(bigPrec)
+	tmp := new(big.Float).SetPrec(bigPrec)
+	for _, t := range terms {
+		f := float64(t)
+		if f == 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
+		acc.Add(acc, tmp.SetFloat64(f))
+	}
+	return acc
+}
+
+// fromBig greedily decomposes c into an n-term expansion with base type T
+// (the decomposition of paper Eq. 6).
+func fromBig[T Float](c *big.Float, out []T) {
+	rem := new(big.Float).SetPrec(bigPrec).Set(c)
+	tmp := new(big.Float).SetPrec(bigPrec)
+	var isF32 bool
+	switch any(out[0]).(type) {
+	case float32:
+		isF32 = true
+	}
+	for i := range out {
+		var f float64
+		if isF32 {
+			f32, _ := rem.Float32()
+			f = float64(f32)
+		} else {
+			f, _ = rem.Float64()
+		}
+		out[i] = T(f)
+		if f == 0 || math.IsInf(f, 0) {
+			return
+		}
+		rem.Sub(rem, tmp.SetFloat64(f))
+	}
+}
+
+// Big returns the exact value of x as a big.Float.
+func (x F2[T]) Big() *big.Float { return toBig(x[:]) }
+
+// Big returns the exact value of x as a big.Float.
+func (x F3[T]) Big() *big.Float { return toBig(x[:]) }
+
+// Big returns the exact value of x as a big.Float.
+func (x F4[T]) Big() *big.Float { return toBig(x[:]) }
+
+// FromBig2 rounds a big.Float to an F2.
+func FromBig2[T Float](c *big.Float) F2[T] {
+	var z F2[T]
+	fromBig(c, z[:])
+	return z
+}
+
+// FromBig3 rounds a big.Float to an F3.
+func FromBig3[T Float](c *big.Float) F3[T] {
+	var z F3[T]
+	fromBig(c, z[:])
+	return z
+}
+
+// FromBig4 rounds a big.Float to an F4.
+func FromBig4[T Float](c *big.Float) F4[T] {
+	var z F4[T]
+	fromBig(c, z[:])
+	return z
+}
+
+// String formats x to its full decimal precision.
+func (x F2[T]) String() string { return formatTerms(x[:], Digits2) }
+
+// String formats x to its full decimal precision.
+func (x F3[T]) String() string { return formatTerms(x[:], Digits3) }
+
+// String formats x to its full decimal precision.
+func (x F4[T]) String() string { return formatTerms(x[:], Digits4) }
+
+func formatTerms[T Float](terms []T, digits int) string {
+	lead := float64(terms[0])
+	if math.IsNaN(lead) {
+		return "NaN"
+	}
+	if math.IsInf(lead, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(lead, -1) {
+		return "-Inf"
+	}
+	// Widen the digit budget when the expansion's terms are separated by
+	// exponent gaps beyond the format's nominal span, so that decimal
+	// round trips stay value-exact.
+	if d := spanDigits(terms); d > digits {
+		digits = d
+	}
+	return toBig(terms).Text('g', digits)
+}
+
+// spanDigits returns the decimal digits needed to cover the bit span from
+// the leading term's top bit to the last nonzero term's bottom bit.
+func spanDigits[T Float](terms []T) int {
+	top := math.MinInt32
+	bottom := math.MaxInt32
+	for _, t := range terms {
+		f := float64(t)
+		if f == 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
+		_, e := math.Frexp(f)
+		if e > top {
+			top = e
+		}
+		if e-53 < bottom {
+			bottom = e - 53
+		}
+	}
+	if top == math.MinInt32 {
+		return 0
+	}
+	span := top - bottom
+	return int(float64(span)*0.30103) + 6
+}
+
+// Parse2 parses a decimal string into an F2.
+func Parse2[T Float](s string) (F2[T], error) {
+	var z F2[T]
+	c, ok := new(big.Float).SetPrec(bigPrec).SetString(s)
+	if !ok {
+		return z, fmt.Errorf("mf: cannot parse %q", s)
+	}
+	fromBig(c, z[:])
+	return z, nil
+}
+
+// Parse3 parses a decimal string into an F3.
+func Parse3[T Float](s string) (F3[T], error) {
+	var z F3[T]
+	c, ok := new(big.Float).SetPrec(bigPrec).SetString(s)
+	if !ok {
+		return z, fmt.Errorf("mf: cannot parse %q", s)
+	}
+	fromBig(c, z[:])
+	return z, nil
+}
+
+// Parse4 parses a decimal string into an F4.
+func Parse4[T Float](s string) (F4[T], error) {
+	var z F4[T]
+	c, ok := new(big.Float).SetPrec(bigPrec).SetString(s)
+	if !ok {
+		return z, fmt.Errorf("mf: cannot parse %q", s)
+	}
+	fromBig(c, z[:])
+	return z, nil
+}
+
+// MustParse2 is Parse2 panicking on error; for constants.
+func MustParse2[T Float](s string) F2[T] {
+	z, err := Parse2[T](s)
+	if err != nil {
+		panic(err)
+	}
+	return z
+}
+
+// MustParse3 is Parse3 panicking on error; for constants.
+func MustParse3[T Float](s string) F3[T] {
+	z, err := Parse3[T](s)
+	if err != nil {
+		panic(err)
+	}
+	return z
+}
+
+// MustParse4 is Parse4 panicking on error; for constants.
+func MustParse4[T Float](s string) F4[T] {
+	z, err := Parse4[T](s)
+	if err != nil {
+		panic(err)
+	}
+	return z
+}
+
+func scaleFloat64(v float64, k int) float64 {
+	return math.Ldexp(v, k)
+}

@@ -1,0 +1,64 @@
+package mf
+
+// Text and JSON encoding. Values marshal with the shortest decimal string
+// that identifies the exact value (big.Float's round-trip mode at the
+// conversion working precision), so a marshal/unmarshal round trip is
+// value-exact for any expansion whose bit span fits the working precision
+// (480 bits — far beyond the formats' nominal spans). String() uses the
+// fixed display budgets instead and may round.
+
+import "math"
+
+// marshalExact renders the exact value with the shortest round-tripping
+// decimal.
+func marshalExact[T Float](terms []T) ([]byte, error) {
+	lead := float64(terms[0])
+	switch {
+	case math.IsNaN(lead):
+		return []byte("NaN"), nil
+	case math.IsInf(lead, 1):
+		return []byte("+Inf"), nil
+	case math.IsInf(lead, -1):
+		return []byte("-Inf"), nil
+	}
+	return []byte(toBig(terms).Text('g', -1)), nil
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (x F2[T]) MarshalText() ([]byte, error) { return marshalExact(x[:]) }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (x *F2[T]) UnmarshalText(b []byte) error {
+	v, err := Parse2[T](string(b))
+	if err != nil {
+		return err
+	}
+	*x = v
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (x F3[T]) MarshalText() ([]byte, error) { return marshalExact(x[:]) }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (x *F3[T]) UnmarshalText(b []byte) error {
+	v, err := Parse3[T](string(b))
+	if err != nil {
+		return err
+	}
+	*x = v
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (x F4[T]) MarshalText() ([]byte, error) { return marshalExact(x[:]) }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (x *F4[T]) UnmarshalText(b []byte) error {
+	v, err := Parse4[T](string(b))
+	if err != nil {
+		return err
+	}
+	*x = v
+	return nil
+}

@@ -1,0 +1,66 @@
+package mf
+
+import (
+	"encoding"
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+var (
+	_ encoding.TextMarshaler   = Float64x2{}
+	_ encoding.TextUnmarshaler = (*Float64x2)(nil)
+	_ encoding.TextMarshaler   = Float64x3{}
+	_ encoding.TextUnmarshaler = (*Float64x3)(nil)
+	_ encoding.TextMarshaler   = Float64x4{}
+	_ encoding.TextUnmarshaler = (*Float64x4)(nil)
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		x := New4(rng.NormFloat64()).
+			AddFloat(rng.NormFloat64() * 0x1p-55).
+			AddFloat(rng.NormFloat64() * 0x1p-110)
+		b, err := x.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var y Float64x4
+		if err := y.UnmarshalText(b); err != nil {
+			t.Fatal(err)
+		}
+		if !x.Eq(y) {
+			t.Fatalf("round trip %s: %v != %v", b, x, y)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	type payload struct {
+		A Float64x2 `json:"a"`
+		B Float64x4 `json:"b"`
+	}
+	in := payload{
+		A: Pi2,
+		B: Sqrt24,
+	}
+	raw, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !in.A.Eq(out.A) || !in.B.Eq(out.B) {
+		t.Fatalf("JSON round trip changed values: %s", raw)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	var x Float64x3
+	if err := x.UnmarshalText([]byte("1.2.3")); err == nil {
+		t.Error("accepted malformed input")
+	}
+}

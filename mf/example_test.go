@@ -1,0 +1,72 @@
+package mf_test
+
+import (
+	"fmt"
+
+	"multifloats/mf"
+)
+
+func Example() {
+	// 1 + 2^-100 keeps the tiny term at double-double precision
+	// (plain float64 would lose it entirely).
+	a := mf.New2(1.0)
+	b := mf.New2(0x1p-100)
+	sum := a.Add(b)
+	fmt.Println(sum.Sub(a).Eq(b))
+	// Output: true
+}
+
+func ExampleF4_Sqrt() {
+	two := mf.New4(2.0)
+	r := two.Sqrt()
+	// √2·√2 recovers 2 to ~208 bits; the leading term is exactly 2.
+	fmt.Println(r.Mul(r).Float())
+	// Output: 2
+}
+
+func ExampleF4_Div() {
+	third := mf.New4(1.0).Div(mf.New4(3.0))
+	fmt.Println(third.String()[:40])
+	// Output: 0.33333333333333333333333333333333333333
+}
+
+func ExampleParse4() {
+	x, err := mf.Parse4[float64]("3.14159265358979323846264338327950288419716939937510582097494459")
+	fmt.Println(err, x.Sub(mf.Pi4).Float() < 1e-60)
+	// Output: <nil> true
+}
+
+func ExampleF2_Exp() {
+	// exp(1) reproduces Euler's number at full double-double precision.
+	e := mf.New2(1.0).Exp()
+	fmt.Println(e.Sub(mf.E2).Abs().Float() < 1e-27)
+	// Output: true
+}
+
+func ExampleF3_SinCos() {
+	s, c := mf.Pi3.DivFloat(4).SinCos()
+	// sin(π/4) == cos(π/4).
+	fmt.Println(s.Sub(c).Abs().Float() < 1e-40)
+	// Output: true
+}
+
+func ExampleF2_Cmp() {
+	a := mf.New2(1.0).AddFloat(0x1p-80)
+	b := mf.New2(1.0)
+	fmt.Println(a.Cmp(b), b.Cmp(a), a.Cmp(a))
+	// Output: 1 -1 0
+}
+
+func ExampleNewComplex() {
+	// The conjugate product is exactly real (§4.2 commutativity).
+	z := mf.NewComplex[mf.Float64x3, float64](mf.New3(1.5), mf.New3(2.5))
+	w := z.Mul(z.Conj())
+	fmt.Println(w.Im.IsZero(), w.Re.Float())
+	// Output: true 8.5
+}
+
+func ExampleF4_Floor() {
+	x, _ := mf.Parse4[float64]("123456789.00000000000000000000000001")
+	fmt.Println(x.Floor().Float(), x.Ceil().Float())
+	// Output: 1.23456789e+08 1.2345679e+08
+}

@@ -1,0 +1,585 @@
+package mf
+
+import (
+	"math"
+	"math/big"
+	"sync"
+)
+
+// Elementary functions for all expansion types, in the tradition of the QD
+// library: range reduction against full-precision constants, short Taylor
+// kernels, and Newton inversion for the inverse functions. One generic
+// engine serves every (term count, base type) combination; the public
+// surface is the methods on F2/F3/F4.
+//
+// Accuracy target: within a few ulps of the format (validated against
+// 400-bit big.Float references in math_test.go). Arguments to the
+// trigonometric functions lose reduction accuracy once |x| approaches
+// 2^p·π, as in every non-Payne–Hanek implementation.
+
+// expLike is the operation set the generic engine needs; all three
+// expansion types satisfy it.
+type expLike[E any, T Float] interface {
+	Add(E) E
+	Sub(E) E
+	Mul(E) E
+	Div(E) E
+	Neg() E
+	Abs() E
+	AddFloat(T) E
+	MulFloat(T) E
+	DivFloat(T) E
+	MulPow2(int) E
+	Sqrt() E
+	Recip() E
+	Float() T
+	IsZero() bool
+	Sign() int
+}
+
+// mathCtx carries the per-format constants and iteration counts.
+type mathCtx[E expLike[E, T], T Float] struct {
+	new  func(T) E
+	bits int // target precision in bits
+
+	ln2, pi, piOver2 E
+	invLn2f          float64 // 1/ln2 as float64, for reduction estimates
+	maxExpArg        float64 // exp overflow threshold for the base type
+	minExpArg        float64
+
+	expTerms int // Taylor terms for exp after 2^-9 scaling
+	sinTerms int // Taylor terms for sin/cos on |r| ≤ π/4
+	newtIter int // Newton iterations from a 53-bit (or 24-bit) seed
+
+	once  sync.Once
+	ln10  E // filled lazily via the engine itself
+	ln10v bool
+}
+
+// buildCtx computes the constants from the package's decimal literals via
+// big.Float, so no new literal can silently disagree with Pi2/Pi3/Pi4.
+func buildCtx[E expLike[E, T], T Float](newE func(T) E, fromBig func(*big.Float) E, bits int) *mathCtx[E, T] {
+	pi, _ := new(big.Float).SetPrec(bigPrec).SetString(piStr)
+	ln2, _ := new(big.Float).SetPrec(bigPrec).SetString(ln2Str)
+	half := new(big.Float).SetPrec(bigPrec).Quo(pi, big.NewFloat(2))
+
+	var maxArg, minArg float64
+	switch any(T(0)).(type) {
+	case float64:
+		maxArg, minArg = 709.78, -745.0
+	case float32:
+		maxArg, minArg = 88.72, -103.0
+	}
+	return &mathCtx[E, T]{
+		new:       newE,
+		bits:      bits,
+		ln2:       fromBig(ln2),
+		pi:        fromBig(pi),
+		piOver2:   fromBig(half),
+		invLn2f:   1 / math.Ln2,
+		maxExpArg: maxArg,
+		minExpArg: minArg,
+		// |r| ≤ ln2/2/512 ≈ 6.8e-4 ⇒ term n decays ~(6.8e-4)^n/n!; the
+		// counts below leave ≥ 16 bits of margin at each format.
+		expTerms: bits/12 + 6,
+		sinTerms: bits/6 + 8,
+		newtIter: intLog2Ceil(bits/24) + 1,
+	}
+}
+
+func intLog2Ceil(x int) int {
+	k := 0
+	for v := 1; v < x; v *= 2 {
+		k++
+	}
+	return k
+}
+
+// Context registry: one per (terms, base type), built on first use.
+var (
+	ctx2f64Once, ctx3f64Once, ctx4f64Once sync.Once
+	ctx2f32Once, ctx3f32Once, ctx4f32Once sync.Once
+	ctx2f64v                              *mathCtx[F2[float64], float64]
+	ctx3f64v                              *mathCtx[F3[float64], float64]
+	ctx4f64v                              *mathCtx[F4[float64], float64]
+	ctx2f32v                              *mathCtx[F2[float32], float32]
+	ctx3f32v                              *mathCtx[F3[float32], float32]
+	ctx4f32v                              *mathCtx[F4[float32], float32]
+)
+
+func ctx2[T Float]() *mathCtx[F2[T], T] {
+	switch any(T(0)).(type) {
+	case float64:
+		ctx2f64Once.Do(func() {
+			ctx2f64v = buildCtx[F2[float64], float64](New2[float64], FromBig2[float64], 104)
+		})
+		return any(ctx2f64v).(*mathCtx[F2[T], T])
+	default:
+		ctx2f32Once.Do(func() {
+			ctx2f32v = buildCtx[F2[float32], float32](New2[float32], FromBig2[float32], 46)
+		})
+		return any(ctx2f32v).(*mathCtx[F2[T], T])
+	}
+}
+
+func ctx3[T Float]() *mathCtx[F3[T], T] {
+	switch any(T(0)).(type) {
+	case float64:
+		ctx3f64Once.Do(func() {
+			ctx3f64v = buildCtx[F3[float64], float64](New3[float64], FromBig3[float64], 157)
+		})
+		return any(ctx3f64v).(*mathCtx[F3[T], T])
+	default:
+		ctx3f32Once.Do(func() {
+			ctx3f32v = buildCtx[F3[float32], float32](New3[float32], FromBig3[float32], 69)
+		})
+		return any(ctx3f32v).(*mathCtx[F3[T], T])
+	}
+}
+
+func ctx4[T Float]() *mathCtx[F4[T], T] {
+	switch any(T(0)).(type) {
+	case float64:
+		ctx4f64Once.Do(func() {
+			ctx4f64v = buildCtx[F4[float64], float64](New4[float64], FromBig4[float64], 210)
+		})
+		return any(ctx4f64v).(*mathCtx[F4[T], T])
+	default:
+		ctx4f32Once.Do(func() {
+			ctx4f32v = buildCtx[F4[float32], float32](New4[float32], FromBig4[float32], 92)
+		})
+		return any(ctx4f32v).(*mathCtx[F4[T], T])
+	}
+}
+
+// ------------------------------------------------------------- engine ----
+
+// expE computes e^x: reduce x = k·ln2 + r, scale r by 2^-9, Taylor, square
+// nine times, scale by 2^k.
+func expE[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
+	xf := float64(x.Float())
+	switch {
+	case math.IsNaN(xf):
+		return c.new(T(math.NaN()))
+	case xf > c.maxExpArg:
+		return c.new(T(math.Inf(1)))
+	case xf < c.minExpArg:
+		return c.new(0)
+	case x.IsZero():
+		return c.new(1)
+	}
+	k := math.Round(xf * c.invLn2f)
+	r := x.Sub(c.ln2.MulFloat(T(k)))
+	const m = 9
+	r = r.MulPow2(-m)
+	// Taylor: e^r = 1 + r + r²/2! + ...
+	sum := c.new(1).Add(r)
+	term := r
+	for i := 2; i <= c.expTerms; i++ {
+		term = term.Mul(r).DivFloat(T(i))
+		sum = sum.Add(term)
+	}
+	for i := 0; i < m; i++ {
+		sum = sum.Mul(sum)
+	}
+	return sum.MulPow2(int(k))
+}
+
+// logE computes ln x by Newton's method on exp: y ← y + x·e^(-y) - 1.
+func logE[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
+	xf := float64(x.Float())
+	switch {
+	case math.IsNaN(xf) || xf < 0:
+		return c.new(T(math.NaN()))
+	case x.IsZero():
+		return c.new(T(math.Inf(-1)))
+	case math.IsInf(xf, 1):
+		return c.new(T(math.Inf(1)))
+	}
+	y := c.new(T(math.Log(xf)))
+	for i := 0; i < c.newtIter+1; i++ {
+		y = y.Add(x.Mul(expE(c, y.Neg())).AddFloat(-1))
+	}
+	return y
+}
+
+// sincosE reduces x against π/2 and evaluates both Taylor kernels.
+func sincosE[E expLike[E, T], T Float](c *mathCtx[E, T], x E) (sin, cos E) {
+	xf := float64(x.Float())
+	if math.IsNaN(xf) || math.IsInf(xf, 0) {
+		nan := c.new(T(math.NaN()))
+		return nan, nan
+	}
+	j := math.Round(xf / (math.Pi / 2))
+	r := x.Sub(c.piOver2.MulFloat(T(j)))
+	// Taylor on |r| ≲ π/4 + ε.
+	r2 := r.Mul(r)
+	s := r
+	term := r
+	for i := 3; i <= c.sinTerms; i += 2 {
+		term = term.Mul(r2).DivFloat(T((i - 1) * i)).Neg()
+		s = s.Add(term)
+	}
+	co := c.new(1)
+	term = c.new(1)
+	for i := 2; i <= c.sinTerms; i += 2 {
+		term = term.Mul(r2).DivFloat(T((i - 1) * i)).Neg()
+		co = co.Add(term)
+	}
+	switch q := int64(j) & 3; (q + 4) & 3 {
+	case 0:
+		return s, co
+	case 1:
+		return co, s.Neg()
+	case 2:
+		return s.Neg(), co.Neg()
+	default:
+		return co.Neg(), s
+	}
+}
+
+// asinE solves sin z = x by Newton from the machine seed.
+func asinE[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
+	xf := float64(x.Float())
+	if math.IsNaN(xf) || xf > 1 || xf < -1 {
+		return c.new(T(math.NaN()))
+	}
+	ax := math.Abs(xf)
+	if ax > 0.999 {
+		// Near ±1 the Newton step divides by cos z → use the
+		// complementary identity asin(x) = ±(π/2 - asin(√(1-x²))).
+		one := c.new(1)
+		comp := asinE(c, one.Sub(x.Mul(x)).Sqrt())
+		res := c.piOver2.Sub(comp)
+		if xf < 0 {
+			res = res.Neg()
+		}
+		return res
+	}
+	z := c.new(T(math.Asin(xf)))
+	for i := 0; i < c.newtIter+1; i++ {
+		s, co := sincosE(c, z)
+		z = z.Add(x.Sub(s).Div(co))
+	}
+	return z
+}
+
+// atanE computes arctangent via the asin identity, with the reciprocal
+// reduction for |x| > 1 to keep the kernel well-conditioned.
+func atanE[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
+	xf := float64(x.Float())
+	if math.IsNaN(xf) {
+		return c.new(T(math.NaN()))
+	}
+	if math.IsInf(xf, 1) {
+		return c.piOver2
+	}
+	if math.IsInf(xf, -1) {
+		return c.piOver2.Neg()
+	}
+	if math.Abs(xf) > 1 {
+		inner := atanE(c, x.Recip())
+		if xf > 0 {
+			return c.piOver2.Sub(inner)
+		}
+		return c.piOver2.Neg().Sub(inner)
+	}
+	// |x| ≤ 1: t = x/√(1+x²) has |t| ≤ 1/√2.
+	t := x.Div(x.Mul(x).AddFloat(1).Sqrt())
+	return asinE(c, t)
+}
+
+// atan2E implements the full-quadrant arctangent.
+func atan2E[E expLike[E, T], T Float](c *mathCtx[E, T], y, x E) E {
+	yf, xf := float64(y.Float()), float64(x.Float())
+	switch {
+	case math.IsNaN(yf) || math.IsNaN(xf):
+		return c.new(T(math.NaN()))
+	case x.IsZero() && y.IsZero():
+		return c.new(0)
+	case x.IsZero():
+		if y.Sign() > 0 {
+			return c.piOver2
+		}
+		return c.piOver2.Neg()
+	case y.IsZero():
+		if x.Sign() > 0 {
+			return c.new(0)
+		}
+		return c.pi
+	}
+	base := atanE(c, y.Div(x))
+	if x.Sign() > 0 {
+		return base
+	}
+	if y.Sign() > 0 {
+		return base.Add(c.pi)
+	}
+	return base.Sub(c.pi)
+}
+
+// powE computes x^y = e^(y·ln x) with the usual special cases.
+func powE[E expLike[E, T], T Float](c *mathCtx[E, T], x, y E) E {
+	if y.IsZero() {
+		return c.new(1)
+	}
+	if x.IsZero() {
+		if y.Sign() > 0 {
+			return c.new(0)
+		}
+		return c.new(T(math.Inf(1)))
+	}
+	if x.Sign() < 0 {
+		return c.new(T(math.NaN()))
+	}
+	return expE(c, y.Mul(logE(c, x)))
+}
+
+// powIntE computes x^k by binary exponentiation (exact-operation count
+// O(log k); valid for negative x, unlike powE).
+func powIntE[E expLike[E, T], T Float](c *mathCtx[E, T], x E, k int) E {
+	if k == 0 {
+		return c.new(1)
+	}
+	neg := k < 0
+	if neg {
+		k = -k
+	}
+	acc := c.new(1)
+	base := x
+	for k > 0 {
+		if k&1 == 1 {
+			acc = acc.Mul(base)
+		}
+		base = base.Mul(base)
+		k >>= 1
+	}
+	if neg {
+		return acc.Recip()
+	}
+	return acc
+}
+
+// sinhE/coshE/tanhE. sinh uses a Taylor kernel for small arguments, where
+// (e^x - e^-x)/2 cancels catastrophically.
+func sinhE[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
+	xf := float64(x.Float())
+	if math.Abs(xf) > 0.5 {
+		e := expE(c, x)
+		return e.Sub(e.Recip()).MulPow2(-1)
+	}
+	// sinh x = x + x³/3! + x⁵/5! + ...
+	x2 := x.Mul(x)
+	s := x
+	term := x
+	for i := 3; i <= c.sinTerms; i += 2 {
+		term = term.Mul(x2).DivFloat(T((i - 1) * i))
+		s = s.Add(term)
+	}
+	return s
+}
+
+func coshE[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
+	e := expE(c, x)
+	return e.Add(e.Recip()).MulPow2(-1)
+}
+
+func tanhE[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
+	xf := float64(x.Float())
+	if math.Abs(xf) > 40 {
+		if xf > 0 {
+			return c.new(1)
+		}
+		return c.new(-1)
+	}
+	return sinhE(c, x).Div(coshE(c, x))
+}
+
+func log10E[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
+	c.once.Do(func() {
+		c.ln10 = logE(c, c.new(10))
+		c.ln10v = true
+	})
+	return logE(c, x).Div(c.ln10)
+}
+
+func log2E[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
+	return logE(c, x).Div(c.ln2)
+}
+
+func exp2E[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
+	return expE(c, x.Mul(c.ln2))
+}
+
+// ------------------------------------------------------------ methods ----
+
+// Exp returns e^x.
+func (x F2[T]) Exp() F2[T] { return expE(ctx2[T](), x) }
+
+// Log returns ln x.
+func (x F2[T]) Log() F2[T] { return logE(ctx2[T](), x) }
+
+// Log2 returns log₂ x.
+func (x F2[T]) Log2() F2[T] { return log2E(ctx2[T](), x) }
+
+// Log10 returns log₁₀ x.
+func (x F2[T]) Log10() F2[T] { return log10E(ctx2[T](), x) }
+
+// Exp2 returns 2^x.
+func (x F2[T]) Exp2() F2[T] { return exp2E(ctx2[T](), x) }
+
+// Pow returns x^y (NaN for negative x).
+func (x F2[T]) Pow(y F2[T]) F2[T] { return powE(ctx2[T](), x, y) }
+
+// PowInt returns x^k by binary exponentiation.
+func (x F2[T]) PowInt(k int) F2[T] { return powIntE(ctx2[T](), x, k) }
+
+// SinCos returns (sin x, cos x).
+func (x F2[T]) SinCos() (F2[T], F2[T]) { return sincosE(ctx2[T](), x) }
+
+// Sin returns sin x.
+func (x F2[T]) Sin() F2[T] { s, _ := sincosE(ctx2[T](), x); return s }
+
+// Cos returns cos x.
+func (x F2[T]) Cos() F2[T] { _, c := sincosE(ctx2[T](), x); return c }
+
+// Tan returns tan x.
+func (x F2[T]) Tan() F2[T] { s, c := sincosE(ctx2[T](), x); return s.Div(c) }
+
+// Asin returns arcsin x.
+func (x F2[T]) Asin() F2[T] { return asinE(ctx2[T](), x) }
+
+// Acos returns arccos x.
+func (x F2[T]) Acos() F2[T] {
+	c := ctx2[T]()
+	return c.piOver2.Sub(asinE(c, x))
+}
+
+// Atan returns arctan x.
+func (x F2[T]) Atan() F2[T] { return atanE(ctx2[T](), x) }
+
+// Atan2 returns the full-quadrant arctangent of y/x.
+func Atan2F2[T Float](y, x F2[T]) F2[T] { return atan2E(ctx2[T](), y, x) }
+
+// Sinh returns sinh x.
+func (x F2[T]) Sinh() F2[T] { return sinhE(ctx2[T](), x) }
+
+// Cosh returns cosh x.
+func (x F2[T]) Cosh() F2[T] { return coshE(ctx2[T](), x) }
+
+// Tanh returns tanh x.
+func (x F2[T]) Tanh() F2[T] { return tanhE(ctx2[T](), x) }
+
+// Exp returns e^x.
+func (x F3[T]) Exp() F3[T] { return expE(ctx3[T](), x) }
+
+// Log returns ln x.
+func (x F3[T]) Log() F3[T] { return logE(ctx3[T](), x) }
+
+// Log2 returns log₂ x.
+func (x F3[T]) Log2() F3[T] { return log2E(ctx3[T](), x) }
+
+// Log10 returns log₁₀ x.
+func (x F3[T]) Log10() F3[T] { return log10E(ctx3[T](), x) }
+
+// Exp2 returns 2^x.
+func (x F3[T]) Exp2() F3[T] { return exp2E(ctx3[T](), x) }
+
+// Pow returns x^y (NaN for negative x).
+func (x F3[T]) Pow(y F3[T]) F3[T] { return powE(ctx3[T](), x, y) }
+
+// PowInt returns x^k by binary exponentiation.
+func (x F3[T]) PowInt(k int) F3[T] { return powIntE(ctx3[T](), x, k) }
+
+// SinCos returns (sin x, cos x).
+func (x F3[T]) SinCos() (F3[T], F3[T]) { return sincosE(ctx3[T](), x) }
+
+// Sin returns sin x.
+func (x F3[T]) Sin() F3[T] { s, _ := sincosE(ctx3[T](), x); return s }
+
+// Cos returns cos x.
+func (x F3[T]) Cos() F3[T] { _, c := sincosE(ctx3[T](), x); return c }
+
+// Tan returns tan x.
+func (x F3[T]) Tan() F3[T] { s, c := sincosE(ctx3[T](), x); return s.Div(c) }
+
+// Asin returns arcsin x.
+func (x F3[T]) Asin() F3[T] { return asinE(ctx3[T](), x) }
+
+// Acos returns arccos x.
+func (x F3[T]) Acos() F3[T] {
+	c := ctx3[T]()
+	return c.piOver2.Sub(asinE(c, x))
+}
+
+// Atan returns arctan x.
+func (x F3[T]) Atan() F3[T] { return atanE(ctx3[T](), x) }
+
+// Atan2F3 returns the full-quadrant arctangent of y/x.
+func Atan2F3[T Float](y, x F3[T]) F3[T] { return atan2E(ctx3[T](), y, x) }
+
+// Sinh returns sinh x.
+func (x F3[T]) Sinh() F3[T] { return sinhE(ctx3[T](), x) }
+
+// Cosh returns cosh x.
+func (x F3[T]) Cosh() F3[T] { return coshE(ctx3[T](), x) }
+
+// Tanh returns tanh x.
+func (x F3[T]) Tanh() F3[T] { return tanhE(ctx3[T](), x) }
+
+// Exp returns e^x.
+func (x F4[T]) Exp() F4[T] { return expE(ctx4[T](), x) }
+
+// Log returns ln x.
+func (x F4[T]) Log() F4[T] { return logE(ctx4[T](), x) }
+
+// Log2 returns log₂ x.
+func (x F4[T]) Log2() F4[T] { return log2E(ctx4[T](), x) }
+
+// Log10 returns log₁₀ x.
+func (x F4[T]) Log10() F4[T] { return log10E(ctx4[T](), x) }
+
+// Exp2 returns 2^x.
+func (x F4[T]) Exp2() F4[T] { return exp2E(ctx4[T](), x) }
+
+// Pow returns x^y (NaN for negative x).
+func (x F4[T]) Pow(y F4[T]) F4[T] { return powE(ctx4[T](), x, y) }
+
+// PowInt returns x^k by binary exponentiation.
+func (x F4[T]) PowInt(k int) F4[T] { return powIntE(ctx4[T](), x, k) }
+
+// SinCos returns (sin x, cos x).
+func (x F4[T]) SinCos() (F4[T], F4[T]) { return sincosE(ctx4[T](), x) }
+
+// Sin returns sin x.
+func (x F4[T]) Sin() F4[T] { s, _ := sincosE(ctx4[T](), x); return s }
+
+// Cos returns cos x.
+func (x F4[T]) Cos() F4[T] { _, c := sincosE(ctx4[T](), x); return c }
+
+// Tan returns tan x.
+func (x F4[T]) Tan() F4[T] { s, c := sincosE(ctx4[T](), x); return s.Div(c) }
+
+// Asin returns arcsin x.
+func (x F4[T]) Asin() F4[T] { return asinE(ctx4[T](), x) }
+
+// Acos returns arccos x.
+func (x F4[T]) Acos() F4[T] {
+	c := ctx4[T]()
+	return c.piOver2.Sub(asinE(c, x))
+}
+
+// Atan returns arctan x.
+func (x F4[T]) Atan() F4[T] { return atanE(ctx4[T](), x) }
+
+// Atan2F4 returns the full-quadrant arctangent of y/x.
+func Atan2F4[T Float](y, x F4[T]) F4[T] { return atan2E(ctx4[T](), y, x) }
+
+// Sinh returns sinh x.
+func (x F4[T]) Sinh() F4[T] { return sinhE(ctx4[T](), x) }
+
+// Cosh returns cosh x.
+func (x F4[T]) Cosh() F4[T] { return coshE(ctx4[T](), x) }
+
+// Tanh returns tanh x.
+func (x F4[T]) Tanh() F4[T] { return tanhE(ctx4[T](), x) }

@@ -1,0 +1,368 @@
+package mf
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// ---- 400-bit reference implementations (test oracles) ----
+
+const refPrec = 420
+
+func bigExp(x *big.Float) *big.Float {
+	// Scale down by 2^20, Taylor, square back up.
+	r := new(big.Float).SetPrec(refPrec).Set(x)
+	e := r.MantExp(r) // r ← mantissa ∈ [0.5, 1)
+	r.SetMantExp(r, e-20)
+	sum := big.NewFloat(1).SetPrec(refPrec)
+	term := big.NewFloat(1).SetPrec(refPrec)
+	for i := 1; i < 60; i++ {
+		term.Mul(term, r)
+		term.Quo(term, big.NewFloat(float64(i)))
+		sum.Add(sum, term)
+	}
+	for i := 0; i < 20; i++ {
+		sum.Mul(sum, sum)
+	}
+	return sum
+}
+
+func bigLog(x *big.Float) *big.Float {
+	f, _ := x.Float64()
+	y := new(big.Float).SetPrec(refPrec).SetFloat64(math.Log(f))
+	one := big.NewFloat(1)
+	for i := 0; i < 6; i++ {
+		ey := bigExp(new(big.Float).SetPrec(refPrec).Neg(y))
+		t := new(big.Float).SetPrec(refPrec).Mul(x, ey)
+		t.Sub(t, one)
+		y.Add(y, t)
+	}
+	return y
+}
+
+func bigSinCos(x *big.Float) (*big.Float, *big.Float) {
+	// Plain Taylor: test arguments stay below |x| ≤ 30, so 420 bits leave
+	// ample headroom over the ≤ e^30 intermediate terms.
+	x2 := new(big.Float).SetPrec(refPrec).Mul(x, x)
+	sin := new(big.Float).SetPrec(refPrec).Set(x)
+	term := new(big.Float).SetPrec(refPrec).Set(x)
+	for i := 3; i < 220; i += 2 {
+		term.Mul(term, x2)
+		term.Quo(term, big.NewFloat(float64((i-1)*i)))
+		term.Neg(term)
+		sin.Add(sin, term)
+	}
+	cos := big.NewFloat(1).SetPrec(refPrec)
+	term = big.NewFloat(1).SetPrec(refPrec)
+	for i := 2; i < 220; i += 2 {
+		term.Mul(term, x2)
+		term.Quo(term, big.NewFloat(float64((i-1)*i)))
+		term.Neg(term)
+		cos.Add(cos, term)
+	}
+	return sin, cos
+}
+
+func relBitsBig(want, got *big.Float) float64 {
+	diff := new(big.Float).SetPrec(refPrec).Sub(want, got)
+	if diff.Sign() == 0 {
+		return math.Inf(1)
+	}
+	if want.Sign() == 0 {
+		return math.Inf(-1)
+	}
+	rel := new(big.Float).Quo(diff.Abs(diff), new(big.Float).Abs(want))
+	f, _ := rel.Float64()
+	return -math.Log2(f)
+}
+
+// target accuracy in bits per format (a few ulps of margin).
+var fnBits = map[int]float64{2: 92, 3: 144, 4: 196}
+
+func TestExpAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		xf := rng.Float64()*40 - 20
+		xb := new(big.Float).SetPrec(refPrec).SetFloat64(xf)
+		want := bigExp(xb)
+		if b := relBitsBig(want, New2(xf).Exp().Big()); b < fnBits[2] {
+			t.Fatalf("F2 Exp(%g): 2^-%.1f", xf, b)
+		}
+		if b := relBitsBig(want, New3(xf).Exp().Big()); b < fnBits[3] {
+			t.Fatalf("F3 Exp(%g): 2^-%.1f", xf, b)
+		}
+		if b := relBitsBig(want, New4(xf).Exp().Big()); b < fnBits[4] {
+			t.Fatalf("F4 Exp(%g): 2^-%.1f", xf, b)
+		}
+	}
+}
+
+func TestExpSpecials(t *testing.T) {
+	if got := New4(0.0).Exp(); !got.Eq(New4(1.0)) {
+		t.Errorf("exp(0) = %v", got)
+	}
+	if got := New2(1000.0).Exp().Float(); !math.IsInf(got, 1) {
+		t.Errorf("exp(1000) = %g", got)
+	}
+	if got := New2(-1000.0).Exp(); !got.IsZero() {
+		t.Errorf("exp(-1000) = %v", got)
+	}
+	if got := New3(math.NaN()).Exp().Float(); !math.IsNaN(got) {
+		t.Errorf("exp(NaN) = %g", got)
+	}
+	// e^1 must match the E constant.
+	d := New4(1.0).Exp().Sub(E4)
+	if f, _ := d.Big().Float64(); math.Abs(f) > 0x1p-200 {
+		t.Errorf("exp(1) - e = %g", f)
+	}
+}
+
+func TestLogAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		xf := math.Exp(rng.Float64()*40 - 20)
+		xb := new(big.Float).SetPrec(refPrec).SetFloat64(xf)
+		want := bigLog(xb)
+		if b := relBitsBig(want, New2(xf).Log().Big()); b < fnBits[2] {
+			t.Fatalf("F2 Log(%g): 2^-%.1f", xf, b)
+		}
+		if b := relBitsBig(want, New4(xf).Log().Big()); b < fnBits[4] {
+			t.Fatalf("F4 Log(%g): 2^-%.1f", xf, b)
+		}
+	}
+}
+
+func TestLogExpRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		x := New4(rng.Float64()*10 + 0.1)
+		back := x.Log().Exp()
+		d := back.Sub(x).Div(x)
+		if f, _ := d.Big().Float64(); math.Abs(f) > 0x1p-196 {
+			t.Fatalf("exp(log(%v)) relative error %g", x.Float(), f)
+		}
+	}
+	if !math.IsNaN(New2(-1.0).Log().Float()) {
+		t.Error("log(-1) should be NaN")
+	}
+}
+
+func TestSinCosAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		xf := rng.Float64()*40 - 20
+		xb := new(big.Float).SetPrec(refPrec).SetFloat64(xf)
+		ws, wc := bigSinCos(xb)
+		s4, c4 := New4(xf).SinCos()
+		// Absolute tolerance relative to 1 (sin/cos near zeros have huge
+		// relative error for any fixed-precision format).
+		ds := new(big.Float).Sub(ws, s4.Big())
+		dc := new(big.Float).Sub(wc, c4.Big())
+		fs, _ := ds.Float64()
+		fc, _ := dc.Float64()
+		if math.Abs(fs) > 0x1p-196*40 || math.Abs(fc) > 0x1p-196*40 {
+			t.Fatalf("F4 SinCos(%g): ds=%g dc=%g", xf, fs, fc)
+		}
+		s2, c2 := New2(xf).SinCos()
+		ds2 := new(big.Float).Sub(ws, s2.Big())
+		dc2 := new(big.Float).Sub(wc, c2.Big())
+		fs2, _ := ds2.Float64()
+		fc2, _ := dc2.Float64()
+		if math.Abs(fs2) > 0x1p-92*40 || math.Abs(fc2) > 0x1p-92*40 {
+			t.Fatalf("F2 SinCos(%g): ds=%g dc=%g", xf, fs2, fc2)
+		}
+	}
+}
+
+func TestPythagoreanIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		x := New3(rng.Float64()*200 - 100)
+		s, c := x.SinCos()
+		d := s.Mul(s).Add(c.Mul(c)).AddFloat(-1)
+		if f, _ := d.Big().Float64(); math.Abs(f) > 0x1p-144 {
+			t.Fatalf("sin²+cos²-1 = %g at x=%v", f, x.Float())
+		}
+	}
+}
+
+func TestInverseTrig(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 200; i++ {
+		// asin(sin x) = x on the principal branch.
+		xf := (rng.Float64()*2 - 1) * 1.5
+		x := New4(xf)
+		back := x.Sin().Asin()
+		if f, _ := back.Sub(x).Big().Float64(); math.Abs(f) > 0x1p-190 {
+			t.Fatalf("asin(sin(%g)) error %g", xf, f)
+		}
+		// atan(tan x) = x for |x| < π/2.
+		xf = (rng.Float64()*2 - 1) * 1.4
+		x = New4(xf)
+		back = x.Tan().Atan()
+		if f, _ := back.Sub(x).Big().Float64(); math.Abs(f) > 0x1p-190 {
+			t.Fatalf("atan(tan(%g)) error %g", xf, f)
+		}
+	}
+	// Edge values.
+	if f, _ := New4(1.0).Asin().Sub(Pi4.MulPow2(-1)).Big().Float64(); math.Abs(f) > 0x1p-200 {
+		t.Errorf("asin(1) != π/2: %g", f)
+	}
+	if got := New2(1.5).Asin().Float(); !math.IsNaN(got) {
+		t.Error("asin(1.5) should be NaN")
+	}
+	if f, _ := New4(1.0).Atan().MulFloat(4).Sub(Pi4).Big().Float64(); math.Abs(f) > 0x1p-190 {
+		t.Errorf("4·atan(1) != π: %g", f)
+	}
+	if f, _ := New4(0.0).Acos().Sub(Pi4.MulPow2(-1)).Big().Float64(); math.Abs(f) > 0x1p-200 {
+		t.Errorf("acos(0) != π/2: %g", f)
+	}
+}
+
+func TestAtan2Quadrants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 400; i++ {
+		yf := rng.NormFloat64()
+		xf := rng.NormFloat64()
+		got := Atan2F3(New3(yf), New3(xf)).Float()
+		want := math.Atan2(yf, xf)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Atan2(%g,%g) = %g, want %g", yf, xf, got, want)
+		}
+	}
+	if Atan2F2(New2(0.0), New2(0.0)).Float() != 0 {
+		t.Error("atan2(0,0) != 0")
+	}
+	if f, _ := Atan2F4(New4(0.0), New4(-2.0)).Sub(Pi4).Big().Float64(); math.Abs(f) > 0x1p-200 {
+		t.Errorf("atan2(0,-2) != π: %g", f)
+	}
+}
+
+func TestPow(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		x := New4(rng.Float64()*5 + 0.1)
+		// x^2 via Pow matches x·x.
+		viaPow := x.Pow(New4(2.0))
+		direct := x.Mul(x)
+		d := viaPow.Sub(direct).Div(direct)
+		if f, _ := d.Big().Float64(); math.Abs(f) > 0x1p-190 {
+			t.Fatalf("Pow(%v, 2) relative error %g", x.Float(), f)
+		}
+	}
+	// PowInt by repeated multiplication.
+	x := MustParse3[float64]("1.0000000000000000000001")
+	byMul := New3(1.0)
+	for i := 0; i < 13; i++ {
+		byMul = byMul.Mul(x)
+	}
+	d := x.PowInt(13).Sub(byMul)
+	if f, _ := d.Big().Float64(); math.Abs(f) > 0x1p-145 {
+		t.Errorf("PowInt(13) vs repeated mul: %g", f)
+	}
+	// Negative exponent.
+	inv := x.PowInt(-3)
+	want := New3(1.0).Div(x.Mul(x).Mul(x))
+	if f, _ := inv.Sub(want).Big().Float64(); math.Abs(f) > 0x1p-145 {
+		t.Errorf("PowInt(-3): %g", f)
+	}
+	// Specials.
+	if !New2(3.0).Pow(New2(0.0)).Eq(New2(1.0)) {
+		t.Error("x^0 != 1")
+	}
+	if got := New2(-2.0).Pow(New2(0.5)).Float(); !math.IsNaN(got) {
+		t.Error("(-2)^0.5 should be NaN")
+	}
+}
+
+func TestHyperbolic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		xf := rng.Float64()*20 - 10
+		x := New3(xf)
+		s, c := x.Sinh(), x.Cosh()
+		// cosh² - sinh² = 1, with the absolute tolerance scaled by cosh²
+		// (the identity subtracts two numbers of that magnitude).
+		d := c.Mul(c).Sub(s.Mul(s)).AddFloat(-1)
+		coshSq := math.Cosh(xf) * math.Cosh(xf)
+		if f, _ := d.Big().Float64(); math.Abs(f) > 0x1p-140*math.Max(1, coshSq) {
+			t.Fatalf("cosh²-sinh²-1 = %g at x=%g", f, xf)
+		}
+		// tanh = sinh/cosh and |tanh| < 1.
+		th := x.Tanh()
+		if math.Abs(th.Float()) > 1 {
+			t.Fatalf("|tanh| > 1 at x=%g", xf)
+		}
+	}
+	// Small-argument sinh keeps full relative precision (Taylor branch).
+	x := New4(1e-8)
+	s := x.Sinh()
+	// sinh(x) ≈ x + x³/6: relative deviation from x is ~1.7e-17.
+	rel := s.Sub(x).Div(x)
+	f, _ := rel.Big().Float64()
+	if math.Abs(f-1.0/6e16) > 1e-20 {
+		t.Errorf("sinh(1e-8) Taylor branch off: rel = %g", f)
+	}
+}
+
+func TestLogBases(t *testing.T) {
+	// log2(2^k) = k, log10(10^k) = k.
+	for _, k := range []int{1, 2, 10, -7} {
+		x := New4(1.0).MulPow2(k)
+		d := x.Log2().Sub(New4(float64(k)))
+		if f, _ := d.Big().Float64(); math.Abs(f) > 0x1p-190 {
+			t.Errorf("log2(2^%d): %g", k, f)
+		}
+	}
+	ten := New3(10.0)
+	d := ten.PowInt(5).Log10().Sub(New3(5.0))
+	if f, _ := d.Big().Float64(); math.Abs(f) > 0x1p-140 {
+		t.Errorf("log10(10^5): %g", f)
+	}
+	// 2^x via Exp2.
+	d2 := New2(0.5).Exp2().Sub(Sqrt22)
+	if f, _ := d2.Big().Float64(); math.Abs(f) > 0x1p-95 {
+		t.Errorf("2^0.5 != √2: %g", f)
+	}
+}
+
+func TestFloat32Math(t *testing.T) {
+	// The same engine runs on the float32 base (GPU configuration).
+	x := New4(float32(1.5))
+	e := x.Exp()
+	// Compare against the 420-bit reference (math.Exp itself is only
+	// 2^-53 accurate, far below this format's ~2^-92).
+	want := bigExp(new(big.Float).SetPrec(refPrec).SetFloat64(1.5))
+	if b := relBitsBig(want, e.Big()); b < 85 {
+		t.Errorf("float32 F4 exp(1.5): only 2^-%.1f accurate", b)
+	}
+	s, c := New3(float32(1.0)).SinCos()
+	if math.Abs(float64(s.Float())-math.Sin(1)) > 1e-6 ||
+		math.Abs(float64(c.Float())-math.Cos(1)) > 1e-6 {
+		t.Error("float32 sincos leading term off")
+	}
+	d := s.Mul(s).Add(c.Mul(c)).AddFloat(1).AddFloat(-2)
+	if f, _ := d.Big().Float64(); math.Abs(f) > 0x1p-60 {
+		t.Errorf("float32 pythagorean: %g", f)
+	}
+}
+
+func BenchmarkExpF4(b *testing.B) {
+	x := New4(1.2345)
+	var z Float64x4
+	for i := 0; i < b.N; i++ {
+		z = x.Exp()
+	}
+	_ = z
+}
+
+func BenchmarkSinF2(b *testing.B) {
+	x := New2(1.2345)
+	var z Float64x2
+	for i := 0; i < b.N; i++ {
+		z = x.Sin()
+	}
+	_ = z
+}

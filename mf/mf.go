@@ -1,0 +1,376 @@
+// Package mf is the public API of MultiFloats-Go: extended-precision
+// floating-point arithmetic on unevaluated sums ("floating-point
+// expansions") of 2, 3, or 4 machine numbers, using the branch-free
+// floating-point accumulation networks of Zhang & Aiken (SC '25).
+//
+// The three generic types F2[T], F3[T], and F4[T] mirror the paper's
+// MultiFloat<T,N> template: on a float64 base they provide roughly
+// quadruple (103-bit), sextuple (156-bit), and octuple (208-bit)
+// precision; on a float32 base they extend single-precision hardware the
+// same way (the paper's GPU configuration). Aliases Float64x2 … Float32x4
+// name the common instantiations.
+//
+// All operations are branch-free fixed sequences of machine additions,
+// multiplications, and FMAs — no dynamic allocation, no data-dependent
+// control flow — which is what makes them fast on deeply pipelined and
+// data-parallel hardware. Values are weakly nonoverlapping expansions;
+// see internal/core for the invariant and verified error bounds.
+//
+// Special values follow §4.4 of the paper: NaN propagates, ±Inf collapses
+// to NaN through the error-free transformations, and -0.0 is not
+// distinguished from +0.0.
+package mf
+
+import (
+	"multifloats/internal/core"
+	"multifloats/internal/eft"
+)
+
+// Float is the permitted set of base types.
+type Float = eft.Float
+
+// F2 is a 2-term expansion: ~2p-bit precision (106 bits on float64).
+type F2[T Float] [2]T
+
+// F3 is a 3-term expansion: ~3p-bit precision (159 bits on float64).
+type F3[T Float] [3]T
+
+// F4 is a 4-term expansion: ~4p-bit precision (212 bits on float64).
+type F4[T Float] [4]T
+
+// Common instantiations.
+type (
+	// Float64x2 is double-double: ≈31 decimal digits.
+	Float64x2 = F2[float64]
+	// Float64x3 is triple-double: ≈47 decimal digits.
+	Float64x3 = F3[float64]
+	// Float64x4 is quad-double: ≈63 decimal digits.
+	Float64x4 = F4[float64]
+	// Float32x2..x4 extend single-precision hardware (the paper's GPU
+	// base type, Figure 11).
+	Float32x2 = F2[float32]
+	Float32x3 = F3[float32]
+	Float32x4 = F4[float32]
+)
+
+// New2 returns the F2 expansion of a machine number.
+func New2[T Float](v T) F2[T] { return F2[T]{v, 0} }
+
+// New3 returns the F3 expansion of a machine number.
+func New3[T Float](v T) F3[T] { return F3[T]{v, 0, 0} }
+
+// New4 returns the F4 expansion of a machine number.
+func New4[T Float](v T) F4[T] { return F4[T]{v, 0, 0, 0} }
+
+// ---------------------------------------------------------------- F2 ----
+
+// Add returns x + y.
+func (x F2[T]) Add(y F2[T]) F2[T] {
+	z0, z1 := core.Add2(x[0], x[1], y[0], y[1])
+	return F2[T]{z0, z1}
+}
+
+// Sub returns x - y.
+func (x F2[T]) Sub(y F2[T]) F2[T] {
+	z0, z1 := core.Sub2(x[0], x[1], y[0], y[1])
+	return F2[T]{z0, z1}
+}
+
+// Mul returns x · y. The operation is exactly commutative (§4.2).
+func (x F2[T]) Mul(y F2[T]) F2[T] {
+	z0, z1 := core.Mul2(x[0], x[1], y[0], y[1])
+	return F2[T]{z0, z1}
+}
+
+// Div returns x / y.
+func (x F2[T]) Div(y F2[T]) F2[T] {
+	z0, z1 := core.Div2(x[0], x[1], y[0], y[1])
+	return F2[T]{z0, z1}
+}
+
+// Recip returns 1 / x.
+func (x F2[T]) Recip() F2[T] {
+	z0, z1 := core.Recip2(x[0], x[1])
+	return F2[T]{z0, z1}
+}
+
+// Sqrt returns √x; NaN for negative x, 0 for zero x.
+func (x F2[T]) Sqrt() F2[T] {
+	z0, z1 := core.Sqrt2(x[0], x[1])
+	return F2[T]{z0, z1}
+}
+
+// Rsqrt returns 1 / √x.
+func (x F2[T]) Rsqrt() F2[T] {
+	z0, z1 := core.Rsqrt2(x[0], x[1])
+	return F2[T]{z0, z1}
+}
+
+// AddFloat returns x + c for a machine number c.
+func (x F2[T]) AddFloat(c T) F2[T] {
+	z0, z1 := core.Add21(x[0], x[1], c)
+	return F2[T]{z0, z1}
+}
+
+// MulFloat returns x · c for a machine number c.
+func (x F2[T]) MulFloat(c T) F2[T] {
+	z0, z1 := core.Mul21(x[0], x[1], c)
+	return F2[T]{z0, z1}
+}
+
+// Neg returns -x (exact).
+func (x F2[T]) Neg() F2[T] { return F2[T]{-x[0], -x[1]} }
+
+// Abs returns |x| (exact).
+func (x F2[T]) Abs() F2[T] {
+	if x[0] < 0 || (x[0] == 0 && x[1] < 0) {
+		return x.Neg()
+	}
+	return x
+}
+
+// Cmp compares by value: -1, 0, or +1. Distinct representations of the
+// same real number compare equal.
+func (x F2[T]) Cmp(y F2[T]) int { return core.Cmp2(x[0], x[1], y[0], y[1]) }
+
+// Eq reports value equality.
+func (x F2[T]) Eq(y F2[T]) bool { return x.Cmp(y) == 0 }
+
+// Less reports x < y by value.
+func (x F2[T]) Less(y F2[T]) bool { return x.Cmp(y) < 0 }
+
+// Sign returns the sign of x: -1, 0, or +1.
+func (x F2[T]) Sign() int { return x.Cmp(F2[T]{}) }
+
+// IsZero reports whether x is exactly zero.
+func (x F2[T]) IsZero() bool { return x[0] == 0 && x[1] == 0 }
+
+// Float returns the nearest machine number (the leading term, by the
+// nonoverlap invariant).
+func (x F2[T]) Float() T { return x[0] }
+
+// ---------------------------------------------------------------- F3 ----
+
+// Add returns x + y.
+func (x F3[T]) Add(y F3[T]) F3[T] {
+	z0, z1, z2 := core.Add3(x[0], x[1], x[2], y[0], y[1], y[2])
+	return F3[T]{z0, z1, z2}
+}
+
+// Sub returns x - y.
+func (x F3[T]) Sub(y F3[T]) F3[T] {
+	z0, z1, z2 := core.Sub3(x[0], x[1], x[2], y[0], y[1], y[2])
+	return F3[T]{z0, z1, z2}
+}
+
+// Mul returns x · y. The operation is exactly commutative (§4.2).
+func (x F3[T]) Mul(y F3[T]) F3[T] {
+	z0, z1, z2 := core.Mul3(x[0], x[1], x[2], y[0], y[1], y[2])
+	return F3[T]{z0, z1, z2}
+}
+
+// Div returns x / y.
+func (x F3[T]) Div(y F3[T]) F3[T] {
+	z0, z1, z2 := core.Div3(x[0], x[1], x[2], y[0], y[1], y[2])
+	return F3[T]{z0, z1, z2}
+}
+
+// Recip returns 1 / x.
+func (x F3[T]) Recip() F3[T] {
+	z0, z1, z2 := core.Recip3(x[0], x[1], x[2])
+	return F3[T]{z0, z1, z2}
+}
+
+// Sqrt returns √x; NaN for negative x, 0 for zero x.
+func (x F3[T]) Sqrt() F3[T] {
+	z0, z1, z2 := core.Sqrt3(x[0], x[1], x[2])
+	return F3[T]{z0, z1, z2}
+}
+
+// Rsqrt returns 1 / √x.
+func (x F3[T]) Rsqrt() F3[T] {
+	z0, z1, z2 := core.Rsqrt3(x[0], x[1], x[2])
+	return F3[T]{z0, z1, z2}
+}
+
+// AddFloat returns x + c for a machine number c.
+func (x F3[T]) AddFloat(c T) F3[T] {
+	z0, z1, z2 := core.Add31(x[0], x[1], x[2], c)
+	return F3[T]{z0, z1, z2}
+}
+
+// MulFloat returns x · c for a machine number c.
+func (x F3[T]) MulFloat(c T) F3[T] {
+	z0, z1, z2 := core.Mul31(x[0], x[1], x[2], c)
+	return F3[T]{z0, z1, z2}
+}
+
+// Neg returns -x (exact).
+func (x F3[T]) Neg() F3[T] { return F3[T]{-x[0], -x[1], -x[2]} }
+
+// Abs returns |x| (exact).
+func (x F3[T]) Abs() F3[T] {
+	if x.Sign() < 0 {
+		return x.Neg()
+	}
+	return x
+}
+
+// Cmp compares by value: -1, 0, or +1.
+func (x F3[T]) Cmp(y F3[T]) int {
+	return core.Cmp3(x[0], x[1], x[2], y[0], y[1], y[2])
+}
+
+// Eq reports value equality.
+func (x F3[T]) Eq(y F3[T]) bool { return x.Cmp(y) == 0 }
+
+// Less reports x < y by value.
+func (x F3[T]) Less(y F3[T]) bool { return x.Cmp(y) < 0 }
+
+// Sign returns the sign of x: -1, 0, or +1.
+func (x F3[T]) Sign() int { return x.Cmp(F3[T]{}) }
+
+// IsZero reports whether x is exactly zero.
+func (x F3[T]) IsZero() bool { return x[0] == 0 && x[1] == 0 && x[2] == 0 }
+
+// Float returns the nearest machine number.
+func (x F3[T]) Float() T { return x[0] }
+
+// ---------------------------------------------------------------- F4 ----
+
+// Add returns x + y.
+func (x F4[T]) Add(y F4[T]) F4[T] {
+	z0, z1, z2, z3 := core.Add4(x[0], x[1], x[2], x[3], y[0], y[1], y[2], y[3])
+	return F4[T]{z0, z1, z2, z3}
+}
+
+// Sub returns x - y.
+func (x F4[T]) Sub(y F4[T]) F4[T] {
+	z0, z1, z2, z3 := core.Sub4(x[0], x[1], x[2], x[3], y[0], y[1], y[2], y[3])
+	return F4[T]{z0, z1, z2, z3}
+}
+
+// Mul returns x · y. The operation is exactly commutative (§4.2).
+func (x F4[T]) Mul(y F4[T]) F4[T] {
+	z0, z1, z2, z3 := core.Mul4(x[0], x[1], x[2], x[3], y[0], y[1], y[2], y[3])
+	return F4[T]{z0, z1, z2, z3}
+}
+
+// Div returns x / y.
+func (x F4[T]) Div(y F4[T]) F4[T] {
+	z0, z1, z2, z3 := core.Div4(x[0], x[1], x[2], x[3], y[0], y[1], y[2], y[3])
+	return F4[T]{z0, z1, z2, z3}
+}
+
+// Recip returns 1 / x.
+func (x F4[T]) Recip() F4[T] {
+	z0, z1, z2, z3 := core.Recip4(x[0], x[1], x[2], x[3])
+	return F4[T]{z0, z1, z2, z3}
+}
+
+// Sqrt returns √x; NaN for negative x, 0 for zero x.
+func (x F4[T]) Sqrt() F4[T] {
+	z0, z1, z2, z3 := core.Sqrt4(x[0], x[1], x[2], x[3])
+	return F4[T]{z0, z1, z2, z3}
+}
+
+// Rsqrt returns 1 / √x.
+func (x F4[T]) Rsqrt() F4[T] {
+	z0, z1, z2, z3 := core.Rsqrt4(x[0], x[1], x[2], x[3])
+	return F4[T]{z0, z1, z2, z3}
+}
+
+// AddFloat returns x + c for a machine number c.
+func (x F4[T]) AddFloat(c T) F4[T] {
+	z0, z1, z2, z3 := core.Add41(x[0], x[1], x[2], x[3], c)
+	return F4[T]{z0, z1, z2, z3}
+}
+
+// MulFloat returns x · c for a machine number c.
+func (x F4[T]) MulFloat(c T) F4[T] {
+	z0, z1, z2, z3 := core.Mul41(x[0], x[1], x[2], x[3], c)
+	return F4[T]{z0, z1, z2, z3}
+}
+
+// Neg returns -x (exact).
+func (x F4[T]) Neg() F4[T] { return F4[T]{-x[0], -x[1], -x[2], -x[3]} }
+
+// Abs returns |x| (exact).
+func (x F4[T]) Abs() F4[T] {
+	if x.Sign() < 0 {
+		return x.Neg()
+	}
+	return x
+}
+
+// Cmp compares by value: -1, 0, or +1.
+func (x F4[T]) Cmp(y F4[T]) int {
+	return core.Cmp4(x[0], x[1], x[2], x[3], y[0], y[1], y[2], y[3])
+}
+
+// Eq reports value equality.
+func (x F4[T]) Eq(y F4[T]) bool { return x.Cmp(y) == 0 }
+
+// Less reports x < y by value.
+func (x F4[T]) Less(y F4[T]) bool { return x.Cmp(y) < 0 }
+
+// Sign returns the sign of x: -1, 0, or +1.
+func (x F4[T]) Sign() int { return x.Cmp(F4[T]{}) }
+
+// IsZero reports whether x is exactly zero.
+func (x F4[T]) IsZero() bool {
+	return x[0] == 0 && x[1] == 0 && x[2] == 0 && x[3] == 0
+}
+
+// Float returns the nearest machine number.
+func (x F4[T]) Float() T { return x[0] }
+
+// ---------------------------------------------------------------- misc ----
+
+// ldexpT scales a base value by 2^k exactly.
+func ldexpT[T Float](v T, k int) T {
+	return T(scaleFloat64(float64(v), k))
+}
+
+// MulPow2 returns x · 2^k (exact, termwise).
+func (x F2[T]) MulPow2(k int) F2[T] {
+	return F2[T]{ldexpT(x[0], k), ldexpT(x[1], k)}
+}
+
+// MulPow2 returns x · 2^k (exact, termwise).
+func (x F3[T]) MulPow2(k int) F3[T] {
+	return F3[T]{ldexpT(x[0], k), ldexpT(x[1], k), ldexpT(x[2], k)}
+}
+
+// MulPow2 returns x · 2^k (exact, termwise).
+func (x F4[T]) MulPow2(k int) F4[T] {
+	return F4[T]{ldexpT(x[0], k), ldexpT(x[1], k), ldexpT(x[2], k), ldexpT(x[3], k)}
+}
+
+// DivFloat returns x / c for a machine number c.
+func (x F2[T]) DivFloat(c T) F2[T] { return x.Div(New2(c)) }
+
+// DivFloat returns x / c for a machine number c.
+func (x F3[T]) DivFloat(c T) F3[T] { return x.Div(New3(c)) }
+
+// DivFloat returns x / c for a machine number c.
+func (x F4[T]) DivFloat(c T) F4[T] { return x.Div(New4(c)) }
+
+// Sqr returns x² using the cheaper squaring kernel (the symmetric partial
+// products of the §4.2 expansion step coincide).
+func (x F2[T]) Sqr() F2[T] {
+	z0, z1 := core.Sqr2(x[0], x[1])
+	return F2[T]{z0, z1}
+}
+
+// Sqr returns x² using the cheaper squaring kernel.
+func (x F3[T]) Sqr() F3[T] {
+	z0, z1, z2 := core.Sqr3(x[0], x[1], x[2])
+	return F3[T]{z0, z1, z2}
+}
+
+// Sqr returns x² using the cheaper squaring kernel.
+func (x F4[T]) Sqr() F4[T] {
+	z0, z1, z2, z3 := core.Sqr4(x[0], x[1], x[2], x[3])
+	return F4[T]{z0, z1, z2, z3}
+}

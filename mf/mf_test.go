@@ -1,0 +1,268 @@
+package mf
+
+import (
+	"math"
+	"math/big"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicArithmetic2(t *testing.T) {
+	a := New2(1.5)
+	b := New2(2.25)
+	if got := a.Add(b); got != (Float64x2{3.75, 0}) {
+		t.Errorf("1.5+2.25 = %v", got)
+	}
+	if got := a.Mul(b); got != (Float64x2{3.375, 0}) {
+		t.Errorf("1.5*2.25 = %v", got)
+	}
+	if got := a.Sub(b); got != (Float64x2{-0.75, 0}) {
+		t.Errorf("1.5-2.25 = %v", got)
+	}
+	if got := b.Div(a); got != (Float64x2{1.5, 0}) {
+		t.Errorf("2.25/1.5 = %v", got)
+	}
+}
+
+func TestPrecisionBeyondDouble(t *testing.T) {
+	// (1 + 2^-80) - 1 is exactly 2^-80 in F2 but 0 in float64.
+	one := New2(1.0)
+	tiny := New2(0x1p-80)
+	sum := one.Add(tiny)
+	diff := sum.Sub(one)
+	if !diff.Eq(tiny) {
+		t.Errorf("(1+2^-80)-1 = %v, want 2^-80", diff)
+	}
+	if 1.0+0x1p-80-1.0 != 0 {
+		t.Skip("float64 unexpectedly kept the tiny term")
+	}
+}
+
+func TestPiRoundTrip(t *testing.T) {
+	// Pi constants must reproduce π to their full precision.
+	pi := new(big.Float).SetPrec(300)
+	pi.SetString(piStr)
+	check := func(name string, got *big.Float, bits float64) {
+		diff := new(big.Float).SetPrec(300).Sub(pi, got)
+		if diff.Sign() == 0 {
+			return
+		}
+		rel := new(big.Float).Quo(diff.Abs(diff), pi)
+		f, _ := rel.Float64()
+		if -math.Log2(f) < bits {
+			t.Errorf("%s: only %.1f bits of π", name, -math.Log2(f))
+		}
+	}
+	check("Pi2", Pi2.Big(), 106)
+	check("Pi3", Pi3.Big(), 158)
+	check("Pi4", Pi4.Big(), 210)
+}
+
+func TestStringFormatting(t *testing.T) {
+	s := Pi4.String()
+	if !strings.HasPrefix(s, "3.14159265358979323846264338327950288419716939937510582097494") {
+		t.Errorf("Pi4.String() = %s", s)
+	}
+	if got := New2(0.0).String(); got != "0" {
+		t.Errorf("zero formats as %q", got)
+	}
+	nan := Float64x2{math.NaN(), 0}
+	if got := nan.String(); got != "NaN" {
+		t.Errorf("NaN formats as %q", got)
+	}
+}
+
+func TestParseFormatsRoundTrip(t *testing.T) {
+	cases := []string{
+		"1.5", "-0.001220703125", "3.141592653589793238462643383279502884",
+		"1e100", "-2.718281828459045235360287471352662497757e-30",
+	}
+	for _, s := range cases {
+		x, err := Parse4[float64](s)
+		if err != nil {
+			t.Fatalf("Parse4(%q): %v", s, err)
+		}
+		y, err := Parse4[float64](x.String())
+		if err != nil {
+			t.Fatalf("reparse: %v", err)
+		}
+		if !x.Eq(y) {
+			t.Errorf("round-trip %q: %v != %v", s, x, y)
+		}
+	}
+	if _, err := Parse2[float64]("not-a-number"); err == nil {
+		t.Error("Parse2 accepted garbage")
+	}
+}
+
+func TestCmpAndOrdering(t *testing.T) {
+	a := MustParse3[float64]("1.0000000000000000000000000000000001")
+	b := MustParse3[float64]("1.0000000000000000000000000000000002")
+	if !a.Less(b) {
+		t.Error("a < b expected")
+	}
+	if a.Cmp(a) != 0 || b.Cmp(a) != 1 {
+		t.Error("Cmp inconsistent")
+	}
+	if a.Sign() != 1 || a.Neg().Sign() != -1 || New3(0.0).Sign() != 0 {
+		t.Error("Sign inconsistent")
+	}
+}
+
+func TestAbs(t *testing.T) {
+	x := MustParse4[float64]("-2.5")
+	if x.Abs().Sign() != 1 {
+		t.Error("Abs of negative")
+	}
+	y := MustParse2[float64]("7.25")
+	if y.Abs() != y {
+		t.Error("Abs of positive must be identity")
+	}
+}
+
+func TestQuickAddSubInverse(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		// Clamp exponents to avoid overflow in intermediate sums.
+		a = math.Mod(a, 1e150)
+		b = math.Mod(b, 1e150)
+		x, y := New4(a), New4(b)
+		z := x.Add(y).Sub(y)
+		// x + y - y must recover x to far beyond double precision; with
+		// no cancellation beyond one binade it is typically exact.
+		d := z.Sub(x)
+		if d.IsZero() {
+			return true
+		}
+		rel := math.Abs(d.Float()) / math.Max(math.Abs(a), 1e-300)
+		return rel < 0x1p-200
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMulDivInverse(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) || b == 0 {
+			return true
+		}
+		a = math.Mod(a, 1e100)
+		b = math.Mod(b, 1e100)
+		if b == 0 || a == 0 {
+			return true
+		}
+		x, y := New3(a), New3(b)
+		z := x.Mul(y).Div(y)
+		d := z.Sub(x)
+		if d.IsZero() {
+			return true
+		}
+		rel := math.Abs(d.Float()) / math.Abs(a)
+		return rel < 0x1p-145
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSqrtSquare(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return true
+		}
+		a = math.Abs(math.Mod(a, 1e100))
+		if a == 0 {
+			return true
+		}
+		x := New2(a)
+		s := x.Sqrt()
+		back := s.Mul(s)
+		d := back.Sub(x)
+		if d.IsZero() {
+			return true
+		}
+		rel := math.Abs(d.Float()) / a
+		return rel < 0x1p-98
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat32Types(t *testing.T) {
+	a := New4(float32(1.5))
+	b := MustParse4[float32]("0.1")
+	sum := a.Add(b)
+	// 1.6 to ~96 bits: compare against the float64-based result.
+	ref := MustParse4[float64]("1.6")
+	got, _ := sum.Big().Float64()
+	want, _ := ref.Big().Float64()
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("float32 F4 sum = %v, want ≈1.6", got)
+	}
+	// Precision must far exceed plain float32.
+	diff := new(big.Float).SetPrec(200).Sub(sum.Big(), ref.Big())
+	f, _ := diff.Float64()
+	if math.Abs(f) > 1e-24 {
+		t.Errorf("float32 F4 sum error %g, want < 1e-24", f)
+	}
+}
+
+func TestConstantsIdentities(t *testing.T) {
+	// √2·√2 = 2 to full precision.
+	two := Sqrt24.Mul(Sqrt24)
+	d := two.Sub(MustParse4[float64]("2"))
+	if !d.IsZero() {
+		f, _ := d.Big().Float64()
+		if math.Abs(f) > 0x1p-207 {
+			t.Errorf("√2·√2 - 2 = %g", f)
+		}
+	}
+	// e · (1/e) = 1.
+	one := E3.Mul(E3.Recip())
+	d3 := one.Sub(New3(1.0))
+	if f, _ := d3.Big().Float64(); math.Abs(f) > 0x1p-148 {
+		t.Errorf("e·(1/e) - 1 = %g", f)
+	}
+	// Golden ratio: φ² = φ + 1.
+	lhs := Phi4.Mul(Phi4)
+	rhs := Phi4.AddFloat(1.0)
+	if f, _ := lhs.Sub(rhs).Big().Float64(); math.Abs(f) > 0x1p-200 {
+		t.Errorf("φ² - (φ+1) = %g", f)
+	}
+}
+
+func TestAddMulFloatAgree(t *testing.T) {
+	x := Pi4
+	c := 1.75
+	viaFull := x.Add(New4(c))
+	viaScalar := x.AddFloat(c)
+	if f, _ := viaFull.Sub(viaScalar).Big().Float64(); math.Abs(f) > 0x1p-200*3.2 {
+		t.Errorf("AddFloat disagrees with Add: %g", f)
+	}
+	viaFullM := x.Mul(New4(c))
+	viaScalarM := x.MulFloat(c)
+	if f, _ := viaFullM.Sub(viaScalarM).Big().Float64(); math.Abs(f) > 0x1p-195 {
+		t.Errorf("MulFloat disagrees with Mul: %g", f)
+	}
+}
+
+func TestSqrMethod(t *testing.T) {
+	x := Pi4
+	viaMul := x.Mul(x)
+	viaSqr := x.Sqr()
+	d := viaMul.Sub(viaSqr)
+	if f, _ := d.Big().Float64(); math.Abs(f) > 0x1p-195 {
+		t.Errorf("π² via Sqr vs Mul differ by %g", f)
+	}
+	if got := New2(3.0).Sqr(); !got.Eq(New2(9.0)) {
+		t.Errorf("3² = %v", got)
+	}
+	if got := New3(-4.0).Sqr(); !got.Eq(New3(16.0)) {
+		t.Errorf("(-4)² = %v", got)
+	}
+}

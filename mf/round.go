@@ -1,0 +1,127 @@
+package mf
+
+import "math"
+
+// Rounding to integral values, QD-style: floor the leading component and,
+// whenever a component is already integral, cascade into the next one.
+// The final renormalizing Add restores the nonoverlap invariant.
+
+func floorT[T Float](v T) T { return T(math.Floor(float64(v))) }
+
+// Floor returns the largest integral value ≤ x.
+func (x F2[T]) Floor() F2[T] {
+	f0 := floorT(x[0])
+	var f1 T
+	if f0 == x[0] {
+		f1 = floorT(x[1])
+	}
+	return New2(f0).AddFloat(f1)
+}
+
+// Ceil returns the smallest integral value ≥ x.
+func (x F2[T]) Ceil() F2[T] { return x.Neg().Floor().Neg() }
+
+// Trunc returns x rounded toward zero.
+func (x F2[T]) Trunc() F2[T] {
+	if x.Sign() >= 0 {
+		return x.Floor()
+	}
+	return x.Ceil()
+}
+
+// Round returns x rounded to the nearest integral value, halves away from
+// zero.
+func (x F2[T]) Round() F2[T] {
+	if x.Sign() >= 0 {
+		return x.AddFloat(T(0.5)).Floor()
+	}
+	return x.AddFloat(T(-0.5)).Ceil()
+}
+
+// Modf splits x into integral and fractional parts (both with x's sign,
+// like math.Modf).
+func (x F2[T]) Modf() (ipart, frac F2[T]) {
+	ipart = x.Trunc()
+	return ipart, x.Sub(ipart)
+}
+
+// Floor returns the largest integral value ≤ x.
+func (x F3[T]) Floor() F3[T] {
+	f0 := floorT(x[0])
+	var f1, f2 T
+	if f0 == x[0] {
+		f1 = floorT(x[1])
+		if f1 == x[1] {
+			f2 = floorT(x[2])
+		}
+	}
+	return New3(f0).AddFloat(f1).AddFloat(f2)
+}
+
+// Ceil returns the smallest integral value ≥ x.
+func (x F3[T]) Ceil() F3[T] { return x.Neg().Floor().Neg() }
+
+// Trunc returns x rounded toward zero.
+func (x F3[T]) Trunc() F3[T] {
+	if x.Sign() >= 0 {
+		return x.Floor()
+	}
+	return x.Ceil()
+}
+
+// Round returns x rounded to the nearest integral value, halves away from
+// zero.
+func (x F3[T]) Round() F3[T] {
+	if x.Sign() >= 0 {
+		return x.AddFloat(T(0.5)).Floor()
+	}
+	return x.AddFloat(T(-0.5)).Ceil()
+}
+
+// Modf splits x into integral and fractional parts.
+func (x F3[T]) Modf() (ipart, frac F3[T]) {
+	ipart = x.Trunc()
+	return ipart, x.Sub(ipart)
+}
+
+// Floor returns the largest integral value ≤ x.
+func (x F4[T]) Floor() F4[T] {
+	f0 := floorT(x[0])
+	var f1, f2, f3 T
+	if f0 == x[0] {
+		f1 = floorT(x[1])
+		if f1 == x[1] {
+			f2 = floorT(x[2])
+			if f2 == x[2] {
+				f3 = floorT(x[3])
+			}
+		}
+	}
+	return New4(f0).AddFloat(f1).AddFloat(f2).AddFloat(f3)
+}
+
+// Ceil returns the smallest integral value ≥ x.
+func (x F4[T]) Ceil() F4[T] { return x.Neg().Floor().Neg() }
+
+// Trunc returns x rounded toward zero.
+func (x F4[T]) Trunc() F4[T] {
+	if x.Sign() >= 0 {
+		return x.Floor()
+	}
+	return x.Ceil()
+}
+
+// Round returns x rounded to the nearest integral value, halves away from
+// zero.
+func (x F4[T]) Round() F4[T] {
+	if x.Sign() >= 0 {
+		return x.AddFloat(T(0.5)).Floor()
+	}
+	return x.AddFloat(T(-0.5)).Ceil()
+}
+
+// Modf splits x into integral and fractional parts.
+func (x F4[T]) Modf() (ipart, frac F4[T]) {
+	ipart = x.Trunc()
+	return ipart, x.Sub(ipart)
+}

@@ -1,0 +1,92 @@
+package mf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFloorCeilTruncRound(t *testing.T) {
+	cases := []struct {
+		in                        string
+		floor, ceil, trunc, round float64
+	}{
+		{"2.5", 2, 3, 2, 3},
+		{"-2.5", -3, -2, -2, -3},
+		{"2.0", 2, 2, 2, 2},
+		{"-7", -7, -7, -7, -7},
+		{"0.49999999999999999999999999", 0, 1, 0, 0},
+		{"123456789.00000000000000000001", 123456789, 123456790, 123456789, 123456789},
+		{"-0.00000000000000000000000001", -1, 0, 0, 0},
+	}
+	for _, c := range cases {
+		x := MustParse4[float64](c.in)
+		if got := x.Floor(); got.Float() != c.floor {
+			t.Errorf("Floor(%s) = %v, want %g", c.in, got, c.floor)
+		}
+		if got := x.Ceil(); got.Float() != c.ceil {
+			t.Errorf("Ceil(%s) = %v, want %g", c.in, got, c.ceil)
+		}
+		if got := x.Trunc(); got.Float() != c.trunc {
+			t.Errorf("Trunc(%s) = %v, want %g", c.in, got, c.trunc)
+		}
+		if got := x.Round(); got.Float() != c.round {
+			t.Errorf("Round(%s) = %v, want %g", c.in, got, c.round)
+		}
+		// F2 and F3 agree on these decimals (all fit in two terms).
+		x2 := MustParse2[float64](c.in)
+		if got := x2.Floor(); got.Float() != c.floor {
+			t.Errorf("F2 Floor(%s) = %v", c.in, got)
+		}
+		x3 := MustParse3[float64](c.in)
+		if got := x3.Round(); got.Float() != c.round {
+			t.Errorf("F3 Round(%s) = %v", c.in, got)
+		}
+	}
+}
+
+func TestFloorSubUlpBoundary(t *testing.T) {
+	// n + ε where ε lives far below float64 resolution: floor must see it.
+	n := New3(1024.0)
+	justAbove := n.AddFloat(0x1p-90)
+	justBelow := n.AddFloat(-0x1p-90)
+	if got := justAbove.Floor(); !got.Eq(n) {
+		t.Errorf("floor(1024+2^-90) = %v", got)
+	}
+	if got := justBelow.Floor(); !got.Eq(New3(1023.0)) {
+		t.Errorf("floor(1024-2^-90) = %v", got)
+	}
+	if got := justBelow.Ceil(); !got.Eq(n) {
+		t.Errorf("ceil(1024-2^-90) = %v", got)
+	}
+}
+
+func TestModf(t *testing.T) {
+	x := MustParse4[float64]("123.456")
+	i, f := x.Modf()
+	if i.Float() != 123 {
+		t.Errorf("ipart = %v", i)
+	}
+	if got := i.Add(f); !got.Eq(x) {
+		t.Errorf("ipart+frac != x: %v", got)
+	}
+	// Negative argument keeps sign conventions of math.Modf.
+	x = MustParse4[float64]("-3.75")
+	i, f = x.Modf()
+	if i.Float() != -3 || f.Float() != -0.75 {
+		t.Errorf("Modf(-3.75) = (%v, %v)", i, f)
+	}
+}
+
+func TestRoundIdempotentOnIntegers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		v := math.Trunc(rng.NormFloat64() * 1e6)
+		x := New2(v)
+		for _, got := range []Float64x2{x.Floor(), x.Ceil(), x.Trunc(), x.Round()} {
+			if !got.Eq(x) {
+				t.Fatalf("integral %g not fixed: %v", v, got)
+			}
+		}
+	}
+}
