@@ -1,0 +1,37 @@
+# Developer entry points. The repo is pure Go with no dependencies
+# beyond the toolchain; everything below is a thin wrapper over go(1).
+
+GO ?= go
+
+.PHONY: check test race vet build bench-smoke bench-ablation fig9
+
+# check is the full pre-merge gate: build, vet, tests, and the race
+# detector over the worker pool and blocked kernels.
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race exercises the persistent worker pool, panel recycling, and the
+# parallel blocked/tiled paths under the race detector.
+race:
+	$(GO) test -race ./internal/blas/
+
+# bench-smoke is a fast sanity pass over the scalar-kernel benchmarks.
+bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkFig2to7 -benchtime 10x .
+
+# bench-ablation reproduces the blocked-vs-naive GEMM comparison of
+# EXPERIMENTS.md §E-Blocking.
+bench-ablation:
+	$(GO) test -run '^$$' -bench BenchmarkAblationBlockedGemm -benchtime 2x .
+
+# fig9 regenerates the paper's Figure 9 table and BENCH_fig9.json.
+fig9:
+	$(GO) run ./cmd/mfbench -fig 9 -json

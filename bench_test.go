@@ -15,13 +15,16 @@ package multifloats
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
+	"multifloats/internal/blas"
 	"multifloats/internal/core"
 	"multifloats/internal/eft"
 	"multifloats/internal/fpan"
 	"multifloats/internal/qd"
 	"multifloats/internal/tables"
+	"multifloats/mf"
 )
 
 func benchGrid(b *testing.B, entries []tables.Entry, workers int) {
@@ -118,6 +121,56 @@ func BenchmarkFig2to7(b *testing.B) {
 		}
 	})
 	_, _, _, _ = s0, s1, s2, s3
+}
+
+// BenchmarkAblationBlockedGemm compares the naive ikj GEMM kernels
+// against the cache-blocked, register-tiled kernels of
+// internal/blas/blocked.go at sizes beyond the Fig. 9 grid — the
+// blocked-vs-naive ablation of EXPERIMENTS.md §E-Blocking. GOPS counts
+// n³ multiply-adds per pass.
+func BenchmarkAblationBlockedGemm(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{96, 256} {
+		run := func(name string, pass func()) {
+			b.Run(fmt.Sprintf("%s/n=%d", name, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					pass()
+				}
+				gops := float64(n) * float64(n) * float64(n) * float64(b.N) / b.Elapsed().Seconds() / 1e9
+				b.ReportMetric(gops, "GOPS")
+			})
+		}
+		{
+			a := make([]mf.Float64x2, n*n)
+			bb := make([]mf.Float64x2, n*n)
+			c := make([]mf.Float64x2, n*n)
+			for i := range a {
+				a[i], bb[i] = mf.New2(rng.Float64()+0.5), mf.New2(rng.Float64()+0.5)
+			}
+			run("naive/F2", func() { blas.GemmF2(a, bb, c, n) })
+			run("blocked/F2", func() { blas.GemmBlockedF2(a, bb, c, n) })
+		}
+		{
+			a := make([]mf.Float64x3, n*n)
+			bb := make([]mf.Float64x3, n*n)
+			c := make([]mf.Float64x3, n*n)
+			for i := range a {
+				a[i], bb[i] = mf.New3(rng.Float64()+0.5), mf.New3(rng.Float64()+0.5)
+			}
+			run("naive/F3", func() { blas.GemmF3(a, bb, c, n) })
+			run("blocked/F3", func() { blas.GemmBlockedF3(a, bb, c, n) })
+		}
+		{
+			a := make([]mf.Float64x4, n*n)
+			bb := make([]mf.Float64x4, n*n)
+			c := make([]mf.Float64x4, n*n)
+			for i := range a {
+				a[i], bb[i] = mf.New4(rng.Float64()+0.5), mf.New4(rng.Float64()+0.5)
+			}
+			run("naive/F4", func() { blas.GemmF4(a, bb, c, n) })
+			run("blocked/F4", func() { blas.GemmBlockedF4(a, bb, c, n) })
+		}
+	}
 }
 
 // BenchmarkAblationDivision compares the paper's Newton/Karp–Markstein

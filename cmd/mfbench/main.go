@@ -7,6 +7,7 @@
 //	mfbench -fig 11           # float32-base tables (GPU proxy, Fig. 11)
 //	mfbench -fig 8            # peak-performance ratio summary (Fig. 8)
 //	mfbench -quick            # smaller workloads for a fast smoke run
+//	mfbench -fig 9 -json      # also write BENCH_fig9.json (flat records)
 //
 // Substitutions versus the paper's hardware are documented in DESIGN.md.
 package main
@@ -24,6 +25,7 @@ func main() {
 	fig := flag.String("fig", "9", "figure to regenerate: 8, 9, 10, or 11")
 	quick := flag.Bool("quick", false, "use small workloads")
 	verbose := flag.Bool("v", false, "print each cell as it is measured")
+	jsonOut := flag.Bool("json", false, "also write BENCH_fig<N>.json with the measured cells")
 	flag.Parse()
 
 	s := tables.DefaultSizes()
@@ -35,32 +37,41 @@ func main() {
 		progress = nil
 	}
 
+	var tabs []tables.Table
 	switch *fig {
 	case "8":
 		entries := tables.BuildEntries(s)
-		tabs := tables.RunTables(progress, entries, s, workerChoices(), "fig8")
+		tabs = tables.RunTables(progress, entries, s, workerChoices(), "fig8")
 		tables.PrintRatios(os.Stdout, tabs)
 	case "9":
 		entries := tables.BuildEntries(s)
-		tabs := tables.RunTables(progress, entries, s, workerChoices(), "fig9")
+		tabs = tables.RunTables(progress, entries, s, workerChoices(), "fig9")
 		fmt.Printf("Measured on %d-core host (GOMAXPROCS=%d); values in billions of extended-precision ops/s.\n",
 			runtime.NumCPU(), runtime.GOMAXPROCS(0))
 		tables.Print(os.Stdout, "CPU (Fig. 9 analogue)", tabs)
 		tables.PrintRatios(os.Stdout, tabs)
 	case "10":
 		entries := tables.BuildEntries(s)
-		tabs := tables.RunTables(progress, entries, s, []int{1}, "fig10")
+		tabs = tables.RunTables(progress, entries, s, []int{1}, "fig10")
 		fmt.Println("Single-worker configuration (narrow-parallelism architecture proxy; see DESIGN.md).")
 		tables.Print(os.Stdout, "CPU serial (Fig. 10 analogue)", tabs)
 		tables.PrintRatios(os.Stdout, tabs)
 	case "11":
 		entries := tables.BuildFloat32Entries(s)
-		tabs := tables.RunTables(progress, entries, s, workerChoices(), "fig11")
+		tabs = tables.RunTables(progress, entries, s, workerChoices(), "fig11")
 		fmt.Println("float32 base type (the paper's GPU configuration, Fig. 11).")
 		tables.Print(os.Stdout, "float32 base (Fig. 11 analogue)", tabs)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -fig %q (want 8, 9, 10, or 11)\n", *fig)
 		os.Exit(2)
+	}
+	if *jsonOut {
+		path := "BENCH_fig" + *fig + ".json"
+		if err := tables.WriteJSON(path, tabs, s); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
 	}
 }
 

@@ -11,7 +11,6 @@ package blas
 
 import (
 	"runtime"
-	"sync"
 )
 
 // Arith is the element-type contract: value-semantics addition and
@@ -66,30 +65,16 @@ func Gemm[E Arith[E]](a, b, c []E, n int) {
 	}
 }
 
+// GemmStrict is the bit-reproducible GEMM path: plain ikj accumulation,
+// identical operation order on every run and every worker count. The
+// blocked kernels in blocked.go are faster but associate the FPAN
+// accumulation differently (bounded rounding differences; see the package
+// comment there). Code that needs run-to-run bit identity — regression
+// baselines, cross-machine reproducibility — should call this.
+func GemmStrict[E Arith[E]](a, b, c []E, n int) { Gemm(a, b, c, n) }
+
 // Workers returns the worker count used by the parallel kernels.
 func Workers() int { return runtime.GOMAXPROCS(0) }
-
-// parallelRows splits [0, n) into contiguous chunks, one per worker.
-func parallelRows(n, workers int, body func(lo, hi int)) {
-	if workers <= 1 || n < 2*workers {
-		body(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
 
 // AxpyParallel is Axpy split across workers.
 func AxpyParallel[E Arith[E]](alpha E, x, y []E, workers int) {
@@ -101,31 +86,12 @@ func AxpyParallel[E Arith[E]](alpha E, x, y []E, workers int) {
 }
 
 // DotParallel is Dot with per-worker partial sums reduced sequentially
-// (deterministic reduction order for reproducibility).
+// (deterministic reduction order for reproducibility). It shares the
+// dotParallelN skeleton with the specialized kernels.
 func DotParallel[E Arith[E]](zero E, x, y []E, workers int) E {
-	if workers <= 1 || len(x) < 2*workers {
-		return Dot(zero, x, y)
-	}
-	chunk := (len(x) + workers - 1) / workers
-	results := make([]E, (len(x)+chunk-1)/chunk)
-	var wg sync.WaitGroup
-	for w, lo := 0, 0; lo < len(x); w, lo = w+1, lo+chunk {
-		hi := lo + chunk
-		if hi > len(x) {
-			hi = len(x)
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			results[w] = Dot(zero, x[lo:hi], y[lo:hi])
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	s := zero
-	for _, p := range results {
-		s = s.Add(p)
-	}
-	return s
+	return dotParallelN(len(x), workers,
+		func(lo, hi int) E { return Dot(zero, x[lo:hi], y[lo:hi]) },
+		func(a, b E) E { return a.Add(b) }, zero)
 }
 
 // GemvParallel splits GEMV rows across workers.

@@ -1,0 +1,492 @@
+package blas
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"multifloats/internal/core"
+	"multifloats/mf"
+)
+
+// ---- bit-exact pinning of the generated micro-kernels ----
+
+// refMicroF2 is the reference semantics of gemmMicroF2: an mr×nr tile of
+// fused MulAcc chains over the packed panels, written back through Add.
+func refMicroF2(ap, bp []mf.Float64x2, kc int, c []mf.Float64x2, ldc, m, nn, mr, nr int) {
+	acc := make([]mf.Float64x2, mr*nr)
+	for k := 0; k < kc; k++ {
+		for r := 0; r < mr; r++ {
+			a := ap[k*mr+r]
+			for j := 0; j < nr; j++ {
+				b := bp[k*nr+j]
+				s := acc[r*nr+j]
+				s[0], s[1] = core.MulAcc2(s[0], s[1], a[0], a[1], b[0], b[1])
+				acc[r*nr+j] = s
+			}
+		}
+	}
+	for r := 0; r < m; r++ {
+		for j := 0; j < nn; j++ {
+			c[r*ldc+j] = c[r*ldc+j].Add(acc[r*nr+j])
+		}
+	}
+}
+
+func refMicroF3(ap, bp []mf.Float64x3, kc int, c []mf.Float64x3, ldc, m, nn, mr, nr int) {
+	acc := make([]mf.Float64x3, mr*nr)
+	for k := 0; k < kc; k++ {
+		for r := 0; r < mr; r++ {
+			a := ap[k*mr+r]
+			for j := 0; j < nr; j++ {
+				b := bp[k*nr+j]
+				s := acc[r*nr+j]
+				s[0], s[1], s[2] = core.MulAcc3(s[0], s[1], s[2],
+					a[0], a[1], a[2], b[0], b[1], b[2])
+				acc[r*nr+j] = s
+			}
+		}
+	}
+	for r := 0; r < m; r++ {
+		for j := 0; j < nn; j++ {
+			c[r*ldc+j] = c[r*ldc+j].Add(acc[r*nr+j])
+		}
+	}
+}
+
+func refMicroF4(ap, bp []mf.Float64x4, kc int, c []mf.Float64x4, ldc, m, nn, mr, nr int) {
+	acc := make([]mf.Float64x4, mr*nr)
+	for k := 0; k < kc; k++ {
+		for r := 0; r < mr; r++ {
+			a := ap[k*mr+r]
+			for j := 0; j < nr; j++ {
+				b := bp[k*nr+j]
+				s := acc[r*nr+j]
+				s[0], s[1], s[2], s[3] = core.MulAcc4(s[0], s[1], s[2], s[3],
+					a[0], a[1], a[2], a[3], b[0], b[1], b[2], b[3])
+				acc[r*nr+j] = s
+			}
+		}
+	}
+	for r := 0; r < m; r++ {
+		for j := 0; j < nn; j++ {
+			c[r*ldc+j] = c[r*ldc+j].Add(acc[r*nr+j])
+		}
+	}
+}
+
+// TestMicroMatchesCoreGates pins the generated flattened micro-kernels
+// bit-for-bit against reference tile loops that call core.MulAcc{2,3,4}:
+// the generator's gate sequences must stay verbatim transcriptions of
+// internal/core, including all partial-tile (m < mr, nn < nr) paths.
+func TestMicroMatchesCoreGates(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const kc = 37
+	rnd2 := func(k []mf.Float64x2) {
+		for i := range k {
+			k[i] = mf.New2(rng.NormFloat64()).Mul(mf.New2(rng.Float64() + 0.5))
+		}
+	}
+	rnd3 := func(k []mf.Float64x3) {
+		for i := range k {
+			k[i] = mf.New3(rng.NormFloat64()).Mul(mf.New3(rng.Float64() + 0.5))
+		}
+	}
+	rnd4 := func(k []mf.Float64x4) {
+		for i := range k {
+			k[i] = mf.New4(rng.NormFloat64()).Mul(mf.New4(rng.Float64() + 0.5))
+		}
+	}
+
+	{
+		mr, nr := blockF2.mr, blockF2.nr
+		ap := make([]mf.Float64x2, kc*mr)
+		bp := make([]mf.Float64x2, kc*nr)
+		c0 := make([]mf.Float64x2, mr*nr)
+		rnd2(ap)
+		rnd2(bp)
+		rnd2(c0)
+		for m := 1; m <= mr; m++ {
+			for nn := 1; nn <= nr; nn++ {
+				got := append([]mf.Float64x2(nil), c0...)
+				want := append([]mf.Float64x2(nil), c0...)
+				gemmMicroF2(ap, bp, kc, got, nr, m, nn)
+				refMicroF2(ap, bp, kc, want, nr, m, nn, mr, nr)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("F2 m=%d nn=%d: c[%d] = %v, want %v", m, nn, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+	{
+		mr, nr := blockF3.mr, blockF3.nr
+		ap := make([]mf.Float64x3, kc*mr)
+		bp := make([]mf.Float64x3, kc*nr)
+		c0 := make([]mf.Float64x3, mr*nr)
+		rnd3(ap)
+		rnd3(bp)
+		rnd3(c0)
+		for m := 1; m <= mr; m++ {
+			for nn := 1; nn <= nr; nn++ {
+				got := append([]mf.Float64x3(nil), c0...)
+				want := append([]mf.Float64x3(nil), c0...)
+				gemmMicroF3(ap, bp, kc, got, nr, m, nn)
+				refMicroF3(ap, bp, kc, want, nr, m, nn, mr, nr)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("F3 m=%d nn=%d: c[%d] = %v, want %v", m, nn, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+	{
+		mr, nr := blockF4.mr, blockF4.nr
+		ap := make([]mf.Float64x4, kc*mr)
+		bp := make([]mf.Float64x4, kc*nr)
+		c0 := make([]mf.Float64x4, mr*nr)
+		rnd4(ap)
+		rnd4(bp)
+		rnd4(c0)
+		for m := 1; m <= mr; m++ {
+			for nn := 1; nn <= nr; nn++ {
+				got := append([]mf.Float64x4(nil), c0...)
+				want := append([]mf.Float64x4(nil), c0...)
+				gemmMicroF4(ap, bp, kc, got, nr, m, nn)
+				refMicroF4(ap, bp, kc, want, nr, m, nn, mr, nr)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("F4 m=%d nn=%d: c[%d] = %v, want %v", m, nn, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+	// float32 instantiations dispatch to the generated "s" kernels; pin
+	// one width to catch dispatcher or generator drift.
+	{
+		mr, nr := blockF2.mr, blockF2.nr
+		ap := make([]mf.F2[float32], kc*mr)
+		bp := make([]mf.F2[float32], kc*nr)
+		got := make([]mf.F2[float32], mr*nr)
+		want := make([]mf.F2[float32], mr*nr)
+		for i := range ap {
+			ap[i] = mf.New2(float32(rng.Float64() + 0.5))
+		}
+		for i := range bp {
+			bp[i] = mf.New2(float32(rng.Float64() + 0.5))
+		}
+		gemmMicroF2(ap, bp, kc, got, nr, mr, nr)
+		acc := make([]mf.F2[float32], mr*nr)
+		for k := 0; k < kc; k++ {
+			for r := 0; r < mr; r++ {
+				for j := 0; j < nr; j++ {
+					s := acc[r*nr+j]
+					a, b := ap[k*mr+r], bp[k*nr+j]
+					s[0], s[1] = core.MulAcc2(s[0], s[1], a[0], a[1], b[0], b[1])
+					acc[r*nr+j] = s
+				}
+			}
+		}
+		for i := range want {
+			want[i] = want[i].Add(acc[i])
+			if got[i] != want[i] {
+				t.Fatalf("F2/float32: c[%d] = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGemvTileMatchesCoreGates pins the generated GEMV row tiles against
+// left-to-right fused MulAcc chains.
+func TestGemvTileMatchesCoreGates(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	n := 29
+	rows := make([][]mf.Float64x2, 4)
+	for r := range rows {
+		rows[r] = make([]mf.Float64x2, n)
+		for j := range rows[r] {
+			rows[r][j] = mf.New2(rng.NormFloat64()).Mul(mf.New2(rng.Float64() + 0.5))
+		}
+	}
+	x := make([]mf.Float64x2, n)
+	for j := range x {
+		x[j] = mf.New2(rng.NormFloat64()).Mul(mf.New2(rng.Float64() + 0.5))
+	}
+	g0, g1, g2, g3 := gemvTile4F2(rows[0], rows[1], rows[2], rows[3], x)
+	got := []mf.Float64x2{g0, g1, g2, g3}
+	for r := range rows {
+		var w mf.Float64x2
+		for j := 0; j < n; j++ {
+			w[0], w[1] = core.MulAcc2(w[0], w[1],
+				rows[r][j][0], rows[r][j][1], x[j][0], x[j][1])
+		}
+		if got[r] != w {
+			t.Fatalf("gemvTile4F2 row %d: %v, want %v", r, got[r], w)
+		}
+	}
+}
+
+// ---- blocked vs naive equivalence ----
+
+func relBits(got, want *big.Float) float64 {
+	diff := new(big.Float).SetPrec(600).Sub(want, got)
+	if diff.Sign() == 0 {
+		return math.Inf(1)
+	}
+	if want.Sign() == 0 {
+		return math.Inf(-1)
+	}
+	rel := new(big.Float).Quo(diff.Abs(diff), new(big.Float).Abs(want))
+	f, _ := rel.Float64()
+	return -math.Log2(f)
+}
+
+// edgeSizes exercise every partial-tile and partial-panel path: sizes
+// below one micro-tile, just over it, just over mc, and just over kc/nc.
+var edgeSizes = []int{1, 2, 3, 5, 17, 33, 50, 67, 130, 193}
+
+// TestGemmBlockedMatchesNaive checks that the blocked kernels agree with
+// the naive reference component-wise to the per-op error bound times the
+// accumulation depth, at sizes that hit every edge-tile code path.
+func TestGemmBlockedMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range edgeSizes {
+		{
+			a := make([]mf.Float64x2, n*n)
+			b := make([]mf.Float64x2, n*n)
+			c1 := make([]mf.Float64x2, n*n)
+			c2 := make([]mf.Float64x2, n*n)
+			for i := range a {
+				a[i], b[i] = mf.New2(rng.Float64()+0.5), mf.New2(rng.Float64()+0.5)
+				c1[i] = mf.New2(rng.Float64() + 0.5)
+				c2[i] = c1[i]
+			}
+			GemmF2(a, b, c1, n)
+			GemmBlockedF2(a, b, c2, n)
+			for i := range c1 {
+				if bits := relBits(c2[i].Big(), c1[i].Big()); bits < 90 {
+					t.Fatalf("F2 n=%d: c[%d] blocked vs naive differ at 2^-%.1f", n, i, bits)
+				}
+			}
+		}
+		{
+			a := make([]mf.Float64x3, n*n)
+			b := make([]mf.Float64x3, n*n)
+			c1 := make([]mf.Float64x3, n*n)
+			c2 := make([]mf.Float64x3, n*n)
+			for i := range a {
+				a[i], b[i] = mf.New3(rng.Float64()+0.5), mf.New3(rng.Float64()+0.5)
+				c1[i] = mf.New3(rng.Float64() + 0.5)
+				c2[i] = c1[i]
+			}
+			GemmF3(a, b, c1, n)
+			GemmBlockedF3(a, b, c2, n)
+			for i := range c1 {
+				if bits := relBits(c2[i].Big(), c1[i].Big()); bits < 140 {
+					t.Fatalf("F3 n=%d: c[%d] blocked vs naive differ at 2^-%.1f", n, i, bits)
+				}
+			}
+		}
+		{
+			a := make([]mf.Float64x4, n*n)
+			b := make([]mf.Float64x4, n*n)
+			c1 := make([]mf.Float64x4, n*n)
+			c2 := make([]mf.Float64x4, n*n)
+			for i := range a {
+				a[i], b[i] = mf.New4(rng.Float64()+0.5), mf.New4(rng.Float64()+0.5)
+				c1[i] = mf.New4(rng.Float64() + 0.5)
+				c2[i] = c1[i]
+			}
+			GemmF4(a, b, c1, n)
+			GemmBlockedF4(a, b, c2, n)
+			for i := range c1 {
+				if bits := relBits(c2[i].Big(), c1[i].Big()); bits < 185 {
+					t.Fatalf("F4 n=%d: c[%d] blocked vs naive differ at 2^-%.1f", n, i, bits)
+				}
+			}
+		}
+	}
+}
+
+// TestGemvTiledMatchesNaive checks the tiled GEMV (fused MulAcc chains)
+// against GemvF{2,3,4} to the same bounded-rounding tolerance, including
+// the remainder rows past the last full tile.
+func TestGemvTiledMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for _, n := range []int{1, 3, 4, 7, 37} {
+		m := n + 5
+		{
+			a := make([]mf.Float64x2, n*m)
+			x := make([]mf.Float64x2, m)
+			y1 := make([]mf.Float64x2, n)
+			y2 := make([]mf.Float64x2, n)
+			for i := range a {
+				a[i] = mf.New2(rng.Float64() + 0.5)
+			}
+			for i := range x {
+				x[i] = mf.New2(rng.Float64() + 0.5)
+			}
+			GemvF2(a, n, m, x, y1)
+			GemvTiledF2(a, n, m, x, y2)
+			for i := range y1 {
+				if bits := relBits(y2[i].Big(), y1[i].Big()); bits < 90 {
+					t.Fatalf("F2 n=%d: y[%d] tiled vs naive differ at 2^-%.1f", n, i, bits)
+				}
+			}
+		}
+		{
+			a := make([]mf.Float64x3, n*m)
+			x := make([]mf.Float64x3, m)
+			y1 := make([]mf.Float64x3, n)
+			y2 := make([]mf.Float64x3, n)
+			for i := range a {
+				a[i] = mf.New3(rng.Float64() + 0.5)
+			}
+			for i := range x {
+				x[i] = mf.New3(rng.Float64() + 0.5)
+			}
+			GemvF3(a, n, m, x, y1)
+			GemvTiledF3(a, n, m, x, y2)
+			for i := range y1 {
+				if bits := relBits(y2[i].Big(), y1[i].Big()); bits < 140 {
+					t.Fatalf("F3 n=%d: y[%d] tiled vs naive differ at 2^-%.1f", n, i, bits)
+				}
+			}
+		}
+		{
+			a := make([]mf.Float64x4, n*m)
+			x := make([]mf.Float64x4, m)
+			y1 := make([]mf.Float64x4, n)
+			y2 := make([]mf.Float64x4, n)
+			for i := range a {
+				a[i] = mf.New4(rng.Float64() + 0.5)
+			}
+			for i := range x {
+				x[i] = mf.New4(rng.Float64() + 0.5)
+			}
+			GemvF4(a, n, m, x, y1)
+			GemvTiledF4(a, n, m, x, y2)
+			for i := range y1 {
+				if bits := relBits(y2[i].Big(), y1[i].Big()); bits < 185 {
+					t.Fatalf("F4 n=%d: y[%d] tiled vs naive differ at 2^-%.1f", n, i, bits)
+				}
+			}
+		}
+	}
+}
+
+// TestBlockedParallelBitIdentical checks the worker-pool paths reproduce
+// the serial blocked results bit-for-bit for any worker count: each C
+// panel has a single writer and the pc slabs stay sequential, so the
+// parallel split must not change a single rounding.
+func TestBlockedParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	n := 130
+	for _, workers := range []int{2, 4, 7} {
+		{
+			a := make([]mf.Float64x2, n*n)
+			b := make([]mf.Float64x2, n*n)
+			c1 := make([]mf.Float64x2, n*n)
+			c2 := make([]mf.Float64x2, n*n)
+			for i := range a {
+				a[i], b[i] = mf.New2(rng.NormFloat64()), mf.New2(rng.NormFloat64())
+			}
+			GemmBlockedF2(a, b, c1, n)
+			GemmBlockedF2Parallel(a, b, c2, n, workers)
+			for i := range c1 {
+				if c1[i] != c2[i] {
+					t.Fatalf("F2 workers=%d: parallel mismatch at %d", workers, i)
+				}
+			}
+		}
+		{
+			a := make([]mf.Float64x4, n*n)
+			b := make([]mf.Float64x4, n*n)
+			c1 := make([]mf.Float64x4, n*n)
+			c2 := make([]mf.Float64x4, n*n)
+			for i := range a {
+				a[i], b[i] = mf.New4(rng.NormFloat64()), mf.New4(rng.NormFloat64())
+			}
+			GemmBlockedF4(a, b, c1, n)
+			GemmBlockedF4Parallel(a, b, c2, n, workers)
+			for i := range c1 {
+				if c1[i] != c2[i] {
+					t.Fatalf("F4 workers=%d: parallel mismatch at %d", workers, i)
+				}
+			}
+		}
+		{
+			a := make([]mf.Float64x3, n*n)
+			x := make([]mf.Float64x3, n)
+			y1 := make([]mf.Float64x3, n)
+			y2 := make([]mf.Float64x3, n)
+			for i := range a {
+				a[i] = mf.New3(rng.NormFloat64())
+			}
+			for i := range x {
+				x[i] = mf.New3(rng.NormFloat64())
+			}
+			GemvTiledF3(a, n, n, x, y1)
+			GemvTiledF3Parallel(a, n, n, x, y2, workers)
+			for i := range y1 {
+				if y1[i] != y2[i] {
+					t.Fatalf("gemv F3 workers=%d: parallel mismatch at %d", workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPackPanels checks the packers' micro-panel layout and zero fill.
+func TestPackPanels(t *testing.T) {
+	lda, mc, kc, mr := 7, 5, 3, 4
+	a := make([]float64, mc*lda)
+	for i := range a {
+		a[i] = float64(i + 1)
+	}
+	dst := make([]float64, roundUp(mc, mr)*kc)
+	packA(dst, a, lda, mc, kc, mr)
+	for ir := 0; ir < mc; ir += mr {
+		h := min(mr, mc-ir)
+		base := (ir / mr) * kc * mr
+		for k := 0; k < kc; k++ {
+			for r := 0; r < mr; r++ {
+				got := dst[base+k*mr+r]
+				var want float64
+				if r < h {
+					want = a[(ir+r)*lda+k]
+				}
+				if got != want {
+					t.Fatalf("packA[%d,%d,%d] = %g, want %g", ir, k, r, got, want)
+				}
+			}
+		}
+	}
+	ldb, nc, nr := 9, 5, 2
+	b := make([]float64, kc*ldb)
+	for i := range b {
+		b[i] = float64(i + 1)
+	}
+	dstB := make([]float64, roundUp(nc, nr)*kc)
+	packB(dstB, b, ldb, kc, nc, nr)
+	for jr := 0; jr < nc; jr += nr {
+		w := min(nr, nc-jr)
+		base := (jr / nr) * kc * nr
+		for k := 0; k < kc; k++ {
+			for j := 0; j < nr; j++ {
+				got := dstB[base+k*nr+j]
+				var want float64
+				if j < w {
+					want = b[k*ldb+jr+j]
+				}
+				if got != want {
+					t.Fatalf("packB[%d,%d,%d] = %g, want %g", jr, k, j, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,401 @@
+// Command genmicro generates the flattened GEMM micro-kernels and GEMV
+// row-tile kernels in internal/blas/micro_generated.go.
+//
+// Why generated code: the expansion mul/add kernels in internal/core are
+// too large for Go's inliner (each is a network of TwoSum/TwoProd gates,
+// well past the 80-node budget), so a loop that calls core.Mul4 and
+// core.Add4 pays a function call per gate network — and each call is an
+// optimization barrier: accumulators held in registers are spilled around
+// it, and the out-of-order window cannot interleave the independent
+// accumulation chains of neighbouring C elements because one Mul4+Add4
+// pair already exceeds it. Flattening the gate sequences directly into
+// the tile loop bodies turns the whole inner loop into straight-line FP
+// code; the hardware then overlaps the mr×nr independent FPAN chains,
+// which is the ILP argument of the paper's §5.2.
+//
+// Why per-base-type kernels: the generic eft.FMA carries a width dispatch
+// plus a call to the float32 emulation FMA32, which prices it just past
+// the inline budget (cost 81 vs 80 in go1.24), leaving one opaque call —
+// and one register-clobbering point — per TwoProd. The generator instead
+// emits a float64 body that spells math.FMA directly (an intrinsic, free
+// to inline anywhere) and a float32 body that calls eft.FMA32, with a
+// generic front door that selects on unsafe.Sizeof — a constant per
+// instantiation, so the dispatch folds away.
+//
+// The emitted gate sequences are verbatim transcriptions of the fused
+// multiply–accumulate kernels core.MulAcc{2,3,4} (TwoProd expanded to
+// its defining two lines); TestMicroMatchesCoreGates pins them
+// bit-for-bit against reference tile kernels that call internal/core
+// directly.
+//
+// Regenerate with: go generate ./internal/blas
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"go/format"
+	"log"
+	"os"
+)
+
+// cfg is one concrete emission target: expansion width × base type.
+type cfg struct {
+	n   int                         // expansion terms
+	typ string                      // float64 | float32
+	sfx string                      // function suffix: d | s
+	fma func(x, y, p string) string // spelling of FMA(x, y, -p)
+}
+
+func fma64(x, y, p string) string {
+	return fmt.Sprintf("math.FMA(%s, %s, -%s)", x, y, p)
+}
+
+func fma32(x, y, p string) string {
+	return fmt.Sprintf("eft.FMA32(%s, %s, -%s)", x, y, p)
+}
+
+func configs(n int) [2]cfg {
+	return [2]cfg{
+		{n: n, typ: "float64", sfx: "d", fma: fma64},
+		{n: n, typ: "float32", sfx: "s", fma: fma32},
+	}
+}
+
+// tp emits TwoProd(x, y) → (d0, d1) as its defining two lines, so the
+// float64 body contains the FMA intrinsic with no call and no conversion.
+func tp(d0, d1, x, y string, c cfg) string {
+	return fmt.Sprintf("%s := %s * %s\n%s := %s\n", d0, x, y, d1, c.fma(x, y, d0))
+}
+
+// mulBody returns the flattened expansion step of core.MulAccN: reads
+// x0..x{n-1}, y0..y{n-1} and defines the product's value-preserving
+// pre-renormalization wires, whose names it returns. Verbatim
+// gate-for-gate transcription of core/muladd.go (fused form: the
+// renormalization chain of MulN is skipped; the wires feed the addition
+// network directly).
+func mulBody(c cfg) (string, []string) {
+	switch c.n {
+	case 2:
+		return tp("p00", "e00", "x0", "y0", c) + `t := x0*y1 + x1*y0
+zl1 := e00 + t
+`, []string{"p00", "zl1"}
+	case 3:
+		return tp("p00", "e00", "x0", "y0", c) +
+			tp("p01", "e01", "x0", "y1", c) +
+			tp("p10", "e10", "x1", "y0", c) + `c02 := x0 * y2
+c11 := x1 * y1
+c20 := x2 * y0
+a1, b1 := eft.TwoSum(p01, p10)
+h1, i2 := eft.TwoSum(e00, a1)
+m := c02 + c20
+d2 := e01 + e10
+q := c11 + m
+r := d2 + q
+s2 := b1 + i2
+t2 := s2 + r
+`, []string{"p00", "h1", "t2"}
+	case 4:
+		return tp("p00", "e00", "x0", "y0", c) +
+			tp("p01", "e01", "x0", "y1", c) +
+			tp("p10", "e10", "x1", "y0", c) +
+			tp("p02", "e02", "x0", "y2", c) +
+			tp("p20", "e20", "x2", "y0", c) +
+			tp("p11", "e11", "x1", "y1", c) + `c03 := x0 * y3
+c12 := x1 * y2
+c21 := x2 * y1
+c30 := x3 * y0
+a1, b1 := eft.TwoSum(p01, p10)
+h1, i2 := eft.TwoSum(e00, a1)
+a2, b2 := eft.TwoSum(p02, p20)
+d2, f3 := eft.TwoSum(e01, e10)
+m2, n3 := eft.TwoSum(p11, a2)
+q2, r3 := eft.TwoSum(d2, m2)
+s2, t3 := eft.TwoSum(b1, i2)
+v2, w3p := eft.TwoSum(s2, q2)
+ae := e02 + e20
+be := c03 + c30
+ce := c12 + c21
+de := e11 + ae
+ee := be + ce
+fe := de + ee
+ge := b2 + f3
+he := n3 + r3
+ie := w3p + t3
+je := ge + he
+ke := ie + je
+le := fe + ke
+`, []string{"p00", "h1", "v2", "le"}
+	}
+	panic("bad width")
+}
+
+// addBody returns the flattened body of core.AddN as an in-place
+// accumulation: reads accumulator components acc[i] and the product
+// wires z[i], reassigns acc[i]. The wire interleave (x0, y0, x1, y1, …)
+// and gate order are verbatim from internal/core/add.go.
+func addBody(n int, acc, z []string) string {
+	var b bytes.Buffer
+	pair := func(i, j int) {
+		fmt.Fprintf(&b, "w%d, w%d = eft.TwoSum(w%d, w%d)\n", i, j, i, j)
+	}
+	switch n {
+	case 2:
+		fmt.Fprintf(&b, "w0, w1 := eft.TwoSum(%s, %s)\n", acc[0], z[0])
+		fmt.Fprintf(&b, "w2, w3 := eft.TwoSum(%s, %s)\n", acc[1], z[1])
+		fmt.Fprintf(&b, "cc := w1 + w2\n")
+		fmt.Fprintf(&b, "vv, ww := eft.FastTwoSum(w0, cc)\n")
+		fmt.Fprintf(&b, "tt := w3 + ww\n")
+		fmt.Fprintf(&b, "%s, %s = eft.FastTwoSum(vv, tt)\n", acc[0], acc[1])
+	case 3:
+		fmt.Fprintf(&b, "w0, w1 := eft.TwoSum(%s, %s)\n", acc[0], z[0])
+		fmt.Fprintf(&b, "w2, w3 := eft.TwoSum(%s, %s)\n", acc[1], z[1])
+		fmt.Fprintf(&b, "w4, w5 := eft.TwoSum(%s, %s)\n", acc[2], z[2])
+		for _, g := range [][2]int{
+			{0, 2}, {3, 5}, {1, 4}, {0, 1}, {2, 3}, {4, 5}, {1, 2}, {3, 4}, {2, 3},
+			{4, 5}, {3, 4}, {2, 3}, {1, 2}, {0, 1}, // VecSum pass 1
+			{4, 5}, {3, 4}, {2, 3}, {1, 2}, {0, 1}, // VecSum pass 2
+		} {
+			pair(g[0], g[1])
+		}
+		fmt.Fprintf(&b, "%s, %s, %s = w0, w1, w2\n", acc[0], acc[1], acc[2])
+	case 4:
+		fmt.Fprintf(&b, "w0, w1 := eft.TwoSum(%s, %s)\n", acc[0], z[0])
+		fmt.Fprintf(&b, "w2, w3 := eft.TwoSum(%s, %s)\n", acc[1], z[1])
+		fmt.Fprintf(&b, "w4, w5 := eft.TwoSum(%s, %s)\n", acc[2], z[2])
+		fmt.Fprintf(&b, "w6, w7 := eft.TwoSum(%s, %s)\n", acc[3], z[3])
+		for _, g := range [][2]int{
+			{0, 2}, {1, 3}, {4, 6}, {5, 7}, {1, 2}, {5, 6}, {0, 4}, {1, 5},
+			{2, 6}, {3, 7}, {2, 4}, {3, 5}, {1, 2}, {3, 4}, {5, 6}, // Batcher network
+			{6, 7}, {5, 6}, {4, 5}, {3, 4}, {2, 3}, {1, 2}, {0, 1}, // VecSum pass 1
+			{6, 7}, {5, 6}, {4, 5}, {3, 4}, {2, 3}, {1, 2}, {0, 1}, // VecSum pass 2
+			{0, 1}, {1, 2}, {2, 3}, {3, 4}, // top-down error propagation
+		} {
+			pair(g[0], g[1])
+		}
+		fmt.Fprintf(&b, "%s, %s, %s, %s = w0, w1, w2, w3\n", acc[0], acc[1], acc[2], acc[3])
+	default:
+		panic("bad width")
+	}
+	return b.String()
+}
+
+// chain emits one fused multiply–accumulate, acc += xe·ye, as a
+// block-scoped flattened core.MulAccN. The block scope lets the
+// canonical temp names repeat across chains.
+func chain(b *bytes.Buffer, c cfg, xe, ye string, acc []string) {
+	fmt.Fprintf(b, "{\n")
+	for i := 0; i < c.n; i++ {
+		fmt.Fprintf(b, "x%d := %s[%d]\n", i, xe, i)
+	}
+	for i := 0; i < c.n; i++ {
+		fmt.Fprintf(b, "y%d := %s[%d]\n", i, ye, i)
+	}
+	code, wires := mulBody(c)
+	b.WriteString(code)
+	b.WriteString(addBody(c.n, acc, wires))
+	fmt.Fprintf(b, "}\n")
+}
+
+func accNames(r, c, n int) []string {
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = fmt.Sprintf("s%d%d_%d", r, c, i)
+	}
+	return names
+}
+
+// gemmMicroConcrete emits the mr×nr register-tiled GEMM micro-kernel for
+// one width × base-type combination.
+func gemmMicroConcrete(b *bytes.Buffer, c cfg, mr, nr int) {
+	n := c.n
+	fmt.Fprintf(b, `
+// gemmMicroF%d%s computes a %d×%d C tile on %s: C[0:m, 0:nn] += Σ_k
+// ap[k]·bp[k], %d independent flattened %d-term FPAN chains.
+func gemmMicroF%d%s(ap, bp []mf.F%d[%s], kc int, c []mf.F%d[%s], ldc, m, nn int) {
+var (
+`, n, c.sfx, mr, nr, c.typ, mr*nr, n, n, c.sfx, n, c.typ, n, c.typ)
+	for r := 0; r < mr; r++ {
+		for j := 0; j < nr; j++ {
+			for i := 0; i < n; i++ {
+				fmt.Fprintf(b, "s%d%d_%d,\n", r, j, i)
+			}
+		}
+	}
+	fmt.Fprintf(b, "_ %s\n)\n", c.typ)
+	fmt.Fprintf(b, "ap = ap[: kc*%d : kc*%d]\n", mr, mr)
+	fmt.Fprintf(b, "bp = bp[: kc*%d : kc*%d]\n", nr, nr)
+	fmt.Fprintf(b, "for k := 0; k < kc; k++ {\n")
+	for j := 0; j < nr; j++ {
+		fmt.Fprintf(b, "b%d := bp[k*%d+%d]\n", j, nr, j)
+	}
+	for r := 0; r < mr; r++ {
+		fmt.Fprintf(b, "a%d := ap[k*%d+%d]\n", r, mr, r)
+	}
+	for r := 0; r < mr; r++ {
+		for j := 0; j < nr; j++ {
+			chain(b, c, fmt.Sprintf("a%d", r), fmt.Sprintf("b%d", j), accNames(r, j, n))
+		}
+	}
+	fmt.Fprintf(b, "}\n")
+	// Write-back through a local tile so partial edge tiles share the path.
+	fmt.Fprintf(b, "acc := [%d][%d]mf.F%d[%s]{\n", mr, nr, n, c.typ)
+	for r := 0; r < mr; r++ {
+		fmt.Fprintf(b, "{")
+		for j := 0; j < nr; j++ {
+			fmt.Fprintf(b, "{")
+			for i := 0; i < n; i++ {
+				fmt.Fprintf(b, "s%d%d_%d, ", r, j, i)
+			}
+			fmt.Fprintf(b, "}, ")
+		}
+		fmt.Fprintf(b, "},\n")
+	}
+	fmt.Fprintf(b, `}
+for r := 0; r < m; r++ {
+row := c[r*ldc:]
+for j := 0; j < nn; j++ {
+row[j] = row[j].Add(acc[r][j])
+}
+}
+}
+`)
+}
+
+// gemmMicroDispatch emits the generic front door. The Sizeof test is a
+// constant per instantiation, so each instantiation compiles to a direct
+// call of the matching concrete kernel; the slice reinterpretations are
+// layout-safe because T is constrained to exactly float32 | float64.
+func gemmMicroDispatch(b *bytes.Buffer, n int) {
+	fmt.Fprintf(b, `
+// gemmMicroF%d dispatches to the concrete kernel for T's width.
+func gemmMicroF%d[T eft.Float](ap, bp []mf.F%d[T], kc int, c []mf.F%d[T], ldc, m, nn int) {
+var t T
+if unsafe.Sizeof(t) == 8 {
+gemmMicroF%dd(
+*(*[]mf.F%d[float64])(unsafe.Pointer(&ap)),
+*(*[]mf.F%d[float64])(unsafe.Pointer(&bp)),
+kc,
+*(*[]mf.F%d[float64])(unsafe.Pointer(&c)),
+ldc, m, nn)
+return
+}
+gemmMicroF%ds(
+*(*[]mf.F%d[float32])(unsafe.Pointer(&ap)),
+*(*[]mf.F%d[float32])(unsafe.Pointer(&bp)),
+kc,
+*(*[]mf.F%d[float32])(unsafe.Pointer(&c)),
+ldc, m, nn)
+}
+`, n, n, n, n, n, n, n, n, n, n, n, n)
+}
+
+// gemvTileConcrete emits the 4-row GEMV tile kernel: four independent row
+// dot products sharing each x element, accumulated in the exact
+// left-to-right order of DotF{n} (bit-identical results).
+func gemvTileConcrete(b *bytes.Buffer, c cfg) {
+	n := c.n
+	fmt.Fprintf(b, `
+// gemvTile4F%d%s computes four rows of y = A·x on %s with flattened
+// fused %d-term MulAcc chains (left-to-right per row, like DotF%d).
+func gemvTile4F%d%s(r0, r1, r2, r3, x []mf.F%d[%s]) (y0, y1, y2, y3 mf.F%d[%s]) {
+var (
+`, n, c.sfx, c.typ, n, n, n, c.sfx, n, c.typ, n, c.typ)
+	for r := 0; r < 4; r++ {
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(b, "s%d0_%d,\n", r, i)
+		}
+	}
+	fmt.Fprintf(b, `_ %s
+)
+r0 = r0[:len(x)]
+r1 = r1[:len(x)]
+r2 = r2[:len(x)]
+r3 = r3[:len(x)]
+for j := range x {
+xj := x[j]
+`, c.typ)
+	for r := 0; r < 4; r++ {
+		chain(b, c, fmt.Sprintf("r%d[j]", r), "xj", accNames(r, 0, n))
+	}
+	fmt.Fprintf(b, "}\n")
+	for r := 0; r < 4; r++ {
+		fmt.Fprintf(b, "y%d = mf.F%d[%s]{", r, n, c.typ)
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(b, "s%d0_%d, ", r, i)
+		}
+		fmt.Fprintf(b, "}\n")
+	}
+	fmt.Fprintf(b, "return\n}\n")
+}
+
+// gemvTileDispatch emits the generic front door for the GEMV tile.
+func gemvTileDispatch(b *bytes.Buffer, n int) {
+	fmt.Fprintf(b, `
+// gemvTile4F%d dispatches to the concrete kernel for T's width.
+func gemvTile4F%d[T eft.Float](r0, r1, r2, r3, x []mf.F%d[T]) (mf.F%d[T], mf.F%d[T], mf.F%d[T], mf.F%d[T]) {
+var t T
+if unsafe.Sizeof(t) == 8 {
+a, b, c, d := gemvTile4F%dd(
+*(*[]mf.F%d[float64])(unsafe.Pointer(&r0)),
+*(*[]mf.F%d[float64])(unsafe.Pointer(&r1)),
+*(*[]mf.F%d[float64])(unsafe.Pointer(&r2)),
+*(*[]mf.F%d[float64])(unsafe.Pointer(&r3)),
+*(*[]mf.F%d[float64])(unsafe.Pointer(&x)))
+return *(*mf.F%d[T])(unsafe.Pointer(&a)), *(*mf.F%d[T])(unsafe.Pointer(&b)), *(*mf.F%d[T])(unsafe.Pointer(&c)), *(*mf.F%d[T])(unsafe.Pointer(&d))
+}
+a, b, c, d := gemvTile4F%ds(
+*(*[]mf.F%d[float32])(unsafe.Pointer(&r0)),
+*(*[]mf.F%d[float32])(unsafe.Pointer(&r1)),
+*(*[]mf.F%d[float32])(unsafe.Pointer(&r2)),
+*(*[]mf.F%d[float32])(unsafe.Pointer(&r3)),
+*(*[]mf.F%d[float32])(unsafe.Pointer(&x)))
+return *(*mf.F%d[T])(unsafe.Pointer(&a)), *(*mf.F%d[T])(unsafe.Pointer(&b)), *(*mf.F%d[T])(unsafe.Pointer(&c)), *(*mf.F%d[T])(unsafe.Pointer(&d))
+}
+`, n, n, n, n, n, n, n,
+		n, n, n, n, n, n, n, n, n, n,
+		n, n, n, n, n, n, n, n, n, n)
+}
+
+// microMR/microNR are the register-tile shapes per width; they must match
+// the blockSizes tables in blocked.go.
+var (
+	microMR = map[int]int{2: 4, 3: 4, 4: 3}
+	microNR = map[int]int{2: 2, 3: 2, 4: 2}
+)
+
+func main() {
+	var b bytes.Buffer
+	b.WriteString(`// Code generated by genmicro. DO NOT EDIT.
+// Regenerate with: go generate ./internal/blas
+
+package blas
+
+import (
+	"math"
+	"unsafe"
+
+	"multifloats/internal/eft"
+	"multifloats/mf"
+)
+`)
+	for _, n := range []int{2, 3, 4} {
+		for _, c := range configs(n) {
+			gemmMicroConcrete(&b, c, microMR[n], microNR[n])
+		}
+		gemmMicroDispatch(&b, n)
+	}
+	for _, n := range []int{2, 3, 4} {
+		for _, c := range configs(n) {
+			gemvTileConcrete(&b, c)
+		}
+		gemvTileDispatch(&b, n)
+	}
+	src, err := format.Source(b.Bytes())
+	if err != nil {
+		log.Fatalf("generated source does not parse: %v\n%s", err, b.Bytes())
+	}
+	if err := os.WriteFile("micro_generated.go", src, 0o644); err != nil {
+		log.Fatal(err)
+	}
+}

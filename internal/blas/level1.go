@@ -89,6 +89,21 @@ func Iamax2[T eft.Float](x []mf.F2[T]) int {
 	return best
 }
 
+// Iamax3 is Iamax2 on 3-term expansions.
+func Iamax3[T eft.Float](x []mf.F3[T]) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best := 0
+	bv := x[0].Abs()
+	for i := 1; i < len(x); i++ {
+		if v := x[i].Abs(); bv.Less(v) {
+			best, bv = i, v
+		}
+	}
+	return best
+}
+
 // Iamax4 is Iamax2 on 4-term expansions.
 func Iamax4[T eft.Float](x []mf.F4[T]) int {
 	if len(x) == 0 {

@@ -68,6 +68,66 @@ func TestAsumIamax(t *testing.T) {
 	}
 }
 
+func TestIamax3(t *testing.T) {
+	if Iamax3[float64](nil) != -1 {
+		t.Error("Iamax3(empty) != -1")
+	}
+	x := []mf.Float64x3{mf.New3(-1.0), mf.New3(0.5), mf.New3(-3.0), mf.New3(2.0)}
+	if got := Iamax3(x); got != 2 {
+		t.Errorf("Iamax3 = %d, want 2", got)
+	}
+	// Ties resolve to the first index, matching reference BLAS.
+	tie := []mf.Float64x3{mf.New3(2.0), mf.New3(-2.0)}
+	if got := Iamax3(tie); got != 0 {
+		t.Errorf("Iamax3 tie = %d, want 0", got)
+	}
+	// Differences beyond float64 resolution still decide the winner.
+	y := []mf.Float64x3{
+		mf.New3(1.0),
+		mf.New3(1.0).AddFloat(-0x1p-70),
+		mf.New3(1.0).AddFloat(0x1p-60),
+	}
+	if got := Iamax3(y); got != 2 {
+		t.Errorf("Iamax3 sub-ulp tie-break = %d, want 2", got)
+	}
+}
+
+// TestNrm2AsumMatchBig cross-checks the 2- and 3-term norm and absolute
+// sum reductions against 600-bit references on random data (the 4-term
+// norm is covered by TestNrm2MatchesBig).
+func TestNrm2AsumMatchBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	n := 150
+	x2 := make([]mf.Float64x2, n)
+	x3 := make([]mf.Float64x3, n)
+	sq := new(big.Float).SetPrec(600)
+	abs := new(big.Float).SetPrec(600)
+	tmp := new(big.Float).SetPrec(600)
+	for i := range x2 {
+		v := rng.NormFloat64()
+		x2[i], x3[i] = mf.New2(v), mf.New3(v)
+		tmp.SetFloat64(v)
+		abs.Add(abs, new(big.Float).Abs(tmp))
+		tmp.Mul(tmp, tmp)
+		sq.Add(sq, tmp)
+	}
+	nrm := new(big.Float).SetPrec(600).Sqrt(sq)
+	check := func(name string, got, want *big.Float, bits float64) {
+		diff := new(big.Float).SetPrec(600).Sub(want, got)
+		if diff.Sign() == 0 {
+			return
+		}
+		rel := new(big.Float).Quo(diff.Abs(diff), new(big.Float).Abs(want))
+		if f, _ := rel.Float64(); -math.Log2(f) < bits {
+			t.Errorf("%s relative error 2^-%.1f, want 2^-%g", name, -math.Log2(f), bits)
+		}
+	}
+	check("Nrm2F2", Nrm2F2(x2).Big(), nrm, 95)
+	check("Nrm2F3", Nrm2F3(x3).Big(), nrm, 145)
+	check("Asum2", Asum2(x2).Big(), abs, 95)
+	check("Asum3", Asum3(x3).Big(), abs, 145)
+}
+
 func TestFullPrecisionLUSolve(t *testing.T) {
 	// Solve a moderately conditioned random system entirely in 4-term
 	// arithmetic and check the residual at ~200-bit accuracy.

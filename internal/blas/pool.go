@@ -1,0 +1,149 @@
+package blas
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Persistent worker pool. The seed implementation spawned fresh goroutines
+// on every parallel kernel call; for the small, latency-sensitive kernels
+// of §5 the spawn/teardown cost is visible at the measured sizes. The pool
+// below starts GOMAXPROCS long-lived workers on first use and feeds them
+// closures over a buffered channel; every parallel helper in this package
+// (parallelRows, parallelIndex, dotParallelN) dispatches through it.
+//
+// Deadlock freedom: submit never blocks — if the queue is full (or a
+// worker submits while all workers are busy, as nested parallel sections
+// would), the task runs inline on the submitting goroutine instead.
+
+var (
+	poolOnce sync.Once
+	poolWork chan func()
+)
+
+func poolStart() {
+	n := runtime.GOMAXPROCS(0)
+	poolWork = make(chan func(), 8*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			for f := range poolWork {
+				f()
+			}
+		}()
+	}
+}
+
+// submit hands f to a pool worker; reports false (f not run) when the
+// queue is saturated, in which case the caller must run f itself.
+func submit(f func()) bool {
+	poolOnce.Do(poolStart)
+	select {
+	case poolWork <- f:
+		return true
+	default:
+		return false
+	}
+}
+
+// parallelRows splits [0, n) into contiguous chunks, one per worker. The
+// caller's goroutine processes the first chunk itself while the pool
+// handles the rest.
+func parallelRows(n, workers int, body func(lo, hi int)) {
+	if workers <= 1 || n < 2*workers {
+		body(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := chunk; lo < n; lo += chunk {
+		lo, hi := lo, min(lo+chunk, n)
+		wg.Add(1)
+		task := func() {
+			defer wg.Done()
+			body(lo, hi)
+		}
+		if !submit(task) {
+			task()
+		}
+	}
+	body(0, min(chunk, n))
+	wg.Wait()
+}
+
+// parallelIndex runs body(0) … body(n-1) with one pool task per index —
+// used for coarse-grained units (GEMM ic panels) where n is small and a
+// chunked split would idle workers.
+func parallelIndex(n, workers int, body func(i int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < n; i++ {
+		i := i
+		wg.Add(1)
+		task := func() {
+			defer wg.Done()
+			body(i)
+		}
+		if !submit(task) {
+			task()
+		}
+	}
+	body(0)
+	wg.Wait()
+}
+
+// dotParallelN is the shared parallel-reduction skeleton: per-chunk
+// partial results computed on the pool, reduced sequentially in chunk
+// order so the reduction is deterministic for a given (n, workers).
+func dotParallelN[E any](n, workers int, part func(lo, hi int) E, add func(E, E) E, zero E) E {
+	if workers <= 1 || n < 2*workers {
+		return part(0, n)
+	}
+	chunk := (n + workers - 1) / workers
+	results := make([]E, (n+chunk-1)/chunk)
+	var wg sync.WaitGroup
+	for w, lo := 1, chunk; lo < n; w, lo = w+1, lo+chunk {
+		w, lo, hi := w, lo, min(lo+chunk, n)
+		wg.Add(1)
+		task := func() {
+			defer wg.Done()
+			results[w] = part(lo, hi)
+		}
+		if !submit(task) {
+			task()
+		}
+	}
+	results[0] = part(0, min(chunk, n))
+	wg.Wait()
+	s := zero
+	for _, p := range results {
+		s = add(s, p)
+	}
+	return s
+}
+
+// panelScratch recycles packed-panel buffers across blocked-GEMM calls.
+// It stores slices of any element type; getPanel type-asserts and falls
+// back to a fresh allocation on a type or capacity miss, so interleaving
+// widths merely lowers the hit rate — it never mixes data.
+var panelScratch sync.Pool
+
+// getPanel returns a length-n scratch slice (contents unspecified; the
+// packers overwrite every element).
+func getPanel[E any](n int) []E {
+	if v := panelScratch.Get(); v != nil {
+		if s, ok := v.([]E); ok && cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]E, n)
+}
+
+// putPanel returns a scratch slice to the pool.
+func putPanel[E any](s []E) {
+	panelScratch.Put(s)
+}

@@ -1,8 +1,6 @@
 package blas
 
 import (
-	"sync"
-
 	"multifloats/internal/core"
 	"multifloats/internal/eft"
 	"multifloats/mf"
@@ -188,32 +186,6 @@ func DotF4Parallel[T eft.Float](x, y []mf.F4[T], workers int) mf.F4[T] {
 	return dotParallelN(len(x), workers,
 		func(lo, hi int) mf.F4[T] { return DotF4(x[lo:hi], y[lo:hi]) },
 		func(a, b mf.F4[T]) mf.F4[T] { return a.Add(b) }, mf.F4[T]{})
-}
-
-func dotParallelN[E any](n, workers int, part func(lo, hi int) E, add func(E, E) E, zero E) E {
-	if workers <= 1 || n < 2*workers {
-		return part(0, n)
-	}
-	chunk := (n + workers - 1) / workers
-	results := make([]E, (n+chunk-1)/chunk)
-	var wg sync.WaitGroup
-	for w, lo := 0, 0; lo < n; w, lo = w+1, lo+chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			results[w] = part(lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	s := zero
-	for _, p := range results {
-		s = add(s, p)
-	}
-	return s
 }
 
 // GemvF2Parallel splits rows across workers.

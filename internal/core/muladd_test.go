@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"multifloats/internal/verify"
+)
+
+// TestMulAccMatchesMulAdd pins the fused multiply–accumulate kernels to
+// the unfused Mul-then-Add path: the fused result must stay within the
+// per-operation error bound of both the exact value s + x·y and the
+// unfused result, with errors measured relative to the larger of |s| and
+// |x·y| (the natural scale of the accumulation; under cancellation the
+// result itself can be arbitrarily small while both paths discard mass
+// at the operand scale).
+func TestMulAccMatchesMulAdd(t *testing.T) {
+	gen := verify.NewExpansionGen(11)
+	gen.MaxLeadExp = 100
+	mins := map[int]float64{2: 100, 3: 151, 4: 201}
+	errBits := func(got, want, scale *big.Float) float64 {
+		diff := new(big.Float).SetPrec(2200).Sub(want, got)
+		if diff.Sign() == 0 {
+			return 1e9
+		}
+		rel := new(big.Float).Quo(diff.Abs(diff), scale)
+		f, _ := rel.Float64()
+		return -math.Log2(f)
+	}
+	for i := 0; i < 10000; i++ {
+		for n := 2; n <= 4; n++ {
+			s, x := gen.Pair(n)
+			_, y := gen.Pair(n)
+			prod := new(big.Float).SetPrec(2200).Mul(ToBig(x...), ToBig(y...))
+			exact := new(big.Float).SetPrec(2200).Add(ToBig(s...), prod)
+			scale := new(big.Float).Abs(ToBig(s...))
+			if ap := new(big.Float).Abs(prod); ap.Cmp(scale) > 0 {
+				scale = ap
+			}
+			if scale.Sign() == 0 {
+				continue
+			}
+			var fused, unfused []float64
+			switch n {
+			case 2:
+				f0, f1 := MulAcc2(s[0], s[1], x[0], x[1], y[0], y[1])
+				m0, m1 := Mul2(x[0], x[1], y[0], y[1])
+				u0, u1 := Add2(s[0], s[1], m0, m1)
+				fused, unfused = []float64{f0, f1}, []float64{u0, u1}
+			case 3:
+				f0, f1, f2 := MulAcc3(s[0], s[1], s[2], x[0], x[1], x[2], y[0], y[1], y[2])
+				m0, m1, m2 := Mul3(x[0], x[1], x[2], y[0], y[1], y[2])
+				u0, u1, u2 := Add3(s[0], s[1], s[2], m0, m1, m2)
+				fused, unfused = []float64{f0, f1, f2}, []float64{u0, u1, u2}
+			case 4:
+				f0, f1, f2, f3 := MulAcc4(s[0], s[1], s[2], s[3],
+					x[0], x[1], x[2], x[3], y[0], y[1], y[2], y[3])
+				m0, m1, m2, m3 := Mul4(x[0], x[1], x[2], x[3], y[0], y[1], y[2], y[3])
+				u0, u1, u2, u3 := Add4(s[0], s[1], s[2], s[3], m0, m1, m2, m3)
+				fused, unfused = []float64{f0, f1, f2, f3}, []float64{u0, u1, u2, u3}
+			}
+			if bits := errBits(ToBig(fused...), exact, scale); bits < mins[n] {
+				t.Fatalf("n=%d: MulAcc off exact by 2^-%.1f (want 2^-%g)\ns=%v x=%v y=%v",
+					n, bits, mins[n], s, x, y)
+			}
+			if bits := errBits(ToBig(fused...), ToBig(unfused...), scale); bits < mins[n]-1 {
+				t.Fatalf("n=%d: MulAcc deviates from Mul+Add by 2^-%.1f (want 2^-%g)\ns=%v x=%v y=%v",
+					n, bits, mins[n]-1, s, x, y)
+			}
+		}
+	}
+}

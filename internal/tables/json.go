@@ -1,0 +1,62 @@
+package tables
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// Record is one measured cell in the flat machine-readable export: the
+// library row, the paper's precision column, the kernel, the workload
+// size, and the measured throughput.
+type Record struct {
+	Library   string  `json:"library"`
+	Precision int     `json:"precision_bits"`
+	Kernel    string  `json:"kernel"`
+	Size      int     `json:"size"`
+	GOPS      float64 `json:"gops"`
+}
+
+// kernelSize maps a kernel to its workload dimension: vector length for
+// the level-1 kernels, matrix dimension for GEMV/GEMM.
+func kernelSize(kernel string, s Sizes) int {
+	switch kernel {
+	case "GEMV":
+		return s.GemvN
+	case "GEMM":
+		return s.GemmN
+	default:
+		return s.VecN
+	}
+}
+
+// Records flattens measured tables into export records, in table order.
+func Records(tabs []Table, s Sizes) []Record {
+	var out []Record
+	for _, tab := range tabs {
+		for _, lib := range tab.Order {
+			for n := 1; n <= 4; n++ {
+				g, ok := tab.Rows[lib][n]
+				if !ok {
+					continue
+				}
+				out = append(out, Record{
+					Library:   lib,
+					Precision: PrecBits[n],
+					Kernel:    tab.Kernel,
+					Size:      kernelSize(tab.Kernel, s),
+					GOPS:      g,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the flattened records to path as indented JSON.
+func WriteJSON(path string, tabs []Table, s Sizes) error {
+	b, err := json.MarshalIndent(Records(tabs, s), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -11,7 +11,11 @@ import (
 // Kernel constructors for the MultiFloats rows using the specialized
 // (fully instantiated) kernels from internal/blas, which avoid Go's
 // generic-dictionary method dispatch; see the comment in
-// internal/blas/specialized.go and EXPERIMENTS.md.
+// internal/blas/specialized.go and EXPERIMENTS.md. GEMM and GEMV use
+// the cache-blocked / register-tiled fast path (internal/blas/blocked.go)
+// so the Fig. 9–11 tables measure the paper's intended many-independent-
+// chains regime; the naive kernels remain benchmarkable via
+// BenchmarkAblationBlockedGemm.
 
 func opCounts(s Sizes) *Kernels {
 	return &Kernels{
@@ -84,8 +88,8 @@ func makeKernelsF2[T eft.Float](s Sizes) *Kernels {
 	k := opCounts(s)
 	k.Axpy = func(w int) { blas.AxpyF2Parallel(alpha, x, y, w) }
 	k.Dot = func(w int) { sink = blas.DotF2Parallel(x, y, w) }
-	k.Gemv = func(w int) { blas.GemvF2Parallel(av, s.GemvN, s.GemvN, xv, yv, w) }
-	k.Gemm = func(w int) { blas.GemmF2Parallel(am, bm, cm, s.GemmN, w) }
+	k.Gemv = func(w int) { blas.GemvTiledF2Parallel(av, s.GemvN, s.GemvN, xv, yv, w) }
+	k.Gemm = func(w int) { blas.GemmBlockedF2Parallel(am, bm, cm, s.GemmN, w) }
 	_ = sink
 	return k
 }
@@ -118,8 +122,8 @@ func makeKernelsF3[T eft.Float](s Sizes) *Kernels {
 	k := opCounts(s)
 	k.Axpy = func(w int) { blas.AxpyF3Parallel(alpha, x, y, w) }
 	k.Dot = func(w int) { sink = blas.DotF3Parallel(x, y, w) }
-	k.Gemv = func(w int) { blas.GemvF3Parallel(av, s.GemvN, s.GemvN, xv, yv, w) }
-	k.Gemm = func(w int) { blas.GemmF3Parallel(am, bm, cm, s.GemmN, w) }
+	k.Gemv = func(w int) { blas.GemvTiledF3Parallel(av, s.GemvN, s.GemvN, xv, yv, w) }
+	k.Gemm = func(w int) { blas.GemmBlockedF3Parallel(am, bm, cm, s.GemmN, w) }
 	_ = sink
 	return k
 }
@@ -152,8 +156,8 @@ func makeKernelsF4[T eft.Float](s Sizes) *Kernels {
 	k := opCounts(s)
 	k.Axpy = func(w int) { blas.AxpyF4Parallel(alpha, x, y, w) }
 	k.Dot = func(w int) { sink = blas.DotF4Parallel(x, y, w) }
-	k.Gemv = func(w int) { blas.GemvF4Parallel(av, s.GemvN, s.GemvN, xv, yv, w) }
-	k.Gemm = func(w int) { blas.GemmF4Parallel(am, bm, cm, s.GemmN, w) }
+	k.Gemv = func(w int) { blas.GemvTiledF4Parallel(av, s.GemvN, s.GemvN, xv, yv, w) }
+	k.Gemm = func(w int) { blas.GemmBlockedF4Parallel(am, bm, cm, s.GemmN, w) }
 	_ = sink
 	return k
 }
