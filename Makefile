@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check test race vet build bench-smoke bench-ablation fig9
+.PHONY: check test race vet build fuzz-smoke conformance bench-smoke bench-ablation fig9
 
 # check is the full pre-merge gate: build, vet, tests, and the race
 # detector over the worker pool and blocked kernels.
@@ -19,9 +19,28 @@ test:
 	$(GO) test ./...
 
 # race exercises the persistent worker pool, panel recycling, and the
-# parallel blocked/tiled paths under the race detector.
+# parallel blocked/tiled paths under the race detector, plus the public
+# API package.
 race:
-	$(GO) test -race ./internal/blas/
+	$(GO) test -race ./internal/blas/ ./mf/
+
+# fuzz-smoke gives each native fuzz target a short budget (the go fuzzer
+# accepts one target per invocation). CI runs this on every push; longer
+# local runs: go test ./mf -run '^$$' -fuzz '^FuzzDiv$$' -fuzztime 10m
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test ./mf -run '^$$' -fuzz '^FuzzAdd$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./mf -run '^$$' -fuzz '^FuzzMul$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./mf -run '^$$' -fuzz '^FuzzDiv$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./mf -run '^$$' -fuzz '^FuzzSqrt$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./mf -run '^$$' -fuzz '^FuzzEncode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzMulAcc$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/blas -run '^$$' -fuzz '^FuzzGemm$$' -fuzztime $(FUZZTIME)
+
+# conformance runs a short differential campaign against the exact
+# mpfloat oracle; nonzero exit on any error-bound violation (TESTING.md).
+conformance:
+	$(GO) run ./cmd/mffuzz -n 400 -blas 5
 
 # bench-smoke is a fast sanity pass over the scalar-kernel benchmarks.
 bench-smoke:

@@ -1,0 +1,113 @@
+// Command mffuzz runs long differential-fuzzing campaigns: every mf
+// operation, fused core network, and blas kernel is cross-checked against
+// the exact internal/mpfloat oracle on structured adversarial inputs, and
+// the worst observed relative error per op is reported in units of that
+// op's error bound (1.0 = exactly at the bound). See TESTING.md for the
+// bound table and triage workflow.
+//
+// Usage:
+//
+//	mffuzz [-n cases] [-blas cases] [-seed s] [-ops add2,mul4,...] [-json]
+//	       [-corpus]
+//
+// The exit status is nonzero when any case violated its contract —
+// in-threshold bound exceeded, §4.4 special-value collapse broken, or an
+// edge-case sanity failure — so CI and trend scripts can gate on it.
+// -corpus rewrites the committed go-fuzz seeds (testdata/fuzz in mf and
+// internal/core) with the campaign's worst cases.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"multifloats/internal/diffuzz"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 2000, "cases per scalar op")
+		blasN  = flag.Int("blas", 25, "cases per accumulation kernel (whole matrices; much slower)")
+		seed   = flag.Int64("seed", 1, "campaign seed (campaigns are deterministic per seed)")
+		opsArg = flag.String("ops", "", "comma-separated op filter, e.g. add2,mul4,gemm_blocked3 (default: all)")
+		asJSON = flag.Bool("json", false, "emit the full report as JSON on stdout")
+		corpus = flag.Bool("corpus", false, "rewrite the committed go-fuzz corpus seeds from this campaign's worst cases")
+	)
+	flag.Parse()
+
+	cfg := diffuzz.Config{Seed: *seed, Cases: *n, BlasCases: *blasN}
+	if *opsArg != "" {
+		cfg.Ops = map[string]bool{}
+		known := map[string]bool{}
+		for _, s := range diffuzz.Ops() {
+			known[s.Name] = true
+		}
+		for _, name := range strings.Split(*opsArg, ",") {
+			name = strings.TrimSpace(name)
+			if !known[name] {
+				fmt.Fprintf(os.Stderr, "mffuzz: unknown op %q\n", name)
+				os.Exit(2)
+			}
+			cfg.Ops[name] = true
+		}
+	}
+
+	rep := diffuzz.Run(cfg)
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "mffuzz:", err)
+			os.Exit(2)
+		}
+	} else {
+		printTable(rep)
+	}
+
+	if *corpus {
+		entries := rep.CorpusEntries()
+		byPkg := map[string][]diffuzz.CorpusEntry{}
+		for _, e := range entries {
+			dir := filepath.Join("mf", "testdata", "fuzz")
+			if e.Target == "FuzzMulAcc" {
+				dir = filepath.Join("internal", "core", "testdata", "fuzz")
+			}
+			byPkg[dir] = append(byPkg[dir], e)
+		}
+		for dir, es := range byPkg {
+			if err := diffuzz.WriteGoFuzzCorpus(dir, es); err != nil {
+				fmt.Fprintln(os.Stderr, "mffuzz: writing corpus:", err)
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "mffuzz: wrote %d seeds under %s\n", len(es), dir)
+		}
+	}
+
+	if rep.Violations > 0 {
+		fmt.Fprintf(os.Stderr, "mffuzz: %d violations\n", rep.Violations)
+		os.Exit(1)
+	}
+}
+
+func printTable(rep *diffuzz.Report) {
+	fmt.Printf("campaign: seed=%d cases=%d blas=%d\n", rep.Seed, rep.Cases, rep.BlasCases)
+	fmt.Printf("%-14s %7s %6s %6s %9s %22s %14s %s\n",
+		"op", "bound", "src", "allow", "cases", "worst (units, bits)", "edge worst", "violations")
+	for _, or := range rep.Ops {
+		worst := fmt.Sprintf("%.3g u, %.1f b", or.WorstUnits, or.WorstBits)
+		if or.WorstBits >= diffuzz.BitsExact {
+			worst = "exact"
+		}
+		fmt.Printf("%-14s %7.4g %6s %6.4g %9d %22s %14.3g %d\n",
+			or.Name, or.BoundBits, or.Source, or.Allowed, or.Cases, worst, or.WorstEdgeUnits, or.Violations)
+		if or.Violations > 0 {
+			fmt.Printf("    first: %s\n", or.FirstViolation)
+		}
+	}
+	fmt.Printf("total violations: %d\n", rep.Violations)
+}

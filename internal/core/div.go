@@ -9,6 +9,18 @@ import "multifloats/internal/eft"
 // (and 3 for the sextuple type). The quotient b/a is obtained by
 // multiplying the reciprocal by b with a Karp–Markstein-style final
 // correction that folds the last Newton step into the multiplication.
+//
+// Special values (§4.4 error signalling): these networks are branch-free
+// and have no IEEE special-case paths. A zero divisor makes the seed
+// reciprocal 1/a0 infinite, and the following renormalization computes
+// Inf - Inf and 0·Inf, so the result collapses to NaN in EVERY term; the
+// same happens for any NaN or Inf operand term and for Sqrt/Rsqrt of
+// negative arguments (via the NaN machine seed). The only special inputs
+// with defined results are 0/a = 0 and √(±0) = 0, which fall out exactly
+// because every intermediate term is zero. Callers that need IEEE-style
+// Inf propagation must check operands before calling. The contract is
+// pinned by TestSpecialValueCollapseMatrix here, mf/special_test.go at
+// the public API, and fuzzed by internal/diffuzz.
 
 // Recip2 returns 1/a as a 2-term expansion: one Newton step from the
 // machine reciprocal.

@@ -195,6 +195,77 @@ func TestSqrtSpecialCases(t *testing.T) {
 	}
 }
 
+// TestSpecialValueCollapseMatrix pins the §4.4 error-signalling contract
+// at the core-network layer: a zero divisor, a non-finite operand, or a
+// negative square-root argument collapses EVERY output term to NaN. The
+// branch-free networks have no special-case paths, so the poisoning is a
+// consequence of renormalization (Inf - Inf and 0·Inf arise inside the
+// chain), not of explicit checks; this table turns that emergent behavior
+// into a tested contract. mf/special_test.go pins the same matrix at the
+// public-API layer, and internal/diffuzz fuzzes it.
+func TestSpecialValueCollapseMatrix(t *testing.T) {
+	inf := math.Inf(1)
+	nan := math.NaN()
+	allNaN := func(t *testing.T, name string, terms ...float64) {
+		t.Helper()
+		for i, v := range terms {
+			if !math.IsNaN(v) {
+				t.Errorf("%s: term %d = %g, want NaN", name, i, v)
+			}
+		}
+	}
+	cases := []struct {
+		name string
+		run  func() []float64
+	}{
+		{"Div2(1/0)", func() []float64 { a, b := Div2(1.0, 0, 0, 0); return []float64{a, b} }},
+		{"Div2(1/-0)", func() []float64 { a, b := Div2(1.0, 0, math.Copysign(0, -1), 0); return []float64{a, b} }},
+		{"Div2(1/Inf)", func() []float64 { a, b := Div2(1.0, 0, inf, 0); return []float64{a, b} }},
+		{"Div2(Inf/3)", func() []float64 { a, b := Div2(inf, 0, 3, 0); return []float64{a, b} }},
+		{"Div2(NaN/3)", func() []float64 { a, b := Div2(nan, 0, 3, 0); return []float64{a, b} }},
+		{"Div2(1/NaN)", func() []float64 { a, b := Div2(1.0, 0, nan, 0); return []float64{a, b} }},
+		{"DivLong2(1/0)", func() []float64 { a, b := DivLong2(1.0, 0, 0, 0); return []float64{a, b} }},
+		{"Recip2(0)", func() []float64 { a, b := Recip2(0.0, 0); return []float64{a, b} }},
+		{"Recip2(Inf)", func() []float64 { a, b := Recip2(inf, 0); return []float64{a, b} }},
+		{"Recip3(0)", func() []float64 { a, b, c := Recip3(0.0, 0, 0); return []float64{a, b, c} }},
+		{"Recip4(0)", func() []float64 { a, b, c, d := Recip4(0.0, 0, 0, 0); return []float64{a, b, c, d} }},
+		{"Div3(1/0)", func() []float64 { a, b, c := Div3(1.0, 0, 0, 0, 0, 0); return []float64{a, b, c} }},
+		{"Div3(NaN/3)", func() []float64 { a, b, c := Div3(nan, 0, 0, 3, 0, 0); return []float64{a, b, c} }},
+		{"Div4(1/0)", func() []float64 {
+			a, b, c, d := Div4(1.0, 0, 0, 0, 0, 0, 0, 0)
+			return []float64{a, b, c, d}
+		}},
+		{"Div4(Inf/3)", func() []float64 {
+			a, b, c, d := Div4(inf, 0, 0, 0, 3, 0, 0, 0)
+			return []float64{a, b, c, d}
+		}},
+		{"Sqrt2(-1)", func() []float64 { a, b := Sqrt2(-1.0, 0); return []float64{a, b} }},
+		{"Sqrt2(Inf)", func() []float64 { a, b := Sqrt2(inf, 0); return []float64{a, b} }},
+		{"Sqrt2(NaN)", func() []float64 { a, b := Sqrt2(nan, 0); return []float64{a, b} }},
+		{"Sqrt3(-2)", func() []float64 { a, b, c := Sqrt3(-2.0, 0, 0); return []float64{a, b, c} }},
+		{"Sqrt4(-1)", func() []float64 {
+			a, b, c, d := Sqrt4(-1.0, 0, 0, 0)
+			return []float64{a, b, c, d}
+		}},
+		{"Rsqrt2(0)", func() []float64 { a, b := Rsqrt2(0.0, 0); return []float64{a, b} }},
+		{"Rsqrt3(-1)", func() []float64 { a, b, c := Rsqrt3(-1.0, 0, 0); return []float64{a, b, c} }},
+		{"Rsqrt4(0)", func() []float64 {
+			a, b, c, d := Rsqrt4(0.0, 0, 0, 0)
+			return []float64{a, b, c, d}
+		}},
+	}
+	for _, c := range cases {
+		allNaN(t, c.name, c.run()...)
+	}
+	// The two defined cases: 0/a = 0 and sqrt(±0) = 0 (exactly, all terms).
+	if a, b := Div2(0.0, 0, 3, 0); a != 0 || b != 0 {
+		t.Errorf("Div2(0/3) = (%g,%g), want exact zero", a, b)
+	}
+	if a, b := Sqrt2(math.Copysign(0, -1), 0); a != 0 || b != 0 {
+		t.Errorf("Sqrt2(-0) = (%g,%g), want exact zero", a, b)
+	}
+}
+
 func TestDivLong2MatchesDiv2(t *testing.T) {
 	// The ablation baseline must agree with the production division to
 	// within the format's accuracy floor.

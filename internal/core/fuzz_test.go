@@ -1,0 +1,41 @@
+package core_test
+
+// Native fuzz target for the fused MulAcc accumulation networks, the
+// primitive under every blas kernel. Differential checking (exact oracle,
+// measured floor, collapse contract) lives in internal/diffuzz.
+//
+//	go test -fuzz=FuzzMulAcc -fuzztime=30s ./internal/core
+
+import (
+	"math"
+	"testing"
+
+	"multifloats/internal/diffuzz"
+)
+
+func FuzzMulAcc(f *testing.F) {
+	f.Add(1.0, 0x1p-53, 0.0, 0.0, math.Pi, 1.2246467991473532e-16, 0.0, 0.0, math.E, 1e-17, 0.0, 0.0)
+	// s ≈ -x·y: the near-total-cancellation regime the fused path must
+	// survive (error stays bounded by the operand-scale mass).
+	f.Add(-6.0, 0x1p-50, 0.0, 0.0, 2.0, 0x1p-53, 0.0, 0.0, 3.0, -0x1p-52, 0.0, 0.0)
+	f.Add(math.NaN(), 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0)
+	f.Add(0x1p500, 0.0, 0.0, 0.0, 0x1p500, 0.0, 0.0, 0.0, 0x1p500, 0.0, 0.0, 0.0)
+	var specs [5]diffuzz.OpSpec
+	for _, s := range diffuzz.Ops() {
+		if s.Name == "mulacc"+string(rune('0'+s.Width)) {
+			specs[s.Width] = s
+		}
+	}
+	f.Fuzz(func(t *testing.T, s0, s1, s2, s3, x0, x1, x2, x3, y0, y1, y2, y3 float64) {
+		ss := []float64{s0, s1, s2, s3}
+		xs := []float64{x0, x1, x2, x3}
+		ys := []float64{y0, y1, y2, y3}
+		for n := 2; n <= 4; n++ {
+			out := diffuzz.CheckMulAcc(specs[n],
+				diffuzz.Operand(n, ss), diffuzz.Operand(n, xs), diffuzz.Operand(n, ys))
+			if !out.OK {
+				t.Fatal(out.Reason)
+			}
+		}
+	})
+}

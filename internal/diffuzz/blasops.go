@@ -1,0 +1,268 @@
+package diffuzz
+
+import (
+	"fmt"
+
+	"multifloats/internal/blas"
+	"multifloats/internal/mpfloat"
+	"multifloats/mf"
+)
+
+// The accumulation-kernel checks measure every output element against the
+// exact oracle, with the error scaled by the element's cancellation-free
+// mass |c₀| + Σ|aᵢ·bᵢ| rather than the (possibly cancelled) value: a
+// length-L left-to-right reduction legitimately loses information at
+// operand scale on every step, so the per-element allowance is
+// 2(L+1) units of the fused-MulAcc floor (TESTING.md derives this).
+
+func vec2(v [][]float64) []mf.Float64x2 {
+	out := make([]mf.Float64x2, len(v))
+	for i := range v {
+		out[i] = toF2(v[i])
+	}
+	return out
+}
+
+func vec3(v [][]float64) []mf.Float64x3 {
+	out := make([]mf.Float64x3, len(v))
+	for i := range v {
+		out[i] = toF3(v[i])
+	}
+	return out
+}
+
+func vec4(v [][]float64) []mf.Float64x4 {
+	out := make([]mf.Float64x4, len(v))
+	for i := range v {
+		out[i] = toF4(v[i])
+	}
+	return out
+}
+
+func terms2(v []mf.Float64x2) [][]float64 {
+	out := make([][]float64, len(v))
+	for i := range v {
+		e := v[i]
+		out[i] = e[:]
+	}
+	return out
+}
+
+func terms3(v []mf.Float64x3) [][]float64 {
+	out := make([][]float64, len(v))
+	for i := range v {
+		e := v[i]
+		out[i] = e[:]
+	}
+	return out
+}
+
+func terms4(v []mf.Float64x4) [][]float64 {
+	out := make([][]float64, len(v))
+	for i := range v {
+		e := v[i]
+		out[i] = e[:]
+	}
+	return out
+}
+
+// checkElem measures one output element against its exact value and mass.
+func checkElem(o *oracle, spec OpSpec, exact, mass *mpfloat.Float, got []float64, what string) Outcome {
+	units, bits := o.errAgainst(exact, mass, got, spec.BoundBits)
+	if units == 0 {
+		return exactOutcome(true)
+	}
+	if mass.IsZero() {
+		return fail(units, bits, true,
+			fmt.Sprintf("%s: %s: nonzero result %v for exactly-zero element", spec.Name, what, got))
+	}
+	if units > spec.Allowed {
+		return fail(units, bits, true,
+			fmt.Sprintf("%s: %s: error %.3g units of 2^-%g mass (allowed %g)", spec.Name, what, units, spec.BoundBits, spec.Allowed))
+	}
+	return pass(units, bits, true)
+}
+
+// worse keeps the first violation, else the larger observed error.
+func worse(a, b Outcome) Outcome {
+	if !a.OK {
+		return a
+	}
+	if !b.OK || b.ErrUnits > a.ErrUnits {
+		return b
+	}
+	return a
+}
+
+// CheckDot differentially tests the specialized DotF kernels.
+func CheckDot(spec OpSpec, x, y [][]float64) Outcome {
+	o := newOracle(blasOraclePrec)
+	exact, mass := o.num(), o.num()
+	for i := range x {
+		p := o.mul(o.fromTerms(x[i]), o.fromTerms(y[i]))
+		exact = o.add(exact, p)
+		mass = o.add(mass, o.abs(p))
+	}
+	var got []float64
+	switch spec.Width {
+	case 2:
+		z := blas.DotF2(vec2(x), vec2(y))
+		got = z[:]
+	case 3:
+		z := blas.DotF3(vec3(x), vec3(y))
+		got = z[:]
+	default:
+		z := blas.DotF4(vec4(x), vec4(y))
+		got = z[:]
+	}
+	return checkElem(o, spec, exact, mass, got, "sum")
+}
+
+// CheckAxpy differentially tests y += α·x elementwise.
+func CheckAxpy(spec OpSpec, alpha []float64, x, y [][]float64) Outcome {
+	o := newOracle(blasOraclePrec)
+	ma := o.fromTerms(alpha)
+	var got [][]float64
+	switch spec.Width {
+	case 2:
+		yv := vec2(y)
+		blas.AxpyF2(toF2(alpha), vec2(x), yv)
+		got = terms2(yv)
+	case 3:
+		yv := vec3(y)
+		blas.AxpyF3(toF3(alpha), vec3(x), yv)
+		got = terms3(yv)
+	default:
+		yv := vec4(y)
+		blas.AxpyF4(toF4(alpha), vec4(x), yv)
+		got = terms4(yv)
+	}
+	out := exactOutcome(true)
+	for i := range x {
+		p := o.mul(ma, o.fromTerms(x[i]))
+		my := o.fromTerms(y[i])
+		exact := o.add(my, p)
+		mass := o.add(o.abs(my), o.abs(p))
+		out = worse(out, checkElem(o, spec, exact, mass, got[i], fmt.Sprintf("elem %d", i)))
+		if !out.OK {
+			return out
+		}
+	}
+	return out
+}
+
+// CheckGemv differentially tests y = A·x for a row-major rows×cols A.
+func CheckGemv(spec OpSpec, a, x [][]float64, rows, cols int) Outcome {
+	o := newOracle(blasOraclePrec)
+	mx := make([]*mpfloat.Float, cols)
+	for j := range mx {
+		mx[j] = o.fromTerms(x[j])
+	}
+	var got [][]float64
+	switch spec.Width {
+	case 2:
+		yv := make([]mf.Float64x2, rows)
+		blas.GemvTiledF2(vec2(a), rows, cols, vec2(x), yv)
+		got = terms2(yv)
+	case 3:
+		yv := make([]mf.Float64x3, rows)
+		blas.GemvTiledF3(vec3(a), rows, cols, vec3(x), yv)
+		got = terms3(yv)
+	default:
+		yv := make([]mf.Float64x4, rows)
+		blas.GemvTiledF4(vec4(a), rows, cols, vec4(x), yv)
+		got = terms4(yv)
+	}
+	out := exactOutcome(true)
+	for i := 0; i < rows; i++ {
+		exact, mass := o.num(), o.num()
+		for j := 0; j < cols; j++ {
+			p := o.mul(o.fromTerms(a[i*cols+j]), mx[j])
+			exact = o.add(exact, p)
+			mass = o.add(mass, o.abs(p))
+		}
+		out = worse(out, checkElem(o, spec, exact, mass, got[i], fmt.Sprintf("row %d", i)))
+		if !out.OK {
+			return out
+		}
+	}
+	return out
+}
+
+// gemmRun executes C += A·B through the requested kernel and returns the
+// updated C elementwise.
+func gemmRun(width, n int, blocked bool, a, b, c [][]float64) [][]float64 {
+	switch width {
+	case 2:
+		av, bv, cv := vec2(a), vec2(b), vec2(c)
+		if blocked {
+			blas.GemmBlockedF2(av, bv, cv, n)
+		} else {
+			blas.GemmF2(av, bv, cv, n)
+		}
+		return terms2(cv)
+	case 3:
+		av, bv, cv := vec3(a), vec3(b), vec3(c)
+		if blocked {
+			blas.GemmBlockedF3(av, bv, cv, n)
+		} else {
+			blas.GemmF3(av, bv, cv, n)
+		}
+		return terms3(cv)
+	default:
+		av, bv, cv := vec4(a), vec4(b), vec4(c)
+		if blocked {
+			blas.GemmBlockedF4(av, bv, cv, n)
+		} else {
+			blas.GemmF4(av, bv, cv, n)
+		}
+		return terms4(cv)
+	}
+}
+
+// checkGemm measures one GEMM run (naive or blocked) against the oracle.
+func checkGemm(spec OpSpec, blocked bool, a, b, c [][]float64, n int) Outcome {
+	o := newOracle(blasOraclePrec)
+	ma := make([]*mpfloat.Float, len(a))
+	mb := make([]*mpfloat.Float, len(b))
+	for i := range a {
+		ma[i] = o.fromTerms(a[i])
+		mb[i] = o.fromTerms(b[i])
+	}
+	got := gemmRun(spec.Width, n, blocked, a, b, c)
+	out := exactOutcome(true)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			mc := o.fromTerms(c[i*n+j])
+			exact, mass := mc, o.abs(mc)
+			for k := 0; k < n; k++ {
+				p := o.mul(ma[i*n+k], mb[k*n+j])
+				exact = o.add(exact, p)
+				mass = o.add(mass, o.abs(p))
+			}
+			out = worse(out, checkElem(o, spec, exact, mass, got[i*n+j], fmt.Sprintf("c[%d,%d]", i, j)))
+			if !out.OK {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// CheckGemm differentially tests the specialized naive-order GEMM.
+func CheckGemm(spec OpSpec, a, b, c [][]float64, n int) Outcome {
+	return checkGemm(spec, false, a, b, c, n)
+}
+
+// CheckGemmBlocked differentially tests the cache-blocked GEMM against
+// the exact oracle AND against the naive kernel: both paths must land
+// within the per-element allowance of the true value, and their mutual
+// divergence is implicitly bounded by twice that. A blocking/packing bug
+// (wrong tile, missed edge column) shows up here as a huge unit count.
+func CheckGemmBlocked(spec OpSpec, a, b, c [][]float64, n int) Outcome {
+	out := checkGemm(spec, true, a, b, c, n)
+	if !out.OK {
+		return out
+	}
+	return worse(out, checkGemm(spec, false, a, b, c, n))
+}

@@ -1,0 +1,384 @@
+package diffuzz
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Config parameterizes a differential campaign.
+type Config struct {
+	// Seed makes the campaign deterministic; each op derives its own
+	// stream from Seed and the op name.
+	Seed int64
+	// Cases is the number of cases per scalar op (add2 … encode4).
+	Cases int
+	// BlasCases is the number of cases per accumulation kernel (dot,
+	// axpy, gemv, gemm, gemm_blocked) — each case is a whole
+	// vector/matrix problem, so these are far more expensive.
+	BlasCases int
+	// Ops filters the registry by name when non-nil.
+	Ops map[string]bool
+}
+
+// OpReport is the per-operation campaign summary. WorstUnits/WorstBits
+// summarize in-threshold cases only — the ones the bound covers; edge
+// cases (out-of-threshold exponents) are tracked separately and never
+// counted as violations unless a sanity contract broke.
+type OpReport struct {
+	Name       string  `json:"name"`
+	Width      int     `json:"width"`
+	BoundBits  float64 `json:"bound_bits"`
+	Source     string  `json:"source"`
+	Allowed    float64 `json:"allowed_units"`
+	Cases      int     `json:"cases"`
+	InThresh   int     `json:"in_threshold_cases"`
+	EdgeCases  int     `json:"edge_cases"`
+	Specials   int     `json:"special_cases"`
+	WorstUnits float64 `json:"worst_units"`
+	WorstBits  float64 `json:"worst_bits"`
+	// WorstEdgeUnits records the largest error seen out of threshold
+	// (informational: the bound does not apply there).
+	WorstEdgeUnits float64 `json:"worst_edge_units"`
+	Violations     int     `json:"violations"`
+	FirstViolation string  `json:"first_violation,omitempty"`
+	// WorstInput holds the operands of the worst in-threshold case, for
+	// corpus seeding.
+	WorstInput [][]float64 `json:"worst_input,omitempty"`
+}
+
+// Report is a full campaign result.
+type Report struct {
+	Seed       int64      `json:"seed"`
+	Cases      int        `json:"cases_per_op"`
+	BlasCases  int        `json:"blas_cases_per_op"`
+	Ops        []OpReport `json:"ops"`
+	Violations int        `json:"violations"`
+}
+
+// opSeed derives a per-op RNG seed so op order and filtering cannot
+// change any op's input stream.
+func opSeed(seed int64, name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return seed ^ int64(h.Sum64())
+}
+
+// Run executes the campaign and returns the per-op worst-error report.
+func Run(cfg Config) *Report {
+	rep := &Report{Seed: cfg.Seed, Cases: cfg.Cases, BlasCases: cfg.BlasCases}
+	for _, e := range registry() {
+		if cfg.Ops != nil && !cfg.Ops[e.spec.Name] {
+			continue
+		}
+		or := runOp(e, cfg)
+		rep.Violations += or.Violations
+		rep.Ops = append(rep.Ops, or)
+	}
+	return rep
+}
+
+// scalar lead-exponent sweep: small, medium, large, near-threshold.
+var addLeads = []int{0, 30, 300, 900}
+var mulLeads = []int{0, 20, 150, 400}
+var divLeads = []int{0, 30, 150}
+var sqrtLeads = []int{0, 40, 300, 600}
+
+func pick(g *Gen, leads []int) int { return leads[g.rng.Intn(len(leads))] }
+
+// withSpecialLead returns [special, 0, …].
+func withSpecialLead(g *Gen, n int) []float64 {
+	x := make([]float64, n)
+	x[0] = g.SpecialValue()
+	return x
+}
+
+func runOp(e opEntry, cfg Config) OpReport {
+	spec := e.spec
+	or := OpReport{
+		Name: spec.Name, Width: spec.Width, BoundBits: spec.BoundBits,
+		Source: spec.Source, Allowed: spec.Allowed,
+		WorstBits: math.Inf(1),
+	}
+	g := NewGen(opSeed(cfg.Seed, spec.Name))
+	n := spec.Width
+	cases := cfg.Cases
+	switch e.kind {
+	case kindDot, kindAxpy, kindGemv, kindGemm, kindGemmBlocked:
+		cases = cfg.BlasCases
+	}
+	for c := 0; c < cases; c++ {
+		var out Outcome
+		var input [][]float64
+		switch e.kind {
+		case kindAdd, kindSub:
+			var x, y []float64
+			switch r := g.rng.Intn(20); {
+			case r < 12:
+				x, y = g.Pair(n, pick(g, addLeads))
+			case r < 15:
+				x, y = g.EdgeExpansion(n), g.EdgeExpansion(n)
+			case r < 17:
+				x, y = withSpecialLead(g, n), g.Expansion(n, 30)
+			default:
+				x, y = g.Expansion(n, pick(g, addLeads)), g.Expansion(n, pick(g, addLeads))
+			}
+			input = [][]float64{x, y}
+			if e.kind == kindAdd {
+				out = CheckAdd(spec, x, y)
+			} else {
+				out = CheckSub(spec, x, y)
+			}
+		case kindMul:
+			var x, y []float64
+			switch r := g.rng.Intn(20); {
+			case r < 12:
+				x, y = g.Pair(n, pick(g, mulLeads))
+			case r < 15:
+				x, y = g.EdgeExpansion(n), g.Expansion(n, 20)
+			case r < 17:
+				x, y = withSpecialLead(g, n), g.Expansion(n, 20)
+			default:
+				x, y = g.Expansion(n, pick(g, mulLeads)), g.Expansion(n, pick(g, mulLeads))
+			}
+			input = [][]float64{x, y}
+			out = CheckMul(spec, x, y)
+		case kindDiv:
+			b := g.Expansion(n, pick(g, divLeads))
+			var a []float64
+			switch r := g.rng.Intn(20); {
+			case r < 14:
+				a = g.NonZero(n, pick(g, divLeads))
+			case r < 16:
+				a = make([]float64, n) // zero divisor
+			case r < 18:
+				a = withSpecialLead(g, n)
+			default:
+				a = g.EdgeExpansion(n)
+			}
+			input = [][]float64{b, a}
+			out = CheckDiv(spec, b, a)
+		case kindRecip:
+			var a []float64
+			switch r := g.rng.Intn(20); {
+			case r < 15:
+				a = g.NonZero(n, pick(g, divLeads))
+			case r < 17:
+				a = make([]float64, n)
+			case r < 19:
+				a = withSpecialLead(g, n)
+			default:
+				a = g.EdgeExpansion(n)
+			}
+			input = [][]float64{a}
+			out = CheckRecip(spec, a)
+		case kindSqrt, kindRsqrt:
+			var a []float64
+			switch r := g.rng.Intn(20); {
+			case r < 14:
+				a = g.Positive(n, pick(g, sqrtLeads))
+			case r < 16:
+				a = g.Positive(n, 30)
+				for i := range a {
+					a[i] = -a[i] // negative argument: NaN contract
+				}
+			case r < 17:
+				a = make([]float64, n)
+			case r < 19:
+				a = withSpecialLead(g, n)
+			default:
+				a = g.EdgeExpansion(n)
+			}
+			input = [][]float64{a}
+			if e.kind == kindSqrt {
+				out = CheckSqrt(spec, a)
+			} else {
+				out = CheckRsqrt(spec, a)
+			}
+		case kindMulAcc:
+			x, y := g.Pair(n, pick(g, mulLeads))
+			var s []float64
+			switch r := g.rng.Intn(20); {
+			case r < 8:
+				// Near-total cancellation: s ≈ -x·y.
+				prod := binary(n, kindMul, x, y)
+				s = make([]float64, n)
+				for i := range prod {
+					s[i] = -prod[i]
+				}
+			case r < 16:
+				s = g.Expansion(n, pick(g, addLeads))
+			case r < 18:
+				s = withSpecialLead(g, n)
+			default:
+				s = g.EdgeExpansion(n)
+			}
+			input = [][]float64{s, x, y}
+			out = CheckMulAcc(spec, s, x, y)
+		case kindCmplxMul:
+			xr, yr := g.Pair(n, pick(g, mulLeads))
+			xi, yi := g.Pair(n, pick(g, mulLeads))
+			if g.rng.Intn(8) == 0 {
+				// Conjugate product: exercises the exact-cancellation
+				// property of the commutative FPAN (§4.2).
+				yr = append([]float64(nil), xr...)
+				yi = make([]float64, n)
+				for i := range xi {
+					yi[i] = -xi[i]
+				}
+			}
+			input = [][]float64{xr, xi, yr, yi}
+			out = CheckCmplxMul(spec, xr, xi, yr, yi)
+		case kindEncode:
+			var x []float64
+			switch r := g.rng.Intn(20); {
+			case r < 12:
+				x = g.Expansion(n, pick(g, addLeads))
+			case r < 16:
+				x = g.EdgeExpansion(n)
+			default:
+				x = withSpecialLead(g, n)
+			}
+			input = [][]float64{x}
+			out = CheckEncode(spec, x)
+		case kindDot:
+			x, y := g.BlasVector(n, dotLen), g.BlasVector(n, dotLen)
+			out = CheckDot(spec, x, y)
+		case kindAxpy:
+			alpha := g.BlasElement(n)
+			x, y := g.BlasVector(n, axpyLen), g.BlasVector(n, axpyLen)
+			out = CheckAxpy(spec, alpha, x, y)
+		case kindGemv:
+			a := g.BlasVector(n, gemvN*gemvM)
+			x := g.BlasVector(n, gemvM)
+			out = CheckGemv(spec, a, x, gemvN, gemvM)
+		case kindGemm, kindGemmBlocked:
+			a := g.BlasVector(n, gemmN*gemmN)
+			b := g.BlasVector(n, gemmN*gemmN)
+			cm := g.BlasVector(n, gemmN*gemmN)
+			if e.kind == kindGemm {
+				out = CheckGemm(spec, a, b, cm, gemmN)
+			} else {
+				out = CheckGemmBlocked(spec, a, b, cm, gemmN)
+			}
+		}
+		or.Cases++
+		switch {
+		case out.Special:
+			or.Specials++
+		case out.InThreshold:
+			or.InThresh++
+			if out.ErrUnits > or.WorstUnits {
+				or.WorstUnits = out.ErrUnits
+				or.WorstInput = input
+			}
+			if out.ErrBits < or.WorstBits {
+				or.WorstBits = out.ErrBits
+			}
+		default:
+			or.EdgeCases++
+			if out.ErrUnits > or.WorstEdgeUnits && !math.IsInf(out.ErrUnits, 0) {
+				or.WorstEdgeUnits = out.ErrUnits
+			}
+		}
+		if !out.OK {
+			or.Violations++
+			if or.FirstViolation == "" {
+				or.FirstViolation = out.Reason
+			}
+		}
+	}
+	// JSON cannot carry ±Inf: report exactness with the BitsExact
+	// sentinel and clamp an exact-zero-violation's infinite unit count.
+	if math.IsInf(or.WorstBits, 1) || or.WorstBits > BitsExact {
+		or.WorstBits = BitsExact
+	}
+	if math.IsInf(or.WorstUnits, 0) {
+		or.WorstUnits = math.MaxFloat64
+	}
+	if math.IsInf(or.WorstEdgeUnits, 0) {
+		or.WorstEdgeUnits = math.MaxFloat64
+	}
+	return or
+}
+
+// ---------------------------------------------------------- corpus I/O ----
+
+// CorpusEntry is one seed input for a native `go test -fuzz` target.
+type CorpusEntry struct {
+	// Target is the fuzz function name, e.g. "FuzzAdd".
+	Target string
+	// Vals are the target's float64 arguments in declaration order.
+	Vals []float64
+	// Label names the file (one seed per op).
+	Label string
+}
+
+// pad4 right-pads terms with zeros to the 4-wide fuzz-target shape.
+func pad4(terms []float64) []float64 {
+	out := make([]float64, 4)
+	copy(out, terms)
+	return out
+}
+
+// CorpusEntries converts each op's worst in-threshold input into seeds
+// for the corresponding fuzz target. Targets take width-4 operand slots;
+// narrower ops pad with zeros (the target re-derives every width from
+// prefixes, so a width-2 worst case still exercises F2).
+func (r *Report) CorpusEntries() []CorpusEntry {
+	var entries []CorpusEntry
+	for _, or := range r.Ops {
+		if or.WorstInput == nil || or.WorstUnits == 0 {
+			continue
+		}
+		var target string
+		var vals []float64
+		switch or.Name[:len(or.Name)-1] {
+		case "add", "sub":
+			target = "FuzzAdd"
+			vals = append(pad4(or.WorstInput[0]), pad4(or.WorstInput[1])...)
+		case "mul":
+			target = "FuzzMul"
+			vals = append(pad4(or.WorstInput[0]), pad4(or.WorstInput[1])...)
+		case "div", "recip":
+			target = "FuzzDiv"
+			if len(or.WorstInput) == 1 { // recip: 1/a
+				vals = append(pad4([]float64{1}), pad4(or.WorstInput[0])...)
+			} else {
+				vals = append(pad4(or.WorstInput[0]), pad4(or.WorstInput[1])...)
+			}
+		case "sqrt", "rsqrt":
+			target = "FuzzSqrt"
+			vals = pad4(or.WorstInput[0])
+		case "mulacc":
+			target = "FuzzMulAcc"
+			vals = append(append(pad4(or.WorstInput[0]), pad4(or.WorstInput[1])...), pad4(or.WorstInput[2])...)
+		default:
+			continue
+		}
+		entries = append(entries, CorpusEntry{Target: target, Vals: vals, Label: "diffuzz-" + or.Name})
+	}
+	return entries
+}
+
+// WriteGoFuzzCorpus writes entries in the native corpus v1 encoding under
+// dir/<Target>/<Label>, the layout of testdata/fuzz. Existing files are
+// overwritten (seeds are deterministic for a given campaign seed).
+func WriteGoFuzzCorpus(dir string, entries []CorpusEntry) error {
+	for _, e := range entries {
+		d := filepath.Join(dir, e.Target)
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return err
+		}
+		body := "go test fuzz v1\n"
+		for _, v := range e.Vals {
+			body += fmt.Sprintf("math.Float64frombits(0x%016x)\n", math.Float64bits(v))
+		}
+		if err := os.WriteFile(filepath.Join(d, e.Label), []byte(body), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+// Package diffuzz is the differential-testing harness of this repository:
+// every public operation (the mf expansion arithmetic, the blas kernels,
+// and the fused core accumulation networks) is cross-checked against the
+// exact internal/mpfloat oracle on structured adversarial inputs, and the
+// observed relative error is reported in units of the operation's error
+// bound — 1.0 means "exactly at the bound".
+//
+// The paper proves per-operation bounds (Table 1: 2^-(2p-1)|x+y| for add2
+// through 2^-(4p-4)|xy| for mul4) that hold only inside the machine's
+// exponent thresholds (§2.1), and its companion verification work shows
+// the failure corners are never reached by uniform random sampling. The
+// harness therefore drives three input regimes:
+//
+//  1. in-threshold adversarial expansions (cancellation ladders, band
+//     boundaries, exponent spreads) where the bound is *enforced*;
+//  2. edge-of-format inputs (subnormal terms, near-overflow leads, huge
+//     inter-term gaps) where the bound assumptions fail by construction;
+//     observed error is recorded separately and never enforced;
+//  3. special values (NaN, ±Inf, ±0, zero divisors, negative sqrt
+//     arguments) where the §4.4 collapse contract is checked instead.
+//
+// The same Check* entry points back both the native `go test -fuzz`
+// targets (mf, internal/blas, internal/core) and the long-campaign CLI
+// cmd/mffuzz; see TESTING.md for the oracle tiers and the measured-bound
+// rationale for the Newton-based operations.
+package diffuzz
+
+import (
+	"math"
+
+	"multifloats/internal/fpan"
+)
+
+// p is the base-type precision. The harness drives the float64
+// instantiations; float32 coverage comes from internal/verify's
+// exhaustive small-precision sweeps (TESTING.md).
+const p = 53
+
+// BitsExact is the ErrBits sentinel for "exact or beyond measurable":
+// far past any bound under test, and JSON-safe where +Inf is not.
+const BitsExact = 2200
+
+// Bound sources.
+const (
+	// SourcePaper marks a bound proved in the paper (add/mul FPANs).
+	SourcePaper = "paper"
+	// SourceMeasured marks a bound established by deep measurement runs
+	// with margin (Newton div/sqrt, fused MulAcc, accumulated kernels);
+	// the rationale for each lives in TESTING.md.
+	SourceMeasured = "measured"
+	// SourceExact marks an operation with no error budget at all: the
+	// result must match bit-for-bit (encoding round trips).
+	SourceExact = "exact"
+)
+
+// Newton-based operations are not correctly rounded; these floors (bits
+// of relative accuracy, set from deep measurement runs with margin) are
+// shared with internal/core's accuracy tests.
+var (
+	divFloor    = map[int]float64{2: 99, 3: 149, 4: 199}
+	mulAccFloor = map[int]float64{2: 100, 3: 151, 4: 201}
+)
+
+// addBoundBits returns the library's addN bound exponent, taken from the
+// network declarations in internal/fpan (the single source of truth).
+// add3/add4 match the paper's Table 1 (3p-3, 4p-4); add2 is 2p-3 rather
+// than the paper's 2p-1 because the library's closed input invariant is
+// weak (2·ulp) nonoverlap, not the paper's strict half-ulp Eq. 8 —
+// TESTING.md quantifies the 2-bit cost.
+func addBoundBits(n int) float64 {
+	switch n {
+	case 2:
+		return float64(fpan.BoundAdd2.Bits(p))
+	case 3:
+		return float64(fpan.BoundAdd3.Bits(p))
+	default:
+		return float64(fpan.BoundAdd4.Bits(p))
+	}
+}
+
+// addSource reports where the addN bound comes from (see addBoundBits).
+func addSource(n int) string {
+	if n == 2 {
+		return SourceMeasured
+	}
+	return SourcePaper
+}
+
+// mulBoundBits returns the library's measured mulN bound exponent
+// (2p-6, 3p-8, 4p-11; the paper proves 2p-3/3p-3/4p-4 for its own
+// networks under the strict invariant — internal/fpan documents the
+// worst observed error for each).
+func mulBoundBits(n int) float64 {
+	switch n {
+	case 2:
+		return float64(fpan.BoundMul2.Bits(p))
+	case 3:
+		return float64(fpan.BoundMul3.Bits(p))
+	default:
+		return float64(fpan.BoundMul4.Bits(p))
+	}
+}
+
+// OpSpec describes one differentially-tested operation.
+type OpSpec struct {
+	// Name is the report key, e.g. "add2", "gemm_blocked4".
+	Name string
+	// Width is the expansion term count (2, 3, or 4).
+	Width int
+	// BoundBits is the enforced per-case bound exponent q: the observed
+	// relative error (against the op's scale) must stay ≤ Allowed·2^-q.
+	BoundBits float64
+	// Source is SourcePaper or SourceMeasured.
+	Source string
+	// Allowed is the permitted error in units of 2^-BoundBits. 1 for
+	// single operations; accumulation kernels get a depth-proportional
+	// allowance (documented per-op in TESTING.md).
+	Allowed float64
+}
+
+// kernel families, used by the campaign dispatcher.
+const (
+	kindAdd = iota
+	kindSub
+	kindMul
+	kindDiv
+	kindRecip
+	kindSqrt
+	kindRsqrt
+	kindMulAcc
+	kindCmplxMul
+	kindEncode
+	kindDot
+	kindAxpy
+	kindGemv
+	kindGemm
+	kindGemmBlocked
+)
+
+// Campaign problem sizes for the accumulation kernels.
+const (
+	dotLen  = 48
+	axpyLen = 32
+	gemvN   = 11
+	gemvM   = 17
+	gemmN   = 13 // odd: exercises the blocked kernels' edge tiles
+)
+
+// opKind maps a registry entry to its dispatch family.
+type opEntry struct {
+	spec OpSpec
+	kind int
+}
+
+// registry returns every op at every width, in report order.
+func registry() []opEntry {
+	var ops []opEntry
+	add := func(name string, width, kind int, bits float64, source string, allowed float64) {
+		ops = append(ops, opEntry{OpSpec{Name: name, Width: width, BoundBits: bits, Source: source, Allowed: allowed}, kind})
+	}
+	for n := 2; n <= 4; n++ {
+		suffix := string(rune('0' + n))
+		add("add"+suffix, n, kindAdd, addBoundBits(n), addSource(n), 1)
+		add("sub"+suffix, n, kindSub, addBoundBits(n), addSource(n), 1)
+		add("mul"+suffix, n, kindMul, mulBoundBits(n), SourceMeasured, 1)
+		add("div"+suffix, n, kindDiv, divFloor[n], SourceMeasured, 1)
+		add("recip"+suffix, n, kindRecip, divFloor[n], SourceMeasured, 1)
+		add("sqrt"+suffix, n, kindSqrt, divFloor[n], SourceMeasured, 1)
+		add("rsqrt"+suffix, n, kindRsqrt, divFloor[n], SourceMeasured, 1)
+		add("mulacc"+suffix, n, kindMulAcc, mulAccFloor[n], SourceMeasured, 1)
+		add("cmul"+suffix, n, kindCmplxMul, mulBoundBits(n), SourceMeasured, 4)
+		add("encode"+suffix, n, kindEncode, 0, SourceExact, 0)
+		add("dot"+suffix, n, kindDot, mulAccFloor[n], SourceMeasured, 2*(dotLen+1))
+		add("axpy"+suffix, n, kindAxpy, mulBoundBits(n), SourceMeasured, 3)
+		add("gemv"+suffix, n, kindGemv, mulAccFloor[n], SourceMeasured, 2*(gemvM+1))
+		add("gemm"+suffix, n, kindGemm, mulAccFloor[n], SourceMeasured, 2*(gemmN+1))
+		add("gemm_blocked"+suffix, n, kindGemmBlocked, mulAccFloor[n], SourceMeasured, 2*(gemmN+1))
+	}
+	return ops
+}
+
+// Ops returns the specs of every registered operation.
+func Ops() []OpSpec {
+	ents := registry()
+	specs := make([]OpSpec, len(ents))
+	for i, e := range ents {
+		specs[i] = e.spec
+	}
+	return specs
+}
+
+// Outcome is the result of one differential case.
+type Outcome struct {
+	// ErrUnits is the observed error in units of the op's bound
+	// (Allowed·2^-BoundBits·scale is the pass threshold); 0 when the
+	// result matched the oracle exactly.
+	ErrUnits float64
+	// ErrBits is -log2 of the relative error against the op's scale;
+	// +Inf when exact.
+	ErrBits float64
+	// InThreshold reports whether the case lies inside the exponent
+	// domain where the bound is enforced.
+	InThreshold bool
+	// Special reports a special-value case (the §4.4 collapse contract
+	// was checked instead of the error bound).
+	Special bool
+	// OK is false when the case violated its applicable contract:
+	// bound exceeded in-threshold, special-value collapse broken, or an
+	// edge-case sanity failure (spurious NaN from finite inputs).
+	OK bool
+	// Reason describes the violation when !OK.
+	Reason string
+}
+
+// pass returns an all-clear outcome with the given error measurement.
+func pass(units, bits float64, inThreshold bool) Outcome {
+	return Outcome{ErrUnits: units, ErrBits: bits, InThreshold: inThreshold, OK: true}
+}
+
+// fail returns a violation outcome.
+func fail(units, bits float64, inThreshold bool, reason string) Outcome {
+	return Outcome{ErrUnits: units, ErrBits: bits, InThreshold: inThreshold, Reason: reason}
+}
+
+// exactOutcome is the outcome of a bit-for-bit match.
+func exactOutcome(inThreshold bool) Outcome {
+	return pass(0, math.Inf(1), inThreshold)
+}

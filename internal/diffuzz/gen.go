@@ -1,0 +1,160 @@
+package diffuzz
+
+import (
+	"math"
+	"math/rand"
+
+	"multifloats/internal/verify"
+)
+
+// Gen produces the harness's structured adversarial inputs. The
+// in-threshold families delegate to internal/verify's ExpansionGen (the
+// cancellation/band-boundary machinery shared with the FPAN verifier);
+// this type adds the out-of-threshold regimes the differential harness
+// also sweeps: subnormal terms, near-overflow leads, huge inter-term
+// exponent gaps, and non-canonical (weakly overlapping) expansions.
+type Gen struct {
+	rng *rand.Rand
+	eg  *verify.ExpansionGen
+}
+
+// NewGen returns a deterministic generator.
+func NewGen(seed int64) *Gen {
+	return &Gen{
+		rng: rand.New(rand.NewSource(seed)),
+		eg:  verify.NewExpansionGen(seed ^ 0x5eed),
+	}
+}
+
+// term builds ±mant·2^(exp-52).
+func genTerm(neg bool, mant uint64, exp int) float64 {
+	v := math.Ldexp(float64(mant), exp-52)
+	if neg {
+		v = -v
+	}
+	return v
+}
+
+// mantissa mirrors the verifier's adversarial significand mix.
+func (g *Gen) mantissa() uint64 {
+	switch g.rng.Intn(6) {
+	case 0:
+		return 1 << 52
+	case 1:
+		return 1<<53 - 1
+	case 2:
+		return 1<<52 + 1
+	default:
+		return 1<<52 | (g.rng.Uint64() & (1<<52 - 1))
+	}
+}
+
+// Expansion returns an in-threshold adversarial n-term expansion with
+// leading exponent magnitude ≤ max(maxLead, 1).
+func (g *Gen) Expansion(n, maxLead int) []float64 {
+	g.eg.MaxLeadExp = max(maxLead, 1)
+	return g.eg.Expansion(n)
+}
+
+// Pair returns adversarially-coupled operands (cancellation ladders,
+// offset copies, band boundaries) with leading exponents ≤ max(maxLead, 1).
+func (g *Gen) Pair(n, maxLead int) (x, y []float64) {
+	g.eg.MaxLeadExp = max(maxLead, 1)
+	return g.eg.Pair(n)
+}
+
+// NonZero redraws until the leading term is nonzero.
+func (g *Gen) NonZero(n, maxLead int) []float64 {
+	for {
+		if x := g.Expansion(n, maxLead); x[0] != 0 {
+			return x
+		}
+	}
+}
+
+// Positive returns a nonzero expansion with a positive leading term.
+func (g *Gen) Positive(n, maxLead int) []float64 {
+	x := g.NonZero(n, maxLead)
+	if x[0] < 0 {
+		for i := range x {
+			x[i] = -x[i]
+		}
+	}
+	return x
+}
+
+// EdgeExpansion returns an out-of-threshold expansion: subnormal-range
+// terms, near-overflow leads, or a huge gap between lead and tail. These
+// deliberately violate the bounds' exponent-threshold assumptions; the
+// harness records but does not enforce error on them.
+func (g *Gen) EdgeExpansion(n int) []float64 {
+	x := make([]float64, n)
+	switch g.rng.Intn(4) {
+	case 0: // subnormal leading term
+		x[0] = genTerm(g.rng.Intn(2) == 0, g.mantissa(), -1030-g.rng.Intn(40))
+		if x[0] != 0 && n > 1 && g.rng.Intn(2) == 0 {
+			x[1] = genTerm(g.rng.Intn(2) == 0, 1<<52, -1074)
+		}
+	case 1: // near-overflow lead with a normal tail ladder
+		e := 1000 + g.rng.Intn(23)
+		x[0] = genTerm(g.rng.Intn(2) == 0, g.mantissa(), e)
+		for i := 1; i < n; i++ {
+			e -= 53 + g.rng.Intn(8)
+			x[i] = genTerm(g.rng.Intn(2) == 0, g.mantissa(), e)
+		}
+	case 2: // huge inter-term gap: tail lands in (or near) the subnormals
+		x[0] = genTerm(g.rng.Intn(2) == 0, g.mantissa(), g.rng.Intn(200)-100)
+		if n > 1 {
+			x[n-1] = genTerm(g.rng.Intn(2) == 0, g.mantissa(), -1020-g.rng.Intn(50))
+		}
+	default: // normal lead, whole tail subnormal
+		x[0] = genTerm(g.rng.Intn(2) == 0, g.mantissa(), -400-g.rng.Intn(100))
+		for i := 1; i < n; i++ {
+			x[i] = genTerm(g.rng.Intn(2) == 0, g.mantissa(), -1040-g.rng.Intn(30))
+		}
+	}
+	return x
+}
+
+// SpecialValue returns one of the IEEE special leading values.
+func (g *Gen) SpecialValue() float64 {
+	switch g.rng.Intn(4) {
+	case 0:
+		return math.NaN()
+	case 1:
+		return math.Inf(1)
+	case 2:
+		return math.Inf(-1)
+	default:
+		return math.Copysign(0, -1)
+	}
+}
+
+// BlasElement returns an expansion suitable for the accumulation-kernel
+// campaigns: bounded leading exponent and bounded tail gaps, so whole
+// dot/GEMM reductions stay inside the blas oracle's exactness window.
+func (g *Gen) BlasElement(n int) []float64 {
+	x := make([]float64, n)
+	if g.rng.Intn(32) == 0 {
+		return x
+	}
+	e := g.rng.Intn(80) - 40
+	x[0] = genTerm(g.rng.Intn(2) == 0, g.mantissa(), e)
+	for i := 1; i < n; i++ {
+		if g.rng.Intn(6) == 0 {
+			break
+		}
+		e -= 53 + g.rng.Intn(12)
+		x[i] = genTerm(g.rng.Intn(2) == 0, g.mantissa(), e)
+	}
+	return x
+}
+
+// BlasVector fills a fresh length-m slice of width-n expansions.
+func (g *Gen) BlasVector(n, m int) [][]float64 {
+	v := make([][]float64, m)
+	for i := range v {
+		v[i] = g.BlasElement(n)
+	}
+	return v
+}

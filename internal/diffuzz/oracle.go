@@ -1,0 +1,108 @@
+package diffuzz
+
+import (
+	"math"
+
+	"multifloats/internal/mpfloat"
+)
+
+// The oracle evaluates reference results in internal/mpfloat — the
+// repository's correctly-rounded limb-based library — at a working
+// precision far above anything the expansion formats can represent, so
+// that every oracle value is exact relative to the 2^-208-scale bounds
+// being checked.
+//
+// Precision choice: campaign expansions span at most ~2100 bits (leading
+// exponents up to ±1000, tails down to 2^-1074), so sums need ≤ ~2110
+// bits to be exact and products are correctly rounded with relative
+// error 2^-oraclePrec ≈ 2^-2400 — more than 2000 bits below the
+// tightest bound under test. The blas oracle runs at a lower precision
+// because its inputs are generated with a bounded exponent window.
+const (
+	oraclePrec     = 2432
+	blasOraclePrec = 1024
+)
+
+// oracle wraps mpfloat evaluation at a fixed working precision.
+type oracle struct {
+	prec uint
+}
+
+func newOracle(prec uint) *oracle { return &oracle{prec: prec} }
+
+// num allocates a zero at the oracle precision.
+func (o *oracle) num() *mpfloat.Float { return mpfloat.New(o.prec) }
+
+// fromTerms sums expansion terms exactly.
+func (o *oracle) fromTerms(terms []float64) *mpfloat.Float {
+	z := o.num()
+	t := o.num()
+	for _, v := range terms {
+		if v == 0 {
+			continue
+		}
+		t.SetFloat64(v)
+		z = o.num().Add(z, t)
+	}
+	return z
+}
+
+// add returns x + y.
+func (o *oracle) add(x, y *mpfloat.Float) *mpfloat.Float { return o.num().Add(x, y) }
+
+// sub returns x - y.
+func (o *oracle) sub(x, y *mpfloat.Float) *mpfloat.Float { return o.num().Sub(x, y) }
+
+// mul returns x · y.
+func (o *oracle) mul(x, y *mpfloat.Float) *mpfloat.Float { return o.num().Mul(x, y) }
+
+// quo returns x / y.
+func (o *oracle) quo(x, y *mpfloat.Float) *mpfloat.Float { return o.num().Quo(x, y) }
+
+// sqrt returns √x.
+func (o *oracle) sqrt(x *mpfloat.Float) *mpfloat.Float { return o.num().Sqrt(x) }
+
+// abs returns |x|.
+func (o *oracle) abs(x *mpfloat.Float) *mpfloat.Float { return o.num().Abs(x) }
+
+// one returns 1.
+func (o *oracle) one() *mpfloat.Float { return o.num().SetInt64(1) }
+
+// errAgainst measures got (an expansion) against the exact value, with
+// the error expressed relative to scale (usually |exact| itself; the
+// accumulation kernels use a cancellation-free mass instead). Returns
+// the error in units of 2^-boundBits and as -log2(relative error).
+//
+// A zero scale means the exact result is identically zero: the expansion
+// must then be exactly zero too (the FPAN bounds demand it), and any
+// nonzero output reports +Inf units.
+func (o *oracle) errAgainst(exact, scale *mpfloat.Float, got []float64, boundBits float64) (units, bits float64) {
+	gotMP := o.fromTerms(got)
+	diff := o.sub(exact, gotMP)
+	if diff.IsZero() {
+		return 0, math.Inf(1)
+	}
+	if scale.IsZero() {
+		return math.Inf(1), math.Inf(-1)
+	}
+	rel := o.quo(o.abs(diff), o.abs(scale))
+	// units = rel · 2^boundBits, evaluated in mpfloat so the scaling
+	// cannot overflow before the final conversion.
+	units = o.num().MulPow2(rel, int(boundBits)).Float64()
+	r := rel.Float64()
+	if r == 0 {
+		// Relative error below float64 range: far past any bound.
+		return units, BitsExact
+	}
+	return units, -math.Log2(r)
+}
+
+// mass returns Σ|terms(args[i])| — the cancellation-free scale for
+// accumulated results.
+func (o *oracle) massOf(products ...*mpfloat.Float) *mpfloat.Float {
+	m := o.num()
+	for _, p := range products {
+		m = o.add(m, o.abs(p))
+	}
+	return m
+}

@@ -1,0 +1,626 @@
+package diffuzz
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"multifloats/internal/core"
+	"multifloats/internal/eft"
+	"multifloats/internal/mpfloat"
+	"multifloats/mf"
+)
+
+// ------------------------------------------------------- input shaping ----
+
+// Canon decomposes the exact sum of raw into a canonical (strongly
+// nonoverlapping) n-term float64 expansion: each term is the correct
+// rounding of the remaining mass, the decomposition of paper Eq. 6. It
+// reports ok=false when any raw value is non-finite or the exact sum
+// overflows float64 — callers route those to the special-value contract.
+//
+// This is how the fuzz targets turn arbitrary fuzzer-chosen bit patterns
+// into valid operands: any 8-byte pattern maps to a term of some valid
+// expansion, so coverage-guided mutation explores the whole input space
+// without tripping over the nonoverlap precondition.
+func Canon(n int, raw []float64) ([]float64, bool) {
+	for _, v := range raw {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, false
+		}
+	}
+	rem := new(big.Float).SetPrec(oraclePrec)
+	tmp := new(big.Float).SetPrec(oraclePrec)
+	for _, v := range raw {
+		if v != 0 {
+			rem.Add(rem, tmp.SetFloat64(v))
+		}
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		f, _ := rem.Float64()
+		if math.IsInf(f, 0) {
+			return nil, false
+		}
+		out[i] = f
+		if f == 0 {
+			break
+		}
+		rem.Sub(rem, tmp.SetFloat64(f))
+	}
+	return out, true
+}
+
+// Operand maps arbitrary fuzzer-chosen float64s onto a valid Check*
+// input: the canonical expansion of their exact sum when that is finite,
+// else a special-value expansion that exercises the §4.4 collapse
+// contract. Every 8-byte pattern the fuzzer mutates therefore lands on a
+// meaningful case instead of being rejected.
+func Operand(n int, raw []float64) []float64 {
+	if x, ok := Canon(n, raw); ok {
+		return x
+	}
+	out := make([]float64, n)
+	out[0] = math.Inf(1) // overflowing finite sum
+	for _, v := range raw {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			out[0] = v
+			break
+		}
+	}
+	return out
+}
+
+// Collapsed reports whether an op result signals a special-value input
+// per the §4.4 contract: the leading term is NaN or ±Inf.
+func Collapsed(terms []float64) bool {
+	return math.IsNaN(terms[0]) || math.IsInf(terms[0], 0)
+}
+
+func anyNonFinite(operands ...[]float64) bool {
+	for _, terms := range operands {
+		for _, v := range terms {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// specialCollapse checks the §4.4 contract for a non-finite operand: the
+// branch-free networks must collapse the whole result to NaN (an Inf
+// leading term is also accepted for non-canonical inputs with an Inf
+// buried in the tail, where the network sees Inf-Inf only later).
+func specialCollapse(spec OpSpec, got []float64) Outcome {
+	if Collapsed(got) {
+		return Outcome{Special: true, OK: true, ErrBits: math.Inf(1)}
+	}
+	return Outcome{Special: true, Reason: fmt.Sprintf("%s: non-finite operand produced finite %v, want NaN collapse", spec.Name, got)}
+}
+
+// --------------------------------------------------- exponent thresholds ----
+
+// Exponent windows inside which the per-op bounds are enforced. Outside
+// them, rounding-error terms underflow to subnormals (losing TwoSum/
+// TwoProd exactness) or intermediates overflow, which the paper's §2.1
+// "within machine thresholds" assumption excludes. The windows below are
+// conservative; their derivation is in TESTING.md.
+func expRangeOK(terms []float64, lo, hi int) bool {
+	for _, v := range terms {
+		if v == 0 {
+			continue
+		}
+		if e := eft.Exponent(v); e < lo || e > hi {
+			return false
+		}
+	}
+	return true
+}
+
+func leadExp(terms []float64) int {
+	if terms[0] == 0 {
+		return 0
+	}
+	return eft.Exponent(terms[0])
+}
+
+func minNonzeroExp(terms []float64) int {
+	m := 0
+	seen := false
+	for _, v := range terms {
+		if v == 0 {
+			continue
+		}
+		if e := eft.Exponent(v); !seen || e < m {
+			m, seen = e, true
+		}
+	}
+	return m
+}
+
+func hasNaN(terms []float64) bool {
+	for _, v := range terms {
+		if math.IsNaN(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// geAbs2p reports |v| ≥ 2^e at oracle precision.
+func geAbs2p(o *oracle, v *mpfloat.Float, e int) bool {
+	if v.IsZero() {
+		return false
+	}
+	thresh := o.num().MulPow2(o.one(), e)
+	return o.abs(v).Cmp(thresh) >= 0
+}
+
+func thresholdAddSub(o *oracle, x, y []float64, exact *mpfloat.Float) bool {
+	return expRangeOK(x, -960, 1000) && expRangeOK(y, -960, 1000) &&
+		(exact.IsZero() || geAbs2p(o, exact, -890))
+}
+
+func thresholdMul(x, y []float64) bool {
+	if !expRangeOK(x, -500, 440) || !expRangeOK(y, -500, 440) {
+		return false
+	}
+	if x[0] == 0 || y[0] == 0 {
+		return true // exact-zero product
+	}
+	sum := leadExp(x) + leadExp(y)
+	return minNonzeroExp(x)+minNonzeroExp(y) >= -1000 && sum >= -890 && sum <= 1000
+}
+
+func thresholdDiv(b, a []float64) bool {
+	if !expRangeOK(b, -700, 200) || !expRangeOK(a, -700, 200) {
+		return false
+	}
+	if b[0] == 0 {
+		return true
+	}
+	q := leadExp(b) - leadExp(a)
+	return q >= -780 && q <= 780
+}
+
+func thresholdSqrt(a []float64) bool {
+	return expRangeOK(a, -700, 700)
+}
+
+// -------------------------------------------------------- op dispatch ----
+
+func toF2(x []float64) mf.Float64x2 { return mf.Float64x2{x[0], x[1]} }
+func toF3(x []float64) mf.Float64x3 { return mf.Float64x3{x[0], x[1], x[2]} }
+func toF4(x []float64) mf.Float64x4 { return mf.Float64x4{x[0], x[1], x[2], x[3]} }
+
+// binary runs one of the mf binary ops at width n through the public API.
+func binary(n int, kind int, x, y []float64) []float64 {
+	switch n {
+	case 2:
+		a, b := toF2(x), toF2(y)
+		var z mf.Float64x2
+		switch kind {
+		case kindAdd:
+			z = a.Add(b)
+		case kindSub:
+			z = a.Sub(b)
+		case kindMul:
+			z = a.Mul(b)
+		case kindDiv:
+			z = a.Div(b)
+		}
+		return z[:]
+	case 3:
+		a, b := toF3(x), toF3(y)
+		var z mf.Float64x3
+		switch kind {
+		case kindAdd:
+			z = a.Add(b)
+		case kindSub:
+			z = a.Sub(b)
+		case kindMul:
+			z = a.Mul(b)
+		case kindDiv:
+			z = a.Div(b)
+		}
+		return z[:]
+	default:
+		a, b := toF4(x), toF4(y)
+		var z mf.Float64x4
+		switch kind {
+		case kindAdd:
+			z = a.Add(b)
+		case kindSub:
+			z = a.Sub(b)
+		case kindMul:
+			z = a.Mul(b)
+		case kindDiv:
+			z = a.Div(b)
+		}
+		return z[:]
+	}
+}
+
+// unary runs one of the mf unary ops at width n.
+func unary(n int, kind int, x []float64) []float64 {
+	switch n {
+	case 2:
+		a := toF2(x)
+		var z mf.Float64x2
+		switch kind {
+		case kindRecip:
+			z = a.Recip()
+		case kindSqrt:
+			z = a.Sqrt()
+		case kindRsqrt:
+			z = a.Rsqrt()
+		}
+		return z[:]
+	case 3:
+		a := toF3(x)
+		var z mf.Float64x3
+		switch kind {
+		case kindRecip:
+			z = a.Recip()
+		case kindSqrt:
+			z = a.Sqrt()
+		case kindRsqrt:
+			z = a.Rsqrt()
+		}
+		return z[:]
+	default:
+		a := toF4(x)
+		var z mf.Float64x4
+		switch kind {
+		case kindRecip:
+			z = a.Recip()
+		case kindSqrt:
+			z = a.Sqrt()
+		case kindRsqrt:
+			z = a.Rsqrt()
+		}
+		return z[:]
+	}
+}
+
+// ------------------------------------------------------- scalar checks ----
+
+// checkAgainst folds the oracle comparison plus threshold/sanity logic
+// shared by every scalar op.
+func checkAgainst(o *oracle, spec OpSpec, exact, scale *mpfloat.Float,
+	got []float64, inTh bool, nanSane bool) Outcome {
+	units, bits := o.errAgainst(exact, scale, got, spec.BoundBits)
+	if units == 0 {
+		return exactOutcome(inTh)
+	}
+	if inTh {
+		if scale.IsZero() {
+			return fail(units, bits, true,
+				fmt.Sprintf("%s: nonzero result %v for exactly-zero true value", spec.Name, got))
+		}
+		if units > spec.Allowed {
+			return fail(units, bits, true,
+				fmt.Sprintf("%s: error %.3g units of 2^-%g bound (allowed %g)", spec.Name, units, spec.BoundBits, spec.Allowed))
+		}
+		return pass(units, bits, true)
+	}
+	// Out of threshold: record only, but a NaN from finite inputs that
+	// cannot have overflowed is still a bug.
+	if nanSane && hasNaN(got) {
+		return fail(units, bits, false, spec.Name+": NaN result from finite in-range inputs")
+	}
+	return pass(units, bits, false)
+}
+
+// CheckAdd differentially tests x+y at width n against the exact oracle.
+// x and y must be valid (at most weakly overlapping) expansions.
+func CheckAdd(spec OpSpec, x, y []float64) Outcome {
+	if anyNonFinite(x, y) {
+		return specialCollapse(spec, binary(spec.Width, kindAdd, x, y))
+	}
+	o := newOracle(oraclePrec)
+	exact := o.add(o.fromTerms(x), o.fromTerms(y))
+	got := binary(spec.Width, kindAdd, x, y)
+	inTh := thresholdAddSub(o, x, y, exact)
+	nanSane := expRangeOK(x, -1100, 1000) && expRangeOK(y, -1100, 1000)
+	return checkAgainst(o, spec, exact, exact, got, inTh, nanSane)
+}
+
+// CheckSub differentially tests x-y.
+func CheckSub(spec OpSpec, x, y []float64) Outcome {
+	if anyNonFinite(x, y) {
+		return specialCollapse(spec, binary(spec.Width, kindSub, x, y))
+	}
+	o := newOracle(oraclePrec)
+	exact := o.sub(o.fromTerms(x), o.fromTerms(y))
+	got := binary(spec.Width, kindSub, x, y)
+	inTh := thresholdAddSub(o, x, y, exact)
+	nanSane := expRangeOK(x, -1100, 1000) && expRangeOK(y, -1100, 1000)
+	return checkAgainst(o, spec, exact, exact, got, inTh, nanSane)
+}
+
+// CheckMul differentially tests x·y.
+func CheckMul(spec OpSpec, x, y []float64) Outcome {
+	if anyNonFinite(x, y) {
+		return specialCollapse(spec, binary(spec.Width, kindMul, x, y))
+	}
+	o := newOracle(oraclePrec)
+	exact := o.mul(o.fromTerms(x), o.fromTerms(y))
+	got := binary(spec.Width, kindMul, x, y)
+	inTh := thresholdMul(x, y)
+	nanSane := expRangeOK(x, -1100, 500) && expRangeOK(y, -1100, 500)
+	return checkAgainst(o, spec, exact, exact, got, inTh, nanSane)
+}
+
+// CheckDiv differentially tests b/a. A zero divisor routes to the
+// special-value contract: the result must collapse to NaN (§4.4).
+func CheckDiv(spec OpSpec, b, a []float64) Outcome {
+	got := binary(spec.Width, kindDiv, b, a)
+	if anyNonFinite(b, a) {
+		return specialCollapse(spec, got)
+	}
+	if a[0] == 0 {
+		if Collapsed(got) {
+			return Outcome{Special: true, OK: true, ErrBits: math.Inf(1)}
+		}
+		return Outcome{Special: true, Reason: fmt.Sprintf("%s: x/0 = %v, want NaN collapse", spec.Name, got)}
+	}
+	o := newOracle(oraclePrec)
+	exact := o.quo(o.fromTerms(b), o.fromTerms(a))
+	return checkAgainst(o, spec, exact, exact, got, thresholdDiv(b, a), false)
+}
+
+// CheckRecip differentially tests 1/a.
+func CheckRecip(spec OpSpec, a []float64) Outcome {
+	got := unary(spec.Width, kindRecip, a)
+	if anyNonFinite(a) {
+		return specialCollapse(spec, got)
+	}
+	if a[0] == 0 {
+		if Collapsed(got) {
+			return Outcome{Special: true, OK: true, ErrBits: math.Inf(1)}
+		}
+		return Outcome{Special: true, Reason: fmt.Sprintf("%s: 1/0 = %v, want NaN collapse", spec.Name, got)}
+	}
+	o := newOracle(oraclePrec)
+	exact := o.quo(o.one(), o.fromTerms(a))
+	one := []float64{1, 0, 0, 0}[:spec.Width]
+	return checkAgainst(o, spec, exact, exact, got, thresholdDiv(one, a), false)
+}
+
+// CheckSqrt differentially tests √a. Negative arguments must collapse to
+// NaN; zero must return exact zero.
+func CheckSqrt(spec OpSpec, a []float64) Outcome {
+	got := unary(spec.Width, kindSqrt, a)
+	if anyNonFinite(a) {
+		return specialCollapse(spec, got)
+	}
+	if a[0] < 0 {
+		if Collapsed(got) {
+			return Outcome{Special: true, OK: true, ErrBits: math.Inf(1)}
+		}
+		return Outcome{Special: true, Reason: fmt.Sprintf("%s: sqrt(negative) = %v, want NaN", spec.Name, got)}
+	}
+	if a[0] == 0 {
+		for _, v := range got {
+			if v != 0 {
+				return Outcome{Special: true, Reason: fmt.Sprintf("%s: sqrt(0) = %v, want 0", spec.Name, got)}
+			}
+		}
+		return Outcome{Special: true, OK: true, ErrBits: math.Inf(1)}
+	}
+	o := newOracle(oraclePrec)
+	exact := o.sqrt(o.fromTerms(a))
+	return checkAgainst(o, spec, exact, exact, got, thresholdSqrt(a), false)
+}
+
+// CheckRsqrt differentially tests 1/√a.
+func CheckRsqrt(spec OpSpec, a []float64) Outcome {
+	got := unary(spec.Width, kindRsqrt, a)
+	if anyNonFinite(a) {
+		return specialCollapse(spec, got)
+	}
+	if a[0] <= 0 {
+		if Collapsed(got) {
+			return Outcome{Special: true, OK: true, ErrBits: math.Inf(1)}
+		}
+		return Outcome{Special: true, Reason: fmt.Sprintf("%s: rsqrt(%g) = %v, want NaN", spec.Name, a[0], got)}
+	}
+	o := newOracle(oraclePrec)
+	exact := o.quo(o.one(), o.sqrt(o.fromTerms(a)))
+	return checkAgainst(o, spec, exact, exact, got, thresholdSqrt(a), false)
+}
+
+// CheckMulAcc differentially tests the fused s + x·y networks of
+// internal/core against the exact oracle. The scale is max(|s|, |x·y|):
+// under cancellation the result can be arbitrarily small while both the
+// fused and unfused paths legitimately discard mass at operand scale.
+func CheckMulAcc(spec OpSpec, s, x, y []float64) Outcome {
+	if anyNonFinite(s, x, y) {
+		var got []float64
+		switch spec.Width {
+		case 2:
+			z0, z1 := core.MulAcc2(s[0], s[1], x[0], x[1], y[0], y[1])
+			got = []float64{z0, z1}
+		case 3:
+			z0, z1, z2 := core.MulAcc3(s[0], s[1], s[2], x[0], x[1], x[2], y[0], y[1], y[2])
+			got = []float64{z0, z1, z2}
+		default:
+			z0, z1, z2, z3 := core.MulAcc4(s[0], s[1], s[2], s[3],
+				x[0], x[1], x[2], x[3], y[0], y[1], y[2], y[3])
+			got = []float64{z0, z1, z2, z3}
+		}
+		return specialCollapse(spec, got)
+	}
+	o := newOracle(oraclePrec)
+	ms, mx, my := o.fromTerms(s), o.fromTerms(x), o.fromTerms(y)
+	prod := o.mul(mx, my)
+	exact := o.add(ms, prod)
+	scale := o.abs(ms)
+	if ap := o.abs(prod); ap.Cmp(scale) > 0 {
+		scale = ap
+	}
+	var got []float64
+	switch spec.Width {
+	case 2:
+		z0, z1 := core.MulAcc2(s[0], s[1], x[0], x[1], y[0], y[1])
+		got = []float64{z0, z1}
+	case 3:
+		z0, z1, z2 := core.MulAcc3(s[0], s[1], s[2], x[0], x[1], x[2], y[0], y[1], y[2])
+		got = []float64{z0, z1, z2}
+	default:
+		z0, z1, z2, z3 := core.MulAcc4(s[0], s[1], s[2], s[3],
+			x[0], x[1], x[2], x[3], y[0], y[1], y[2], y[3])
+		got = []float64{z0, z1, z2, z3}
+	}
+	inTh := thresholdMul(x, y) && expRangeOK(s, -890, 1000) &&
+		(scale.IsZero() || geAbs2p(o, scale, -880))
+	nanSane := expRangeOK(s, -1100, 1000) && expRangeOK(x, -1100, 500) && expRangeOK(y, -1100, 500)
+	return checkAgainst(o, spec, exact, scale, got, inTh, nanSane)
+}
+
+// CheckCmplxMul differentially tests the complex product
+// (xr+i·xi)·(yr+i·yi) componentwise. Each component is two expansion
+// products and one addition, so its error is measured against the
+// cancellation-free mass |a·c|+|b·d| with a small unit allowance rather
+// than against the (possibly cancelled) component value.
+func CheckCmplxMul(spec OpSpec, xr, xi, yr, yi []float64) Outcome {
+	if anyNonFinite(xr, xi, yr, yi) {
+		var gotRe []float64
+		switch spec.Width {
+		case 2:
+			z := mf.Complex64x2{Re: toF2(xr), Im: toF2(xi)}.Mul(mf.Complex64x2{Re: toF2(yr), Im: toF2(yi)})
+			gotRe = z.Re[:]
+		case 3:
+			z := mf.Complex64x3{Re: toF3(xr), Im: toF3(xi)}.Mul(mf.Complex64x3{Re: toF3(yr), Im: toF3(yi)})
+			gotRe = z.Re[:]
+		default:
+			z := mf.Complex64x4{Re: toF4(xr), Im: toF4(xi)}.Mul(mf.Complex64x4{Re: toF4(yr), Im: toF4(yi)})
+			gotRe = z.Re[:]
+		}
+		return specialCollapse(spec, gotRe)
+	}
+	o := newOracle(oraclePrec)
+	mxr, mxi, myr, myi := o.fromTerms(xr), o.fromTerms(xi), o.fromTerms(yr), o.fromTerms(yi)
+	rr, ii := o.mul(mxr, myr), o.mul(mxi, myi)
+	ri, ir := o.mul(mxr, myi), o.mul(mxi, myr)
+	exactRe, exactIm := o.sub(rr, ii), o.add(ri, ir)
+	massRe, massIm := o.massOf(rr, ii), o.massOf(ri, ir)
+
+	var gotRe, gotIm []float64
+	switch spec.Width {
+	case 2:
+		z := mf.Complex64x2{Re: toF2(xr), Im: toF2(xi)}.Mul(mf.Complex64x2{Re: toF2(yr), Im: toF2(yi)})
+		gotRe, gotIm = z.Re[:], z.Im[:]
+	case 3:
+		z := mf.Complex64x3{Re: toF3(xr), Im: toF3(xi)}.Mul(mf.Complex64x3{Re: toF3(yr), Im: toF3(yi)})
+		gotRe, gotIm = z.Re[:], z.Im[:]
+	default:
+		z := mf.Complex64x4{Re: toF4(xr), Im: toF4(xi)}.Mul(mf.Complex64x4{Re: toF4(yr), Im: toF4(yi)})
+		gotRe, gotIm = z.Re[:], z.Im[:]
+	}
+	inTh := thresholdMul(xr, yr) && thresholdMul(xi, yi) &&
+		thresholdMul(xr, yi) && thresholdMul(xi, yr)
+	re := checkAgainst(o, spec, exactRe, massRe, gotRe, inTh && !massRe.IsZero(), false)
+	im := checkAgainst(o, spec, exactIm, massIm, gotIm, inTh && !massIm.IsZero(), false)
+	if !re.OK {
+		return re
+	}
+	if !im.OK {
+		return im
+	}
+	worst := re
+	if im.ErrUnits > re.ErrUnits {
+		worst = im
+	}
+	worst.InThreshold = re.InThreshold && im.InThreshold
+	return worst
+}
+
+// CheckEncode tests the Marshal→Unmarshal round trip. For canonical
+// expansions whose bit span fits the 480-bit conversion precision the
+// round trip must be bit-identical termwise; wider spans (huge exponent
+// gaps) are value-checked and recorded as edge cases (the documented
+// MarshalText working-precision cap; see TESTING.md).
+func CheckEncode(spec OpSpec, x []float64) Outcome {
+	n := spec.Width
+	if anyNonFinite(x) && !Collapsed(x) {
+		// A non-finite tail under a finite lead is not a representable
+		// value; the encoding contract does not cover it.
+		return Outcome{Special: true, OK: true, ErrBits: math.Inf(1)}
+	}
+	var text []byte
+	var back []float64
+	var err error
+	switch n {
+	case 2:
+		text, err = toF2(x).MarshalText()
+		if err == nil {
+			var y mf.Float64x2
+			err = y.UnmarshalText(text)
+			back = y[:]
+		}
+	case 3:
+		text, err = toF3(x).MarshalText()
+		if err == nil {
+			var y mf.Float64x3
+			err = y.UnmarshalText(text)
+			back = y[:]
+		}
+	default:
+		text, err = toF4(x).MarshalText()
+		if err == nil {
+			var y mf.Float64x4
+			err = y.UnmarshalText(text)
+			back = y[:]
+		}
+	}
+	if err != nil {
+		return fail(math.Inf(1), math.Inf(-1), true,
+			fmt.Sprintf("encode%d: round trip of %v failed: %v", n, x, err))
+	}
+	if Collapsed(x) {
+		if math.IsNaN(x[0]) != math.IsNaN(back[0]) || math.IsInf(x[0], 1) != math.IsInf(back[0], 1) ||
+			math.IsInf(x[0], -1) != math.IsInf(back[0], -1) {
+			return Outcome{Special: true, Reason: fmt.Sprintf("encode%d: special %v -> %q -> %v", n, x, text, back)}
+		}
+		return Outcome{Special: true, OK: true, ErrBits: math.Inf(1)}
+	}
+	if x[0] == 0 && math.Signbit(x[0]) {
+		// Negative zero must round-trip its sign.
+		if back[0] == 0 && math.Signbit(back[0]) {
+			return Outcome{Special: true, OK: true, ErrBits: math.Inf(1)}
+		}
+		return Outcome{Special: true, Reason: fmt.Sprintf("encode%d: -0 -> %q -> %v lost the sign", n, text, back)}
+	}
+	// Unmarshal re-derives the greedy canonical decomposition of the
+	// value, so the round trip must be bit-identical to Canon(x) — which
+	// is x itself when x was canonical — whenever the bit span fits the
+	// 480-bit conversion precision.
+	canon, _ := Canon(n, x)
+	span := 0
+	if x[0] != 0 {
+		span = leadExp(x) - (minNonzeroExp(x) - 53)
+	}
+	inTh := span <= 470
+	bitIdentical := true
+	for i := range back {
+		if math.Float64bits(canon[i]) != math.Float64bits(back[i]) {
+			bitIdentical = false
+		}
+	}
+	if bitIdentical {
+		return exactOutcome(inTh)
+	}
+	if inTh {
+		return fail(math.Inf(1), math.Inf(-1), true,
+			fmt.Sprintf("encode%d: %v -> %q -> %v, want canonical %v", n, x, text, back, canon))
+	}
+	// Wide spans: record the value error without enforcing (MarshalText's
+	// documented working-precision cap).
+	o := newOracle(oraclePrec)
+	exact := o.fromTerms(x)
+	units, bits := o.errAgainst(exact, exact, back, 0)
+	return pass(units, bits, false)
+}

@@ -1,0 +1,205 @@
+package mf
+
+// Focused tests for Cmplx.Div, Abs, and AbsSq across all three widths:
+// exact small cases, randomized inversion properties with width-scaled
+// error floors, and the conjugate-formula algebra (AbsSq vs z·z̄).
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// relErrBelow reports whether |got - want| ≤ |want|·2^-bits, evaluated
+// in big.Float so huge and tiny scales don't overflow.
+func relErrBelow(got, want *big.Float, bits int) bool {
+	diff := new(big.Float).SetPrec(bigPrec).Sub(got, want)
+	if diff.Sign() == 0 {
+		return true
+	}
+	if want.Sign() == 0 {
+		return false
+	}
+	diff.Abs(diff)
+	tol := new(big.Float).SetPrec(bigPrec).Abs(want)
+	tol.SetMantExp(tol, tol.MantExp(nil)-bits)
+	return diff.Cmp(tol) <= 0
+}
+
+// divErrFloor is the per-width relative-error floor (bits) for the
+// conjugate-formula division: the underlying Div carries ~2n·p-ish
+// accuracy (the measured floors of internal/core), and the complex
+// formula stacks two multiplications and an addition on top, costing a
+// few bits; these floors leave that margin.
+var divErrFloor = map[int]int{2: 92, 3: 142, 4: 192}
+
+func TestComplexDivExactCases(t *testing.T) {
+	one := NewComplex[Float64x2, float64](New2(1.0), New2(0.0))
+	i2 := NewComplex[Float64x2, float64](New2(0.0), New2(1.0))
+
+	// 1/i = -i, exactly: the conjugate formula divides (0,-1) by |i|²=1.
+	q := one.Div(i2)
+	if !q.Re.IsZero() || !q.Im.Eq(New2(-1.0)) {
+		t.Errorf("1/i = (%v, %v), want (0, -1)", q.Re, q.Im)
+	}
+	// z/1 = z with both parts exact.
+	z := NewComplex[Float64x2, float64](New2(3.5), New2(-0.25))
+	q = z.Div(one)
+	if !q.Re.Eq(z.Re) || !q.Im.Eq(z.Im) {
+		t.Errorf("z/1 = (%v, %v)", q.Re, q.Im)
+	}
+	// (-5+10i)/(1+2i) = 3+4i, exactly representable (checked to the F2
+	// error floor; the quotient is a Gaussian integer).
+	num := NewComplex[Float64x2, float64](New2(-5.0), New2(10.0))
+	den := NewComplex[Float64x2, float64](New2(1.0), New2(2.0))
+	q = num.Div(den)
+	if f, _ := q.Re.AddFloat(-3).Big().Float64(); math.Abs(f) > 0x1p-92 {
+		t.Errorf("Re((-5+10i)/(1+2i)) - 3 = %g", f)
+	}
+	if f, _ := q.Im.AddFloat(-4).Big().Float64(); math.Abs(f) > 0x1p-92 {
+		t.Errorf("Im((-5+10i)/(1+2i)) - 4 = %g", f)
+	}
+}
+
+// randCmplx3 builds a 3-term complex value with two-level parts.
+func randCmplx3(rng *rand.Rand) Cmplx[Float64x3, float64] {
+	part := func() Float64x3 {
+		return New3(rng.NormFloat64()).
+			AddFloat(rng.NormFloat64() * 0x1p-55).
+			AddFloat(rng.NormFloat64() * 0x1p-110)
+	}
+	return NewComplex[Float64x3, float64](part(), part())
+}
+
+// errBelowScale reports |got - want| ≤ scale·2^-bits: the right metric
+// when the component can be much smaller than the vector (complex
+// arithmetic mixes components, so errors live at the NORM's scale, not
+// each component's own).
+func errBelowScale(got, want, scale *big.Float, bits int) bool {
+	diff := new(big.Float).SetPrec(bigPrec).Sub(got, want)
+	if diff.Sign() == 0 {
+		return true
+	}
+	if scale.Sign() == 0 {
+		return false
+	}
+	diff.Abs(diff)
+	tol := new(big.Float).SetPrec(bigPrec).Abs(scale)
+	tol.SetMantExp(tol, tol.MantExp(nil)-bits)
+	return diff.Cmp(tol) <= 0
+}
+
+// normScale returns max(|Re|, |Im|) as the component error scale.
+func normScale(re, im *big.Float) *big.Float {
+	a := new(big.Float).SetPrec(bigPrec).Abs(re)
+	b := new(big.Float).SetPrec(bigPrec).Abs(im)
+	if a.Cmp(b) >= 0 {
+		return a
+	}
+	return b
+}
+
+// TestComplexDivInvertsMul: (z·w)/w ≈ z to the width's error floor at
+// the scale of ‖z‖, on randomized inputs.
+func TestComplexDivInvertsMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 2000; i++ {
+		z := randCmplx3(rng)
+		w := randCmplx3(rng)
+		if w.AbsSq().IsZero() {
+			continue
+		}
+		got := z.Mul(w).Div(w)
+		scale := normScale(z.Re.Big(), z.Im.Big())
+		if !errBelowScale(got.Re.Big(), z.Re.Big(), scale, divErrFloor[3]) {
+			t.Fatalf("case %d: Re((zw)/w) = %v, want %v", i, got.Re, z.Re)
+		}
+		if !errBelowScale(got.Im.Big(), z.Im.Big(), scale, divErrFloor[3]) {
+			t.Fatalf("case %d: Im((zw)/w) = %v, want %v", i, got.Im, z.Im)
+		}
+	}
+}
+
+// TestComplexDivSelf: z/z = 1 to the error floor, for all widths.
+func TestComplexDivSelf(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	one := new(big.Float).SetPrec(bigPrec).SetInt64(1)
+	for i := 0; i < 500; i++ {
+		re, im := rng.NormFloat64(), rng.NormFloat64()
+		{
+			z := NewComplex[Float64x2, float64](New2(re), New2(im))
+			q := z.Div(z)
+			if !relErrBelow(q.Re.Big(), one, divErrFloor[2]) {
+				t.Fatalf("F2 z/z re = %v", q.Re)
+			}
+		}
+		{
+			z := NewComplex[Float64x4, float64](New4(re), New4(im))
+			q := z.Div(z)
+			if !relErrBelow(q.Re.Big(), one, divErrFloor[4]) {
+				t.Fatalf("F4 z/z re = %v", q.Re)
+			}
+			if f, _ := q.Im.Big().Float64(); math.Abs(f) > 0x1p-190 {
+				t.Fatalf("F4 z/z im = %g", f)
+			}
+		}
+	}
+}
+
+// TestComplexAbsSqMatchesConjProduct: AbsSq computes re²+im² with the
+// same networks as Re(z·z̄); the two must agree exactly (the §4.2
+// commutativity property makes both cancellation-free).
+func TestComplexAbsSqMatchesConjProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 5000; i++ {
+		z := randCmplx3(rng)
+		a := z.AbsSq()
+		b := z.Mul(z.Conj()).Re
+		if !a.Eq(b) {
+			t.Fatalf("AbsSq %v != Re(z·z̄) %v for z = (%v, %v)", a, b, z.Re, z.Im)
+		}
+	}
+}
+
+// TestComplexAbsAgainstReference: |z| vs big.Float sqrt(re²+im²), with
+// Pythagorean-triple exacts as anchors.
+func TestComplexAbsAgainstReference(t *testing.T) {
+	// 3-4-5 and 5-12-13 triples: |z| is an exact integer.
+	for _, c := range []struct{ re, im, abs float64 }{
+		{3, 4, 5}, {5, 12, 13}, {-8, 15, 17}, {20, -21, 29},
+	} {
+		z := NewComplex[Float64x4, float64](New4(c.re), New4(c.im))
+		if f, _ := z.Abs().AddFloat(-c.abs).Big().Float64(); math.Abs(f) > 0x1p-195 {
+			t.Errorf("|%g%+gi| - %g = %g", c.re, c.im, c.abs, f)
+		}
+	}
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 500; i++ {
+		z := randCmplx3(rng)
+		want := new(big.Float).SetPrec(bigPrec)
+		want.Sqrt(new(big.Float).SetPrec(bigPrec).Add(
+			new(big.Float).SetPrec(bigPrec).Mul(z.Re.Big(), z.Re.Big()),
+			new(big.Float).SetPrec(bigPrec).Mul(z.Im.Big(), z.Im.Big()),
+		))
+		if !relErrBelow(z.Abs().Big(), want, 145) {
+			t.Fatalf("case %d: |z| = %v, want %v", i, z.Abs(), want)
+		}
+	}
+}
+
+// TestComplexDivSpecials: the scalar §4.4 collapse carries over — a zero
+// denominator or non-finite part poisons both quotient components.
+func TestComplexDivSpecials(t *testing.T) {
+	z := NewComplex[Float64x2, float64](New2(1.0), New2(2.0))
+	zeroDen := NewComplex[Float64x2, float64](New2(0.0), New2(0.0))
+	q := z.Div(zeroDen)
+	if !q.Re.IsNaN() || !q.Im.IsNaN() {
+		t.Errorf("z/0 = (%v, %v), want NaN components", q.Re, q.Im)
+	}
+	infDen := NewComplex[Float64x2, float64](New2(math.Inf(1)), New2(0.0))
+	q = z.Div(infDen)
+	if !q.Re.IsNaN() || !q.Im.IsNaN() {
+		t.Errorf("z/Inf = (%v, %v), want NaN components", q.Re, q.Im)
+	}
+}

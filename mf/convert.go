@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+	"strings"
 )
 
 // Decimal digits carried by each format on a float64 base: enough to make
@@ -52,12 +53,41 @@ func fromBig[T Float](c *big.Float, out []T) {
 		} else {
 			f, _ = rem.Float64()
 		}
+		if f == 0 && i > 0 {
+			// Exhausted (or underflowed) remainder: leave the tail +0
+			// rather than storing a -0 from a negative residue.
+			return
+		}
 		out[i] = T(f)
 		if f == 0 || math.IsInf(f, 0) {
 			return
 		}
 		rem.Sub(rem, tmp.SetFloat64(f))
 	}
+}
+
+// exactDigits returns a decimal digit count sufficient to represent c
+// EXACTLY. Every finite expansion value is a dyadic rational m·2^b; its
+// decimal expansion terminates after ≈ 0.302·top + |min(b,0)| significant
+// digits (top = c's binary exponent). The shortest-unique mode
+// (Text('g', -1)) is NOT enough here: it only guarantees uniqueness among
+// bigPrec-bit values, and the reparse residue — though below 2^-470
+// relative — is representable as a float64 tail term and would break
+// bit-identical round trips.
+func exactDigits(c *big.Float) int {
+	if c.Sign() == 0 {
+		return 3
+	}
+	top := c.MantExp(nil)
+	bottom := top - int(c.MinPrec())
+	d := int(0.30104*float64(top)) + 12
+	if bottom < 0 {
+		d -= bottom
+	}
+	if d < 17 {
+		d = 17
+	}
+	return d
 }
 
 // Big returns the exact value of x as a big.Float.
@@ -144,9 +174,22 @@ func spanDigits[T Float](terms []T) int {
 	return int(float64(span)*0.30103) + 6
 }
 
-// Parse2 parses a decimal string into an F2.
+// isNaNString matches the NaN spelling emitted by marshalExact (and the
+// usual case variants). big.Float has no NaN, so parsing handles it
+// before the big.Float path.
+func isNaNString(s string) bool {
+	return strings.EqualFold(strings.TrimSpace(s), "NaN")
+}
+
+// Parse2 parses a decimal string into an F2. The special-value spellings
+// produced by MarshalText ("NaN", "+Inf", "-Inf", "-0") parse back to the
+// corresponding collapsed values.
 func Parse2[T Float](s string) (F2[T], error) {
 	var z F2[T]
+	if isNaNString(s) {
+		z[0] = T(math.NaN())
+		return z, nil
+	}
 	c, ok := new(big.Float).SetPrec(bigPrec).SetString(s)
 	if !ok {
 		return z, fmt.Errorf("mf: cannot parse %q", s)
@@ -155,9 +198,14 @@ func Parse2[T Float](s string) (F2[T], error) {
 	return z, nil
 }
 
-// Parse3 parses a decimal string into an F3.
+// Parse3 parses a decimal string into an F3; see Parse2 for the
+// special-value spellings.
 func Parse3[T Float](s string) (F3[T], error) {
 	var z F3[T]
+	if isNaNString(s) {
+		z[0] = T(math.NaN())
+		return z, nil
+	}
 	c, ok := new(big.Float).SetPrec(bigPrec).SetString(s)
 	if !ok {
 		return z, fmt.Errorf("mf: cannot parse %q", s)
@@ -166,9 +214,14 @@ func Parse3[T Float](s string) (F3[T], error) {
 	return z, nil
 }
 
-// Parse4 parses a decimal string into an F4.
+// Parse4 parses a decimal string into an F4; see Parse2 for the
+// special-value spellings.
 func Parse4[T Float](s string) (F4[T], error) {
 	var z F4[T]
+	if isNaNString(s) {
+		z[0] = T(math.NaN())
+		return z, nil
+	}
 	c, ok := new(big.Float).SetPrec(bigPrec).SetString(s)
 	if !ok {
 		return z, fmt.Errorf("mf: cannot parse %q", s)

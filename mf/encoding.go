@@ -1,11 +1,12 @@
 package mf
 
-// Text and JSON encoding. Values marshal with the shortest decimal string
-// that identifies the exact value (big.Float's round-trip mode at the
-// conversion working precision), so a marshal/unmarshal round trip is
-// value-exact for any expansion whose bit span fits the working precision
-// (480 bits — far beyond the formats' nominal spans). String() uses the
-// fixed display budgets instead and may round.
+// Text and JSON encoding. Values marshal as the EXACT decimal expansion
+// of the value (every finite expansion is a dyadic rational, so the
+// decimal terminates), making a marshal/unmarshal round trip
+// bit-identical to the canonical decomposition for any expansion whose
+// bit span fits the conversion working precision (480 bits — far beyond
+// the formats' nominal spans), including subnormals and -0. String() uses
+// the fixed display budgets instead and may round.
 
 import "math"
 
@@ -20,8 +21,13 @@ func marshalExact[T Float](terms []T) ([]byte, error) {
 		return []byte("+Inf"), nil
 	case math.IsInf(lead, -1):
 		return []byte("-Inf"), nil
+	case lead == 0 && math.Signbit(lead):
+		// toBig skips zero terms, which would fold -0 into +0; emit the
+		// sign explicitly so the round trip is bit-exact.
+		return []byte("-0"), nil
 	}
-	return []byte(toBig(terms).Text('g', -1)), nil
+	c := toBig(terms)
+	return []byte(c.Text('g', exactDigits(c))), nil
 }
 
 // MarshalText implements encoding.TextMarshaler.

@@ -1,0 +1,204 @@
+package mf
+
+// Property tests for the exact-decimal encoding: a marshal/unmarshal
+// round trip must reproduce the value EXACTLY (not merely to within the
+// format's precision), and — because unmarshalling always produces the
+// canonical greedy decomposition — a second round trip must be a bit-
+// identical fixpoint. The fuzz target FuzzEncode in fuzz_test.go drives
+// the same properties on adversarial inputs; these deterministic tests
+// pin the regimes that have broken before: wide-magnitude leads whose
+// shortest-unique decimal did not reparse exactly, subnormal leads that
+// picked up -0 tail terms, negative zero, and NaN.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bits4 exposes term bit patterns so -0 vs +0 and NaN payloads compare
+// exactly.
+func bits4(x Float64x4) [4]uint64 {
+	var b [4]uint64
+	for i, v := range x {
+		b[i] = math.Float64bits(v)
+	}
+	return b
+}
+
+// roundTrip4 marshals and unmarshals, failing the test on any error.
+func roundTrip4(t *testing.T, x Float64x4) Float64x4 {
+	t.Helper()
+	raw, err := x.MarshalText()
+	if err != nil {
+		t.Fatalf("marshal %v: %v", x, err)
+	}
+	var y Float64x4
+	if err := y.UnmarshalText(raw); err != nil {
+		t.Fatalf("unmarshal %q: %v", raw, err)
+	}
+	return y
+}
+
+// TestEncodeRoundTripIsExactAndIdempotent: one trip is value-exact, two
+// trips are bit-identical, across the full float64 exponent range.
+func TestEncodeRoundTripIsExactAndIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		// Leads across ±2^±300; tails at the canonical ~2^-53 spacing and
+		// occasionally far below (gap expansions exceed the nominal span).
+		lead := rng.NormFloat64() * math.Ldexp(1, rng.Intn(600)-300)
+		x := New4(lead).
+			AddFloat(rng.NormFloat64() * math.Abs(lead) * 0x1p-55).
+			AddFloat(rng.NormFloat64() * math.Abs(lead) * 0x1p-110).
+			AddFloat(rng.NormFloat64() * math.Abs(lead) * 0x1p-165)
+		y := roundTrip4(t, x)
+		if !x.Eq(y) {
+			t.Fatalf("case %d: round trip changed value: %v -> %v", i, x, y)
+		}
+		z := roundTrip4(t, y)
+		if bits4(y) != bits4(z) {
+			t.Fatalf("case %d: round trip not a fixpoint: %v -> %v", i, y, z)
+		}
+	}
+}
+
+// TestEncodeWideLead reproduces the shortest-decimal bug found by
+// differential fuzzing: for values near the top of the float64 range,
+// big.Float's shortest-unique rendering at the conversion precision does
+// not reparse to the same value, and the residue (≈2^-480 relative) is
+// itself representable as a tail term. The fix renders the EXACT decimal.
+func TestEncodeWideLead(t *testing.T) {
+	cases := []Float64x4{
+		{1.431945195923748e+250, 0, 0, 0}, // the original fuzz counterexample
+		{0x1p+1000, 0, 0, 0},
+		{-0x1.fffffffffffffp+1023, 0, 0, 0}, // -MaxFloat64
+		{0x1p+1000, 0x1p+945, 0, 0},
+	}
+	for _, x := range cases {
+		y := roundTrip4(t, x)
+		if bits4(x) != bits4(y) {
+			t.Errorf("wide lead %v round-tripped to %v", x, y)
+		}
+	}
+}
+
+// TestEncodeSubnormals: subnormal leads and subnormal tails round trip
+// bit-exactly; a negative residue below the subnormal range must not
+// leave a -0 tail term (the second fuzz-found bug).
+func TestEncodeSubnormals(t *testing.T) {
+	cases := []Float64x4{
+		{5e-324, 0, 0, 0}, // minimum subnormal
+		{-5e-324, 0, 0, 0},
+		{2.2250738585072014e-308, 0, 0, 0}, // smallest normal
+		{1.8227805048890994e-304, 0, 0, 0}, // near the subnormal boundary
+		// Normal lead with a subnormal tail, within the 480-bit conversion
+		// span (1 + 2^-1074 would exceed it and is out of domain).
+		{0x1p-700, 5e-324, 0, 0},
+		{-0x1p-700, -5e-324, 0, 0},
+	}
+	for _, x := range cases {
+		y := roundTrip4(t, x)
+		if bits4(x) != bits4(y) {
+			t.Errorf("subnormal %v round-tripped to %v (bits %x vs %x)", x, y, bits4(x), bits4(y))
+		}
+		for i, term := range y {
+			if term == 0 && math.Signbit(term) && !(x[i] == 0 && math.Signbit(x[i])) {
+				t.Errorf("round trip of %v introduced -0 at term %d", x, i)
+			}
+		}
+	}
+}
+
+// TestEncodeSpecials: the special-value spellings survive a round trip
+// with their identity (sign of zero, sign of infinity, NaN-ness) intact.
+func TestEncodeSpecials(t *testing.T) {
+	negZero := math.Copysign(0, -1)
+
+	for _, c := range []struct {
+		in   Float64x2
+		text string
+	}{
+		{Float64x2{0, 0}, "0"},
+		{Float64x2{negZero, 0}, "-0"},
+		{Float64x2{math.Inf(1), 0}, "+Inf"},
+		{Float64x2{math.Inf(-1), 0}, "-Inf"},
+	} {
+		raw, err := c.in.MarshalText()
+		if err != nil {
+			t.Fatalf("marshal %v: %v", c.in, err)
+		}
+		if string(raw) != c.text {
+			t.Errorf("marshal %v = %q, want %q", c.in, raw, c.text)
+		}
+		var y Float64x2
+		if err := y.UnmarshalText(raw); err != nil {
+			t.Fatalf("unmarshal %q: %v", raw, err)
+		}
+		if math.Float64bits(y[0]) != math.Float64bits(c.in[0]) {
+			t.Errorf("round trip %q: lead %x, want %x", raw, math.Float64bits(y[0]), math.Float64bits(c.in[0]))
+		}
+	}
+
+	// NaN: spelling is exact, round trip preserves NaN-ness (payload is
+	// not specified), and case variants parse.
+	raw, err := Float64x2{math.NaN(), 0}.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "NaN" {
+		t.Errorf("marshal NaN = %q", raw)
+	}
+	for _, s := range []string{"NaN", "nan", " NaN "} {
+		var y Float64x3
+		if err := y.UnmarshalText([]byte(s)); err != nil {
+			t.Fatalf("unmarshal %q: %v", s, err)
+		}
+		if !y.IsNaN() {
+			t.Errorf("unmarshal %q = %v, want NaN", s, y)
+		}
+	}
+}
+
+// TestEncodeGapExpansions: terms separated by exponent gaps far beyond
+// the format's nominal 4·53-bit span still round trip exactly as long as
+// the total bit span fits the conversion precision.
+func TestEncodeGapExpansions(t *testing.T) {
+	cases := []Float64x4{
+		{1, 0x1p-120, 0, 0},
+		{1, 0x1p-200, 0x1p-300, 0},
+		{0x1p+100, 0x1p-100, 0x1p-250, 0},
+		{1, -0x1p-300, 0, 0},
+	}
+	for _, x := range cases {
+		y := roundTrip4(t, x)
+		if bits4(x) != bits4(y) {
+			t.Errorf("gap expansion %v round-tripped to %v", x, y)
+		}
+	}
+}
+
+// TestExactDigitsSufficient cross-checks the digit-count bound used by
+// marshalExact directly: for adversarial dyadic rationals the rendered
+// decimal, reparsed at full precision, must be exactly the input.
+func TestExactDigitsSufficient(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		v := rng.NormFloat64() * math.Ldexp(1, rng.Intn(2040)-1020)
+		if v == 0 || math.IsInf(v, 0) {
+			continue
+		}
+		x := Float64x2{v, 0}
+		raw, err := x.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var y Float64x2
+		if err := y.UnmarshalText(raw); err != nil {
+			t.Fatalf("unmarshal %q: %v", raw, err)
+		}
+		if math.Float64bits(y[0]) != math.Float64bits(v) || y[1] != 0 {
+			t.Fatalf("case %d: %x reparsed as %v from %q", i, math.Float64bits(v), y, raw)
+		}
+	}
+}

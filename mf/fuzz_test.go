@@ -1,0 +1,135 @@
+package mf_test
+
+// Native fuzz targets for the public mf arithmetic, driven by the
+// differential harness in internal/diffuzz: every execution cross-checks
+// all three widths against the exact mpfloat oracle and enforces the
+// per-op bound (in-threshold), the §4.4 special-value collapse contract,
+// and edge-case sanity. Run one with
+//
+//	go test -fuzz=FuzzAdd -fuzztime=30s ./mf
+//
+// Seeds under testdata/fuzz are worst cases discovered by cmd/mffuzz
+// campaigns; they replay in every plain `go test` run. See TESTING.md.
+
+import (
+	"math"
+	"testing"
+
+	"multifloats/internal/diffuzz"
+)
+
+// specsFor returns the registry specs named prefix2..prefix4.
+func specsFor(t testing.TB, prefix string) map[int]diffuzz.OpSpec {
+	t.Helper()
+	out := map[int]diffuzz.OpSpec{}
+	for _, s := range diffuzz.Ops() {
+		if s.Name == prefix+string(rune('0'+s.Width)) {
+			out[s.Width] = s
+		}
+	}
+	if len(out) != 3 {
+		t.Fatalf("registry is missing %s ops: %v", prefix, out)
+	}
+	return out
+}
+
+func seedPairs(f *testing.F) {
+	f.Add(1.0, 0x1p-53, 0.0, 0.0, -1.0, 0x1p-54, 0.0, 0.0)                    // catastrophic cancellation
+	f.Add(0x1p900, 0x1p847, 0x1p794, 0x1p741, -0x1p900, 0.0, 0.0, 0.0)        // near-overflow ladder
+	f.Add(0x1p-1000, 0x1p-1060, 0.0, 0.0, 0x1p-1074, 0.0, 0.0, 0.0)           // subnormal regime
+	f.Add(math.Pi, 1.2246467991473532e-16, 0.0, 0.0, math.E, 1e-18, 0.0, 0.0) // garden-variety
+	f.Add(math.NaN(), 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0)                      // special contract
+	f.Add(math.Inf(1), 0.0, 0.0, 0.0, math.Inf(-1), 0.0, 0.0, 0.0)            // Inf - Inf
+}
+
+func FuzzAdd(f *testing.F) {
+	seedPairs(f)
+	addSpecs := specsFor(f, "add")
+	subSpecs := specsFor(f, "sub")
+	f.Fuzz(func(t *testing.T, x0, x1, x2, x3, y0, y1, y2, y3 float64) {
+		xs := []float64{x0, x1, x2, x3}
+		ys := []float64{y0, y1, y2, y3}
+		for n := 2; n <= 4; n++ {
+			x, y := diffuzz.Operand(n, xs), diffuzz.Operand(n, ys)
+			if out := diffuzz.CheckAdd(addSpecs[n], x, y); !out.OK {
+				t.Fatal(out.Reason)
+			}
+			if out := diffuzz.CheckSub(subSpecs[n], x, y); !out.OK {
+				t.Fatal(out.Reason)
+			}
+		}
+	})
+}
+
+func FuzzMul(f *testing.F) {
+	seedPairs(f)
+	specs := specsFor(f, "mul")
+	f.Fuzz(func(t *testing.T, x0, x1, x2, x3, y0, y1, y2, y3 float64) {
+		xs := []float64{x0, x1, x2, x3}
+		ys := []float64{y0, y1, y2, y3}
+		for n := 2; n <= 4; n++ {
+			if out := diffuzz.CheckMul(specs[n], diffuzz.Operand(n, xs), diffuzz.Operand(n, ys)); !out.OK {
+				t.Fatal(out.Reason)
+			}
+		}
+	})
+}
+
+func FuzzDiv(f *testing.F) {
+	seedPairs(f)
+	f.Add(1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0) // zero divisor
+	f.Add(1.0, 0x1p-53, 0.0, 0.0, 3.0, 0x1p-52, 0.0, 0.0)
+	divSpecs := specsFor(f, "div")
+	recipSpecs := specsFor(f, "recip")
+	f.Fuzz(func(t *testing.T, b0, b1, b2, b3, a0, a1, a2, a3 float64) {
+		bs := []float64{b0, b1, b2, b3}
+		as := []float64{a0, a1, a2, a3}
+		for n := 2; n <= 4; n++ {
+			b, a := diffuzz.Operand(n, bs), diffuzz.Operand(n, as)
+			if out := diffuzz.CheckDiv(divSpecs[n], b, a); !out.OK {
+				t.Fatal(out.Reason)
+			}
+			if out := diffuzz.CheckRecip(recipSpecs[n], a); !out.OK {
+				t.Fatal(out.Reason)
+			}
+		}
+	})
+}
+
+func FuzzSqrt(f *testing.F) {
+	f.Add(2.0, 0x1p-52, 0.0, 0.0)
+	f.Add(-1.0, 0.0, 0.0, 0.0) // negative: NaN contract
+	f.Add(0.0, 0.0, 0.0, 0.0)  // zero: exact zero
+	f.Add(0x1p600, 0x1p546, 0.0, 0.0)
+	f.Add(math.Inf(1), 0.0, 0.0, 0.0)
+	sqrtSpecs := specsFor(f, "sqrt")
+	rsqrtSpecs := specsFor(f, "rsqrt")
+	f.Fuzz(func(t *testing.T, a0, a1, a2, a3 float64) {
+		as := []float64{a0, a1, a2, a3}
+		for n := 2; n <= 4; n++ {
+			a := diffuzz.Operand(n, as)
+			if out := diffuzz.CheckSqrt(sqrtSpecs[n], a); !out.OK {
+				t.Fatal(out.Reason)
+			}
+			if out := diffuzz.CheckRsqrt(rsqrtSpecs[n], a); !out.OK {
+				t.Fatal(out.Reason)
+			}
+		}
+	})
+}
+
+func FuzzEncode(f *testing.F) {
+	f.Add(math.Pi, 1.2246467991473532e-16, 0.0, 0.0)
+	f.Add(math.Copysign(0, -1), 0.0, 0.0, 0.0)
+	f.Add(math.NaN(), 0.0, 0.0, 0.0)
+	f.Add(1.0, 0x1p-500, 0x1p-1060, 0.0) // span beyond the 480-bit cap
+	specs := specsFor(f, "encode")
+	f.Fuzz(func(t *testing.T, a0, a1, a2, a3 float64) {
+		as := []float64{a0, a1, a2, a3}
+		for n := 2; n <= 4; n++ {
+			if out := diffuzz.CheckEncode(specs[n], diffuzz.Operand(n, as)); !out.OK {
+				t.Fatal(out.Reason)
+			}
+		}
+	})
+}

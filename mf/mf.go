@@ -22,6 +22,8 @@
 package mf
 
 import (
+	"math"
+
 	"multifloats/internal/core"
 	"multifloats/internal/eft"
 )
@@ -145,6 +147,11 @@ func (x F2[T]) Sign() int { return x.Cmp(F2[T]{}) }
 // IsZero reports whether x is exactly zero.
 func (x F2[T]) IsZero() bool { return x[0] == 0 && x[1] == 0 }
 
+// IsNaN reports whether x is the NaN collapse state (§4.4): any special
+// operand — NaN, ±Inf, a zero divisor, a negative square-root argument —
+// collapses the whole result to NaN.
+func (x F2[T]) IsNaN() bool { return math.IsNaN(float64(x[0])) }
+
 // Float returns the nearest machine number (the leading term, by the
 // nonoverlap invariant).
 func (x F2[T]) Float() T { return x[0] }
@@ -232,6 +239,9 @@ func (x F3[T]) Sign() int { return x.Cmp(F3[T]{}) }
 
 // IsZero reports whether x is exactly zero.
 func (x F3[T]) IsZero() bool { return x[0] == 0 && x[1] == 0 && x[2] == 0 }
+
+// IsNaN reports whether x is the NaN collapse state (§4.4).
+func (x F3[T]) IsNaN() bool { return math.IsNaN(float64(x[0])) }
 
 // Float returns the nearest machine number.
 func (x F3[T]) Float() T { return x[0] }
@@ -321,6 +331,9 @@ func (x F4[T]) Sign() int { return x.Cmp(F4[T]{}) }
 func (x F4[T]) IsZero() bool {
 	return x[0] == 0 && x[1] == 0 && x[2] == 0 && x[3] == 0
 }
+
+// IsNaN reports whether x is the NaN collapse state (§4.4).
+func (x F4[T]) IsNaN() bool { return math.IsNaN(float64(x[0])) }
 
 // Float returns the nearest machine number.
 func (x F4[T]) Float() T { return x[0] }

@@ -78,6 +78,120 @@ func TestModf(t *testing.T) {
 	}
 }
 
+// TestRoundNegativeZero: ±0 is integral; every directed rounding must
+// return a value equal to zero (the sign of the zero is not specified,
+// but the result must not drift to ±1).
+func TestRoundNegativeZero(t *testing.T) {
+	negz := math.Copysign(0, -1)
+	for _, x := range []Float64x2{New2(0.0), New2(negz)} {
+		for name, got := range map[string]Float64x2{
+			"Floor": x.Floor(), "Ceil": x.Ceil(), "Trunc": x.Trunc(), "Round": x.Round(),
+		} {
+			if !got.IsZero() {
+				t.Errorf("%s(%v) = %v, want zero", name, x, got)
+			}
+		}
+	}
+	// F3/F4 as well.
+	if got := New3(negz).Floor(); !got.IsZero() {
+		t.Errorf("F3 Floor(-0) = %v", got)
+	}
+	if got := New4(negz).Round(); !got.IsZero() {
+		t.Errorf("F4 Round(-0) = %v", got)
+	}
+}
+
+// TestRoundTieEdges: exact ties round away from zero; values one tiny
+// expansion-ulp off a tie (far below float64 resolution) round toward
+// the nearest integer. This is the edge the cascading Floor must get
+// right: the tie-breaking information lives in a tail term.
+func TestRoundTieEdges(t *testing.T) {
+	eps := 0x1p-100
+	cases := []struct {
+		x    Float64x3
+		want float64
+	}{
+		{New3(2.5), 3}, // exact tie, away from zero
+		{New3(-2.5), -3},
+		{New3(2.5).AddFloat(eps), 3},  // just above the tie
+		{New3(2.5).AddFloat(-eps), 2}, // just below: tail term decides
+		{New3(-2.5).AddFloat(-eps), -3},
+		{New3(-2.5).AddFloat(eps), -2},
+		{New3(0.5), 1},
+		{New3(-0.5), -1},
+		{New3(0.5).AddFloat(-eps), 0},
+		{New3(-0.5).AddFloat(eps), 0},
+	}
+	for _, c := range cases {
+		if got := c.x.Round(); got.Float() != c.want {
+			t.Errorf("Round(%v) = %v, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+// TestRoundLastUlpBelowInteger: n - 2^-k for k far beyond the leading
+// term's precision — Floor must see the negative tail and step down,
+// Ceil must absorb it, and Trunc must match the sign convention. The
+// last-ulp case uses the smallest subnormal as the tail.
+func TestRoundLastUlpBelowInteger(t *testing.T) {
+	n := New2(1.0)
+	// 1 - 2^-540: representable as the pair (1, -0x1p-540).
+	justBelow := n.AddFloat(-0x1p-540)
+	if got := justBelow.Floor(); got.Float() != 0 {
+		t.Errorf("Floor(1 - 2^-540) = %v, want 0", got)
+	}
+	if got := justBelow.Ceil(); !got.Eq(n) {
+		t.Errorf("Ceil(1 - 2^-540) = %v, want 1", got)
+	}
+	if got := justBelow.Trunc(); got.Float() != 0 {
+		t.Errorf("Trunc(1 - 2^-540) = %v, want 0", got)
+	}
+	if got := justBelow.Round(); !got.Eq(n) {
+		t.Errorf("Round(1 - 2^-540) = %v, want 1", got)
+	}
+	// The negative mirror: -(1 - eps) truncates toward zero.
+	if got := justBelow.Neg().Trunc(); got.Float() != 0 {
+		t.Errorf("Trunc(-(1 - 2^-540)) = %v, want 0", got)
+	}
+	if got := justBelow.Neg().Floor(); got.Float() != -1 {
+		t.Errorf("Floor(-(1 - 2^-540)) = %v, want -1", got)
+	}
+	// F4 with the tail at the very bottom of the float64 range (within
+	// the format's span from a 2^-700-scale lead).
+	tiny := New4(0x1p-700).AddFloat(-5e-324)
+	if got := tiny.Floor(); got.Float() != 0 {
+		t.Errorf("Floor(2^-700 - eps) = %v, want 0", got)
+	}
+	if got := tiny.Ceil(); got.Float() != 1 {
+		t.Errorf("Ceil(2^-700 - eps) = %v, want 1", got)
+	}
+}
+
+// TestRoundHugeIntegerBoundary: around 2^52 (the last float64 with a
+// fractional neighbor), half-ulp ties still follow away-from-zero.
+func TestRoundHugeIntegerBoundary(t *testing.T) {
+	half := 0x1p52 - 0.5 // exactly representable: 4503599627370495.5
+	x := New2(half)
+	if got := x.Round(); got.Float() != 0x1p52 {
+		t.Errorf("Round(2^52 - 0.5) = %v, want 2^52", got)
+	}
+	if got := x.Floor(); got.Float() != 0x1p52-1 {
+		t.Errorf("Floor(2^52 - 0.5) = %v", got)
+	}
+	if got := x.Neg().Round(); got.Float() != -0x1p52 {
+		t.Errorf("Round(-(2^52 - 0.5)) = %v, want -2^52", got)
+	}
+	// Beyond 2^53 every float64 is integral, but a tail term can still
+	// carry a fraction: 2^60 + 0.5 lives in two terms.
+	y := New3(0x1p60).AddFloat(0.5)
+	if got := y.Round(); !got.Eq(New3(0x1p60).AddFloat(1)) {
+		t.Errorf("Round(2^60 + 0.5) = %v, want 2^60 + 1", got)
+	}
+	if got := y.Floor(); !got.Eq(New3(0x1p60)) {
+		t.Errorf("Floor(2^60 + 0.5) = %v, want 2^60", got)
+	}
+}
+
 func TestRoundIdempotentOnIntegers(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < 5000; i++ {

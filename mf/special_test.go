@@ -1,0 +1,164 @@
+package mf_test
+
+// Table-driven conformance tests for the §4.4 special-value contract.
+//
+// The paper's branch-free networks have no IEEE-754 special-case paths:
+// renormalization chains every term through the leading one, so a NaN or
+// Inf appearing anywhere — an operand term, an overflowed product, the
+// machine reciprocal of zero — poisons the whole expansion. The library
+// contract is therefore a uniform COLLAPSE: any operation whose IEEE
+// analogue would signal (division by zero, Inf or NaN operands, square
+// root of a negative) returns an expansion whose every term is NaN.
+// There is no Inf propagation and no signed-zero algebra beyond the two
+// cases that stay exactly defined: 0/a = 0 and √(±0) = 0.
+//
+// internal/diffuzz enforces the same matrix on fuzzed inputs; this file
+// pins the exact table so a behavior change is caught by plain `go test`.
+
+import (
+	"math"
+	"testing"
+
+	"multifloats/mf"
+)
+
+// specialOps is the method surface the matrix exercises, implemented by
+// all three expansion widths.
+type specialOps[E any] interface {
+	Add(E) E
+	Sub(E) E
+	Mul(E) E
+	Div(E) E
+	Recip() E
+	Sqrt() E
+	Rsqrt() E
+	IsNaN() bool
+	IsZero() bool
+}
+
+type specialCase struct {
+	name string
+	x, y float64 // leading terms; y is NaN for unary ops
+	op   string  // add, sub, mul, div, recip, sqrt, rsqrt
+	want string  // "nan" or "zero"
+}
+
+var inf = math.Inf(1)
+
+var specialMatrix = []specialCase{
+	// Division: zero or non-finite anywhere → NaN; 0/a stays exact.
+	{"1/0 -> NaN", 1, 0, "div", "nan"},
+	{"1/-0 -> NaN", 1, math.Copysign(0, -1), "div", "nan"},
+	{"0/3 -> 0", 0, 3, "div", "zero"},
+	{"-0/3 -> 0", math.Copysign(0, -1), 3, "div", "zero"},
+	{"Inf/3 -> NaN", inf, 3, "div", "nan"},
+	{"3/Inf -> NaN", 3, inf, "div", "nan"},
+	{"-Inf/3 -> NaN", -inf, 3, "div", "nan"},
+	{"NaN/3 -> NaN", math.NaN(), 3, "div", "nan"},
+	{"3/NaN -> NaN", 3, math.NaN(), "div", "nan"},
+	{"Inf/Inf -> NaN", inf, inf, "div", "nan"},
+	{"0/0 -> NaN", 0, 0, "div", "nan"},
+
+	// Reciprocal follows division's divisor rules.
+	{"recip(0) -> NaN", 0, math.NaN(), "recip", "nan"},
+	{"recip(-0) -> NaN", math.Copysign(0, -1), math.NaN(), "recip", "nan"},
+	{"recip(Inf) -> NaN", inf, math.NaN(), "recip", "nan"},
+	{"recip(NaN) -> NaN", math.NaN(), math.NaN(), "recip", "nan"},
+
+	// Square root: negative and non-finite signal; ±0 stays defined.
+	{"sqrt(-4) -> NaN", -4, math.NaN(), "sqrt", "nan"},
+	{"sqrt(0) -> 0", 0, math.NaN(), "sqrt", "zero"},
+	{"sqrt(-0) -> 0", math.Copysign(0, -1), math.NaN(), "sqrt", "zero"},
+	{"sqrt(Inf) -> NaN", inf, math.NaN(), "sqrt", "nan"},
+	{"sqrt(NaN) -> NaN", math.NaN(), math.NaN(), "sqrt", "nan"},
+	{"rsqrt(0) -> NaN", 0, math.NaN(), "rsqrt", "nan"},
+	{"rsqrt(-1) -> NaN", -1, math.NaN(), "rsqrt", "nan"},
+	{"rsqrt(Inf) -> NaN", inf, math.NaN(), "rsqrt", "nan"},
+
+	// Add/Sub/Mul: ANY non-finite operand collapses (unlike IEEE, where
+	// Inf+1 = Inf — renormalization computes Inf-Inf internally).
+	{"Inf+1 -> NaN", inf, 1, "add", "nan"},
+	{"1+(-Inf) -> NaN", 1, -inf, "add", "nan"},
+	{"Inf-Inf -> NaN", inf, inf, "sub", "nan"},
+	{"NaN+1 -> NaN", math.NaN(), 1, "add", "nan"},
+	{"Inf*0 -> NaN", inf, 0, "mul", "nan"},
+	{"Inf*3 -> NaN", inf, 3, "mul", "nan"},
+	{"NaN*3 -> NaN", math.NaN(), 3, "mul", "nan"},
+
+	// Signed-zero sums collapse to exact zero.
+	{"-0+0 -> 0", math.Copysign(0, -1), 0, "add", "zero"},
+	{"-0 - 0 -> 0", math.Copysign(0, -1), 0, "sub", "zero"},
+}
+
+func runSpecialMatrix[E specialOps[E]](t *testing.T, width string, mk func(float64) E) {
+	t.Helper()
+	for _, c := range specialMatrix {
+		x := mk(c.x)
+		var got E
+		switch c.op {
+		case "add":
+			got = x.Add(mk(c.y))
+		case "sub":
+			got = x.Sub(mk(c.y))
+		case "mul":
+			got = x.Mul(mk(c.y))
+		case "div":
+			got = x.Div(mk(c.y))
+		case "recip":
+			got = x.Recip()
+		case "sqrt":
+			got = x.Sqrt()
+		case "rsqrt":
+			got = x.Rsqrt()
+		default:
+			t.Fatalf("unknown op %q", c.op)
+		}
+		switch c.want {
+		case "nan":
+			if !got.IsNaN() {
+				t.Errorf("%s %s: got %v, want NaN collapse", width, c.name, got)
+			}
+		case "zero":
+			if got.IsNaN() || !got.IsZero() {
+				t.Errorf("%s %s: got %v, want exact zero", width, c.name, got)
+			}
+		}
+	}
+}
+
+func TestSpecialValueMatrix(t *testing.T) {
+	runSpecialMatrix(t, "F2", func(v float64) mf.Float64x2 { return mf.New2(v) })
+	runSpecialMatrix(t, "F3", func(v float64) mf.Float64x3 { return mf.New3(v) })
+	runSpecialMatrix(t, "F4", func(v float64) mf.Float64x4 { return mf.New4(v) })
+}
+
+// TestSpecialCollapseIsTotal checks the collapse covers every term, not
+// just the leading one: downstream code that inspects tail terms must
+// not see stale finite values after a signaling operation.
+func TestSpecialCollapseIsTotal(t *testing.T) {
+	q := mf.New4(1.0).Div(mf.New4(0.0))
+	for i, term := range q {
+		if !math.IsNaN(term) {
+			t.Errorf("1/0 term %d = %g, want NaN", i, term)
+		}
+	}
+	s := mf.New3(-1.0).Sqrt()
+	for i, term := range s {
+		if !math.IsNaN(term) {
+			t.Errorf("sqrt(-1) term %d = %g, want NaN", i, term)
+		}
+	}
+}
+
+// TestNaNPoisonsDeepTerm checks that a NaN hidden in a TAIL term (not
+// the lead) still poisons arithmetic: the renormalization chain touches
+// every term.
+func TestNaNPoisonsDeepTerm(t *testing.T) {
+	x := mf.Float64x4{1, math.NaN(), 0, 0}
+	if got := x.Add(mf.New4(1.0)); !got.IsNaN() {
+		t.Errorf("(1, NaN, 0, 0) + 1 = %v, want NaN", got)
+	}
+	if got := x.Mul(mf.New4(2.0)); !got.IsNaN() {
+		t.Errorf("(1, NaN, 0, 0) * 2 = %v, want NaN", got)
+	}
+}
