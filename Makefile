@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check test race vet build fuzz-smoke conformance bench-smoke bench-ablation fig9
+.PHONY: check test race vet build fuzz-smoke conformance bench-smoke bench-ablation fig9 serve-smoke bench-serve
 
 # check is the full pre-merge gate: build, vet, tests, and the race
 # detector over the worker pool and blocked kernels.
@@ -20,9 +20,10 @@ test:
 
 # race exercises the persistent worker pool, panel recycling, and the
 # parallel blocked/tiled paths under the race detector, plus the public
-# API package.
+# API package and the mfserve stack (wire framing, batching server incl.
+# the e2e loopback parity tests, pooled client).
 race:
-	$(GO) test -race ./internal/blas/ ./mf/
+	$(GO) test -race ./internal/blas/ ./mf/ ./serve/...
 
 # fuzz-smoke gives each native fuzz target a short budget (the go fuzzer
 # accepts one target per invocation). CI runs this on every push; longer
@@ -54,3 +55,24 @@ bench-ablation:
 # fig9 regenerates the paper's Figure 9 table and BENCH_fig9.json.
 fig9:
 	$(GO) run ./cmd/mfbench -fig 9 -json
+
+# serve-smoke is the CI gate for the mfserve stack: build the daemon and
+# load generator, run the daemon, drive 15s of mixed scalar traffic with
+# per-request deadlines, and fail on any protocol error or deadline miss.
+serve-smoke:
+	$(GO) build -o /tmp/mfserved ./cmd/mfserved
+	$(GO) build -o /tmp/mfload ./cmd/mfload
+	/tmp/mfserved -addr 127.0.0.1:7333 & \
+	SERVED=$$!; \
+	sleep 1; \
+	/tmp/mfload -addr 127.0.0.1:7333 -duration 15s -mix scalar -deadline 2s -gate; \
+	RC=$$?; \
+	kill -TERM $$SERVED; wait $$SERVED; \
+	exit $$RC
+
+# bench-serve reproduces EXPERIMENTS.md §E-Serve: identical load against
+# a batching server and a one-request-per-batch server, writing
+# BENCH_serve.json with the throughput ratio (acceptance floor: 3x).
+bench-serve:
+	$(GO) run ./cmd/mfload -compare -duration 5s -conns 2 -pipeline 256 \
+		-count 1 -op mul -width 2 -out BENCH_serve.json

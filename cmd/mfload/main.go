@@ -1,0 +1,523 @@
+// Command mfload is the load generator for mfserved. It drives pipelined
+// raw serve/wire connections (no client-side retry layer, so every server
+// verdict is observed), and reports latency percentiles and throughput.
+//
+// Usage:
+//
+//	mfload [-addr host:port] [-conns 4] [-pipeline 64] [-count 8]
+//	       [-op add] [-width 2] [-mix scalar] [-deadline 0]
+//	       [-duration 5s] [-json] [-out file] [-gate]
+//	mfload -compare [-duration 5s] [-out BENCH_serve.json] ...
+//
+// -gate exits nonzero if any protocol errors or deadline misses occur —
+// the CI smoke contract. -compare ignores -addr: it boots two in-process
+// servers, one with batching enabled (max-batch 256, 200µs window) and
+// one pinned to one-request-per-batch, runs the identical load against
+// each, and writes a JSON report with the batched/unbatched speedup
+// (experiment E-Serve; the acceptance floor is 3x).
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"multifloats/serve/server"
+	"multifloats/serve/wire"
+)
+
+type opSpec struct {
+	op    wire.Op
+	width int
+}
+
+func (o opSpec) String() string { return fmt.Sprintf("%s%d", o.op, o.width) }
+
+type loadConfig struct {
+	addr     string
+	conns    int
+	pipeline int
+	count    int // expansion elements per request
+	specs    []opSpec
+	deadline time.Duration
+	duration time.Duration
+}
+
+type loadResult struct {
+	DurationSec    float64            `json:"duration_sec"`
+	Requests       int64              `json:"requests"`
+	Responses      int64              `json:"responses"`
+	Overloads      int64              `json:"overloads"`
+	DeadlineMisses int64              `json:"deadline_misses"`
+	ProtocolErrors int64              `json:"protocol_errors"`
+	ThroughputRPS  float64            `json:"throughput_rps"`
+	ThroughputEPS  float64            `json:"throughput_eps"`
+	LatencyUs      map[string]float64 `json:"latency_us"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7333", "mfserved address")
+		conns    = flag.Int("conns", 4, "concurrent connections")
+		pipeline = flag.Int("pipeline", 64, "outstanding requests per connection")
+		count    = flag.Int("count", 8, "expansion elements per request")
+		opName   = flag.String("op", "add", "scalar op: add|sub|mul|div|sqrt")
+		width    = flag.Int("width", 2, "expansion width: 2|3|4")
+		mix      = flag.String("mix", "", `traffic preset: "" = single -op/-width, "scalar" = all 5 ops x widths 2..4`)
+		deadline = flag.Duration("deadline", 0, "per-request deadline (0 = none)")
+		duration = flag.Duration("duration", 5*time.Second, "load duration (per leg in -compare)")
+		jsonOut  = flag.Bool("json", false, "print the report as JSON (always on with -out or -compare)")
+		outFile  = flag.String("out", "", `write the JSON report to this file (default "BENCH_serve.json" with -compare)`)
+		gate     = flag.Bool("gate", false, "exit 1 on any protocol errors or deadline misses")
+		compare  = flag.Bool("compare", false, "run batched vs one-request-per-batch in-process servers and report the speedup")
+	)
+	flag.Parse()
+
+	specs, err := parseSpecs(*mix, *opName, *width)
+	if err != nil {
+		log.Fatalf("mfload: %v", err)
+	}
+	cfg := loadConfig{
+		addr:     *addr,
+		conns:    *conns,
+		pipeline: *pipeline,
+		count:    *count,
+		specs:    specs,
+		deadline: *deadline,
+		duration: *duration,
+	}
+
+	if *compare {
+		if *outFile == "" {
+			*outFile = "BENCH_serve.json"
+		}
+		runCompare(cfg, *outFile, *gate)
+		return
+	}
+
+	res, err := runLoad(cfg)
+	if err != nil {
+		log.Fatalf("mfload: %v", err)
+	}
+	report := map[string]any{
+		"bench":  "mfload",
+		"config": configJSON(cfg),
+		"result": res,
+	}
+	emit(report, *outFile, *jsonOut || *outFile != "")
+	if !*jsonOut && *outFile == "" {
+		printHuman("load", res)
+	}
+	gateExit(*gate, res)
+}
+
+func parseSpecs(mix, opName string, width int) ([]opSpec, error) {
+	switch mix {
+	case "":
+		op, err := wire.ParseOp(opName)
+		if err != nil {
+			return nil, err
+		}
+		if !op.Scalar() {
+			return nil, fmt.Errorf("op %q is not a scalar op", opName)
+		}
+		if width < 2 || width > 4 {
+			return nil, fmt.Errorf("width %d out of range [2,4]", width)
+		}
+		return []opSpec{{op, width}}, nil
+	case "scalar":
+		var specs []opSpec
+		for _, op := range []wire.Op{wire.OpAdd, wire.OpSub, wire.OpMul, wire.OpDiv, wire.OpSqrt} {
+			for w := 2; w <= 4; w++ {
+				specs = append(specs, opSpec{op, w})
+			}
+		}
+		return specs, nil
+	default:
+		return nil, fmt.Errorf("unknown mix %q", mix)
+	}
+}
+
+// payloads are request operand templates, generated once per (op,width):
+// positive well-separated expansions so div and sqrt stay in the normal
+// path. The wire layer copies on encode, so sharing across requests and
+// goroutines is safe.
+type payload struct {
+	spec opSpec
+	x, y []float64
+}
+
+func makePayloads(specs []opSpec, count int) []payload {
+	rng := rand.New(rand.NewSource(0x10ad))
+	gen := func(w int) []float64 {
+		s := make([]float64, count*w)
+		for i := 0; i < count; i++ {
+			v := 1 + rng.Float64()
+			for k := 0; k < w; k++ {
+				s[i*w+k] = v
+				v *= 1e-17 * rng.Float64()
+			}
+		}
+		return s
+	}
+	ps := make([]payload, len(specs))
+	for i, sp := range specs {
+		ps[i] = payload{spec: sp, x: gen(sp.width)}
+		if !sp.op.Unary() {
+			ps[i].y = gen(sp.width)
+		}
+	}
+	return ps
+}
+
+// tally is the shared counter/latency sink for one load run.
+type tally struct {
+	requests  atomic.Int64
+	responses atomic.Int64
+	ok        atomic.Int64
+	overloads atomic.Int64
+	deadlines atomic.Int64
+	protoErrs atomic.Int64
+
+	mu   sync.Mutex
+	lats []time.Duration
+}
+
+func (t *tally) record(d time.Duration) {
+	t.mu.Lock()
+	t.lats = append(t.lats, d)
+	t.mu.Unlock()
+}
+
+// runLoad drives cfg.conns pipelined connections for cfg.duration.
+func runLoad(cfg loadConfig) (*loadResult, error) {
+	payloads := makePayloads(cfg.specs, cfg.count)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.duration)
+	defer cancel()
+
+	var t tally
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.conns)
+	start := time.Now()
+	for i := 0; i < cfg.conns; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := driveConn(ctx, cfg, payloads, i, &t); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return nil, err
+	}
+	return summarize(&t, cfg, elapsed), nil
+}
+
+// driveConn runs one connection: a writer goroutine keeps cfg.pipeline
+// requests outstanding; the reader (this goroutine) matches responses to
+// send times by ID. After the duration expires the writer stops and the
+// reader drains the remaining in-flight requests.
+func driveConn(ctx context.Context, cfg loadConfig, payloads []payload, seed int, t *tally) error {
+	nc, err := net.DialTimeout("tcp", cfg.addr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", cfg.addr, err)
+	}
+	defer nc.Close()
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	br := bufio.NewReaderSize(nc, 1<<16)
+	bw := bufio.NewWriterSize(nc, 1<<16)
+
+	// Latency is sampled (1 in latSample requests) so timestamping and the
+	// send-time map stay off the per-request fast path; throughput counts
+	// every response. Outstanding accounting uses an atomic so the drain
+	// phase does not depend on the sample map.
+	const latSample = 16
+	var mu sync.Mutex // guards sampled + bw
+	sampled := make(map[uint64]time.Time, cfg.pipeline/latSample+1)
+	var outstanding atomic.Int64
+	sem := make(chan struct{}, cfg.pipeline)
+	writeDone := make(chan error, 1)
+
+	go func() {
+		var id uint64
+		pi := seed
+		flush := func() error {
+			mu.Lock()
+			defer mu.Unlock()
+			return bw.Flush()
+		}
+		for {
+			// Flush before blocking: buffered requests only hit the wire when
+			// the pipeline window is full (or the run ends), so the generator
+			// spends syscalls per window, not per request.
+			select {
+			case <-ctx.Done():
+				writeDone <- flush()
+				return
+			case sem <- struct{}{}:
+			default:
+				if err := flush(); err != nil {
+					writeDone <- fmt.Errorf("flush: %w", err)
+					return
+				}
+				select {
+				case <-ctx.Done():
+					writeDone <- nil
+					return
+				case sem <- struct{}{}:
+				}
+			}
+			p := payloads[pi%len(payloads)]
+			pi++
+			id++
+			req := &wire.Request{
+				ID:    id,
+				Op:    p.spec.op,
+				Width: p.spec.width,
+				Count: cfg.count,
+				X:     p.x,
+				Y:     p.y,
+			}
+			if cfg.deadline > 0 {
+				req.Deadline = time.Now().Add(cfg.deadline)
+			}
+			outstanding.Add(1)
+			mu.Lock()
+			if id%latSample == 0 {
+				sampled[id] = time.Now()
+			}
+			err := wire.WriteRequest(bw, req)
+			mu.Unlock()
+			if err != nil {
+				writeDone <- fmt.Errorf("write: %w", err)
+				return
+			}
+			t.requests.Add(1)
+		}
+	}()
+
+	// Read until the writer has stopped and every in-flight request is
+	// answered (bounded by a drain grace period).
+	drainDeadline := time.Time{}
+	for {
+		if drainDeadline.IsZero() {
+			select {
+			case err := <-writeDone:
+				if err != nil {
+					return err
+				}
+				drainDeadline = time.Now().Add(2 * time.Second)
+				if outstanding.Load() == 0 {
+					return nil
+				}
+			default:
+			}
+		} else {
+			if outstanding.Load() == 0 || time.Now().After(drainDeadline) {
+				return nil
+			}
+		}
+		if br.Buffered() == 0 {
+			// About to block on the socket: bound the wait so the drain and
+			// writer state are re-polled. When buffered frames remain, skip
+			// the deadline reset (a syscall per response otherwise).
+			nc.SetReadDeadline(time.Now().Add(250 * time.Millisecond))
+		}
+		resp, err := wire.ReadResponse(br)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue // poll the writer/drain state again
+			}
+			if !drainDeadline.IsZero() {
+				return nil // connection wound down during drain
+			}
+			return fmt.Errorf("read: %w", err)
+		}
+		outstanding.Add(-1)
+		<-sem
+		t.responses.Add(1)
+		var sent time.Time
+		haveSample := false
+		if resp.ID%latSample == 0 {
+			mu.Lock()
+			sent, haveSample = sampled[resp.ID]
+			delete(sampled, resp.ID)
+			mu.Unlock()
+		}
+		switch resp.Status {
+		case wire.StatusOK:
+			t.ok.Add(1)
+			if haveSample {
+				t.record(time.Since(sent))
+			}
+		case wire.StatusOverloaded:
+			t.overloads.Add(1)
+		case wire.StatusDeadlineExceeded:
+			t.deadlines.Add(1)
+		default:
+			t.protoErrs.Add(1)
+		}
+	}
+}
+
+func summarize(t *tally, cfg loadConfig, elapsed time.Duration) *loadResult {
+	t.mu.Lock()
+	lats := t.lats
+	t.mu.Unlock()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(lats)))
+		if i >= len(lats) {
+			i = len(lats) - 1
+		}
+		return float64(lats[i]) / float64(time.Microsecond)
+	}
+	ok := t.ok.Load()
+	sec := elapsed.Seconds()
+	return &loadResult{
+		DurationSec:    sec,
+		Requests:       t.requests.Load(),
+		Responses:      t.responses.Load(),
+		Overloads:      t.overloads.Load(),
+		DeadlineMisses: t.deadlines.Load(),
+		ProtocolErrors: t.protoErrs.Load(),
+		ThroughputRPS:  float64(ok) / sec,
+		ThroughputEPS:  float64(ok*int64(cfg.count)) / sec,
+		LatencyUs: map[string]float64{
+			"p50": pct(0.50), "p90": pct(0.90), "p99": pct(0.99),
+			"p999": pct(0.999), "max": pct(1),
+		},
+	}
+}
+
+// runCompare measures the batching win: the same load against an
+// in-process server with coalescing on, then one pinned to
+// one-request-per-batch. Everything else (kernels, pool, wire, loopback
+// TCP) is identical, so the ratio isolates the scheduler.
+func runCompare(cfg loadConfig, outFile string, gate bool) {
+	batched := server.Config{BatchWindow: 200 * time.Microsecond, MaxBatch: 256}
+	unbatched := server.Config{BatchWindow: -1, MaxBatch: 1} // negative window: flush on arrival
+
+	runLeg := func(name string, scfg server.Config) *loadResult {
+		scfg.Addr = "127.0.0.1:0"
+		s := server.New(scfg)
+		if err := s.Listen(); err != nil {
+			log.Fatalf("mfload: %s listen: %v", name, err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- s.Serve() }()
+		legCfg := cfg
+		legCfg.addr = s.Addr().String()
+		res, err := runLoad(legCfg)
+		if err != nil {
+			log.Fatalf("mfload: %s leg: %v", name, err)
+		}
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(sctx); err != nil {
+			log.Fatalf("mfload: %s shutdown: %v", name, err)
+		}
+		if err := <-done; err != nil {
+			log.Fatalf("mfload: %s serve: %v", name, err)
+		}
+		snap := s.Stats().Snapshot()
+		if snap.Batches > 0 {
+			log.Printf("mfload: %s leg: %.0f req/s, mean batch occupancy %.1f",
+				name, res.ThroughputRPS, float64(snap.BatchedReqs)/float64(snap.Batches))
+		}
+		return res
+	}
+
+	// Unbatched first so the batched leg cannot ride its page/pool warmup.
+	ub := runLeg("unbatched", unbatched)
+	b := runLeg("batched", batched)
+
+	speedup := 0.0
+	if ub.ThroughputRPS > 0 {
+		speedup = b.ThroughputRPS / ub.ThroughputRPS
+	}
+	report := map[string]any{
+		"bench":     "E-Serve",
+		"config":    configJSON(cfg),
+		"unbatched": ub,
+		"batched":   b,
+		"speedup":   speedup,
+	}
+	emit(report, outFile, true)
+	printHuman("unbatched", ub)
+	printHuman("batched", b)
+	fmt.Printf("speedup (batched/unbatched): %.2fx\n", speedup)
+	gateExit(gate, ub)
+	gateExit(gate, b)
+}
+
+func configJSON(cfg loadConfig) map[string]any {
+	specs := make([]string, len(cfg.specs))
+	for i, s := range cfg.specs {
+		specs[i] = s.String()
+	}
+	return map[string]any{
+		"conns":        cfg.conns,
+		"pipeline":     cfg.pipeline,
+		"count":        cfg.count,
+		"ops":          strings.Join(specs, ","),
+		"deadline_ms":  float64(cfg.deadline) / float64(time.Millisecond),
+		"duration_sec": cfg.duration.Seconds(),
+	}
+}
+
+func emit(report map[string]any, outFile string, stdout bool) {
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatalf("mfload: marshal: %v", err)
+	}
+	buf = append(buf, '\n')
+	if outFile != "" {
+		if err := os.WriteFile(outFile, buf, 0o644); err != nil {
+			log.Fatalf("mfload: write %s: %v", outFile, err)
+		}
+		log.Printf("mfload: wrote %s", outFile)
+	}
+	if stdout {
+		os.Stdout.Write(buf)
+	}
+}
+
+func printHuman(name string, r *loadResult) {
+	fmt.Printf("%s: %.0f req/s (%.0f elem/s) over %.1fs — p50 %.0fµs p90 %.0fµs p99 %.0fµs p999 %.0fµs max %.0fµs; %d overloads, %d deadline misses, %d protocol errors\n",
+		name, r.ThroughputRPS, r.ThroughputEPS, r.DurationSec,
+		r.LatencyUs["p50"], r.LatencyUs["p90"], r.LatencyUs["p99"], r.LatencyUs["p999"], r.LatencyUs["max"],
+		r.Overloads, r.DeadlineMisses, r.ProtocolErrors)
+}
+
+func gateExit(gate bool, r *loadResult) {
+	if !gate {
+		return
+	}
+	if r.ProtocolErrors > 0 || r.DeadlineMisses > 0 {
+		fmt.Fprintf(os.Stderr, "mfload: GATE FAILED: %d protocol errors, %d deadline misses\n",
+			r.ProtocolErrors, r.DeadlineMisses)
+		os.Exit(1)
+	}
+}

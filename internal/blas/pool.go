@@ -15,17 +15,33 @@ import (
 // Deadlock freedom: submit never blocks — if the queue is full (or a
 // worker submits while all workers are busy, as nested parallel sections
 // would), the task runs inline on the submitting goroutine instead.
+//
+// Lifecycle: the pool has an explicit terminal state so long-lived hosts
+// (the serve/ subsystem's daemon) can drain it on shutdown. ClosePool is
+// idempotent and safe against concurrent submitters: a submit that races
+// with (or follows) ClosePool simply reports false and the caller runs
+// the task inline, so kernels stay correct after close — they just lose
+// parallelism. The pool does not restart after ClosePool.
 
 var (
-	poolOnce sync.Once
-	poolWork chan func()
+	// poolMu orders enqueues against close: submit holds the read lock
+	// across the closed-check + channel send, ClosePool holds the write
+	// lock while flipping poolClosed, so no task can be enqueued after the
+	// channel is closed (which would either panic or strand the task).
+	poolMu     sync.RWMutex
+	poolOnce   sync.Once
+	poolWork   chan func()
+	poolWg     sync.WaitGroup
+	poolClosed bool
 )
 
 func poolStart() {
 	n := runtime.GOMAXPROCS(0)
 	poolWork = make(chan func(), 8*n)
+	poolWg.Add(n)
 	for i := 0; i < n; i++ {
 		go func() {
+			defer poolWg.Done()
 			for f := range poolWork {
 				f()
 			}
@@ -34,8 +50,14 @@ func poolStart() {
 }
 
 // submit hands f to a pool worker; reports false (f not run) when the
-// queue is saturated, in which case the caller must run f itself.
+// queue is saturated or the pool is closed, in which case the caller must
+// run f itself.
 func submit(f func()) bool {
+	poolMu.RLock()
+	defer poolMu.RUnlock()
+	if poolClosed {
+		return false
+	}
 	poolOnce.Do(poolStart)
 	select {
 	case poolWork <- f:
@@ -43,6 +65,55 @@ func submit(f func()) bool {
 	default:
 		return false
 	}
+}
+
+// ClosePool drains and permanently stops the worker pool: queued tasks
+// finish, the workers exit, and every subsequent submit falls back to
+// inline execution on the caller. Idempotent and safe to call
+// concurrently with in-flight parallel kernels (their outstanding tasks
+// complete before ClosePool returns; their late submits run inline).
+func ClosePool() {
+	poolMu.Lock()
+	if poolClosed {
+		poolMu.Unlock()
+		return
+	}
+	poolClosed = true
+	started := poolWork != nil
+	if started {
+		close(poolWork)
+	}
+	poolMu.Unlock()
+	if started {
+		poolWg.Wait()
+	}
+}
+
+// PoolClosed reports whether ClosePool has been called.
+func PoolClosed() bool {
+	poolMu.RLock()
+	defer poolMu.RUnlock()
+	return poolClosed
+}
+
+// reopenPool resets the pool to its never-started state. Test-only: lets
+// the lifecycle tests close the shared pool without degrading every later
+// test in the binary to inline execution.
+func reopenPool() {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	poolClosed = false
+	poolWork = nil
+	poolOnce = sync.Once{}
+}
+
+// Parallel exposes the pool's chunked parallel-for to the other packages
+// of this module: it splits [0, n) across the persistent workers exactly
+// like the kernels in this package do (the serve/ subsystem executes
+// coalesced request slabs through it). body must be safe for concurrent
+// disjoint ranges.
+func Parallel(n, workers int, body func(lo, hi int)) {
+	parallelRows(n, workers, body)
 }
 
 // parallelRows splits [0, n) into contiguous chunks, one per worker. The

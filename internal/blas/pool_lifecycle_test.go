@@ -1,0 +1,82 @@
+package blas
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"multifloats/mf"
+)
+
+// TestClosePoolConcurrentSubmit hammers the pool from many goroutines
+// while ClosePool races with them: every task must run exactly once
+// (inline or pooled), nothing may panic on the closed channel, and the
+// parallel kernels must keep producing correct results after close. This
+// is the race-mode regression test for the pool lifecycle; `make race`
+// runs it under the race detector.
+func TestClosePoolConcurrentSubmit(t *testing.T) {
+	t.Cleanup(reopenPool)
+
+	const (
+		goroutines = 8
+		rounds     = 200
+		n          = 512
+	)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for r := 0; r < rounds; r++ {
+				parallelRows(n, 4, func(lo, hi int) {
+					ran.Add(int64(hi - lo))
+				})
+			}
+		}()
+	}
+	// Close mid-flight, twice (idempotence), racing the submitters.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		ClosePool()
+		ClosePool()
+	}()
+	close(start)
+	wg.Wait()
+
+	if got, want := ran.Load(), int64(goroutines*rounds*n); got != want {
+		t.Fatalf("tasks ran %d times, want %d (lost or duplicated work across close)", got, want)
+	}
+	if !PoolClosed() {
+		t.Fatal("PoolClosed() = false after ClosePool")
+	}
+	if submit(func() {}) {
+		t.Fatal("submit succeeded after ClosePool; want inline fallback (false)")
+	}
+}
+
+// TestKernelsAfterClosePool pins the degraded-but-correct contract: with
+// the pool closed, the parallel kernels fall back to inline execution and
+// still produce bit-identical results — the chunked reduction order is a
+// function of (n, workers) only, not of where the chunks run.
+func TestKernelsAfterClosePool(t *testing.T) {
+	t.Cleanup(reopenPool)
+
+	const n = 257
+	x := make([]mf.Float64x2, n)
+	y := make([]mf.Float64x2, n)
+	for i := range x {
+		x[i] = mf.New2(float64(i + 1)).DivFloat(3)
+		y[i] = mf.New2(float64(2*i - 5)).DivFloat(7)
+	}
+	want := DotF2Parallel(x, y, 4) // pool live
+	ClosePool()
+	got := DotF2Parallel(x, y, 4) // inline fallback
+	if got != want {
+		t.Fatalf("DotF2Parallel after ClosePool = %v, want %v", got, want)
+	}
+}

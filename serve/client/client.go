@@ -1,0 +1,290 @@
+// Package client is the connection-pooled client for the mfserve compute
+// service. It mirrors the mf package's API surface over the network:
+// typed scalar and BLAS calls on Float64x2/x3/x4 values, with request
+// deadlines taken from the context, transparent retries with jittered
+// exponential backoff on transient failures (dial/IO errors, server
+// overload — honoring the server's retry-after hint), and bit-exact
+// results (the wire encoding is the raw component bit pattern).
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"multifloats/serve/wire"
+)
+
+// Typed failures. Transient conditions are retried internally up to the
+// configured attempt budget; these surface once it is exhausted (or
+// immediately for the non-retryable ones).
+var (
+	// ErrDeadlineExceeded: the server reported the request's deadline
+	// passed before completion. Not retried (the deadline is gone).
+	ErrDeadlineExceeded = errors.New("mfserve: deadline exceeded")
+	// ErrOverloaded: the server shed the request and the retry budget ran
+	// out.
+	ErrOverloaded = errors.New("mfserve: server overloaded")
+	// ErrBadRequest: the server rejected the request as invalid.
+	ErrBadRequest = errors.New("mfserve: bad request")
+	// ErrServer: the server reported an internal failure.
+	ErrServer = errors.New("mfserve: internal server error")
+	// ErrClosed: the client has been closed.
+	ErrClosed = errors.New("mfserve: client closed")
+)
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithPoolSize caps idle pooled connections (default 8).
+func WithPoolSize(n int) Option { return func(c *Client) { c.poolSize = n } }
+
+// WithMaxRetries sets the transient-failure retry budget per call
+// (default 3 retries, i.e. up to 4 attempts).
+func WithMaxRetries(n int) Option { return func(c *Client) { c.maxRetries = n } }
+
+// WithBackoff sets the base and cap of the jittered exponential backoff
+// between retries (defaults 2ms base, 250ms cap).
+func WithBackoff(base, max time.Duration) Option {
+	return func(c *Client) { c.backoffBase, c.backoffMax = base, max }
+}
+
+// WithDialTimeout bounds each dial attempt (default 5s).
+func WithDialTimeout(d time.Duration) Option { return func(c *Client) { c.dialTimeout = d } }
+
+// WithIOTimeout bounds each request/response exchange when the context
+// carries no deadline (default 30s).
+func WithIOTimeout(d time.Duration) Option { return func(c *Client) { c.ioTimeout = d } }
+
+// Client is a connection-pooled mfserve client. Safe for concurrent use;
+// each in-flight call holds one pooled connection.
+type Client struct {
+	addr        string
+	poolSize    int
+	maxRetries  int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	dialTimeout time.Duration
+	ioTimeout   time.Duration
+
+	conns  chan *poolConn
+	nextID atomic.Uint64
+	closed atomic.Bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+type poolConn struct {
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// Dial creates a client for the server at addr and verifies reachability
+// by establishing one pooled connection.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	c := &Client{
+		addr:        addr,
+		poolSize:    8,
+		maxRetries:  3,
+		backoffBase: 2 * time.Millisecond,
+		backoffMax:  250 * time.Millisecond,
+		dialTimeout: 5 * time.Second,
+		ioTimeout:   30 * time.Second,
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.poolSize < 1 {
+		c.poolSize = 1
+	}
+	c.conns = make(chan *poolConn, c.poolSize)
+	pc, err := c.dial()
+	if err != nil {
+		return nil, fmt.Errorf("mfserve: dial %s: %w", addr, err)
+	}
+	c.put(pc)
+	return c, nil
+}
+
+// Close releases the pooled connections. In-flight calls fail.
+func (c *Client) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(c.conns)
+	for pc := range c.conns {
+		pc.nc.Close()
+	}
+	return nil
+}
+
+func (c *Client) dial() (*poolConn, error) {
+	nc, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &poolConn{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 1<<16),
+		bw: bufio.NewWriterSize(nc, 1<<16),
+	}, nil
+}
+
+func (c *Client) get() (*poolConn, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	select {
+	case pc, ok := <-c.conns:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return pc, nil
+	default:
+		return c.dial()
+	}
+}
+
+func (c *Client) put(pc *poolConn) {
+	if c.closed.Load() {
+		pc.nc.Close()
+		return
+	}
+	select {
+	case c.conns <- pc:
+	default:
+		pc.nc.Close()
+	}
+}
+
+// backoff returns the jittered delay before attempt n (1-based), at
+// least floor (the server's retry-after hint when present).
+func (c *Client) backoff(attempt int, floor time.Duration) time.Duration {
+	d := c.backoffBase << uint(attempt-1)
+	if d > c.backoffMax {
+		d = c.backoffMax
+	}
+	c.rngMu.Lock()
+	jittered := d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.rngMu.Unlock()
+	if jittered < floor {
+		jittered = floor
+	}
+	return jittered
+}
+
+// do performs one request with retries, returning the OK result slab.
+func (c *Client) do(ctx context.Context, req *wire.Request) ([]float64, error) {
+	var lastErr error
+	var retryAfter time.Duration
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if attempt > c.maxRetries {
+				return nil, fmt.Errorf("mfserve: %d attempts failed: %w", attempt, lastErr)
+			}
+			t := time.NewTimer(c.backoff(attempt, retryAfter))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			case <-t.C:
+			}
+			retryAfter = 0
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		data, err := c.try(ctx, req)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+		var to *transientError
+		if !errors.As(err, &to) {
+			return nil, err
+		}
+		retryAfter = to.retryAfter
+	}
+}
+
+// transientError wraps retryable failures.
+type transientError struct {
+	err        error
+	retryAfter time.Duration
+}
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// try performs a single attempt on one pooled connection.
+func (c *Client) try(ctx context.Context, req *wire.Request) ([]float64, error) {
+	pc, err := c.get()
+	if err != nil {
+		if errors.Is(err, ErrClosed) {
+			return nil, err
+		}
+		return nil, &transientError{err: err}
+	}
+	req.ID = c.nextID.Add(1)
+	req.Deadline = time.Time{}
+	ioDeadline := time.Now().Add(c.ioTimeout)
+	if d, ok := ctx.Deadline(); ok {
+		req.Deadline = d
+		if d.Before(ioDeadline) {
+			ioDeadline = d.Add(100 * time.Millisecond) // allow the server's own deadline answer to arrive
+		}
+	}
+	pc.nc.SetDeadline(ioDeadline)
+
+	fail := func(err error) ([]float64, error) {
+		pc.nc.Close()
+		return nil, &transientError{err: err}
+	}
+	if err := wire.WriteRequest(pc.bw, req); err != nil {
+		return fail(err)
+	}
+	if err := pc.bw.Flush(); err != nil {
+		return fail(err)
+	}
+	resp, err := wire.ReadResponse(pc.br)
+	if err != nil {
+		return fail(err)
+	}
+	if resp.ID != req.ID {
+		// Stream desync (e.g. a stale response after a previous timeout on
+		// this conn): the connection is unusable.
+		return fail(fmt.Errorf("mfserve: response id %d for request %d", resp.ID, req.ID))
+	}
+	c.put(pc)
+
+	switch resp.Status {
+	case wire.StatusOK:
+		if want := wire.RespElems(req.Op, req.Width, req.Count, req.M); len(resp.Data) != want {
+			return nil, fmt.Errorf("%w: result slab %d elements, want %d", ErrServer, len(resp.Data), want)
+		}
+		return resp.Data, nil
+	case wire.StatusOverloaded:
+		return nil, &transientError{
+			err:        ErrOverloaded,
+			retryAfter: time.Duration(resp.RetryAfterMs) * time.Millisecond,
+		}
+	case wire.StatusDeadlineExceeded:
+		return nil, ErrDeadlineExceeded
+	case wire.StatusBadRequest:
+		return nil, ErrBadRequest
+	default:
+		return nil, fmt.Errorf("%w (status %v)", ErrServer, resp.Status)
+	}
+}

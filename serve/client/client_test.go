@@ -1,0 +1,233 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"multifloats/mf"
+	"multifloats/serve/wire"
+)
+
+// fakeServer speaks raw wire frames with a scripted per-request handler,
+// so the client's retry/backoff behavior can be pinned without a real
+// compute server. A nil response from the handler closes the connection
+// (simulating a transient failure).
+type fakeServer struct {
+	ln       net.Listener
+	requests atomic.Int64
+	handler  func(n int64, req *wire.Request) *wire.Response
+}
+
+func newFakeServer(t *testing.T, handler func(n int64, req *wire.Request) *wire.Response) *fakeServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &fakeServer{ln: ln, handler: handler}
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer nc.Close()
+				br := bufio.NewReader(nc)
+				bw := bufio.NewWriter(nc)
+				for {
+					req, err := wire.ReadRequest(br)
+					if err != nil {
+						return
+					}
+					n := fs.requests.Add(1)
+					resp := fs.handler(n, req)
+					if resp == nil {
+						return
+					}
+					if resp.ID == 0 {
+						resp.ID = req.ID
+					}
+					if err := wire.WriteResponse(bw, resp); err != nil {
+						return
+					}
+					bw.Flush()
+				}
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return fs
+}
+
+func okAdd2(req *wire.Request) *wire.Response {
+	x := wire.Unpack2(req.X)
+	y := wire.Unpack2(req.Y)
+	out := make([]mf.Float64x2, len(x))
+	for i := range x {
+		out[i] = x[i].Add(y[i])
+	}
+	return &wire.Response{Status: wire.StatusOK, Data: wire.Pack2(out)}
+}
+
+func TestRetryAfterOverload(t *testing.T) {
+	fs := newFakeServer(t, func(n int64, req *wire.Request) *wire.Response {
+		if n <= 2 {
+			return &wire.Response{Status: wire.StatusOverloaded, RetryAfterMs: 2}
+		}
+		return okAdd2(req)
+	})
+	c, err := Dial(fs.ln.Addr().String(), WithBackoff(time.Millisecond, 5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	got, err := c.Add2(context.Background(), mf.New2(1.0), mf.New2(2.0))
+	if err != nil {
+		t.Fatalf("Add2 after overloads: %v", err)
+	}
+	if got.Float() != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if n := fs.requests.Load(); n != 3 {
+		t.Fatalf("server saw %d requests, want 3 (2 overloads + success)", n)
+	}
+}
+
+func TestRetryAfterConnDrop(t *testing.T) {
+	fs := newFakeServer(t, func(n int64, req *wire.Request) *wire.Response {
+		if n == 1 {
+			return nil // slam the connection shut mid-request
+		}
+		return okAdd2(req)
+	})
+	c, err := Dial(fs.ln.Addr().String(), WithBackoff(time.Millisecond, 5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.Add2(context.Background(), mf.New2(4.0), mf.New2(5.0))
+	if err != nil {
+		t.Fatalf("Add2 after conn drop: %v", err)
+	}
+	if got.Float() != 9 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestNoRetryOnBadRequest(t *testing.T) {
+	fs := newFakeServer(t, func(n int64, req *wire.Request) *wire.Response {
+		return &wire.Response{Status: wire.StatusBadRequest}
+	})
+	c, err := Dial(fs.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Add2(context.Background(), mf.New2(1.0), mf.New2(2.0))
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("err = %v, want ErrBadRequest", err)
+	}
+	if n := fs.requests.Load(); n != 1 {
+		t.Fatalf("server saw %d requests, want 1 (no retry on permanent failure)", n)
+	}
+}
+
+func TestDeadlineNotRetried(t *testing.T) {
+	fs := newFakeServer(t, func(n int64, req *wire.Request) *wire.Response {
+		if req.Deadline.IsZero() {
+			t.Error("request carried no deadline despite context deadline")
+		}
+		return &wire.Response{Status: wire.StatusDeadlineExceeded}
+	})
+	c, err := Dial(fs.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_, err = c.Sqrt3(ctx, mf.New3(2.0))
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if n := fs.requests.Load(); n != 1 {
+		t.Fatalf("server saw %d requests, want 1", n)
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	fs := newFakeServer(t, func(n int64, req *wire.Request) *wire.Response {
+		return &wire.Response{Status: wire.StatusOverloaded, RetryAfterMs: 1}
+	})
+	c, err := Dial(fs.ln.Addr().String(),
+		WithMaxRetries(2), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Mul4(context.Background(), mf.New4(1.0), mf.New4(2.0))
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want wrapped ErrOverloaded", err)
+	}
+	if n := fs.requests.Load(); n != 3 {
+		t.Fatalf("server saw %d requests, want 3 (1 + 2 retries)", n)
+	}
+}
+
+func TestIDMismatchPoisonsConn(t *testing.T) {
+	fs := newFakeServer(t, func(n int64, req *wire.Request) *wire.Response {
+		if n == 1 {
+			// Deliver a stale-looking response: wrong ID.
+			return &wire.Response{ID: req.ID + 7, Status: wire.StatusOK, Data: make([]float64, 2)}
+		}
+		return okAdd2(req)
+	})
+	c, err := Dial(fs.ln.Addr().String(), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.Add2(context.Background(), mf.New2(2.0), mf.New2(3.0))
+	if err != nil || got.Float() != 5 {
+		t.Fatalf("Add2 = %v, %v; want 5 after one retry", got, err)
+	}
+	if n := fs.requests.Load(); n != 2 {
+		t.Fatalf("server saw %d requests, want 2", n)
+	}
+}
+
+func TestClientClosed(t *testing.T) {
+	fs := newFakeServer(t, func(n int64, req *wire.Request) *wire.Response { return okAdd2(req) })
+	c, err := Dial(fs.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	c.Close() // idempotent
+	if _, err := c.Add2(context.Background(), mf.New2(1.0), mf.New2(1.0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestMismatchedLengthsRejectedLocally(t *testing.T) {
+	fs := newFakeServer(t, func(n int64, req *wire.Request) *wire.Response { return okAdd2(req) })
+	c, err := Dial(fs.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Dot2(context.Background(), make([]mf.Float64x2, 3), make([]mf.Float64x2, 4))
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("err = %v, want ErrBadRequest", err)
+	}
+	if n := fs.requests.Load(); n != 0 {
+		t.Fatalf("request hit the wire despite local validation")
+	}
+}

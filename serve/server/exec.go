@@ -1,0 +1,212 @@
+package server
+
+import (
+	"fmt"
+
+	"multifloats/internal/blas"
+	"multifloats/internal/core"
+	"multifloats/serve/wire"
+)
+
+// Slab executors. Scalar batches arrive as flat component slabs (the
+// concatenation of every coalesced request's operands); the elementwise
+// kernels below run the same branch-free internal/core primitives the
+// public mf API uses, so a remote result is bit-identical to the
+// corresponding in-process call no matter how requests were batched.
+// The slab is split across the internal/blas worker pool.
+
+// execScalarSlab computes out[i] = op(x[i], y[i]) elementwise over
+// width-w expansions stored in flat slabs. len(out) == len(x); y is
+// ignored for unary ops.
+func execScalarSlab(op wire.Op, width int, x, y, out []float64, workers int) {
+	count := len(x) / width
+	var body func(lo, hi int)
+	switch width {
+	case 2:
+		switch op {
+		case wire.OpAdd:
+			body = func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[2*i], out[2*i+1] = core.Add2(x[2*i], x[2*i+1], y[2*i], y[2*i+1])
+				}
+			}
+		case wire.OpSub:
+			body = func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[2*i], out[2*i+1] = core.Sub2(x[2*i], x[2*i+1], y[2*i], y[2*i+1])
+				}
+			}
+		case wire.OpMul:
+			body = func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[2*i], out[2*i+1] = core.Mul2(x[2*i], x[2*i+1], y[2*i], y[2*i+1])
+				}
+			}
+		case wire.OpDiv:
+			body = func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[2*i], out[2*i+1] = core.Div2(x[2*i], x[2*i+1], y[2*i], y[2*i+1])
+				}
+			}
+		case wire.OpSqrt:
+			body = func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[2*i], out[2*i+1] = core.Sqrt2(x[2*i], x[2*i+1])
+				}
+			}
+		}
+	case 3:
+		switch op {
+		case wire.OpAdd:
+			body = func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[3*i], out[3*i+1], out[3*i+2] = core.Add3(
+						x[3*i], x[3*i+1], x[3*i+2], y[3*i], y[3*i+1], y[3*i+2])
+				}
+			}
+		case wire.OpSub:
+			body = func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[3*i], out[3*i+1], out[3*i+2] = core.Sub3(
+						x[3*i], x[3*i+1], x[3*i+2], y[3*i], y[3*i+1], y[3*i+2])
+				}
+			}
+		case wire.OpMul:
+			body = func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[3*i], out[3*i+1], out[3*i+2] = core.Mul3(
+						x[3*i], x[3*i+1], x[3*i+2], y[3*i], y[3*i+1], y[3*i+2])
+				}
+			}
+		case wire.OpDiv:
+			body = func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[3*i], out[3*i+1], out[3*i+2] = core.Div3(
+						x[3*i], x[3*i+1], x[3*i+2], y[3*i], y[3*i+1], y[3*i+2])
+				}
+			}
+		case wire.OpSqrt:
+			body = func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[3*i], out[3*i+1], out[3*i+2] = core.Sqrt3(x[3*i], x[3*i+1], x[3*i+2])
+				}
+			}
+		}
+	case 4:
+		switch op {
+		case wire.OpAdd:
+			body = func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[4*i], out[4*i+1], out[4*i+2], out[4*i+3] = core.Add4(
+						x[4*i], x[4*i+1], x[4*i+2], x[4*i+3],
+						y[4*i], y[4*i+1], y[4*i+2], y[4*i+3])
+				}
+			}
+		case wire.OpSub:
+			body = func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[4*i], out[4*i+1], out[4*i+2], out[4*i+3] = core.Sub4(
+						x[4*i], x[4*i+1], x[4*i+2], x[4*i+3],
+						y[4*i], y[4*i+1], y[4*i+2], y[4*i+3])
+				}
+			}
+		case wire.OpMul:
+			body = func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[4*i], out[4*i+1], out[4*i+2], out[4*i+3] = core.Mul4(
+						x[4*i], x[4*i+1], x[4*i+2], x[4*i+3],
+						y[4*i], y[4*i+1], y[4*i+2], y[4*i+3])
+				}
+			}
+		case wire.OpDiv:
+			body = func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[4*i], out[4*i+1], out[4*i+2], out[4*i+3] = core.Div4(
+						x[4*i], x[4*i+1], x[4*i+2], x[4*i+3],
+						y[4*i], y[4*i+1], y[4*i+2], y[4*i+3])
+				}
+			}
+		case wire.OpSqrt:
+			body = func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[4*i], out[4*i+1], out[4*i+2], out[4*i+3] = core.Sqrt4(
+						x[4*i], x[4*i+1], x[4*i+2], x[4*i+3])
+				}
+			}
+		}
+	}
+	if body == nil {
+		panic(fmt.Sprintf("execScalarSlab: unreachable op/width %v/%d", op, width))
+	}
+	blas.Parallel(count, workers, body)
+}
+
+// execBlas runs a validated BLAS request on the specialized kernels —
+// the same tiled/blocked paths the benchmarks measure — and returns the
+// result slab. Determinism: each kernel's operation order is a pure
+// function of (shape, workers), so a client comparing against a local
+// call with the same worker count sees bit-identical results.
+func execBlas(req *wire.Request, workers int) []float64 {
+	switch req.Op {
+	case wire.OpDot:
+		switch req.Width {
+		case 2:
+			r := blas.DotF2Parallel(wire.Unpack2(req.X), wire.Unpack2(req.Y), workers)
+			return r[:]
+		case 3:
+			r := blas.DotF3Parallel(wire.Unpack3(req.X), wire.Unpack3(req.Y), workers)
+			return r[:]
+		default:
+			r := blas.DotF4Parallel(wire.Unpack4(req.X), wire.Unpack4(req.Y), workers)
+			return r[:]
+		}
+	case wire.OpAxpy:
+		switch req.Width {
+		case 2:
+			y := wire.Unpack2(req.Y)
+			blas.AxpyF2Parallel([2]float64(req.Alpha), wire.Unpack2(req.X), y, workers)
+			return wire.Pack2(y)
+		case 3:
+			y := wire.Unpack3(req.Y)
+			blas.AxpyF3Parallel([3]float64(req.Alpha), wire.Unpack3(req.X), y, workers)
+			return wire.Pack3(y)
+		default:
+			y := wire.Unpack4(req.Y)
+			blas.AxpyF4Parallel([4]float64(req.Alpha), wire.Unpack4(req.X), y, workers)
+			return wire.Pack4(y)
+		}
+	case wire.OpGemv:
+		n, m := req.Count, req.M
+		switch req.Width {
+		case 2:
+			y := make([]mfF2, n)
+			blas.GemvTiledF2Parallel(wire.Unpack2(req.X), n, m, wire.Unpack2(req.Y), y, workers)
+			return wire.Pack2(y)
+		case 3:
+			y := make([]mfF3, n)
+			blas.GemvTiledF3Parallel(wire.Unpack3(req.X), n, m, wire.Unpack3(req.Y), y, workers)
+			return wire.Pack3(y)
+		default:
+			y := make([]mfF4, n)
+			blas.GemvTiledF4Parallel(wire.Unpack4(req.X), n, m, wire.Unpack4(req.Y), y, workers)
+			return wire.Pack4(y)
+		}
+	case wire.OpGemm:
+		n := req.Count
+		switch req.Width {
+		case 2:
+			c := make([]mfF2, n*n)
+			blas.GemmBlockedF2Parallel(wire.Unpack2(req.X), wire.Unpack2(req.Y), c, n, workers)
+			return wire.Pack2(c)
+		case 3:
+			c := make([]mfF3, n*n)
+			blas.GemmBlockedF3Parallel(wire.Unpack3(req.X), wire.Unpack3(req.Y), c, n, workers)
+			return wire.Pack3(c)
+		default:
+			c := make([]mfF4, n*n)
+			blas.GemmBlockedF4Parallel(wire.Unpack4(req.X), wire.Unpack4(req.Y), c, n, workers)
+			return wire.Pack4(c)
+		}
+	}
+	panic(fmt.Sprintf("execBlas: unreachable op %v", req.Op))
+}

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"multifloats/serve/wire"
+)
+
+// A lane is the batching queue for one (scalar op, width) pair. Requests
+// accumulate under the lane lock; a flush happens when the batch reaches
+// MaxBatch, when the batch window expires, or when the earliest member
+// deadline would otherwise pass while waiting (fail-fast: an expired
+// request is answered without executing). One flush concatenates every
+// member's operands into a single slab, runs the elementwise kernel once
+// across the worker pool, then splits the result back per request —
+// amortizing scheduling, kernel dispatch, and (because all responses to
+// one connection share a single buffered flush) response syscalls.
+
+type laneKey struct {
+	op    wire.Op
+	width int
+}
+
+type pending struct {
+	c      *srvConn
+	id     uint64
+	ctx    context.Context
+	cancel context.CancelFunc
+	count  int // expansion elements in this request
+	x, y   []float64
+}
+
+type lane struct {
+	s     *Server
+	op    wire.Op
+	width int
+
+	mu    sync.Mutex
+	reqs  []*pending
+	timer *time.Timer
+	due   time.Time // zero when no flush is scheduled
+}
+
+// enqueue admits p or rejects it with backpressure. It never blocks: a
+// full queue answers StatusOverloaded immediately (with a retry-after
+// hint of one batch window) and drops the request.
+func (l *lane) enqueue(p *pending) {
+	cfg := &l.s.cfg
+	l.mu.Lock()
+	if len(l.reqs) >= cfg.QueueDepth {
+		l.mu.Unlock()
+		l.s.stats.overload()
+		retry := uint32(cfg.BatchWindow / time.Millisecond)
+		if retry == 0 {
+			retry = 1
+		}
+		p.c.writeResponse(&wire.Response{ID: p.id, Status: wire.StatusOverloaded, RetryAfterMs: retry}, true)
+		p.cancel()
+		return
+	}
+	l.reqs = append(l.reqs, p)
+	l.s.stats.enqueue(1)
+	if len(l.reqs) >= cfg.MaxBatch || cfg.BatchWindow <= 0 {
+		batch := l.takeLocked()
+		l.mu.Unlock()
+		l.exec(batch)
+		return
+	}
+	// Schedule (or pull forward) the window flush; a member deadline
+	// sooner than the window end pulls the flush to the deadline so the
+	// request is answered the moment it expires rather than lingering.
+	due := time.Now().Add(cfg.BatchWindow)
+	if d, ok := p.ctx.Deadline(); ok && d.Before(due) {
+		due = d
+	}
+	if l.due.IsZero() || due.Before(l.due) {
+		l.due = due
+		if l.timer == nil {
+			l.timer = time.AfterFunc(time.Until(due), l.onTimer)
+		} else {
+			l.timer.Reset(time.Until(due))
+		}
+	}
+	l.mu.Unlock()
+}
+
+// takeLocked removes and returns the current batch (up to MaxBatch
+// requests) and clears the scheduled flush. Callers hold l.mu.
+func (l *lane) takeLocked() []*pending {
+	n := len(l.reqs)
+	if n > l.s.cfg.MaxBatch {
+		n = l.s.cfg.MaxBatch
+	}
+	batch := make([]*pending, n)
+	copy(batch, l.reqs[:n])
+	rest := copy(l.reqs, l.reqs[n:])
+	for i := rest; i < len(l.reqs); i++ {
+		l.reqs[i] = nil
+	}
+	l.reqs = l.reqs[:rest]
+	l.due = time.Time{}
+	if l.timer != nil {
+		if rest > 0 {
+			// Leftovers (arrivals beyond MaxBatch): flush them promptly.
+			l.due = time.Now()
+			l.timer.Reset(0)
+		} else {
+			l.timer.Stop()
+		}
+	}
+	l.s.stats.enqueue(int64(-n))
+	return batch
+}
+
+func (l *lane) onTimer() {
+	l.mu.Lock()
+	if len(l.reqs) == 0 {
+		l.due = time.Time{}
+		l.mu.Unlock()
+		return
+	}
+	batch := l.takeLocked()
+	l.mu.Unlock()
+	l.exec(batch)
+}
+
+// drain flushes everything pending, looping until the lane is empty.
+// Used by Shutdown after new arrivals are fenced off.
+func (l *lane) drain() {
+	for {
+		l.mu.Lock()
+		if len(l.reqs) == 0 {
+			l.mu.Unlock()
+			return
+		}
+		batch := l.takeLocked()
+		l.mu.Unlock()
+		l.exec(batch)
+	}
+}
+
+// exec runs one batch: expired members are answered StatusDeadlineExceeded
+// without executing (their ctx carries the per-request deadline); live
+// members' slabs are concatenated, executed once across the pool, and the
+// results scattered back. Responses are buffered per connection and each
+// touched connection is flushed exactly once.
+func (l *lane) exec(batch []*pending) {
+	live := batch[:0:len(batch)]
+	var elems int
+	byConn := make(map[*srvConn][]wire.Response, 2)
+	now := time.Now()
+	for _, p := range batch {
+		// The wall-clock check matters when this flush was pulled forward to
+		// a member deadline: the lane timer and the context's expiry timer
+		// fire at the same instant, and ctx.Err() may not be set yet.
+		expired := p.ctx.Err() != nil
+		if d, ok := p.ctx.Deadline(); !expired && ok && !now.Before(d) {
+			expired = true
+		}
+		if expired {
+			l.s.stats.deadline()
+			byConn[p.c] = append(byConn[p.c], wire.Response{ID: p.id, Status: wire.StatusDeadlineExceeded})
+			p.cancel()
+			continue
+		}
+		live = append(live, p)
+		elems += p.count
+	}
+	if len(live) > 0 {
+		l.s.stats.batch(int64(len(live)), int64(elems))
+		w := l.width
+		x := make([]float64, 0, elems*w)
+		var y []float64
+		for _, p := range live {
+			x = append(x, p.x...)
+		}
+		if !l.op.Unary() {
+			y = make([]float64, 0, elems*w)
+			for _, p := range live {
+				y = append(y, p.y...)
+			}
+		}
+		out := make([]float64, elems*w)
+		execScalarSlab(l.op, w, x, y, out, l.s.cfg.Workers)
+		off := 0
+		for _, p := range live {
+			n := p.count * w
+			byConn[p.c] = append(byConn[p.c], wire.Response{ID: p.id, Status: wire.StatusOK, Data: out[off : off+n]})
+			off += n
+			p.cancel()
+		}
+	}
+	// One writer-lock hold, one counter update, and one flush per touched
+	// connection, however many batch members it contributed.
+	for c, resps := range byConn {
+		c.writeResponses(resps)
+	}
+}

@@ -1,0 +1,364 @@
+// Package server implements the mfserve network service: a TCP listener
+// speaking the serve/wire protocol, a per-(op,width) batching scheduler
+// that coalesces compatible scalar requests into vectorized slabs
+// executed on the internal/blas worker pool, bounded queues with
+// reject-with-retry-after backpressure, per-request deadline enforcement
+// via contexts, and graceful drain on shutdown.
+//
+// Request flow: each connection gets a reader goroutine. Scalar requests
+// (Add/Sub/Mul/Div/Sqrt) are enqueued on their lane and answered
+// asynchronously when the lane flushes (batch full, window expired, or a
+// member deadline imminent). BLAS requests (Axpy/Dot/Gemv/Gemv) are
+// already slab-shaped, so they execute immediately on the reader
+// goroutine against the specialized parallel kernels. All responses to a
+// connection are serialized through its buffered writer; a batch flush
+// writes every member response and performs one flush per touched
+// connection, which is where batching pays on the wire as well as in the
+// kernels.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"multifloats/internal/blas"
+	"multifloats/mf"
+	"multifloats/serve/wire"
+)
+
+// Local aliases keep the executor's signatures readable.
+type (
+	mfF2 = mf.Float64x2
+	mfF3 = mf.Float64x3
+	mfF4 = mf.Float64x4
+)
+
+// Config tunes a Server. Zero values take the documented defaults.
+type Config struct {
+	// Addr is the TCP listen address (default "127.0.0.1:0").
+	Addr string
+	// BatchWindow is the maximum time a scalar request waits for
+	// batch-mates before its lane flushes (default 200µs). 0 disables
+	// coalescing: every request executes immediately on arrival.
+	BatchWindow time.Duration
+	// MaxBatch is the flush threshold in requests per lane (default 256;
+	// 1 disables coalescing).
+	MaxBatch int
+	// QueueDepth bounds each lane's pending queue; arrivals beyond it are
+	// rejected with StatusOverloaded (default 4096).
+	QueueDepth int
+	// Workers is the kernel parallelism for slab and BLAS execution
+	// (default blas.Workers(), i.e. GOMAXPROCS).
+	Workers int
+	// MaxDim bounds a single request's operand size (expansion elements
+	// per slab) so one frame cannot monopolize the server (default 1<<20).
+	MaxDim int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 200 * time.Microsecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4096
+	}
+	if c.Workers <= 0 {
+		c.Workers = blas.Workers()
+	}
+	if c.MaxDim <= 0 {
+		c.MaxDim = 1 << 20
+	}
+}
+
+// Server is one mfserve instance.
+type Server struct {
+	cfg   Config
+	ln    net.Listener
+	lanes map[laneKey]*lane
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	conns    map[*srvConn]struct{}
+	draining bool
+
+	connWG sync.WaitGroup
+	stats  Stats
+}
+
+// New returns an unstarted server.
+func New(cfg Config) *Server {
+	cfg.fillDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		lanes:      make(map[laneKey]*lane),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		conns:      make(map[*srvConn]struct{}),
+	}
+	for _, op := range []wire.Op{wire.OpAdd, wire.OpSub, wire.OpMul, wire.OpDiv, wire.OpSqrt} {
+		for w := 2; w <= 4; w++ {
+			s.lanes[laneKey{op, w}] = &lane{s: s, op: op, width: w}
+		}
+	}
+	return s
+}
+
+// Stats exposes the server's counters (also mirrored into expvar).
+func (s *Server) Stats() *Stats { return &s.stats }
+
+// Listen binds the configured address. Call before Serve; Addr is valid
+// afterwards (useful with ":0").
+func (s *Server) Listen() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the bound listen address (nil before Listen).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve accepts connections until Shutdown (or a fatal listener error).
+// It returns nil after a clean shutdown.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		if err := s.Listen(); err != nil {
+			return err
+		}
+	}
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			if s.isDraining() || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if tc, ok := nc.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		c := &srvConn{
+			s:  s,
+			nc: nc,
+			br: bufio.NewReaderSize(nc, 1<<16),
+			bw: bufio.NewWriterSize(nc, 1<<16),
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.stats.connOpen()
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			c.serve()
+		}()
+	}
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *Server) ListenAndServe() error {
+	if err := s.Listen(); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown drains gracefully: stop accepting, fence new requests (they
+// are answered StatusOverloaded), flush every lane so already-admitted
+// requests complete, then unblock connection readers and wait for them
+// up to ctx's deadline. It does not close the blas worker pool — that is
+// the process owner's call (cmd/mfserved closes it on exit).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.mu.Unlock()
+
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for _, l := range s.lanes {
+		l.drain()
+	}
+	// Unblock readers parked in Read; draining readers exit on the
+	// timeout error instead of treating it as a peer failure.
+	s.mu.Lock()
+	for c := range s.conns {
+		c.nc.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.baseCancel()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.nc.Close()
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// srvConn is one accepted connection.
+type srvConn struct {
+	s  *Server
+	nc net.Conn
+	br *bufio.Reader
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+}
+
+func (c *srvConn) serve() {
+	defer func() {
+		c.s.mu.Lock()
+		delete(c.s.conns, c)
+		c.s.mu.Unlock()
+		c.s.stats.connClose()
+		c.nc.Close()
+	}()
+	for {
+		req, err := wire.ReadRequest(c.br)
+		if err != nil {
+			// EOF and peer resets are normal disconnects; framing errors
+			// poison the stream. Either way the connection is done — but a
+			// recognizable protocol violation is counted first.
+			if errors.Is(err, wire.ErrMagic) || errors.Is(err, wire.ErrVersion) ||
+				errors.Is(err, wire.ErrFrameType) || errors.Is(err, wire.ErrTooLarge) ||
+				errors.Is(err, wire.ErrMalformed) {
+				c.s.stats.protoErr()
+			}
+			return
+		}
+		c.s.stats.reqIn()
+		if c.s.isDraining() {
+			c.writeResponse(&wire.Response{ID: req.ID, Status: wire.StatusOverloaded, RetryAfterMs: 1000}, true)
+			return
+		}
+		if err := c.handle(req); err != nil {
+			return
+		}
+	}
+}
+
+// handle dispatches one validated-or-rejected request. A non-nil return
+// closes the connection.
+func (c *srvConn) handle(req *wire.Request) error {
+	if err := req.Validate(); err != nil {
+		c.s.stats.protoErr()
+		return c.writeResponse(&wire.Response{ID: req.ID, Status: wire.StatusBadRequest}, true)
+	}
+	if max(len(req.X), len(req.Y)) > c.s.cfg.MaxDim*req.Width {
+		c.s.stats.protoErr()
+		return c.writeResponse(&wire.Response{ID: req.ID, Status: wire.StatusBadRequest}, true)
+	}
+
+	ctx := c.s.baseCtx
+	cancel := context.CancelFunc(func() {})
+	if !req.Deadline.IsZero() {
+		ctx, cancel = context.WithDeadline(ctx, req.Deadline)
+	}
+
+	if req.Op.Scalar() {
+		p := &pending{
+			c: c, id: req.ID, ctx: ctx, cancel: cancel,
+			count: req.Count, x: req.X, y: req.Y,
+		}
+		c.s.lanes[laneKey{req.Op, req.Width}].enqueue(p)
+		return nil
+	}
+
+	// BLAS ops are already slab-shaped; execute on this goroutine.
+	defer cancel()
+	if ctx.Err() != nil {
+		c.s.stats.deadline()
+		return c.writeResponse(&wire.Response{ID: req.ID, Status: wire.StatusDeadlineExceeded}, true)
+	}
+	out := execBlas(req, c.s.cfg.Workers)
+	if ctx.Err() != nil {
+		// Result computed but the deadline passed while computing: the
+		// client has given up; honor the contract and fail the request.
+		c.s.stats.deadline()
+		return c.writeResponse(&wire.Response{ID: req.ID, Status: wire.StatusDeadlineExceeded}, true)
+	}
+	return c.writeResponse(&wire.Response{ID: req.ID, Status: wire.StatusOK, Data: out}, true)
+}
+
+// writeResponse appends resp to the connection's buffered writer and
+// optionally flushes. Write errors are swallowed (the reader goroutine
+// will observe the broken connection and tear down); the error return
+// only signals "stop serving this conn".
+func (c *srvConn) writeResponse(resp *wire.Response, flush bool) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := wire.WriteResponse(c.bw, resp); err != nil {
+		return fmt.Errorf("write response: %w", err)
+	}
+	c.s.stats.respOut()
+	if flush {
+		return c.bw.Flush()
+	}
+	return nil
+}
+
+// writeResponses appends a batch's responses for this connection and
+// flushes once: one lock hold, one stats update, one syscall for the
+// whole group. Write errors are swallowed (the reader goroutine observes
+// the broken connection and tears down).
+func (c *srvConn) writeResponses(resps []wire.Response) {
+	c.wmu.Lock()
+	n := 0
+	for i := range resps {
+		if wire.WriteResponse(c.bw, &resps[i]) != nil {
+			break
+		}
+		n++
+	}
+	c.bw.Flush()
+	c.wmu.Unlock()
+	c.s.stats.respOutN(int64(n))
+}

@@ -1,0 +1,241 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"multifloats/mf"
+	"multifloats/serve/wire"
+)
+
+// startTestServer returns a running server on a loopback port and a
+// cleanup-registered shutdown.
+func startTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	cfg.Addr = "127.0.0.1:0"
+	s := New(cfg)
+	if err := s.Listen(); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve() }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return s
+}
+
+type testConn struct {
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+func dialTest(t *testing.T, s *Server) *testConn {
+	t.Helper()
+	nc, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return &testConn{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
+}
+
+func (c *testConn) send(t *testing.T, req *wire.Request) {
+	t.Helper()
+	if err := wire.WriteRequest(c.bw, req); err != nil {
+		t.Fatalf("WriteRequest: %v", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+}
+
+func (c *testConn) recv(t *testing.T) *wire.Response {
+	t.Helper()
+	c.nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	resp, err := wire.ReadResponse(c.br)
+	if err != nil {
+		t.Fatalf("ReadResponse: %v", err)
+	}
+	return resp
+}
+
+// TestBatchCoalescing pins the scheduler's core behavior: pipelined
+// compatible scalar requests land in one slab execution, and each result
+// matches the in-process mf call bit for bit.
+func TestBatchCoalescing(t *testing.T) {
+	s := startTestServer(t, Config{BatchWindow: 30 * time.Millisecond, MaxBatch: 64})
+	c := dialTest(t, s)
+
+	const k = 10
+	xs := make([]mf.Float64x2, k)
+	ys := make([]mf.Float64x2, k)
+	for i := range xs {
+		xs[i] = mf.New2(float64(i + 1)).DivFloat(3)
+		ys[i] = mf.New2(float64(i + 2)).DivFloat(7)
+	}
+	for i := 0; i < k; i++ {
+		c.send(t, &wire.Request{
+			ID: uint64(i), Op: wire.OpMul, Width: 2, Count: 1,
+			X: xs[i][:], Y: ys[i][:],
+		})
+	}
+	got := make(map[uint64][]float64, k)
+	for i := 0; i < k; i++ {
+		resp := c.recv(t)
+		if resp.Status != wire.StatusOK {
+			t.Fatalf("resp %d: status %v", resp.ID, resp.Status)
+		}
+		got[resp.ID] = resp.Data
+	}
+	for i := 0; i < k; i++ {
+		want := xs[i].Mul(ys[i])
+		data := got[uint64(i)]
+		if len(data) != 2 || math.Float64bits(data[0]) != math.Float64bits(want[0]) ||
+			math.Float64bits(data[1]) != math.Float64bits(want[1]) {
+			t.Fatalf("req %d: got %v want %v", i, data, want)
+		}
+	}
+	st := s.Stats().Snapshot()
+	if st.Batches != 1 || st.BatchedReqs != k {
+		t.Fatalf("batches=%d batched_requests=%d, want 1/%d (requests did not coalesce)",
+			st.Batches, st.BatchedReqs, k)
+	}
+	if st.QueueDepth != 0 {
+		t.Fatalf("queue depth %d after drain, want 0", st.QueueDepth)
+	}
+}
+
+// TestMaxBatchFlush: hitting MaxBatch flushes immediately instead of
+// waiting out the window.
+func TestMaxBatchFlush(t *testing.T) {
+	s := startTestServer(t, Config{BatchWindow: 10 * time.Second, MaxBatch: 4})
+	c := dialTest(t, s)
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		c.send(t, &wire.Request{ID: uint64(i), Op: wire.OpAdd, Width: 2, Count: 1,
+			X: []float64{1, 0}, Y: []float64{2, 0}})
+	}
+	for i := 0; i < 4; i++ {
+		if resp := c.recv(t); resp.Status != wire.StatusOK {
+			t.Fatalf("status %v", resp.Status)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("size-triggered flush took %v; server waited for the window", elapsed)
+	}
+}
+
+// TestOverloadBackpressure: a full lane queue answers StatusOverloaded
+// with a retry hint instead of blocking or dropping silently.
+func TestOverloadBackpressure(t *testing.T) {
+	s := startTestServer(t, Config{BatchWindow: time.Second, MaxBatch: 1 << 20, QueueDepth: 2})
+	c := dialTest(t, s)
+	const k = 6
+	for i := 0; i < k; i++ {
+		c.send(t, &wire.Request{ID: uint64(i), Op: wire.OpAdd, Width: 3, Count: 1,
+			X: []float64{1, 0, 0}, Y: []float64{2, 0, 0}})
+	}
+	overloaded := 0
+	for i := 0; i < k; i++ {
+		resp := c.recv(t)
+		if resp.Status == wire.StatusOverloaded {
+			overloaded++
+			if resp.RetryAfterMs == 0 {
+				t.Fatal("overload response missing retry-after hint")
+			}
+		}
+	}
+	if overloaded != k-2 {
+		t.Fatalf("overloaded %d of %d, want %d (queue depth 2)", overloaded, k, k-2)
+	}
+	if got := s.Stats().Overloads.Load(); got != int64(k-2) {
+		t.Fatalf("stats.Overloads = %d, want %d", got, k-2)
+	}
+}
+
+// TestMalformedFrameClosesConn: a framing violation is counted and the
+// connection is closed (the stream can no longer be trusted).
+func TestMalformedFrameClosesConn(t *testing.T) {
+	s := startTestServer(t, Config{})
+	c := dialTest(t, s)
+	c.nc.Write([]byte("GET / HTTP/1.1\r\n\r\n this is not an mf frame"))
+	c.nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := c.nc.Read(buf); err == nil {
+		t.Fatal("connection still open after malformed frame")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().ProtocolErrors.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.Stats().ProtocolErrors.Load(); got == 0 {
+		t.Fatal("protocol error not counted")
+	}
+}
+
+// TestOversizedDimRejected: a structurally valid request beyond MaxDim is
+// answered StatusBadRequest rather than executed.
+func TestOversizedDimRejected(t *testing.T) {
+	s := startTestServer(t, Config{MaxDim: 8})
+	c := dialTest(t, s)
+	n := 16
+	c.send(t, &wire.Request{ID: 1, Op: wire.OpDot, Width: 2, Count: n,
+		X: make([]float64, n*2), Y: make([]float64, n*2)})
+	if resp := c.recv(t); resp.Status != wire.StatusBadRequest {
+		t.Fatalf("status %v, want bad-request", resp.Status)
+	}
+}
+
+// TestShutdownDrains: requests admitted before Shutdown are executed and
+// answered during the drain, not dropped.
+func TestShutdownDrains(t *testing.T) {
+	cfg := Config{Addr: "127.0.0.1:0", BatchWindow: 10 * time.Second, MaxBatch: 1 << 20}
+	s := New(cfg)
+	if err := s.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve() }()
+
+	c := dialTest(t, s)
+	const k = 5
+	for i := 0; i < k; i++ {
+		c.send(t, &wire.Request{ID: uint64(i), Op: wire.OpMul, Width: 4, Count: 1,
+			X: []float64{3, 0, 0, 0}, Y: []float64{5, 0, 0, 0}})
+	}
+	// Wait for the requests to be admitted before draining.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().QueueDepth.Load() < k && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	for i := 0; i < k; i++ {
+		resp := c.recv(t)
+		if resp.Status != wire.StatusOK {
+			t.Fatalf("drained request %d: status %v", resp.ID, resp.Status)
+		}
+		if resp.Data[0] != 15 {
+			t.Fatalf("drained request %d: got %v", resp.ID, resp.Data)
+		}
+	}
+}

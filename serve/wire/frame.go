@@ -1,0 +1,204 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+)
+
+// bufPool recycles frame scratch buffers. Encode buffers live only for
+// the Write call and decode buffers only for the Read call (components
+// are copied out into float slices), so pooling them is safe and removes
+// the dominant per-frame allocations on a busy connection. Oversized
+// buffers (large BLAS frames) are dropped rather than retained.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+const maxPooledBuf = 1 << 16
+
+func getBuf(n int) (*[]byte, []byte) {
+	bp := bufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	return bp, (*bp)[:n]
+}
+
+func putBuf(bp *[]byte) {
+	if cap(*bp) <= maxPooledBuf {
+		bufPool.Put(bp)
+	}
+}
+
+// putF64s writes the raw IEEE-754 bit patterns of v at the front of b,
+// little-endian, returning the remainder of b. Going through Float64bits
+// (not any decimal or shortest-round-trip form) is what makes the
+// encoding bit-exact for -0, subnormals, and NaN payloads alike.
+func putF64s(b []byte, v []float64) []byte {
+	for _, f := range v {
+		binary.LittleEndian.PutUint64(b, math.Float64bits(f))
+		b = b[8:]
+	}
+	return b
+}
+
+// getF64s decodes n float64 components from the front of b and returns
+// the remainder of b.
+func getF64s(b []byte, n int) ([]float64, []byte) {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return v, b[n*8:]
+}
+
+func putHeader(b []byte, frameType byte, payloadLen int, id uint64, extra int64) {
+	b[0], b[1] = magic0, magic1
+	b[2] = Version
+	b[3] = frameType
+	binary.LittleEndian.PutUint32(b[4:], uint32(payloadLen))
+	binary.LittleEndian.PutUint64(b[8:], id)
+	binary.LittleEndian.PutUint64(b[16:], uint64(extra))
+}
+
+// readHeader reads and validates a frame header, returning the payload
+// length, request ID, and the type-specific extra field.
+func readHeader(r io.Reader, wantType byte) (payloadLen int, id uint64, extra int64, err error) {
+	var h [HeaderSize]byte
+	if _, err = io.ReadFull(r, h[:]); err != nil {
+		return 0, 0, 0, err
+	}
+	if h[0] != magic0 || h[1] != magic1 {
+		return 0, 0, 0, ErrMagic
+	}
+	if h[2] != Version {
+		return 0, 0, 0, fmt.Errorf("%w: got %d, want %d", ErrVersion, h[2], Version)
+	}
+	if h[3] != wantType {
+		return 0, 0, 0, fmt.Errorf("%w: got %d, want %d", ErrFrameType, h[3], wantType)
+	}
+	n := binary.LittleEndian.Uint32(h[4:])
+	if n > MaxPayload {
+		return 0, 0, 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
+	}
+	id = binary.LittleEndian.Uint64(h[8:])
+	extra = int64(binary.LittleEndian.Uint64(h[16:]))
+	return int(n), id, extra, nil
+}
+
+// deadlineNanos converts a deadline to the wire representation: absolute
+// Unix nanoseconds, 0 for "none".
+func deadlineNanos(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
+}
+
+const reqFixed = 12 // op, width, reserved×2, count, m
+
+// WriteRequest encodes r as a single frame. The caller is responsible
+// for r being well-shaped (Validate); WriteRequest trusts the slab
+// lengths it is given.
+func WriteRequest(w io.Writer, r *Request) error {
+	payload := reqFixed + 8*(len(r.Alpha)+len(r.X)+len(r.Y))
+	if payload > MaxPayload {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, payload)
+	}
+	bp, buf := getBuf(HeaderSize + payload)
+	defer putBuf(bp)
+	putHeader(buf, frameRequest, payload, r.ID, deadlineNanos(r.Deadline))
+	p := buf[HeaderSize:]
+	p[0], p[1], p[2], p[3] = byte(r.Op), byte(r.Width), 0, 0
+	binary.LittleEndian.PutUint32(p[4:], uint32(r.Count))
+	binary.LittleEndian.PutUint32(p[8:], uint32(r.M))
+	p = putF64s(p[reqFixed:], r.Alpha)
+	p = putF64s(p, r.X)
+	putF64s(p, r.Y)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadRequest decodes one request frame. A returned error (other than a
+// clean io.EOF before any bytes) means the stream is no longer aligned
+// on frame boundaries and the connection should be closed.
+func ReadRequest(r io.Reader) (*Request, error) {
+	payloadLen, id, dl, err := readHeader(r, frameRequest)
+	if err != nil {
+		return nil, err
+	}
+	if payloadLen < reqFixed {
+		return nil, fmt.Errorf("%w: request payload %d bytes, want ≥ %d", ErrMalformed, payloadLen, reqFixed)
+	}
+	bp, body := getBuf(payloadLen)
+	defer putBuf(bp)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	req := &Request{
+		ID:    id,
+		Op:    Op(body[0]),
+		Width: int(body[1]),
+		Count: int(binary.LittleEndian.Uint32(body[4:])),
+		M:     int(binary.LittleEndian.Uint32(body[8:])),
+	}
+	if dl != 0 {
+		req.Deadline = time.Unix(0, dl)
+	}
+	nx, ny, na, err := ReqElems(req.Op, req.Width, req.Count, req.M)
+	if err != nil {
+		return nil, err
+	}
+	if want := reqFixed + 8*(na+nx+ny); want != payloadLen {
+		return nil, fmt.Errorf("%w: %s payload %d bytes, want %d", ErrMalformed, req.Op, payloadLen, want)
+	}
+	rest := body[reqFixed:]
+	req.Alpha, rest = getF64s(rest, na)
+	req.X, rest = getF64s(rest, nx)
+	req.Y, _ = getF64s(rest, ny)
+	return req, nil
+}
+
+const respFixed = 8 // status, reserved×3, retry-after
+
+// WriteResponse encodes resp as a single frame.
+func WriteResponse(w io.Writer, resp *Response) error {
+	payload := respFixed + 8*len(resp.Data)
+	if payload > MaxPayload {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, payload)
+	}
+	bp, buf := getBuf(HeaderSize + payload)
+	defer putBuf(bp)
+	putHeader(buf, frameResponse, payload, resp.ID, 0)
+	p := buf[HeaderSize:]
+	p[0], p[1], p[2], p[3] = byte(resp.Status), 0, 0, 0
+	binary.LittleEndian.PutUint32(p[4:], resp.RetryAfterMs)
+	putF64s(p[respFixed:], resp.Data)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadResponse decodes one response frame.
+func ReadResponse(r io.Reader) (*Response, error) {
+	payloadLen, id, _, err := readHeader(r, frameResponse)
+	if err != nil {
+		return nil, err
+	}
+	if payloadLen < respFixed || (payloadLen-respFixed)%8 != 0 {
+		return nil, fmt.Errorf("%w: response payload %d bytes", ErrMalformed, payloadLen)
+	}
+	bp, body := getBuf(payloadLen)
+	defer putBuf(bp)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	resp := &Response{
+		ID:           id,
+		Status:       Status(body[0]),
+		RetryAfterMs: binary.LittleEndian.Uint32(body[4:]),
+	}
+	resp.Data, _ = getF64s(body[respFixed:], (payloadLen-respFixed)/8)
+	return resp, nil
+}

@@ -1,0 +1,63 @@
+package wire
+
+import "multifloats/mf"
+
+// Slab conversions between mf expansion slices and the flat component
+// slabs that travel on the wire. Component order is the expansion's own
+// (leading term first), so packing is a pure reshape — no rounding, no
+// bit changes. Both the server's executor and the client's typed API go
+// through these.
+
+// Pack2 flattens 2-term expansions into a component slab.
+func Pack2(v []mf.Float64x2) []float64 {
+	s := make([]float64, 2*len(v))
+	for i, e := range v {
+		s[2*i], s[2*i+1] = e[0], e[1]
+	}
+	return s
+}
+
+// Unpack2 reshapes a component slab into 2-term expansions.
+func Unpack2(s []float64) []mf.Float64x2 {
+	v := make([]mf.Float64x2, len(s)/2)
+	for i := range v {
+		v[i] = mf.Float64x2{s[2*i], s[2*i+1]}
+	}
+	return v
+}
+
+// Pack3 flattens 3-term expansions into a component slab.
+func Pack3(v []mf.Float64x3) []float64 {
+	s := make([]float64, 3*len(v))
+	for i, e := range v {
+		s[3*i], s[3*i+1], s[3*i+2] = e[0], e[1], e[2]
+	}
+	return s
+}
+
+// Unpack3 reshapes a component slab into 3-term expansions.
+func Unpack3(s []float64) []mf.Float64x3 {
+	v := make([]mf.Float64x3, len(s)/3)
+	for i := range v {
+		v[i] = mf.Float64x3{s[3*i], s[3*i+1], s[3*i+2]}
+	}
+	return v
+}
+
+// Pack4 flattens 4-term expansions into a component slab.
+func Pack4(v []mf.Float64x4) []float64 {
+	s := make([]float64, 4*len(v))
+	for i, e := range v {
+		s[4*i], s[4*i+1], s[4*i+2], s[4*i+3] = e[0], e[1], e[2], e[3]
+	}
+	return s
+}
+
+// Unpack4 reshapes a component slab into 4-term expansions.
+func Unpack4(s []float64) []mf.Float64x4 {
+	v := make([]mf.Float64x4, len(s)/4)
+	for i := range v {
+		v[i] = mf.Float64x4{s[4*i], s[4*i+1], s[4*i+2], s[4*i+3]}
+	}
+	return v
+}

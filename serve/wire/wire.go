@@ -1,0 +1,255 @@
+// Package wire is the binary protocol of the mfserve compute service: a
+// compact, versioned framing for extended-precision expansion values and
+// the request/response pairs of the scalar (Add/Sub/Mul/Div/Sqrt) and
+// BLAS (Axpy/Dot/Gemv/Gemm) operations at widths 2, 3, and 4.
+//
+// Expansion components travel as their raw IEEE-754 bit patterns
+// (little-endian uint64 per float64 component), so a decode(encode(x))
+// round trip is bit-exact for every representable expansion — including
+// -0 tail terms, subnormals, and the NaN/Inf collapse states of the §4.4
+// special-value contract. The wire base type is float64 (the serving
+// tier's configuration); float32 expansions are a client-side concern.
+//
+// Frame layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       2     magic "MF"
+//	2       1     version (1)
+//	3       1     frame type (1 = request, 2 = response)
+//	4       4     payload length in bytes
+//	8       8     request ID
+//	16      8     request: absolute deadline, Unix nanoseconds (0 = none)
+//	              response: reserved (0)
+//	24      —     payload
+//
+// Request payload:
+//
+//	0       1     op
+//	1       1     width (2, 3, or 4)
+//	2       2     reserved (0)
+//	4       4     count (elements / vector length / matrix dimension n)
+//	8       4     m     (GEMV column count; 0 otherwise)
+//	12      —     Axpy only: alpha, width components
+//	…       —     X slab, then Y slab (see ReqElems for sizes)
+//
+// Response payload:
+//
+//	0       1     status
+//	1       3     reserved (0)
+//	4       4     retry-after hint, milliseconds (Overloaded only)
+//	8       —     result slab (see RespElems for size)
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Protocol constants.
+const (
+	Version    = 1
+	HeaderSize = 24
+
+	// MaxPayload bounds a frame's payload so a corrupt or hostile length
+	// field cannot trigger an arbitrary allocation. 1 GiB admits GEMM up
+	// to n≈2048 at width 4 with both operand matrices in one frame.
+	MaxPayload = 1 << 30
+
+	magic0, magic1 = 'M', 'F'
+
+	frameRequest  = 1
+	frameResponse = 2
+)
+
+// Op identifies the requested operation. Scalar ops apply elementwise to
+// `count` operand expansions; BLAS ops carry whole vectors or matrices.
+type Op uint8
+
+const (
+	OpAdd  Op = 1
+	OpSub  Op = 2
+	OpMul  Op = 3
+	OpDiv  Op = 4
+	OpSqrt Op = 5
+
+	OpAxpy Op = 16
+	OpDot  Op = 17
+	OpGemv Op = 18
+	OpGemm Op = 19
+)
+
+// Scalar reports whether op is one of the elementwise scalar operations
+// (the ones the server's batching scheduler may coalesce across requests).
+func (op Op) Scalar() bool { return op >= OpAdd && op <= OpSqrt }
+
+// Unary reports whether op takes a single operand slab.
+func (op Op) Unary() bool { return op == OpSqrt }
+
+// Valid reports whether op is a known operation code.
+func (op Op) Valid() bool {
+	return (op >= OpAdd && op <= OpSqrt) || (op >= OpAxpy && op <= OpGemm)
+}
+
+func (op Op) String() string {
+	switch op {
+	case OpAdd:
+		return "add"
+	case OpSub:
+		return "sub"
+	case OpMul:
+		return "mul"
+	case OpDiv:
+		return "div"
+	case OpSqrt:
+		return "sqrt"
+	case OpAxpy:
+		return "axpy"
+	case OpDot:
+		return "dot"
+	case OpGemv:
+		return "gemv"
+	case OpGemm:
+		return "gemm"
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// ParseOp is the inverse of Op.String, for CLI flag parsing.
+func ParseOp(s string) (Op, error) {
+	for _, op := range []Op{OpAdd, OpSub, OpMul, OpDiv, OpSqrt, OpAxpy, OpDot, OpGemv, OpGemm} {
+		if op.String() == s {
+			return op, nil
+		}
+	}
+	return 0, fmt.Errorf("wire: unknown op %q", s)
+}
+
+// Status is the response disposition.
+type Status uint8
+
+const (
+	StatusOK Status = 0
+	// StatusDeadlineExceeded: the request's deadline passed before the
+	// server completed (or started) it; no result is included.
+	StatusDeadlineExceeded Status = 1
+	// StatusOverloaded: the server's bounded queue was full (or it is
+	// draining); retry after the hinted delay.
+	StatusOverloaded Status = 2
+	// StatusBadRequest: the frame was well-formed but semantically
+	// invalid (unknown op, bad width, inconsistent sizes).
+	StatusBadRequest Status = 3
+	// StatusInternal: the server failed unexpectedly.
+	StatusInternal Status = 4
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusDeadlineExceeded:
+		return "deadline-exceeded"
+	case StatusOverloaded:
+		return "overloaded"
+	case StatusBadRequest:
+		return "bad-request"
+	case StatusInternal:
+		return "internal"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// Framing errors. Read-side failures wrap one of these (or an underlying
+// I/O error); any of them poisons the connection byte stream, so callers
+// should close the connection rather than attempt to resynchronize.
+var (
+	ErrMagic     = errors.New("wire: bad magic")
+	ErrVersion   = errors.New("wire: unsupported protocol version")
+	ErrFrameType = errors.New("wire: unexpected frame type")
+	ErrTooLarge  = errors.New("wire: frame exceeds MaxPayload")
+	ErrMalformed = errors.New("wire: malformed payload")
+)
+
+// Request is one decoded request frame. Slabs are flat component arrays:
+// expansion i of a width-w slab occupies s[i*w : (i+1)*w], leading
+// component first (mf's canonical component order).
+type Request struct {
+	ID       uint64
+	Deadline time.Time // zero = no deadline
+	Op       Op
+	Width    int // expansion width: 2, 3, or 4
+	Count    int // scalar: elements; axpy/dot: n; gemv: rows n; gemm: n
+	M        int // gemv: columns; 0 otherwise
+
+	Alpha []float64 // axpy only: one expansion (Width components)
+	X     []float64 // first operand slab
+	Y     []float64 // second operand slab (empty for unary ops)
+}
+
+// Response is one decoded response frame.
+type Response struct {
+	ID           uint64
+	Status       Status
+	RetryAfterMs uint32
+	Data         []float64 // result slab; empty unless Status == StatusOK
+}
+
+// ReqElems returns the expected component counts (len of X, Y, Alpha)
+// for a request with the given shape. It returns an error for unknown
+// ops and invalid widths/dimensions.
+func ReqElems(op Op, width, count, m int) (x, y, alpha int, err error) {
+	if width < 2 || width > 4 {
+		return 0, 0, 0, fmt.Errorf("%w: width %d (want 2, 3, or 4)", ErrMalformed, width)
+	}
+	if count < 0 || m < 0 {
+		return 0, 0, 0, fmt.Errorf("%w: negative dimension", ErrMalformed)
+	}
+	switch {
+	case op.Scalar():
+		if op.Unary() {
+			return count * width, 0, 0, nil
+		}
+		return count * width, count * width, 0, nil
+	case op == OpAxpy:
+		return count * width, count * width, width, nil
+	case op == OpDot:
+		return count * width, count * width, 0, nil
+	case op == OpGemv:
+		return count * m * width, m * width, 0, nil
+	case op == OpGemm:
+		return count * count * width, count * count * width, 0, nil
+	}
+	return 0, 0, 0, fmt.Errorf("%w: unknown op %d", ErrMalformed, op)
+}
+
+// RespElems returns the component count of a successful response's Data
+// slab for a request with the given shape.
+func RespElems(op Op, width, count, m int) int {
+	switch op {
+	case OpDot:
+		return width
+	case OpGemv:
+		return count * width
+	case OpGemm:
+		return count * count * width
+	default: // scalar elementwise and axpy: one result per input element
+		return count * width
+	}
+}
+
+// Validate checks the request's shape: known op, supported width, and
+// slab lengths exactly matching the op's geometry.
+func (r *Request) Validate() error {
+	if !r.Op.Valid() {
+		return fmt.Errorf("%w: unknown op %d", ErrMalformed, r.Op)
+	}
+	nx, ny, na, err := ReqElems(r.Op, r.Width, r.Count, r.M)
+	if err != nil {
+		return err
+	}
+	if len(r.X) != nx || len(r.Y) != ny || len(r.Alpha) != na {
+		return fmt.Errorf("%w: %s width=%d count=%d m=%d: slab lengths x=%d y=%d alpha=%d, want %d/%d/%d",
+			ErrMalformed, r.Op, r.Width, r.Count, r.M, len(r.X), len(r.Y), len(r.Alpha), nx, ny, na)
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	dl := time.Unix(0, 1234567890123456789)
+	cases := []Request{
+		{ID: 1, Op: OpAdd, Width: 2, Count: 2,
+			X: []float64{1, 1e-20, 3, -4e-18}, Y: []float64{2, 0, -3, 0}},
+		{ID: 2, Deadline: dl, Op: OpSqrt, Width: 3, Count: 1,
+			X: []float64{2, 1e-17, -1e-34}},
+		{ID: 3, Op: OpAxpy, Width: 4, Count: 1,
+			Alpha: []float64{1.5, 0, 0, 0},
+			X:     []float64{1, 0, 0, 0}, Y: []float64{2, 0, 0, 0}},
+		{ID: 4, Op: OpDot, Width: 2, Count: 3,
+			X: []float64{1, 0, 2, 0, 3, 0}, Y: []float64{4, 0, 5, 0, 6, 0}},
+		{ID: 5, Op: OpGemv, Width: 2, Count: 2, M: 3,
+			X: make([]float64, 2*3*2), Y: make([]float64, 3*2)},
+		{ID: 6, Op: OpGemm, Width: 3, Count: 2,
+			X: make([]float64, 4*3), Y: make([]float64, 4*3)},
+	}
+	for _, rc := range cases {
+		rc := rc
+		t.Run(rc.Op.String(), func(t *testing.T) {
+			if err := rc.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			var buf bytes.Buffer
+			if err := WriteRequest(&buf, &rc); err != nil {
+				t.Fatalf("WriteRequest: %v", err)
+			}
+			got, err := ReadRequest(&buf)
+			if err != nil {
+				t.Fatalf("ReadRequest: %v", err)
+			}
+			if got.ID != rc.ID || got.Op != rc.Op || got.Width != rc.Width ||
+				got.Count != rc.Count || got.M != rc.M || !got.Deadline.Equal(rc.Deadline) {
+				t.Fatalf("header mismatch: got %+v want %+v", got, rc)
+			}
+			for name, pair := range map[string][2][]float64{
+				"x": {got.X, rc.X}, "y": {got.Y, rc.Y}, "alpha": {got.Alpha, rc.Alpha},
+			} {
+				if len(pair[0]) != len(pair[1]) {
+					t.Fatalf("%s: len %d want %d", name, len(pair[0]), len(pair[1]))
+				}
+				for i := range pair[0] {
+					if math.Float64bits(pair[0][i]) != math.Float64bits(pair[1][i]) {
+						t.Fatalf("%s[%d]: bits %x want %x", name, i,
+							math.Float64bits(pair[0][i]), math.Float64bits(pair[1][i]))
+					}
+				}
+			}
+			if buf.Len() != 0 {
+				t.Fatalf("trailing bytes after decode: %d", buf.Len())
+			}
+		})
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []Response{
+		{ID: 9, Status: StatusOK, Data: []float64{1, -0.0, math.Inf(1), math.NaN()}},
+		{ID: 10, Status: StatusOverloaded, RetryAfterMs: 250},
+		{ID: 11, Status: StatusDeadlineExceeded},
+	}
+	for _, rc := range cases {
+		var buf bytes.Buffer
+		if err := WriteResponse(&buf, &rc); err != nil {
+			t.Fatalf("WriteResponse: %v", err)
+		}
+		got, err := ReadResponse(&buf)
+		if err != nil {
+			t.Fatalf("ReadResponse: %v", err)
+		}
+		if got.ID != rc.ID || got.Status != rc.Status || got.RetryAfterMs != rc.RetryAfterMs {
+			t.Fatalf("got %+v want %+v", got, rc)
+		}
+		for i := range rc.Data {
+			if math.Float64bits(got.Data[i]) != math.Float64bits(rc.Data[i]) {
+				t.Fatalf("data[%d]: bits differ", i)
+			}
+		}
+	}
+}
+
+// TestReadErrors drives each framing failure mode and checks the typed
+// sentinel comes back: bad magic, wrong version, wrong frame type, an
+// oversized length field, a truncated body, and a size/op mismatch.
+func TestReadErrors(t *testing.T) {
+	valid := func() []byte {
+		var buf bytes.Buffer
+		req := Request{ID: 1, Op: OpAdd, Width: 2, Count: 1,
+			X: []float64{1, 0}, Y: []float64{2, 0}}
+		if err := WriteRequest(&buf, &req); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	t.Run("magic", func(t *testing.T) {
+		b := valid()
+		b[0] = 'X'
+		if _, err := ReadRequest(bytes.NewReader(b)); !errors.Is(err, ErrMagic) {
+			t.Fatalf("err = %v, want ErrMagic", err)
+		}
+	})
+	t.Run("version", func(t *testing.T) {
+		b := valid()
+		b[2] = 99
+		if _, err := ReadRequest(bytes.NewReader(b)); !errors.Is(err, ErrVersion) {
+			t.Fatalf("err = %v, want ErrVersion", err)
+		}
+	})
+	t.Run("frame-type", func(t *testing.T) {
+		b := valid()
+		if _, err := ReadResponse(bytes.NewReader(b)); !errors.Is(err, ErrFrameType) {
+			t.Fatalf("err = %v, want ErrFrameType", err)
+		}
+	})
+	t.Run("too-large", func(t *testing.T) {
+		b := valid()
+		binary.LittleEndian.PutUint32(b[4:], MaxPayload+1)
+		if _, err := ReadRequest(bytes.NewReader(b)); !errors.Is(err, ErrTooLarge) {
+			t.Fatalf("err = %v, want ErrTooLarge", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		b := valid()
+		if _, err := ReadRequest(bytes.NewReader(b[:len(b)-3])); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+		}
+	})
+	t.Run("size-mismatch", func(t *testing.T) {
+		b := valid()
+		b[HeaderSize+1] = 3 // claim width 3; payload still sized for width 2
+		if _, err := ReadRequest(bytes.NewReader(b)); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("err = %v, want ErrMalformed", err)
+		}
+	})
+	t.Run("bad-width", func(t *testing.T) {
+		r := Request{Op: OpAdd, Width: 5, Count: 1, X: make([]float64, 5), Y: make([]float64, 5)}
+		if err := r.Validate(); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("Validate = %v, want ErrMalformed", err)
+		}
+	})
+	t.Run("bad-op", func(t *testing.T) {
+		r := Request{Op: 42, Width: 2, Count: 1}
+		if err := r.Validate(); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("Validate = %v, want ErrMalformed", err)
+		}
+	})
+}
+
+func TestOpParse(t *testing.T) {
+	for _, op := range []Op{OpAdd, OpSub, OpMul, OpDiv, OpSqrt, OpAxpy, OpDot, OpGemv, OpGemm} {
+		back, err := ParseOp(op.String())
+		if err != nil || back != op {
+			t.Fatalf("ParseOp(%q) = %v, %v", op.String(), back, err)
+		}
+	}
+	if _, err := ParseOp("nope"); err == nil {
+		t.Fatal("ParseOp accepted garbage")
+	}
+}
+
+func TestRespElems(t *testing.T) {
+	cases := []struct {
+		op                 Op
+		width, count, m, n int
+	}{
+		{OpAdd, 2, 7, 0, 14},
+		{OpSqrt, 4, 3, 0, 12},
+		{OpAxpy, 3, 5, 0, 15},
+		{OpDot, 3, 5, 0, 3},
+		{OpGemv, 2, 4, 6, 8},
+		{OpGemm, 4, 3, 0, 36},
+	}
+	for _, c := range cases {
+		if got := RespElems(c.op, c.width, c.count, c.m); got != c.n {
+			t.Errorf("RespElems(%s, w=%d, c=%d, m=%d) = %d, want %d", c.op, c.width, c.count, c.m, got, c.n)
+		}
+	}
+}
