@@ -36,7 +36,7 @@ func main() {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:7333", "TCP listen address")
 		debugAddr    = flag.String("debug-addr", "", "HTTP listen address for expvar + pprof (empty = disabled)")
-		batchWindow  = flag.Duration("batch-window", 200*time.Microsecond, "max time a scalar request waits for batch-mates (0 = no coalescing)")
+		batchWindow  = flag.Duration("batch-window", 200*time.Microsecond, "max time a scalar request waits for batch-mates (negative = no coalescing)")
 		maxBatch     = flag.Int("max-batch", 256, "flush threshold in requests per (op,width) lane")
 		queueDepth   = flag.Int("queue", 4096, "per-lane pending-queue bound (beyond it: reject with retry-after)")
 		workers      = flag.Int("workers", 0, "kernel worker parallelism (0 = GOMAXPROCS)")

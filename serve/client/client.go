@@ -115,16 +115,27 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 	return c, nil
 }
 
-// Close releases the pooled connections. In-flight calls fail.
+// Close releases the pooled connections. In-flight calls fail. The pool
+// channel is never closed (a concurrent put could panic on it); Close
+// drains it non-blockingly and put discards stragglers.
 func (c *Client) Close() error {
 	if !c.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	close(c.conns)
-	for pc := range c.conns {
-		pc.nc.Close()
-	}
+	c.drainPool()
 	return nil
+}
+
+// drainPool closes every connection currently sitting idle in the pool.
+func (c *Client) drainPool() {
+	for {
+		select {
+		case pc := <-c.conns:
+			pc.nc.Close()
+		default:
+			return
+		}
+	}
 }
 
 func (c *Client) dial() (*poolConn, error) {
@@ -147,10 +158,7 @@ func (c *Client) get() (*poolConn, error) {
 		return nil, ErrClosed
 	}
 	select {
-	case pc, ok := <-c.conns:
-		if !ok {
-			return nil, ErrClosed
-		}
+	case pc := <-c.conns:
 		return pc, nil
 	default:
 		return c.dial()
@@ -164,6 +172,11 @@ func (c *Client) put(pc *poolConn) {
 	}
 	select {
 	case c.conns <- pc:
+		// Close may have flipped the flag and finished its drain between
+		// our check and the send; sweep again so the conn cannot leak.
+		if c.closed.Load() {
+			c.drainPool()
+		}
 	default:
 		pc.nc.Close()
 	}

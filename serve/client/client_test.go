@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"net"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -213,6 +214,33 @@ func TestClientClosed(t *testing.T) {
 	c.Close() // idempotent
 	if _, err := c.Add2(context.Background(), mf.New2(1.0), mf.New2(1.0)); !errors.Is(err, ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+// TestCloseConcurrentWithCalls races Close against in-flight calls that
+// are returning connections to the pool. The old pool closed its channel
+// in Close, so a concurrent put could panic the process; now calls must
+// either complete or fail cleanly. Run under -race to also catch flag
+// ordering regressions.
+func TestCloseConcurrentWithCalls(t *testing.T) {
+	fs := newFakeServer(t, func(n int64, req *wire.Request) *wire.Response { return okAdd2(req) })
+	for i := 0; i < 50; i++ {
+		c, err := Dial(fs.ln.Addr().String(), WithMaxRetries(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Success or a clean error are both fine; the test is that
+				// nothing panics while Close races the connection return.
+				c.Add2(context.Background(), mf.New2(1.0), mf.New2(2.0))
+			}()
+		}
+		c.Close()
+		wg.Wait()
 	}
 }
 

@@ -43,8 +43,9 @@ type Config struct {
 	// Addr is the TCP listen address (default "127.0.0.1:0").
 	Addr string
 	// BatchWindow is the maximum time a scalar request waits for
-	// batch-mates before its lane flushes (default 200µs). 0 disables
-	// coalescing: every request executes immediately on arrival.
+	// batch-mates before its lane flushes (0 takes the default, 200µs).
+	// A negative value disables coalescing: every request executes
+	// immediately on arrival.
 	BatchWindow time.Duration
 	// MaxBatch is the flush threshold in requests per lane (default 256;
 	// 1 disables coalescing).

@@ -132,17 +132,20 @@ func ReadRequest(r io.Reader) (*Request, error) {
 	if payloadLen < reqFixed {
 		return nil, fmt.Errorf("%w: request payload %d bytes, want ≥ %d", ErrMalformed, payloadLen, reqFixed)
 	}
-	bp, body := getBuf(payloadLen)
-	defer putBuf(bp)
-	if _, err := io.ReadFull(r, body); err != nil {
+	// Read only the fixed prefix first and derive the slab sizes from it,
+	// so the body allocation is bounded by the request's validated
+	// geometry rather than the header's claimed length — a 24-byte frame
+	// with a hostile length field cannot pin MaxPayload of memory.
+	var fixed [reqFixed]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
 		return nil, err
 	}
 	req := &Request{
 		ID:    id,
-		Op:    Op(body[0]),
-		Width: int(body[1]),
-		Count: int(binary.LittleEndian.Uint32(body[4:])),
-		M:     int(binary.LittleEndian.Uint32(body[8:])),
+		Op:    Op(fixed[0]),
+		Width: int(fixed[1]),
+		Count: int(binary.LittleEndian.Uint32(fixed[4:])),
+		M:     int(binary.LittleEndian.Uint32(fixed[8:])),
 	}
 	if dl != 0 {
 		req.Deadline = time.Unix(0, dl)
@@ -154,10 +157,14 @@ func ReadRequest(r io.Reader) (*Request, error) {
 	if want := reqFixed + 8*(na+nx+ny); want != payloadLen {
 		return nil, fmt.Errorf("%w: %s payload %d bytes, want %d", ErrMalformed, req.Op, payloadLen, want)
 	}
-	rest := body[reqFixed:]
-	req.Alpha, rest = getF64s(rest, na)
-	req.X, rest = getF64s(rest, nx)
-	req.Y, _ = getF64s(rest, ny)
+	bp, body := getBuf(payloadLen - reqFixed)
+	defer putBuf(bp)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	req.Alpha, body = getF64s(body, na)
+	req.X, body = getF64s(body, nx)
+	req.Y, _ = getF64s(body, ny)
 	return req, nil
 }
 

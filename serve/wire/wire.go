@@ -194,9 +194,35 @@ type Response struct {
 	Data         []float64 // result slab; empty unless Status == StatusOK
 }
 
+// maxElems bounds the component count of any single slab: a frame's
+// payload caps at MaxPayload bytes and each component costs 8, so no
+// slab can legitimately carry more. Enforcing it inside slabElems —
+// before each partial product grows — is what keeps attacker-controlled
+// count/m fields from overflowing the size arithmetic.
+const maxElems = MaxPayload / 8
+
+// slabElems returns the product of dims, rejecting any product that
+// exceeds maxElems. The bound check runs before each multiplication, so
+// the product can never overflow (or wrap negative) on the way up.
+func slabElems(dims ...int) (int, error) {
+	n := 1
+	for _, d := range dims {
+		if d == 0 {
+			return 0, nil
+		}
+		if n > maxElems/d {
+			return 0, fmt.Errorf("%w: slab dimensions %v exceed frame capacity", ErrMalformed, dims)
+		}
+		n *= d
+	}
+	return n, nil
+}
+
 // ReqElems returns the expected component counts (len of X, Y, Alpha)
 // for a request with the given shape. It returns an error for unknown
-// ops and invalid widths/dimensions.
+// ops, invalid widths/dimensions, and shapes whose slabs could not fit
+// in a single frame (so hostile count/m values are rejected here rather
+// than overflowing downstream size computations).
 func ReqElems(op Op, width, count, m int) (x, y, alpha int, err error) {
 	if width < 2 || width > 4 {
 		return 0, 0, 0, fmt.Errorf("%w: width %d (want 2, 3, or 4)", ErrMalformed, width)
@@ -205,19 +231,35 @@ func ReqElems(op Op, width, count, m int) (x, y, alpha int, err error) {
 		return 0, 0, 0, fmt.Errorf("%w: negative dimension", ErrMalformed)
 	}
 	switch {
-	case op.Scalar():
-		if op.Unary() {
-			return count * width, 0, 0, nil
+	case op.Scalar(), op == OpAxpy, op == OpDot:
+		n, err := slabElems(count, width)
+		if err != nil {
+			return 0, 0, 0, err
 		}
-		return count * width, count * width, 0, nil
-	case op == OpAxpy:
-		return count * width, count * width, width, nil
-	case op == OpDot:
-		return count * width, count * width, 0, nil
+		switch {
+		case op.Unary():
+			return n, 0, 0, nil
+		case op == OpAxpy:
+			return n, n, width, nil
+		default:
+			return n, n, 0, nil
+		}
 	case op == OpGemv:
-		return count * m * width, m * width, 0, nil
+		nx, err := slabElems(count, m, width)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		ny, err := slabElems(m, width)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		return nx, ny, 0, nil
 	case op == OpGemm:
-		return count * count * width, count * count * width, 0, nil
+		n, err := slabElems(count, count, width)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		return n, n, 0, nil
 	}
 	return 0, 0, 0, fmt.Errorf("%w: unknown op %d", ErrMalformed, op)
 }

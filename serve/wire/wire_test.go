@@ -145,6 +145,44 @@ func TestReadErrors(t *testing.T) {
 			t.Fatalf("err = %v, want ErrMalformed", err)
 		}
 	})
+	t.Run("dimension-overflow", func(t *testing.T) {
+		// Hostile count/m values whose element-count products used to wrap
+		// int64 (negative or back to zero) and slip past the payload-length
+		// check: the frame must come back ErrMalformed, never panic.
+		craft := func(op Op, width byte, count, m uint32) []byte {
+			b := make([]byte, HeaderSize+reqFixed)
+			b[0], b[1], b[2], b[3] = magic0, magic1, Version, frameRequest
+			binary.LittleEndian.PutUint32(b[4:], reqFixed)
+			b[HeaderSize] = byte(op)
+			b[HeaderSize+1] = width
+			binary.LittleEndian.PutUint32(b[HeaderSize+4:], count)
+			binary.LittleEndian.PutUint32(b[HeaderSize+8:], m)
+			return b
+		}
+		for _, c := range []struct {
+			name  string
+			frame []byte
+		}{
+			{"gemv-wrap-negative", craft(OpGemv, 4, 0xFFFFFFFF, 0x40000000)},
+			{"gemm-wrap-zero", craft(OpGemm, 4, 1<<31, 0)},
+			{"scalar-over-frame", craft(OpAdd, 4, 1<<29, 0)},
+		} {
+			if _, err := ReadRequest(bytes.NewReader(c.frame)); !errors.Is(err, ErrMalformed) {
+				t.Errorf("%s: err = %v, want ErrMalformed", c.name, err)
+			}
+		}
+	})
+	t.Run("huge-length-claim", func(t *testing.T) {
+		// A header claiming a MaxPayload body for a tiny request must be
+		// rejected from the fixed prefix alone (ErrMalformed), not by
+		// allocating the claimed payload and failing the body read
+		// (which would surface as ErrUnexpectedEOF here).
+		b := valid()[:HeaderSize+reqFixed]
+		binary.LittleEndian.PutUint32(b[4:], MaxPayload)
+		if _, err := ReadRequest(bytes.NewReader(b)); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("err = %v, want ErrMalformed before body allocation", err)
+		}
+	})
 	t.Run("bad-width", func(t *testing.T) {
 		r := Request{Op: OpAdd, Width: 5, Count: 1, X: make([]float64, 5), Y: make([]float64, 5)}
 		if err := r.Validate(); !errors.Is(err, ErrMalformed) {
