@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check test race vet build fuzz-smoke conformance bench-smoke bench-ablation fig9 serve-smoke bench-serve
+.PHONY: check test race vet build fuzz-smoke conformance bench-smoke bench-ablation fig9 serve-smoke bench-serve chaos chaos-smoke
 
 # check is the full pre-merge gate: build, vet, tests, and the race
 # detector over the worker pool and blocked kernels.
@@ -70,9 +70,26 @@ serve-smoke:
 	kill -TERM $$SERVED; wait $$SERVED; \
 	exit $$RC
 
+# chaos is the full fault-injection matrix (TESTING.md "Chaos & fault
+# injection"): CHAOS_SEEDS seeded campaigns of the serve/chaostest
+# invariant suite under the race detector. Each campaign is a
+# deterministic (seed, fault profile) pair; reproduce one failing
+# campaign with
+#   go test ./serve/chaostest -race -run 'Campaigns/seed=<N>' -chaos.seeds $(CHAOS_SEEDS)
+CHAOS_SEEDS ?= 25
+chaos:
+	$(GO) test -race -count=1 -timeout 20m ./serve/chaostest/ -chaos.seeds $(CHAOS_SEEDS) -v
+
+# chaos-smoke is the CI-sized subset: 5 campaigns (profile rotation
+# means each of the 5 fault profiles appears exactly once) plus the
+# drain-under-fire and checksum-teeth tests, still under -race.
+chaos-smoke:
+	$(GO) test -race -count=1 -timeout 5m ./serve/chaostest/ -chaos.seeds 5
+
 # bench-serve reproduces EXPERIMENTS.md §E-Serve: identical load against
 # a batching server and a one-request-per-batch server, writing
-# BENCH_serve.json with the throughput ratio (acceptance floor: 3x).
+# BENCH_serve.json with the throughput ratio (acceptance floor: 2.5x —
+# see the wire-v2 integrity-cost note in EXPERIMENTS.md §E-Serve).
 bench-serve:
 	$(GO) run ./cmd/mfload -compare -duration 5s -conns 2 -pipeline 256 \
 		-count 1 -op mul -width 2 -out BENCH_serve.json

@@ -14,7 +14,9 @@
 // servers, one with batching enabled (max-batch 256, 200µs window) and
 // one pinned to one-request-per-batch, runs the identical load against
 // each, and writes a JSON report with the batched/unbatched speedup
-// (experiment E-Serve; the acceptance floor is 3x).
+// (experiment E-Serve; the acceptance floor is 2.5x — the CRC32C
+// integrity trailer of wire v2 costs a per-frame tax that batching
+// cannot amortize, see EXPERIMENTS.md).
 package main
 
 import (
@@ -58,11 +60,13 @@ type loadResult struct {
 	DurationSec    float64            `json:"duration_sec"`
 	Requests       int64              `json:"requests"`
 	Responses      int64              `json:"responses"`
+	OK             int64              `json:"ok"`
 	Overloads      int64              `json:"overloads"`
 	DeadlineMisses int64              `json:"deadline_misses"`
 	ProtocolErrors int64              `json:"protocol_errors"`
 	ThroughputRPS  float64            `json:"throughput_rps"`
 	ThroughputEPS  float64            `json:"throughput_eps"`
+	LatencySamples int                `json:"latency_samples"`
 	LatencyUs      map[string]float64 `json:"latency_us"`
 }
 
@@ -399,11 +403,13 @@ func summarize(t *tally, cfg loadConfig, elapsed time.Duration) *loadResult {
 		DurationSec:    sec,
 		Requests:       t.requests.Load(),
 		Responses:      t.responses.Load(),
+		OK:             ok,
 		Overloads:      t.overloads.Load(),
 		DeadlineMisses: t.deadlines.Load(),
 		ProtocolErrors: t.protoErrs.Load(),
 		ThroughputRPS:  float64(ok) / sec,
 		ThroughputEPS:  float64(ok*int64(cfg.count)) / sec,
+		LatencySamples: len(lats),
 		LatencyUs: map[string]float64{
 			"p50": pct(0.50), "p90": pct(0.90), "p99": pct(0.99),
 			"p999": pct(0.999), "max": pct(1),
@@ -514,6 +520,18 @@ func printHuman(name string, r *loadResult) {
 func gateExit(gate bool, r *loadResult) {
 	if !gate {
 		return
+	}
+	// A run that completed nothing proves nothing: the zero error counters
+	// are vacuous (there was no traffic for them to count) and the
+	// percentile map is all zeros from the empty-sample guard, which a
+	// dashboard would happily plot as "0µs p99". Fail loudly instead of
+	// letting an unreachable or instantly-rejecting server pass the gate.
+	if r.OK == 0 {
+		fmt.Fprintf(os.Stderr, "mfload: GATE FAILED: zero requests completed "+
+			"(%d sent, %d answered: %d overloads, %d deadline misses, %d protocol errors) — "+
+			"latency/throughput figures are vacuous; is the server up and accepting this op mix?\n",
+			r.Requests, r.Responses, r.Overloads, r.DeadlineMisses, r.ProtocolErrors)
+		os.Exit(1)
 	}
 	if r.ProtocolErrors > 0 || r.DeadlineMisses > 0 {
 		fmt.Fprintf(os.Stderr, "mfload: GATE FAILED: %d protocol errors, %d deadline misses\n",

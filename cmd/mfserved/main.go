@@ -7,6 +7,7 @@
 //
 //	mfserved [-addr host:port] [-batch-window 200us] [-max-batch 256]
 //	         [-queue 4096] [-workers N] [-max-dim 1048576]
+//	         [-idle-timeout 2m] [-write-timeout 30s]
 //	         [-debug-addr host:port] [-drain-timeout 10s]
 //
 // SIGINT/SIGTERM trigger a graceful drain: the listener closes, admitted
@@ -41,17 +42,21 @@ func main() {
 		queueDepth   = flag.Int("queue", 4096, "per-lane pending-queue bound (beyond it: reject with retry-after)")
 		workers      = flag.Int("workers", 0, "kernel worker parallelism (0 = GOMAXPROCS)")
 		maxDim       = flag.Int("max-dim", 1<<20, "max expansion elements per request slab")
+		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "close a connection that takes longer than this to deliver its next frame (negative = never)")
+		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-response write budget; a peer that stops reading is cut off (negative = never)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
 	)
 	flag.Parse()
 
 	s := server.New(server.Config{
-		Addr:        *addr,
-		BatchWindow: *batchWindow,
-		MaxBatch:    *maxBatch,
-		QueueDepth:  *queueDepth,
-		Workers:     *workers,
-		MaxDim:      *maxDim,
+		Addr:         *addr,
+		BatchWindow:  *batchWindow,
+		MaxBatch:     *maxBatch,
+		QueueDepth:   *queueDepth,
+		Workers:      *workers,
+		MaxDim:       *maxDim,
+		IdleTimeout:  *idleTimeout,
+		WriteTimeout: *writeTimeout,
 	})
 	if err := s.Listen(); err != nil {
 		log.Fatalf("mfserved: %v", err)

@@ -1,0 +1,297 @@
+// Package netfault is a deterministic, seeded network fault-injection
+// harness: net.Conn and net.Listener wrappers that corrupt, delay,
+// fragment, stall, and reset traffic according to a pseudo-random
+// schedule derived entirely from a configured seed.
+//
+// It exists to prove a negative about the serving stack: that no
+// combination of transport faults can turn into a silently wrong
+// extended-precision result. The paper's error bounds (Table 1) are
+// statements about arithmetic; they survive the network only if the
+// surrounding system either delivers operands and results bit-exactly or
+// fails loudly. serve/chaostest drives mixed traffic through these
+// wrappers and asserts exactly that.
+//
+// Fault classes (each independently configurable):
+//
+//   - byte corruption: each transferred byte is bit-flipped with
+//     probability ReadCorrupt / WriteCorrupt (per direction);
+//   - short reads / partial writes: transfers are fragmented into chunks
+//     of at most ReadChunk / WriteChunk bytes, exercising every frame
+//     reassembly path;
+//   - injected latency: with probability DelayRate an operation sleeps a
+//     schedule-chosen duration up to MaxDelay;
+//   - stalls: with probability StallRate an operation sleeps the full
+//     Stall duration (slow-loris; long enough to trip idle timeouts);
+//   - mid-frame resets: with probability ResetRate an operation transfers
+//     a prefix of its buffer and then hard-closes the connection
+//     (SO_LINGER 0 on TCP, so the peer observes RST, not FIN).
+//
+// Determinism: every wrapped connection owns a rand.Rand seeded from
+// (Config.Seed, connection accept/wrap index), so a campaign's fault
+// schedule is a pure function of the seed and the per-connection
+// operation sequence. Concurrent goroutines sharing one connection
+// serialize on the connection's internal lock; cross-connection
+// interleaving is up to the scheduler, which is why campaigns key their
+// oracles by request ID rather than by arrival order.
+package netfault
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config is one fault profile. The zero value injects nothing.
+type Config struct {
+	// Seed roots the deterministic schedule. Connection i wrapped by one
+	// Listener (or by sequential WrapConn calls on one Dialer) derives its
+	// private RNG from (Seed, i).
+	Seed int64
+
+	ReadCorrupt  float64 // per-byte probability of a bit flip on Read
+	WriteCorrupt float64 // per-byte probability of a bit flip on Write
+
+	ReadChunk  int // short reads: at most this many bytes per Read (0 = no limit)
+	WriteChunk int // partial writes: underlying writes of at most this many bytes (0 = no limit)
+
+	DelayRate float64       // per-op probability of an injected delay
+	MaxDelay  time.Duration // injected delays are uniform in (0, MaxDelay]
+
+	StallRate float64       // per-op probability of a full stall
+	Stall     time.Duration // stall duration (pick > the peer's idle timeout to test it)
+
+	ResetRate float64 // per-op probability of a mid-transfer hard reset
+}
+
+// Stats counts injected faults, aggregated across every connection
+// spawned from one Listener or Dialer. Campaigns assert on these to
+// prove they were not vacuous (a passing invariant suite that injected
+// zero faults proves nothing).
+type Stats struct {
+	Conns          atomic.Int64
+	CorruptedBytes atomic.Int64
+	Delays         atomic.Int64
+	Stalls         atomic.Int64
+	Resets         atomic.Int64
+	ShortOps       atomic.Int64 // reads/writes fragmented by chunk caps
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("conns=%d corrupted_bytes=%d delays=%d stalls=%d resets=%d short_ops=%d",
+		s.Conns.Load(), s.CorruptedBytes.Load(), s.Delays.Load(),
+		s.Stalls.Load(), s.Resets.Load(), s.ShortOps.Load())
+}
+
+// connSeed derives connection i's RNG seed from the campaign seed via a
+// splitmix64 round, so neighboring (seed, i) pairs diverge immediately.
+func connSeed(seed int64, i int64) int64 {
+	z := uint64(seed) + uint64(i)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Listener wraps every accepted connection in the fault profile.
+type Listener struct {
+	net.Listener
+	cfg   Config
+	stats *Stats
+	n     atomic.Int64
+}
+
+// Wrap returns a Listener injecting cfg's faults into every accepted
+// connection.
+func Wrap(ln net.Listener, cfg Config) *Listener {
+	return &Listener{Listener: ln, cfg: cfg, stats: &Stats{}}
+}
+
+// Stats returns the fault counters aggregated across accepted conns.
+func (l *Listener) Stats() *Stats { return l.stats }
+
+func (l *Listener) Accept() (net.Conn, error) {
+	nc, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return WrapConn(nc, l.cfg, l.n.Add(1)-1, l.stats), nil
+}
+
+// Dialer produces fault-wrapped outbound connections; it plugs into
+// serve/client's WithDialer option. Connections are numbered in dial
+// order.
+type Dialer struct {
+	cfg   Config
+	stats Stats
+	n     atomic.Int64
+}
+
+// NewDialer returns a Dialer applying cfg to every connection it makes.
+func NewDialer(cfg Config) *Dialer { return &Dialer{cfg: cfg} }
+
+// Stats returns the fault counters aggregated across dialed conns.
+func (d *Dialer) Stats() *Stats { return &d.stats }
+
+// Dial connects to addr over TCP and wraps the connection.
+func (d *Dialer) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return WrapConn(nc, d.cfg, d.n.Add(1)-1, &d.stats), nil
+}
+
+// ErrInjectedReset is returned (wrapped in *net.OpError) by an operation
+// the schedule chose to reset.
+type injectedReset struct{}
+
+func (injectedReset) Error() string   { return "netfault: injected connection reset" }
+func (injectedReset) Timeout() bool   { return false }
+func (injectedReset) Temporary() bool { return false }
+
+// Conn is a fault-injecting net.Conn. Deadlines, addresses, and Close
+// pass through to the wrapped connection.
+type Conn struct {
+	net.Conn
+	cfg   Config
+	stats *Stats
+
+	mu  sync.Mutex // orders RNG draws; Read and Write share one schedule
+	rng *rand.Rand
+}
+
+// WrapConn wraps nc with cfg's fault profile. idx selects the
+// deterministic per-connection schedule; stats may be nil.
+func WrapConn(nc net.Conn, cfg Config, idx int64, stats *Stats) *Conn {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	stats.Conns.Add(1)
+	return &Conn{
+		Conn:  nc,
+		cfg:   cfg,
+		stats: stats,
+		rng:   rand.New(rand.NewSource(connSeed(cfg.Seed, idx))),
+	}
+}
+
+// plan is one operation's drawn fault decisions. Drawing them all at
+// once under the lock keeps the schedule deterministic even when reads
+// and writes interleave from different goroutines.
+type plan struct {
+	delay time.Duration
+	reset bool
+	chunk int
+	flips []int // offsets within the transferred prefix to bit-flip
+	bits  []uint
+}
+
+func (c *Conn) draw(n int, corrupt float64, chunkCap int) plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var p plan
+	if c.cfg.StallRate > 0 && c.rng.Float64() < c.cfg.StallRate {
+		p.delay = c.cfg.Stall
+		c.stats.Stalls.Add(1)
+	} else if c.cfg.DelayRate > 0 && c.cfg.MaxDelay > 0 && c.rng.Float64() < c.cfg.DelayRate {
+		p.delay = time.Duration(1 + c.rng.Int63n(int64(c.cfg.MaxDelay)))
+		c.stats.Delays.Add(1)
+	}
+	p.reset = c.cfg.ResetRate > 0 && c.rng.Float64() < c.cfg.ResetRate
+	p.chunk = n
+	if chunkCap > 0 && chunkCap < n {
+		p.chunk = 1 + c.rng.Intn(chunkCap)
+		c.stats.ShortOps.Add(1)
+	}
+	if p.reset {
+		// Reset mid-transfer: deliver a strict prefix (possibly empty) of
+		// the planned chunk, then kill the connection.
+		p.chunk = c.rng.Intn(p.chunk + 1)
+	}
+	if corrupt > 0 {
+		for i := 0; i < p.chunk; i++ {
+			if c.rng.Float64() < corrupt {
+				p.flips = append(p.flips, i)
+				p.bits = append(p.bits, uint(c.rng.Intn(8)))
+			}
+		}
+		c.stats.CorruptedBytes.Add(int64(len(p.flips)))
+	}
+	return p
+}
+
+// hardClose tears the connection down so the peer sees a reset (RST on
+// TCP via SO_LINGER 0) rather than a clean FIN.
+func (c *Conn) hardClose() {
+	if tc, ok := c.Conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Conn.Close()
+	c.stats.Resets.Add(1)
+}
+
+func (c *Conn) Read(b []byte) (int, error) {
+	p := c.draw(len(b), c.cfg.ReadCorrupt, c.cfg.ReadChunk)
+	if p.delay > 0 {
+		time.Sleep(p.delay)
+	}
+	if p.reset {
+		// A read-side reset does not consume peer bytes (they are lost
+		// with the connection); just kill it.
+		c.hardClose()
+		return 0, &net.OpError{Op: "read", Net: "tcp", Err: injectedReset{}}
+	}
+	n, err := c.Conn.Read(b[:p.chunk])
+	for i, off := range p.flips {
+		if off < n {
+			b[off] ^= 1 << p.bits[i]
+		}
+	}
+	return n, err
+}
+
+func (c *Conn) Write(b []byte) (int, error) {
+	written := 0
+	for written < len(b) {
+		p := c.draw(len(b)-written, c.cfg.WriteCorrupt, c.cfg.WriteChunk)
+		if p.delay > 0 {
+			time.Sleep(p.delay)
+		}
+		if p.reset {
+			// Deliver a prefix of this chunk, then kill the connection. The
+			// bytes already written this call are reported so the caller
+			// sees a genuine partial write.
+			if p.chunk > 0 {
+				n, err := c.writeChunk(b[written:written+p.chunk], nil, nil)
+				written += n
+				if err != nil {
+					return written, err
+				}
+			}
+			c.hardClose()
+			return written, &net.OpError{Op: "write", Net: "tcp", Err: injectedReset{}}
+		}
+		n, err := c.writeChunk(b[written:written+p.chunk], p.flips, p.bits)
+		written += n
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// writeChunk sends one chunk, applying bit flips to a scratch copy so
+// the caller's buffer is never mutated.
+func (c *Conn) writeChunk(b []byte, flips []int, bits []uint) (int, error) {
+	if len(flips) > 0 {
+		tmp := make([]byte, len(b))
+		copy(tmp, b)
+		for i, off := range flips {
+			tmp[off] ^= 1 << bits[i]
+		}
+		b = tmp
+	}
+	return c.Conn.Write(b)
+}

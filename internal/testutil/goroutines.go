@@ -1,0 +1,45 @@
+// Package testutil holds small shared test helpers with no dependencies
+// beyond the standard library.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// VerifyNoLeaks records the current goroutine count and registers a
+// cleanup that fails the test if the count has not returned to that
+// baseline by the end of the test. Goroutines that are still winding
+// down get a grace window (polled, up to ~5s) before the check fails,
+// because conn handlers and pool workers exit asynchronously after
+// Close/Shutdown return.
+//
+// Call it FIRST in the test, before starting servers, clients, or
+// worker pools that the test expects to tear down. Anything that
+// legitimately outlives the test (e.g. the lazily-spawned blas worker
+// pool) must be warmed up BEFORE the call so it is part of the
+// baseline rather than counted as a leak.
+//
+// On failure the full stack dump of every live goroutine is logged so
+// the leaked one can be identified.
+func VerifyNoLeaks(t testing.TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if n > base {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Errorf("goroutine leak: %d goroutines at exit, baseline %d\n%s", n, base, buf)
+		}
+	})
+}

@@ -1,0 +1,26 @@
+// Package chaostest is the chaos suite for the mfserve stack: seeded
+// fault-injection campaigns (internal/netfault) driving concurrent mixed
+// scalar and BLAS traffic through a real server and the real pooled
+// client, asserting three invariants under every fault profile:
+//
+//  1. No silently corrupted response is ever delivered. Every result the
+//     client hands back must be bit-identical to the in-process mf/blas
+//     computation on the same operands — transport faults may slow a call
+//     down or fail it loudly, never change its value.
+//  2. No server panic and no goroutine leak: the goroutine population
+//     returns to its pre-campaign baseline after client close and server
+//     shutdown.
+//  3. Graceful drain completes while faults are still firing.
+//
+// The teeth test proves the suite is not vacuously green: a CRC-ignoring
+// decoder (protocol v1 semantics) applied to the same corrupted byte
+// stream delivers silently wrong results that the v2 CRC32C check turns
+// into loud ErrChecksum failures.
+//
+// Campaigns are deterministic per seed. Reproduce a failure with
+//
+//	go test ./serve/chaostest -run 'Campaigns/seed=17' -chaos.seeds 32
+//
+// (a campaign's fault schedule depends only on its seed and the
+// per-connection operation sequence; see internal/netfault).
+package chaostest

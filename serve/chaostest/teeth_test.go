@@ -1,0 +1,166 @@
+package chaostest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"net"
+	"testing"
+
+	"multifloats/internal/blas"
+	"multifloats/internal/diffuzz"
+	"multifloats/internal/netfault"
+	"multifloats/internal/testutil"
+	"multifloats/mf"
+	"multifloats/serve/server"
+	"multifloats/serve/wire"
+)
+
+// TestChecksumHasTeeth proves the CRC32C trailer is load-bearing, not
+// ceremony. It replays the exact same corrupted byte stream through two
+// decoders:
+//
+//   - a local CRC-ignoring decoder with protocol-v1 semantics (trust the
+//     status byte, lift the floats out of the payload), standing in for
+//     "the suite with checksum verification disabled";
+//   - the real v2 wire.ReadResponse.
+//
+// The run must observe at least one frame where the naive decoder
+// delivers a plausible, silently WRONG result — the failure mode the
+// chaos invariants exist to catch — while the real decoder never
+// produces anything but the exact server-computed bits or a loud error.
+// If corruption stopped producing silent wrongness under the naive
+// decoder, the chaos suite would have lost its teeth and this test
+// fails, vacuously green campaigns notwithstanding.
+func TestChecksumHasTeeth(t *testing.T) {
+	blas.Parallel(4, 2, func(lo, hi int) {})
+	testutil.VerifyNoLeaks(t)
+
+	// Clean server; corruption is injected on the test's own read path so
+	// every response frame reaches us with schedule-chosen bit flips.
+	s := server.New(server.Config{Addr: "127.0.0.1:0", Workers: 1})
+	if err := s.Listen(); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve() }()
+	t.Cleanup(func() {
+		if err := s.Shutdown(contextWithTimeout(t)); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+
+	nc, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer nc.Close()
+	fc := netfault.WrapConn(nc, netfault.Config{Seed: 0x7ee7, ReadCorrupt: 0.01}, 0, nil)
+	br := bufio.NewReader(fc) // response bytes arrive corrupted
+	bw := bufio.NewWriter(nc) // requests go out clean, via the raw conn
+
+	const (
+		iters = 80
+		count = 8
+		width = 2
+	)
+	respLen := wire.HeaderSize + 8 + 8*count*width + wire.TrailerSize
+	gen := diffuzz.NewGen(0x7ee7)
+
+	var corrupted, silentWrong, strictCaught int
+	for i := 0; i < iters; i++ {
+		// One mul request with a locally-computed expected slab.
+		xs := make([]mf.Float64x2, count)
+		ys := make([]mf.Float64x2, count)
+		want := make([]mf.Float64x2, count)
+		for j := range xs {
+			copy(xs[j][:], gen.BlasElement(width))
+			copy(ys[j][:], gen.BlasElement(width))
+			want[j] = xs[j].Mul(ys[j])
+		}
+		req := &wire.Request{ID: uint64(i + 1), Op: wire.OpMul, Width: width, Count: count,
+			X: wire.Pack2(xs), Y: wire.Pack2(ys)}
+		if err := wire.WriteRequest(bw, req); err != nil {
+			t.Fatalf("WriteRequest: %v", err)
+		}
+		if err := bw.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+
+		// The server answers StatusOK with a fixed-size frame; corruption
+		// flips bits in place but never changes lengths, so reading exactly
+		// respLen bytes keeps the stream frame-aligned.
+		frame := make([]byte, respLen)
+		if _, err := io.ReadFull(br, frame); err != nil {
+			t.Fatalf("read response %d: %v", i, err)
+		}
+
+		// Ground truth: the canonical sealed frame for the expected answer.
+		var canonical bytes.Buffer
+		if err := wire.WriteResponse(&canonical, &wire.Response{ID: req.ID, Status: wire.StatusOK, Data: wire.Pack2(want)}); err != nil {
+			t.Fatal(err)
+		}
+		pristine := bytes.Equal(frame, canonical.Bytes())
+
+		// Decoder 1: CRC-ignoring (v1 semantics). On corrupted frames this
+		// is where silent wrongness comes from.
+		if status, data := naiveDecode(frame, count*width); !pristine && status == byte(wire.StatusOK) {
+			if !slabBitsEqual(data, wire.Pack2(want)) {
+				silentWrong++
+			}
+		}
+
+		// Decoder 2: the real one. A corrupted frame must fail loudly; a
+		// pristine frame must decode to the exact expected bits.
+		resp, err := wire.ReadResponse(bytes.NewReader(frame))
+		switch {
+		case pristine:
+			if err != nil {
+				t.Fatalf("frame %d: pristine frame rejected: %v", i, err)
+			}
+			if resp.ID != req.ID || resp.Status != wire.StatusOK || !slabBitsEqual(resp.Data, wire.Pack2(want)) {
+				t.Fatalf("frame %d: pristine frame decoded to wrong content", i)
+			}
+		default:
+			corrupted++
+			if err == nil {
+				t.Fatalf("frame %d: corrupted frame accepted by the v2 decoder (id=%d status=%v)",
+					i, resp.ID, resp.Status)
+			}
+			strictCaught++
+		}
+	}
+
+	if corrupted == 0 {
+		t.Fatal("fault schedule corrupted zero frames — test vacuous")
+	}
+	if silentWrong == 0 {
+		t.Fatalf("no silently wrong result from the CRC-ignoring decoder across %d corrupted frames — the chaos suite has no teeth", corrupted)
+	}
+	t.Logf("%d/%d frames corrupted; CRC-less decoder delivered %d silently wrong results; v2 decoder caught all %d",
+		corrupted, iters, silentWrong, strictCaught)
+}
+
+// naiveDecode is the CRC-ignoring decoder: protocol-v1 semantics applied
+// to a v2 frame of known geometry (trust the status byte, reinterpret
+// the payload floats, never look at the trailer).
+func naiveDecode(frame []byte, elems int) (status byte, data []float64) {
+	status = frame[wire.HeaderSize]
+	data = make([]float64, elems)
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(frame[wire.HeaderSize+8+8*i:]))
+	}
+	return status, data
+}
+
+func slabBitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return eqBits(a, b)
+}

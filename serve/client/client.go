@@ -3,8 +3,11 @@
 // typed scalar and BLAS calls on Float64x2/x3/x4 values, with request
 // deadlines taken from the context, transparent retries with jittered
 // exponential backoff on transient failures (dial/IO errors, server
-// overload — honoring the server's retry-after hint), and bit-exact
-// results (the wire encoding is the raw component bit pattern).
+// overload — honoring the server's retry-after hint, and response
+// integrity failures — see ErrIntegrity), and bit-exact results (the
+// wire encoding is the raw component bit pattern, and every frame is
+// CRC32C-verified, so a result that reaches the caller is exactly the
+// one the server computed).
 package client
 
 import (
@@ -37,6 +40,13 @@ var (
 	ErrServer = errors.New("mfserve: internal server error")
 	// ErrClosed: the client has been closed.
 	ErrClosed = errors.New("mfserve: client closed")
+	// ErrIntegrity: a response failed an integrity check — CRC32C trailer
+	// mismatch, unparseable framing, or a request-ID desync. The bytes on
+	// that connection cannot be trusted, so the connection is discarded
+	// and the attempt retried on a fresh one (the request itself was fine;
+	// only its transport failed). Distinct from the application-level
+	// errors above: the server never vouched for a corrupted result.
+	ErrIntegrity = errors.New("mfserve: response integrity failure")
 )
 
 // Option configures a Client.
@@ -62,6 +72,13 @@ func WithDialTimeout(d time.Duration) Option { return func(c *Client) { c.dialTi
 // carries no deadline (default 30s).
 func WithIOTimeout(d time.Duration) Option { return func(c *Client) { c.ioTimeout = d } }
 
+// WithDialer overrides how connections are established — the hook for
+// fault-injection harnesses (internal/netfault), proxies, or custom
+// transports. The dialer must honor the timeout it is given.
+func WithDialer(dial func(addr string, timeout time.Duration) (net.Conn, error)) Option {
+	return func(c *Client) { c.dialFn = dial }
+}
+
 // Client is a connection-pooled mfserve client. Safe for concurrent use;
 // each in-flight call holds one pooled connection.
 type Client struct {
@@ -72,6 +89,7 @@ type Client struct {
 	backoffMax  time.Duration
 	dialTimeout time.Duration
 	ioTimeout   time.Duration
+	dialFn      func(addr string, timeout time.Duration) (net.Conn, error)
 
 	conns  chan *poolConn
 	nextID atomic.Uint64
@@ -139,7 +157,13 @@ func (c *Client) drainPool() {
 }
 
 func (c *Client) dial() (*poolConn, error) {
-	nc, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	var nc net.Conn
+	var err error
+	if c.dialFn != nil {
+		nc, err = c.dialFn(c.addr, c.dialTimeout)
+	} else {
+		nc, err = net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -265,6 +289,14 @@ func (c *Client) try(ctx context.Context, req *wire.Request) ([]float64, error) 
 		pc.nc.Close()
 		return nil, &transientError{err: err}
 	}
+	// failIntegrity marks the failure as a transport-integrity violation:
+	// still retryable (a fresh connection carries no taint), but typed so
+	// callers can distinguish "the network corrupted bytes" from "the
+	// server rejected or failed the request".
+	failIntegrity := func(err error) ([]float64, error) {
+		pc.nc.Close()
+		return nil, &transientError{err: fmt.Errorf("%w: %w", ErrIntegrity, err)}
+	}
 	if err := wire.WriteRequest(pc.bw, req); err != nil {
 		return fail(err)
 	}
@@ -273,12 +305,17 @@ func (c *Client) try(ctx context.Context, req *wire.Request) ([]float64, error) 
 	}
 	resp, err := wire.ReadResponse(pc.br)
 	if err != nil {
+		if errors.Is(err, wire.ErrChecksum) || errors.Is(err, wire.ErrMagic) ||
+			errors.Is(err, wire.ErrVersion) || errors.Is(err, wire.ErrFrameType) ||
+			errors.Is(err, wire.ErrTooLarge) || errors.Is(err, wire.ErrMalformed) {
+			return failIntegrity(err)
+		}
 		return fail(err)
 	}
 	if resp.ID != req.ID {
 		// Stream desync (e.g. a stale response after a previous timeout on
 		// this conn): the connection is unusable.
-		return fail(fmt.Errorf("mfserve: response id %d for request %d", resp.ID, req.ID))
+		return failIntegrity(fmt.Errorf("response id %d for request %d", resp.ID, req.ID))
 	}
 	c.put(pc)
 

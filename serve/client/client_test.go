@@ -2,6 +2,7 @@ package client
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"errors"
 	"net"
@@ -10,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"multifloats/internal/testutil"
 	"multifloats/mf"
 	"multifloats/serve/wire"
 )
@@ -205,6 +207,7 @@ func TestIDMismatchPoisonsConn(t *testing.T) {
 }
 
 func TestClientClosed(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	fs := newFakeServer(t, func(n int64, req *wire.Request) *wire.Response { return okAdd2(req) })
 	c, err := Dial(fs.ln.Addr().String())
 	if err != nil {
@@ -223,6 +226,7 @@ func TestClientClosed(t *testing.T) {
 // either complete or fail cleanly. Run under -race to also catch flag
 // ordering regressions.
 func TestCloseConcurrentWithCalls(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	fs := newFakeServer(t, func(n int64, req *wire.Request) *wire.Response { return okAdd2(req) })
 	for i := 0; i < 50; i++ {
 		c, err := Dial(fs.ln.Addr().String(), WithMaxRetries(0))
@@ -241,6 +245,119 @@ func TestCloseConcurrentWithCalls(t *testing.T) {
 		}
 		c.Close()
 		wg.Wait()
+	}
+}
+
+// TestIntegrityFailureRetried: a response whose bytes were flipped after
+// sealing (mismatched CRC32C trailer — exactly what a faulty network
+// produces) is discarded and the call retried on a fresh connection.
+func TestIntegrityFailureRetried(t *testing.T) {
+	var seen atomic.Int64
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer nc.Close()
+				br := bufio.NewReader(nc)
+				for {
+					req, err := wire.ReadRequest(br)
+					if err != nil {
+						return
+					}
+					n := seen.Add(1)
+					resp := okAdd2(req)
+					resp.ID = req.ID
+					var buf bytes.Buffer
+					if err := wire.WriteResponse(&buf, resp); err != nil {
+						return
+					}
+					frame := buf.Bytes()
+					if n == 1 {
+						// Flip one payload bit after sealing: the CRC32C
+						// trailer no longer matches.
+						frame[wire.HeaderSize+8] ^= 0x10
+					}
+					if _, err := nc.Write(frame); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	c, err := Dial(ln.Addr().String(), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.Add2(context.Background(), mf.New2(20.0), mf.New2(22.0))
+	if err != nil {
+		t.Fatalf("Add2 after corrupted response: %v", err)
+	}
+	if got.Float() != 42 {
+		t.Fatalf("got %v, want 42", got)
+	}
+	if n := seen.Load(); n != 2 {
+		t.Fatalf("server saw %d requests, want 2 (corrupted + clean retry)", n)
+	}
+}
+
+func TestIntegrityFailureTyped(t *testing.T) {
+	// Every response corrupted and no retries left: the surfaced error
+	// must be ErrIntegrity (transport), not any application error.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer nc.Close()
+				br := bufio.NewReader(nc)
+				for {
+					req, err := wire.ReadRequest(br)
+					if err != nil {
+						return
+					}
+					resp := okAdd2(req)
+					resp.ID = req.ID
+					var buf bytes.Buffer
+					if err := wire.WriteResponse(&buf, resp); err != nil {
+						return
+					}
+					frame := buf.Bytes()
+					frame[len(frame)-1] ^= 0xFF // trash the trailer itself
+					if _, err := nc.Write(frame); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	c, err := Dial(ln.Addr().String(), WithMaxRetries(1), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Add2(context.Background(), mf.New2(1.0), mf.New2(2.0))
+	if !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("err = %v, want ErrIntegrity", err)
+	}
+	if errors.Is(err, ErrBadRequest) || errors.Is(err, ErrServer) || errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("integrity failure misclassified as application error: %v", err)
 	}
 }
 

@@ -18,6 +18,8 @@ type Stats struct {
 	Overloads      atomic.Int64 // requests rejected with StatusOverloaded
 	DeadlineMisses atomic.Int64 // requests answered StatusDeadlineExceeded
 	ProtocolErrors atomic.Int64 // malformed frames / bad requests
+	ChecksumErrors atomic.Int64 // frames rejected on CRC32C mismatch
+	IdleTimeouts   atomic.Int64 // connections closed for idling/stalling
 	QueueDepth     atomic.Int64 // scalar requests currently enqueued
 	ActiveConns    atomic.Int64
 }
@@ -32,6 +34,8 @@ type Snapshot struct {
 	Overloads      int64 `json:"overloads"`
 	DeadlineMisses int64 `json:"deadline_misses"`
 	ProtocolErrors int64 `json:"protocol_errors"`
+	ChecksumErrors int64 `json:"checksum_errors"`
+	IdleTimeouts   int64 `json:"idle_timeouts"`
 	QueueDepth     int64 `json:"queue_depth"`
 	ActiveConns    int64 `json:"active_conns"`
 }
@@ -47,6 +51,8 @@ func (s *Stats) Snapshot() Snapshot {
 		Overloads:      s.Overloads.Load(),
 		DeadlineMisses: s.DeadlineMisses.Load(),
 		ProtocolErrors: s.ProtocolErrors.Load(),
+		ChecksumErrors: s.ChecksumErrors.Load(),
+		IdleTimeouts:   s.IdleTimeouts.Load(),
 		QueueDepth:     s.QueueDepth.Load(),
 		ActiveConns:    s.ActiveConns.Load(),
 	}
@@ -64,6 +70,8 @@ var (
 	evOverloads      = expvar.NewInt("mfserve.overloads")
 	evDeadlineMisses = expvar.NewInt("mfserve.deadline_misses")
 	evProtocolErrors = expvar.NewInt("mfserve.protocol_errors")
+	evChecksumErrors = expvar.NewInt("mfserve.checksum_errors")
+	evIdleTimeouts   = expvar.NewInt("mfserve.idle_timeouts")
 	evQueueDepth     = expvar.NewInt("mfserve.queue_depth")
 	evConns          = expvar.NewInt("mfserve.conns")
 )
@@ -77,6 +85,14 @@ func (s *Stats) respOutN(n int64) {
 func (s *Stats) overload() { s.Overloads.Add(1); evOverloads.Add(1) }
 func (s *Stats) deadline() { s.DeadlineMisses.Add(1); evDeadlineMisses.Add(1) }
 func (s *Stats) protoErr() { s.ProtocolErrors.Add(1); evProtocolErrors.Add(1) }
+func (s *Stats) checksumErr() {
+	s.ChecksumErrors.Add(1)
+	evChecksumErrors.Add(1)
+}
+func (s *Stats) idleTimeout() {
+	s.IdleTimeouts.Add(1)
+	evIdleTimeouts.Add(1)
+}
 func (s *Stats) enqueue(n int64) {
 	s.QueueDepth.Add(n)
 	evQueueDepth.Add(n)

@@ -59,6 +59,15 @@ type Config struct {
 	// MaxDim bounds a single request's operand size (expansion elements
 	// per slab) so one frame cannot monopolize the server (default 1<<20).
 	MaxDim int
+	// IdleTimeout bounds how long a connection may take to deliver its
+	// next complete request frame (covering both idle gaps and mid-frame
+	// stalls), so a slow-loris peer cannot pin a reader goroutine forever.
+	// 0 takes the default (2 minutes); negative disables the timeout.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write+flush, so a peer that stops
+	// reading cannot block a lane's batch goroutine on a full TCP window.
+	// 0 takes the default (30 seconds); negative disables the timeout.
+	WriteTimeout time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -79,6 +88,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.MaxDim <= 0 {
 		c.MaxDim = 1 << 20
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
 	}
 }
 
@@ -190,6 +205,15 @@ func (s *Server) ListenAndServe() error {
 	return s.Serve()
 }
 
+// ServeListener serves on a caller-provided listener instead of binding
+// the configured address — the hook for wrapping the accept path (e.g.
+// internal/netfault's fault-injecting listener, or a TLS listener). The
+// server takes ownership: Shutdown closes it.
+func (s *Server) ServeListener(ln net.Listener) error {
+	s.ln = ln
+	return s.Serve()
+}
+
 func (s *Server) isDraining() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -250,8 +274,35 @@ type srvConn struct {
 	nc net.Conn
 	br *bufio.Reader
 
-	wmu sync.Mutex
-	bw  *bufio.Writer
+	// rArmed/wArmed are when the read/write deadlines were last pushed
+	// out. Deadline arming is coarse: SetReadDeadline/SetWriteDeadline go
+	// through the runtime poller's timer bookkeeping, which is far too
+	// expensive to pay per frame at millions of frames per second, so the
+	// deadline is re-armed only once it is stale by a quarter of the
+	// budget. A peer that goes silent is therefore cut off after between
+	// 0.75× and 1× the configured timeout — the guarantee never loosens.
+	rArmed time.Time
+
+	wmu    sync.Mutex
+	bw     *bufio.Writer
+	wArmed time.Time
+}
+
+// armReadDeadline pushes the read deadline to now+d if the armed one has
+// gone stale by more than d/4.
+func (c *srvConn) armReadDeadline(d time.Duration) {
+	if now := time.Now(); now.Sub(c.rArmed) > d/4 {
+		c.rArmed = now
+		c.nc.SetReadDeadline(now.Add(d))
+	}
+}
+
+// armWriteDeadline is armReadDeadline for the write side; callers hold wmu.
+func (c *srvConn) armWriteDeadline(d time.Duration) {
+	if now := time.Now(); now.Sub(c.wArmed) > d/4 {
+		c.wArmed = now
+		c.nc.SetWriteDeadline(now.Add(d))
+	}
 }
 
 func (c *srvConn) serve() {
@@ -263,15 +314,30 @@ func (c *srvConn) serve() {
 		c.nc.Close()
 	}()
 	for {
+		// Arm the idle/stall timeout for the next frame: the deadline
+		// covers the whole frame read, so a peer that trickles a frame one
+		// byte at a time is bounded exactly like a silent one.
+		if d := c.s.cfg.IdleTimeout; d > 0 {
+			c.armReadDeadline(d)
+		}
 		req, err := wire.ReadRequest(c.br)
 		if err != nil {
 			// EOF and peer resets are normal disconnects; framing errors
-			// poison the stream. Either way the connection is done — but a
-			// recognizable protocol violation is counted first.
-			if errors.Is(err, wire.ErrMagic) || errors.Is(err, wire.ErrVersion) ||
-				errors.Is(err, wire.ErrFrameType) || errors.Is(err, wire.ErrTooLarge) ||
-				errors.Is(err, wire.ErrMalformed) {
+			// poison the stream; a checksum mismatch means the bytes cannot
+			// be trusted at all. Every case ends the connection — but the
+			// recognizable failure classes are counted first.
+			switch {
+			case errors.Is(err, wire.ErrChecksum):
+				c.s.stats.checksumErr()
+			case errors.Is(err, wire.ErrMagic), errors.Is(err, wire.ErrVersion),
+				errors.Is(err, wire.ErrFrameType), errors.Is(err, wire.ErrTooLarge),
+				errors.Is(err, wire.ErrMalformed):
 				c.s.stats.protoErr()
+			default:
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() && !c.s.isDraining() {
+					c.s.stats.idleTimeout()
+				}
 			}
 			return
 		}
@@ -336,6 +402,9 @@ func (c *srvConn) handle(req *wire.Request) error {
 func (c *srvConn) writeResponse(resp *wire.Response, flush bool) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if d := c.s.cfg.WriteTimeout; d > 0 {
+		c.armWriteDeadline(d)
+	}
 	if err := wire.WriteResponse(c.bw, resp); err != nil {
 		return fmt.Errorf("write response: %w", err)
 	}
@@ -352,6 +421,9 @@ func (c *srvConn) writeResponse(resp *wire.Response, flush bool) error {
 // the broken connection and tears down).
 func (c *srvConn) writeResponses(resps []wire.Response) {
 	c.wmu.Lock()
+	if d := c.s.cfg.WriteTimeout; d > 0 {
+		c.armWriteDeadline(d)
+	}
 	n := 0
 	for i := range resps {
 		if wire.WriteResponse(c.bw, &resps[i]) != nil {

@@ -8,6 +8,8 @@ import (
 	"testing"
 	"time"
 
+	"multifloats/internal/blas"
+	"multifloats/internal/testutil"
 	"multifloats/mf"
 	"multifloats/serve/wire"
 )
@@ -202,6 +204,12 @@ func TestOversizedDimRejected(t *testing.T) {
 // TestShutdownDrains: requests admitted before Shutdown are executed and
 // answered during the drain, not dropped.
 func TestShutdownDrains(t *testing.T) {
+	// The blas worker pool is process-wide and spawns lazily on first use;
+	// warm it so the leak baseline includes it, then everything the server
+	// itself started (acceptor, lanes, conn handlers) must be gone after
+	// Shutdown.
+	blas.Parallel(4, 2, func(lo, hi int) {})
+	testutil.VerifyNoLeaks(t)
 	cfg := Config{Addr: "127.0.0.1:0", BatchWindow: 10 * time.Second, MaxBatch: 1 << 20}
 	s := New(cfg)
 	if err := s.Listen(); err != nil {

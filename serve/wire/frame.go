@@ -3,11 +3,16 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"sync"
 	"time"
 )
+
+// crcTable is the Castagnoli polynomial (CRC32C) — hardware-accelerated
+// on amd64/arm64, and the standard choice for storage/network integrity.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // bufPool recycles frame scratch buffers. Encode buffers live only for
 // the Write call and decode buffers only for the Read call (components
@@ -63,29 +68,55 @@ func putHeader(b []byte, frameType byte, payloadLen int, id uint64, extra int64)
 	binary.LittleEndian.PutUint64(b[16:], uint64(extra))
 }
 
-// readHeader reads and validates a frame header, returning the payload
-// length, request ID, and the type-specific extra field.
-func readHeader(r io.Reader, wantType byte) (payloadLen int, id uint64, extra int64, err error) {
-	var h [HeaderSize]byte
-	if _, err = io.ReadFull(r, h[:]); err != nil {
-		return 0, 0, 0, err
+// readHeader reads and validates a frame header (plus, for requests,
+// the fixed payload prefix in the same read — one fewer buffered read
+// and CRC update on the hot path), returning the payload length, request
+// ID, the type-specific extra field, and the running CRC32C over the
+// consumed bytes (the rest of the payload and the trailer continue it).
+// h must have length HeaderSize plus however much fixed prefix the
+// caller wants consumed together with the header.
+func readHeader(r io.Reader, wantType byte, h []byte) (payloadLen int, id uint64, extra int64, crc uint32, err error) {
+	if _, err = io.ReadFull(r, h); err != nil {
+		return 0, 0, 0, 0, err
 	}
 	if h[0] != magic0 || h[1] != magic1 {
-		return 0, 0, 0, ErrMagic
+		return 0, 0, 0, 0, ErrMagic
 	}
 	if h[2] != Version {
-		return 0, 0, 0, fmt.Errorf("%w: got %d, want %d", ErrVersion, h[2], Version)
+		if h[2] == 1 {
+			return 0, 0, 0, 0, fmt.Errorf("%w: peer speaks v1 (no CRC32C trailer); this build requires v%d", ErrVersion, Version)
+		}
+		return 0, 0, 0, 0, fmt.Errorf("%w: got %d, want %d", ErrVersion, h[2], Version)
 	}
 	if h[3] != wantType {
-		return 0, 0, 0, fmt.Errorf("%w: got %d, want %d", ErrFrameType, h[3], wantType)
+		return 0, 0, 0, 0, fmt.Errorf("%w: got %d, want %d", ErrFrameType, h[3], wantType)
 	}
 	n := binary.LittleEndian.Uint32(h[4:])
 	if n > MaxPayload {
-		return 0, 0, 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
+		return 0, 0, 0, 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
 	}
 	id = binary.LittleEndian.Uint64(h[8:])
 	extra = int64(binary.LittleEndian.Uint64(h[16:]))
-	return int(n), id, extra, nil
+	return int(n), id, extra, crc32.Update(0, crcTable, h), nil
+}
+
+// readTrailer consumes the 4-byte CRC32C trailer and compares it against
+// the CRC accumulated over the header and payload.
+func readTrailer(r io.Reader, crc uint32) error {
+	var tr [TrailerSize]byte
+	if _, err := io.ReadFull(r, tr[:]); err != nil {
+		return err
+	}
+	if got := binary.LittleEndian.Uint32(tr[:]); got != crc {
+		return fmt.Errorf("%w: trailer %08x, computed %08x", ErrChecksum, got, crc)
+	}
+	return nil
+}
+
+// sealFrame appends the CRC32C trailer over buf's header+payload bytes.
+// buf must have TrailerSize spare bytes after n.
+func sealFrame(buf []byte, n int) {
+	binary.LittleEndian.PutUint32(buf[n:], crc32.Checksum(buf[:n], crcTable))
 }
 
 // deadlineNanos converts a deadline to the wire representation: absolute
@@ -107,7 +138,7 @@ func WriteRequest(w io.Writer, r *Request) error {
 	if payload > MaxPayload {
 		return fmt.Errorf("%w: %d bytes", ErrTooLarge, payload)
 	}
-	bp, buf := getBuf(HeaderSize + payload)
+	bp, buf := getBuf(HeaderSize + payload + TrailerSize)
 	defer putBuf(bp)
 	putHeader(buf, frameRequest, payload, r.ID, deadlineNanos(r.Deadline))
 	p := buf[HeaderSize:]
@@ -117,6 +148,7 @@ func WriteRequest(w io.Writer, r *Request) error {
 	p = putF64s(p[reqFixed:], r.Alpha)
 	p = putF64s(p, r.X)
 	putF64s(p, r.Y)
+	sealFrame(buf, HeaderSize+payload)
 	_, err := w.Write(buf)
 	return err
 }
@@ -125,21 +157,22 @@ func WriteRequest(w io.Writer, r *Request) error {
 // clean io.EOF before any bytes) means the stream is no longer aligned
 // on frame boundaries and the connection should be closed.
 func ReadRequest(r io.Reader) (*Request, error) {
-	payloadLen, id, dl, err := readHeader(r, frameRequest)
+	// Read the header and the fixed payload prefix together and derive the
+	// slab sizes from the prefix, so the body allocation is bounded by the
+	// request's validated geometry rather than the header's claimed length
+	// — a small frame with a hostile length field cannot pin MaxPayload of
+	// memory. (Every well-formed request payload is ≥ reqFixed bytes, so
+	// the merged read never crosses a frame boundary for an honest peer;
+	// a malformed shorter claim errors below and closes the connection.)
+	var hf [HeaderSize + reqFixed]byte
+	payloadLen, id, dl, crc, err := readHeader(r, frameRequest, hf[:])
 	if err != nil {
 		return nil, err
 	}
 	if payloadLen < reqFixed {
 		return nil, fmt.Errorf("%w: request payload %d bytes, want ≥ %d", ErrMalformed, payloadLen, reqFixed)
 	}
-	// Read only the fixed prefix first and derive the slab sizes from it,
-	// so the body allocation is bounded by the request's validated
-	// geometry rather than the header's claimed length — a 24-byte frame
-	// with a hostile length field cannot pin MaxPayload of memory.
-	var fixed [reqFixed]byte
-	if _, err := io.ReadFull(r, fixed[:]); err != nil {
-		return nil, err
-	}
+	fixed := hf[HeaderSize:]
 	req := &Request{
 		ID:    id,
 		Op:    Op(fixed[0]),
@@ -162,6 +195,11 @@ func ReadRequest(r io.Reader) (*Request, error) {
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, err
 	}
+	// Verify the trailer before decoding a single component: a corrupted
+	// frame must never yield a plausible request.
+	if err := readTrailer(r, crc32.Update(crc, crcTable, body)); err != nil {
+		return nil, err
+	}
 	req.Alpha, body = getF64s(body, na)
 	req.X, body = getF64s(body, nx)
 	req.Y, _ = getF64s(body, ny)
@@ -176,20 +214,22 @@ func WriteResponse(w io.Writer, resp *Response) error {
 	if payload > MaxPayload {
 		return fmt.Errorf("%w: %d bytes", ErrTooLarge, payload)
 	}
-	bp, buf := getBuf(HeaderSize + payload)
+	bp, buf := getBuf(HeaderSize + payload + TrailerSize)
 	defer putBuf(bp)
 	putHeader(buf, frameResponse, payload, resp.ID, 0)
 	p := buf[HeaderSize:]
 	p[0], p[1], p[2], p[3] = byte(resp.Status), 0, 0, 0
 	binary.LittleEndian.PutUint32(p[4:], resp.RetryAfterMs)
 	putF64s(p[respFixed:], resp.Data)
+	sealFrame(buf, HeaderSize+payload)
 	_, err := w.Write(buf)
 	return err
 }
 
 // ReadResponse decodes one response frame.
 func ReadResponse(r io.Reader) (*Response, error) {
-	payloadLen, id, _, err := readHeader(r, frameResponse)
+	var h [HeaderSize]byte
+	payloadLen, id, _, crc, err := readHeader(r, frameResponse, h[:])
 	if err != nil {
 		return nil, err
 	}
@@ -199,6 +239,11 @@ func ReadResponse(r io.Reader) (*Response, error) {
 	bp, body := getBuf(payloadLen)
 	defer putBuf(bp)
 	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	// Verify before decoding: a corrupted frame must never yield a
+	// plausible response.
+	if err := readTrailer(r, crc32.Update(crc, crcTable, body)); err != nil {
 		return nil, err
 	}
 	resp := &Response{

@@ -14,13 +14,23 @@
 //
 //	offset  size  field
 //	0       2     magic "MF"
-//	2       1     version (1)
+//	2       1     version (2)
 //	3       1     frame type (1 = request, 2 = response)
-//	4       4     payload length in bytes
+//	4       4     payload length in bytes (trailer not included)
 //	8       8     request ID
 //	16      8     request: absolute deadline, Unix nanoseconds (0 = none)
 //	              response: reserved (0)
 //	24      —     payload
+//	24+len  4     CRC32C (Castagnoli) of header + payload
+//
+// Version 2 added the CRC32C trailer. Every frame is integrity-checked
+// end to end: a flipped bit anywhere in the header or payload makes the
+// trailer mismatch, the decoder returns ErrChecksum, and the connection
+// is closed — a corrupted frame can never decode into a plausible
+// request or response, so the arithmetic error bounds the service
+// advertises are never silently voided by the transport. Version 1
+// frames (no trailer) are rejected with ErrVersion; there is no
+// downgrade path.
 //
 // Request payload:
 //
@@ -48,8 +58,10 @@ import (
 
 // Protocol constants.
 const (
-	Version    = 1
+	Version    = 2
 	HeaderSize = 24
+	// TrailerSize is the CRC32C trailer appended after the payload.
+	TrailerSize = 4
 
 	// MaxPayload bounds a frame's payload so a corrupt or hostile length
 	// field cannot trigger an arbitrary allocation. 1 GiB admits GEMM up
@@ -168,6 +180,10 @@ var (
 	ErrFrameType = errors.New("wire: unexpected frame type")
 	ErrTooLarge  = errors.New("wire: frame exceeds MaxPayload")
 	ErrMalformed = errors.New("wire: malformed payload")
+	// ErrChecksum: the frame's CRC32C trailer did not match its contents.
+	// The frame was corrupted in flight (or the peer is broken); nothing
+	// decoded from it can be trusted and the connection must be closed.
+	ErrChecksum = errors.New("wire: frame checksum mismatch")
 )
 
 // Request is one decoded request frame. Slabs are flat component arrays:
