@@ -3,17 +3,54 @@
 
 GO ?= go
 
-.PHONY: check test race vet build fuzz-smoke conformance bench-smoke bench-ablation fig9 serve-smoke bench-serve chaos chaos-smoke
+.PHONY: check test race vet build lint mflint gensync fuzz-smoke conformance bench-smoke bench-ablation fig9 serve-smoke bench-serve chaos chaos-smoke
 
-# check is the full pre-merge gate: build, vet, tests, and the race
-# detector over the worker pool and blocked kernels.
-check: build vet test race
+# check is the full pre-merge gate: build, static analysis (vet + the
+# domain-aware mflint contract checks), generated-code drift, tests, and
+# the race detector over the worker pool and blocked kernels.
+check: build lint gensync test race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint is the required static-analysis gate: go vet plus mflint, the
+# in-tree analyzer suite that machine-checks the paper's contracts
+# (//mf:branchfree control flow, FMA-contraction hazards, constant
+# exactness, //mf:hotpath allocation sites — see DESIGN.md
+# "Machine-checked contracts"). staticcheck and govulncheck run too when
+# installed, but are not fetched: the build must work offline.
+lint: vet mflint
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck $$(staticcheck -version 2>/dev/null | head -1)"; \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (CI pins and runs it)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed; skipping (CI pins and runs it)"; \
+	fi
+
+mflint:
+	$(GO) run ./cmd/mflint
+
+# gensync fails when internal/blas/micro_generated.go drifts from its
+# generator: it regenerates into a scratch file and diffs. Regenerate
+# for real with: go run ./internal/blas/genmicro -out internal/blas/micro_generated.go
+gensync:
+	@tmp=$$(mktemp /tmp/micro_generated.XXXXXX.go); \
+	trap 'rm -f "$$tmp"' EXIT; \
+	$(GO) run ./internal/blas/genmicro -out "$$tmp" || exit 1; \
+	if ! diff -u internal/blas/micro_generated.go "$$tmp"; then \
+		echo "gensync: internal/blas/micro_generated.go is out of sync with genmicro;"; \
+		echo "gensync: run 'go run ./internal/blas/genmicro -out internal/blas/micro_generated.go'"; \
+		exit 1; \
+	fi; \
+	echo "gensync: internal/blas/micro_generated.go is in sync"
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,107 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its findings against expectations embedded in the fixtures, in the
+// style of golang.org/x/tools/go/analysis/analysistest (reimplemented on
+// the stdlib so the module stays dependency-free).
+//
+// A fixture is a directory under the analyzer's testdata/src containing
+// one package. Expectations are comments containing backquoted regular
+// expressions:
+//
+//	x := a*b + c // want `eligible for .* contraction`
+//	y := f(a, b) // want `first finding` `second finding`
+//
+// Every finding on a line must be matched by exactly one `…` clause of
+// that line's want comment, and vice versa. Fixtures may import other
+// packages of the module (e.g. multifloats/internal/eft) — the loader
+// type-checks them from source.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"multifloats/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile("want((?:\\s*`[^`]*`)+)")
+var argRE = regexp.MustCompile("`([^`]*)`")
+
+// Run analyzes the fixture package at testdata/src/<fixture> and reports
+// any mismatch between findings and want expectations as test failures.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := analysis.NewLoader(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(cwd, "testdata", "src", fixture)
+	pkg, err := ld.LoadDir(fixture, dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	diags, err := analysis.Run(a, pkg, ld)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, fixture, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]string) // unmatched regexps per line
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := ld.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, arg := range argRE.FindAllStringSubmatch(m[1], -1) {
+					wants[k] = append(wants[k], arg[1])
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := ld.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		idx := -1
+		for i, re := range wants[k] {
+			ok, err := regexp.MatchString(re, d.Message)
+			if err != nil {
+				t.Errorf("%s: bad want regexp %q: %v", rel(pos.String(), cwd), re, err)
+			}
+			if ok {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			t.Errorf("%s: unexpected finding: %s", rel(pos.String(), cwd), d.Message)
+			continue
+		}
+		wants[k] = append(wants[k][:idx], wants[k][idx+1:]...)
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: no finding matched want `%s`", rel(k.file, cwd), k.line, re)
+		}
+	}
+}
+
+func rel(path, base string) string {
+	if r, err := filepath.Rel(base, path); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return path
+}

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Flags are the per-function contract annotations.
+type Flags struct {
+	BranchFree bool // //mf:branchfree in the func doc comment
+	HotPath    bool // //mf:hotpath in the func doc comment
+}
+
+// Allow is one parsed "//mf:allow <analyzer> -- <why>" line directive. It
+// suppresses findings of the named analyzer on its own source line or the
+// line directly below (so it can sit at the end of the offending line or
+// on its own line above it).
+type Allow struct {
+	Pos      token.Pos
+	File     string
+	Line     int
+	Analyzer string
+	Reason   string
+
+	matched bool // a finding hit this directive during Run
+}
+
+// Annotations are the parsed //mf: directives of one package.
+type Annotations struct {
+	// Funcs maps each function declaration to its contract flags.
+	Funcs map[*ast.FuncDecl]Flags
+	// Keys maps the cross-package lookup key of each annotated function
+	// ("Func" or "Recv.Method") to its flags; the Index consults this.
+	Keys map[string]Flags
+	// Allows are every //mf:allow directive in the package, justified or
+	// not, in source order.
+	Allows []Allow
+	// Unknown are //mf: comments whose directive is not recognized
+	// (position + raw text), surfaced by the directive hygiene check in
+	// cmd/mflint so a typo like //mf:branchfre cannot silently disable a
+	// contract.
+	Unknown []Diagnostic
+}
+
+const (
+	dirBranchFree = "//mf:branchfree"
+	dirHotPath    = "//mf:hotpath"
+	dirAllow      = "//mf:allow"
+)
+
+// wantClause strips trailing analysistest "want" clauses from an allow
+// justification, so test fixtures can both carry a directive and state
+// the findings they expect on the same comment.
+var wantClause = regexp.MustCompile("(?:\\s*want\\s*(?:`[^`]*`\\s*)+)+$")
+
+// ParseAnnotations extracts the //mf: directives from the files of one
+// package.
+func ParseAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
+	an := &Annotations{
+		Funcs: make(map[*ast.FuncDecl]Flags),
+		Keys:  make(map[string]Flags),
+	}
+	inDoc := make(map[*ast.Comment]bool)
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			var fl Flags
+			for _, c := range fd.Doc.List {
+				switch strings.TrimSpace(c.Text) {
+				case dirBranchFree:
+					fl.BranchFree = true
+					inDoc[c] = true
+				case dirHotPath:
+					fl.HotPath = true
+					inDoc[c] = true
+				}
+			}
+			if fl != (Flags{}) {
+				an.Funcs[fd] = fl
+				an.Keys[FuncDeclKey(fd)] = fl
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				an.parseComment(fset, c, inDoc)
+			}
+		}
+	}
+	return an
+}
+
+// parseComment classifies one comment: allow directive, known function
+// annotation, unknown //mf: directive, or plain prose.
+func (an *Annotations) parseComment(fset *token.FileSet, c *ast.Comment, inDoc map[*ast.Comment]bool) {
+	text := strings.TrimSpace(c.Text)
+	if !strings.HasPrefix(text, "//mf:") {
+		return
+	}
+	switch {
+	case text == dirBranchFree, text == dirHotPath:
+		if inDoc[c] {
+			return
+		}
+		an.Unknown = append(an.Unknown, Diagnostic{
+			Pos:      c.Pos(),
+			Analyzer: "mfdirective",
+			Message:  quoteDirective(text) + " has no effect here; contract annotations must sit in a function's doc comment",
+		})
+		return
+	case strings.HasPrefix(text, dirAllow):
+		rest := strings.TrimPrefix(text, dirAllow)
+		if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+			break // e.g. //mf:allowance — not our directive
+		}
+		// Strip trailing analysistest want clauses before splitting, so a
+		// fixture line can carry both the directive and its expectations
+		// whether or not the directive has a justification.
+		rest = strings.TrimSpace(wantClause.ReplaceAllString(rest, ""))
+		name, reason, _ := strings.Cut(rest, " -- ")
+		name = strings.TrimSpace(name)
+		reason = strings.TrimSpace(reason)
+		if name == "" || strings.ContainsAny(name, " \t") {
+			break // malformed: report as unknown directive below
+		}
+		pos := fset.Position(c.Pos())
+		an.Allows = append(an.Allows, Allow{
+			Pos:      c.Pos(),
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Analyzer: name,
+			Reason:   reason,
+		})
+		return
+	}
+	an.Unknown = append(an.Unknown, Diagnostic{
+		Pos:      c.Pos(),
+		Analyzer: "mfdirective",
+		Message:  "unrecognized //mf: directive " + quoteDirective(text) + " (known: //mf:branchfree, //mf:hotpath, //mf:allow <analyzer> -- <why>)",
+	})
+}
+
+func quoteDirective(text string) string {
+	if i := strings.IndexAny(text, " \t"); i > 0 {
+		return "\"" + text[:i] + " …\""
+	}
+	return "\"" + text + "\""
+}
+
+// FuncDeclKey returns the cross-package annotation key of a declaration:
+// "Name" for functions, "Recv.Name" for methods (pointer receivers and
+// generic receivers collapse to the base type name).
+func FuncDeclKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch u := t.(type) {
+		case *ast.StarExpr:
+			t = u.X
+		case *ast.IndexExpr:
+			t = u.X
+		case *ast.IndexListExpr:
+			t = u.X
+		case *ast.Ident:
+			return u.Name + "." + fd.Name.Name
+		default:
+			return "?." + fd.Name.Name
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"multifloats/internal/analysis"
+)
+
+func parse(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, f
+}
+
+func TestFlagsAndKeys(t *testing.T) {
+	fset, f := parse(t, `package p
+
+// TwoSum is an EFT.
+//
+//mf:branchfree
+func TwoSum(a, b float64) (float64, float64) { return a + b, 0 }
+
+// Mul is hot and branch-free.
+//
+//mf:branchfree
+//mf:hotpath
+func (v *Vec) Mul(w Vec) Vec { return w }
+
+//mf:hotpath
+func (v Vec[T]) Dot(w Vec[T]) T { var z T; return z }
+
+type Vec struct{}
+
+func plain() {}
+`)
+	an := analysis.ParseAnnotations(fset, []*ast.File{f})
+	want := map[string]analysis.Flags{
+		"TwoSum":  {BranchFree: true},
+		"Vec.Mul": {BranchFree: true, HotPath: true},
+		"Vec.Dot": {HotPath: true},
+	}
+	if len(an.Keys) != len(want) {
+		t.Errorf("got %d annotated keys %v, want %d", len(an.Keys), an.Keys, len(want))
+	}
+	for k, fl := range want {
+		if an.Keys[k] != fl {
+			t.Errorf("Keys[%q] = %+v, want %+v", k, an.Keys[k], fl)
+		}
+	}
+	if len(an.Unknown) != 0 {
+		t.Errorf("unexpected hygiene diagnostics: %v", an.Unknown)
+	}
+}
+
+func TestFuncDeclKey(t *testing.T) {
+	_, f := parse(t, `package p
+func Plain() {}
+func (v Vec) Val() {}
+func (v *Vec) Ptr() {}
+func (v Vec[T]) Generic() {}
+func (v *Mat[T, U]) GenericPtr() {}
+`)
+	want := []string{"Plain", "Vec.Val", "Vec.Ptr", "Vec.Generic", "Mat.GenericPtr"}
+	var got []string
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			got = append(got, analysis.FuncDeclKey(fd))
+		}
+	}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("keys = %v, want %v", got, want)
+	}
+}
+
+func TestMisplacedAndUnknownDirectives(t *testing.T) {
+	fset, f := parse(t, `package p
+
+func body() {
+	//mf:branchfree
+	x := 1
+	_ = x
+}
+
+//mf:hotpath
+var notAFunc int
+
+//mf:branchfre
+func typo() {}
+
+//mf:allow
+func missingName() {}
+
+//mf:allowance -- not our directive
+func lookalike() {}
+`)
+	an := analysis.ParseAnnotations(fset, []*ast.File{f})
+	if len(an.Keys) != 0 {
+		t.Errorf("no function should be annotated, got %v", an.Keys)
+	}
+	if len(an.Allows) != 0 {
+		t.Errorf("no allow should parse, got %v", an.Allows)
+	}
+	wantFrags := []string{
+		"\"//mf:branchfree\" has no effect here",
+		"\"//mf:hotpath\" has no effect here",
+		"unrecognized //mf: directive \"//mf:branchfre\"",
+		"unrecognized //mf: directive \"//mf:allow\"",
+		"unrecognized //mf: directive \"//mf:allowance …\"",
+	}
+	if len(an.Unknown) != len(wantFrags) {
+		t.Fatalf("got %d hygiene diagnostics, want %d: %v", len(an.Unknown), len(wantFrags), an.Unknown)
+	}
+	for i, frag := range wantFrags {
+		if !strings.Contains(an.Unknown[i].Message, frag) {
+			t.Errorf("Unknown[%d] = %q, want it to contain %q", i, an.Unknown[i].Message, frag)
+		}
+	}
+}
+
+func TestAllowParsing(t *testing.T) {
+	fset, f := parse(t, `package p
+
+func g() {
+	a := 1 //mf:allow fpcontract -- the product must fuse here
+	b := 2 //mf:allow hotalloc
+	c := 3 //mf:allow branchfree -- justified with wants want `+"`first` `second`"+`
+	_, _, _ = a, b, c
+}
+`)
+	an := analysis.ParseAnnotations(fset, []*ast.File{f})
+	if len(an.Unknown) != 0 {
+		t.Fatalf("unexpected hygiene diagnostics: %v", an.Unknown)
+	}
+	type allow struct{ analyzer, reason string }
+	want := []allow{
+		{"fpcontract", "the product must fuse here"},
+		{"hotalloc", ""}, // parses, but analysis.Run will demand a justification
+		{"branchfree", "justified with wants"},
+	}
+	if len(an.Allows) != len(want) {
+		t.Fatalf("got %d allows, want %d: %+v", len(an.Allows), len(want), an.Allows)
+	}
+	for i, w := range want {
+		got := an.Allows[i]
+		if got.Analyzer != w.analyzer || got.Reason != w.reason {
+			t.Errorf("Allows[%d] = {%q %q}, want {%q %q}", i, got.Analyzer, got.Reason, w.analyzer, w.reason)
+		}
+		if got.Line != 4+i {
+			t.Errorf("Allows[%d].Line = %d, want %d", i, got.Line, 4+i)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package branchfree_test
+
+import (
+	"testing"
+
+	"multifloats/internal/analysis/analysistest"
+	"multifloats/internal/analysis/branchfree"
+)
+
+func TestBranchfree(t *testing.T) {
+	analysistest.Run(t, branchfree.Analyzer, "branchy")
+}

@@ -1,0 +1,88 @@
+// Package exactconst flags numeric literals in kernel packages whose
+// value is not exactly representable in the floating-point type the
+// context gives them.
+//
+// Expansion arithmetic reasons about exact machine numbers: a Veltkamp
+// split constant, a Newton seed, or an exactly-doubled coefficient is
+// correct because its binary representation is the intended real number,
+// not an approximation of it. A decimal literal like 0.1 silently rounds
+// at compile time, and the rounding error then masquerades as data. The
+// error-analysis argument of the paper (§2.1, §4) starts from "all
+// constants are exact"; this analyzer machine-checks that premise.
+//
+// A literal is reported when its exact rational value differs from its
+// rounded floating-point value in any width the context can instantiate:
+// float64 contexts check binary64, float32 contexts binary32, and
+// generic T contexts (float32 | float64) must be exact in both. Clean
+// spellings for genuinely inexact targets are hex float literals
+// (0x1.999999999999ap-04 states its own bits) or, for per-width
+// constants, the unsafe.Sizeof width-dispatch idiom with an exact
+// literal per branch.
+//
+// The analyzer checks literal leaves, not folded constant expressions:
+// 1<<27 + 1 is three exact literals combined exactly by the compiler's
+// arbitrary-precision constant arithmetic, which is always safe.
+package exactconst
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+
+	"multifloats/internal/analysis"
+)
+
+// Analyzer is the exactconst pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "exactconst",
+	Doc:  "flag float constants that are not exactly representable at their context's precision",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || (lit.Kind != token.FLOAT && lit.Kind != token.INT) {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[lit]
+			if !ok || tv.Value == nil || tv.Type == nil {
+				return true
+			}
+			w := analysis.Widths(tv.Type)
+			if !w.IsFloat() {
+				return true // integer or non-float context: exact by construction
+			}
+			// tv.Value is useless here: once the context types the constant,
+			// go/types has already rounded it to the target width, so it
+			// always looks "exact". Re-derive the literal's true value from
+			// its source text at arbitrary precision.
+			val := constant.MakeFromLiteral(lit.Value, lit.Kind, 0)
+			if val.Kind() == constant.Unknown {
+				return true
+			}
+			if w.Has64 {
+				if f64, exact := constant.Float64Val(val); !exact {
+					pass.Reportf(lit.Pos(),
+						"constant %s is not exactly representable in float64 (nearest is %v); use a hex float literal to state the intended bits",
+						lit.Value, f64)
+					return true
+				}
+			}
+			if w.Has32 {
+				if f32, exact := constant.Float32Val(val); !exact {
+					ctx := "float32"
+					if w.Has64 {
+						ctx = "float32 instantiations of this generic context"
+					}
+					pass.Reportf(lit.Pos(),
+						"constant %s is not exactly representable in %s (nearest is %v); use a hex float literal or the unsafe.Sizeof width dispatch",
+						lit.Value, ctx, f32)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package exactconst_test
+
+import (
+	"testing"
+
+	"multifloats/internal/analysis/analysistest"
+	"multifloats/internal/analysis/exactconst"
+)
+
+func TestExactconst(t *testing.T) {
+	analysistest.Run(t, exactconst.Analyzer, "inexact")
+}

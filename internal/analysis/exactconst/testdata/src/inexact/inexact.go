@@ -1,0 +1,34 @@
+// Package inexact is the exactconst analyzer fixture.
+package inexact
+
+const (
+	splitFactor float64 = 1<<27 + 1             // exact: folded from exact literals
+	tenth       float64 = 0.1                   // want `not exactly representable in float64`
+	tenthHex    float64 = 0x1.999999999999ap-04 // exact by construction: states its own bits
+	half        float64 = 0.5
+	exactBig    float64 = 16777217 // 2^24+1: exact in float64
+)
+
+var (
+	w32 float32 = 0.1      // want `not exactly representable in float32`
+	x32 float32 = 16777217 // want `not exactly representable in float32`
+	y32 float32 = 1.25
+	n   float64 = 3 // small integers are exact
+	i   int     = 7 // integer context: not a float constant
+)
+
+type number interface {
+	float32 | float64
+}
+
+func generic[T number](x T) T {
+	return x * 16777217 // want `float32 instantiations of this generic context`
+}
+
+func generic64(x float64) float64 {
+	return x * 16777217 // exact at this width
+}
+
+func allowed() float64 {
+	return 0.1 //mf:allow exactconst -- fixture: the approximation is the point here
+}

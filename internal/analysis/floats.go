@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FloatWidths describes which IEEE widths a type can instantiate to:
+// {64} for float64, {32} for float32, {32, 64} for a type parameter whose
+// type set contains both.
+type FloatWidths struct {
+	Has32, Has64 bool
+}
+
+// IsFloat reports whether t is (or can instantiate to) a floating-point
+// type, ignoring complex kinds.
+func (w FloatWidths) IsFloat() bool { return w.Has32 || w.Has64 }
+
+// Widths classifies t. Named types resolve through their underlying type;
+// type parameters through every term of their type set.
+func Widths(t types.Type) FloatWidths {
+	var w FloatWidths
+	addBasic := func(b *types.Basic) {
+		switch b.Kind() {
+		case types.Float32:
+			w.Has32 = true
+		case types.Float64, types.UntypedFloat:
+			w.Has64 = true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		addBasic(u)
+	case *types.Interface:
+		// A type parameter's underlying is its constraint interface.
+		for term := range termsOf(u) {
+			if b, ok := term.Underlying().(*types.Basic); ok {
+				addBasic(b)
+			}
+		}
+	}
+	return w
+}
+
+// termsOf yields the type-set terms of a constraint interface.
+func termsOf(iface *types.Interface) map[types.Type]bool {
+	out := make(map[types.Type]bool)
+	var walk func(*types.Interface)
+	walk = func(it *types.Interface) {
+		for i := 0; i < it.NumEmbeddeds(); i++ {
+			switch e := it.EmbeddedType(i).(type) {
+			case *types.Union:
+				for j := 0; j < e.Len(); j++ {
+					out[e.Term(j).Type()] = true
+				}
+			case *types.Interface:
+				walk(e)
+			default:
+				if sub, ok := e.Underlying().(*types.Interface); ok {
+					walk(sub)
+				} else {
+					out[e] = true
+				}
+			}
+		}
+	}
+	walk(iface)
+	return out
+}
+
+// ExprWidths classifies the type of e under pass's type information.
+func (p *Pass) ExprWidths(e ast.Expr) FloatWidths {
+	tv, ok := p.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return FloatWidths{}
+	}
+	return Widths(tv.Type)
+}
+
+// FloatTypeName renders the conversion spelling that blocks FMA
+// contraction for an expression of type t: "float64", "float32", or the
+// type parameter's own name for generic code.
+func FloatTypeName(t types.Type) string {
+	switch tt := t.(type) {
+	case *types.TypeParam:
+		return tt.Obj().Name()
+	case *types.Basic:
+		if tt.Kind() == types.UntypedFloat {
+			return "float64"
+		}
+		return tt.Name()
+	case *types.Named:
+		return tt.Obj().Name()
+	}
+	return "float64"
+}
+
+// Callee resolves the function object a call expression invokes: a
+// *types.Func for ordinary (possibly generic) functions and methods, a
+// *types.Builtin for builtins, nil for indirect calls through function
+// values. Conversions are reported via the second result.
+func (p *Pass) Callee(call *ast.CallExpr) (obj types.Object, isConversion bool) {
+	fun := ast.Unparen(call.Fun)
+	for {
+		switch f := fun.(type) {
+		case *ast.IndexExpr:
+			fun = ast.Unparen(f.X)
+			continue
+		case *ast.IndexListExpr:
+			fun = ast.Unparen(f.X)
+			continue
+		}
+		break
+	}
+	if tv, ok := p.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return nil, true
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		o := p.TypesInfo.Uses[f]
+		if o == nil {
+			o = p.TypesInfo.Defs[f]
+		}
+		if isFuncLike(o) {
+			return o, false
+		}
+		if tv, ok := p.TypesInfo.Types[fun]; ok && tv.IsType() {
+			return nil, true
+		}
+		return nil, false
+	case *ast.SelectorExpr:
+		if o := p.TypesInfo.Uses[f.Sel]; isFuncLike(o) {
+			return o, false
+		}
+		if tv, ok := p.TypesInfo.Types[fun]; ok && tv.IsType() {
+			return nil, true
+		}
+		return nil, false
+	}
+	return nil, false
+}
+
+func isFuncLike(o types.Object) bool {
+	switch o.(type) {
+	case *types.Func, *types.Builtin:
+		return true
+	}
+	return false
+}
+
+// FuncKey returns the (package path, index key) of a resolved function
+// object, mirroring FuncDeclKey on the AST side. Functions without a
+// package (error.Error, universe builtins) return an empty path.
+func FuncKey(f *types.Func) (pkgPath, key string) {
+	if f.Pkg() != nil {
+		pkgPath = f.Pkg().Path()
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return pkgPath, f.Name()
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	switch tt := t.(type) {
+	case *types.Named:
+		return pkgPath, tt.Obj().Name() + "." + f.Name()
+	case *types.Interface:
+		return pkgPath, "?." + f.Name()
+	}
+	return pkgPath, "?." + f.Name()
+}

@@ -1,0 +1,19 @@
+package fpcontract_test
+
+import (
+	"testing"
+
+	"multifloats/internal/analysis/analysistest"
+	"multifloats/internal/analysis/fpcontract"
+)
+
+func TestFpcontract(t *testing.T) {
+	analysistest.Run(t, fpcontract.Analyzer, "contract")
+}
+
+// TestDekkerRegression pins the arm64 hazard that motivated the analyzer:
+// an unguarded Dekker error reconstruction yields one finding per split
+// product, and the conversion-barrier form yields none.
+func TestDekkerRegression(t *testing.T) {
+	analysistest.Run(t, fpcontract.Analyzer, "dekker")
+}

@@ -1,0 +1,49 @@
+// Package contract is the fpcontract analyzer fixture.
+package contract
+
+import "math"
+
+func float64Sites(a, b, c float64) float64 {
+	z := a*b + c     // want `eligible for FMA contraction`
+	z = c - a*b      // want `eligible for FMA contraction`
+	z += a * b       // want `eligible for FMA contraction`
+	z -= a * b       // want `eligible for FMA contraction`
+	z = -(a * b) + c // want `eligible for FMA contraction`
+	z = (a * b) + c  // want `eligible for FMA contraction`
+	return z
+}
+
+func clean(a, b, c float64) float64 {
+	z := float64(a*b) + c // conversion is a spec-guaranteed rounding barrier
+	z = math.FMA(a, b, c) + z
+	z = a * b       // product does not feed an addition
+	z = (a + b) * c // addition feeds a product: fine
+	z = 2*3 + c     // constant-folded at arbitrary precision
+	z += a / b      // division cannot contract
+	return z
+}
+
+func intSites(i, j int) int {
+	return i*j + 1 // integer arithmetic is exact
+}
+
+type number interface {
+	float32 | float64
+}
+
+func genericSites[T number](a, b, c T) T {
+	z := a*b + c // want `eligible for FMA contraction`
+	z = T(a*b) + c
+	return z
+}
+
+func allowed(a, b, c float64) float64 {
+	z := a*b + c //mf:allow fpcontract -- fixture: justified suppression
+	z += a * b   //mf:allow fpcontract want `eligible for FMA contraction` `requires a justification`
+	return z
+}
+
+func stale(a, b float64) float64 {
+	z := a + b //mf:allow fpcontract -- fixture: nothing to suppress here want `suppresses nothing`
+	return z
+}

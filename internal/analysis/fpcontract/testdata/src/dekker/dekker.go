@@ -1,0 +1,28 @@
+// Package dekker is the arm64 regression fixture for fpcontract: the
+// Dekker/Veltkamp error reconstruction whose four split products must
+// each round individually. On arm64 the compiler may contract any of
+// them into the neighbouring addition, and the recovered "exact" error
+// term e then belongs to a computation that never happened — the exact
+// failure mode mflint exists to catch before it reaches a fusing target.
+package dekker
+
+import "multifloats/internal/eft"
+
+// twoProdDekkerUnguarded is the hazard as it was originally written.
+func twoProdDekkerUnguarded(x, y float64) (p, e float64) {
+	p = x * y
+	xh, xl := eft.Split(x)
+	yh, yl := eft.Split(y)
+	e = ((xh*yh - p) + xh*yl + xl*yh) + xl*yl // want `contraction` `contraction` `contraction` `contraction`
+	return p, e
+}
+
+// twoProdDekkerGuarded is the shipped form: every split product behind a
+// float64 conversion barrier, bit-identical on non-fusing targets.
+func twoProdDekkerGuarded(x, y float64) (p, e float64) {
+	p = x * y
+	xh, xl := eft.Split(x)
+	yh, yl := eft.Split(y)
+	e = ((float64(xh*yh) - p) + float64(xh*yl) + float64(xl*yh)) + float64(xl*yl)
+	return p, e
+}

@@ -1,0 +1,212 @@
+// Package hotalloc forbids allocation sites in functions annotated
+// //mf:hotpath: the blocked GEMM/GEMV inner kernels and the serve/wire
+// frame encoders, whose Fig. 9–11 throughput depends on the inner loop
+// touching only registers, packed panels, and pooled buffers.
+//
+// Inside an annotated function the analyzer reports the syntactic
+// allocation sites:
+//
+//   - make / new / append (append may grow; hoist capacity to the caller
+//     or the panel pool)
+//   - function literals (closures allocate their capture environment)
+//   - slice and map composite literals (array and struct literals live in
+//     registers or on the stack and are fine)
+//   - &T{...} (escapes in all but trivial cases)
+//   - go and defer statements (goroutine stacks, defer records)
+//   - string concatenation and string<->[]byte/[]rune conversions
+//   - interface boxing: passing a concrete value to an interface-typed
+//     parameter (this is how an innocent fmt call smuggles an allocation
+//     per argument into a kernel), or converting to an interface type
+//
+// What the analyzer does NOT prove: absence of escape-analysis spills
+// (&local passed onward), growth inside callees, or allocations in called
+// functions generally — calls are allowed so kernels can compose. It is a
+// structural gate over the hot function's own body, complementing the
+// benchmark suite (which measures allocs/op end to end but only on the
+// configurations the benchmarks cover).
+//
+// Escapes require "//mf:allow hotalloc -- <why>" with a justification,
+// e.g. a cold error path that allocates only when the request is already
+// doomed.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"multifloats/internal/analysis"
+)
+
+// Analyzer is the hotalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid allocation sites in //mf:hotpath functions",
+	Run:  run,
+}
+
+var forbiddenBuiltins = map[string]string{
+	"make":   "allocates",
+	"new":    "allocates",
+	"append": "may grow its backing array",
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !pass.Annots.Funcs[fd].HotPath {
+				continue
+			}
+			checkBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in //mf:hotpath function %s allocates a goroutine", name)
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "defer in //mf:hotpath function %s allocates a defer record on some paths", name)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure in //mf:hotpath function %s allocates its capture environment", name)
+			return false
+		case *ast.CompositeLit:
+			if tv, ok := pass.TypesInfo.Types[n]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					pass.Reportf(n.Pos(), "slice literal in //mf:hotpath function %s allocates; use an array or a pooled buffer", name)
+				case *types.Map:
+					pass.Reportf(n.Pos(), "map literal in //mf:hotpath function %s allocates", name)
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal in //mf:hotpath function %s heap-allocates when it escapes", name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass, n) {
+				pass.Reportf(n.Pos(), "string concatenation in //mf:hotpath function %s allocates", name)
+			}
+		case *ast.CallExpr:
+			checkCall(pass, name, n)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, fname string, call *ast.CallExpr) {
+	obj, isConv := pass.Callee(call)
+	if isConv {
+		checkConversion(pass, fname, call)
+		return
+	}
+	if b, ok := obj.(*types.Builtin); ok {
+		if why, bad := forbiddenBuiltins[b.Name()]; bad {
+			pass.Reportf(call.Pos(), "builtin %s in //mf:hotpath function %s %s; hoist the buffer out of the hot path", b.Name(), fname, why)
+		}
+		return
+	}
+	// Interface boxing at the call boundary: a concrete argument passed
+	// to an interface-typed parameter is wrapped in a heap-allocated
+	// interface value (unless escape analysis gets lucky — which the hot
+	// path must not bet on).
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			last := sig.Params().At(sig.Params().Len() - 1).Type()
+			if call.Ellipsis != token.NoPos && i == sig.Params().Len()-1 {
+				param = last // slice passed through, no boxing
+			} else if sl, ok := last.(*types.Slice); ok {
+				param = sl.Elem()
+			}
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		}
+		if param == nil {
+			continue
+		}
+		if _, isIface := param.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		if _, isTypeParam := param.(*types.TypeParam); isTypeParam {
+			continue // generic parameter: instantiates to a concrete type
+		}
+		atv, ok := pass.TypesInfo.Types[arg]
+		if !ok || atv.Type == nil {
+			continue
+		}
+		if atv.IsNil() {
+			continue
+		}
+		if _, argIface := atv.Type.Underlying().(*types.Interface); argIface {
+			continue
+		}
+		if _, argTP := atv.Type.(*types.TypeParam); argTP {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument boxes %s into interface %s in //mf:hotpath function %s (one allocation per call)", atv.Type, param, fname)
+	}
+}
+
+// checkConversion flags string<->byte/rune-slice conversions, which copy.
+func checkConversion(pass *analysis.Pass, fname string, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.Type == nil || len(call.Args) != 1 {
+		return
+	}
+	atv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || atv.Type == nil {
+		return
+	}
+	dst, src := tv.Type.Underlying(), atv.Type.Underlying()
+	if (isStringType(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isStringType(src)) {
+		pass.Reportf(call.Pos(), "string conversion in //mf:hotpath function %s copies its operand", fname)
+	}
+	// Conversion TO an interface type boxes.
+	if _, isIface := dst.(*types.Interface); isIface {
+		if _, srcIface := src.(*types.Interface); !srcIface && !atv.IsNil() {
+			pass.Reportf(call.Pos(), "conversion boxes %s into interface in //mf:hotpath function %s", atv.Type, fname)
+		}
+	}
+}
+
+func isString(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isStringType(tv.Type.Underlying())
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

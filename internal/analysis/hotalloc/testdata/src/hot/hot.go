@@ -1,0 +1,66 @@
+// Package hot is the hotalloc analyzer fixture.
+package hot
+
+func sink(v any)       { _ = v }
+func sinks(vs ...any)  { _ = vs }
+func take(s []float64) { _ = s }
+func use(f func() int) { _ = f }
+
+//mf:hotpath
+func allocations(n int) {
+	s := make([]float64, n) // want `builtin make in //mf:hotpath function allocations allocates`
+	p := new(float64)       // want `builtin new in //mf:hotpath function allocations allocates`
+	s = append(s, *p)       // want `builtin append in //mf:hotpath function allocations may grow`
+	take(s)
+	lit := []float64{1, 2} // want `slice literal in //mf:hotpath function allocations allocates`
+	take(lit)
+	m := map[int]int{} // want `map literal in //mf:hotpath function allocations allocates`
+	_ = m
+	q := &point{1, 2} // want `&composite literal in //mf:hotpath function allocations heap-allocates`
+	_ = q
+	go work()                    // want `go statement in //mf:hotpath function allocations allocates a goroutine`
+	defer work()                 // want `defer in //mf:hotpath function allocations allocates a defer record`
+	use(func() int { return n }) // want `closure in //mf:hotpath function allocations allocates its capture`
+}
+
+//mf:hotpath
+func boxing(x int, e error, s []float64) {
+	sink(x)     // want `argument boxes int into interface`
+	sinks(x)    // want `argument boxes int into interface`
+	sink(e)     // already an interface: no new allocation
+	sink(nil)   // nil interface: no allocation
+	v := any(x) // want `conversion boxes int into interface`
+	_ = v
+	var vs []any
+	sinks(vs...) // slice passed through: no boxing
+	take(s)      // concrete parameter: no boxing
+}
+
+//mf:hotpath
+func strings64(a, b string, bs []byte) int {
+	c := a + b      // want `string concatenation in //mf:hotpath function strings64 allocates`
+	d := []byte(a)  // want `string conversion in //mf:hotpath function strings64 copies`
+	e := string(bs) // want `string conversion in //mf:hotpath function strings64 copies`
+	return len(c) + len(d) + len(e)
+}
+
+//mf:hotpath
+func stackOnly(x, y float64) float64 {
+	acc := [4]float64{x, y} // array literal: registers or stack
+	pt := point{1, 2}       // struct literal: stack
+	return acc[0] + float64(pt.x)
+}
+
+//mf:hotpath
+func allowed(n int) []float64 {
+	return make([]float64, n) //mf:allow hotalloc -- fixture: cold setup path, measured as zero allocs/op steady-state
+}
+
+type point struct{ x, y int }
+
+func work() {}
+
+// unannotated functions may allocate.
+func unannotated(n int) []float64 {
+	return make([]float64, n)
+}

@@ -67,6 +67,8 @@ func roundUp(x, m int) int { return (x + m - 1) / m * m }
 // micro-panel order: for each mr-row strip, kc groups of mr row-adjacent
 // elements. Rows past mc within the last strip are zero-filled so the
 // micro-kernel never branches on partial heights.
+//
+//mf:hotpath
 func packA[E any](dst, a []E, lda, mc, kc, mr int) {
 	var zero E
 	idx := 0
@@ -88,6 +90,8 @@ func packA[E any](dst, a []E, lda, mc, kc, mr int) {
 // packB copies the kc×nc block at b (leading dimension ldb) into dst in
 // micro-panel order: for each nr-column strip, kc groups of nr
 // column-adjacent elements, zero-padded past nc.
+//
+//mf:hotpath
 func packB[E any](dst, b []E, ldb, kc, nc, nr int) {
 	var zero E
 	idx := 0

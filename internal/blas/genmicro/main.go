@@ -33,6 +33,7 @@ package main
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
 	"go/format"
 	"log"
@@ -77,8 +78,10 @@ func tp(d0, d1, x, y string, c cfg) string {
 func mulBody(c cfg) (string, []string) {
 	switch c.n {
 	case 2:
-		return tp("p00", "e00", "x0", "y0", c) + `t := x0*y1 + x1*y0
-zl1 := e00 + t
+		// The conversions on the cross products are rounding barriers
+		// against FMA contraction, mirroring core.MulAcc2.
+		return tp("p00", "e00", "x0", "y0", c) +
+			fmt.Sprintf("t := %s(x0*y1) + %s(x1*y0)\n", c.typ, c.typ) + `zl1 := e00 + t
 `, []string{"p00", "zl1"}
 	case 3:
 		return tp("p00", "e00", "x0", "y0", c) +
@@ -197,6 +200,17 @@ func chain(b *bytes.Buffer, c cfg, xe, ye string, acc []string) {
 	fmt.Fprintf(b, "}\n")
 }
 
+// annots returns the mflint contract directives for a concrete kernel.
+// Both widths are allocation-free hot paths; only the float64 body is
+// branch-free, because the float32 TwoProd lines call eft.FMA32, whose
+// round-to-odd emulation branches internally.
+func annots(c cfg) string {
+	if c.typ == "float64" {
+		return "//mf:branchfree\n//mf:hotpath"
+	}
+	return "// (Not //mf:branchfree: eft.FMA32's round-to-odd fixup branches.)\n//\n//mf:hotpath"
+}
+
 func accNames(r, c, n int) []string {
 	names := make([]string, n)
 	for i := 0; i < n; i++ {
@@ -212,9 +226,11 @@ func gemmMicroConcrete(b *bytes.Buffer, c cfg, mr, nr int) {
 	fmt.Fprintf(b, `
 // gemmMicroF%d%s computes a %d×%d C tile on %s: C[0:m, 0:nn] += Σ_k
 // ap[k]·bp[k], %d independent flattened %d-term FPAN chains.
+//
+%s
 func gemmMicroF%d%s(ap, bp []mf.F%d[%s], kc int, c []mf.F%d[%s], ldc, m, nn int) {
 var (
-`, n, c.sfx, mr, nr, c.typ, mr*nr, n, n, c.sfx, n, c.typ, n, c.typ)
+`, n, c.sfx, mr, nr, c.typ, mr*nr, n, annots(c), n, c.sfx, n, c.typ, n, c.typ)
 	for r := 0; r < mr; r++ {
 		for j := 0; j < nr; j++ {
 			for i := 0; i < n; i++ {
@@ -269,6 +285,10 @@ row[j] = row[j].Add(acc[r][j])
 func gemmMicroDispatch(b *bytes.Buffer, n int) {
 	fmt.Fprintf(b, `
 // gemmMicroF%d dispatches to the concrete kernel for T's width.
+// (The unsafe.Sizeof test folds per instantiation; not //mf:branchfree
+// because the float32 arm calls the FMA32-emulating kernel.)
+//
+//mf:hotpath
 func gemmMicroF%d[T eft.Float](ap, bp []mf.F%d[T], kc int, c []mf.F%d[T], ldc, m, nn int) {
 var t T
 if unsafe.Sizeof(t) == 8 {
@@ -298,9 +318,11 @@ func gemvTileConcrete(b *bytes.Buffer, c cfg) {
 	fmt.Fprintf(b, `
 // gemvTile4F%d%s computes four rows of y = A·x on %s with flattened
 // fused %d-term MulAcc chains (left-to-right per row, like DotF%d).
+//
+%s
 func gemvTile4F%d%s(r0, r1, r2, r3, x []mf.F%d[%s]) (y0, y1, y2, y3 mf.F%d[%s]) {
 var (
-`, n, c.sfx, c.typ, n, n, n, c.sfx, n, c.typ, n, c.typ)
+`, n, c.sfx, c.typ, n, n, annots(c), n, c.sfx, n, c.typ, n, c.typ)
 	for r := 0; r < 4; r++ {
 		for i := 0; i < n; i++ {
 			fmt.Fprintf(b, "s%d0_%d,\n", r, i)
@@ -333,6 +355,10 @@ xj := x[j]
 func gemvTileDispatch(b *bytes.Buffer, n int) {
 	fmt.Fprintf(b, `
 // gemvTile4F%d dispatches to the concrete kernel for T's width.
+// (The unsafe.Sizeof test folds per instantiation; not //mf:branchfree
+// because the float32 arm calls the FMA32-emulating kernel.)
+//
+//mf:hotpath
 func gemvTile4F%d[T eft.Float](r0, r1, r2, r3, x []mf.F%d[T]) (mf.F%d[T], mf.F%d[T], mf.F%d[T], mf.F%d[T]) {
 var t T
 if unsafe.Sizeof(t) == 8 {
@@ -365,6 +391,8 @@ var (
 )
 
 func main() {
+	out := flag.String("out", "micro_generated.go", "output `file` (the gensync drift gate points this at a scratch path)")
+	flag.Parse()
 	var b bytes.Buffer
 	b.WriteString(`// Code generated by genmicro. DO NOT EDIT.
 // Regenerate with: go generate ./internal/blas
@@ -395,7 +423,7 @@ import (
 	if err != nil {
 		log.Fatalf("generated source does not parse: %v\n%s", err, b.Bytes())
 	}
-	if err := os.WriteFile("micro_generated.go", src, 0o644); err != nil {
+	if err := os.WriteFile(*out, src, 0o644); err != nil {
 		log.Fatal(err)
 	}
 }

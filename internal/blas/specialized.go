@@ -263,7 +263,7 @@ func GemmF4Parallel[T eft.Float](a, b, c []mf.F4[T], n, workers int) {
 func AxpyNative[T eft.Float](alpha T, x, y []T, workers int) {
 	parallelRows(len(x), workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			y[i] += alpha * x[i]
+			y[i] += alpha * x[i] //mf:allow fpcontract -- native-precision baseline kernel: it makes no error-compensation claim, and contraction can only tighten its result
 		}
 	})
 }
@@ -273,7 +273,7 @@ func DotNative[T eft.Float](x, y []T, workers int) T {
 	return dotParallelN(len(x), workers, func(lo, hi int) T {
 		var s T
 		for i := lo; i < hi; i++ {
-			s += x[i] * y[i]
+			s += x[i] * y[i] //mf:allow fpcontract -- native-precision baseline kernel: it makes no error-compensation claim, and contraction can only tighten its result
 		}
 		return s
 	}, func(a, b T) T { return a + b }, 0)
@@ -286,7 +286,7 @@ func GemvNative[T eft.Float](a []T, n, m int, x, y []T, workers int) {
 			var s T
 			row := a[i*m : (i+1)*m]
 			for j := 0; j < m; j++ {
-				s += row[j] * x[j]
+				s += row[j] * x[j] //mf:allow fpcontract -- native-precision baseline kernel: it makes no error-compensation claim, and contraction can only tighten its result
 			}
 			y[i] = s
 		}
@@ -302,7 +302,7 @@ func GemmNative[T eft.Float](a, b, c []T, n, workers int) {
 				aik := a[i*n+k]
 				bk := b[k*n : (k+1)*n]
 				for j := 0; j < n; j++ {
-					ci[j] += aik * bk[j]
+					ci[j] += aik * bk[j] //mf:allow fpcontract -- native-precision baseline kernel: it makes no error-compensation claim, and contraction can only tighten its result
 				}
 			}
 		}

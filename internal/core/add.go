@@ -20,6 +20,8 @@ import "multifloats/internal/eft"
 
 // Add2 returns the 2-term expansion sum (x + y), flattening the add2 FPAN
 // (6 gates, 20 FLOPs). Discarded error ≤ 2^-(2p-3)·|x+y|.
+//
+//mf:branchfree
 func Add2[T eft.Float](x0, x1, y0, y1 T) (z0, z1 T) {
 	s0, e0 := eft.TwoSum(x0, y0)
 	s1, e1 := eft.TwoSum(x1, y1)
@@ -30,6 +32,8 @@ func Add2[T eft.Float](x0, x1, y0, y1 T) (z0, z1 T) {
 }
 
 // Sub2 returns x - y for 2-term expansions.
+//
+//mf:branchfree
 func Sub2[T eft.Float](x0, x1, y0, y1 T) (z0, z1 T) {
 	return Add2(x0, x1, -y0, -y1)
 }
@@ -37,6 +41,8 @@ func Sub2[T eft.Float](x0, x1, y0, y1 T) (z0, z1 T) {
 // Add3 returns the 3-term expansion sum, flattening the add3 FPAN: a
 // TwoSum sorting network over the six inputs followed by two bottom-up
 // VecSum passes (22 gates). Discarded error ≤ 2^-(3p-3)·|x+y|.
+//
+//mf:branchfree
 func Add3[T eft.Float](x0, x1, x2, y0, y1, y2 T) (z0, z1, z2 T) {
 	w0, w1, w2, w3, w4, w5 := x0, y0, x1, y1, x2, y2
 	// Sorting network (first layer = the commutative (x_i, y_i) layer).
@@ -68,6 +74,8 @@ func Add3[T eft.Float](x0, x1, x2, y0, y1, y2 T) (z0, z1, z2 T) {
 }
 
 // Sub3 returns x - y for 3-term expansions.
+//
+//mf:branchfree
 func Sub3[T eft.Float](x0, x1, x2, y0, y1, y2 T) (z0, z1, z2 T) {
 	return Add3(x0, x1, x2, -y0, -y1, -y2)
 }
@@ -76,6 +84,8 @@ func Sub3[T eft.Float](x0, x1, x2, y0, y1, y2 T) (z0, z1, z2 T) {
 // Batcher odd-even TwoSum sorting network over the eight inputs, two
 // bottom-up VecSum passes, and a truncated top-down error-propagation
 // pass (37 gates). Discarded error ≤ 2^-(4p-4)·|x+y|.
+//
+//mf:branchfree
 func Add4[T eft.Float](x0, x1, x2, x3, y0, y1, y2, y3 T) (z0, z1, z2, z3 T) {
 	w0, w1, w2, w3, w4, w5, w6, w7 := x0, y0, x1, y1, x2, y2, x3, y3
 	// Batcher odd-even mergesort network (19 TwoSum gates); the first
@@ -125,12 +135,16 @@ func Add4[T eft.Float](x0, x1, x2, x3, y0, y1, y2, y3 T) (z0, z1, z2, z3 T) {
 }
 
 // Sub4 returns x - y for 4-term expansions.
+//
+//mf:branchfree
 func Sub4[T eft.Float](x0, x1, x2, x3, y0, y1, y2, y3 T) (z0, z1, z2, z3 T) {
 	return Add4(x0, x1, x2, x3, -y0, -y1, -y2, -y3)
 }
 
 // Add21 adds a machine number c to a 2-term expansion (the double-word +
 // word kernel used by reductions and Newton iterations).
+//
+//mf:branchfree
 func Add21[T eft.Float](x0, x1, c T) (z0, z1 T) {
 	s0, e0 := eft.TwoSum(x0, c)
 	t := e0 + x1
@@ -138,6 +152,8 @@ func Add21[T eft.Float](x0, x1, c T) (z0, z1 T) {
 }
 
 // Add31 adds a machine number to a 3-term expansion.
+//
+//mf:branchfree
 func Add31[T eft.Float](x0, x1, x2, c T) (z0, z1, z2 T) {
 	s0, e0 := eft.TwoSum(x0, c)
 	s1, e1 := eft.TwoSum(x1, e0)
@@ -150,6 +166,8 @@ func Add31[T eft.Float](x0, x1, x2, c T) (z0, z1, z2 T) {
 }
 
 // Add41 adds a machine number to a 4-term expansion.
+//
+//mf:branchfree
 func Add41[T eft.Float](x0, x1, x2, x3, c T) (z0, z1, z2, z3 T) {
 	s0, e0 := eft.TwoSum(x0, c)
 	s1, e1 := eft.TwoSum(x1, e0)

@@ -24,6 +24,8 @@ import "multifloats/internal/eft"
 
 // Recip2 returns 1/a as a 2-term expansion: one Newton step from the
 // machine reciprocal.
+//
+//mf:branchfree
 func Recip2[T eft.Float](a0, a1 T) (z0, z1 T) {
 	x := 1 / a0
 	p0, p1 := Mul21(a0, a1, x)   // a·x
@@ -34,6 +36,8 @@ func Recip2[T eft.Float](a0, a1 T) (z0, z1 T) {
 
 // Div2 returns b/a as a 2-term expansion using the Karp–Markstein
 // formulation: y = b·x at machine precision, then q = y + x·(b - a·y).
+//
+//mf:branchfree
 func Div2[T eft.Float](b0, b1, a0, a1 T) (z0, z1 T) {
 	x := 1 / a0
 	y := b0 * x
@@ -45,6 +49,8 @@ func Div2[T eft.Float](b0, b1, a0, a1 T) (z0, z1 T) {
 
 // Recip3 returns 1/a as a 3-term expansion: Newton at 2 terms, then one
 // more step at 3 terms.
+//
+//mf:branchfree
 func Recip3[T eft.Float](a0, a1, a2 T) (z0, z1, z2 T) {
 	x0, x1 := Recip2(a0, a1)
 	// r = 1 - a·x at 3-term precision.
@@ -59,6 +65,8 @@ func Recip3[T eft.Float](a0, a1, a2 T) (z0, z1, z2 T) {
 // Div3 returns b/a as a 3-term expansion with a Karp–Markstein final step:
 // the 2-term reciprocal is applied to b and the residual b - a·q is folded
 // back through the reciprocal.
+//
+//mf:branchfree
 func Div3[T eft.Float](b0, b1, b2, a0, a1, a2 T) (z0, z1, z2 T) {
 	x0, x1 := Recip2(a0, a1) // 1/a to ~2p bits
 	// q ≈ b·x (3-term).
@@ -74,6 +82,8 @@ func Div3[T eft.Float](b0, b1, b2, a0, a1, a2 T) (z0, z1, z2 T) {
 
 // Recip4 returns 1/a as a 4-term expansion: Newton at 2 terms, then one
 // step at 4 terms (quadratic convergence: p → 2p → 4p bits).
+//
+//mf:branchfree
 func Recip4[T eft.Float](a0, a1, a2, a3 T) (z0, z1, z2, z3 T) {
 	x0, x1 := Recip2(a0, a1)
 	t0, t1, t2, t3 := Mul4(a0, a1, a2, a3, x0, x1, 0, 0)
@@ -84,6 +94,8 @@ func Recip4[T eft.Float](a0, a1, a2, a3 T) (z0, z1, z2, z3 T) {
 }
 
 // Div4 returns b/a as a 4-term expansion with a Karp–Markstein final step.
+//
+//mf:branchfree
 func Div4[T eft.Float](b0, b1, b2, b3, a0, a1, a2, a3 T) (z0, z1, z2, z3 T) {
 	x0, x1 := Recip2(a0, a1)
 	q0, q1, q2, q3 := Mul4(b0, b1, b2, b3, x0, x1, 0, 0)
@@ -98,6 +110,8 @@ func Div4[T eft.Float](b0, b1, b2, b3, a0, a1, a2, a3 T) (z0, z1, z2, z3 T) {
 // alternative to Div2: successive machine quotients of the running
 // residual. Kept as the ablation baseline for the Newton/Karp–Markstein
 // design choice (see bench_test.go).
+//
+//mf:branchfree
 func DivLong2[T eft.Float](b0, b1, a0, a1 T) (z0, z1 T) {
 	q0 := b0 / a0
 	t0, t1 := Mul21(a0, a1, q0)

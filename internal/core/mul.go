@@ -6,9 +6,15 @@ import "multifloats/internal/eft"
 // strategy: a TwoProd expansion step with the term-dropping optimization
 // (1 TwoProd + 2 plain products) followed by the mul2 FPAN (3 gates).
 // The cross-product pairing makes the operation exactly commutative.
+//
+//mf:branchfree
 func Mul2[T eft.Float](x0, x1, y0, y1 T) (z0, z1 T) {
 	p00, e00 := eft.TwoProd(x0, y0)
-	t := x0*y1 + x1*y0 // commutative pairing of the dropped-error products
+	// Commutative pairing of the dropped-error products. The T(...)
+	// conversions are rounding barriers: without them the spec lets arm64
+	// contract either product into the sum, breaking cross-platform
+	// bit-exactness and the exact-commutativity pairing.
+	t := T(x0*y1) + T(x1*y0)
 	s := e00 + t
 	return eft.FastTwoSum(p00, s)
 }
@@ -16,6 +22,8 @@ func Mul2[T eft.Float](x0, x1, y0, y1 T) (z0, z1 T) {
 // Mul3 returns the 3-term expansion product: expansion step (3 TwoProd + 3
 // plain products) followed by the mul3 FPAN (12 gates, depth 7 — matching
 // the paper's Figure 6 size and depth).
+//
+//mf:branchfree
 func Mul3[T eft.Float](x0, x1, x2, y0, y1, y2 T) (z0, z1, z2 T) {
 	p00, e00 := eft.TwoProd(x0, y0)
 	p01, e01 := eft.TwoProd(x0, y1)
@@ -41,6 +49,8 @@ func Mul3[T eft.Float](x0, x1, x2, y0, y1, y2 T) (z0, z1, z2 T) {
 
 // Mul4 returns the 4-term expansion product: expansion step (6 TwoProd + 4
 // plain products) followed by the mul4 FPAN (26 gates).
+//
+//mf:branchfree
 func Mul4[T eft.Float](x0, x1, x2, x3, y0, y1, y2, y3 T) (z0, z1, z2, z3 T) {
 	p00, e00 := eft.TwoProd(x0, y0)
 	p01, e01 := eft.TwoProd(x0, y1)
@@ -86,6 +96,8 @@ func Mul4[T eft.Float](x0, x1, x2, x3, y0, y1, y2, y3 T) (z0, z1, z2, z3 T) {
 
 // Mul21 multiplies a 2-term expansion by a machine number (double-word ×
 // word), used by AXPY-style kernels and Newton iterations.
+//
+//mf:branchfree
 func Mul21[T eft.Float](x0, x1, c T) (z0, z1 T) {
 	p0, e0 := eft.TwoProd(x0, c)
 	p1 := eft.FMA(x1, c, e0)
@@ -93,6 +105,8 @@ func Mul21[T eft.Float](x0, x1, c T) (z0, z1 T) {
 }
 
 // Mul31 multiplies a 3-term expansion by a machine number.
+//
+//mf:branchfree
 func Mul31[T eft.Float](x0, x1, x2, c T) (z0, z1, z2 T) {
 	p0, e0 := eft.TwoProd(x0, c)
 	p1, e1 := eft.TwoProd(x1, c)
@@ -105,6 +119,8 @@ func Mul31[T eft.Float](x0, x1, x2, c T) (z0, z1, z2 T) {
 }
 
 // Mul41 multiplies a 4-term expansion by a machine number.
+//
+//mf:branchfree
 func Mul41[T eft.Float](x0, x1, x2, x3, c T) (z0, z1, z2, z3 T) {
 	p0, e0 := eft.TwoProd(x0, c)
 	p1, e1 := eft.TwoProd(x1, c)
@@ -124,6 +140,8 @@ func Mul41[T eft.Float](x0, x1, x2, x3, c T) (z0, z1, z2, z3 T) {
 // step (the symmetric cross products coincide): 1 TwoProd + 1 product
 // versus multiplication's 1 TwoProd + 2 products, and the commutativity
 // pairing is free.
+//
+//mf:branchfree
 func Sqr2[T eft.Float](x0, x1 T) (z0, z1 T) {
 	p00, e00 := eft.TwoProd(x0, x0)
 	t := 2 * (x0 * x1)
@@ -133,6 +151,8 @@ func Sqr2[T eft.Float](x0, x1 T) (z0, z1 T) {
 
 // Sqr3 returns x² for a 3-term expansion (2 TwoProd + 2 products versus
 // multiplication's 3 + 3).
+//
+//mf:branchfree
 func Sqr3[T eft.Float](x0, x1, x2 T) (z0, z1, z2 T) {
 	p00, e00 := eft.TwoProd(x0, x0)
 	p01, e01 := eft.TwoProd(x0, x1) // doubled below
@@ -156,6 +176,8 @@ func Sqr3[T eft.Float](x0, x1, x2 T) (z0, z1, z2 T) {
 
 // Sqr4 returns x² for a 4-term expansion (3 TwoProd + 3 products versus
 // multiplication's 6 + 4).
+//
+//mf:branchfree
 func Sqr4[T eft.Float](x0, x1, x2, x3 T) (z0, z1, z2, z3 T) {
 	p00, e00 := eft.TwoProd(x0, x0)
 	p01, e01 := eft.TwoProd(x0, x1)

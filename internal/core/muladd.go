@@ -27,10 +27,12 @@ import "multifloats/internal/eft"
 
 // MulAcc2 returns s + x·y on 2-term expansions, feeding the product's
 // pre-renormalization wires (p00, e00 + cross terms) into the add2 FPAN.
+//
+//mf:branchfree
 func MulAcc2[T eft.Float](s0, s1, x0, x1, y0, y1 T) (T, T) {
 	// Mul2 expansion step, stopping before the final FastTwoSum.
 	p00, e00 := eft.TwoProd(x0, y0)
-	t := x0*y1 + x1*y0
+	t := T(x0*y1) + T(x1*y0) // conversions bar FMA contraction (see Mul2)
 	z1 := e00 + t
 	// add2 FPAN on the interleaved wires (s0, p00, s1, z1).
 	w0, w1 := eft.TwoSum(s0, p00)
@@ -44,6 +46,8 @@ func MulAcc2[T eft.Float](s0, s1, x0, x1, y0, y1 T) (T, T) {
 // MulAcc3 returns s + x·y on 3-term expansions: the Mul3 expansion step
 // stops at the value-preserving wires (p00, h1, t2), which replace the
 // normalized product in the add3 FPAN.
+//
+//mf:branchfree
 func MulAcc3[T eft.Float](s0, s1, s2, x0, x1, x2, y0, y1, y2 T) (T, T, T) {
 	p00, e00 := eft.TwoProd(x0, y0)
 	p01, e01 := eft.TwoProd(x0, y1)
@@ -90,6 +94,8 @@ func MulAcc3[T eft.Float](s0, s1, s2, x0, x1, x2, y0, y1, y2 T) (T, T, T) {
 // MulAcc4 returns s + x·y on 4-term expansions: the Mul4 expansion step
 // stops at the value-preserving wires (p00, h1, v2, le), which replace
 // the normalized product in the add4 FPAN.
+//
+//mf:branchfree
 func MulAcc4[T eft.Float](s0, s1, s2, s3, x0, x1, x2, x3, y0, y1, y2, y3 T) (T, T, T, T) {
 	p00, e00 := eft.TwoProd(x0, y0)
 	p01, e01 := eft.TwoProd(x0, y1)

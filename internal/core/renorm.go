@@ -13,11 +13,15 @@ import "multifloats/internal/eft"
 
 // Renorm2 renormalizes (a0, a1) — arbitrary order and overlap — into a
 // nonoverlapping 2-term expansion.
+//
+//mf:branchfree
 func Renorm2[T eft.Float](a0, a1 T) (z0, z1 T) {
 	return eft.TwoSum(a0, a1)
 }
 
 // Renorm3to2 renormalizes three values into a 2-term expansion.
+//
+//mf:branchfree
 func Renorm3to2[T eft.Float](a0, a1, a2 T) (z0, z1 T) {
 	a1, a2 = eft.TwoSum(a1, a2)
 	a0, a1 = eft.TwoSum(a0, a1)
@@ -26,6 +30,8 @@ func Renorm3to2[T eft.Float](a0, a1, a2 T) (z0, z1 T) {
 }
 
 // Renorm3 renormalizes three values into a 3-term expansion.
+//
+//mf:branchfree
 func Renorm3[T eft.Float](a0, a1, a2 T) (z0, z1, z2 T) {
 	a1, a2 = eft.TwoSum(a1, a2)
 	a0, a1 = eft.TwoSum(a0, a1)
@@ -36,6 +42,8 @@ func Renorm3[T eft.Float](a0, a1, a2 T) (z0, z1, z2 T) {
 }
 
 // Renorm4 renormalizes four values into a 4-term expansion.
+//
+//mf:branchfree
 func Renorm4[T eft.Float](a0, a1, a2, a3 T) (z0, z1, z2, z3 T) {
 	// Bottom-up pass 1.
 	a2, a3 = eft.TwoSum(a2, a3)
@@ -53,6 +61,8 @@ func Renorm4[T eft.Float](a0, a1, a2, a3 T) (z0, z1, z2, z3 T) {
 }
 
 // Renorm5to4 renormalizes five values into a 4-term expansion.
+//
+//mf:branchfree
 func Renorm5to4[T eft.Float](a0, a1, a2, a3, a4 T) (z0, z1, z2, z3 T) {
 	a3, a4 = eft.TwoSum(a3, a4)
 	a2, a3 = eft.TwoSum(a2, a3)
@@ -70,6 +80,8 @@ func Renorm5to4[T eft.Float](a0, a1, a2, a3, a4 T) (z0, z1, z2, z3 T) {
 }
 
 // Renorm4to3 renormalizes four values into a 3-term expansion.
+//
+//mf:branchfree
 func Renorm4to3[T eft.Float](a0, a1, a2, a3 T) (z0, z1, z2 T) {
 	a2, a3 = eft.TwoSum(a2, a3)
 	a1, a2 = eft.TwoSum(a1, a2)

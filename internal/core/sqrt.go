@@ -13,11 +13,15 @@ import (
 
 // sqrtT returns the correctly rounded machine square root for either base
 // type (the float64 path of math.Sqrt is exact for float32 arguments too).
+//
+//mf:branchfree
 func sqrtT[T eft.Float](x T) T {
 	return T(math.Sqrt(float64(x)))
 }
 
 // Rsqrt2 returns 1/√a as a 2-term expansion. a must be positive.
+//
+//mf:branchfree
 func Rsqrt2[T eft.Float](a0, a1 T) (z0, z1 T) {
 	x := 1 / sqrtT(a0)
 	// One Newton step at 2-term precision.
@@ -52,6 +56,8 @@ func Sqrt2[T eft.Float](a0, a1 T) (z0, z1 T) {
 }
 
 // Rsqrt3 returns 1/√a as a 3-term expansion.
+//
+//mf:branchfree
 func Rsqrt3[T eft.Float](a0, a1, a2 T) (z0, z1, z2 T) {
 	x0, x1 := Rsqrt2(a0, a1)
 	// One more Newton step at 3-term precision.
@@ -79,6 +85,8 @@ func Sqrt3[T eft.Float](a0, a1, a2 T) (z0, z1, z2 T) {
 }
 
 // Rsqrt4 returns 1/√a as a 4-term expansion.
+//
+//mf:branchfree
 func Rsqrt4[T eft.Float](a0, a1, a2, a3 T) (z0, z1, z2, z3 T) {
 	x0, x1 := Rsqrt2(a0, a1)
 	s0, s1, s2, s3 := Mul4(a0, a1, a2, a3, x0, x1, 0, 0)

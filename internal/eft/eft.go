@@ -29,6 +29,8 @@ type Float interface {
 // TwoSum returns (s, e) with s = RN(x+y) and e = (x+y) - s exactly.
 // It is valid for all finite x, y whose sum does not overflow.
 // 6 FLOPs, branch-free.
+//
+//mf:branchfree
 func TwoSum[T Float](x, y T) (s, e T) {
 	s = x + y
 	xEff := s - y
@@ -43,6 +45,8 @@ func TwoSum[T Float](x, y T) (s, e T) {
 // provided x = ±0, y = ±0, or exponent(x) ≥ exponent(y). If the precondition
 // is violated, s is still the correctly rounded sum but e may be inexact.
 // 3 FLOPs, branch-free.
+//
+//mf:branchfree
 func FastTwoSum[T Float](x, y T) (s, e T) {
 	s = x + y
 	yEff := s - x
@@ -54,6 +58,8 @@ func FastTwoSum[T Float](x, y T) (s, e T) {
 // fused multiply-add. Valid whenever x*y neither overflows nor falls below
 // the subnormal threshold where e would be unrepresentable.
 // 2 FLOPs, branch-free.
+//
+//mf:branchfree
 func TwoProd[T Float](x, y T) (p, e T) {
 	p = x * y
 	e = FMA(x, y, -p)
@@ -68,10 +74,13 @@ func TwoProd[T Float](x, y T) (p, e T) {
 // test constant-folds per instantiation, which keeps FMA — and therefore
 // TwoProd — inlinable. The type-switch form compiled to a non-inlinable
 // runtime dispatch that dominated kernel profiles (≈20% of GEMM time).
+//
+//mf:branchfree
 func FMA[T Float](x, y, z T) T {
 	if unsafe.Sizeof(x) == 8 {
 		return T(math.FMA(float64(x), float64(y), float64(z)))
 	}
+	//mf:allow branchfree -- FMA32's round-to-odd fixup branches on the residual; the float64 path above is the branch-free contract, and the float32 emulation is the documented exception (Boldo–Melquiond)
 	return T(FMA32(float32(x), float32(y), float32(z)))
 }
 
@@ -105,12 +114,18 @@ func FMA32(x, y, z float32) float32 {
 // Split decomposes x into hi + lo where hi holds the upper ⌈p/2⌉ significand
 // bits and lo the remainder, with |lo| ≤ ulp(hi)/2 (Veltkamp splitting).
 // Used by TwoProdDekker on targets without FMA. 4 FLOPs.
+//
+// The width dispatch uses the same unsafe.Sizeof idiom as FMA: the
+// condition constant-folds per instantiation, so no branch survives to
+// machine code (the earlier `any` type switch did not fold, and also
+// boxed x into an interface).
+//
+//mf:branchfree
 func Split[T Float](x T) (hi, lo T) {
 	var factor T
-	switch any(x).(type) {
-	case float64:
+	if unsafe.Sizeof(x) == 8 {
 		factor = T(1<<27 + 1) // 2^ceil(53/2) + 1
-	case float32:
+	} else {
 		factor = T(1<<12 + 1) // 2^ceil(24/2) + 1
 	}
 	c := factor * x
@@ -122,16 +137,26 @@ func Split[T Float](x T) (hi, lo T) {
 // TwoProdDekker returns (p, e) with p = RN(x*y) and e = x*y - p exactly,
 // without using an FMA (Dekker 1971 / Veltkamp). 17 FLOPs. Valid when no
 // intermediate overflow occurs in the splitting (|x|, |y| < 2^(emax - 27)).
+//
+// Each split product is wrapped in an explicit T(...) conversion: the Go
+// spec lets the compiler contract a*b±c into one fused rounding on arm64,
+// and fusing any of these products computes the error of a multiplication
+// that never happened. The conversions are guaranteed rounding barriers
+// (and no-ops on targets that don't contract).
+//
+//mf:branchfree
 func TwoProdDekker[T Float](x, y T) (p, e T) {
 	p = x * y
 	xh, xl := Split(x)
 	yh, yl := Split(y)
-	e = ((xh*yh - p) + xh*yl + xl*yh) + xl*yl
+	e = ((T(xh*yh) - p) + T(xh*yl) + T(xl*yh)) + T(xl*yl)
 	return p, e
 }
 
 // TwoDiff returns (d, e) with d = RN(x-y) and e = (x-y) - d exactly.
 // It is TwoSum applied to (x, -y); 6 FLOPs, branch-free.
+//
+//mf:branchfree
 func TwoDiff[T Float](x, y T) (d, e T) {
 	d = x - y
 	xEff := d + y
@@ -145,6 +170,8 @@ func TwoDiff[T Float](x, y T) (d, e T) {
 // ThreeSum sums a, b, c into a two-term result (s, e) with s = RN-accurate
 // leading part and e a first-order error term; the second-order error is
 // discarded. 2 TwoSum + 1 add = 13 FLOPs. Used by accumulation kernels.
+//
+//mf:branchfree
 func ThreeSum[T Float](a, b, c T) (s, e T) {
 	t, u := TwoSum(a, b)
 	s, v := TwoSum(t, c)

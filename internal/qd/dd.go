@@ -25,6 +25,8 @@ func FromFloat(x float64) DD { return DD{x, 0} }
 func (a DD) Float() float64 { return a.Hi }
 
 // Add returns a + b using the accurate ("IEEE") double-double addition.
+//
+//mf:branchfree
 func (a DD) Add(b DD) DD {
 	s1, s2 := eft.TwoSum(a.Hi, b.Hi)
 	t1, t2 := eft.TwoSum(a.Lo, b.Lo)
@@ -37,6 +39,8 @@ func (a DD) Add(b DD) DD {
 
 // AddSloppy returns a + b using QD's faster "sloppy" addition, which is
 // inaccurate under cancellation (kept for the ablation benchmarks).
+//
+//mf:branchfree
 func (a DD) AddSloppy(b DD) DD {
 	s, e := eft.TwoSum(a.Hi, b.Hi)
 	e += a.Lo + b.Lo
@@ -45,28 +49,40 @@ func (a DD) AddSloppy(b DD) DD {
 }
 
 // Sub returns a - b.
+//
+//mf:branchfree
 func (a DD) Sub(b DD) DD { return a.Add(DD{-b.Hi, -b.Lo}) }
 
 // Neg returns -a.
+//
+//mf:branchfree
 func (a DD) Neg() DD { return DD{-a.Hi, -a.Lo} }
 
-// Mul returns a · b.
+// Mul returns a · b. The float64 conversions on the cross products are
+// rounding barriers against FMA contraction (QD's error analysis assumes
+// each product rounds individually).
+//
+//mf:branchfree
 func (a DD) Mul(b DD) DD {
 	p1, p2 := eft.TwoProd(a.Hi, b.Hi)
-	p2 += a.Hi*b.Lo + a.Lo*b.Hi
+	p2 += float64(a.Hi*b.Lo) + float64(a.Lo*b.Hi)
 	p1, p2 = eft.FastTwoSum(p1, p2)
 	return DD{p1, p2}
 }
 
 // MulFloat returns a · c.
+//
+//mf:branchfree
 func (a DD) MulFloat(c float64) DD {
 	p1, p2 := eft.TwoProd(a.Hi, c)
-	p2 += a.Lo * c
+	p2 += float64(a.Lo * c) // barrier: contraction would fuse into the +=
 	p1, p2 = eft.FastTwoSum(p1, p2)
 	return DD{p1, p2}
 }
 
 // AddFloat returns a + c.
+//
+//mf:branchfree
 func (a DD) AddFloat(c float64) DD {
 	s1, s2 := eft.TwoSum(a.Hi, c)
 	s2 += a.Lo
@@ -75,6 +91,8 @@ func (a DD) AddFloat(c float64) DD {
 }
 
 // Div returns a / b (QD's long-division style quotient refinement).
+//
+//mf:branchfree
 func (a DD) Div(b DD) DD {
 	q1 := a.Hi / b.Hi
 	r := a.Sub(b.MulFloat(q1))

@@ -267,7 +267,7 @@ func (a QD) Mul(b QD) QD {
 	t1 += q4
 
 	// O(eps^4) terms — nine-one-sum.
-	t1 += a[1]*b[3] + a[2]*b[2] + a[3]*b[1] + q6 + q7 + q8 + q9 + s2
+	t1 += float64(a[1]*b[3]) + float64(a[2]*b[2]) + float64(a[3]*b[1]) + q6 + q7 + q8 + q9 + s2
 
 	z0, z1, z2, z3 := renorm5(p0, p1, s0, t0, t1)
 	return QD{z0, z1, z2, z3}

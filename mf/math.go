@@ -66,9 +66,9 @@ func buildCtx[E expLike[E, T], T Float](newE func(T) E, fromBig func(*big.Float)
 	var maxArg, minArg float64
 	switch any(T(0)).(type) {
 	case float64:
-		maxArg, minArg = 709.78, -745.0
+		maxArg, minArg = 709.78, -745.0 //mf:allow exactconst -- overflow guard just below ln(MaxFloat64)≈709.7827; exactness is irrelevant to a threshold
 	case float32:
-		maxArg, minArg = 88.72, -103.0
+		maxArg, minArg = 88.72, -103.0 //mf:allow exactconst -- overflow guard just below ln(MaxFloat32)≈88.7228; exactness is irrelevant to a threshold
 	}
 	return &mathCtx[E, T]{
 		new:       newE,
@@ -245,7 +245,7 @@ func asinE[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
 		return c.new(T(math.NaN()))
 	}
 	ax := math.Abs(xf)
-	if ax > 0.999 {
+	if ax > 0.999 { //mf:allow exactconst -- identity-switch cutoff near ±1; any value in (0.99, 1) works equally well
 		// Near ±1 the Newton step divides by cos z → use the
 		// complementary identity asin(x) = ±(π/2 - asin(√(1-x²))).
 		one := c.new(1)

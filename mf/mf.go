@@ -67,30 +67,40 @@ func New4[T Float](v T) F4[T] { return F4[T]{v, 0, 0, 0} }
 // ---------------------------------------------------------------- F2 ----
 
 // Add returns x + y.
+//
+//mf:branchfree
 func (x F2[T]) Add(y F2[T]) F2[T] {
 	z0, z1 := core.Add2(x[0], x[1], y[0], y[1])
 	return F2[T]{z0, z1}
 }
 
 // Sub returns x - y.
+//
+//mf:branchfree
 func (x F2[T]) Sub(y F2[T]) F2[T] {
 	z0, z1 := core.Sub2(x[0], x[1], y[0], y[1])
 	return F2[T]{z0, z1}
 }
 
 // Mul returns x · y. The operation is exactly commutative (§4.2).
+//
+//mf:branchfree
 func (x F2[T]) Mul(y F2[T]) F2[T] {
 	z0, z1 := core.Mul2(x[0], x[1], y[0], y[1])
 	return F2[T]{z0, z1}
 }
 
 // Div returns x / y.
+//
+//mf:branchfree
 func (x F2[T]) Div(y F2[T]) F2[T] {
 	z0, z1 := core.Div2(x[0], x[1], y[0], y[1])
 	return F2[T]{z0, z1}
 }
 
 // Recip returns 1 / x.
+//
+//mf:branchfree
 func (x F2[T]) Recip() F2[T] {
 	z0, z1 := core.Recip2(x[0], x[1])
 	return F2[T]{z0, z1}
@@ -103,24 +113,32 @@ func (x F2[T]) Sqrt() F2[T] {
 }
 
 // Rsqrt returns 1 / √x.
+//
+//mf:branchfree
 func (x F2[T]) Rsqrt() F2[T] {
 	z0, z1 := core.Rsqrt2(x[0], x[1])
 	return F2[T]{z0, z1}
 }
 
 // AddFloat returns x + c for a machine number c.
+//
+//mf:branchfree
 func (x F2[T]) AddFloat(c T) F2[T] {
 	z0, z1 := core.Add21(x[0], x[1], c)
 	return F2[T]{z0, z1}
 }
 
 // MulFloat returns x · c for a machine number c.
+//
+//mf:branchfree
 func (x F2[T]) MulFloat(c T) F2[T] {
 	z0, z1 := core.Mul21(x[0], x[1], c)
 	return F2[T]{z0, z1}
 }
 
 // Neg returns -x (exact).
+//
+//mf:branchfree
 func (x F2[T]) Neg() F2[T] { return F2[T]{-x[0], -x[1]} }
 
 // Abs returns |x| (exact).
@@ -159,30 +177,40 @@ func (x F2[T]) Float() T { return x[0] }
 // ---------------------------------------------------------------- F3 ----
 
 // Add returns x + y.
+//
+//mf:branchfree
 func (x F3[T]) Add(y F3[T]) F3[T] {
 	z0, z1, z2 := core.Add3(x[0], x[1], x[2], y[0], y[1], y[2])
 	return F3[T]{z0, z1, z2}
 }
 
 // Sub returns x - y.
+//
+//mf:branchfree
 func (x F3[T]) Sub(y F3[T]) F3[T] {
 	z0, z1, z2 := core.Sub3(x[0], x[1], x[2], y[0], y[1], y[2])
 	return F3[T]{z0, z1, z2}
 }
 
 // Mul returns x · y. The operation is exactly commutative (§4.2).
+//
+//mf:branchfree
 func (x F3[T]) Mul(y F3[T]) F3[T] {
 	z0, z1, z2 := core.Mul3(x[0], x[1], x[2], y[0], y[1], y[2])
 	return F3[T]{z0, z1, z2}
 }
 
 // Div returns x / y.
+//
+//mf:branchfree
 func (x F3[T]) Div(y F3[T]) F3[T] {
 	z0, z1, z2 := core.Div3(x[0], x[1], x[2], y[0], y[1], y[2])
 	return F3[T]{z0, z1, z2}
 }
 
 // Recip returns 1 / x.
+//
+//mf:branchfree
 func (x F3[T]) Recip() F3[T] {
 	z0, z1, z2 := core.Recip3(x[0], x[1], x[2])
 	return F3[T]{z0, z1, z2}
@@ -195,24 +223,32 @@ func (x F3[T]) Sqrt() F3[T] {
 }
 
 // Rsqrt returns 1 / √x.
+//
+//mf:branchfree
 func (x F3[T]) Rsqrt() F3[T] {
 	z0, z1, z2 := core.Rsqrt3(x[0], x[1], x[2])
 	return F3[T]{z0, z1, z2}
 }
 
 // AddFloat returns x + c for a machine number c.
+//
+//mf:branchfree
 func (x F3[T]) AddFloat(c T) F3[T] {
 	z0, z1, z2 := core.Add31(x[0], x[1], x[2], c)
 	return F3[T]{z0, z1, z2}
 }
 
 // MulFloat returns x · c for a machine number c.
+//
+//mf:branchfree
 func (x F3[T]) MulFloat(c T) F3[T] {
 	z0, z1, z2 := core.Mul31(x[0], x[1], x[2], c)
 	return F3[T]{z0, z1, z2}
 }
 
 // Neg returns -x (exact).
+//
+//mf:branchfree
 func (x F3[T]) Neg() F3[T] { return F3[T]{-x[0], -x[1], -x[2]} }
 
 // Abs returns |x| (exact).
@@ -249,30 +285,40 @@ func (x F3[T]) Float() T { return x[0] }
 // ---------------------------------------------------------------- F4 ----
 
 // Add returns x + y.
+//
+//mf:branchfree
 func (x F4[T]) Add(y F4[T]) F4[T] {
 	z0, z1, z2, z3 := core.Add4(x[0], x[1], x[2], x[3], y[0], y[1], y[2], y[3])
 	return F4[T]{z0, z1, z2, z3}
 }
 
 // Sub returns x - y.
+//
+//mf:branchfree
 func (x F4[T]) Sub(y F4[T]) F4[T] {
 	z0, z1, z2, z3 := core.Sub4(x[0], x[1], x[2], x[3], y[0], y[1], y[2], y[3])
 	return F4[T]{z0, z1, z2, z3}
 }
 
 // Mul returns x · y. The operation is exactly commutative (§4.2).
+//
+//mf:branchfree
 func (x F4[T]) Mul(y F4[T]) F4[T] {
 	z0, z1, z2, z3 := core.Mul4(x[0], x[1], x[2], x[3], y[0], y[1], y[2], y[3])
 	return F4[T]{z0, z1, z2, z3}
 }
 
 // Div returns x / y.
+//
+//mf:branchfree
 func (x F4[T]) Div(y F4[T]) F4[T] {
 	z0, z1, z2, z3 := core.Div4(x[0], x[1], x[2], x[3], y[0], y[1], y[2], y[3])
 	return F4[T]{z0, z1, z2, z3}
 }
 
 // Recip returns 1 / x.
+//
+//mf:branchfree
 func (x F4[T]) Recip() F4[T] {
 	z0, z1, z2, z3 := core.Recip4(x[0], x[1], x[2], x[3])
 	return F4[T]{z0, z1, z2, z3}
@@ -285,24 +331,32 @@ func (x F4[T]) Sqrt() F4[T] {
 }
 
 // Rsqrt returns 1 / √x.
+//
+//mf:branchfree
 func (x F4[T]) Rsqrt() F4[T] {
 	z0, z1, z2, z3 := core.Rsqrt4(x[0], x[1], x[2], x[3])
 	return F4[T]{z0, z1, z2, z3}
 }
 
 // AddFloat returns x + c for a machine number c.
+//
+//mf:branchfree
 func (x F4[T]) AddFloat(c T) F4[T] {
 	z0, z1, z2, z3 := core.Add41(x[0], x[1], x[2], x[3], c)
 	return F4[T]{z0, z1, z2, z3}
 }
 
 // MulFloat returns x · c for a machine number c.
+//
+//mf:branchfree
 func (x F4[T]) MulFloat(c T) F4[T] {
 	z0, z1, z2, z3 := core.Mul41(x[0], x[1], x[2], x[3], c)
 	return F4[T]{z0, z1, z2, z3}
 }
 
 // Neg returns -x (exact).
+//
+//mf:branchfree
 func (x F4[T]) Neg() F4[T] { return F4[T]{-x[0], -x[1], -x[2], -x[3]} }
 
 // Abs returns |x| (exact).
@@ -371,18 +425,24 @@ func (x F4[T]) DivFloat(c T) F4[T] { return x.Div(New4(c)) }
 
 // Sqr returns x² using the cheaper squaring kernel (the symmetric partial
 // products of the §4.2 expansion step coincide).
+//
+//mf:branchfree
 func (x F2[T]) Sqr() F2[T] {
 	z0, z1 := core.Sqr2(x[0], x[1])
 	return F2[T]{z0, z1}
 }
 
 // Sqr returns x² using the cheaper squaring kernel.
+//
+//mf:branchfree
 func (x F3[T]) Sqr() F3[T] {
 	z0, z1, z2 := core.Sqr3(x[0], x[1], x[2])
 	return F3[T]{z0, z1, z2}
 }
 
 // Sqr returns x² using the cheaper squaring kernel.
+//
+//mf:branchfree
 func (x F4[T]) Sqr() F4[T] {
 	z0, z1, z2, z3 := core.Sqr4(x[0], x[1], x[2], x[3])
 	return F4[T]{z0, z1, z2, z3}

@@ -41,6 +41,8 @@ func putBuf(bp *[]byte) {
 // little-endian, returning the remainder of b. Going through Float64bits
 // (not any decimal or shortest-round-trip form) is what makes the
 // encoding bit-exact for -0, subnormals, and NaN payloads alike.
+//
+//mf:hotpath
 func putF64s(b []byte, v []float64) []byte {
 	for _, f := range v {
 		binary.LittleEndian.PutUint64(b, math.Float64bits(f))
@@ -59,6 +61,7 @@ func getF64s(b []byte, n int) ([]float64, []byte) {
 	return v, b[n*8:]
 }
 
+//mf:hotpath
 func putHeader(b []byte, frameType byte, payloadLen int, id uint64, extra int64) {
 	b[0], b[1] = magic0, magic1
 	b[2] = Version
@@ -115,6 +118,8 @@ func readTrailer(r io.Reader, crc uint32) error {
 
 // sealFrame appends the CRC32C trailer over buf's header+payload bytes.
 // buf must have TrailerSize spare bytes after n.
+//
+//mf:hotpath
 func sealFrame(buf []byte, n int) {
 	binary.LittleEndian.PutUint32(buf[n:], crc32.Checksum(buf[:n], crcTable))
 }
