@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check test race vet build lint mflint gensync fuzz-smoke conformance bench-smoke bench-ablation fig9 serve-smoke bench-serve chaos chaos-smoke
+.PHONY: check test race vet build lint mflint gensync fuzz-smoke conformance bench-smoke bench-ablation fig9 serve-smoke perf-smoke bench-serve chaos chaos-smoke
 
 # check is the full pre-merge gate: build, static analysis (vet + the
 # domain-aware mflint contract checks), generated-code drift, tests, and
@@ -38,19 +38,28 @@ lint: vet mflint
 mflint:
 	$(GO) run ./cmd/mflint
 
-# gensync fails when internal/blas/micro_generated.go drifts from its
-# generator: it regenerates into a scratch file and diffs. Regenerate
-# for real with: go run ./internal/blas/genmicro -out internal/blas/micro_generated.go
+# gensync fails when either generated file in internal/blas
+# (micro_generated.go, lanes_generated.go) drifts from its generator: it
+# regenerates both into scratch files and diffs. Regenerate for real with:
+#   go run ./internal/blas/genmicro -out internal/blas/micro_generated.go \
+#     -lanes-out internal/blas/lanes_generated.go
 gensync:
 	@tmp=$$(mktemp /tmp/micro_generated.XXXXXX.go); \
-	trap 'rm -f "$$tmp"' EXIT; \
-	$(GO) run ./internal/blas/genmicro -out "$$tmp" || exit 1; \
+	ltmp=$$(mktemp /tmp/lanes_generated.XXXXXX.go); \
+	trap 'rm -f "$$tmp" "$$ltmp"' EXIT; \
+	$(GO) run ./internal/blas/genmicro -out "$$tmp" -lanes-out "$$ltmp" || exit 1; \
+	ok=1; \
 	if ! diff -u internal/blas/micro_generated.go "$$tmp"; then \
-		echo "gensync: internal/blas/micro_generated.go is out of sync with genmicro;"; \
-		echo "gensync: run 'go run ./internal/blas/genmicro -out internal/blas/micro_generated.go'"; \
+		echo "gensync: internal/blas/micro_generated.go is out of sync with genmicro"; ok=0; \
+	fi; \
+	if ! diff -u internal/blas/lanes_generated.go "$$ltmp"; then \
+		echo "gensync: internal/blas/lanes_generated.go is out of sync with genmicro"; ok=0; \
+	fi; \
+	if [ $$ok -eq 0 ]; then \
+		echo "gensync: run 'go run ./internal/blas/genmicro -out internal/blas/micro_generated.go -lanes-out internal/blas/lanes_generated.go'"; \
 		exit 1; \
 	fi; \
-	echo "gensync: internal/blas/micro_generated.go is in sync"
+	echo "gensync: internal/blas generated files are in sync"
 
 test:
 	$(GO) test ./...
@@ -103,6 +112,27 @@ serve-smoke:
 	SERVED=$$!; \
 	sleep 1; \
 	/tmp/mfload -addr 127.0.0.1:7333 -duration 15s -mix scalar -deadline 2s -gate; \
+	RC=$$?; \
+	kill -TERM $$SERVED; wait $$SERVED; \
+	exit $$RC
+
+# perf-smoke is the CI throughput tripwire for the SoA batch path: drive
+# the same pipelined single-op load as bench-serve's batched leg against
+# a locally started daemon and gate on correctness (zero protocol errors
+# or deadline misses) plus a deliberately loose throughput floor. The
+# floor (50k req/s vs ~900k measured on the 1-core dev container —
+# EXPERIMENTS.md §E-SoA) only trips on order-of-magnitude regressions:
+# a serialized batch path, a per-request allocation storm, a broken
+# batching config — not on runner noise.
+PERF_SMOKE_MIN_RPS ?= 50000
+perf-smoke:
+	$(GO) build -o /tmp/mfserved ./cmd/mfserved
+	$(GO) build -o /tmp/mfload ./cmd/mfload
+	/tmp/mfserved -addr 127.0.0.1:7334 & \
+	SERVED=$$!; \
+	sleep 1; \
+	/tmp/mfload -addr 127.0.0.1:7334 -duration 10s -conns 2 -pipeline 256 \
+		-count 1 -op mul -width 2 -deadline 2s -gate -min-rps $(PERF_SMOKE_MIN_RPS); \
 	RC=$$?; \
 	kill -TERM $$SERVED; wait $$SERVED; \
 	exit $$RC

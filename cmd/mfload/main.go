@@ -84,6 +84,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "print the report as JSON (always on with -out or -compare)")
 		outFile  = flag.String("out", "", `write the JSON report to this file (default "BENCH_serve.json" with -compare)`)
 		gate     = flag.Bool("gate", false, "exit 1 on any protocol errors or deadline misses")
+		minRPS   = flag.Float64("min-rps", 0, "with -gate: also fail when throughput falls below this req/s floor")
 		compare  = flag.Bool("compare", false, "run batched vs one-request-per-batch in-process servers and report the speedup")
 	)
 	flag.Parse()
@@ -123,7 +124,7 @@ func main() {
 	if !*jsonOut && *outFile == "" {
 		printHuman("load", res)
 	}
-	gateExit(*gate, res)
+	gateExit(*gate, *minRPS, res)
 }
 
 func parseSpecs(mix, opName string, width int) ([]opSpec, error) {
@@ -474,8 +475,8 @@ func runCompare(cfg loadConfig, outFile string, gate bool) {
 	printHuman("unbatched", ub)
 	printHuman("batched", b)
 	fmt.Printf("speedup (batched/unbatched): %.2fx\n", speedup)
-	gateExit(gate, ub)
-	gateExit(gate, b)
+	gateExit(gate, 0, ub)
+	gateExit(gate, 0, b)
 }
 
 func configJSON(cfg loadConfig) map[string]any {
@@ -517,7 +518,7 @@ func printHuman(name string, r *loadResult) {
 		r.Overloads, r.DeadlineMisses, r.ProtocolErrors)
 }
 
-func gateExit(gate bool, r *loadResult) {
+func gateExit(gate bool, minRPS float64, r *loadResult) {
 	if !gate {
 		return
 	}
@@ -536,6 +537,16 @@ func gateExit(gate bool, r *loadResult) {
 	if r.ProtocolErrors > 0 || r.DeadlineMisses > 0 {
 		fmt.Fprintf(os.Stderr, "mfload: GATE FAILED: %d protocol errors, %d deadline misses\n",
 			r.ProtocolErrors, r.DeadlineMisses)
+		os.Exit(1)
+	}
+	// The throughput floor is a coarse perf-regression tripwire for CI
+	// (make perf-smoke), not a benchmark: set it far below the measured
+	// rate so only an order-of-magnitude regression — a serialized batch
+	// path, an accidental per-request allocation storm — trips it on
+	// noisy shared runners.
+	if minRPS > 0 && r.ThroughputRPS < minRPS {
+		fmt.Fprintf(os.Stderr, "mfload: GATE FAILED: throughput %.0f req/s below the -min-rps floor %.0f\n",
+			r.ThroughputRPS, minRPS)
 		os.Exit(1)
 	}
 }

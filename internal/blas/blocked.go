@@ -1,6 +1,8 @@
 package blas
 
 import (
+	"unsafe"
+
 	"multifloats/internal/eft"
 	"multifloats/mf"
 )
@@ -47,6 +49,7 @@ import (
 type blockSizes struct {
 	mr, nr     int // micro-tile (register) dimensions
 	mc, kc, nc int // cache-block panel dimensions
+	w          int // expansion width (components per element)
 }
 
 // Per-width block parameters. mr×nr is sized so the accumulator tile
@@ -56,87 +59,107 @@ type blockSizes struct {
 // bound the packed panels to L2-ish footprints (A: mc·kc elements,
 // B: kc·nc elements).
 var (
-	blockF2 = blockSizes{mr: 4, nr: 2, mc: 64, kc: 256, nc: 256}
-	blockF3 = blockSizes{mr: 4, nr: 2, mc: 64, kc: 192, nc: 192}
-	blockF4 = blockSizes{mr: 3, nr: 2, mc: 64, kc: 160, nc: 160}
+	blockF2 = blockSizes{mr: 4, nr: 2, mc: 64, kc: 256, nc: 256, w: 2}
+	blockF3 = blockSizes{mr: 4, nr: 2, mc: 64, kc: 192, nc: 192, w: 3}
+	blockF4 = blockSizes{mr: 3, nr: 2, mc: 64, kc: 160, nc: 160, w: 4}
 )
 
 func roundUp(x, m int) int { return (x + m - 1) / m * m }
 
-// packA copies the mc×kc block at a (leading dimension lda) into dst in
-// micro-panel order: for each mr-row strip, kc groups of mr row-adjacent
-// elements. Rows past mc within the last strip are zero-filled so the
-// micro-kernel never branches on partial heights.
+// packASoA copies the mc×kc block at a (flattened row-major expansions,
+// leading dimension lda elements, w components each) into dst in
+// strip-major SoA order: for each mr-row strip, w contiguous component
+// planes of kc·mr base values, each plane holding kc groups of mr
+// row-adjacent components. The micro-kernel then reads every component
+// unit-stride within its plane with no per-element deinterleave. Rows
+// past mc within the last strip are zero-filled so the micro-kernel
+// never branches on partial heights.
+//
+// (Not //mf:branchfree: the strip-height min is genuine control flow;
+// packing moves bits and performs no FP arithmetic.)
 //
 //mf:hotpath
-func packA[E any](dst, a []E, lda, mc, kc, mr int) {
-	var zero E
+func packASoA[T eft.Float](dst, a []T, lda, mc, kc, mr, w int) {
 	idx := 0
 	for ir := 0; ir < mc; ir += mr {
 		m := min(mr, mc-ir)
-		for k := 0; k < kc; k++ {
-			for r := 0; r < m; r++ {
-				dst[idx] = a[(ir+r)*lda+k]
-				idx++
-			}
-			for r := m; r < mr; r++ {
-				dst[idx] = zero
-				idx++
+		for j := 0; j < w; j++ {
+			for k := 0; k < kc; k++ {
+				for r := 0; r < m; r++ {
+					dst[idx] = a[((ir+r)*lda+k)*w+j]
+					idx++
+				}
+				for r := m; r < mr; r++ {
+					dst[idx] = 0
+					idx++
+				}
 			}
 		}
 	}
 }
 
-// packB copies the kc×nc block at b (leading dimension ldb) into dst in
-// micro-panel order: for each nr-column strip, kc groups of nr
-// column-adjacent elements, zero-padded past nc.
+// packBSoA copies the kc×nc block at b into strip-major SoA order: for
+// each nr-column strip, w component planes of kc·nr base values (kc
+// groups of nr column-adjacent components each), zero-padded past nc.
 //
 //mf:hotpath
-func packB[E any](dst, b []E, ldb, kc, nc, nr int) {
-	var zero E
+func packBSoA[T eft.Float](dst, b []T, ldb, kc, nc, nr, w int) {
 	idx := 0
 	for jr := 0; jr < nc; jr += nr {
 		nn := min(nr, nc-jr)
-		for k := 0; k < kc; k++ {
-			for j := 0; j < nn; j++ {
-				dst[idx] = b[k*ldb+jr+j]
-				idx++
-			}
-			for j := nn; j < nr; j++ {
-				dst[idx] = zero
-				idx++
+		for j := 0; j < w; j++ {
+			for k := 0; k < kc; k++ {
+				for jj := 0; jj < nn; jj++ {
+					dst[idx] = b[(k*ldb+jr+jj)*w+j]
+					idx++
+				}
+				for jj := nn; jj < nr; jj++ {
+					dst[idx] = 0
+					idx++
+				}
 			}
 		}
 	}
 }
 
 // gemmBlocked is the width-independent driver: loop structure, packing,
-// and panel-level parallelism. micro computes one mr×nr tile:
-// C[0:m, 0:nn] += Σ_k ap[k]·bp[k] with C at leading dimension ldc.
-func gemmBlocked[E any](a, b, c []E, n, workers int, bs blockSizes,
-	micro func(ap, bp []E, kc int, c []E, ldc, m, nn int)) {
+// and panel-level parallelism. A and B are repacked into strip-major SoA
+// panels (see packASoA) so the micro-kernel's k loop issues unit-stride
+// plane loads; C stays AoS because the tile writeback touches each
+// element once. The flattening reinterprets []E as []T, which is exact
+// because mf.F{2,3,4}[T] are array types ([w]T) with no padding. micro
+// computes one mr×nr tile: C[0:m, 0:nn] += Σ_k ap[k]·bp[k] with C at
+// leading dimension ldc; bs.w must match E's width. The SoA repack
+// changes data layout only — every gate still evaluates the same values
+// in the same order, so results are unchanged bit-for-bit from the AoS
+// packing.
+func gemmBlocked[E any, T eft.Float](a, b, c []E, n, workers int, bs blockSizes,
+	micro func(ap, bp []T, kc int, c []E, ldc, m, nn int)) {
 	if n <= 0 {
 		return
 	}
-	apanelLen := func(kc int) int { return roundUp(bs.mc, bs.mr) * kc }
+	w := bs.w
+	aflat := unsafe.Slice((*T)(unsafe.Pointer(&a[0])), len(a)*w)
+	bflat := unsafe.Slice((*T)(unsafe.Pointer(&b[0])), len(b)*w)
+	apanelLen := func(kc int) int { return roundUp(bs.mc, bs.mr) * kc * w }
 	for jc := 0; jc < n; jc += bs.nc {
 		nc := min(bs.nc, n-jc)
 		for pc := 0; pc < n; pc += bs.kc {
 			kc := min(bs.kc, n-pc)
-			bpanel := getPanel[E](roundUp(nc, bs.nr) * kc)
-			packB(bpanel, b[pc*n+jc:], n, kc, nc, bs.nr)
+			bpanel := getPanel[T](roundUp(nc, bs.nr) * kc * w)
+			packBSoA(bpanel, bflat[(pc*n+jc)*w:], n, kc, nc, bs.nr, w)
 			nBlocks := (n + bs.mc - 1) / bs.mc
 			parallelIndex(nBlocks, workers, func(ib int) {
 				ic := ib * bs.mc
 				mc := min(bs.mc, n-ic)
-				apanel := getPanel[E](apanelLen(kc))
-				packA(apanel, a[ic*n+pc:], n, mc, kc, bs.mr)
+				apanel := getPanel[T](apanelLen(kc))
+				packASoA(apanel, aflat[(ic*n+pc)*w:], n, mc, kc, bs.mr, w)
 				for jr := 0; jr < nc; jr += bs.nr {
 					nn := min(bs.nr, nc-jr)
-					bp := bpanel[(jr/bs.nr)*kc*bs.nr:]
+					bp := bpanel[(jr/bs.nr)*(w*kc*bs.nr):]
 					for ir := 0; ir < mc; ir += bs.mr {
 						m := min(bs.mr, mc-ir)
-						ap := apanel[(ir/bs.mr)*kc*bs.mr:]
+						ap := apanel[(ir/bs.mr)*(w*kc*bs.mr):]
 						micro(ap, bp, kc, c[(ic+ir)*n+jc+jr:], n, m, nn)
 					}
 				}

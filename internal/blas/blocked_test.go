@@ -12,8 +12,52 @@ import (
 
 // ---- bit-exact pinning of the generated micro-kernels ----
 
+// soaStrip{2,3,4} transpose one AoS packed strip (kc groups of mr or nr
+// elements) into the strip-major SoA layout the generated micro-kernels
+// read: w contiguous component planes of len(els) base values each
+// (matching packASoA/packBSoA for a single strip).
+func soaStrip2(els []mf.Float64x2) []float64 {
+	out := make([]float64, 2*len(els))
+	for i, e := range els {
+		out[i] = e[0]
+		out[len(els)+i] = e[1]
+	}
+	return out
+}
+
+func soaStrip3(els []mf.Float64x3) []float64 {
+	out := make([]float64, 3*len(els))
+	for i, e := range els {
+		out[i] = e[0]
+		out[len(els)+i] = e[1]
+		out[2*len(els)+i] = e[2]
+	}
+	return out
+}
+
+func soaStrip4(els []mf.Float64x4) []float64 {
+	out := make([]float64, 4*len(els))
+	for i, e := range els {
+		out[i] = e[0]
+		out[len(els)+i] = e[1]
+		out[2*len(els)+i] = e[2]
+		out[3*len(els)+i] = e[3]
+	}
+	return out
+}
+
+func soaStrip2s(els []mf.F2[float32]) []float32 {
+	out := make([]float32, 2*len(els))
+	for i, e := range els {
+		out[i] = e[0]
+		out[len(els)+i] = e[1]
+	}
+	return out
+}
+
 // refMicroF2 is the reference semantics of gemmMicroF2: an mr×nr tile of
-// fused MulAcc chains over the packed panels, written back through Add.
+// fused MulAcc chains over the packed panels (AoS here — layout is the
+// kernel's concern, not the reference's), written back through Add.
 func refMicroF2(ap, bp []mf.Float64x2, kc int, c []mf.Float64x2, ldc, m, nn, mr, nr int) {
 	acc := make([]mf.Float64x2, mr*nr)
 	for k := 0; k < kc; k++ {
@@ -111,7 +155,7 @@ func TestMicroMatchesCoreGates(t *testing.T) {
 			for nn := 1; nn <= nr; nn++ {
 				got := append([]mf.Float64x2(nil), c0...)
 				want := append([]mf.Float64x2(nil), c0...)
-				gemmMicroF2(ap, bp, kc, got, nr, m, nn)
+				gemmMicroF2(soaStrip2(ap), soaStrip2(bp), kc, got, nr, m, nn)
 				refMicroF2(ap, bp, kc, want, nr, m, nn, mr, nr)
 				for i := range want {
 					if got[i] != want[i] {
@@ -133,7 +177,7 @@ func TestMicroMatchesCoreGates(t *testing.T) {
 			for nn := 1; nn <= nr; nn++ {
 				got := append([]mf.Float64x3(nil), c0...)
 				want := append([]mf.Float64x3(nil), c0...)
-				gemmMicroF3(ap, bp, kc, got, nr, m, nn)
+				gemmMicroF3(soaStrip3(ap), soaStrip3(bp), kc, got, nr, m, nn)
 				refMicroF3(ap, bp, kc, want, nr, m, nn, mr, nr)
 				for i := range want {
 					if got[i] != want[i] {
@@ -155,7 +199,7 @@ func TestMicroMatchesCoreGates(t *testing.T) {
 			for nn := 1; nn <= nr; nn++ {
 				got := append([]mf.Float64x4(nil), c0...)
 				want := append([]mf.Float64x4(nil), c0...)
-				gemmMicroF4(ap, bp, kc, got, nr, m, nn)
+				gemmMicroF4(soaStrip4(ap), soaStrip4(bp), kc, got, nr, m, nn)
 				refMicroF4(ap, bp, kc, want, nr, m, nn, mr, nr)
 				for i := range want {
 					if got[i] != want[i] {
@@ -179,7 +223,7 @@ func TestMicroMatchesCoreGates(t *testing.T) {
 		for i := range bp {
 			bp[i] = mf.New2(float32(rng.Float64() + 0.5))
 		}
-		gemmMicroF2(ap, bp, kc, got, nr, mr, nr)
+		gemmMicroF2(soaStrip2s(ap), soaStrip2s(bp), kc, got, nr, mr, nr)
 		acc := make([]mf.F2[float32], mr*nr)
 		for k := 0; k < kc; k++ {
 			for r := 0; r < mr; r++ {
@@ -441,50 +485,59 @@ func TestBlockedParallelBitIdentical(t *testing.T) {
 	}
 }
 
-// TestPackPanels checks the packers' micro-panel layout and zero fill.
+// TestPackPanels checks the SoA packers' strip-major plane layout and
+// zero fill: per strip, w contiguous component planes of kc·mr (resp.
+// kc·nr) base values, padded rows/columns zeroed in every plane.
 func TestPackPanels(t *testing.T) {
+	const w = 2
 	lda, mc, kc, mr := 7, 5, 3, 4
-	a := make([]float64, mc*lda)
+	a := make([]float64, mc*lda*w)
 	for i := range a {
 		a[i] = float64(i + 1)
 	}
-	dst := make([]float64, roundUp(mc, mr)*kc)
-	packA(dst, a, lda, mc, kc, mr)
+	dst := make([]float64, roundUp(mc, mr)*kc*w)
+	packASoA(dst, a, lda, mc, kc, mr, w)
 	for ir := 0; ir < mc; ir += mr {
 		h := min(mr, mc-ir)
-		base := (ir / mr) * kc * mr
-		for k := 0; k < kc; k++ {
-			for r := 0; r < mr; r++ {
-				got := dst[base+k*mr+r]
-				var want float64
-				if r < h {
-					want = a[(ir+r)*lda+k]
-				}
-				if got != want {
-					t.Fatalf("packA[%d,%d,%d] = %g, want %g", ir, k, r, got, want)
+		base := (ir / mr) * (w * kc * mr)
+		for j := 0; j < w; j++ {
+			plane := dst[base+j*kc*mr:]
+			for k := 0; k < kc; k++ {
+				for r := 0; r < mr; r++ {
+					got := plane[k*mr+r]
+					var want float64
+					if r < h {
+						want = a[((ir+r)*lda+k)*w+j]
+					}
+					if got != want {
+						t.Fatalf("packASoA[ir=%d,j=%d,k=%d,r=%d] = %g, want %g", ir, j, k, r, got, want)
+					}
 				}
 			}
 		}
 	}
 	ldb, nc, nr := 9, 5, 2
-	b := make([]float64, kc*ldb)
+	b := make([]float64, kc*ldb*w)
 	for i := range b {
 		b[i] = float64(i + 1)
 	}
-	dstB := make([]float64, roundUp(nc, nr)*kc)
-	packB(dstB, b, ldb, kc, nc, nr)
+	dstB := make([]float64, roundUp(nc, nr)*kc*w)
+	packBSoA(dstB, b, ldb, kc, nc, nr, w)
 	for jr := 0; jr < nc; jr += nr {
-		w := min(nr, nc-jr)
-		base := (jr / nr) * kc * nr
-		for k := 0; k < kc; k++ {
-			for j := 0; j < nr; j++ {
-				got := dstB[base+k*nr+j]
-				var want float64
-				if j < w {
-					want = b[k*ldb+jr+j]
-				}
-				if got != want {
-					t.Fatalf("packB[%d,%d,%d] = %g, want %g", jr, k, j, got, want)
+		cols := min(nr, nc-jr)
+		base := (jr / nr) * (w * kc * nr)
+		for j := 0; j < w; j++ {
+			plane := dstB[base+j*kc*nr:]
+			for k := 0; k < kc; k++ {
+				for jj := 0; jj < nr; jj++ {
+					got := plane[k*nr+jj]
+					var want float64
+					if jj < cols {
+						want = b[(k*ldb+jr+jj)*w+j]
+					}
+					if got != want {
+						t.Fatalf("packBSoA[jr=%d,j=%d,k=%d,jj=%d] = %g, want %g", jr, j, k, jj, got, want)
+					}
 				}
 			}
 		}

@@ -1,0 +1,352 @@
+package main
+
+// Lane-kernel emission: the SoA elementwise batch kernels of
+// internal/blas/lanes_generated.go.
+//
+// The serving tier coalesces scalar requests into slabs; a slab stored as
+// per-component planes (SoA) lets one kernel run laneWidth independent
+// gate networks per loop step as straight-line FP code — the same ILP
+// argument as the GEMM micro-kernels, applied to elementwise batches.
+// Each lane body is a verbatim gate-for-gate transcription of the
+// internal/core kernel for its op (add/sub/mul are flattened inline;
+// div and sqrt call the annotated core networks, whose Newton iterations
+// are too large to flatten profitably and already dominate any call
+// cost), so a slab run through a lane kernel is bit-identical to a
+// scalar core.* loop. The equivalence is pinned by
+// TestLaneKernelsMatchCore and fuzzed by internal/diffuzz.
+//
+// Special values: IEEE leaves exactly one result property to the
+// implementation — which operand's payload a NaN-producing operation
+// propagates, which in practice depends on the operand order the
+// compiler emits. Identical gate SOURCE order therefore does not pin
+// NaN payload bits across separately compiled copies of a network. The
+// flattened kernels are exact on every input whose outputs are finite
+// (finite IEEE arithmetic is fully determined); each add/sub/mul
+// kernel is paired with a patch wrapper that detects non-finite output
+// components (three flops and a never-taken branch per element on
+// finite data) and recomputes just those elements through the shared
+// core.* functions, restoring bit parity — NaN payloads included —
+// with the in-process path.
+//
+// Only float64 kernels are emitted: the wire protocol's base type is
+// float64, and the blocked-GEMM paths keep their own generated
+// micro-kernels for both base types.
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// laneWidth is the unroll factor of the emitted kernels: enough
+// independent FPAN chains per loop step to cover the TwoSum latency
+// chain, small enough that the ~3·width live temporaries per lane stay
+// out of heavy spill. The L1/L2/L8 mul variants emitted for the E-SoA
+// ablation justify the choice empirically (EXPERIMENTS.md).
+const laneWidth = 4
+
+// laneOps lists the emitted elementwise ops in wire-dispatch order
+// (matching the LaneOp constants in soa.go).
+var laneOps = []string{"add", "sub", "mul", "div", "sqrt"}
+
+func opTitle(op string) string {
+	switch op {
+	case "add":
+		return "Add"
+	case "sub":
+		return "Sub"
+	case "mul":
+		return "Mul"
+	case "div":
+		return "Div"
+	case "sqrt":
+		return "Sqrt"
+	}
+	panic("bad op")
+}
+
+// mulRenorm returns the renormalization chain of core.MulN over the
+// expansion-step wires produced by mulBody, defining z0v…z{n-1}v.
+// Verbatim gate-for-gate transcription of core/mul.go (the fused GEMM
+// path skips this chain; the standalone product needs it).
+func mulRenorm(n int, w []string) string {
+	switch n {
+	case 2:
+		return fmt.Sprintf("z0v, z1v := eft.FastTwoSum(%s, %s)\n", w[0], w[1])
+	case 3:
+		return fmt.Sprintf(`u0, v1 := eft.FastTwoSum(%s, %s)
+z1a, w2 := eft.TwoSum(v1, %s)
+z0v, c1 := eft.FastTwoSum(u0, z1a)
+z1v, z2v := eft.TwoSum(c1, w2)
+`, w[0], w[1], w[2])
+	case 4:
+		return fmt.Sprintf(`u0, g1 := eft.FastTwoSum(%s, %s)
+x2v, y3v := eft.TwoSum(g1, %s)
+r2v, s3v := eft.TwoSum(y3v, %s)
+z0v, c1 := eft.FastTwoSum(u0, x2v)
+z1v, c2 := eft.TwoSum(c1, r2v)
+z2v, z3v := eft.TwoSum(c2, s3v)
+`, w[0], w[1], w[2], w[3])
+	}
+	panic("bad width")
+}
+
+// laneBlock emits one lane: z[idx] = op(x[idx], y[idx]) as a block-scoped
+// flattened gate network (add/sub/mul) or a call to the core Newton
+// network (div/sqrt). Block scope lets the canonical temp names repeat
+// across the unrolled lanes.
+func laneBlock(b *bytes.Buffer, c cfg, op, idx string) {
+	n := c.n
+	switch op {
+	case "add", "sub":
+		// Sub negates y at load, exactly core.SubN = AddN(x, -y).
+		neg := ""
+		if op == "sub" {
+			neg = "-"
+		}
+		fmt.Fprintf(b, "{\n")
+		acc := make([]string, n)
+		zw := make([]string, n)
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(b, "a%d := xs%d[%s]\n", i, i, idx)
+			acc[i] = fmt.Sprintf("a%d", i)
+		}
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(b, "b%d := %sys%d[%s]\n", i, neg, i, idx)
+			zw[i] = fmt.Sprintf("b%d", i)
+		}
+		b.WriteString(addBody(n, acc, zw))
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(b, "zs%d[%s] = a%d\n", i, idx, i)
+		}
+		fmt.Fprintf(b, "}\n")
+	case "mul":
+		fmt.Fprintf(b, "{\n")
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(b, "x%d := xs%d[%s]\n", i, i, idx)
+		}
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(b, "y%d := ys%d[%s]\n", i, i, idx)
+		}
+		code, wires := mulBody(c)
+		b.WriteString(code)
+		b.WriteString(mulRenorm(n, wires))
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(b, "zs%d[%s] = z%dv\n", i, idx, i)
+		}
+		fmt.Fprintf(b, "}\n")
+	case "div", "sqrt":
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				fmt.Fprintf(b, ", ")
+			}
+			fmt.Fprintf(b, "zs%d[%s]", i, idx)
+		}
+		fmt.Fprintf(b, " = core.%s%d(", opTitle(op), n)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				fmt.Fprintf(b, ", ")
+			}
+			fmt.Fprintf(b, "xs%d[%s]", i, idx)
+		}
+		if op == "div" {
+			for i := 0; i < n; i++ {
+				fmt.Fprintf(b, ", ys%d[%s]", i, idx)
+			}
+		}
+		fmt.Fprintf(b, ")\n")
+	default:
+		panic("bad op")
+	}
+}
+
+// laneAnnots returns the mflint contract directives for one lane kernel.
+// Every kernel is an allocation-free hot path; the sqrt lanes cannot be
+// //mf:branchfree because core.SqrtN branches on a zero leading term
+// (the div lanes call core.DivN, which is annotated branch-free).
+func laneAnnots(op string) string {
+	if op == "sqrt" {
+		return "// (Not //mf:branchfree: core.SqrtN branches on a zero leading term.)\n//\n//mf:hotpath"
+	}
+	return "//mf:branchfree\n//mf:hotpath"
+}
+
+func laneDoc(c cfg, op string, lanes int, name string) string {
+	var what string
+	switch op {
+	case "add", "sub", "mul":
+		what = fmt.Sprintf("%d independent flattened core.%s%d gate networks per unrolled step",
+			lanes, opTitle(op), c.n)
+		if lanes == 1 {
+			what = fmt.Sprintf("one flattened core.%s%d gate network per step (no unroll)", opTitle(op), c.n)
+		}
+	default:
+		what = fmt.Sprintf("%d core.%s%d Newton networks per unrolled step", lanes, opTitle(op), c.n)
+	}
+	unary := ""
+	if op == "sqrt" {
+		unary = " (y is ignored)"
+	}
+	exact := fmt.Sprintf(`results are
+// bit-identical to a scalar core.%s%d loop`, opTitle(op), c.n)
+	switch op {
+	case "add", "sub", "mul":
+		exact = fmt.Sprintf(`results are
+// bit-identical to a scalar core.%s%d loop wherever the outputs are
+// finite (lane%s%dd patches the non-finite elements; see the package
+// comment on NaN payload order)`, opTitle(op), c.n, opTitle(op), c.n)
+	}
+	return fmt.Sprintf(`// %s computes z = %s(x, y) elementwise over width-%d SoA slabs for
+// elements [lo, hi)%s: %s,
+// scalar tail. Gate order is verbatim internal/core, so %s.`,
+		name, op, c.n, unary, what, exact)
+}
+
+// laneKernelFn emits one SoA lane kernel. nameSfx distinguishes the
+// ablation unroll variants (L1/L2/L8) from the production laneWidth one.
+func laneKernelFn(b *bytes.Buffer, c cfg, op string, lanes int, nameSfx string) {
+	n := c.n
+	name := fmt.Sprintf("lane%s%d%s%s", opTitle(op), n, c.sfx, nameSfx)
+	fmt.Fprintf(b, "\n%s\n//\n%s\nfunc %s(x, y, z *SoA, lo, hi int) {\n",
+		laneDoc(c, op, lanes, name), laneAnnots(op), name)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(b, "xs%d := x[%d][lo:hi]\n", i, i)
+	}
+	if op != "sqrt" {
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(b, "ys%d := y[%d][lo:hi]\n", i, i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(b, "zs%d := z[%d][lo:hi]\n", i, i)
+	}
+	fmt.Fprintf(b, "n := hi - lo\ni := 0\n")
+	if lanes > 1 {
+		fmt.Fprintf(b, "for ; i+%d <= n; i += %d {\n", lanes, lanes)
+		for l := 0; l < lanes; l++ {
+			idx := "i"
+			if l > 0 {
+				idx = fmt.Sprintf("i+%d", l)
+			}
+			laneBlock(b, c, op, idx)
+		}
+		fmt.Fprintf(b, "}\n")
+	}
+	fmt.Fprintf(b, "for ; i < n; i++ {\n")
+	laneBlock(b, c, op, "i")
+	fmt.Fprintf(b, "}\n}\n")
+}
+
+// laneFixFn emits the patch wrapper for one flattened add/sub/mul
+// kernel: run the branch-free fast path, then recompute any element
+// with a non-finite output component through the shared core network,
+// so NaN payload bits match the in-process path exactly.
+func laneFixFn(b *bytes.Buffer, c cfg, op string) {
+	n := c.n
+	t := opTitle(op)
+	name := fmt.Sprintf("lane%s%dd", t, n)
+	fmt.Fprintf(b, `
+// %s is the dispatch-table entry for %s at width %d: the flattened
+// %sFlat fast path plus the special-value patch. z[i]-z[i] is 0 for
+// finite z[i] and NaN otherwise, so d is NaN exactly when some output
+// component is non-finite — only those (rare) elements re-run through
+// core.%s%d, whose compiled NaN propagation the in-process API shares.
+//
+// (Not //mf:branchfree: the patch predicate is the point — it is taken
+// only on non-finite elements, where the flattened network cannot pin
+// NaN payload bits.)
+//
+//mf:hotpath
+func %s(x, y, z *SoA, lo, hi int) {
+%sFlat(x, y, z, lo, hi)
+`, name, op, n, name, t, n, name, name)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(b, "xs%d := x[%d][lo:hi]\n", i, i)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(b, "ys%d := y[%d][lo:hi]\n", i, i)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(b, "zs%d := z[%d][lo:hi]\n", i, i)
+	}
+	fmt.Fprintf(b, "for i := range zs0 {\nd := ")
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			fmt.Fprintf(b, " + ")
+		}
+		fmt.Fprintf(b, "(zs%d[i] - zs%d[i])", i, i)
+	}
+	fmt.Fprintf(b, "\nif d != d {\n")
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			fmt.Fprintf(b, ", ")
+		}
+		fmt.Fprintf(b, "zs%d[i]", i)
+	}
+	fmt.Fprintf(b, " = core.%s%d(", t, n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			fmt.Fprintf(b, ", ")
+		}
+		fmt.Fprintf(b, "xs%d[i]", i)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(b, ", ys%d[i]", i)
+	}
+	fmt.Fprintf(b, ")\n}\n}\n}\n")
+}
+
+// emitLanes produces the full lanes_generated.go source (unformatted).
+func emitLanes() []byte {
+	var b bytes.Buffer
+	b.WriteString(fmt.Sprintf(`// Code generated by genmicro. DO NOT EDIT.
+// Regenerate with: go generate ./internal/blas
+
+package blas
+
+import (
+	"math"
+
+	"multifloats/internal/core"
+	"multifloats/internal/eft"
+)
+
+// LaneWidth is the unroll factor of the generated SoA lane kernels: each
+// unrolled step runs LaneWidth independent gate networks (EXPERIMENTS.md
+// §E-SoA sweeps the alternatives via the L1/L2/L8 mul variants below).
+const LaneWidth = %d
+`, laneWidth))
+	for _, n := range []int{2, 3, 4} {
+		c := configs(n)[0] // float64: the serving tier's wire base type
+		for _, op := range laneOps {
+			switch op {
+			case "add", "sub", "mul":
+				laneKernelFn(&b, c, op, laneWidth, "Flat")
+				laneFixFn(&b, c, op)
+			default:
+				// div/sqrt call the core networks per lane, so they share
+				// the in-process compiled code already — no patch needed.
+				laneKernelFn(&b, c, op, laneWidth, "")
+			}
+		}
+	}
+	// Unroll-sweep variants of the multiply kernels, emitted for the
+	// E-SoA lane-count ablation (benchmarks only; not in the table).
+	for _, n := range []int{2, 3, 4} {
+		c := configs(n)[0]
+		for _, l := range []int{1, 2, 8} {
+			laneKernelFn(&b, c, "mul", l, fmt.Sprintf("L%d", l))
+		}
+	}
+	b.WriteString(`
+// laneKernels maps (LaneOp, width-2) to the generated kernel. The
+// serving tier's executor dispatches through LaneKernel, so adding an
+// elementwise op is one generator entry plus a LaneOp constant.
+var laneKernels = [numLaneOps][3]LaneFn{
+`)
+	for _, op := range laneOps {
+		t := opTitle(op)
+		fmt.Fprintf(&b, "LaneOp%s: {lane%s2d, lane%s3d, lane%s4d},\n", t, t, t, t)
+	}
+	b.WriteString("}\n")
+	return b.Bytes()
+}

@@ -183,21 +183,35 @@ func addBody(n int, acc, z []string) string {
 	return b.String()
 }
 
-// chain emits one fused multiply–accumulate, acc += xe·ye, as a
-// block-scoped flattened core.MulAccN. The block scope lets the
-// canonical temp names repeat across chains.
-func chain(b *bytes.Buffer, c cfg, xe, ye string, acc []string) {
+// chain emits one fused multiply–accumulate, acc += x·y, as a
+// block-scoped flattened core.MulAccN; loadX/loadY supply the source
+// expression for each operand component (an AoS element index for the
+// GEMV tiles, a pre-loaded SoA scalar for the GEMM micro-kernels). The
+// block scope lets the canonical temp names repeat across chains.
+func chain(b *bytes.Buffer, c cfg, loadX, loadY func(i int) string, acc []string) {
 	fmt.Fprintf(b, "{\n")
 	for i := 0; i < c.n; i++ {
-		fmt.Fprintf(b, "x%d := %s[%d]\n", i, xe, i)
+		fmt.Fprintf(b, "x%d := %s\n", i, loadX(i))
 	}
 	for i := 0; i < c.n; i++ {
-		fmt.Fprintf(b, "y%d := %s[%d]\n", i, ye, i)
+		fmt.Fprintf(b, "y%d := %s\n", i, loadY(i))
 	}
 	code, wires := mulBody(c)
 	b.WriteString(code)
 	b.WriteString(addBody(c.n, acc, wires))
 	fmt.Fprintf(b, "}\n")
+}
+
+// elemLoad builds a loader reading component i of an AoS expansion
+// element expression.
+func elemLoad(expr string) func(i int) string {
+	return func(i int) string { return fmt.Sprintf("%s[%d]", expr, i) }
+}
+
+// scalarLoad builds a loader naming the pre-loaded SoA temporaries
+// <prefix><idx>_<component>.
+func scalarLoad(prefix string, idx int) func(i int) string {
+	return func(i int) string { return fmt.Sprintf("%s%d_%d", prefix, idx, i) }
 }
 
 // annots returns the mflint contract directives for a concrete kernel.
@@ -220,17 +234,21 @@ func accNames(r, c, n int) []string {
 }
 
 // gemmMicroConcrete emits the mr×nr register-tiled GEMM micro-kernel for
-// one width × base-type combination.
+// one width × base-type combination. ap/bp are one micro-panel strip in
+// SoA layout: n contiguous component planes of kc·mr (resp. kc·nr) base
+// values, so every load in the k loop is unit-stride within its plane.
 func gemmMicroConcrete(b *bytes.Buffer, c cfg, mr, nr int) {
 	n := c.n
 	fmt.Fprintf(b, `
-// gemmMicroF%d%s computes a %d×%d C tile on %s: C[0:m, 0:nn] += Σ_k
-// ap[k]·bp[k], %d independent flattened %d-term FPAN chains.
+// gemmMicroF%d%s computes a %d×%d C tile on %s from strip-major SoA
+// packed panels (%d component planes of kc·%d / kc·%d elements each):
+// C[0:m, 0:nn] += Σ_k ap[k]·bp[k], %d independent flattened %d-term
+// FPAN chains.
 //
 %s
-func gemmMicroF%d%s(ap, bp []mf.F%d[%s], kc int, c []mf.F%d[%s], ldc, m, nn int) {
+func gemmMicroF%d%s(ap, bp []%s, kc int, c []mf.F%d[%s], ldc, m, nn int) {
 var (
-`, n, c.sfx, mr, nr, c.typ, mr*nr, n, annots(c), n, c.sfx, n, c.typ, n, c.typ)
+`, n, c.sfx, mr, nr, c.typ, n, mr, nr, mr*nr, n, annots(c), n, c.sfx, c.typ, n, c.typ)
 	for r := 0; r < mr; r++ {
 		for j := 0; j < nr; j++ {
 			for i := 0; i < n; i++ {
@@ -239,18 +257,26 @@ var (
 		}
 	}
 	fmt.Fprintf(b, "_ %s\n)\n", c.typ)
-	fmt.Fprintf(b, "ap = ap[: kc*%d : kc*%d]\n", mr, mr)
-	fmt.Fprintf(b, "bp = bp[: kc*%d : kc*%d]\n", nr, nr)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(b, "ap%d := ap[%d*kc*%d : %d*kc*%d]\n", i, i, mr, i+1, mr)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(b, "bp%d := bp[%d*kc*%d : %d*kc*%d]\n", i, i, nr, i+1, nr)
+	}
 	fmt.Fprintf(b, "for k := 0; k < kc; k++ {\n")
 	for j := 0; j < nr; j++ {
-		fmt.Fprintf(b, "b%d := bp[k*%d+%d]\n", j, nr, j)
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(b, "b%d_%d := bp%d[k*%d+%d]\n", j, i, i, nr, j)
+		}
 	}
 	for r := 0; r < mr; r++ {
-		fmt.Fprintf(b, "a%d := ap[k*%d+%d]\n", r, mr, r)
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(b, "a%d_%d := ap%d[k*%d+%d]\n", r, i, i, mr, r)
+		}
 	}
 	for r := 0; r < mr; r++ {
 		for j := 0; j < nr; j++ {
-			chain(b, c, fmt.Sprintf("a%d", r), fmt.Sprintf("b%d", j), accNames(r, j, n))
+			chain(b, c, scalarLoad("a", r), scalarLoad("b", j), accNames(r, j, n))
 		}
 	}
 	fmt.Fprintf(b, "}\n")
@@ -289,25 +315,25 @@ func gemmMicroDispatch(b *bytes.Buffer, n int) {
 // because the float32 arm calls the FMA32-emulating kernel.)
 //
 //mf:hotpath
-func gemmMicroF%d[T eft.Float](ap, bp []mf.F%d[T], kc int, c []mf.F%d[T], ldc, m, nn int) {
+func gemmMicroF%d[T eft.Float](ap, bp []T, kc int, c []mf.F%d[T], ldc, m, nn int) {
 var t T
 if unsafe.Sizeof(t) == 8 {
 gemmMicroF%dd(
-*(*[]mf.F%d[float64])(unsafe.Pointer(&ap)),
-*(*[]mf.F%d[float64])(unsafe.Pointer(&bp)),
+*(*[]float64)(unsafe.Pointer(&ap)),
+*(*[]float64)(unsafe.Pointer(&bp)),
 kc,
 *(*[]mf.F%d[float64])(unsafe.Pointer(&c)),
 ldc, m, nn)
 return
 }
 gemmMicroF%ds(
-*(*[]mf.F%d[float32])(unsafe.Pointer(&ap)),
-*(*[]mf.F%d[float32])(unsafe.Pointer(&bp)),
+*(*[]float32)(unsafe.Pointer(&ap)),
+*(*[]float32)(unsafe.Pointer(&bp)),
 kc,
 *(*[]mf.F%d[float32])(unsafe.Pointer(&c)),
 ldc, m, nn)
 }
-`, n, n, n, n, n, n, n, n, n, n, n, n)
+`, n, n, n, n, n, n, n)
 }
 
 // gemvTileConcrete emits the 4-row GEMV tile kernel: four independent row
@@ -338,7 +364,7 @@ for j := range x {
 xj := x[j]
 `, c.typ)
 	for r := 0; r < 4; r++ {
-		chain(b, c, fmt.Sprintf("r%d[j]", r), "xj", accNames(r, 0, n))
+		chain(b, c, elemLoad(fmt.Sprintf("r%d[j]", r)), elemLoad("xj"), accNames(r, 0, n))
 	}
 	fmt.Fprintf(b, "}\n")
 	for r := 0; r < 4; r++ {
@@ -392,6 +418,7 @@ var (
 
 func main() {
 	out := flag.String("out", "micro_generated.go", "output `file` (the gensync drift gate points this at a scratch path)")
+	lanesOut := flag.String("lanes-out", "lanes_generated.go", "lane-kernel output `file` (scratch path under the gensync drift gate)")
 	flag.Parse()
 	var b bytes.Buffer
 	b.WriteString(`// Code generated by genmicro. DO NOT EDIT.
@@ -424,6 +451,14 @@ import (
 		log.Fatalf("generated source does not parse: %v\n%s", err, b.Bytes())
 	}
 	if err := os.WriteFile(*out, src, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	lanes := emitLanes()
+	lsrc, err := format.Source(lanes)
+	if err != nil {
+		log.Fatalf("generated lane source does not parse: %v\n%s", err, lanes)
+	}
+	if err := os.WriteFile(*lanesOut, lsrc, 0o644); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -1,0 +1,57 @@
+package blas
+
+// Structure-of-arrays slab views and the generated multi-lane elementwise
+// kernels' front door.
+//
+// The paper's gate networks are branch-free precisely so one instruction
+// stream can run over many independent expansions at once (§3, §5.2). The
+// serving tier's batched scalar path and the blocked GEMM both process
+// slabs of expansions; storing those slabs interleaved (AoS: component j
+// of element i at [i*w+j]) makes every kernel iteration a strided gather,
+// and a loop that calls core.MulN per element pays a full call per gate
+// network. The SoA layout below keeps each component in its own
+// contiguous plane, and the generated kernels in lanes_generated.go
+// flatten LaneWidth independent gate networks per loop step over those
+// planes — straight-line FP code the out-of-order window can interleave,
+// with unit-stride loads and no per-element call.
+//
+// Bit-exactness: every lane is a verbatim transcription of the
+// internal/core gate sequence for its op, so a slab run through a lane
+// kernel is bit-identical to a scalar loop over core.* — pinned by
+// TestLaneKernelsMatchCore and fuzzed by internal/diffuzz's lanes
+// entries. The layout is invisible at every API boundary: callers hand in
+// planes, results come back in planes, and the values match the scalar
+// path bit for bit.
+
+// SoA is a structure-of-arrays view of a slab of expansions: plane j
+// holds component j of every element, so element i of a width-w slab is
+// (s[0][i], …, s[w-1][i]). Planes past the slab's width are unused (nil).
+// The fixed four-plane shape keeps kernel signatures monomorphic across
+// widths — a lane kernel for width w touches exactly planes 0…w-1.
+type SoA [4][]float64
+
+// LaneFn is a generated SoA lane kernel: z[i] = op(x[i], y[i]) for
+// elements lo ≤ i < hi (y is ignored by unary ops). Disjoint [lo, hi)
+// ranges are safe to run concurrently, which is how the serving tier
+// splits one batch across the worker pool.
+type LaneFn func(x, y, z *SoA, lo, hi int)
+
+// LaneOp identifies an elementwise operation with a generated lane
+// kernel. The values index laneKernels, so adding an op is one generator
+// entry in genmicro plus one constant here.
+type LaneOp int
+
+const (
+	LaneOpAdd LaneOp = iota
+	LaneOpSub
+	LaneOpMul
+	LaneOpDiv
+	LaneOpSqrt
+	numLaneOps
+)
+
+// LaneKernel returns the generated SoA kernel for op at expansion width
+// 2, 3, or 4 (float64 base type — the serving tier's configuration).
+func LaneKernel(op LaneOp, width int) LaneFn {
+	return laneKernels[op][width-2]
+}

@@ -6,6 +6,8 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+
+	"multifloats/internal/blas"
 )
 
 // Config parameterizes a differential campaign.
@@ -263,6 +265,44 @@ func runOp(e opEntry, cfg Config) OpReport {
 			} else {
 				out = CheckGemmBlocked(spec, a, b, cm, gemmN)
 			}
+		case kindLanes:
+			// One random base op per case; slab length randomized around
+			// the unroll factor so the unrolled body, the scalar tail, and
+			// the uneven-tail boundary all get hit.
+			base := laneBaseKinds[g.rng.Intn(len(laneBaseKinds))]
+			count := 1 + g.rng.Intn(2*blas.LaneWidth+3)
+			xs := make([][]float64, count)
+			ys := make([][]float64, count)
+			for i := range xs {
+				var x, y []float64
+				switch r := g.rng.Intn(20); {
+				case r < 10:
+					x, y = g.Pair(n, pick(g, addLeads))
+				case r < 13:
+					x, y = g.EdgeExpansion(n), g.EdgeExpansion(n)
+				case r < 16:
+					x, y = withSpecialLead(g, n), g.Expansion(n, 30)
+				default:
+					x, y = g.Expansion(n, pick(g, addLeads)), g.Expansion(n, pick(g, addLeads))
+				}
+				switch base {
+				case kindDiv:
+					// Mostly well-posed divisors; the rest keep whatever y
+					// fell out above, including zero leads (Inf/NaN path).
+					if g.rng.Intn(4) > 0 {
+						y = g.NonZero(n, pick(g, divLeads))
+					}
+				case kindSqrt:
+					// Mostly non-negative radicands; the rest exercise the
+					// negative-input NaN path.
+					if g.rng.Intn(4) > 0 {
+						x = g.Positive(n, pick(g, sqrtLeads))
+					}
+				}
+				xs[i], ys[i] = x, y
+			}
+			input = append(append([][]float64{}, xs...), ys...)
+			out = CheckLanes(spec, base, xs, ys)
 		}
 		or.Cases++
 		switch {

@@ -135,6 +135,7 @@ const (
 	kindGemv
 	kindGemm
 	kindGemmBlocked
+	kindLanes
 )
 
 // Campaign problem sizes for the accumulation kernels.
@@ -175,6 +176,7 @@ func registry() []opEntry {
 		add("gemv"+suffix, n, kindGemv, mulAccFloor[n], SourceMeasured, 2*(gemvM+1))
 		add("gemm"+suffix, n, kindGemm, mulAccFloor[n], SourceMeasured, 2*(gemmN+1))
 		add("gemm_blocked"+suffix, n, kindGemmBlocked, mulAccFloor[n], SourceMeasured, 2*(gemmN+1))
+		add("lanes"+suffix, n, kindLanes, 0, SourceExact, 0)
 	}
 	return ops
 }

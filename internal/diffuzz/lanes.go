@@ -1,0 +1,75 @@
+package diffuzz
+
+// Lane-kernel oracle entries: the generated SoA batch kernels of
+// internal/blas (the serving tier's slab executors) promise bit
+// parity — NaN payloads included — with the scalar public API, because
+// the remote-vs-local reproducibility contract rests on it. CheckLanes
+// runs a whole slab through the dispatch-table kernel and compares
+// element-wise against a scalar loop over mf.
+//
+// The slab length is randomized around the unroll factor so every
+// campaign exercises both the unrolled body and the scalar tail,
+// including the uneven-tail counts that caught historical off-by-one
+// layouts.
+
+import (
+	"fmt"
+	"math"
+
+	"multifloats/internal/blas"
+)
+
+// laneBaseKinds are the scalar op families the lane kernels cover; the
+// campaign picks one per case.
+var laneBaseKinds = []int{kindAdd, kindSub, kindMul, kindDiv, kindSqrt}
+
+// laneKindOps maps the campaign's base op kinds onto the lane dispatch
+// table.
+var laneKindOps = map[int]blas.LaneOp{
+	kindAdd:  blas.LaneOpAdd,
+	kindSub:  blas.LaneOpSub,
+	kindMul:  blas.LaneOpMul,
+	kindDiv:  blas.LaneOpDiv,
+	kindSqrt: blas.LaneOpSqrt,
+}
+
+// CheckLanes verifies the SoA lane kernel for baseKind at width
+// spec.Width against a scalar public-API loop on a slab of len(xs)
+// elements. The lane contract is exactness — there is no error budget —
+// so any component that is not bit-identical is a violation.
+func CheckLanes(spec OpSpec, baseKind int, xs, ys [][]float64) Outcome {
+	n := spec.Width
+	count := len(xs)
+	var x, y, z blas.SoA
+	for j := 0; j < n; j++ {
+		x[j] = make([]float64, count)
+		y[j] = make([]float64, count)
+		z[j] = make([]float64, count)
+	}
+	for i := 0; i < count; i++ {
+		for j := 0; j < n; j++ {
+			x[j][i] = xs[i][j]
+			if baseKind != kindSqrt {
+				y[j][i] = ys[i][j]
+			}
+		}
+	}
+	blas.LaneKernel(laneKindOps[baseKind], n)(&x, &y, &z, 0, count)
+	for i := 0; i < count; i++ {
+		var want []float64
+		if baseKind == kindSqrt {
+			want = unary(n, kindSqrt, xs[i])
+		} else {
+			want = binary(n, baseKind, xs[i], ys[i])
+		}
+		for j := 0; j < n; j++ {
+			if math.Float64bits(z[j][i]) != math.Float64bits(want[j]) {
+				return fail(math.Inf(1), math.Inf(-1), true,
+					fmt.Sprintf("%s: base kind %d, element %d of %d, component %d: lane %#x, scalar %#x (x=%v y=%v)",
+						spec.Name, baseKind, i, count, j,
+						math.Float64bits(z[j][i]), math.Float64bits(want[j]), xs[i], ys[i]))
+			}
+		}
+	}
+	return exactOutcome(true)
+}

@@ -4,141 +4,36 @@ import (
 	"fmt"
 
 	"multifloats/internal/blas"
-	"multifloats/internal/core"
 	"multifloats/serve/wire"
 )
 
-// Slab executors. Scalar batches arrive as flat component slabs (the
-// concatenation of every coalesced request's operands); the elementwise
-// kernels below run the same branch-free internal/core primitives the
-// public mf API uses, so a remote result is bit-identical to the
-// corresponding in-process call no matter how requests were batched.
-// The slab is split across the internal/blas worker pool.
+// Slab executors. Scalar batches are assembled as structure-of-arrays
+// slabs (one contiguous plane per expansion component — see
+// internal/blas/soa.go) and run through the generated multi-lane
+// kernels, which transcribe the internal/core gate networks verbatim —
+// so a remote result is bit-identical to the corresponding in-process
+// call no matter how requests were batched. The slab is split across
+// the internal/blas worker pool.
 
-// execScalarSlab computes out[i] = op(x[i], y[i]) elementwise over
-// width-w expansions stored in flat slabs. len(out) == len(x); y is
-// ignored for unary ops.
-func execScalarSlab(op wire.Op, width int, x, y, out []float64, workers int) {
-	count := len(x) / width
-	var body func(lo, hi int)
-	switch width {
-	case 2:
-		switch op {
-		case wire.OpAdd:
-			body = func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					out[2*i], out[2*i+1] = core.Add2(x[2*i], x[2*i+1], y[2*i], y[2*i+1])
-				}
-			}
-		case wire.OpSub:
-			body = func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					out[2*i], out[2*i+1] = core.Sub2(x[2*i], x[2*i+1], y[2*i], y[2*i+1])
-				}
-			}
-		case wire.OpMul:
-			body = func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					out[2*i], out[2*i+1] = core.Mul2(x[2*i], x[2*i+1], y[2*i], y[2*i+1])
-				}
-			}
-		case wire.OpDiv:
-			body = func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					out[2*i], out[2*i+1] = core.Div2(x[2*i], x[2*i+1], y[2*i], y[2*i+1])
-				}
-			}
-		case wire.OpSqrt:
-			body = func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					out[2*i], out[2*i+1] = core.Sqrt2(x[2*i], x[2*i+1])
-				}
-			}
-		}
-	case 3:
-		switch op {
-		case wire.OpAdd:
-			body = func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					out[3*i], out[3*i+1], out[3*i+2] = core.Add3(
-						x[3*i], x[3*i+1], x[3*i+2], y[3*i], y[3*i+1], y[3*i+2])
-				}
-			}
-		case wire.OpSub:
-			body = func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					out[3*i], out[3*i+1], out[3*i+2] = core.Sub3(
-						x[3*i], x[3*i+1], x[3*i+2], y[3*i], y[3*i+1], y[3*i+2])
-				}
-			}
-		case wire.OpMul:
-			body = func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					out[3*i], out[3*i+1], out[3*i+2] = core.Mul3(
-						x[3*i], x[3*i+1], x[3*i+2], y[3*i], y[3*i+1], y[3*i+2])
-				}
-			}
-		case wire.OpDiv:
-			body = func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					out[3*i], out[3*i+1], out[3*i+2] = core.Div3(
-						x[3*i], x[3*i+1], x[3*i+2], y[3*i], y[3*i+1], y[3*i+2])
-				}
-			}
-		case wire.OpSqrt:
-			body = func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					out[3*i], out[3*i+1], out[3*i+2] = core.Sqrt3(x[3*i], x[3*i+1], x[3*i+2])
-				}
-			}
-		}
-	case 4:
-		switch op {
-		case wire.OpAdd:
-			body = func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					out[4*i], out[4*i+1], out[4*i+2], out[4*i+3] = core.Add4(
-						x[4*i], x[4*i+1], x[4*i+2], x[4*i+3],
-						y[4*i], y[4*i+1], y[4*i+2], y[4*i+3])
-				}
-			}
-		case wire.OpSub:
-			body = func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					out[4*i], out[4*i+1], out[4*i+2], out[4*i+3] = core.Sub4(
-						x[4*i], x[4*i+1], x[4*i+2], x[4*i+3],
-						y[4*i], y[4*i+1], y[4*i+2], y[4*i+3])
-				}
-			}
-		case wire.OpMul:
-			body = func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					out[4*i], out[4*i+1], out[4*i+2], out[4*i+3] = core.Mul4(
-						x[4*i], x[4*i+1], x[4*i+2], x[4*i+3],
-						y[4*i], y[4*i+1], y[4*i+2], y[4*i+3])
-				}
-			}
-		case wire.OpDiv:
-			body = func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					out[4*i], out[4*i+1], out[4*i+2], out[4*i+3] = core.Div4(
-						x[4*i], x[4*i+1], x[4*i+2], x[4*i+3],
-						y[4*i], y[4*i+1], y[4*i+2], y[4*i+3])
-				}
-			}
-		case wire.OpSqrt:
-			body = func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					out[4*i], out[4*i+1], out[4*i+2], out[4*i+3] = core.Sqrt4(
-						x[4*i], x[4*i+1], x[4*i+2], x[4*i+3])
-				}
-			}
-		}
-	}
-	if body == nil {
-		panic(fmt.Sprintf("execScalarSlab: unreachable op/width %v/%d", op, width))
-	}
-	blas.Parallel(count, workers, body)
+// soaLaneOps maps the scalar wire ops onto the generated lane kernels.
+// Adding a scalar op is one entry here (plus its blas.LaneOp constant
+// and generator case); the executor below needs no change.
+var soaLaneOps = [...]blas.LaneOp{
+	wire.OpAdd:  blas.LaneOpAdd,
+	wire.OpSub:  blas.LaneOpSub,
+	wire.OpMul:  blas.LaneOpMul,
+	wire.OpDiv:  blas.LaneOpDiv,
+	wire.OpSqrt: blas.LaneOpSqrt,
+}
+
+// execSoASlab computes z[i] = op(x[i], y[i]) elementwise over count
+// width-w expansions held in SoA planes (y is ignored for unary ops).
+// op must be a validated scalar op (admission checks wire.Op.Scalar()).
+func execSoASlab(op wire.Op, width int, x, y, z *blas.SoA, count, workers int) {
+	kern := blas.LaneKernel(soaLaneOps[op], width)
+	blas.Parallel(count, workers, func(lo, hi int) {
+		kern(x, y, z, lo, hi)
+	})
 }
 
 // execBlas runs a validated BLAS request on the specialized kernels —

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"multifloats/internal/blas"
 	"multifloats/serve/wire"
 )
 
@@ -141,11 +142,77 @@ func (l *lane) drain() {
 	}
 }
 
+// soaBatch is one flush's pooled slab assembly: a single backing buffer
+// partitioned into the x, y, z component planes of a width-w SoA slab
+// plus the interleaved output area the responses point into. Recycling
+// the whole assembly keeps the flush path allocation-free in steady
+// state (the map and Response headers in exec are the only per-flush
+// allocations left).
+type soaBatch struct {
+	buf     []float64
+	x, y, z blas.SoA
+	out     []float64
+}
+
+var soaBatchPool = sync.Pool{New: func() any { return new(soaBatch) }}
+
+// getSoABatch returns an assembly sized for elems width-w expansions:
+// planes x[j], y[j], z[j] (j < w; the rest nil) of elems values each,
+// and out with room for the elems·w interleaved results.
+func getSoABatch(w, elems int) *soaBatch {
+	b := soaBatchPool.Get().(*soaBatch)
+	need := 4 * w * elems
+	if cap(b.buf) < need {
+		b.buf = make([]float64, need)
+	}
+	buf := b.buf[:need]
+	for j := range b.x {
+		if j < w {
+			b.x[j] = buf[j*elems : (j+1)*elems]
+			b.y[j] = buf[(w+j)*elems : (w+j+1)*elems]
+			b.z[j] = buf[(2*w+j)*elems : (2*w+j+1)*elems]
+		} else {
+			b.x[j], b.y[j], b.z[j] = nil, nil, nil
+		}
+	}
+	b.out = buf[3*w*elems : 4*w*elems]
+	return b
+}
+
+func putSoABatch(b *soaBatch) { soaBatchPool.Put(b) }
+
+// gatherSoA deinterleaves one request's wire-format operand slab
+// (len(src)/w expansions, component j of element i at src[i*w+j]) into
+// the batch planes starting at element offset off. Batch assembly
+// writes each operand straight from the request buffer into its plane —
+// there is never an intermediate interleaved slab to transpose.
+func gatherSoA(dst *blas.SoA, w, off int, src []float64) {
+	n := len(src) / w
+	for j := 0; j < w; j++ {
+		p := dst[j][off : off+n]
+		for i := range p {
+			p[i] = src[i*w+j]
+		}
+	}
+}
+
+// scatterSoA interleaves elems results from the z planes into the
+// wire-format output slab.
+func scatterSoA(dst []float64, w int, src *blas.SoA, elems int) {
+	for j := 0; j < w; j++ {
+		p := src[j][:elems]
+		for i, v := range p {
+			dst[i*w+j] = v
+		}
+	}
+}
+
 // exec runs one batch: expired members are answered StatusDeadlineExceeded
 // without executing (their ctx carries the per-request deadline); live
-// members' slabs are concatenated, executed once across the pool, and the
-// results scattered back. Responses are buffered per connection and each
-// touched connection is flushed exactly once.
+// members' operands are gathered into one SoA slab, executed once across
+// the pool by the generated lane kernels, and the results scattered back.
+// Responses are buffered per connection and each touched connection is
+// flushed exactly once.
 func (l *lane) exec(batch []*pending) {
 	live := batch[:0:len(batch)]
 	var elems int
@@ -168,27 +235,27 @@ func (l *lane) exec(batch []*pending) {
 		live = append(live, p)
 		elems += p.count
 	}
+	var sb *soaBatch
 	if len(live) > 0 {
 		l.s.stats.batch(int64(len(live)), int64(elems))
 		w := l.width
-		x := make([]float64, 0, elems*w)
-		var y []float64
-		for _, p := range live {
-			x = append(x, p.x...)
-		}
-		if !l.op.Unary() {
-			y = make([]float64, 0, elems*w)
-			for _, p := range live {
-				y = append(y, p.y...)
-			}
-		}
-		out := make([]float64, elems*w)
-		execScalarSlab(l.op, w, x, y, out, l.s.cfg.Workers)
+		sb = getSoABatch(w, elems)
+		unary := l.op.Unary()
 		off := 0
 		for _, p := range live {
+			gatherSoA(&sb.x, w, off, p.x)
+			if !unary {
+				gatherSoA(&sb.y, w, off, p.y)
+			}
+			off += p.count
+		}
+		execSoASlab(l.op, w, &sb.x, &sb.y, &sb.z, elems, l.s.cfg.Workers)
+		scatterSoA(sb.out, w, &sb.z, elems)
+		fo := 0
+		for _, p := range live {
 			n := p.count * w
-			byConn[p.c] = append(byConn[p.c], wire.Response{ID: p.id, Status: wire.StatusOK, Data: out[off : off+n]})
-			off += n
+			byConn[p.c] = append(byConn[p.c], wire.Response{ID: p.id, Status: wire.StatusOK, Data: sb.out[fo : fo+n]})
+			fo += n
 			p.cancel()
 		}
 	}
@@ -196,5 +263,11 @@ func (l *lane) exec(batch []*pending) {
 	// connection, however many batch members it contributed.
 	for c, resps := range byConn {
 		c.writeResponses(resps)
+	}
+	if sb != nil {
+		// Safe to recycle: writeResponses serializes each response's Data
+		// into the connection's buffered writer before returning, so no
+		// reference to sb.out survives the loop above.
+		putSoABatch(sb)
 	}
 }
