@@ -66,10 +66,11 @@ test:
 
 # race exercises the persistent worker pool, panel recycling, and the
 # parallel blocked/tiled paths under the race detector, plus the public
-# API package and the mfserve stack (wire framing, batching server incl.
-# the e2e loopback parity tests, pooled client).
+# API package, the exact-reduction accumulator (whose server folds shard
+# across goroutines), and the mfserve stack (wire framing, batching
+# server incl. the e2e loopback parity tests, pooled client).
 race:
-	$(GO) test -race ./internal/blas/ ./mf/ ./serve/...
+	$(GO) test -race ./internal/blas/ ./internal/exact/ ./mf/ ./serve/...
 
 # fuzz-smoke gives each native fuzz target a short budget (the go fuzzer
 # accepts one target per invocation). CI runs this on every push; longer
@@ -85,9 +86,12 @@ fuzz-smoke:
 	$(GO) test ./internal/blas -run '^$$' -fuzz '^FuzzGemm$$' -fuzztime $(FUZZTIME)
 
 # conformance runs a short differential campaign against the exact
-# mpfloat oracle; nonzero exit on any error-bound violation (TESTING.md).
+# mpfloat oracle (the registry includes the sumexact/dotexact zero-ulp
+# entries), then the superaccumulator's order-invariance tier; nonzero
+# exit on any error-bound violation (TESTING.md).
 conformance:
 	$(GO) run ./cmd/mffuzz -n 400 -blas 5
+	$(GO) test -count=1 ./internal/exact/
 
 # bench-smoke is a fast sanity pass over the scalar-kernel benchmarks.
 bench-smoke:
@@ -125,6 +129,7 @@ serve-smoke:
 # a serialized batch path, a per-request allocation storm, a broken
 # batching config — not on runner noise.
 PERF_SMOKE_MIN_RPS ?= 50000
+REDUCE_SMOKE_MIN_RPS ?= 20000
 perf-smoke:
 	$(GO) build -o /tmp/mfserved ./cmd/mfserved
 	$(GO) build -o /tmp/mfload ./cmd/mfload
@@ -134,6 +139,11 @@ perf-smoke:
 	/tmp/mfload -addr 127.0.0.1:7334 -duration 10s -conns 2 -pipeline 256 \
 		-count 1 -op mul -width 2 -deadline 2s -gate -min-rps $(PERF_SMOKE_MIN_RPS); \
 	RC=$$?; \
+	if [ $$RC -eq 0 ]; then \
+		/tmp/mfload -addr 127.0.0.1:7334 -duration 10s -conns 2 -pipeline 256 \
+			-count 64 -mix reduce -deadline 2s -gate -min-rps $(REDUCE_SMOKE_MIN_RPS); \
+		RC=$$?; \
+	fi; \
 	kill -TERM $$SERVED; wait $$SERVED; \
 	exit $$RC
 

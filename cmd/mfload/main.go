@@ -9,6 +9,12 @@
 //	       [-duration 5s] [-json] [-out file] [-gate]
 //	mfload -compare [-duration 5s] [-out BENCH_serve.json] ...
 //
+// Besides the scalar ops, -op also accepts the exact reductions
+// (sumexact, dotexact; width 1..4), driven as single-chunk final frames
+// so each request is one complete reduction. -mix reduce drives all
+// eight reduction shapes; the -compare report carries a third
+// "reductions" leg so BENCH_serve.json covers them too.
+//
 // -gate exits nonzero if any protocol errors or deadline misses occur —
 // the CI smoke contract. -compare ignores -addr: it boots two in-process
 // servers, one with batching enabled (max-batch 256, 200µs window) and
@@ -134,17 +140,29 @@ func parseSpecs(mix, opName string, width int) ([]opSpec, error) {
 		if err != nil {
 			return nil, err
 		}
-		if !op.Scalar() {
-			return nil, fmt.Errorf("op %q is not a scalar op", opName)
+		if !op.Scalar() && !op.Reduction() {
+			return nil, fmt.Errorf("op %q is not a scalar op or reduction", opName)
 		}
-		if width < 2 || width > 4 {
-			return nil, fmt.Errorf("width %d out of range [2,4]", width)
+		minWidth := 2
+		if op.Reduction() {
+			minWidth = 1
+		}
+		if width < minWidth || width > 4 {
+			return nil, fmt.Errorf("width %d out of range [%d,4]", width, minWidth)
 		}
 		return []opSpec{{op, width}}, nil
 	case "scalar":
 		var specs []opSpec
 		for _, op := range []wire.Op{wire.OpAdd, wire.OpSub, wire.OpMul, wire.OpDiv, wire.OpSqrt} {
 			for w := 2; w <= 4; w++ {
+				specs = append(specs, opSpec{op, w})
+			}
+		}
+		return specs, nil
+	case "reduce":
+		var specs []opSpec
+		for _, op := range []wire.Op{wire.OpSumExact, wire.OpDotExact} {
+			for w := 1; w <= 4; w++ {
 				specs = append(specs, opSpec{op, w})
 			}
 		}
@@ -179,7 +197,9 @@ func makePayloads(specs []opSpec, count int) []payload {
 	ps := make([]payload, len(specs))
 	for i, sp := range specs {
 		ps[i] = payload{spec: sp, x: gen(sp.width)}
-		if !sp.op.Unary() {
+		// Second operand: binary scalar ops and dotexact; sumexact (like
+		// the unary ops) carries only X — Validate rejects a stray Y.
+		if sp.op == wire.OpDotExact || (!sp.op.Reduction() && !sp.op.Unary()) {
 			ps[i].y = gen(sp.width)
 		}
 	}
@@ -300,6 +320,12 @@ func driveConn(ctx context.Context, cfg loadConfig, payloads []payload, seed int
 				Count: cfg.count,
 				X:     p.x,
 				Y:     p.y,
+			}
+			if p.spec.op.Reduction() {
+				// Single-chunk reductions: each request is a complete
+				// stream, so pipelined IDs never collide with open
+				// accumulator state on the server.
+				req.M = wire.FlagReduceFinal
 			}
 			if cfg.deadline > 0 {
 				req.Deadline = time.Now().Add(cfg.deadline)
@@ -426,7 +452,7 @@ func runCompare(cfg loadConfig, outFile string, gate bool) {
 	batched := server.Config{BatchWindow: 200 * time.Microsecond, MaxBatch: 256}
 	unbatched := server.Config{BatchWindow: -1, MaxBatch: 1} // negative window: flush on arrival
 
-	runLeg := func(name string, scfg server.Config) *loadResult {
+	runLeg := func(name string, scfg server.Config, legCfg loadConfig) *loadResult {
 		scfg.Addr = "127.0.0.1:0"
 		s := server.New(scfg)
 		if err := s.Listen(); err != nil {
@@ -434,7 +460,6 @@ func runCompare(cfg loadConfig, outFile string, gate bool) {
 		}
 		done := make(chan error, 1)
 		go func() { done <- s.Serve() }()
-		legCfg := cfg
 		legCfg.addr = s.Addr().String()
 		res, err := runLoad(legCfg)
 		if err != nil {
@@ -457,26 +482,38 @@ func runCompare(cfg loadConfig, outFile string, gate bool) {
 	}
 
 	// Unbatched first so the batched leg cannot ride its page/pool warmup.
-	ub := runLeg("unbatched", unbatched)
-	b := runLeg("batched", batched)
+	ub := runLeg("unbatched", unbatched, cfg)
+	b := runLeg("batched", batched, cfg)
+
+	// Third leg: the exact reductions, on a default server. They bypass
+	// the batcher (chunks fold on the connection goroutine), so the
+	// batched/unbatched ratio does not apply — this leg exists so
+	// BENCH_serve.json carries a throughput figure for them and the
+	// perf-smoke gate notices a reduction-path regression.
+	redCfg := cfg
+	redCfg.specs, _ = parseSpecs("reduce", "", 0)
+	red := runLeg("reductions", server.Config{}, redCfg)
 
 	speedup := 0.0
 	if ub.ThroughputRPS > 0 {
 		speedup = b.ThroughputRPS / ub.ThroughputRPS
 	}
 	report := map[string]any{
-		"bench":     "E-Serve",
-		"config":    configJSON(cfg),
-		"unbatched": ub,
-		"batched":   b,
-		"speedup":   speedup,
+		"bench":      "E-Serve",
+		"config":     configJSON(cfg),
+		"unbatched":  ub,
+		"batched":    b,
+		"reductions": red,
+		"speedup":    speedup,
 	}
 	emit(report, outFile, true)
 	printHuman("unbatched", ub)
 	printHuman("batched", b)
+	printHuman("reductions", red)
 	fmt.Printf("speedup (batched/unbatched): %.2fx\n", speedup)
 	gateExit(gate, 0, ub)
 	gateExit(gate, 0, b)
+	gateExit(gate, 0, red)
 }
 
 func configJSON(cfg loadConfig) map[string]any {

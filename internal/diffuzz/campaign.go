@@ -108,7 +108,8 @@ func runOp(e opEntry, cfg Config) OpReport {
 	n := spec.Width
 	cases := cfg.Cases
 	switch e.kind {
-	case kindDot, kindAxpy, kindGemv, kindGemm, kindGemmBlocked:
+	case kindDot, kindAxpy, kindGemv, kindGemm, kindGemmBlocked,
+		kindSumExact, kindDotExact:
 		cases = cfg.BlasCases
 	}
 	for c := 0; c < cases; c++ {
@@ -265,6 +266,12 @@ func runOp(e opEntry, cfg Config) OpReport {
 			} else {
 				out = CheckGemmBlocked(spec, a, b, cm, gemmN)
 			}
+		case kindSumExact:
+			out = CheckSumExact(spec, g.ReduceVector(n, reduceLen))
+		case kindDotExact:
+			x := g.ReduceVector(n, reduceLen)
+			y := g.ReduceVector(n, reduceLen)
+			out = CheckDotExact(spec, x, y)
 		case kindLanes:
 			// One random base op per case; slab length randomized around
 			// the unroll factor so the unrolled body, the scalar tail, and

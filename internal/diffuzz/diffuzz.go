@@ -136,6 +136,8 @@ const (
 	kindGemm
 	kindGemmBlocked
 	kindLanes
+	kindSumExact
+	kindDotExact
 )
 
 // Campaign problem sizes for the accumulation kernels.
@@ -145,6 +147,10 @@ const (
 	gemvN   = 11
 	gemvM   = 17
 	gemmN   = 13 // odd: exercises the blocked kernels' edge tiles
+	// reduceLen is the element count per exact-reduction case; the
+	// superaccumulator contract is length-independent, so a modest length
+	// buys more regimes per campaign rather than deeper single cases.
+	reduceLen = 64
 )
 
 // opKind maps a registry entry to its dispatch family.
@@ -177,6 +183,13 @@ func registry() []opEntry {
 		add("gemm"+suffix, n, kindGemm, mulAccFloor[n], SourceMeasured, 2*(gemmN+1))
 		add("gemm_blocked"+suffix, n, kindGemmBlocked, mulAccFloor[n], SourceMeasured, 2*(gemmN+1))
 		add("lanes"+suffix, n, kindLanes, 0, SourceExact, 0)
+	}
+	// Exact reductions (internal/exact) additionally support width 1:
+	// plain float64 streams. Correct rounding means a zero error budget.
+	for n := 1; n <= 4; n++ {
+		suffix := string(rune('0' + n))
+		add("sumexact"+suffix, n, kindSumExact, 0, SourceExact, 0)
+		add("dotexact"+suffix, n, kindDotExact, 0, SourceExact, 0)
 	}
 	return ops
 }

@@ -1,0 +1,281 @@
+package diffuzz
+
+// Exact-reduction oracle entries (internal/exact): SumExact/DotExact
+// promise the correctly rounded value of the exact sum — a zero-ulp
+// budget, SourceExact — plus bit-identical results under any
+// permutation or Merge split of the same terms. Each case therefore
+// checks three contracts at once: the rounded value against an mpfloat
+// evaluation of the exact sum, permutation invariance (the reversed
+// stream), and Merge associativity (a two-accumulator split).
+//
+// Unlike the expansion ops there is no exponent threshold and no edge
+// regime: the superaccumulator covers the entire product exponent
+// range, so every finite case is in-threshold and enforced.
+
+import (
+	"fmt"
+	"math"
+
+	"multifloats/internal/exact"
+	"multifloats/internal/mpfloat"
+	"multifloats/mf"
+)
+
+// reduceOraclePrec makes every oracle partial sum exact: dot terms are
+// exact double products (magnitudes up to 2^2047, ulps down to
+// 2^-4296), so ~4300 bits suffice and 4800 leaves margin.
+const reduceOraclePrec = 4800
+
+// reduceFlags mirrors the accumulator's IEEE special collapse state.
+type reduceFlags struct{ nan, pinf, ninf bool }
+
+// special returns the collapsed result when any special was seen.
+func (f reduceFlags) special() (float64, bool) {
+	switch {
+	case f.nan || (f.pinf && f.ninf):
+		return math.NaN(), true
+	case f.pinf:
+		return math.Inf(1), true
+	case f.ninf:
+		return math.Inf(-1), true
+	}
+	return 0, false
+}
+
+// reduceOracleSum folds every component of v into an exact mpfloat sum,
+// routing specials to the flags.
+func reduceOracleSum(v [][]float64) (*mpfloat.Float, reduceFlags) {
+	acc := mpfloat.New(reduceOraclePrec)
+	t := mpfloat.New(reduceOraclePrec)
+	var fl reduceFlags
+	for _, e := range v {
+		for _, x := range e {
+			switch {
+			case math.IsNaN(x):
+				fl.nan = true
+			case math.IsInf(x, 1):
+				fl.pinf = true
+			case math.IsInf(x, -1):
+				fl.ninf = true
+			default:
+				acc.Add(acc, t.SetFloat64(x))
+			}
+		}
+	}
+	return acc, fl
+}
+
+// reduceOracleDot folds the w² per-element cross products x[i][a]·y[i][b]
+// — the expansion-operand dot — with IEEE product semantics per term.
+func reduceOracleDot(x, y [][]float64) (*mpfloat.Float, reduceFlags) {
+	acc := mpfloat.New(reduceOraclePrec)
+	a := mpfloat.New(reduceOraclePrec)
+	b := mpfloat.New(reduceOraclePrec)
+	p := mpfloat.New(reduceOraclePrec)
+	var fl reduceFlags
+	for i := range x {
+		for _, xa := range x[i] {
+			for _, yb := range y[i] {
+				switch {
+				case math.IsNaN(xa) || math.IsNaN(yb):
+					fl.nan = true
+				case math.IsInf(xa, 0) || math.IsInf(yb, 0):
+					if xa == 0 || yb == 0 {
+						fl.nan = true // Inf · 0
+					} else if math.Signbit(xa) != math.Signbit(yb) {
+						fl.ninf = true
+					} else {
+						fl.pinf = true
+					}
+				case xa != 0 && yb != 0:
+					p.Mul(a.SetFloat64(xa), b.SetFloat64(yb))
+					acc.Add(acc, p)
+				}
+			}
+		}
+	}
+	return acc, fl
+}
+
+// reduceOracleExpand greedily rounds the exact value to a width-w
+// canonical expansion — t₀ = RN(v), t₁ = RN(v−t₀), … — the contract
+// SumExpansion implements. Specials collapse to a leading special with
+// zero tails. Float64's signed-zero behavior matches the accumulator's
+// (+0 for an exact zero, −0 when a negative residual rounds to zero),
+// so the comparison below can stay strictly bit-for-bit.
+func reduceOracleExpand(acc *mpfloat.Float, fl reduceFlags, w int) []float64 {
+	out := make([]float64, w)
+	if s, ok := fl.special(); ok {
+		out[0] = s
+		return out
+	}
+	rem := mpfloat.New(reduceOraclePrec).Set(acc)
+	t := mpfloat.New(reduceOraclePrec)
+	for i := 0; i < w; i++ {
+		f := rem.Float64()
+		out[i] = f
+		if f == 0 || math.IsInf(f, 0) {
+			break
+		}
+		rem.Sub(rem, t.SetFloat64(f))
+	}
+	return out
+}
+
+// reduceFlatten concatenates the per-element components into the wire
+// slab layout (element-major, leading component first).
+func reduceFlatten(v [][]float64) []float64 {
+	flat := make([]float64, 0, len(v)*len(v[0]))
+	for _, e := range v {
+		flat = append(flat, e...)
+	}
+	return flat
+}
+
+func toF2s(v [][]float64) []mf.Float64x2 {
+	out := make([]mf.Float64x2, len(v))
+	for i, e := range v {
+		out[i] = toF2(e)
+	}
+	return out
+}
+
+func toF3s(v [][]float64) []mf.Float64x3 {
+	out := make([]mf.Float64x3, len(v))
+	for i, e := range v {
+		out[i] = toF3(e)
+	}
+	return out
+}
+
+func toF4s(v [][]float64) []mf.Float64x4 {
+	out := make([]mf.Float64x4, len(v))
+	for i, e := range v {
+		out[i] = toF4(e)
+	}
+	return out
+}
+
+// sumExactOf runs the width-n public SumExact entry point.
+func sumExactOf(n int, v [][]float64) []float64 {
+	switch n {
+	case 1:
+		return []float64{exact.Sum(reduceFlatten(v))}
+	case 2:
+		r := exact.Sum2(toF2s(v))
+		return r[:]
+	case 3:
+		r := exact.Sum3(toF3s(v))
+		return r[:]
+	default:
+		r := exact.Sum4(toF4s(v))
+		return r[:]
+	}
+}
+
+// dotExactOf runs the width-n public DotExact entry point.
+func dotExactOf(n int, x, y [][]float64) []float64 {
+	switch n {
+	case 1:
+		return []float64{exact.Dot(reduceFlatten(x), reduceFlatten(y))}
+	case 2:
+		r := exact.Dot2(toF2s(x), toF2s(y))
+		return r[:]
+	case 3:
+		r := exact.Dot3(toF3s(x), toF3s(y))
+		return r[:]
+	default:
+		r := exact.Dot4(toF4s(x), toF4s(y))
+		return r[:]
+	}
+}
+
+func reduceReverse(v [][]float64) [][]float64 {
+	out := make([][]float64, len(v))
+	for i, e := range v {
+		out[len(v)-1-i] = e
+	}
+	return out
+}
+
+// sameBits compares expansions component-by-component, NaN payloads and
+// zero signs included.
+func sameBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// reduceOutcome classifies a passing case (specials route to the
+// collapse-contract bucket) or formats the violation.
+func reduceOutcome(spec OpSpec, fl reduceFlags, got, want []float64, what string) Outcome {
+	if !sameBits(got, want) {
+		return fail(math.Inf(1), math.Inf(-1), true,
+			fmt.Sprintf("%s: %s: got %v, want %v", spec.Name, what, got, want))
+	}
+	if _, ok := fl.special(); ok {
+		return Outcome{Special: true, OK: true, ErrBits: math.Inf(1)}
+	}
+	return exactOutcome(true)
+}
+
+// CheckSumExact verifies SumExact at width spec.Width on one term
+// vector: correctly rounded expansion vs the oracle, bit parity under
+// reversal, and bit parity of a split-and-Merge evaluation.
+func CheckSumExact(spec OpSpec, v [][]float64) Outcome {
+	n := spec.Width
+	accO, fl := reduceOracleSum(v)
+	want := reduceOracleExpand(accO, fl, n)
+	got := sumExactOf(n, v)
+	if out := reduceOutcome(spec, fl, got, want, "vs oracle"); !out.OK {
+		return out
+	}
+	if rev := sumExactOf(n, reduceReverse(v)); !sameBits(rev, got) {
+		return fail(math.Inf(1), math.Inf(-1), true,
+			fmt.Sprintf("%s: reversed stream: got %v, want %v", spec.Name, rev, got))
+	}
+	flat := reduceFlatten(v)
+	cut := len(flat) / 3
+	var a, b exact.Accumulator
+	a.AddValues(flat[:cut])
+	b.AddValues(flat[cut:])
+	a.Merge(&b)
+	if merged := a.SumExpansion(n); !sameBits(merged, got) {
+		return fail(math.Inf(1), math.Inf(-1), true,
+			fmt.Sprintf("%s: split-and-merge: got %v, want %v", spec.Name, merged, got))
+	}
+	return reduceOutcome(spec, fl, got, want, "vs oracle")
+}
+
+// CheckDotExact verifies DotExact at width spec.Width on one operand
+// pair, with the same three contracts as CheckSumExact.
+func CheckDotExact(spec OpSpec, x, y [][]float64) Outcome {
+	n := spec.Width
+	accO, fl := reduceOracleDot(x, y)
+	want := reduceOracleExpand(accO, fl, n)
+	got := dotExactOf(n, x, y)
+	if out := reduceOutcome(spec, fl, got, want, "vs oracle"); !out.OK {
+		return out
+	}
+	if rev := dotExactOf(n, reduceReverse(x), reduceReverse(y)); !sameBits(rev, got) {
+		return fail(math.Inf(1), math.Inf(-1), true,
+			fmt.Sprintf("%s: reversed stream: got %v, want %v", spec.Name, rev, got))
+	}
+	fx, fy := reduceFlatten(x), reduceFlatten(y)
+	cut := (len(x) / 3) * n
+	var a, b exact.Accumulator
+	a.AddDotSlab(n, fx[:cut], fy[:cut])
+	b.AddDotSlab(n, fx[cut:], fy[cut:])
+	a.Merge(&b)
+	if merged := a.SumExpansion(n); !sameBits(merged, got) {
+		return fail(math.Inf(1), math.Inf(-1), true,
+			fmt.Sprintf("%s: split-and-merge: got %v, want %v", spec.Name, merged, got))
+	}
+	return reduceOutcome(spec, fl, got, want, "vs oracle")
+}

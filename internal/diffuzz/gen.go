@@ -150,6 +150,79 @@ func (g *Gen) BlasElement(n int) []float64 {
 	return x
 }
 
+// ReduceVector generates one exact-reduction operand: count elements of
+// n components each. The superaccumulator has no nonoverlap
+// precondition — every component is just a term of the exact sum — so
+// unlike the expansion generators this one is free to emit arbitrary
+// hostile floats. Regimes target the accumulator's distinct failure
+// surfaces: massive cancellation (fold-down must find the surviving low
+// bits), subnormal swarms (the bottom bins and the gradual-underflow
+// rounding path), 2^k exponent spreads (terms landing in disjoint bins,
+// maximal carry distance), and IEEE specials (the collapse flags).
+func (g *Gen) ReduceVector(n, count int) [][]float64 {
+	v := make([][]float64, count)
+	for i := range v {
+		v[i] = make([]float64, n)
+	}
+	flat := func(f func(k int) float64) {
+		k := 0
+		for i := range v {
+			for j := range v[i] {
+				v[i][j] = f(k)
+				k++
+			}
+		}
+	}
+	switch g.rng.Intn(6) {
+	case 0: // cancellation chains: ±t pairs, a few survivors in the noise
+		var prev float64
+		flat(func(k int) float64 {
+			if k%2 == 1 && g.rng.Intn(8) > 0 {
+				return -prev
+			}
+			prev = genTerm(g.rng.Intn(2) == 0, g.mantissa(), g.rng.Intn(400)-200)
+			if g.rng.Intn(4) == 0 {
+				// Near-cancellation: differ only in the last mantissa bit.
+				prev = math.Float64frombits(math.Float64bits(prev) ^ 1)
+			}
+			return prev
+		})
+	case 1: // subnormal swarm
+		flat(func(int) float64 {
+			return genTerm(g.rng.Intn(2) == 0, g.rng.Uint64()&(1<<52-1)|1, -1074+g.rng.Intn(10))
+		})
+	case 2: // 2^k spread: exponents ≥ 53 apart, every term in its own bins
+		e := -1000
+		flat(func(int) float64 {
+			e += 53 + g.rng.Intn(17)
+			if e > 1000 {
+				e = -1000 + g.rng.Intn(60)
+			}
+			return genTerm(g.rng.Intn(2) == 0, g.mantissa(), e)
+		})
+	case 3: // specials sprinkled into a normal mix
+		flat(func(int) float64 {
+			if g.rng.Intn(2*count) == 0 {
+				return g.SpecialValue()
+			}
+			return genTerm(g.rng.Intn(2) == 0, g.mantissa(), g.rng.Intn(200)-100)
+		})
+	case 4: // near-overflow terms: finite inputs whose exact sum can
+		// exceed float64 range — the fold must round to ±Inf exactly
+		flat(func(int) float64 {
+			return genTerm(g.rng.Intn(2) == 0, g.mantissa(), 960+g.rng.Intn(59))
+		})
+	default: // mixed magnitudes with occasional exact zeros
+		flat(func(int) float64 {
+			if g.rng.Intn(16) == 0 {
+				return math.Copysign(0, float64(g.rng.Intn(2)*2-1))
+			}
+			return genTerm(g.rng.Intn(2) == 0, g.mantissa(), g.rng.Intn(1200)-900)
+		})
+	}
+	return v
+}
+
 // BlasVector fills a fresh length-m slice of width-n expansions.
 func (g *Gen) BlasVector(n, m int) [][]float64 {
 	v := make([][]float64, m)

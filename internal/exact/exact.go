@@ -1,0 +1,398 @@
+// Package exact implements an exponent-indexed superaccumulator: a
+// fixed-size integer accumulator that sums float64 values (and exact
+// float64·float64 products) with no rounding error at all, in O(1) time
+// per element and with branch-free bin updates.
+//
+// The design follows the exponent-indexed ("procrastinating")
+// accumulators of Liguori 2024 (PAPERS.md): the 2048-wide exponent range
+// of float64 — widened to the 4096-wide range of exact double products —
+// is split into 32-bit-wide bins, and each input's integer significand
+// is shattered into at most a few 32-bit chunks deposited into adjacent
+// bins. Deposits are plain int64 additions, so accumulation is exact,
+// commutative, and associative: the represented value is an integer
+// multiple of 2^-2148, independent of summation order, chunking, or
+// sharding. Carry propagation is procrastinated: each bin has 30 bits of
+// headroom above the 32-bit chunk, so carries need resolving only every
+// 2^30 deposits (renorm), keeping the hot path free of data-dependent
+// control flow (//mf:branchfree, machine-checked by mflint).
+//
+// Fold-down (Sum / SumExpansion) rounds the accumulated integer to a
+// float64 — or greedily to a width-w expansion, matching the canonical
+// decomposition the diffuzz oracle uses — correctly in the IEEE-754
+// round-to-nearest-even sense, Lefèvre-style: locate the leading bit,
+// read the 53-bit window, and decide the rounding from one guard bit
+// plus a sticky OR over everything below. See DESIGN.md §3.3 for the
+// layout and the rounding argument.
+//
+// Special values are tracked branch-free in three flag words (NaN seen,
+// +Inf seen, -Inf seen) with the IEEE collapse rules applied once at
+// fold-down; NaN results are always the canonical quiet NaN, so results
+// stay bit-comparable. An exact zero folds to +0 regardless of the signs
+// of the zeros that produced it (documented divergence from sequential
+// IEEE addition, which would yield -0 for a sum of negative zeros); a
+// nonzero value that rounds to zero keeps its sign.
+package exact
+
+import (
+	"math"
+	"math/bits"
+)
+
+const (
+	// chunkBits is the bin granularity: each bin holds a 32-bit chunk of
+	// the accumulated integer in an int64, leaving headroom for carries.
+	chunkBits = 32
+	chunkMask = 1<<chunkBits - 1
+
+	// binExp is the exponent of bit 0 of bin 0: the accumulator
+	// represents values as integer multiples of 2^binExp. The smallest
+	// magnitude an exact product of two float64s can have is
+	// (2^-1074)² = 2^-2148, so every finite float64 value (ulp ≥ 2^-1074)
+	// and every exact product lands on this grid with no rounding.
+	binExp = -2148
+
+	// binCount covers the full product exponent range. A product's
+	// highest deposited bit sits at position ≤ 4090+105+... < 4224
+	// (bin 131); bins 132–133 absorb renormalization carries. A carry
+	// out of the top bin would require |value| ≥ 2^(32·134+binExp) =
+	// 2^2140, unreachable before ~2^92 maximal deposits — far beyond any
+	// feasible op count — so the top carry word stays in {0, -1} (the
+	// two's-complement sign) whenever the accumulator is folded.
+	binCount = 134
+
+	// renormEvery bounds deposits between carry propagations. Each
+	// deposit adds a chunk of magnitude < 2^32 per bin, and block entry
+	// points may overshoot by one element (≤ 16 deposits), so bins stay
+	// below (2^30+16)·2^32 < 2^63 between renorms — no int64 overflow.
+	renormEvery = 1 << 30
+)
+
+// Accumulator is a superaccumulator. The zero value is an empty sum,
+// ready to use. It is not safe for concurrent use; for parallel
+// reductions give each worker its own Accumulator and combine with
+// Merge (the combined fold-down is bit-identical to sequential
+// accumulation in any order).
+type Accumulator struct {
+	bins [binCount]int64
+	// top accumulates carries propagated out of the last bin; after a
+	// renorm it is the two's-complement sign extension of the value.
+	top     int64
+	pending int // deposits since the last renorm
+	// Special-value flags (0 or 1), folded per IEEE at fold-down.
+	nan, pinf, ninf uint64
+}
+
+// Reset empties the accumulator for reuse.
+func (a *Accumulator) Reset() { *a = Accumulator{} }
+
+// decompose splits the IEEE-754 bit pattern b into an unsigned integer
+// significand m and an unbiased-shifted exponent u such that a finite
+// value is ±m·2^(u-1074) with u ∈ [0, 2045] — the uniform fixed-point
+// view that makes normals and subnormals a single branch-free case. For
+// Inf/NaN (flagged in the returns) m is masked to zero so the deposit
+// contributes nothing.
+//
+//mf:branchfree
+func decompose(b uint64) (m, u, sgnBit, nan, inf uint64) {
+	e := b >> 52 & 0x7FF
+	f := b & (1<<52 - 1)
+	nz := (e + 2047) >> 11  // 0 for zero/subnormal exponent, 1 otherwise
+	spec := (e + 1) >> 11   // 1 iff e == 0x7FF (Inf or NaN)
+	fnz := (f | (0 - f)) >> 63
+	m = (f | nz<<52) &^ (0 - spec)
+	u = e - nz // max(e,1)-1, branch-free
+	sgnBit = b >> 63
+	nan = spec & fnz
+	inf = spec &^ fnz
+	return
+}
+
+// add deposits one float64 into the bins: the ≤53-bit significand,
+// shifted into place, spans at most 3 adjacent 32-bit chunks. Callers
+// own the pending-deposit budget (see bump).
+//
+//mf:branchfree
+//mf:hotpath
+func (a *Accumulator) add(x float64) {
+	b := math.Float64bits(x)
+	m, u, sb, nan, inf := decompose(b)
+	a.nan |= nan
+	a.pinf |= inf & (1 - sb)
+	a.ninf |= inf & sb
+	q := u + 1074 // bit position of the value's ulp above 2^binExp
+	i := int(q >> 5)
+	s := q & 31
+	lo := m << s
+	hi := m >> (64 - s) // s == 0 shifts by 64: defined, yields 0
+	sgn := int64(1) - int64(sb<<1)
+	a.bins[i] += sgn * int64(lo&chunkMask)
+	a.bins[i+1] += sgn * int64(lo>>chunkBits)
+	a.bins[i+2] += sgn * int64(hi)
+}
+
+// addProd deposits the exact product x·y: the ≤106-bit integer product
+// of the two significands (bits.Mul64 — one widening multiply), shifted
+// into place, spans at most 5 adjacent chunks. Because the significands
+// multiply as integers, the deposit is exact even where TwoProd's error
+// term would underflow (products in or below the subnormal range).
+// IEEE special algebra (NaN operands, Inf·0 → NaN, Inf·finite → Inf
+// with XOR sign) is folded into the flag words branch-free.
+//
+//mf:branchfree
+//mf:hotpath
+func (a *Accumulator) addProd(x, y float64) {
+	mx, ux, sx, nanx, infx := decompose(math.Float64bits(x))
+	my, uy, sy, nany, infy := decompose(math.Float64bits(y))
+	zx := (((mx | (0 - mx)) >> 63) ^ 1) &^ (nanx | infx)
+	zy := (((my | (0 - my)) >> 63) ^ 1) &^ (nany | infy)
+	pnan := nanx | nany | (infx & zy) | (infy & zx)
+	pinf := (infx | infy) &^ pnan
+	sb := sx ^ sy
+	a.nan |= pnan
+	a.pinf |= pinf & (1 - sb)
+	a.ninf |= pinf & sb
+	hi, lo := bits.Mul64(mx, my)
+	q := ux + uy // product ulp position above 2^binExp: (ux-1074)+(uy-1074)+2148
+	i := int(q >> 5)
+	s := q & 31
+	plo := lo << s
+	pmid := hi<<s | lo>>(64-s) // s == 0 shifts by 64: defined, yields 0
+	phi := hi >> (64 - s)
+	sgn := int64(1) - int64(sb<<1)
+	a.bins[i] += sgn * int64(plo&chunkMask)
+	a.bins[i+1] += sgn * int64(plo>>chunkBits)
+	a.bins[i+2] += sgn * int64(pmid&chunkMask)
+	a.bins[i+3] += sgn * int64(pmid>>chunkBits)
+	a.bins[i+4] += sgn * int64(phi)
+}
+
+// bump charges n deposits against the renorm budget. The branch is on a
+// data-independent counter, so the kernels above stay branch-free while
+// overflow remains impossible (see renormEvery).
+func (a *Accumulator) bump(n int) {
+	a.pending += n
+	if a.pending >= renormEvery {
+		a.renorm()
+	}
+}
+
+// renorm propagates carries so every bin lands back in [0, 2^32),
+// restoring full per-bin headroom. It preserves the represented value
+// exactly (including the top carry word), so callers may renorm at any
+// time without affecting any future fold-down.
+func (a *Accumulator) renorm() {
+	var carry int64
+	for i := range a.bins {
+		v := a.bins[i] + carry
+		carry = v >> chunkBits // arithmetic: floor division by 2^32
+		a.bins[i] = v & chunkMask
+	}
+	a.top += carry
+	a.pending = 0
+}
+
+// Add folds one float64 value into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	a.add(x)
+	a.bump(1)
+}
+
+// AddProduct folds the exact product x·y into the accumulator.
+func (a *Accumulator) AddProduct(x, y float64) {
+	a.addProd(x, y)
+	a.bump(1)
+}
+
+// AddValues folds every value in xs. For expansion operands pass the
+// flat component slab: an expansion's value is the exact sum of its
+// components, so summing components individually is summing the values.
+func (a *Accumulator) AddValues(xs []float64) {
+	for len(xs) > 0 {
+		n := renormEvery - a.pending
+		if n > len(xs) {
+			n = len(xs)
+		}
+		for _, x := range xs[:n] {
+			a.add(x)
+		}
+		a.bump(n)
+		xs = xs[n:]
+	}
+}
+
+// AddDotSlab folds the exact dot product of two width-w component slabs
+// (wire layout: element i occupies s[i*w:(i+1)*w]). Each element
+// product expands to the w² exact cross products of the components —
+// every one deposited exactly, so the fold is the correctly rounded
+// true dot product for any finite inputs.
+func (a *Accumulator) AddDotSlab(w int, x, y []float64) {
+	for i := 0; i+w <= len(x); i += w {
+		for j := 0; j < w; j++ {
+			for k := 0; k < w; k++ {
+				a.addProd(x[i+j], y[i+k])
+			}
+		}
+		a.bump(w * w)
+	}
+}
+
+// Merge folds b's accumulated state into a, bit-exactly: folding down
+// a afterwards gives the identical result to accumulating all of both
+// accumulators' inputs into one, in any order. Merge is associative and
+// commutative (bins add as integers; flags OR), which is what makes
+// sharded and chunked reductions reproducible. b is not modified.
+func (a *Accumulator) Merge(b *Accumulator) {
+	a.renorm()
+	for i := range a.bins {
+		a.bins[i] += b.bins[i]
+	}
+	a.top += b.top
+	a.nan |= b.nan
+	a.pinf |= b.pinf
+	a.ninf |= b.ninf
+	a.bump(b.pending)
+}
+
+// special applies the IEEE collapse rules to the flag words: any NaN —
+// or an Inf of each sign — makes the sum NaN (always the canonical
+// quiet NaN, for bit-comparable results); otherwise a single-signed
+// Inf wins. ok reports whether a special result applies.
+func (a *Accumulator) special() (f float64, ok bool) {
+	if a.nan != 0 || (a.pinf != 0 && a.ninf != 0) {
+		return math.NaN(), true
+	}
+	if a.pinf != 0 {
+		return math.Inf(1), true
+	}
+	if a.ninf != 0 {
+		return math.Inf(-1), true
+	}
+	return 0, false
+}
+
+// magnitude extracts the sign and |value| as 32-bit chunks from a
+// renormalized accumulator (the two's-complement negate when the top
+// carry word says the value is negative).
+func (a *Accumulator) magnitude() (neg bool, mag [binCount]uint64) {
+	if a.top >= 0 {
+		for i, b := range a.bins {
+			mag[i] = uint64(b)
+		}
+		return false, mag
+	}
+	borrow := uint64(1)
+	for i, b := range a.bins {
+		v := (^uint64(b) & chunkMask) + borrow
+		mag[i] = v & chunkMask
+		borrow = v >> chunkBits
+	}
+	return true, mag
+}
+
+// bitAt returns bit pos (counting from 2^binExp at pos 0) of mag.
+func bitAt(mag *[binCount]uint64, pos int) uint64 {
+	return mag[pos>>5] >> (pos & 31) & 1
+}
+
+// stickyBelow reports whether any bit strictly below pos is set.
+func stickyBelow(mag *[binCount]uint64, pos int) bool {
+	i := pos >> 5
+	if mag[i]&(1<<(pos&31)-1) != 0 {
+		return true
+	}
+	for j := i - 1; j >= 0; j-- {
+		if mag[j] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// roundMag rounds the magnitude to the nearest float64, ties to even:
+// find the leading bit, read the 53-bit significand window (clamped at
+// the 2^-1074 subnormal granularity), and round on guard + sticky. The
+// (significand, ulp-exponent) pair it produces is representable by
+// construction, so the final Ldexp is exact; magnitudes at or beyond
+// 2^1024 after rounding overflow to +Inf, per IEEE.
+func roundMag(mag *[binCount]uint64) float64 {
+	h := -1
+	for i := binCount - 1; i >= 0; i-- {
+		if mag[i] != 0 {
+			h = i
+			break
+		}
+	}
+	if h < 0 {
+		return 0
+	}
+	msb := chunkBits*h + bits.Len64(mag[h]) - 1
+	ulpExp := msb + binExp - 52
+	if ulpExp < -1074 {
+		ulpExp = -1074
+	}
+	r := ulpExp - binExp
+	var m uint64
+	for pos := msb; pos >= r; pos-- {
+		m = m<<1 | bitAt(mag, pos)
+	}
+	if r > 0 && bitAt(mag, r-1) == 1 && (m&1 == 1 || stickyBelow(mag, r-1)) {
+		m++
+	}
+	if m == 1<<53 {
+		m = 1 << 52
+		ulpExp++
+	}
+	if ulpExp > 1023-52 {
+		return math.Inf(1)
+	}
+	return math.Ldexp(float64(m), ulpExp)
+}
+
+// Sum returns the accumulated value correctly rounded to float64
+// (round to nearest, ties to even). It does not consume or modify the
+// accumulator.
+func (a *Accumulator) Sum() float64 {
+	if s, ok := a.special(); ok {
+		return s
+	}
+	c := *a
+	c.renorm()
+	neg, mag := c.magnitude()
+	f := roundMag(&mag)
+	if neg {
+		f = -f
+	}
+	return f
+}
+
+// SumExpansion returns the accumulated value rounded to a width-w
+// expansion by greedy iterated rounding: t₀ = RN(v), t₁ = RN(v−t₀), …
+// — each remainder subtracted exactly before the next rounding. This is
+// the canonical decomposition (identical to the diffuzz oracle's Canon
+// form): components are nonoverlapping, decreasing, and the expansion
+// is the closest width-w value to the exact sum. A leading ±Inf (exact
+// overflow) or special collapse leaves the remaining components zero;
+// after an exact-zero remainder all following components are zero.
+func (a *Accumulator) SumExpansion(w int) []float64 {
+	out := make([]float64, w)
+	if s, ok := a.special(); ok {
+		out[0] = s
+		return out
+	}
+	c := *a
+	for t := 0; t < w; t++ {
+		c.renorm()
+		neg, mag := c.magnitude()
+		f := roundMag(&mag)
+		if neg {
+			f = -f
+		}
+		out[t] = f
+		if f == 0 || math.IsInf(f, 0) {
+			break
+		}
+		c.add(-f) // exact: the term's chunks cancel out of the bins
+		c.bump(1)
+	}
+	return out
+}

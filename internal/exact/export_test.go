@@ -1,0 +1,14 @@
+package exact
+
+// Test hooks: the renormalization schedule is an internal invariant
+// (value-preserving at any point), so the suite forces renorms at
+// arbitrary moments and inspects the carry word to prove it.
+
+// Renorm forces a carry propagation.
+func (a *Accumulator) Renorm() { a.renorm() }
+
+// Top exposes the carry word above the bin array.
+func (a *Accumulator) Top() int64 { return a.top }
+
+// BinCount is the size of the bin array.
+const BinCount = binCount

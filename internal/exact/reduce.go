@@ -1,0 +1,125 @@
+// Package-level reduction entry points: one-shot exact sums and dot
+// products over plain float64 slices and over expansion operands. Each
+// returns the correctly rounded value (or canonical width-w expansion)
+// of the exact mathematical result — bit-identical for every
+// permutation, chunking, or sharding of the same inputs.
+
+package exact
+
+import "multifloats/mf"
+
+// Sum returns the correctly rounded sum of xs.
+func Sum(xs []float64) float64 {
+	var a Accumulator
+	a.AddValues(xs)
+	return a.Sum()
+}
+
+// Dot returns the correctly rounded dot product of x and y.
+// x and y must have equal length.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("exact.Dot: operand lengths differ")
+	}
+	var a Accumulator
+	a.AddDotSlab(1, x, y)
+	return a.Sum()
+}
+
+// Sum2 returns the sum of the expansion values in xs, rounded to the
+// canonical width-2 expansion of the exact result.
+func Sum2(xs []mf.Float64x2) mf.Float64x2 {
+	var a Accumulator
+	for i := range xs {
+		a.add(xs[i][0])
+		a.add(xs[i][1])
+		a.bump(2)
+	}
+	var r mf.Float64x2
+	copy(r[:], a.SumExpansion(2))
+	return r
+}
+
+// Sum3 is Sum2 at width 3.
+func Sum3(xs []mf.Float64x3) mf.Float64x3 {
+	var a Accumulator
+	for i := range xs {
+		a.add(xs[i][0])
+		a.add(xs[i][1])
+		a.add(xs[i][2])
+		a.bump(3)
+	}
+	var r mf.Float64x3
+	copy(r[:], a.SumExpansion(3))
+	return r
+}
+
+// Sum4 is Sum2 at width 4.
+func Sum4(xs []mf.Float64x4) mf.Float64x4 {
+	var a Accumulator
+	for i := range xs {
+		a.add(xs[i][0])
+		a.add(xs[i][1])
+		a.add(xs[i][2])
+		a.add(xs[i][3])
+		a.bump(4)
+	}
+	var r mf.Float64x4
+	copy(r[:], a.SumExpansion(4))
+	return r
+}
+
+// dotElem folds the w² exact component cross products of one element
+// pair.
+func (a *Accumulator) dotElem(x, y []float64) {
+	for j := range x {
+		for k := range y {
+			a.addProd(x[j], y[k])
+		}
+	}
+	a.bump(len(x) * len(y))
+}
+
+// Dot2 returns the dot product of the expansion vectors x and y,
+// rounded to the canonical width-2 expansion of the exact result.
+// x and y must have equal length.
+func Dot2(x, y []mf.Float64x2) mf.Float64x2 {
+	if len(x) != len(y) {
+		panic("exact.Dot2: operand lengths differ")
+	}
+	var a Accumulator
+	for i := range x {
+		a.dotElem(x[i][:], y[i][:])
+	}
+	var r mf.Float64x2
+	copy(r[:], a.SumExpansion(2))
+	return r
+}
+
+// Dot3 is Dot2 at width 3.
+func Dot3(x, y []mf.Float64x3) mf.Float64x3 {
+	if len(x) != len(y) {
+		panic("exact.Dot3: operand lengths differ")
+	}
+	var a Accumulator
+	for i := range x {
+		a.dotElem(x[i][:], y[i][:])
+	}
+	var r mf.Float64x3
+	copy(r[:], a.SumExpansion(3))
+	return r
+}
+
+// Dot4 is Dot2 at width 4.
+func Dot4(x, y []mf.Float64x4) mf.Float64x4 {
+	if len(x) != len(y) {
+		panic("exact.Dot4: operand lengths differ")
+	}
+	var a Accumulator
+	for i := range x {
+		a.dotElem(x[i][:], y[i][:])
+	}
+	var r mf.Float64x4
+	copy(r[:], a.SumExpansion(4))
+	return r
+}

@@ -171,21 +171,49 @@ func (f *Float) Float64() float64 {
 	case zero:
 		return 0
 	}
-	// Take the top 64 bits and round to 53 via big-free arithmetic.
+	// Round the normalized significand once, at the granularity float64
+	// actually has for this magnitude: 53 bits for normal results, fewer
+	// once the value drops into the subnormal range (ulp pinned at
+	// 2^-1074). Rounding to 53 bits first and letting Ldexp denormalize
+	// would round twice, which is observably wrong near the subnormal
+	// rounding boundaries.
+	keep := 53
+	if f.exp < -1021 { // msb exponent f.exp-1 below -1022: subnormal target
+		keep = int(f.exp) + 1074
+	}
 	top := f.mant[len(f.mant)-1]
-	v := math.Ldexp(float64(top>>11), int(f.exp)-53)
-	// Round-to-nearest on the discarded 11 bits (plus sticky below).
-	low := top & 0x7FF
-	half := uint64(1 << 10)
+	if keep <= 0 {
+		// |f| ≤ 2^-1075: exactly half the minimum subnormal ties to even
+		// (zero); anything above half rounds up to 2^-1074.
+		v := 0.0
+		if keep == 0 {
+			stick := top<<1 != 0
+			for i := 0; i < len(f.mant)-1 && !stick; i++ {
+				stick = f.mant[i] != 0
+			}
+			if stick {
+				v = math.SmallestNonzeroFloat64
+			}
+		}
+		if f.neg {
+			v = -v
+		}
+		return v
+	}
+	drop := uint(64 - keep)
+	m := top >> drop
+	half := uint64(1) << (drop - 1)
+	low := top & (uint64(1)<<drop - 1)
 	stick := low&(half-1) != 0
 	for i := 0; i < len(f.mant)-1 && !stick; i++ {
 		if f.mant[i] != 0 {
 			stick = true
 		}
 	}
-	if low > half || (low == half && (stick || (top>>11)&1 == 1)) {
-		v = math.Nextafter(v, math.Inf(1))
+	if low > half || (low == half && (stick || m&1 == 1)) {
+		m++ // may carry to 2^keep: exact in float64, handled by Ldexp
 	}
+	v := math.Ldexp(float64(m), int(f.exp)-keep)
 	if f.neg {
 		v = -v
 	}

@@ -72,6 +72,13 @@ func WithDialTimeout(d time.Duration) Option { return func(c *Client) { c.dialTi
 // carries no deadline (default 30s).
 func WithIOTimeout(d time.Duration) Option { return func(c *Client) { c.ioTimeout = d } }
 
+// WithReduceChunk sets how many expansion elements each streamed chunk
+// of a reduction call carries (default 65536). The result is
+// bit-identical for every chunk size — the server's superaccumulator is
+// exact and order-independent — so this tunes only frame sizes and
+// pipelining, never values.
+func WithReduceChunk(n int) Option { return func(c *Client) { c.reduceChunk = n } }
+
 // WithDialer overrides how connections are established — the hook for
 // fault-injection harnesses (internal/netfault), proxies, or custom
 // transports. The dialer must honor the timeout it is given.
@@ -89,6 +96,7 @@ type Client struct {
 	backoffMax  time.Duration
 	dialTimeout time.Duration
 	ioTimeout   time.Duration
+	reduceChunk int
 	dialFn      func(addr string, timeout time.Duration) (net.Conn, error)
 
 	conns  chan *poolConn
@@ -116,6 +124,7 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 		backoffMax:  250 * time.Millisecond,
 		dialTimeout: 5 * time.Second,
 		ioTimeout:   30 * time.Second,
+		reduceChunk: 1 << 16,
 		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	for _, o := range opts {
@@ -123,6 +132,9 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 	}
 	if c.poolSize < 1 {
 		c.poolSize = 1
+	}
+	if c.reduceChunk < 1 {
+		c.reduceChunk = 1
 	}
 	c.conns = make(chan *poolConn, c.poolSize)
 	pc, err := c.dial()
@@ -224,6 +236,14 @@ func (c *Client) backoff(attempt int, floor time.Duration) time.Duration {
 
 // do performs one request with retries, returning the OK result slab.
 func (c *Client) do(ctx context.Context, req *wire.Request) ([]float64, error) {
+	return c.withRetries(ctx, func() ([]float64, error) { return c.try(ctx, req) })
+}
+
+// withRetries runs one attempt of a call until it succeeds, fails
+// permanently, or the transient-retry budget runs out — the shared
+// engine behind single-request calls (do) and streaming reductions,
+// whose unit of retry is the whole stream.
+func (c *Client) withRetries(ctx context.Context, attemptFn func() ([]float64, error)) ([]float64, error) {
 	var lastErr error
 	var retryAfter time.Duration
 	for attempt := 0; ; attempt++ {
@@ -243,7 +263,7 @@ func (c *Client) do(ctx context.Context, req *wire.Request) ([]float64, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		data, err := c.try(ctx, req)
+		data, err := attemptFn()
 		if err == nil {
 			return data, nil
 		}

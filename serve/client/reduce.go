@@ -1,0 +1,244 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"multifloats/mf"
+	"multifloats/serve/wire"
+)
+
+// Streaming exact reductions. SumExact/DotExact compute the correctly
+// rounded sum or dot product of arbitrarily long operands on the
+// server's superaccumulator (internal/exact): the operand is split into
+// chunks of WithReduceChunk elements, streamed pipelined over one
+// pooled connection under a single request ID, folded server-side as
+// the chunks arrive, and rounded once at the end. Results are
+// bit-identical to the local exact.Sum/Dot calls — for every chunk
+// size, chunk order, and server worker count.
+//
+// Retry unit: the whole stream. A chunk is never retried individually
+// (server accumulator state lives on the connection it started on), so
+// a transport failure discards the connection and restarts the
+// reduction from scratch on a fresh one under a fresh ID — a partial
+// fold can never be double-counted.
+
+// reduceWindow caps unacknowledged in-flight chunks, so an arbitrarily
+// long stream cannot deadlock both peers' flow-control windows on
+// unread acks (the server acknowledges every chunk).
+const reduceWindow = 64
+
+// SumExact returns the correctly rounded sum of xs, computed remotely.
+func (c *Client) SumExact(ctx context.Context, xs []float64) (float64, error) {
+	out, err := c.reduce(ctx, wire.OpSumExact, 1, xs, nil)
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// DotExact returns the correctly rounded dot product of x and y,
+// computed remotely.
+func (c *Client) DotExact(ctx context.Context, x, y []float64) (float64, error) {
+	out, err := c.reduce(ctx, wire.OpDotExact, 1, x, y)
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// SumExact2 returns the sum of the expansion values in xs as the
+// canonical width-2 expansion of the exact result, computed remotely.
+func (c *Client) SumExact2(ctx context.Context, xs []mf.Float64x2) (mf.Float64x2, error) {
+	out, err := c.reduce(ctx, wire.OpSumExact, 2, wire.Pack2(xs), nil)
+	if err != nil {
+		return mf.Float64x2{}, err
+	}
+	return mf.Float64x2(out), nil
+}
+
+// SumExact3 is SumExact2 at width 3.
+func (c *Client) SumExact3(ctx context.Context, xs []mf.Float64x3) (mf.Float64x3, error) {
+	out, err := c.reduce(ctx, wire.OpSumExact, 3, wire.Pack3(xs), nil)
+	if err != nil {
+		return mf.Float64x3{}, err
+	}
+	return mf.Float64x3(out), nil
+}
+
+// SumExact4 is SumExact2 at width 4.
+func (c *Client) SumExact4(ctx context.Context, xs []mf.Float64x4) (mf.Float64x4, error) {
+	out, err := c.reduce(ctx, wire.OpSumExact, 4, wire.Pack4(xs), nil)
+	if err != nil {
+		return mf.Float64x4{}, err
+	}
+	return mf.Float64x4(out), nil
+}
+
+// DotExact2 returns the dot product of the expansion vectors x and y as
+// the canonical width-2 expansion of the exact result, computed
+// remotely.
+func (c *Client) DotExact2(ctx context.Context, x, y []mf.Float64x2) (mf.Float64x2, error) {
+	out, err := c.reduce(ctx, wire.OpDotExact, 2, wire.Pack2(x), wire.Pack2(y))
+	if err != nil {
+		return mf.Float64x2{}, err
+	}
+	return mf.Float64x2(out), nil
+}
+
+// DotExact3 is DotExact2 at width 3.
+func (c *Client) DotExact3(ctx context.Context, x, y []mf.Float64x3) (mf.Float64x3, error) {
+	out, err := c.reduce(ctx, wire.OpDotExact, 3, wire.Pack3(x), wire.Pack3(y))
+	if err != nil {
+		return mf.Float64x3{}, err
+	}
+	return mf.Float64x3(out), nil
+}
+
+// DotExact4 is DotExact2 at width 4.
+func (c *Client) DotExact4(ctx context.Context, x, y []mf.Float64x4) (mf.Float64x4, error) {
+	out, err := c.reduce(ctx, wire.OpDotExact, 4, wire.Pack4(x), wire.Pack4(y))
+	if err != nil {
+		return mf.Float64x4{}, err
+	}
+	return mf.Float64x4(out), nil
+}
+
+// reduce runs one reduction over the width-w component slabs x (and y
+// for dot). Operands that fit one chunk go through the ordinary
+// single-request path; longer ones stream.
+func (c *Client) reduce(ctx context.Context, op wire.Op, width int, x, y []float64) ([]float64, error) {
+	if op == wire.OpDotExact && len(y) != len(x) {
+		return nil, fmt.Errorf("%w: operand lengths %d and %d differ", ErrBadRequest, len(x)/width, len(y)/width)
+	}
+	count := len(x) / width
+	if count <= c.reduceChunk {
+		return c.do(ctx, &wire.Request{Op: op, Width: width, Count: count, M: wire.FlagReduceFinal, X: x, Y: y})
+	}
+	return c.withRetries(ctx, func() ([]float64, error) {
+		return c.tryReduce(ctx, op, width, x, y, count)
+	})
+}
+
+// tryReduce performs one whole-stream attempt on one pooled connection:
+// write chunks pipelined (bounded by reduceWindow), read acks as they
+// come back, take the result from the final response.
+func (c *Client) tryReduce(ctx context.Context, op wire.Op, width int, x, y []float64, count int) ([]float64, error) {
+	pc, err := c.get()
+	if err != nil {
+		if errors.Is(err, ErrClosed) {
+			return nil, err
+		}
+		return nil, &transientError{err: err}
+	}
+	id := c.nextID.Add(1)
+	var deadline time.Time
+	ioDeadline := time.Now().Add(c.ioTimeout)
+	if d, ok := ctx.Deadline(); ok {
+		deadline = d
+		if d.Before(ioDeadline) {
+			ioDeadline = d.Add(100 * time.Millisecond)
+		}
+	}
+	pc.nc.SetDeadline(ioDeadline)
+
+	fail := func(err error) ([]float64, error) {
+		pc.nc.Close()
+		return nil, &transientError{err: err}
+	}
+	failIntegrity := func(err error) ([]float64, error) {
+		pc.nc.Close()
+		return nil, &transientError{err: fmt.Errorf("%w: %w", ErrIntegrity, err)}
+	}
+
+	chunk := c.reduceChunk
+	nchunks := (count + chunk - 1) / chunk
+	var result []float64
+	read := 0
+	// readOne consumes the next response in stream order. Any non-OK
+	// status poisons the stream mid-flight (responses for already-written
+	// chunks may still be in the pipe), so every failure path closes the
+	// connection; the permanent statuses surface as permanent errors.
+	readOne := func() ([]float64, error) {
+		resp, err := wire.ReadResponse(pc.br)
+		if err != nil {
+			if errors.Is(err, wire.ErrChecksum) || errors.Is(err, wire.ErrMagic) ||
+				errors.Is(err, wire.ErrVersion) || errors.Is(err, wire.ErrFrameType) ||
+				errors.Is(err, wire.ErrTooLarge) || errors.Is(err, wire.ErrMalformed) {
+				return failIntegrity(err)
+			}
+			return fail(err)
+		}
+		if resp.ID != id {
+			return failIntegrity(fmt.Errorf("response id %d for request %d", resp.ID, id))
+		}
+		final := read == nchunks-1
+		read++
+		switch resp.Status {
+		case wire.StatusOK:
+		case wire.StatusOverloaded:
+			pc.nc.Close()
+			return nil, &transientError{
+				err:        ErrOverloaded,
+				retryAfter: time.Duration(resp.RetryAfterMs) * time.Millisecond,
+			}
+		case wire.StatusDeadlineExceeded:
+			pc.nc.Close()
+			return nil, ErrDeadlineExceeded
+		case wire.StatusBadRequest:
+			pc.nc.Close()
+			return nil, ErrBadRequest
+		default:
+			pc.nc.Close()
+			return nil, fmt.Errorf("%w (status %v)", ErrServer, resp.Status)
+		}
+		if final {
+			if len(resp.Data) != width {
+				pc.nc.Close()
+				return nil, fmt.Errorf("%w: result slab %d elements, want %d", ErrServer, len(resp.Data), width)
+			}
+			result = resp.Data
+		} else if len(resp.Data) != 0 {
+			return failIntegrity(fmt.Errorf("chunk ack carried %d elements", len(resp.Data)))
+		}
+		return nil, nil
+	}
+
+	for s := 0; s < nchunks; s++ {
+		lo, hi := s*chunk, min((s+1)*chunk, count)
+		req := &wire.Request{
+			ID: id, Deadline: deadline, Op: op, Width: width,
+			Count: hi - lo, X: x[lo*width : hi*width],
+		}
+		if s == nchunks-1 {
+			req.M = wire.FlagReduceFinal
+		}
+		if op == wire.OpDotExact {
+			req.Y = y[lo*width : hi*width]
+		}
+		if err := wire.WriteRequest(pc.bw, req); err != nil {
+			return fail(err)
+		}
+		// Keep at most reduceWindow chunks unacknowledged.
+		if s+1-read >= reduceWindow {
+			if err := pc.bw.Flush(); err != nil {
+				return fail(err)
+			}
+			if _, err := readOne(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := pc.bw.Flush(); err != nil {
+		return fail(err)
+	}
+	for read < nchunks {
+		if _, err := readOne(); err != nil {
+			return nil, err
+		}
+	}
+	c.put(pc)
+	return result, nil
+}

@@ -22,6 +22,8 @@ type Stats struct {
 	IdleTimeouts   atomic.Int64 // connections closed for idling/stalling
 	QueueDepth     atomic.Int64 // scalar requests currently enqueued
 	ActiveConns    atomic.Int64
+	ReduceChunks   atomic.Int64 // reduction chunks folded
+	Reductions     atomic.Int64 // reduction streams completed (result returned)
 }
 
 // Snapshot is a plain-struct copy for JSON reporting.
@@ -38,6 +40,8 @@ type Snapshot struct {
 	IdleTimeouts   int64 `json:"idle_timeouts"`
 	QueueDepth     int64 `json:"queue_depth"`
 	ActiveConns    int64 `json:"active_conns"`
+	ReduceChunks   int64 `json:"reduce_chunks"`
+	Reductions     int64 `json:"reductions"`
 }
 
 // Snapshot returns a consistent-enough point-in-time copy.
@@ -55,6 +59,8 @@ func (s *Stats) Snapshot() Snapshot {
 		IdleTimeouts:   s.IdleTimeouts.Load(),
 		QueueDepth:     s.QueueDepth.Load(),
 		ActiveConns:    s.ActiveConns.Load(),
+		ReduceChunks:   s.ReduceChunks.Load(),
+		Reductions:     s.Reductions.Load(),
 	}
 }
 
@@ -74,6 +80,8 @@ var (
 	evIdleTimeouts   = expvar.NewInt("mfserve.idle_timeouts")
 	evQueueDepth     = expvar.NewInt("mfserve.queue_depth")
 	evConns          = expvar.NewInt("mfserve.conns")
+	evReduceChunks   = expvar.NewInt("mfserve.reduce_chunks")
+	evReductions     = expvar.NewInt("mfserve.reductions")
 )
 
 func (s *Stats) reqIn()   { s.Requests.Add(1); evRequests.Add(1) }
@@ -107,3 +115,11 @@ func (s *Stats) batch(reqs, elems int64) {
 }
 func (s *Stats) connOpen()  { s.ActiveConns.Add(1); evConns.Add(1) }
 func (s *Stats) connClose() { s.ActiveConns.Add(-1); evConns.Add(-1) }
+func (s *Stats) reduceChunk() {
+	s.ReduceChunks.Add(1)
+	evReduceChunks.Add(1)
+}
+func (s *Stats) reduceDone() {
+	s.Reductions.Add(1)
+	evReductions.Add(1)
+}

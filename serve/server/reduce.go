@@ -1,0 +1,160 @@
+package server
+
+import (
+	"context"
+	"sync"
+
+	"multifloats/internal/exact"
+	"multifloats/serve/wire"
+)
+
+// Streaming exact reductions (wire.OpSumExact / wire.OpDotExact).
+//
+// A reduction is a sequence of request frames sharing one ID on one
+// connection. Each chunk is folded into a per-(connection, ID)
+// superaccumulator on the reader goroutine — connection state is only
+// ever touched by its own reader, so no locking — and acknowledged
+// with an empty StatusOK; the FlagReduceFinal chunk folds, rounds the
+// accumulator to the request width, returns the result slab, and
+// releases the state. Because the accumulator is exact and
+// merge-associative (internal/exact), the response is bit-identical
+// for every chunk split, chunk arrival order, and fold parallelism.
+
+// maxOpenReductions caps concurrent reduction streams per connection so
+// a hostile peer cannot pin unbounded accumulator memory by opening
+// streams it never finishes (each accumulator is ~1 KiB).
+const maxOpenReductions = 256
+
+// parallelFoldElems is the chunk size (in expansion elements) above
+// which a fold shards across the configured workers. Below it the
+// goroutine handoff costs more than the integer deposits save.
+const parallelFoldElems = 4096
+
+type reduction struct {
+	op    wire.Op
+	width int
+	acc   *exact.Accumulator
+}
+
+// accPool recycles accumulators across requests and shard folds. Reset
+// before Put, so Get always yields an empty sum.
+var accPool = sync.Pool{New: func() any { return new(exact.Accumulator) }}
+
+// handleReduce processes one reduction chunk on the reader goroutine.
+func (c *srvConn) handleReduce(ctx context.Context, req *wire.Request) error {
+	fail := func(status wire.Status) error {
+		c.dropReduction(req.ID)
+		return c.writeResponse(&wire.Response{ID: req.ID, Status: status}, true)
+	}
+	if ctx.Err() != nil {
+		c.s.stats.deadline()
+		return fail(wire.StatusDeadlineExceeded)
+	}
+	red := c.reds[req.ID]
+	switch {
+	case red == nil:
+		if len(c.reds) >= maxOpenReductions {
+			c.s.stats.protoErr()
+			return fail(wire.StatusBadRequest)
+		}
+		red = &reduction{op: req.Op, width: req.Width, acc: accPool.Get().(*exact.Accumulator)}
+		if c.reds == nil {
+			c.reds = make(map[uint64]*reduction)
+		}
+		c.reds[req.ID] = red
+	case red.op != req.Op || red.width != req.Width:
+		// Chunks of one stream must agree on shape; a disagreement is a
+		// client bug (or hostility) and poisons the whole stream.
+		c.s.stats.protoErr()
+		return fail(wire.StatusBadRequest)
+	}
+
+	foldChunk(red, req, c.s.cfg.Workers)
+	c.s.stats.reduceChunk()
+	if req.M&wire.FlagReduceFinal == 0 {
+		return c.writeResponse(&wire.Response{ID: req.ID, Status: wire.StatusOK}, true)
+	}
+
+	delete(c.reds, req.ID)
+	out := red.acc.SumExpansion(red.width)
+	releaseAcc(red.acc)
+	if ctx.Err() != nil {
+		c.s.stats.deadline()
+		return c.writeResponse(&wire.Response{ID: req.ID, Status: wire.StatusDeadlineExceeded}, true)
+	}
+	c.s.stats.reduceDone()
+	return c.writeResponse(&wire.Response{ID: req.ID, Status: wire.StatusOK, Data: out}, true)
+}
+
+// foldChunk folds one request's operand slab into the reduction's
+// accumulator. Large chunks shard across workers into per-shard
+// accumulators merged back in; Merge is exact, so the fold-down is
+// bit-identical for every worker count — reductions need no
+// single-worker mode to be reproducible.
+func foldChunk(red *reduction, req *wire.Request, workers int) {
+	elems := req.Count
+	shards := workers
+	if shards > elems/(parallelFoldElems/2) {
+		shards = elems / (parallelFoldElems / 2)
+	}
+	if shards <= 1 || elems < parallelFoldElems {
+		foldRange(red.acc, red.op, red.width, req.X, req.Y, 0, elems)
+		return
+	}
+	parts := make([]*exact.Accumulator, shards)
+	chunk := (elems + shards - 1) / shards
+	var wg sync.WaitGroup
+	for s := range parts {
+		lo := s * chunk
+		hi := min(lo+chunk, elems)
+		if lo >= hi {
+			break
+		}
+		acc := accPool.Get().(*exact.Accumulator)
+		parts[s] = acc
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			foldRange(acc, red.op, red.width, req.X, req.Y, lo, hi)
+		}()
+	}
+	wg.Wait()
+	for _, p := range parts {
+		if p != nil {
+			red.acc.Merge(p)
+			releaseAcc(p)
+		}
+	}
+}
+
+// foldRange folds elements [lo, hi) of the slabs into acc.
+func foldRange(acc *exact.Accumulator, op wire.Op, w int, x, y []float64, lo, hi int) {
+	if op == wire.OpSumExact {
+		acc.AddValues(x[lo*w : hi*w])
+		return
+	}
+	acc.AddDotSlab(w, x[lo*w:hi*w], y[lo*w:hi*w])
+}
+
+func releaseAcc(a *exact.Accumulator) {
+	a.Reset()
+	accPool.Put(a)
+}
+
+// dropReduction abandons any open stream for id (deadline expiry or a
+// malformed continuation) and recycles its accumulator.
+func (c *srvConn) dropReduction(id uint64) {
+	if red, ok := c.reds[id]; ok {
+		delete(c.reds, id)
+		releaseAcc(red.acc)
+	}
+}
+
+// dropAllReductions releases every open stream; called when the
+// connection tears down.
+func (c *srvConn) dropAllReductions() {
+	for id, red := range c.reds {
+		delete(c.reds, id)
+		releaseAcc(red.acc)
+	}
+}

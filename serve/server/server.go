@@ -286,6 +286,12 @@ type srvConn struct {
 	wmu    sync.Mutex
 	bw     *bufio.Writer
 	wArmed time.Time
+
+	// reds holds this connection's open streaming reductions, keyed by
+	// request ID. Only the reader goroutine touches it (reductions
+	// execute inline like BLAS ops), so no locking; lazily allocated on
+	// the first reduction. See reduce.go.
+	reds map[uint64]*reduction
 }
 
 // armReadDeadline pushes the read deadline to now+d if the armed one has
@@ -312,6 +318,7 @@ func (c *srvConn) serve() {
 		c.s.mu.Unlock()
 		c.s.stats.connClose()
 		c.nc.Close()
+		c.dropAllReductions()
 	}()
 	for {
 		// Arm the idle/stall timeout for the next frame: the deadline
@@ -377,6 +384,13 @@ func (c *srvConn) handle(req *wire.Request) error {
 		}
 		c.s.lanes[laneKey{req.Op, req.Width}].enqueue(p)
 		return nil
+	}
+
+	// Streaming reductions fold on the reader goroutine, keeping the
+	// per-connection accumulator state single-threaded.
+	if req.Op.Reduction() {
+		defer cancel()
+		return c.handleReduce(ctx, req)
 	}
 
 	// BLAS ops are already slab-shaped; execute on this goroutine.

@@ -1,0 +1,150 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// Reduction-specific wire geometry and hostile-frame coverage, mirroring
+// the scalar/BLAS Validate suite: the streaming ops relax the width
+// floor to 1 and reuse M as a flags word, and both relaxations must stay
+// confined to OpSumExact/OpDotExact.
+
+func TestReductionValidate(t *testing.T) {
+	comps := func(n int) []float64 { return make([]float64, n) }
+	t.Run("accepts", func(t *testing.T) {
+		for w := 1; w <= 4; w++ {
+			for _, m := range []int{0, FlagReduceFinal} {
+				sum := Request{Op: OpSumExact, Width: w, Count: 3, M: m, X: comps(3 * w)}
+				if err := sum.Validate(); err != nil {
+					t.Errorf("sumexact w=%d m=%d: %v", w, m, err)
+				}
+				dot := Request{Op: OpDotExact, Width: w, Count: 3, M: m, X: comps(3 * w), Y: comps(3 * w)}
+				if err := dot.Validate(); err != nil {
+					t.Errorf("dotexact w=%d m=%d: %v", w, m, err)
+				}
+			}
+		}
+		// Empty chunks (and empty whole reductions) are valid.
+		empty := Request{Op: OpSumExact, Width: 2, Count: 0, M: FlagReduceFinal}
+		if err := empty.Validate(); err != nil {
+			t.Errorf("empty reduction: %v", err)
+		}
+	})
+	t.Run("rejects", func(t *testing.T) {
+		for _, c := range []struct {
+			name string
+			r    Request
+		}{
+			{"width-5", Request{Op: OpSumExact, Width: 5, Count: 1, X: comps(5)}},
+			{"width-0", Request{Op: OpSumExact, Width: 0, Count: 1}},
+			{"unknown-flag", Request{Op: OpSumExact, Width: 2, Count: 1, M: 2, X: comps(2)}},
+			{"unknown-flag-over-final", Request{Op: OpDotExact, Width: 2, Count: 1, M: FlagReduceFinal | 4, X: comps(2), Y: comps(2)}},
+			{"sum-with-y", Request{Op: OpSumExact, Width: 2, Count: 1, X: comps(2), Y: comps(2)}},
+			{"dot-missing-y", Request{Op: OpDotExact, Width: 2, Count: 1, X: comps(2)}},
+			{"count-slab-mismatch", Request{Op: OpSumExact, Width: 3, Count: 4, X: comps(6)}},
+			{"alpha-on-reduction", Request{Op: OpSumExact, Width: 2, Count: 1, X: comps(2), Alpha: comps(2)}},
+			// The width-1 relaxation must not leak to non-reduction ops.
+			{"width-1-add", Request{Op: OpAdd, Width: 1, Count: 2, X: comps(2), Y: comps(2)}},
+			{"width-1-dot", Request{Op: OpDot, Width: 1, Count: 2, X: comps(2), Y: comps(2)}},
+			// Nor the flags-word reuse: M stays zero for scalar ops.
+			{"flag-on-add", Request{Op: OpAdd, Width: 2, Count: 1, M: FlagReduceFinal, X: comps(2), Y: comps(2)}},
+		} {
+			if err := c.r.Validate(); !errors.Is(err, ErrMalformed) {
+				t.Errorf("%s: Validate = %v, want ErrMalformed", c.name, err)
+			}
+		}
+	})
+}
+
+// TestReductionRoundTrip: chunk and final frames survive encode/decode
+// with flags, geometry, and payload bits intact.
+func TestReductionRoundTrip(t *testing.T) {
+	x := []float64{1.5, -2.25, 3.0, 0.125, -0.5, 42.0}
+	for _, req := range []*Request{
+		{ID: 101, Op: OpSumExact, Width: 1, Count: 6, X: x},
+		{ID: 102, Op: OpSumExact, Width: 3, Count: 2, M: FlagReduceFinal, X: x},
+		{ID: 103, Op: OpDotExact, Width: 2, Count: 3, X: x, Y: x},
+		{ID: 104, Op: OpDotExact, Width: 1, Count: 6, M: FlagReduceFinal, X: x, Y: x},
+	} {
+		var buf bytes.Buffer
+		if err := WriteRequest(&buf, req); err != nil {
+			t.Fatalf("id %d: WriteRequest: %v", req.ID, err)
+		}
+		back, err := ReadRequest(&buf)
+		if err != nil {
+			t.Fatalf("id %d: ReadRequest: %v", req.ID, err)
+		}
+		if back.ID != req.ID || back.Op != req.Op || back.Width != req.Width ||
+			back.Count != req.Count || back.M != req.M {
+			t.Fatalf("id %d: round trip mutated shape: %+v", req.ID, back)
+		}
+		if len(back.X) != len(req.X) || len(back.Y) != len(req.Y) {
+			t.Fatalf("id %d: round trip mutated slabs: x=%d y=%d", req.ID, len(back.X), len(back.Y))
+		}
+	}
+}
+
+// TestReductionHostileCounts crafts raw reduction frames with counts
+// whose slab sizes wrap or exceed the frame: rejected as malformed, no
+// panic, no giant allocation.
+func TestReductionHostileCounts(t *testing.T) {
+	craft := func(op Op, width byte, count, m uint32) []byte {
+		b := make([]byte, HeaderSize+reqFixed)
+		b[0], b[1], b[2], b[3] = magic0, magic1, Version, frameRequest
+		binary.LittleEndian.PutUint32(b[4:], reqFixed)
+		b[HeaderSize] = byte(op)
+		b[HeaderSize+1] = width
+		binary.LittleEndian.PutUint32(b[HeaderSize+4:], count)
+		binary.LittleEndian.PutUint32(b[HeaderSize+8:], m)
+		return b
+	}
+	for _, c := range []struct {
+		name  string
+		frame []byte
+	}{
+		{"sumexact-count-wrap", craft(OpSumExact, 4, 0xFFFFFFFF, 0)},
+		{"sumexact-over-frame", craft(OpSumExact, 1, 1<<30, uint32(FlagReduceFinal))},
+		{"dotexact-over-frame", craft(OpDotExact, 4, 1<<28, 0)},
+		{"sumexact-hostile-flags", craft(OpSumExact, 2, 1, 0xFFFF)},
+	} {
+		if _, err := ReadRequest(bytes.NewReader(c.frame)); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: err = %v, want ErrMalformed", c.name, err)
+		}
+	}
+}
+
+// TestReductionRespElems pins the ack-vs-result geometry: only the
+// final-flagged chunk carries data.
+func TestReductionRespElems(t *testing.T) {
+	for w := 1; w <= 4; w++ {
+		if got := RespElems(OpSumExact, w, 99, 0); got != 0 {
+			t.Errorf("sumexact chunk ack w=%d: RespElems = %d, want 0", w, got)
+		}
+		if got := RespElems(OpSumExact, w, 99, FlagReduceFinal); got != w {
+			t.Errorf("sumexact final w=%d: RespElems = %d, want %d", w, got, w)
+		}
+		if got := RespElems(OpDotExact, w, 0, FlagReduceFinal); got != w {
+			t.Errorf("dotexact final w=%d: RespElems = %d, want %d", w, got, w)
+		}
+	}
+}
+
+func TestReductionOpParse(t *testing.T) {
+	for _, op := range []Op{OpSumExact, OpDotExact} {
+		if !op.Valid() || !op.Reduction() {
+			t.Fatalf("%v: Valid=%v Reduction=%v", op, op.Valid(), op.Reduction())
+		}
+		back, err := ParseOp(op.String())
+		if err != nil || back != op {
+			t.Fatalf("ParseOp(%q) = %v, %v", op.String(), back, err)
+		}
+	}
+	for _, op := range []Op{OpAdd, OpDot, OpGemm} {
+		if op.Reduction() {
+			t.Fatalf("%v wrongly classified as reduction", op)
+		}
+	}
+}

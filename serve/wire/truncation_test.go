@@ -35,6 +35,16 @@ func truncationFrames(t *testing.T) map[string][]byte {
 			X: comps(12), Y: comps(6)},
 		"req-gemm-w3": {ID: 12, Op: OpGemm, Width: 3, Count: 2,
 			X: comps(12), Y: comps(12)},
+		// Streaming reductions: a non-final chunk, a final (flagged) chunk,
+		// and the width-1 plain-float64 form only reductions allow.
+		"req-sumexact-w1-chunk": {ID: 13, Op: OpSumExact, Width: 1, Count: 5,
+			X: comps(5)},
+		"req-sumexact-w3-final": {ID: 14, Op: OpSumExact, Width: 3, Count: 2,
+			M: FlagReduceFinal, X: comps(6)},
+		"req-dotexact-w1-final": {ID: 15, Op: OpDotExact, Width: 1, Count: 4,
+			M: FlagReduceFinal, X: comps(4), Y: comps(4)},
+		"req-dotexact-w4-chunk": {ID: 16, Op: OpDotExact, Width: 4, Count: 2,
+			X: comps(8), Y: comps(8)},
 	}
 	resps := map[string]*Response{
 		"resp-ok":         {ID: 7, Status: StatusOK, Data: comps(6)},

@@ -35,10 +35,10 @@
 // Request payload:
 //
 //	0       1     op
-//	1       1     width (2, 3, or 4)
+//	1       1     width (2, 3, or 4; reductions also allow 1)
 //	2       2     reserved (0)
 //	4       4     count (elements / vector length / matrix dimension n)
-//	8       4     m     (GEMV column count; 0 otherwise)
+//	8       4     m     (GEMV column count; reduction flags; 0 otherwise)
 //	12      —     Axpy only: alpha, width components
 //	…       —     X slab, then Y slab (see ReqElems for sizes)
 //
@@ -89,7 +89,25 @@ const (
 	OpDot  Op = 17
 	OpGemv Op = 18
 	OpGemm Op = 19
+
+	// Streaming reductions (exact superaccumulator — internal/exact).
+	// A reduction is a sequence of request frames sharing one request ID
+	// on one connection: the server folds each operand chunk into a
+	// per-(connection, ID) accumulator and acknowledges it with an empty
+	// StatusOK response; the frame carrying FlagReduceFinal in M also
+	// folds its chunk, then returns the correctly rounded width-w result
+	// and releases the state. The accumulator is exact and
+	// merge-associative, so the result is bit-identical for every chunk
+	// split, chunk order, and server-side worker count. Reductions allow
+	// width 1 (plain float64 operands) through 4.
+	OpSumExact Op = 32
+	OpDotExact Op = 33
 )
+
+// FlagReduceFinal marks the last chunk of a streaming reduction.
+// Reduction requests reuse the M header field as a flags word; all
+// other M bits must be zero.
+const FlagReduceFinal = 1
 
 // Scalar reports whether op is one of the elementwise scalar operations
 // (the ones the server's batching scheduler may coalesce across requests).
@@ -98,9 +116,13 @@ func (op Op) Scalar() bool { return op >= OpAdd && op <= OpSqrt }
 // Unary reports whether op takes a single operand slab.
 func (op Op) Unary() bool { return op == OpSqrt }
 
+// Reduction reports whether op is a streaming exact reduction (chunked
+// requests folded into a per-(connection, ID) superaccumulator).
+func (op Op) Reduction() bool { return op == OpSumExact || op == OpDotExact }
+
 // Valid reports whether op is a known operation code.
 func (op Op) Valid() bool {
-	return (op >= OpAdd && op <= OpSqrt) || (op >= OpAxpy && op <= OpGemm)
+	return (op >= OpAdd && op <= OpSqrt) || (op >= OpAxpy && op <= OpGemm) || op.Reduction()
 }
 
 func (op Op) String() string {
@@ -123,13 +145,17 @@ func (op Op) String() string {
 		return "gemv"
 	case OpGemm:
 		return "gemm"
+	case OpSumExact:
+		return "sumexact"
+	case OpDotExact:
+		return "dotexact"
 	}
 	return fmt.Sprintf("op(%d)", uint8(op))
 }
 
 // ParseOp is the inverse of Op.String, for CLI flag parsing.
 func ParseOp(s string) (Op, error) {
-	for _, op := range []Op{OpAdd, OpSub, OpMul, OpDiv, OpSqrt, OpAxpy, OpDot, OpGemv, OpGemm} {
+	for _, op := range []Op{OpAdd, OpSub, OpMul, OpDiv, OpSqrt, OpAxpy, OpDot, OpGemv, OpGemm, OpSumExact, OpDotExact} {
 		if op.String() == s {
 			return op, nil
 		}
@@ -193,9 +219,9 @@ type Request struct {
 	ID       uint64
 	Deadline time.Time // zero = no deadline
 	Op       Op
-	Width    int // expansion width: 2, 3, or 4
-	Count    int // scalar: elements; axpy/dot: n; gemv: rows n; gemm: n
-	M        int // gemv: columns; 0 otherwise
+	Width    int // expansion width: 2, 3, or 4 (reductions also allow 1)
+	Count    int // scalar: elements; axpy/dot: n; gemv: rows n; gemm: n; reductions: chunk elements
+	M        int // gemv: columns; reductions: flags (FlagReduceFinal); 0 otherwise
 
 	Alpha []float64 // axpy only: one expansion (Width components)
 	X     []float64 // first operand slab
@@ -240,13 +266,26 @@ func slabElems(dims ...int) (int, error) {
 // in a single frame (so hostile count/m values are rejected here rather
 // than overflowing downstream size computations).
 func ReqElems(op Op, width, count, m int) (x, y, alpha int, err error) {
-	if width < 2 || width > 4 {
-		return 0, 0, 0, fmt.Errorf("%w: width %d (want 2, 3, or 4)", ErrMalformed, width)
+	minWidth := 2
+	if op.Reduction() {
+		minWidth = 1 // plain float64 operands
+	}
+	if width < minWidth || width > 4 {
+		return 0, 0, 0, fmt.Errorf("%w: width %d (want %d..4)", ErrMalformed, width, minWidth)
 	}
 	if count < 0 || m < 0 {
 		return 0, 0, 0, fmt.Errorf("%w: negative dimension", ErrMalformed)
 	}
 	switch {
+	case op.Reduction():
+		n, err := slabElems(count, width)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if op == OpDotExact {
+			return n, n, 0, nil
+		}
+		return n, 0, 0, nil
 	case op.Scalar(), op == OpAxpy, op == OpDot:
 		n, err := slabElems(count, width)
 		if err != nil {
@@ -284,6 +323,13 @@ func ReqElems(op Op, width, count, m int) (x, y, alpha int, err error) {
 // slab for a request with the given shape.
 func RespElems(op Op, width, count, m int) int {
 	switch op {
+	case OpSumExact, OpDotExact:
+		// Only the final chunk of a streaming reduction carries a result;
+		// earlier chunks are acknowledged with an empty OK.
+		if m&FlagReduceFinal != 0 {
+			return width
+		}
+		return 0
 	case OpDot:
 		return width
 	case OpGemv:
@@ -300,6 +346,14 @@ func RespElems(op Op, width, count, m int) int {
 func (r *Request) Validate() error {
 	if !r.Op.Valid() {
 		return fmt.Errorf("%w: unknown op %d", ErrMalformed, r.Op)
+	}
+	if r.Op.Reduction() && r.M&^FlagReduceFinal != 0 {
+		return fmt.Errorf("%w: unknown reduction flags %#x", ErrMalformed, r.M)
+	}
+	if r.M != 0 && r.Op != OpGemv && !r.Op.Reduction() {
+		// M is gemv's column count and the reductions' flags word; any
+		// other op carrying one is a malformed (or hostile) frame.
+		return fmt.Errorf("%w: %s with nonzero m %d", ErrMalformed, r.Op, r.M)
 	}
 	nx, ny, na, err := ReqElems(r.Op, r.Width, r.Count, r.M)
 	if err != nil {
