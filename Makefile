@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check test race vet build lint mflint gensync fuzz-smoke conformance bench-smoke bench-ablation fig9 serve-smoke perf-smoke bench-serve chaos chaos-smoke
+.PHONY: check test race vet build lint mflint gensync fuzz-smoke conformance bench-smoke bench-ablation fig9 serve-smoke perf-smoke bench-serve bench-proxy proxy-smoke chaos chaos-smoke
 
 # check is the full pre-merge gate: build, static analysis (vet + the
 # domain-aware mflint contract checks), generated-code drift, tests, and
@@ -170,3 +170,44 @@ chaos-smoke:
 bench-serve:
 	$(GO) run ./cmd/mfload -compare -duration 5s -conns 2 -pipeline 256 \
 		-count 1 -op mul -width 2 -out BENCH_serve.json
+
+# bench-proxy measures the cluster tier and merges a "proxy" leg into
+# BENCH_serve.json: direct single-backend vs proxy pass-through (cache
+# off) vs proxy cache-hot, on the repeated-payload mix (acceptance
+# floor: cache-hot >= 1.5x pass-through).
+bench-proxy:
+	$(GO) run ./cmd/mfload -proxy-compare -duration 5s -conns 2 -pipeline 256 \
+		-count 1 -op mul -width 2 -out BENCH_serve.json
+
+# proxy-smoke is the CI gate for mfproxy: two daemons plus the proxy,
+# kill one backend mid-load with streaming reductions in flight, and
+# gate on zero incorrect responses (protocol, checksum, or deadline
+# failures; overloads are the designed shedding path and are allowed).
+# The scalar leg runs with per-request deadlines; the reduction leg
+# drives multi-shape exact reductions through the shard/merge path.
+proxy-smoke:
+	$(GO) build -o /tmp/mfserved ./cmd/mfserved
+	$(GO) build -o /tmp/mfproxy ./cmd/mfproxy
+	$(GO) build -o /tmp/mfload ./cmd/mfload
+	/tmp/mfserved -addr 127.0.0.1:7341 & \
+	S1=$$!; \
+	/tmp/mfserved -addr 127.0.0.1:7342 & \
+	S2=$$!; \
+	sleep 1; \
+	/tmp/mfproxy -addr 127.0.0.1:7340 -backends 127.0.0.1:7341,127.0.0.1:7342 \
+		-fail-threshold 2 -probe-after 200ms -seed 1 & \
+	PROXY=$$!; \
+	sleep 1; \
+	( sleep 5; kill -TERM $$S2; ) & \
+	KILLER=$$!; \
+	/tmp/mfload -addr 127.0.0.1:7340 -duration 12s -mix scalar -deadline 5s -gate; \
+	RC=$$?; \
+	if [ $$RC -eq 0 ]; then \
+		/tmp/mfload -addr 127.0.0.1:7340 -duration 6s -count 64 -mix reduce -gate; \
+		RC=$$?; \
+	fi; \
+	wait $$KILLER; \
+	kill -TERM $$PROXY; wait $$PROXY; \
+	kill -TERM $$S1; wait $$S1; \
+	wait $$S2 2>/dev/null; \
+	exit $$RC

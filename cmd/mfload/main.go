@@ -4,10 +4,15 @@
 //
 // Usage:
 //
-//	mfload [-addr host:port] [-conns 4] [-pipeline 64] [-count 8]
-//	       [-op add] [-width 2] [-mix scalar] [-deadline 0]
+//	mfload [-addr host:port,host:port,...] [-conns 4] [-pipeline 64]
+//	       [-count 8] [-op add] [-width 2] [-mix scalar] [-deadline 0]
 //	       [-duration 5s] [-json] [-out file] [-gate]
 //	mfload -compare [-duration 5s] [-out BENCH_serve.json] ...
+//	mfload -proxy-compare [-duration 5s] [-out BENCH_serve.json] ...
+//
+// -addr accepts a comma-separated target list; connection i dials
+// target i mod len(targets), so one run can spray a whole fleet (or an
+// mfproxy next to its backends) with identical traffic.
 //
 // Besides the scalar ops, -op also accepts the exact reductions
 // (sumexact, dotexact; width 1..4), driven as single-chunk final frames
@@ -15,8 +20,15 @@
 // eight reduction shapes; the -compare report carries a third
 // "reductions" leg so BENCH_serve.json covers them too.
 //
-// -gate exits nonzero if any protocol errors or deadline misses occur —
-// the CI smoke contract. -compare ignores -addr: it boots two in-process
+// -gate exits nonzero if any protocol errors, checksum errors, or
+// deadline misses occur — the CI smoke contract. -proxy-compare boots
+// two in-process backends plus an mfproxy and measures the cluster
+// tier: a direct single-backend leg, a proxy pass-through leg (cache
+// disabled), and a proxy hot leg (the default repeated-payload mix is
+// all cache hits after the first round); the cache speedup is
+// hot/pass-through, and the "proxy" report key is merged into an
+// existing -out file so one BENCH_serve.json carries every serving
+// experiment. -compare ignores -addr: it boots two in-process
 // servers, one with batching enabled (max-batch 256, 200µs window) and
 // one pinned to one-request-per-batch, runs the identical load against
 // each, and writes a JSON report with the batched/unbatched speedup
@@ -29,6 +41,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -41,6 +54,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"multifloats/serve/proxy"
 	"multifloats/serve/server"
 	"multifloats/serve/wire"
 )
@@ -53,7 +67,7 @@ type opSpec struct {
 func (o opSpec) String() string { return fmt.Sprintf("%s%d", o.op, o.width) }
 
 type loadConfig struct {
-	addr     string
+	addrs    []string // connection i dials addrs[i%len(addrs)]
 	conns    int
 	pipeline int
 	count    int // expansion elements per request
@@ -70,6 +84,7 @@ type loadResult struct {
 	Overloads      int64              `json:"overloads"`
 	DeadlineMisses int64              `json:"deadline_misses"`
 	ProtocolErrors int64              `json:"protocol_errors"`
+	ChecksumErrors int64              `json:"checksum_errors"`
 	ThroughputRPS  float64            `json:"throughput_rps"`
 	ThroughputEPS  float64            `json:"throughput_eps"`
 	LatencySamples int                `json:"latency_samples"`
@@ -78,7 +93,7 @@ type loadResult struct {
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7333", "mfserved address")
+		addr     = flag.String("addr", "127.0.0.1:7333", "target address(es), comma-separated; connection i dials target i mod N")
 		conns    = flag.Int("conns", 4, "concurrent connections")
 		pipeline = flag.Int("pipeline", 64, "outstanding requests per connection")
 		count    = flag.Int("count", 8, "expansion elements per request")
@@ -89,9 +104,10 @@ func main() {
 		duration = flag.Duration("duration", 5*time.Second, "load duration (per leg in -compare)")
 		jsonOut  = flag.Bool("json", false, "print the report as JSON (always on with -out or -compare)")
 		outFile  = flag.String("out", "", `write the JSON report to this file (default "BENCH_serve.json" with -compare)`)
-		gate     = flag.Bool("gate", false, "exit 1 on any protocol errors or deadline misses")
+		gate     = flag.Bool("gate", false, "exit 1 on any protocol, checksum, or deadline errors")
 		minRPS   = flag.Float64("min-rps", 0, "with -gate: also fail when throughput falls below this req/s floor")
 		compare  = flag.Bool("compare", false, "run batched vs one-request-per-batch in-process servers and report the speedup")
+		proxyCmp = flag.Bool("proxy-compare", false, "run direct vs proxied (cold and cache-hot) in-process legs and report the cluster speedups")
 	)
 	flag.Parse()
 
@@ -99,8 +115,17 @@ func main() {
 	if err != nil {
 		log.Fatalf("mfload: %v", err)
 	}
+	var addrs []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		log.Fatal("mfload: -addr needs at least one target")
+	}
 	cfg := loadConfig{
-		addr:     *addr,
+		addrs:    addrs,
 		conns:    *conns,
 		pipeline: *pipeline,
 		count:    *count,
@@ -114,6 +139,13 @@ func main() {
 			*outFile = "BENCH_serve.json"
 		}
 		runCompare(cfg, *outFile, *gate)
+		return
+	}
+	if *proxyCmp {
+		if *outFile == "" {
+			*outFile = "BENCH_serve.json"
+		}
+		runProxyCompare(cfg, *outFile, *gate)
 		return
 	}
 
@@ -214,6 +246,7 @@ type tally struct {
 	overloads atomic.Int64
 	deadlines atomic.Int64
 	protoErrs atomic.Int64
+	checksums atomic.Int64
 
 	mu   sync.Mutex
 	lats []time.Duration
@@ -259,9 +292,10 @@ func runLoad(cfg loadConfig) (*loadResult, error) {
 // send times by ID. After the duration expires the writer stops and the
 // reader drains the remaining in-flight requests.
 func driveConn(ctx context.Context, cfg loadConfig, payloads []payload, seed int, t *tally) error {
-	nc, err := net.DialTimeout("tcp", cfg.addr, 5*time.Second)
+	addr := cfg.addrs[seed%len(cfg.addrs)]
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
-		return fmt.Errorf("dial %s: %w", cfg.addr, err)
+		return fmt.Errorf("dial %s: %w", addr, err)
 	}
 	defer nc.Close()
 	if tc, ok := nc.(*net.TCPConn); ok {
@@ -377,6 +411,17 @@ func driveConn(ctx context.Context, cfg loadConfig, payloads []payload, seed int
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				continue // poll the writer/drain state again
 			}
+			if errors.Is(err, wire.ErrChecksum) {
+				// The trailer was consumed before the verdict, so the stream
+				// is still framed: count the corrupt response (this is the
+				// client-observed integrity figure the gate checks) and keep
+				// reading.
+				t.checksums.Add(1)
+				outstanding.Add(-1)
+				<-sem
+				t.responses.Add(1)
+				continue
+			}
 			if !drainDeadline.IsZero() {
 				return nil // connection wound down during drain
 			}
@@ -434,6 +479,7 @@ func summarize(t *tally, cfg loadConfig, elapsed time.Duration) *loadResult {
 		Overloads:      t.overloads.Load(),
 		DeadlineMisses: t.deadlines.Load(),
 		ProtocolErrors: t.protoErrs.Load(),
+		ChecksumErrors: t.checksums.Load(),
 		ThroughputRPS:  float64(ok) / sec,
 		ThroughputEPS:  float64(ok*int64(cfg.count)) / sec,
 		LatencySamples: len(lats),
@@ -460,7 +506,7 @@ func runCompare(cfg loadConfig, outFile string, gate bool) {
 		}
 		done := make(chan error, 1)
 		go func() { done <- s.Serve() }()
-		legCfg.addr = s.Addr().String()
+		legCfg.addrs = []string{s.Addr().String()}
 		res, err := runLoad(legCfg)
 		if err != nil {
 			log.Fatalf("mfload: %s leg: %v", name, err)
@@ -516,6 +562,120 @@ func runCompare(cfg loadConfig, outFile string, gate bool) {
 	gateExit(gate, 0, red)
 }
 
+// runProxyCompare measures the cluster tier against in-process
+// components: a direct single-backend leg, a proxy pass-through leg
+// (cache disabled, so every request is routed and forwarded), and a
+// proxy hot leg (default cache; the repeated payload mix hits after the
+// first round). Everything — kernels, wire, loopback TCP — is shared,
+// so hot/passthrough isolates the content-addressed cache and
+// passthrough/direct prices the extra hop. The "proxy" key is merged
+// into an existing -out report so BENCH_serve.json keeps its E-Serve
+// legs.
+func runProxyCompare(cfg loadConfig, outFile string, gate bool) {
+	startBackend := func() (*server.Server, chan error) {
+		s := server.New(server.Config{Addr: "127.0.0.1:0"})
+		if err := s.Listen(); err != nil {
+			log.Fatalf("mfload: backend listen: %v", err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- s.Serve() }()
+		return s, done
+	}
+	stop := func(name string, shut interface {
+		Shutdown(context.Context) error
+	}, done chan error) {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := shut.Shutdown(ctx); err != nil {
+			log.Fatalf("mfload: %s shutdown: %v", name, err)
+		}
+		if err := <-done; err != nil {
+			log.Fatalf("mfload: %s serve: %v", name, err)
+		}
+	}
+	runLeg := func(name, addr string) *loadResult {
+		legCfg := cfg
+		legCfg.addrs = []string{addr}
+		res, err := runLoad(legCfg)
+		if err != nil {
+			log.Fatalf("mfload: %s leg: %v", name, err)
+		}
+		return res
+	}
+	startProxy := func(cacheBytes int64, b1, b2 string) (*proxy.Proxy, chan error) {
+		p, err := proxy.New(proxy.Config{
+			Addr:       "127.0.0.1:0",
+			Backends:   []string{b1, b2},
+			CacheBytes: cacheBytes,
+		})
+		if err != nil {
+			log.Fatalf("mfload: proxy: %v", err)
+		}
+		if err := p.Listen(); err != nil {
+			log.Fatalf("mfload: proxy listen: %v", err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- p.Serve() }()
+		return p, done
+	}
+
+	s1, d1 := startBackend()
+	s2, d2 := startBackend()
+
+	direct := runLeg("direct", s1.Addr().String())
+
+	pCold, pcDone := startProxy(-1, s1.Addr().String(), s2.Addr().String())
+	passthrough := runLeg("proxy-passthrough", pCold.Addr().String())
+	stop("proxy-passthrough", pCold, pcDone)
+
+	pHot, phDone := startProxy(0 /* default budget */, s1.Addr().String(), s2.Addr().String())
+	hot := runLeg("proxy-hot", pHot.Addr().String())
+	hotSnap := pHot.Stats().Snapshot()
+	stop("proxy-hot", pHot, phDone)
+
+	stop("backend-1", s1, d1)
+	stop("backend-2", s2, d2)
+
+	cacheSpeedup := 0.0
+	if passthrough.ThroughputRPS > 0 {
+		cacheSpeedup = hot.ThroughputRPS / passthrough.ThroughputRPS
+	}
+	hopCost := 0.0
+	if direct.ThroughputRPS > 0 {
+		hopCost = passthrough.ThroughputRPS / direct.ThroughputRPS
+	}
+	proxyReport := map[string]any{
+		"bench":           "E-Proxy",
+		"config":          configJSON(cfg),
+		"direct":          direct,
+		"passthrough":     passthrough,
+		"hot":             hot,
+		"cache_hits":      hotSnap.CacheHits,
+		"cache_misses":    hotSnap.CacheMisses,
+		"cache_speedup":   cacheSpeedup,
+		"passthrough_rel": hopCost,
+	}
+
+	// Merge under "proxy" so an existing E-Serve report keeps its legs.
+	report := map[string]any{}
+	if prev, err := os.ReadFile(outFile); err == nil {
+		if err := json.Unmarshal(prev, &report); err != nil {
+			log.Printf("mfload: %s exists but is not JSON (%v); rewriting", outFile, err)
+			report = map[string]any{}
+		}
+	}
+	report["proxy"] = proxyReport
+	emit(report, outFile, true)
+	printHuman("direct", direct)
+	printHuman("proxy-passthrough", passthrough)
+	printHuman("proxy-hot", hot)
+	fmt.Printf("proxy cache speedup (hot/passthrough): %.2fx; passthrough vs direct: %.2fx; %d hits / %d misses\n",
+		cacheSpeedup, hopCost, hotSnap.CacheHits, hotSnap.CacheMisses)
+	gateExit(gate, 0, direct)
+	gateExit(gate, 0, passthrough)
+	gateExit(gate, 0, hot)
+}
+
 func configJSON(cfg loadConfig) map[string]any {
 	specs := make([]string, len(cfg.specs))
 	for i, s := range cfg.specs {
@@ -549,32 +709,33 @@ func emit(report map[string]any, outFile string, stdout bool) {
 }
 
 func printHuman(name string, r *loadResult) {
-	fmt.Printf("%s: %.0f req/s (%.0f elem/s) over %.1fs — p50 %.0fµs p90 %.0fµs p99 %.0fµs p999 %.0fµs max %.0fµs; %d overloads, %d deadline misses, %d protocol errors\n",
+	fmt.Printf("%s: %.0f req/s (%.0f elem/s) over %.1fs — p50 %.0fµs p90 %.0fµs p99 %.0fµs p999 %.0fµs max %.0fµs; %d overloads, %d deadline misses, %d protocol errors, %d checksum errors\n",
 		name, r.ThroughputRPS, r.ThroughputEPS, r.DurationSec,
 		r.LatencyUs["p50"], r.LatencyUs["p90"], r.LatencyUs["p99"], r.LatencyUs["p999"], r.LatencyUs["max"],
-		r.Overloads, r.DeadlineMisses, r.ProtocolErrors)
+		r.Overloads, r.DeadlineMisses, r.ProtocolErrors, r.ChecksumErrors)
 }
 
-func gateExit(gate bool, minRPS float64, r *loadResult) {
-	if !gate {
-		return
-	}
+// gateViolation is the -gate policy, separated from os.Exit so it is
+// testable: it returns a failure description, or "" when r passes.
+func gateViolation(minRPS float64, r *loadResult) string {
 	// A run that completed nothing proves nothing: the zero error counters
 	// are vacuous (there was no traffic for them to count) and the
 	// percentile map is all zeros from the empty-sample guard, which a
 	// dashboard would happily plot as "0µs p99". Fail loudly instead of
 	// letting an unreachable or instantly-rejecting server pass the gate.
 	if r.OK == 0 {
-		fmt.Fprintf(os.Stderr, "mfload: GATE FAILED: zero requests completed "+
-			"(%d sent, %d answered: %d overloads, %d deadline misses, %d protocol errors) — "+
-			"latency/throughput figures are vacuous; is the server up and accepting this op mix?\n",
-			r.Requests, r.Responses, r.Overloads, r.DeadlineMisses, r.ProtocolErrors)
-		os.Exit(1)
+		return fmt.Sprintf("zero requests completed "+
+			"(%d sent, %d answered: %d overloads, %d deadline misses, %d protocol errors, %d checksum errors) — "+
+			"latency/throughput figures are vacuous; is the server up and accepting this op mix?",
+			r.Requests, r.Responses, r.Overloads, r.DeadlineMisses, r.ProtocolErrors, r.ChecksumErrors)
 	}
-	if r.ProtocolErrors > 0 || r.DeadlineMisses > 0 {
-		fmt.Fprintf(os.Stderr, "mfload: GATE FAILED: %d protocol errors, %d deadline misses\n",
-			r.ProtocolErrors, r.DeadlineMisses)
-		os.Exit(1)
+	// Checksum errors gate alongside protocol errors: a corrupt frame that
+	// reached the client is an integrity failure even though the wire layer
+	// refused to decode it, and exactly the thing a chaos/netfault smoke
+	// run exists to catch.
+	if r.ProtocolErrors > 0 || r.DeadlineMisses > 0 || r.ChecksumErrors > 0 {
+		return fmt.Sprintf("%d protocol errors, %d deadline misses, %d checksum errors",
+			r.ProtocolErrors, r.DeadlineMisses, r.ChecksumErrors)
 	}
 	// The throughput floor is a coarse perf-regression tripwire for CI
 	// (make perf-smoke), not a benchmark: set it far below the measured
@@ -582,8 +743,18 @@ func gateExit(gate bool, minRPS float64, r *loadResult) {
 	// path, an accidental per-request allocation storm — trips it on
 	// noisy shared runners.
 	if minRPS > 0 && r.ThroughputRPS < minRPS {
-		fmt.Fprintf(os.Stderr, "mfload: GATE FAILED: throughput %.0f req/s below the -min-rps floor %.0f\n",
+		return fmt.Sprintf("throughput %.0f req/s below the -min-rps floor %.0f",
 			r.ThroughputRPS, minRPS)
+	}
+	return ""
+}
+
+func gateExit(gate bool, minRPS float64, r *loadResult) {
+	if !gate {
+		return
+	}
+	if v := gateViolation(minRPS, r); v != "" {
+		fmt.Fprintf(os.Stderr, "mfload: GATE FAILED: %s\n", v)
 		os.Exit(1)
 	}
 }

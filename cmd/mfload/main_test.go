@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGateViolation pins the -gate contract, in particular the
+// regression where checksum errors slipped through: a corrupt frame the
+// wire layer refused to decode still reached the client, and the gate
+// reported a clean run.
+func TestGateViolation(t *testing.T) {
+	clean := func() *loadResult {
+		return &loadResult{Requests: 100, Responses: 100, OK: 100, ThroughputRPS: 5000}
+	}
+	cases := []struct {
+		name   string
+		minRPS float64
+		mutate func(*loadResult)
+		want   string // substring of the violation, "" = must pass
+	}{
+		{"clean", 0, func(r *loadResult) {}, ""},
+		{"zero-ok-vacuous", 0, func(r *loadResult) { r.OK = 0 }, "vacuous"},
+		{"protocol-errors", 0, func(r *loadResult) { r.ProtocolErrors = 1 }, "1 protocol errors"},
+		{"deadline-misses", 0, func(r *loadResult) { r.DeadlineMisses = 2 }, "2 deadline misses"},
+		{"checksum-errors", 0, func(r *loadResult) { r.ChecksumErrors = 3 }, "3 checksum errors"},
+		{"below-rps-floor", 9000, func(r *loadResult) {}, "below the -min-rps floor"},
+		{"at-rps-floor", 5000, func(r *loadResult) {}, ""},
+		{"overloads-allowed", 0, func(r *loadResult) { r.Overloads = 7 }, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := clean()
+			tc.mutate(r)
+			got := gateViolation(tc.minRPS, r)
+			if tc.want == "" {
+				if got != "" {
+					t.Fatalf("gateViolation = %q, want pass", got)
+				}
+				return
+			}
+			if !strings.Contains(got, tc.want) {
+				t.Fatalf("gateViolation = %q, want substring %q", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestMultiTargetAddrAssignment pins the conn→target mapping used by
+// multi-target -addr (connection i dials target i mod N).
+func TestMultiTargetAddrAssignment(t *testing.T) {
+	cfg := loadConfig{addrs: []string{"a:1", "b:2", "c:3"}}
+	for i, want := range []string{"a:1", "b:2", "c:3", "a:1", "b:2"} {
+		if got := cfg.addrs[i%len(cfg.addrs)]; got != want {
+			t.Fatalf("conn %d -> %s, want %s", i, got, want)
+		}
+	}
+}

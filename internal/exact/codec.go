@@ -1,0 +1,72 @@
+package exact
+
+import (
+	"fmt"
+	"math"
+)
+
+// EncodedWords is the length of the float64 slab EncodeFloats produces:
+// the renormalized bins, the top carry word split into two 32-bit
+// halves, and one flags word. serve/wire's ReduceRawElems must equal
+// this (serve/server holds the compile-time assertion), so a raw-final
+// reduction response is exactly one encoded accumulator.
+const EncodedWords = binCount + 3
+
+// EncodeFloats serializes the accumulator as EncodedWords float64
+// values whose IEEE-754 bit patterns carry the state verbatim — the
+// natural payload for a wire layer that already ships raw Float64bits.
+// Every encoded word is a uint64 below 2^32 reinterpreted as a float64
+// bit pattern, so the floats are all positive subnormals (or zero):
+// no NaN or Inf can appear, and any transport that preserves bits
+// preserves the accumulator exactly. The state is renormalized into a
+// copy first; a is not modified. Decode with DecodeFloats; merging
+// decoded accumulators and folding once is bit-identical to having
+// accumulated every input into a single accumulator (see Merge).
+func (a *Accumulator) EncodeFloats() []float64 {
+	c := *a
+	c.renorm()
+	out := make([]float64, EncodedWords)
+	for i, b := range c.bins {
+		out[i] = math.Float64frombits(uint64(b))
+	}
+	// top is a two's-complement int64: ship both 32-bit halves so the
+	// sign survives (for a negative value the halves are all-ones).
+	u := uint64(c.top)
+	out[binCount] = math.Float64frombits(u & chunkMask)
+	out[binCount+1] = math.Float64frombits(u >> chunkBits)
+	out[binCount+2] = math.Float64frombits(c.nan<<2 | c.pinf<<1 | c.ninf)
+	return out
+}
+
+// DecodeFloats reconstructs an accumulator serialized by EncodeFloats.
+// It validates shape and range — every bin and top half must fit 32
+// bits, the flags word 3 — so a hostile or corrupted slab is rejected
+// rather than decoded into an accumulator whose invariants (renorm
+// headroom, magnitude extraction) no longer hold.
+func DecodeFloats(words []float64) (*Accumulator, error) {
+	if len(words) != EncodedWords {
+		return nil, fmt.Errorf("exact: encoded accumulator has %d words, want %d", len(words), EncodedWords)
+	}
+	a := new(Accumulator)
+	for i := range a.bins {
+		w := math.Float64bits(words[i])
+		if w > chunkMask {
+			return nil, fmt.Errorf("exact: bin %d word %#x exceeds 32 bits", i, w)
+		}
+		a.bins[i] = int64(w)
+	}
+	lo := math.Float64bits(words[binCount])
+	hi := math.Float64bits(words[binCount+1])
+	if lo > chunkMask || hi > chunkMask {
+		return nil, fmt.Errorf("exact: top carry halves %#x,%#x exceed 32 bits", lo, hi)
+	}
+	a.top = int64(hi<<chunkBits | lo)
+	fl := math.Float64bits(words[binCount+2])
+	if fl > 7 {
+		return nil, fmt.Errorf("exact: flags word %#x exceeds 3 bits", fl)
+	}
+	a.nan = fl >> 2 & 1
+	a.pinf = fl >> 1 & 1
+	a.ninf = fl & 1
+	return a, nil
+}

@@ -79,6 +79,13 @@ func WithIOTimeout(d time.Duration) Option { return func(c *Client) { c.ioTimeou
 // pipelining, never values.
 func WithReduceChunk(n int) Option { return func(c *Client) { c.reduceChunk = n } }
 
+// WithLazyDial skips Dial's eager reachability probe: the client is
+// created immediately and connections are established on first use.
+// This is what a proxy wants for its backends — a replica that is down
+// at proxy start must not prevent the proxy from starting; it simply
+// fails health checks until it comes back.
+func WithLazyDial() Option { return func(c *Client) { c.lazyDial = true } }
+
 // WithDialer overrides how connections are established — the hook for
 // fault-injection harnesses (internal/netfault), proxies, or custom
 // transports. The dialer must honor the timeout it is given.
@@ -97,6 +104,7 @@ type Client struct {
 	dialTimeout time.Duration
 	ioTimeout   time.Duration
 	reduceChunk int
+	lazyDial    bool
 	dialFn      func(addr string, timeout time.Duration) (net.Conn, error)
 
 	conns  chan *poolConn
@@ -137,11 +145,13 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 		c.reduceChunk = 1
 	}
 	c.conns = make(chan *poolConn, c.poolSize)
-	pc, err := c.dial()
-	if err != nil {
-		return nil, fmt.Errorf("mfserve: dial %s: %w", addr, err)
+	if !c.lazyDial {
+		pc, err := c.dial()
+		if err != nil {
+			return nil, fmt.Errorf("mfserve: dial %s: %w", addr, err)
+		}
+		c.put(pc)
 	}
-	c.put(pc)
 	return c, nil
 }
 
@@ -237,6 +247,31 @@ func (c *Client) backoff(attempt int, floor time.Duration) time.Duration {
 // do performs one request with retries, returning the OK result slab.
 func (c *Client) do(ctx context.Context, req *wire.Request) ([]float64, error) {
 	return c.withRetries(ctx, func() ([]float64, error) { return c.try(ctx, req) })
+}
+
+// Do sends one already-shaped request and returns the OK result slab,
+// with the same pooled-connection, retry, and typed-error behavior as
+// the typed calls. This is the forwarding primitive for proxies and
+// other wire-aware callers: req's Op/Width/Count/M/Hops and operand
+// slabs are sent as given, while ID is assigned fresh per attempt and
+// Deadline is taken from ctx (any caller-set values are overwritten).
+// Failed attempts may leave req mutated; callers must not reuse the
+// struct concurrently.
+func (c *Client) Do(ctx context.Context, req *wire.Request) ([]float64, error) {
+	return c.do(ctx, req)
+}
+
+// IsRetryable reports whether err — from any call on this package's
+// clients — is a transient failure: one the client already retried up
+// to its budget, and one a caller holding other replicas (a proxy, a
+// multi-target loader) may safely fail over on, because the request
+// was never definitively accepted-and-answered. Dial and transport
+// errors, server overload, and response-integrity failures
+// (ErrIntegrity) are retryable; ErrDeadlineExceeded, ErrBadRequest,
+// ErrServer, ErrClosed, and context cancellation are terminal.
+func IsRetryable(err error) bool {
+	var te *transientError
+	return errors.As(err, &te)
 }
 
 // withRetries runs one attempt of a call until it succeeds, fails

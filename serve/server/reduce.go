@@ -25,6 +25,16 @@ import (
 // streams it never finishes (each accumulator is ~1 KiB).
 const maxOpenReductions = 256
 
+// The wire protocol promises a raw-final reduction response is exactly
+// one serialized accumulator. wire must not import internal/exact (it
+// is protocol-only), so the equality is asserted here, where both sides
+// meet: either array length goes negative — a compile error — if the
+// constants ever drift apart.
+var (
+	_ [exact.EncodedWords - wire.ReduceRawElems]struct{}
+	_ [wire.ReduceRawElems - exact.EncodedWords]struct{}
+)
+
 // parallelFoldElems is the chunk size (in expansion elements) above
 // which a fold shards across the configured workers. Below it the
 // goroutine handoff costs more than the integer deposits save.
@@ -76,7 +86,16 @@ func (c *srvConn) handleReduce(ctx context.Context, req *wire.Request) error {
 	}
 
 	delete(c.reds, req.ID)
-	out := red.acc.SumExpansion(red.width)
+	var out []float64
+	if req.M&wire.FlagReduceRaw != 0 {
+		// Raw final: return the serialized accumulator instead of the
+		// rounded expansion, so a cluster tier can Merge per-shard state
+		// and round exactly once (wire.FlagReduceRaw; the length contract
+		// is pinned by the compile-time assertions below).
+		out = red.acc.EncodeFloats()
+	} else {
+		out = red.acc.SumExpansion(red.width)
+	}
 	releaseAcc(red.acc)
 	if ctx.Err() != nil {
 		c.s.stats.deadline()

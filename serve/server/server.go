@@ -210,7 +210,18 @@ func (s *Server) ListenAndServe() error {
 // internal/netfault's fault-injecting listener, or a TLS listener). The
 // server takes ownership: Shutdown closes it.
 func (s *Server) ServeListener(ln net.Listener) error {
+	// The assignment is fenced by mu because Shutdown (another
+	// goroutine) reads s.ln; losing the race to a concurrent Shutdown
+	// means the server was stopped before it started — close and exit
+	// rather than accepting on a listener nobody will ever close.
+	s.mu.Lock()
 	s.ln = ln
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		ln.Close()
+		return nil
+	}
 	return s.Serve()
 }
 
@@ -232,10 +243,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	s.draining = true
+	ln := s.ln
 	s.mu.Unlock()
 
-	if s.ln != nil {
-		s.ln.Close()
+	if ln != nil {
+		ln.Close()
 	}
 	for _, l := range s.lanes {
 		l.drain()

@@ -133,7 +133,7 @@ func deadlineNanos(t time.Time) int64 {
 	return t.UnixNano()
 }
 
-const reqFixed = 12 // op, width, reserved×2, count, m
+const reqFixed = 12 // op, width, proxy hops, reserved, count, m
 
 // WriteRequest encodes r as a single frame. The caller is responsible
 // for r being well-shaped (Validate); WriteRequest trusts the slab
@@ -143,11 +143,17 @@ func WriteRequest(w io.Writer, r *Request) error {
 	if payload > MaxPayload {
 		return fmt.Errorf("%w: %d bytes", ErrTooLarge, payload)
 	}
+	if uint(r.Hops) > MaxProxyHops {
+		// Checked at write time too (not just Validate): a hop count that
+		// does not fit the wire byte must never be silently truncated into
+		// a plausible one.
+		return fmt.Errorf("%w: proxy hop count %d exceeds MaxProxyHops %d", ErrMalformed, r.Hops, MaxProxyHops)
+	}
 	bp, buf := getBuf(HeaderSize + payload + TrailerSize)
 	defer putBuf(bp)
 	putHeader(buf, frameRequest, payload, r.ID, deadlineNanos(r.Deadline))
 	p := buf[HeaderSize:]
-	p[0], p[1], p[2], p[3] = byte(r.Op), byte(r.Width), 0, 0
+	p[0], p[1], p[2], p[3] = byte(r.Op), byte(r.Width), byte(r.Hops), 0
 	binary.LittleEndian.PutUint32(p[4:], uint32(r.Count))
 	binary.LittleEndian.PutUint32(p[8:], uint32(r.M))
 	p = putF64s(p[reqFixed:], r.Alpha)
@@ -182,6 +188,7 @@ func ReadRequest(r io.Reader) (*Request, error) {
 		ID:    id,
 		Op:    Op(fixed[0]),
 		Width: int(fixed[1]),
+		Hops:  int(fixed[2]),
 		Count: int(binary.LittleEndian.Uint32(fixed[4:])),
 		M:     int(binary.LittleEndian.Uint32(fixed[8:])),
 	}

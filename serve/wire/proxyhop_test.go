@@ -1,0 +1,129 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+// reseal recomputes the CRC32C trailer after a test has doctored frame
+// bytes, so the hostile value under test reaches the semantic layer
+// instead of bouncing off the integrity check.
+func reseal(frame []byte) {
+	n := len(frame) - TrailerSize
+	binary.LittleEndian.PutUint32(frame[n:], crc32.Checksum(frame[:n], crc32.MakeTable(crc32.Castagnoli)))
+}
+
+func validHopFrame(t *testing.T, hops int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	req := &Request{ID: 21, Op: OpAdd, Width: 2, Count: 1, Hops: hops,
+		X: []float64{1, 0}, Y: []float64{2, 0}}
+	if err := WriteRequest(&buf, req); err != nil {
+		t.Fatalf("WriteRequest: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestProxyHopRoundTrip pins the hop byte through encode/decode at every
+// legal value, and that Validate accepts all of them.
+func TestProxyHopRoundTrip(t *testing.T) {
+	for hops := 0; hops <= MaxProxyHops; hops++ {
+		got, err := ReadRequest(bytes.NewReader(validHopFrame(t, hops)))
+		if err != nil {
+			t.Fatalf("hops=%d: ReadRequest: %v", hops, err)
+		}
+		if got.Hops != hops {
+			t.Fatalf("hops=%d: decoded %d", hops, got.Hops)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("hops=%d: Validate: %v", hops, err)
+		}
+	}
+}
+
+// TestProxyHopWriteBound: a writer-side hop count that does not fit the
+// contract must fail loudly, never truncate into a plausible byte.
+func TestProxyHopWriteBound(t *testing.T) {
+	for _, hops := range []int{MaxProxyHops + 1, 255, 256, 1000, -1} {
+		var buf bytes.Buffer
+		req := &Request{ID: 1, Op: OpAdd, Width: 2, Count: 1, Hops: hops,
+			X: []float64{1, 0}, Y: []float64{2, 0}}
+		if err := WriteRequest(&buf, req); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("hops=%d: WriteRequest err = %v, want ErrMalformed", hops, err)
+		}
+	}
+}
+
+// TestProxyHopHostileFrame doctors the hop byte of an otherwise valid,
+// correctly CRC-sealed frame to loop-evident values: the frame decodes
+// (hops is semantic, not framing) and Validate rejects it — which is the
+// path a server takes to answer StatusBadRequest instead of forwarding a
+// request around a proxy cycle forever.
+func TestProxyHopHostileFrame(t *testing.T) {
+	for _, hostile := range []byte{MaxProxyHops + 1, 7, 200, 255} {
+		frame := validHopFrame(t, 0)
+		frame[HeaderSize+2] = hostile
+		reseal(frame)
+		got, err := ReadRequest(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("hop byte %d: ReadRequest: %v", hostile, err)
+		}
+		if got.Hops != int(hostile) {
+			t.Fatalf("hop byte %d: decoded %d", hostile, got.Hops)
+		}
+		if err := got.Validate(); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("hop byte %d: Validate err = %v, want ErrMalformed", hostile, err)
+		}
+	}
+}
+
+// TestProxyHopCorruptionCaught: without the reseal, flipping the hop
+// byte is transport corruption and must die at the CRC check, so a loop
+// count can never be forged in flight.
+func TestProxyHopCorruptionCaught(t *testing.T) {
+	frame := validHopFrame(t, 1)
+	frame[HeaderSize+2] = 200
+	if _, err := ReadRequest(bytes.NewReader(frame)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+}
+
+// TestReduceRawFlagValidation pins the raw-final contract: raw+final is
+// valid and sized ReduceRawElems; raw without final, and any unknown
+// flag bit, are malformed.
+func TestReduceRawFlagValidation(t *testing.T) {
+	mk := func(m int) *Request {
+		return &Request{ID: 1, Op: OpSumExact, Width: 2, Count: 1, M: m,
+			X: []float64{1, 0}}
+	}
+	if err := mk(FlagReduceFinal | FlagReduceRaw).Validate(); err != nil {
+		t.Fatalf("raw final: Validate: %v", err)
+	}
+	if got := RespElems(OpSumExact, 2, 1, FlagReduceFinal|FlagReduceRaw); got != ReduceRawElems {
+		t.Fatalf("raw final RespElems = %d, want %d", got, ReduceRawElems)
+	}
+	if got := RespElems(OpDotExact, 3, 1, FlagReduceFinal); got != 3 {
+		t.Fatalf("rounded final RespElems = %d, want width", got)
+	}
+	if err := mk(FlagReduceRaw).Validate(); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("raw without final: Validate err = %v, want ErrMalformed", err)
+	}
+	if err := mk(FlagReduceFinal | 4).Validate(); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("unknown flag bit: Validate err = %v, want ErrMalformed", err)
+	}
+	// Raw final round-trips like any other reduction frame.
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, mk(FlagReduceFinal|FlagReduceRaw)); err != nil {
+		t.Fatalf("WriteRequest: %v", err)
+	}
+	got, err := ReadRequest(&buf)
+	if err != nil {
+		t.Fatalf("ReadRequest: %v", err)
+	}
+	if got.M != FlagReduceFinal|FlagReduceRaw {
+		t.Fatalf("M = %#x", got.M)
+	}
+}

@@ -45,6 +45,12 @@ func truncationFrames(t *testing.T) map[string][]byte {
 			M: FlagReduceFinal, X: comps(4), Y: comps(4)},
 		"req-dotexact-w4-chunk": {ID: 16, Op: OpDotExact, Width: 4, Count: 2,
 			X: comps(8), Y: comps(8)},
+		// Proxy-era shapes: a forwarded request carrying a nonzero hop
+		// count, and a raw-accumulator final chunk (the shard-merge form).
+		"req-add-w2-hops": {ID: 17, Op: OpAdd, Width: 2, Count: 3,
+			Hops: MaxProxyHops, X: comps(6), Y: comps(6)},
+		"req-sumexact-w2-rawfinal": {ID: 18, Op: OpSumExact, Width: 2, Count: 2,
+			M: FlagReduceFinal | FlagReduceRaw, X: comps(4)},
 	}
 	resps := map[string]*Response{
 		"resp-ok":         {ID: 7, Status: StatusOK, Data: comps(6)},

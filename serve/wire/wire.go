@@ -36,7 +36,10 @@
 //
 //	0       1     op
 //	1       1     width (2, 3, or 4; reductions also allow 1)
-//	2       2     reserved (0)
+//	2       1     proxy hop count (0 for a direct client; each proxy
+//	              tier increments it; > MaxProxyHops is rejected, so a
+//	              misconfigured proxy loop dies at the first wrap)
+//	3       1     reserved (0)
 //	4       4     count (elements / vector length / matrix dimension n)
 //	8       4     m     (GEMV column count; reduction flags; 0 otherwise)
 //	12      —     Axpy only: alpha, width components
@@ -108,6 +111,28 @@ const (
 // Reduction requests reuse the M header field as a flags word; all
 // other M bits must be zero.
 const FlagReduceFinal = 1
+
+// FlagReduceRaw, valid only together with FlagReduceFinal, asks the
+// server to answer the final chunk with the raw serialized
+// superaccumulator state (exact.EncodeFloats — ReduceRawElems float64
+// words) instead of the rounded width-w expansion. This is the cluster
+// hook: a proxy that shards one reduction's chunk stream across
+// backends collects each shard's raw accumulator, merges them with
+// exact.Accumulator.Merge (exact, order-independent), and rounds once
+// — bit-identical to a single-server fold of the same chunks.
+const FlagReduceRaw = 2
+
+// MaxProxyHops bounds the proxy hop count a request may carry; a frame
+// whose hop byte exceeds it is rejected as malformed (the loop guard
+// for misconfigured proxy tiers — see Request.Hops).
+const MaxProxyHops = 3
+
+// ReduceRawElems is the float64 word count of a raw reduction result:
+// the serialized superaccumulator a FlagReduceRaw final chunk returns.
+// It must equal exact.EncodedWords — serve/server asserts the equality
+// at compile time, so the protocol package itself stays free of any
+// dependency on the accumulator's layout.
+const ReduceRawElems = 137
 
 // Scalar reports whether op is one of the elementwise scalar operations
 // (the ones the server's batching scheduler may coalesce across requests).
@@ -221,7 +246,8 @@ type Request struct {
 	Op       Op
 	Width    int // expansion width: 2, 3, or 4 (reductions also allow 1)
 	Count    int // scalar: elements; axpy/dot: n; gemv: rows n; gemm: n; reductions: chunk elements
-	M        int // gemv: columns; reductions: flags (FlagReduceFinal); 0 otherwise
+	M        int // gemv: columns; reductions: flags (FlagReduceFinal | FlagReduceRaw); 0 otherwise
+	Hops     int // proxy hops taken so far (0..MaxProxyHops; each proxy tier increments)
 
 	Alpha []float64 // axpy only: one expansion (Width components)
 	X     []float64 // first operand slab
@@ -325,8 +351,13 @@ func RespElems(op Op, width, count, m int) int {
 	switch op {
 	case OpSumExact, OpDotExact:
 		// Only the final chunk of a streaming reduction carries a result;
-		// earlier chunks are acknowledged with an empty OK.
+		// earlier chunks are acknowledged with an empty OK. A raw final
+		// carries the serialized accumulator instead of the rounded
+		// expansion.
 		if m&FlagReduceFinal != 0 {
+			if m&FlagReduceRaw != 0 {
+				return ReduceRawElems
+			}
 			return width
 		}
 		return 0
@@ -347,8 +378,19 @@ func (r *Request) Validate() error {
 	if !r.Op.Valid() {
 		return fmt.Errorf("%w: unknown op %d", ErrMalformed, r.Op)
 	}
-	if r.Op.Reduction() && r.M&^FlagReduceFinal != 0 {
+	if r.Hops < 0 || r.Hops > MaxProxyHops {
+		// The loop guard: every proxy tier increments the hop byte, so a
+		// request cycling through a misconfigured proxy ring trips this
+		// bound instead of orbiting forever.
+		return fmt.Errorf("%w: proxy hop count %d exceeds MaxProxyHops %d", ErrMalformed, r.Hops, MaxProxyHops)
+	}
+	if r.Op.Reduction() && r.M&^(FlagReduceFinal|FlagReduceRaw) != 0 {
 		return fmt.Errorf("%w: unknown reduction flags %#x", ErrMalformed, r.M)
+	}
+	if r.Op.Reduction() && r.M&FlagReduceRaw != 0 && r.M&FlagReduceFinal == 0 {
+		// Raw output is a property of the final fold-down; a non-final
+		// chunk asking for it is a confused (or hostile) peer.
+		return fmt.Errorf("%w: FlagReduceRaw on a non-final reduction chunk", ErrMalformed)
 	}
 	if r.M != 0 && r.Op != OpGemv && !r.Op.Reduction() {
 		// M is gemv's column count and the reductions' flags word; any
