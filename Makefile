@@ -82,13 +82,19 @@ fuzz-smoke:
 	$(GO) test ./mf -run '^$$' -fuzz '^FuzzDiv$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./mf -run '^$$' -fuzz '^FuzzSqrt$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./mf -run '^$$' -fuzz '^FuzzEncode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./mf -run '^$$' -fuzz '^FuzzExp$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./mf -run '^$$' -fuzz '^FuzzLogExpRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./mf -run '^$$' -fuzz '^FuzzSinCos$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./mf -run '^$$' -fuzz '^FuzzPow$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzMulAcc$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/blas -run '^$$' -fuzz '^FuzzGemm$$' -fuzztime $(FUZZTIME)
 
 # conformance runs a short differential campaign against the exact
-# mpfloat oracle (the registry includes the sumexact/dotexact zero-ulp
-# entries), then the superaccumulator's order-invariance tier; nonzero
-# exit on any error-bound violation (TESTING.md).
+# oracles (the registry includes the sumexact/dotexact zero-ulp entries
+# and the elementary-function tier — every transcendental op at every
+# width against the big.Float refmath oracle), then the
+# superaccumulator's order-invariance tier; nonzero exit on any
+# error-bound violation (TESTING.md).
 conformance:
 	$(GO) run ./cmd/mffuzz -n 400 -blas 5
 	$(GO) test -count=1 ./internal/exact/
@@ -128,8 +134,12 @@ serve-smoke:
 # EXPERIMENTS.md §E-SoA) only trips on order-of-magnitude regressions:
 # a serialized batch path, a per-request allocation storm, a broken
 # batching config — not on runner noise.
+# The math leg's floor is far lower still: its mix includes tan on
+# 1e18..1e20 arguments, which prices the full Payne–Hanek reduction on
+# every element (TESTING.md "Elementary functions").
 PERF_SMOKE_MIN_RPS ?= 50000
 REDUCE_SMOKE_MIN_RPS ?= 20000
+MATH_SMOKE_MIN_RPS ?= 2000
 perf-smoke:
 	$(GO) build -o /tmp/mfserved ./cmd/mfserved
 	$(GO) build -o /tmp/mfload ./cmd/mfload
@@ -142,6 +152,11 @@ perf-smoke:
 	if [ $$RC -eq 0 ]; then \
 		/tmp/mfload -addr 127.0.0.1:7334 -duration 10s -conns 2 -pipeline 256 \
 			-count 64 -mix reduce -deadline 2s -gate -min-rps $(REDUCE_SMOKE_MIN_RPS); \
+		RC=$$?; \
+	fi; \
+	if [ $$RC -eq 0 ]; then \
+		/tmp/mfload -addr 127.0.0.1:7334 -duration 10s -conns 2 -pipeline 256 \
+			-count 8 -mix math -deadline 5s -gate -min-rps $(MATH_SMOKE_MIN_RPS); \
 		RC=$$?; \
 	fi; \
 	kill -TERM $$SERVED; wait $$SERVED; \

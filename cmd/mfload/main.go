@@ -14,11 +14,15 @@
 // target i mod len(targets), so one run can spray a whole fleet (or an
 // mfproxy next to its backends) with identical traffic.
 //
-// Besides the scalar ops, -op also accepts the exact reductions
-// (sumexact, dotexact; width 1..4), driven as single-chunk final frames
-// so each request is one complete reduction. -mix reduce drives all
-// eight reduction shapes; the -compare report carries a third
-// "reductions" leg so BENCH_serve.json covers them too.
+// Besides the scalar arithmetic ops, -op also accepts the transcendental
+// family (exp, log, sin, ..., pow, atan2, hypot — anything
+// wire.Op.Math()) and the exact reductions (sumexact, dotexact; width
+// 1..4), the latter driven as single-chunk final frames so each request
+// is one complete reduction. -mix math drives a transcendental
+// cross-section with domain-appropriate operands (tan gets huge args, so
+// the Payne–Hanek reduction is priced in); -mix reduce drives all eight
+// reduction shapes; the -compare report carries "reductions" and "math"
+// legs so BENCH_serve.json covers them too.
 //
 // -gate exits nonzero if any protocol errors, checksum errors, or
 // deadline misses occur — the CI smoke contract. -proxy-compare boots
@@ -97,9 +101,9 @@ func main() {
 		conns    = flag.Int("conns", 4, "concurrent connections")
 		pipeline = flag.Int("pipeline", 64, "outstanding requests per connection")
 		count    = flag.Int("count", 8, "expansion elements per request")
-		opName   = flag.String("op", "add", "scalar op: add|sub|mul|div|sqrt")
+		opName   = flag.String("op", "add", "op: add|sub|mul|div|sqrt, a transcendental (exp, sin, pow, ...), or a reduction")
 		width    = flag.Int("width", 2, "expansion width: 2|3|4")
-		mix      = flag.String("mix", "", `traffic preset: "" = single -op/-width, "scalar" = all 5 ops x widths 2..4`)
+		mix      = flag.String("mix", "", `traffic preset: "" = single -op/-width, "scalar" = all 5 ops x widths 2..4, "math" = transcendental cross-section, "reduce" = all reduction shapes`)
 		deadline = flag.Duration("deadline", 0, "per-request deadline (0 = none)")
 		duration = flag.Duration("duration", 5*time.Second, "load duration (per leg in -compare)")
 		jsonOut  = flag.Bool("json", false, "print the report as JSON (always on with -out or -compare)")
@@ -199,26 +203,58 @@ func parseSpecs(mix, opName string, width int) ([]opSpec, error) {
 			}
 		}
 		return specs, nil
+	case "math":
+		// A representative transcendental cross-section rather than all
+		// twenty ops: one exp-family member, one log, the two trig shapes
+		// (moderate args and the Payne–Hanek-bound tan), one inverse, and
+		// the three binary ops, across the widths.
+		var specs []opSpec
+		for _, op := range []wire.Op{wire.OpExp, wire.OpLog, wire.OpSin,
+			wire.OpTan, wire.OpAtan, wire.OpPow, wire.OpAtan2, wire.OpHypot} {
+			for w := 2; w <= 4; w++ {
+				specs = append(specs, opSpec{op, w})
+			}
+		}
+		return specs, nil
 	default:
 		return nil, fmt.Errorf("unknown mix %q", mix)
 	}
 }
 
 // payloads are request operand templates, generated once per (op,width):
-// positive well-separated expansions so div and sqrt stay in the normal
-// path. The wire layer copies on encode, so sharing across requests and
-// goroutines is safe.
+// well-separated expansions with op-appropriate leads — positive 1..2 by
+// default (div and sqrt stay in the normal path), small signed for the
+// exp family, in-domain for asin/acos, and moderate-to-large for trig so
+// the measured rate reflects real kernel work (tan additionally probes
+// the Payne–Hanek reduction) rather than NaN fast paths. The wire layer
+// copies on encode, so sharing across requests and goroutines is safe.
 type payload struct {
 	spec opSpec
 	x, y []float64
 }
 
+// payloadRange returns the lead-value band for op's operands.
+func payloadRange(op wire.Op) (lo, hi float64) {
+	switch op {
+	case wire.OpExp, wire.OpExpm1, wire.OpExp2, wire.OpSinh, wire.OpCosh, wire.OpTanh:
+		return -5, 5
+	case wire.OpSin, wire.OpCos, wire.OpAtan2:
+		return 1, 1e6
+	case wire.OpTan:
+		return 1e18, 1e20 // Payne–Hanek territory: prices the reduction
+	case wire.OpAsin, wire.OpAcos:
+		return -0.99, 0.99
+	default:
+		return 1, 2
+	}
+}
+
 func makePayloads(specs []opSpec, count int) []payload {
 	rng := rand.New(rand.NewSource(0x10ad))
-	gen := func(w int) []float64 {
+	gen := func(w int, lo, hi float64) []float64 {
 		s := make([]float64, count*w)
 		for i := 0; i < count; i++ {
-			v := 1 + rng.Float64()
+			v := lo + (hi-lo)*rng.Float64()
 			for k := 0; k < w; k++ {
 				s[i*w+k] = v
 				v *= 1e-17 * rng.Float64()
@@ -228,11 +264,12 @@ func makePayloads(specs []opSpec, count int) []payload {
 	}
 	ps := make([]payload, len(specs))
 	for i, sp := range specs {
-		ps[i] = payload{spec: sp, x: gen(sp.width)}
+		lo, hi := payloadRange(sp.op)
+		ps[i] = payload{spec: sp, x: gen(sp.width, lo, hi)}
 		// Second operand: binary scalar ops and dotexact; sumexact (like
 		// the unary ops) carries only X — Validate rejects a stray Y.
 		if sp.op == wire.OpDotExact || (!sp.op.Reduction() && !sp.op.Unary()) {
-			ps[i].y = gen(sp.width)
+			ps[i].y = gen(sp.width, lo, hi)
 		}
 	}
 	return ps
@@ -540,6 +577,14 @@ func runCompare(cfg loadConfig, outFile string, gate bool) {
 	redCfg.specs, _ = parseSpecs("reduce", "", 0)
 	red := runLeg("reductions", server.Config{}, redCfg)
 
+	// Fourth leg: the transcendental family on a default server. Math ops
+	// batch like the scalar ops but cost hundreds of arithmetic ops per
+	// element (tan pays Payne–Hanek on huge args), so this leg records an
+	// absolute throughput figure rather than a batching ratio.
+	mathCfg := cfg
+	mathCfg.specs, _ = parseSpecs("math", "", 0)
+	mth := runLeg("math", server.Config{}, mathCfg)
+
 	speedup := 0.0
 	if ub.ThroughputRPS > 0 {
 		speedup = b.ThroughputRPS / ub.ThroughputRPS
@@ -550,16 +595,19 @@ func runCompare(cfg loadConfig, outFile string, gate bool) {
 		"unbatched":  ub,
 		"batched":    b,
 		"reductions": red,
+		"math":       mth,
 		"speedup":    speedup,
 	}
 	emit(report, outFile, true)
 	printHuman("unbatched", ub)
 	printHuman("batched", b)
 	printHuman("reductions", red)
+	printHuman("math", mth)
 	fmt.Printf("speedup (batched/unbatched): %.2fx\n", speedup)
 	gateExit(gate, 0, ub)
 	gateExit(gate, 0, b)
 	gateExit(gate, 0, red)
+	gateExit(gate, 0, mth)
 }
 
 // runProxyCompare measures the cluster tier against in-process

@@ -272,6 +272,16 @@ func runOp(e opEntry, cfg Config) OpReport {
 			x := g.ReduceVector(n, reduceLen)
 			y := g.ReduceVector(n, reduceLen)
 			out = CheckDotExact(spec, x, y)
+		case kindMath:
+			base := mathBase(spec.Name)
+			a, b := g.mathArgs(base, n)
+			if b != nil {
+				input = [][]float64{a, b}
+				out = CheckMathBinary(spec, base, a, b)
+			} else {
+				input = [][]float64{a}
+				out = CheckMathUnary(spec, base, a)
+			}
 		case kindLanes:
 			// One random base op per case; slab length randomized around
 			// the unroll factor so the unrolled body, the scalar tail, and
@@ -334,6 +344,9 @@ func runOp(e opEntry, cfg Config) OpReport {
 			or.Violations++
 			if or.FirstViolation == "" {
 				or.FirstViolation = out.Reason
+				if input != nil {
+					or.FirstViolation += fmt.Sprintf(" input=%v", input)
+				}
 			}
 		}
 	}
@@ -402,6 +415,20 @@ func (r *Report) CorpusEntries() []CorpusEntry {
 		case "mulacc":
 			target = "FuzzMulAcc"
 			vals = append(append(pad4(or.WorstInput[0]), pad4(or.WorstInput[1])...), pad4(or.WorstInput[2])...)
+		// Math registry names carry an underscore before the width digit
+		// ("exp_2"), so the width-stripped slice ends in "_".
+		case "exp_", "expm1_", "exp2_":
+			target = "FuzzExp"
+			vals = pad4(or.WorstInput[0])
+		case "log_", "log1p_", "log2_", "log10_":
+			target = "FuzzLogExpRoundTrip"
+			vals = pad4(or.WorstInput[0])
+		case "sin_", "cos_", "tan_":
+			target = "FuzzSinCos"
+			vals = pad4(or.WorstInput[0])
+		case "pow_":
+			target = "FuzzPow"
+			vals = append(pad4(or.WorstInput[0]), pad4(or.WorstInput[1])...)
 		default:
 			continue
 		}

@@ -138,6 +138,7 @@ const (
 	kindLanes
 	kindSumExact
 	kindDotExact
+	kindMath
 )
 
 // Campaign problem sizes for the accumulation kernels.
@@ -183,6 +184,13 @@ func registry() []opEntry {
 		add("gemm"+suffix, n, kindGemm, mulAccFloor[n], SourceMeasured, 2*(gemmN+1))
 		add("gemm_blocked"+suffix, n, kindGemmBlocked, mulAccFloor[n], SourceMeasured, 2*(gemmN+1))
 		add("lanes"+suffix, n, kindLanes, 0, SourceExact, 0)
+		// Elementary functions: names use an underscore separator
+		// ("exp_2") so exp at width 2 can't collide with the exp2
+		// function. Bounds are measured (TESTING.md, "Elementary
+		// functions").
+		for _, fn := range mathFnNames {
+			add(fn+"_"+suffix, n, kindMath, mathBoundBits(fn, n), SourceMeasured, 1)
+		}
 	}
 	// Exact reductions (internal/exact) additionally support width 1:
 	// plain float64 streams. Correct rounding means a zero error budget.

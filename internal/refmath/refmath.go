@@ -1,0 +1,501 @@
+// Package refmath is a big.Float reference implementation of the
+// elementary functions, used only by tests and the differential-fuzz
+// oracle tiers. Every function computes with an explicit working
+// precision and returns a value whose error is far below one unit in the
+// caller's requested precision (a 64–96 bit internal guard), which makes
+// it a valid oracle for the mf expansion formats (46–210 bits) and for
+// the 4800-bit golden trig vectors.
+//
+// The package is deliberately slow and simple: argument reductions use
+// exact big.Int quotients, series are summed until the next term falls
+// below the working precision, and π/ln 2 are computed from scratch
+// (Machin / atanh series) and memoized per precision. Nothing here is on
+// a serving path.
+package refmath
+
+import (
+	"math"
+	"math/big"
+	"sync"
+)
+
+// guard is the internal precision margin: every function computes at
+// prec+guard bits so the handful of roundings in a reduction or series
+// stays far below the caller's last bit.
+const guard = 96
+
+func newF(prec uint) *big.Float { return new(big.Float).SetPrec(prec) }
+
+// constCache memoizes π and ln 2 per working precision.
+var (
+	constMu  sync.Mutex
+	piCache  = map[uint]*big.Float{}
+	ln2Cache = map[uint]*big.Float{}
+)
+
+// atanInv returns atan(1/n) to prec bits (n ≥ 2), by the Taylor series.
+func atanInv(n int64, prec uint) *big.Float {
+	wp := prec + 32
+	inv := newF(wp).Quo(newF(wp).SetInt64(1), newF(wp).SetInt64(n))
+	inv2 := newF(wp).Mul(inv, inv)
+	pow := newF(wp).Set(inv) // (1/n)^(2k+1)
+	sum := newF(wp).Set(inv)
+	tmp := newF(wp)
+	for k := int64(1); ; k++ {
+		pow.Mul(pow, inv2)
+		tmp.Quo(pow, newF(wp).SetInt64(2*k+1))
+		if k%2 == 1 {
+			sum.Sub(sum, tmp)
+		} else {
+			sum.Add(sum, tmp)
+		}
+		if tmp.Sign() == 0 || tmp.MantExp(nil) < sum.MantExp(nil)-int(wp) {
+			return sum
+		}
+	}
+}
+
+// Pi returns π to prec bits (Machin's formula).
+func Pi(prec uint) *big.Float {
+	constMu.Lock()
+	defer constMu.Unlock()
+	if v, ok := piCache[prec]; ok {
+		return new(big.Float).SetPrec(prec).Set(v)
+	}
+	wp := prec + guard
+	a := atanInv(5, wp)
+	b := atanInv(239, wp)
+	// SetMantExp(v, k) is v·2^k: π = 16·atan(1/5) − 4·atan(1/239).
+	pi := newF(wp).Sub(a.SetMantExp(a, 4), b.SetMantExp(b, 2))
+	v := new(big.Float).SetPrec(prec).Set(pi)
+	piCache[prec] = v
+	return new(big.Float).SetPrec(prec).Set(v)
+}
+
+// Ln2 returns ln 2 to prec bits (ln 2 = 2·atanh(1/3)).
+func Ln2(prec uint) *big.Float {
+	constMu.Lock()
+	defer constMu.Unlock()
+	if v, ok := ln2Cache[prec]; ok {
+		return new(big.Float).SetPrec(prec).Set(v)
+	}
+	wp := prec + guard
+	third := newF(wp).Quo(newF(wp).SetInt64(1), newF(wp).SetInt64(3))
+	t2 := newF(wp).Mul(third, third)
+	pow := newF(wp).Set(third)
+	sum := newF(wp).Set(third)
+	tmp := newF(wp)
+	for k := int64(1); ; k++ {
+		pow.Mul(pow, t2)
+		tmp.Quo(pow, newF(wp).SetInt64(2*k+1))
+		sum.Add(sum, tmp)
+		if tmp.Sign() == 0 || tmp.MantExp(nil) < sum.MantExp(nil)-int(wp) {
+			break
+		}
+	}
+	ln2 := sum.SetMantExp(sum, 1)
+	v := new(big.Float).SetPrec(prec).Set(ln2)
+	ln2Cache[prec] = v
+	return new(big.Float).SetPrec(prec).Set(v)
+}
+
+// roundInt returns the integer nearest to x (ties away from zero).
+func roundInt(x *big.Float) *big.Int {
+	half := new(big.Float).SetPrec(x.Prec()).SetFloat64(0.5)
+	t := new(big.Float).SetPrec(x.Prec())
+	if x.Sign() >= 0 {
+		t.Add(x, half)
+	} else {
+		t.Sub(x, half)
+	}
+	z, _ := t.Int(nil)
+	return z
+}
+
+// Exp returns e^x to prec bits. The caller must keep |x| ≲ 2^30 (the
+// result's exponent must fit big.Float's range); all oracle uses are far
+// below that.
+func Exp(x *big.Float, prec uint) *big.Float {
+	wp := prec + guard
+	if x.Sign() == 0 {
+		return newF(prec).SetInt64(1)
+	}
+	ln2 := Ln2(wp)
+	k := roundInt(newF(wp).Quo(x, ln2))
+	r := newF(wp).Sub(x, newF(wp).Mul(ln2, newF(wp).SetInt(k)))
+	// Scale r by 2^-s so the Taylor series converges ~s bits per term.
+	const s = 16
+	r.SetMantExp(r, -s)
+	sum := newF(wp).SetInt64(1)
+	sum.Add(sum, r)
+	term := newF(wp).Set(r)
+	for n := int64(2); ; n++ {
+		term.Mul(term, r)
+		term.Quo(term, newF(wp).SetInt64(n))
+		sum.Add(sum, term)
+		if term.Sign() == 0 || term.MantExp(nil) < sum.MantExp(nil)-int(wp) {
+			break
+		}
+	}
+	for i := 0; i < s; i++ {
+		sum.Mul(sum, sum)
+	}
+	sum.SetMantExp(sum, int(k.Int64()))
+	return newF(prec).Set(sum)
+}
+
+// Expm1 returns e^x − 1 to prec bits, cancellation-free for small x.
+func Expm1(x *big.Float, prec uint) *big.Float {
+	if x.Sign() == 0 {
+		return newF(prec)
+	}
+	wp := prec + guard
+	if x.MantExp(nil) >= 0 { // |x| ≥ 0.5: no cancellation in e^x − 1
+		e := Exp(x, wp)
+		return newF(prec).Sub(e, newF(wp).SetInt64(1))
+	}
+	// Σ_{n≥1} x^n/n!
+	sum := newF(wp).Set(x)
+	term := newF(wp).Set(x)
+	for n := int64(2); ; n++ {
+		term.Mul(term, x)
+		term.Quo(term, newF(wp).SetInt64(n))
+		sum.Add(sum, term)
+		if term.Sign() == 0 || term.MantExp(nil) < sum.MantExp(nil)-int(wp) {
+			return newF(prec).Set(sum)
+		}
+	}
+}
+
+// Log returns ln x to prec bits (x > 0): split x = m·2^e with m ∈
+// [0.5, 1), then ln m = 2·atanh((m−1)/(m+1)).
+func Log(x *big.Float, prec uint) *big.Float {
+	wp := prec + guard
+	// Near 1 the mant/exponent split cancels catastrophically; x−1 is an
+	// exact big.Float subtraction, so route through the atanh form to
+	// keep the result relative-accurate (log(1+ε) ≈ ε for ε down to the
+	// last bit of a width-4 expansion).
+	dprec := wp
+	if p := x.MinPrec() + 8; p > dprec {
+		dprec = p
+	}
+	d := new(big.Float).SetPrec(dprec).Sub(x, new(big.Float).SetInt64(1))
+	if d.Sign() == 0 {
+		return newF(prec)
+	}
+	if d.MantExp(nil) <= -2 { // |x−1| ≤ 0.25
+		return Log1p(d, prec)
+	}
+	var mant big.Float
+	mant.SetPrec(wp)
+	e := x.MantExp(&mant)
+	one := newF(wp).SetInt64(1)
+	u := newF(wp).Quo(newF(wp).Sub(&mant, one), newF(wp).Add(&mant, one))
+	lnm := atanhSeries(u, wp)
+	lnm.SetMantExp(lnm, 1)
+	res := newF(wp).Add(lnm, newF(wp).Mul(Ln2(wp), newF(wp).SetInt64(int64(e))))
+	return newF(prec).Set(res)
+}
+
+// atanhSeries returns atanh(u) = Σ u^(2k+1)/(2k+1) for |u| < 1/2.
+func atanhSeries(u *big.Float, wp uint) *big.Float {
+	if u.Sign() == 0 {
+		return newF(wp)
+	}
+	u2 := newF(wp).Mul(u, u)
+	pow := newF(wp).Set(u)
+	sum := newF(wp).Set(u)
+	tmp := newF(wp)
+	for k := int64(1); ; k++ {
+		pow.Mul(pow, u2)
+		tmp.Quo(pow, newF(wp).SetInt64(2*k+1))
+		sum.Add(sum, tmp)
+		if tmp.Sign() == 0 || tmp.MantExp(nil) < sum.MantExp(nil)-int(wp) {
+			return sum
+		}
+	}
+}
+
+// Log1p returns ln(1+x) to prec bits, cancellation-free for small x
+// (x > −1).
+func Log1p(x *big.Float, prec uint) *big.Float {
+	if x.Sign() == 0 {
+		return newF(prec)
+	}
+	wp := prec + guard
+	if x.MantExp(nil) <= -2 { // |x| ≤ 0.25: atanh form, no cancellation
+		u := newF(wp).Quo(x, newF(wp).Add(newF(wp).SetInt64(2), x))
+		res := atanhSeries(u, wp)
+		res.SetMantExp(res, 1)
+		return newF(prec).Set(res)
+	}
+	return Log(newF(wp).Add(newF(wp).SetInt64(1), x), prec)
+}
+
+// SinCos returns (sin x, cos x) to prec bits, for any finite x. The
+// working precision is widened by x's exponent, so reduction of huge
+// arguments stays exact (this is the oracle the Payne–Hanek path is
+// measured against).
+func SinCos(x *big.Float, prec uint) (sin, cos *big.Float) {
+	wp := prec + guard
+	if x.Sign() != 0 {
+		if e := x.MantExp(nil); e > 0 {
+			wp += uint(e)
+		}
+	}
+	pi := Pi(wp)
+	halfPi := newF(wp).Set(pi)
+	halfPi.SetMantExp(halfPi, -1)
+	q := roundInt(newF(wp).Quo(x, halfPi))
+	r := newF(wp).Sub(x, newF(wp).Mul(halfPi, newF(wp).SetInt(q)))
+	s, c := sinCosKernel(r, wp)
+	switch new(big.Int).Mod(q, big.NewInt(4)).Int64() {
+	case 0:
+		// as computed
+	case 1:
+		s, c = c, newF(wp).Neg(s)
+	case 2:
+		s, c = newF(wp).Neg(s), newF(wp).Neg(c)
+	default:
+		s, c = newF(wp).Neg(c), s
+	}
+	return newF(prec).Set(s), newF(prec).Set(c)
+}
+
+// sinCosKernel evaluates both Taylor series on |r| ≤ π/4.
+func sinCosKernel(r *big.Float, wp uint) (sin, cos *big.Float) {
+	one := newF(wp).SetInt64(1)
+	if r.Sign() == 0 {
+		return newF(wp), one
+	}
+	r2 := newF(wp).Mul(r, r)
+	// sin
+	s := newF(wp).Set(r)
+	term := newF(wp).Set(r)
+	for n := int64(3); ; n += 2 {
+		term.Mul(term, r2)
+		term.Quo(term, newF(wp).SetInt64(n*(n-1)))
+		term.Neg(term)
+		s.Add(s, term)
+		if term.Sign() == 0 || term.MantExp(nil) < s.MantExp(nil)-int(wp) {
+			break
+		}
+	}
+	// cos
+	c := newF(wp).SetInt64(1)
+	term = newF(wp).SetInt64(1)
+	for n := int64(2); ; n += 2 {
+		term.Mul(term, r2)
+		term.Quo(term, newF(wp).SetInt64(n*(n-1)))
+		term.Neg(term)
+		c.Add(c, term)
+		if term.Sign() == 0 || term.MantExp(nil) < c.MantExp(nil)-int(wp) {
+			break
+		}
+	}
+	return s, c
+}
+
+// Tan returns tan x to prec bits.
+func Tan(x *big.Float, prec uint) *big.Float {
+	s, c := SinCos(x, prec+guard)
+	return newF(prec).Quo(s, c)
+}
+
+// Atan returns arctan x to prec bits, by repeated argument halving
+// (t → t/(1+√(1+t²))) followed by the Taylor series.
+func Atan(x *big.Float, prec uint) *big.Float {
+	if x.Sign() == 0 {
+		return newF(prec)
+	}
+	wp := prec + guard
+	z := newF(wp).Set(x)
+	one := newF(wp).SetInt64(1)
+	h := 0
+	for z.Sign() != 0 && z.MantExp(nil) > -12 && h < 80 {
+		den := newF(wp).Add(one, newF(wp).Sqrt(newF(wp).Add(one, newF(wp).Mul(z, z))))
+		z.Quo(z, den)
+		h++
+	}
+	z2 := newF(wp).Mul(z, z)
+	pow := newF(wp).Set(z)
+	sum := newF(wp).Set(z)
+	tmp := newF(wp)
+	for k := int64(1); ; k++ {
+		pow.Mul(pow, z2)
+		tmp.Quo(pow, newF(wp).SetInt64(2*k+1))
+		if k%2 == 1 {
+			sum.Sub(sum, tmp)
+		} else {
+			sum.Add(sum, tmp)
+		}
+		if tmp.Sign() == 0 || tmp.MantExp(nil) < sum.MantExp(nil)-int(wp) {
+			break
+		}
+	}
+	sum.SetMantExp(sum, h)
+	return newF(prec).Set(sum)
+}
+
+// Asin returns arcsin x to prec bits (|x| ≤ 1).
+func Asin(x *big.Float, prec uint) *big.Float {
+	wp := prec + guard
+	one := newF(wp).SetInt64(1)
+	ax := newF(wp).Abs(x)
+	if ax.Cmp(one) == 0 {
+		pi := Pi(wp)
+		half := pi.SetMantExp(pi, -1)
+		if x.Sign() < 0 {
+			half.Neg(half)
+		}
+		return newF(prec).Set(half)
+	}
+	den := newF(wp).Sqrt(newF(wp).Sub(one, newF(wp).Mul(x, x)))
+	return Atan(newF(wp).Quo(x, den), prec)
+}
+
+// Acos returns arccos x to prec bits (|x| ≤ 1).
+func Acos(x *big.Float, prec uint) *big.Float {
+	wp := prec + guard
+	pi := Pi(wp)
+	half := pi.SetMantExp(pi, -1)
+	return newF(prec).Sub(half, Asin(x, wp))
+}
+
+// Atan2 returns the full-quadrant arctangent of y/x to prec bits, with
+// the mf package's zero conventions (no signed zero: atan2(0,0) = 0,
+// atan2(0, x<0) = π).
+func Atan2(y, x *big.Float, prec uint) *big.Float {
+	wp := prec + guard
+	pi := Pi(wp)
+	switch {
+	case x.Sign() == 0 && y.Sign() == 0:
+		return newF(prec)
+	case x.Sign() == 0:
+		half := newF(wp).Set(pi)
+		half.SetMantExp(half, -1)
+		if y.Sign() < 0 {
+			half.Neg(half)
+		}
+		return newF(prec).Set(half)
+	case y.Sign() == 0:
+		if x.Sign() > 0 {
+			return newF(prec)
+		}
+		return newF(prec).Set(pi)
+	}
+	base := Atan(newF(wp).Quo(y, x), wp)
+	switch {
+	case x.Sign() > 0:
+		return newF(prec).Set(base)
+	case y.Sign() > 0:
+		return newF(prec).Add(base, pi)
+	default:
+		return newF(prec).Sub(base, pi)
+	}
+}
+
+// Pow returns x^y to prec bits (x > 0).
+func Pow(x, y *big.Float, prec uint) *big.Float {
+	wp := prec + guard
+	return Exp(newF(wp).Mul(y, Log(x, wp)), prec)
+}
+
+// Cbrt returns the real cube root of x to prec bits. x's value must be
+// within the float64 exponent range (the Newton seed is a float64).
+func Cbrt(x *big.Float, prec uint) *big.Float {
+	if x.Sign() == 0 {
+		return newF(prec)
+	}
+	wp := prec + guard
+	neg := x.Sign() < 0
+	ax := newF(wp).Abs(x)
+	seed, _ := ax.Float64()
+	y := newF(wp).SetFloat64(math.Cbrt(seed))
+	iters := 1
+	for p := 50.0; p < float64(wp); p *= 2 {
+		iters++
+	}
+	three := newF(wp).SetInt64(3)
+	for i := 0; i < iters; i++ {
+		// y ← (2y + x/y²)/3
+		y2 := newF(wp).Mul(y, y)
+		twoY := newF(wp).Set(y)
+		twoY.SetMantExp(twoY, 1)
+		y = newF(wp).Quo(newF(wp).Add(twoY, newF(wp).Quo(ax, y2)), three)
+	}
+	if neg {
+		y.Neg(y)
+	}
+	return newF(prec).Set(y)
+}
+
+// Hypot returns √(x²+y²) to prec bits (no overflow: big.Float exponents
+// are unbounded for this purpose).
+func Hypot(x, y *big.Float, prec uint) *big.Float {
+	wp := prec + guard
+	s := newF(wp).Add(newF(wp).Mul(x, x), newF(wp).Mul(y, y))
+	return newF(prec).Sqrt(s)
+}
+
+// Sinh returns sinh x to prec bits, cancellation-free for small x.
+func Sinh(x *big.Float, prec uint) *big.Float {
+	if x.Sign() == 0 {
+		return newF(prec)
+	}
+	wp := prec + guard
+	if x.MantExp(nil) >= 0 { // |x| ≥ 0.5
+		e := Exp(x, wp)
+		res := newF(wp).Sub(e, newF(wp).Quo(newF(wp).SetInt64(1), e))
+		res.SetMantExp(res, -1)
+		return newF(prec).Set(res)
+	}
+	// Σ x^(2k+1)/(2k+1)!
+	x2 := newF(wp).Mul(x, x)
+	sum := newF(wp).Set(x)
+	term := newF(wp).Set(x)
+	for n := int64(3); ; n += 2 {
+		term.Mul(term, x2)
+		term.Quo(term, newF(wp).SetInt64(n*(n-1)))
+		sum.Add(sum, term)
+		if term.Sign() == 0 || term.MantExp(nil) < sum.MantExp(nil)-int(wp) {
+			return newF(prec).Set(sum)
+		}
+	}
+}
+
+// Cosh returns cosh x to prec bits.
+func Cosh(x *big.Float, prec uint) *big.Float {
+	wp := prec + guard
+	e := Exp(x, wp)
+	res := newF(wp).Add(e, newF(wp).Quo(newF(wp).SetInt64(1), e))
+	res.SetMantExp(res, -1)
+	return newF(prec).Set(res)
+}
+
+// Tanh returns tanh x to prec bits.
+func Tanh(x *big.Float, prec uint) *big.Float {
+	if x.Sign() == 0 {
+		return newF(prec)
+	}
+	wp := prec + guard
+	return newF(prec).Quo(Sinh(x, wp), Cosh(x, wp))
+}
+
+// Exp2 returns 2^x to prec bits.
+func Exp2(x *big.Float, prec uint) *big.Float {
+	wp := prec + guard
+	return Exp(newF(wp).Mul(x, Ln2(wp)), prec)
+}
+
+// Log2 returns log₂ x to prec bits (x > 0).
+func Log2(x *big.Float, prec uint) *big.Float {
+	wp := prec + guard
+	return newF(prec).Quo(Log(x, wp), Ln2(wp))
+}
+
+// Log10 returns log₁₀ x to prec bits (x > 0).
+func Log10(x *big.Float, prec uint) *big.Float {
+	wp := prec + guard
+	return newF(prec).Quo(Log(x, wp), Log(newF(wp).SetInt64(10), wp))
+}

@@ -1,0 +1,117 @@
+package refmath
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+// close53 checks f against the reference to ~2 ulps of float64 — enough
+// to catch any structural error in a reduction or series.
+func close53(t *testing.T, name string, got *big.Float, want float64) {
+	t.Helper()
+	g, _ := got.Float64()
+	if math.IsNaN(want) || math.IsNaN(g) {
+		t.Fatalf("%s: NaN (got %v want %v)", name, g, want)
+	}
+	if want == 0 {
+		if math.Abs(g) > 1e-300 {
+			t.Fatalf("%s: got %v want 0", name, g)
+		}
+		return
+	}
+	if rel := math.Abs(g-want) / math.Abs(want); rel > 1e-15 {
+		t.Fatalf("%s: got %v want %v (rel %g)", name, g, want, rel)
+	}
+}
+
+func TestPiDigits(t *testing.T) {
+	// 60 decimal digits of π, an independent pin on the Machin evaluation.
+	want, _ := new(big.Float).SetPrec(220).SetString(
+		"3.14159265358979323846264338327950288419716939937510582097494")
+	got := new(big.Float).SetPrec(220).Set(Pi(220))
+	diff := new(big.Float).Sub(got, want)
+	if diff.Sign() != 0 && diff.MantExp(nil) > want.MantExp(nil)-195 {
+		t.Fatalf("Pi(220) = %s, want %s", got.Text('g', 60), want.Text('g', 60))
+	}
+}
+
+// TestPiCrossFormula recomputes π by an independent identity
+// (π/4 = atan(1/2) + atan(1/3)) at the precision the golden trig oracle
+// uses, guarding the Machin evaluation that also seeds the stored 2/π
+// table in mf.
+func TestPiCrossFormula(t *testing.T) {
+	const prec = 4800
+	alt := new(big.Float).SetPrec(prec + 64).Add(atanInv(2, prec+64), atanInv(3, prec+64))
+	alt.SetMantExp(alt, 2)
+	diff := new(big.Float).Sub(alt, Pi(prec+64))
+	if diff.Sign() != 0 && diff.MantExp(nil) > 2-int(prec) {
+		t.Fatalf("π mismatch between Machin and atan(1/2)+atan(1/3): diff exp %d", diff.MantExp(nil))
+	}
+}
+
+func TestAgainstStdlib(t *testing.T) {
+	const prec = 256
+	f := func(v float64) *big.Float { return new(big.Float).SetPrec(prec).SetFloat64(v) }
+	args := []float64{0.5, -0.5, 1.0, 2.0, -3.25, 0.001, 10.0, 100.0, 1e-8, 0.9999}
+	for _, v := range args {
+		close53(t, "Exp", Exp(f(v), prec), math.Exp(v))
+		close53(t, "Expm1", Expm1(f(v), prec), math.Expm1(v))
+		close53(t, "Sinh", Sinh(f(v), prec), math.Sinh(v))
+		close53(t, "Cosh", Cosh(f(v), prec), math.Cosh(v))
+		close53(t, "Tanh", Tanh(f(v), prec), math.Tanh(v))
+		close53(t, "Atan", Atan(f(v), prec), math.Atan(v))
+		close53(t, "Cbrt", Cbrt(f(v), prec), math.Cbrt(v))
+		close53(t, "Exp2", Exp2(f(v), prec), math.Exp2(v))
+		s, c := SinCos(f(v), prec)
+		close53(t, "Sin", s, math.Sin(v))
+		close53(t, "Cos", c, math.Cos(v))
+		close53(t, "Tan", Tan(f(v), prec), math.Tan(v))
+		if v > 0 {
+			close53(t, "Log", Log(f(v), prec), math.Log(v))
+			close53(t, "Log2", Log2(f(v), prec), math.Log2(v))
+			close53(t, "Log10", Log10(f(v), prec), math.Log10(v))
+			close53(t, "Pow", Pow(f(v), f(1.75), prec), math.Pow(v, 1.75))
+		}
+		if v > -1 {
+			close53(t, "Log1p", Log1p(f(v), prec), math.Log1p(v))
+		}
+		if v >= -1 && v <= 1 {
+			// Compare through the forward map: the stdlib's Asin is
+			// several ulps off near ±1 (refmath round-trips exactly
+			// through SinCos there), so sin(asin v) = v is the honest pin.
+			s, _ := SinCos(Asin(f(v), prec), prec)
+			close53(t, "Asin", s, v)
+			_, c := SinCos(Acos(f(v), prec), prec)
+			close53(t, "Acos", c, v)
+		}
+	}
+	// Huge-argument trig. The stdlib is NOT the oracle here: math.Cos
+	// loses ~3% on the classic worst case below (its reduction keeps too
+	// few product bits once 61 leading bits cancel), so huge arguments
+	// are pinned by sin²+cos² = 1 at full precision plus the published
+	// worst-case value.
+	for _, v := range []float64{1e10, 1e100, 1e300, math.Ldexp(6381956970095103, 797)} {
+		s, c := SinCos(f(v), prec)
+		sum := new(big.Float).SetPrec(prec).Add(
+			new(big.Float).SetPrec(prec).Mul(s, s),
+			new(big.Float).SetPrec(prec).Mul(c, c))
+		diff := new(big.Float).Sub(sum, new(big.Float).SetInt64(1))
+		if diff.Sign() != 0 && diff.MantExp(nil) > -200 {
+			t.Fatalf("sin²+cos²(%g) = %s", v, sum.Text('g', 40))
+		}
+	}
+	// Ng's "Good to the Last Bit" worst case: x = 6381956970095103·2^797
+	// sits 4.687…e-19 from an odd multiple of π/2, so cos(x) is that
+	// distance (with sign) and any reduction slip shows up at full scale.
+	_, c := SinCos(f(math.Ldexp(6381956970095103, 797)), prec)
+	cf, _ := c.Float64()
+	if want := -4.6871659242546276e-19; math.Abs(cf-want) > 1e-12*math.Abs(want) {
+		t.Fatalf("worst-case cos: got %g want %g", cf, want)
+	}
+	// Quadrants.
+	for _, yx := range [][2]float64{{1, 1}, {1, -1}, {-1, 1}, {-1, -1}, {0, -2}, {3, 0}, {-3, 0}} {
+		close53(t, "Atan2", Atan2(f(yx[0]), f(yx[1]), prec), math.Atan2(yx[0], yx[1]))
+	}
+	close53(t, "Hypot", Hypot(f(3e300), f(4e300), prec), 5e300)
+}

@@ -12,10 +12,15 @@ import (
 // engine serves every (term count, base type) combination; the public
 // surface is the methods on F2/F3/F4.
 //
-// Accuracy target: within a few ulps of the format (validated against
-// 400-bit big.Float references in math_test.go). Arguments to the
-// trigonometric functions lose reduction accuracy once |x| approaches
-// 2^p·π, as in every non-Payne–Hanek implementation.
+// Accuracy contract: every public function stays within the measured
+// per-(op, width) bounds recorded in TESTING.md ("Elementary functions"),
+// enforced continuously by the internal/diffuzz math tier against a
+// big.Float oracle — e.g. ≤ 2⁻⁹⁶ relative at width 2 and ≤ 2⁻¹⁹⁶ at
+// width 4 on float64 for the forward functions. Trigonometric argument
+// reduction is extended-precision Payne–Hanek against a stored 1664-bit
+// 2/π table (payne_hanek.go), so Sin/Cos/Tan hold their bound for any
+// finite argument, including |x| ≈ 1e300 and the classic near-worst-case
+// reduction points.
 
 // expLike is the operation set the generic engine needs; all three
 // expansion types satisfy it.
@@ -31,16 +36,19 @@ type expLike[E any, T Float] interface {
 	DivFloat(T) E
 	MulPow2(int) E
 	Sqrt() E
+	Sqr() E
 	Recip() E
 	Float() T
 	IsZero() bool
 	Sign() int
+	comps64() []float64
 }
 
 // mathCtx carries the per-format constants and iteration counts.
 type mathCtx[E expLike[E, T], T Float] struct {
-	new  func(T) E
-	bits int // target precision in bits
+	new     func(T) E
+	fromBig func(*big.Float) E
+	bits    int // target precision in bits
 
 	ln2, pi, piOver2 E
 	invLn2f          float64 // 1/ln2 as float64, for reduction estimates
@@ -72,6 +80,7 @@ func buildCtx[E expLike[E, T], T Float](newE func(T) E, fromBig func(*big.Float)
 	}
 	return &mathCtx[E, T]{
 		new:       newE,
+		fromBig:   fromBig,
 		bits:      bits,
 		ln2:       fromBig(ln2),
 		pi:        fromBig(pi),
@@ -185,7 +194,14 @@ func expE[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
 	return sum.MulPow2(int(k))
 }
 
-// logE computes ln x by Newton's method on exp: y ← y + x·e^(-y) - 1.
+// logE computes ln x. The exponent is split off first — x = m·2^k with
+// m ∈ [1/2, 1) — so Newton's method on exp (y ← y + m·e^(-y) - 1) only
+// ever sees |y| ≤ ln 2 and cannot overflow the exp kernel even for
+// subnormal or near-max arguments; ln x = ln m + k·ln 2 then has
+// relative error O(2^-bits) because |ln x| ≥ ln(4/3) on this path.
+// Arguments with |x−1| ≤ 1/3 route through log1pE instead: x−1 is an
+// exact expansion subtraction there, keeping ln x relative-accurate
+// arbitrarily close to 1 (the adversarial "log near 1" regime).
 func logE[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
 	xf := float64(x.Float())
 	switch {
@@ -196,23 +212,42 @@ func logE[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
 	case math.IsInf(xf, 1):
 		return c.new(T(math.Inf(1)))
 	}
-	y := c.new(T(math.Log(xf)))
-	for i := 0; i < c.newtIter+1; i++ {
-		y = y.Add(x.Mul(expE(c, y.Neg())).AddFloat(-1))
+	if math.Abs(xf-1) <= 1.0/3 {
+		return log1pE(c, x.AddFloat(-1))
 	}
-	return y
+	fr, k := math.Frexp(xf)
+	xm := x.MulPow2(-k) // ∈ [1/2, 1), exactly
+	y := c.new(T(math.Log(fr)))
+	for i := 0; i < c.newtIter+1; i++ {
+		y = y.Add(xm.Mul(expE(c, y.Neg())).AddFloat(-1))
+	}
+	if k == 0 {
+		return y
+	}
+	return y.Add(c.ln2.MulFloat(T(k)))
 }
 
-// sincosE reduces x against π/2 and evaluates both Taylor kernels.
+// sincosE reduces x against π/2 by Payne–Hanek (payne_hanek.go) and
+// evaluates both Taylor kernels on the reduced argument. Arguments
+// already within [−π/4, π/4] skip the reduction entirely.
 func sincosE[E expLike[E, T], T Float](c *mathCtx[E, T], x E) (sin, cos E) {
 	xf := float64(x.Float())
 	if math.IsNaN(xf) || math.IsInf(xf, 0) {
 		nan := c.new(T(math.NaN()))
 		return nan, nan
 	}
-	j := math.Round(xf / (math.Pi / 2))
-	r := x.Sub(c.piOver2.MulFloat(T(j)))
-	// Taylor on |r| ≲ π/4 + ε.
+	var (
+		r E
+		q int
+	)
+	if math.Abs(xf) <= math.Pi/4 {
+		r, q = x, 0
+	} else {
+		var rbig *big.Float
+		q, rbig = phReduce(x.comps64(), c.bits)
+		r = c.fromBig(rbig)
+	}
+	// Taylor on |r| ≤ π/4 + ε.
 	r2 := r.Mul(r)
 	s := r
 	term := r
@@ -226,7 +261,7 @@ func sincosE[E expLike[E, T], T Float](c *mathCtx[E, T], x E) (sin, cos E) {
 		term = term.Mul(r2).DivFloat(T((i - 1) * i)).Neg()
 		co = co.Add(term)
 	}
-	switch q := int64(j) & 3; (q + 4) & 3 {
+	switch q {
 	case 0:
 		return s, co
 	case 1:
@@ -245,11 +280,16 @@ func asinE[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
 		return c.new(T(math.NaN()))
 	}
 	ax := math.Abs(xf)
-	if ax > 0.999 { //mf:allow exactconst -- identity-switch cutoff near ±1; any value in (0.99, 1) works equally well
+	if ax > 0.9 { //mf:allow exactconst -- identity-switch cutoff near ±1; any value in (0.8, 1) works equally well
 		// Near ±1 the Newton step divides by cos z → use the
 		// complementary identity asin(x) = ±(π/2 - asin(√(1-x²))).
+		// 1-x² is computed factored as (1-|x|)(1+|x|): both factors are
+		// exact expansion sums, so the complement keeps full relative
+		// accuracy even for x within one ulp of ±1 (the squared form
+		// cancels catastrophically there).
 		one := c.new(1)
-		comp := asinE(c, one.Sub(x.Mul(x)).Sqrt())
+		xa := x.Abs()
+		comp := asinE(c, one.Sub(xa).Mul(one.Add(xa)).Sqrt())
 		res := c.piOver2.Sub(comp)
 		if xf < 0 {
 			res = res.Neg()
@@ -289,6 +329,29 @@ func atanE[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
 	return asinE(c, t)
 }
 
+// acosE computes arccos x. Near +1 the naive π/2 − asin x cancels down
+// to the absolute error of the stored π/2 — catastrophic relative to
+// the tiny result ≈ √(2(1−x)) — so |x| > 0.5 routes through the
+// complementary identity acos x = asin √((1−x)(1+x)) (x > 0) or
+// π − asin √((1−x)(1+x)) (x < 0), where both factors of the complement
+// are exact expansion sums and the π addition is benign.
+func acosE[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
+	xf := float64(x.Float())
+	if math.IsNaN(xf) || xf > 1 || xf < -1 {
+		return c.new(T(math.NaN()))
+	}
+	if math.Abs(xf) <= 0.5 {
+		return c.piOver2.Sub(asinE(c, x))
+	}
+	one := c.new(1)
+	xa := x.Abs()
+	comp := asinE(c, one.Sub(xa).Mul(one.Add(xa)).Sqrt())
+	if xf > 0 {
+		return comp
+	}
+	return c.pi.Sub(comp)
+}
+
 // atan2E implements the full-quadrant arctangent.
 func atan2E[E expLike[E, T], T Float](c *mathCtx[E, T], y, x E) E {
 	yf, xf := float64(y.Float()), float64(x.Float())
@@ -308,6 +371,17 @@ func atan2E[E expLike[E, T], T Float](c *mathCtx[E, T], y, x E) E {
 		}
 		return c.pi
 	}
+	// |y| > |x|: atan2(y, x) = ±π/2 − atan(x/y), so the quotient stays
+	// in [−1, 1] and never overflows, however far apart the operand
+	// magnitudes are (|y/x| can exceed 2^1024 for legal finite inputs).
+	// The residual atan is at most π/4, so the subtraction is benign.
+	if math.Abs(yf) > math.Abs(xf) {
+		inner := atanE(c, x.Div(y))
+		if y.Sign() > 0 {
+			return c.piOver2.Sub(inner)
+		}
+		return c.piOver2.Neg().Sub(inner)
+	}
 	base := atanE(c, y.Div(x))
 	if x.Sign() > 0 {
 		return base
@@ -318,10 +392,18 @@ func atan2E[E expLike[E, T], T Float](c *mathCtx[E, T], y, x E) E {
 	return base.Sub(c.pi)
 }
 
-// powE computes x^y = e^(y·ln x) with the usual special cases.
+// powE computes x^y = e^(y·ln x) with the usual special cases. x^0 = 1
+// for every x (including NaN, per IEEE 754 pow); any other non-finite
+// operand, or a negative base, yields NaN (the §4.4 collapse — x = ±Inf
+// and y = ±Inf would otherwise produce sign-dependent garbage through
+// the Inf·ln x product anyway).
 func powE[E expLike[E, T], T Float](c *mathCtx[E, T], x, y E) E {
 	if y.IsZero() {
 		return c.new(1)
+	}
+	xf, yf := float64(x.Float()), float64(y.Float())
+	if math.IsNaN(xf) || math.IsNaN(yf) || math.IsInf(xf, 0) || math.IsInf(yf, 0) {
+		return c.new(T(math.NaN()))
 	}
 	if x.IsZero() {
 		if y.Sign() > 0 {
@@ -361,12 +443,27 @@ func powIntE[E expLike[E, T], T Float](c *mathCtx[E, T], x E, k int) E {
 }
 
 // sinhE/coshE/tanhE. sinh uses a Taylor kernel for small arguments, where
-// (e^x - e^-x)/2 cancels catastrophically.
+// (e^x - e^-x)/2 cancels catastrophically. Both sinh and cosh evaluate
+// exp on |x| only — exp(x) underflows to an exact zero for large
+// negative x, and a Recip of that zero would NaN-collapse instead of
+// overflowing the way the true result does.
 func sinhE[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
 	xf := float64(x.Float())
+	switch {
+	case math.IsNaN(xf):
+		return c.new(T(math.NaN()))
+	case xf > c.maxExpArg:
+		return c.new(T(math.Inf(1)))
+	case xf < -c.maxExpArg:
+		return c.new(T(math.Inf(-1)))
+	}
 	if math.Abs(xf) > 0.5 {
-		e := expE(c, x)
-		return e.Sub(e.Recip()).MulPow2(-1)
+		e := expE(c, x.Abs())
+		s := e.Sub(e.Recip()).MulPow2(-1)
+		if xf < 0 {
+			return s.Neg()
+		}
+		return s
 	}
 	// sinh x = x + x³/3! + x⁵/5! + ...
 	x2 := x.Mul(x)
@@ -380,13 +477,25 @@ func sinhE[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
 }
 
 func coshE[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
-	e := expE(c, x)
+	xf := float64(x.Float())
+	switch {
+	case math.IsNaN(xf):
+		return c.new(T(math.NaN()))
+	case math.Abs(xf) > c.maxExpArg:
+		return c.new(T(math.Inf(1)))
+	}
+	e := expE(c, x.Abs())
 	return e.Add(e.Recip()).MulPow2(-1)
 }
 
 func tanhE[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
 	xf := float64(x.Float())
-	if math.Abs(xf) > 40 {
+	if math.IsNaN(xf) {
+		return c.new(T(math.NaN()))
+	}
+	// Beyond the clamp, |tanh x| differs from 1 by 2e^-2|x| <
+	// 2^-(bits+16): returning ±1 exactly is below every format bound.
+	if math.Abs(xf) > float64(c.bits+16)*math.Ln2/2 {
 		if xf > 0 {
 			return c.new(1)
 		}
@@ -395,7 +504,28 @@ func tanhE[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
 	return sinhE(c, x).Div(coshE(c, x))
 }
 
+// logScaledSpecial reproduces logE's special-value contract for the
+// rescaled logarithms: the base change divides by ln 10 (or ln 2), and
+// an expansion Div on a NaN/±Inf logE result would collapse the correct
+// special to NaN (§4.4), so the special is returned before the scaling.
+func logScaledSpecial[E expLike[E, T], T Float](c *mathCtx[E, T], x E) (E, bool) {
+	xf := float64(x.Float())
+	switch {
+	case math.IsNaN(xf) || xf < 0:
+		return c.new(T(math.NaN())), true
+	case x.IsZero():
+		return c.new(T(math.Inf(-1))), true
+	case math.IsInf(xf, 1):
+		return c.new(T(math.Inf(1))), true
+	}
+	var zero E
+	return zero, false
+}
+
 func log10E[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
+	if s, ok := logScaledSpecial(c, x); ok {
+		return s
+	}
 	c.once.Do(func() {
 		c.ln10 = logE(c, c.new(10))
 		c.ln10v = true
@@ -404,11 +534,149 @@ func log10E[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
 }
 
 func log2E[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
+	if s, ok := logScaledSpecial(c, x); ok {
+		return s
+	}
 	return logE(c, x).Div(c.ln2)
 }
 
+// exp2E computes 2^x = e^(x·ln 2), screening non-finite and
+// out-of-range arguments first: the x·ln2 product would collapse ±Inf
+// to NaN, and the float64 2^x range differs from e^x's.
 func exp2E[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
+	xf := float64(x.Float())
+	switch {
+	case math.IsNaN(xf):
+		return c.new(T(math.NaN()))
+	case xf > c.maxExpArg*(1/math.Ln2):
+		return c.new(T(math.Inf(1)))
+	case xf < c.minExpArg*(1/math.Ln2):
+		return c.new(0)
+	}
 	return expE(c, x.Mul(c.ln2))
+}
+
+// expm1E computes e^x − 1 without cancellation: for |x| < 1/2 the Taylor
+// series Σ_{n≥1} xⁿ/n! is summed directly (its leading term is x, so no
+// subtraction of nearby quantities ever happens); beyond that e^x − 1
+// loses no significance because |e^x − 1| ≥ 0.39.
+func expm1E[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
+	xf := float64(x.Float())
+	switch {
+	case math.IsNaN(xf):
+		return c.new(T(math.NaN()))
+	case xf > c.maxExpArg:
+		return c.new(T(math.Inf(1)))
+	case xf < c.minExpArg:
+		return c.new(-1)
+	case x.IsZero():
+		return x
+	}
+	if math.Abs(xf) >= 0.5 {
+		return expE(c, x).AddFloat(-1)
+	}
+	// |x| < 1/2: term n decays as 2^-n/n!; the count leaves ≥16 bits of
+	// margin at every format.
+	terms := c.bits/4 + 12
+	sum := x
+	term := x
+	for i := 2; i <= terms; i++ {
+		term = term.Mul(x).DivFloat(T(i))
+		sum = sum.Add(term)
+	}
+	return sum
+}
+
+// log1pE computes ln(1+x) without cancellation, by Newton on expm1:
+// y ← y + (x − expm1(y))/(1 + expm1(y)). The residual x − expm1(y) is a
+// subtraction of expansions agreeing to the current iterate's accuracy,
+// which is exactly the cancellation Newton feeds on — the final y is
+// accurate relative to y itself, even for x down to the last bit of the
+// format.
+func log1pE[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
+	xf := float64(x.Float())
+	onePlus := x.AddFloat(1)
+	switch {
+	case math.IsNaN(xf):
+		return c.new(T(math.NaN()))
+	case onePlus.Sign() < 0: // x < −1
+		return c.new(T(math.NaN()))
+	case onePlus.IsZero(): // x = −1
+		return c.new(T(math.Inf(-1)))
+	case math.IsInf(xf, 1):
+		return c.new(T(math.Inf(1)))
+	case x.IsZero():
+		return x
+	}
+	if math.Abs(xf) >= 0.5 {
+		return logE(c, onePlus)
+	}
+	y := c.new(T(math.Log1p(xf)))
+	for i := 0; i < c.newtIter+1; i++ {
+		u := expm1E(c, y)
+		y = y.Add(x.Sub(u).Div(u.AddFloat(1)))
+	}
+	return y
+}
+
+// cbrtE computes the real cube root by Newton, y ← (2y + x/y²)/3, from
+// the machine seed; odd symmetry handles negative arguments exactly.
+func cbrtE[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
+	xf := float64(x.Float())
+	switch {
+	case math.IsNaN(xf) || math.IsInf(xf, 0):
+		return c.new(T(math.NaN())) // ±Inf collapses like every kernel (§4.4)
+	case x.IsZero():
+		return x
+	}
+	ax := x
+	neg := x.Sign() < 0
+	if neg {
+		ax = x.Neg()
+	}
+	// Scale to m·8^j with m ∈ [1/8, 4) before iterating: the Newton
+	// residuals m − y³ are then formed near magnitude 1, far from the
+	// subnormal floor that would otherwise quantize the correction for
+	// |x| ≲ 2^-900. Both scalings are exact powers of two.
+	_, e := math.Frexp(float64(ax.Float()))
+	j := e / 3
+	m := ax.MulPow2(-3 * j)
+	y := c.new(T(math.Cbrt(float64(m.Float()))))
+	for i := 0; i < c.newtIter+1; i++ {
+		y = y.MulPow2(1).Add(m.Div(y.Sqr())).DivFloat(3)
+	}
+	y = y.MulPow2(j)
+	if neg {
+		y = y.Neg()
+	}
+	return y
+}
+
+// hypotE computes √(x²+y²) without overflow or underflow in the squares:
+// both operands are scaled by an exact power of two chosen from the
+// larger leading exponent, squared, and scaled back.
+func hypotE[E expLike[E, T], T Float](c *mathCtx[E, T], x, y E) E {
+	xf, yf := float64(x.Float()), float64(y.Float())
+	switch {
+	case math.IsInf(xf, 0) || math.IsInf(yf, 0):
+		// IEEE hypot: +Inf even when the other operand is NaN.
+		return c.new(T(math.Inf(1)))
+	case math.IsNaN(xf) || math.IsNaN(yf):
+		return c.new(T(math.NaN()))
+	case x.IsZero():
+		return y.Abs()
+	case y.IsZero():
+		return x.Abs()
+	}
+	_, ex := math.Frexp(xf)
+	_, ey := math.Frexp(yf)
+	k := ex
+	if ey > k {
+		k = ey
+	}
+	xs := x.MulPow2(-k)
+	ys := y.MulPow2(-k)
+	return xs.Sqr().Add(ys.Sqr()).Sqrt().MulPow2(k)
 }
 
 // ------------------------------------------------------------ methods ----
@@ -450,10 +718,7 @@ func (x F2[T]) Tan() F2[T] { s, c := sincosE(ctx2[T](), x); return s.Div(c) }
 func (x F2[T]) Asin() F2[T] { return asinE(ctx2[T](), x) }
 
 // Acos returns arccos x.
-func (x F2[T]) Acos() F2[T] {
-	c := ctx2[T]()
-	return c.piOver2.Sub(asinE(c, x))
-}
+func (x F2[T]) Acos() F2[T] { return acosE(ctx2[T](), x) }
 
 // Atan returns arctan x.
 func (x F2[T]) Atan() F2[T] { return atanE(ctx2[T](), x) }
@@ -469,6 +734,18 @@ func (x F2[T]) Cosh() F2[T] { return coshE(ctx2[T](), x) }
 
 // Tanh returns tanh x.
 func (x F2[T]) Tanh() F2[T] { return tanhE(ctx2[T](), x) }
+
+// Expm1 returns e^x − 1, accurate even for tiny x.
+func (x F2[T]) Expm1() F2[T] { return expm1E(ctx2[T](), x) }
+
+// Log1p returns ln(1+x), accurate even for tiny x.
+func (x F2[T]) Log1p() F2[T] { return log1pE(ctx2[T](), x) }
+
+// Cbrt returns the real cube root of x (odd symmetry for negative x).
+func (x F2[T]) Cbrt() F2[T] { return cbrtE(ctx2[T](), x) }
+
+// Hypot returns √(x²+y²) without overflow in the squares.
+func (x F2[T]) Hypot(y F2[T]) F2[T] { return hypotE(ctx2[T](), x, y) }
 
 // Exp returns e^x.
 func (x F3[T]) Exp() F3[T] { return expE(ctx3[T](), x) }
@@ -507,10 +784,7 @@ func (x F3[T]) Tan() F3[T] { s, c := sincosE(ctx3[T](), x); return s.Div(c) }
 func (x F3[T]) Asin() F3[T] { return asinE(ctx3[T](), x) }
 
 // Acos returns arccos x.
-func (x F3[T]) Acos() F3[T] {
-	c := ctx3[T]()
-	return c.piOver2.Sub(asinE(c, x))
-}
+func (x F3[T]) Acos() F3[T] { return acosE(ctx3[T](), x) }
 
 // Atan returns arctan x.
 func (x F3[T]) Atan() F3[T] { return atanE(ctx3[T](), x) }
@@ -526,6 +800,18 @@ func (x F3[T]) Cosh() F3[T] { return coshE(ctx3[T](), x) }
 
 // Tanh returns tanh x.
 func (x F3[T]) Tanh() F3[T] { return tanhE(ctx3[T](), x) }
+
+// Expm1 returns e^x − 1, accurate even for tiny x.
+func (x F3[T]) Expm1() F3[T] { return expm1E(ctx3[T](), x) }
+
+// Log1p returns ln(1+x), accurate even for tiny x.
+func (x F3[T]) Log1p() F3[T] { return log1pE(ctx3[T](), x) }
+
+// Cbrt returns the real cube root of x (odd symmetry for negative x).
+func (x F3[T]) Cbrt() F3[T] { return cbrtE(ctx3[T](), x) }
+
+// Hypot returns √(x²+y²) without overflow in the squares.
+func (x F3[T]) Hypot(y F3[T]) F3[T] { return hypotE(ctx3[T](), x, y) }
 
 // Exp returns e^x.
 func (x F4[T]) Exp() F4[T] { return expE(ctx4[T](), x) }
@@ -564,10 +850,7 @@ func (x F4[T]) Tan() F4[T] { s, c := sincosE(ctx4[T](), x); return s.Div(c) }
 func (x F4[T]) Asin() F4[T] { return asinE(ctx4[T](), x) }
 
 // Acos returns arccos x.
-func (x F4[T]) Acos() F4[T] {
-	c := ctx4[T]()
-	return c.piOver2.Sub(asinE(c, x))
-}
+func (x F4[T]) Acos() F4[T] { return acosE(ctx4[T](), x) }
 
 // Atan returns arctan x.
 func (x F4[T]) Atan() F4[T] { return atanE(ctx4[T](), x) }
@@ -583,3 +866,15 @@ func (x F4[T]) Cosh() F4[T] { return coshE(ctx4[T](), x) }
 
 // Tanh returns tanh x.
 func (x F4[T]) Tanh() F4[T] { return tanhE(ctx4[T](), x) }
+
+// Expm1 returns e^x − 1, accurate even for tiny x.
+func (x F4[T]) Expm1() F4[T] { return expm1E(ctx4[T](), x) }
+
+// Log1p returns ln(1+x), accurate even for tiny x.
+func (x F4[T]) Log1p() F4[T] { return log1pE(ctx4[T](), x) }
+
+// Cbrt returns the real cube root of x (odd symmetry for negative x).
+func (x F4[T]) Cbrt() F4[T] { return cbrtE(ctx4[T](), x) }
+
+// Hypot returns √(x²+y²) without overflow in the squares.
+func (x F4[T]) Hypot(y F4[T]) F4[T] { return hypotE(ctx4[T](), x, y) }

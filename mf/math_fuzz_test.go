@@ -1,0 +1,198 @@
+package mf_test
+
+// Native fuzz targets for the elementary functions, driven by the same
+// differential tier as the arithmetic targets in fuzz_test.go: every
+// execution cross-checks widths 2..4 against the big.Float refmath
+// oracle and enforces the per-(op,width) bound from TESTING.md
+// ("Elementary functions"), the §4.4 collapse contract, and the IEEE
+// edge table (exp overflow/underflow saturation, log domain, pow's
+// x^0 = 1). Seeds under testdata/fuzz are worst cases discovered by
+// cmd/mffuzz campaigns (regenerate with mffuzz -corpus).
+//
+// FuzzLogExpRoundTrip and FuzzSinCos additionally assert the
+// self-consistency properties exp(log x) ≈ x and sin²x + cos²x ≈ 1,
+// which need no oracle at all — a reduced-argument bug that happened to
+// track mathlib's would still break the identity.
+
+import (
+	"math"
+	"testing"
+
+	"multifloats/internal/diffuzz"
+	"multifloats/mf"
+)
+
+// mathSpecsFor returns the registry specs name_2..name_4 (math registry
+// names carry an underscore before the width digit: "exp_2").
+func mathSpecsFor(t testing.TB, name string) map[int]diffuzz.OpSpec {
+	return specsFor(t, name+"_")
+}
+
+// tameMathTerms reports whether every term is finite and every nonzero
+// term has magnitude in [2^-900, 2^900] — the regime where the identity
+// properties below are conditioned well enough to assert without an
+// oracle. The differential checks run unconditionally; only the
+// identity assertions hide behind this gate.
+func tameMathTerms(vs ...[]float64) bool {
+	for _, v := range vs {
+		for _, t := range v {
+			if t == 0 {
+				continue
+			}
+			if a := math.Abs(t); !(a >= 0x1p-900 && a <= 0x1p900) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func seedUnary(f *testing.F) {
+	f.Add(0.5, 0x1p-55, 0.0, 0.0)
+	f.Add(709.0, 0x1p-46, 0.0, 0.0)                           // exp near overflow
+	f.Add(-745.0, 0.0, 0.0, 0.0)                              // exp underflow edge
+	f.Add(1.0, 0x1p-61, 0.0, 0.0)                             // log near 1: catastrophic conditioning
+	f.Add(math.Ldexp(6381956970095103, 797), 0.0, 0.0, 0.0)   // Payne–Hanek worst-case double
+	f.Add(1e300, -0x1p940, 0.0, 0.0)                          // huge trig argument with tail
+	f.Add(math.NaN(), 0.0, 0.0, 0.0)                          // §4.4 collapse
+	f.Add(math.Inf(1), 0.0, 0.0, 0.0)                         // saturation table
+	f.Add(math.Copysign(0, -1), 0.0, 0.0, 0.0)                // signed zero
+	f.Add(math.Pi/2, 6.123233995736766e-17, 0.0, 0.0)         // near a sin extremum / cos zero
+}
+
+// FuzzExp drives the exponential family (exp, expm1, exp2) through the
+// differential tier at every width.
+func FuzzExp(f *testing.F) {
+	seedUnary(f)
+	specs := map[string]map[int]diffuzz.OpSpec{
+		"exp": mathSpecsFor(f, "exp"), "expm1": mathSpecsFor(f, "expm1"), "exp2": mathSpecsFor(f, "exp2"),
+	}
+	f.Fuzz(func(t *testing.T, a0, a1, a2, a3 float64) {
+		as := []float64{a0, a1, a2, a3}
+		for n := 2; n <= 4; n++ {
+			a := diffuzz.Operand(n, as)
+			for _, name := range []string{"exp", "expm1", "exp2"} {
+				if out := diffuzz.CheckMathUnary(specs[name][n], name, a); !out.OK {
+					t.Fatal(out.Reason)
+				}
+			}
+		}
+	})
+}
+
+// FuzzLogExpRoundTrip drives the log family (log, log1p, log2, log10)
+// through the differential tier, then asserts exp(log x) ≈ x whenever
+// the operand is positive and tame. The round trip's relative error is
+// bounded by the absolute error of log x (≈ |log x|·2^-bound, and
+// |log x| ≤ 624 on the gated range), so the floors sit ~10 bits under
+// the per-op bounds.
+func FuzzLogExpRoundTrip(f *testing.F) {
+	seedUnary(f)
+	f.Add(1e-300, 0.0, 0.0, 0.0) // log far below 1
+	specs := map[string]map[int]diffuzz.OpSpec{
+		"log": mathSpecsFor(f, "log"), "log1p": mathSpecsFor(f, "log1p"),
+		"log2": mathSpecsFor(f, "log2"), "log10": mathSpecsFor(f, "log10"),
+	}
+	roundTripBound := map[int]float64{2: 0x1p-80, 3: 0x1p-130, 4: 0x1p-180}
+	f.Fuzz(func(t *testing.T, a0, a1, a2, a3 float64) {
+		as := []float64{a0, a1, a2, a3}
+		for n := 2; n <= 4; n++ {
+			a := diffuzz.Operand(n, as)
+			for _, name := range []string{"log", "log1p", "log2", "log10"} {
+				if out := diffuzz.CheckMathUnary(specs[name][n], name, a); !out.OK {
+					t.Fatal(out.Reason)
+				}
+			}
+			if !(a[0] > 0) || !tameMathTerms(a) {
+				continue
+			}
+			var rel float64
+			switch n {
+			case 2:
+				x := mf.Float64x2(a[:2])
+				d := x.Log().Exp().Sub(x)
+				rel = math.Abs(d[0] / x[0])
+			case 3:
+				x := mf.Float64x3(a[:3])
+				d := x.Log().Exp().Sub(x)
+				rel = math.Abs(d[0] / x[0])
+			default:
+				x := mf.Float64x4(a[:4])
+				d := x.Log().Exp().Sub(x)
+				rel = math.Abs(d[0] / x[0])
+			}
+			if !(rel <= roundTripBound[n]) {
+				t.Fatalf("width %d: |exp(log x)/x - 1| = %g > %g for x = %v", n, rel, roundTripBound[n], a)
+			}
+		}
+	})
+}
+
+// FuzzSinCos drives the trigonometric kernels (sin, cos, tan) through
+// the differential tier — the oracle path prices the full Payne–Hanek
+// reduction on huge leads — then asserts the Pythagorean identity,
+// which is immune to a systematically wrong reduced argument.
+func FuzzSinCos(f *testing.F) {
+	seedUnary(f)
+	f.Add(1e22, 0.0, 0.0, 0.0) // largest lead the fast reduction path accepts
+	specs := map[string]map[int]diffuzz.OpSpec{
+		"sin": mathSpecsFor(f, "sin"), "cos": mathSpecsFor(f, "cos"), "tan": mathSpecsFor(f, "tan"),
+	}
+	identBound := map[int]float64{2: 0x1p-88, 3: 0x1p-138, 4: 0x1p-188}
+	f.Fuzz(func(t *testing.T, a0, a1, a2, a3 float64) {
+		as := []float64{a0, a1, a2, a3}
+		for n := 2; n <= 4; n++ {
+			a := diffuzz.Operand(n, as)
+			for _, name := range []string{"sin", "cos", "tan"} {
+				if out := diffuzz.CheckMathUnary(specs[name][n], name, a); !out.OK {
+					t.Fatal(out.Reason)
+				}
+			}
+			if !tameMathTerms(a) {
+				continue
+			}
+			var dev float64
+			switch n {
+			case 2:
+				s, c := mf.Float64x2(a[:2]).SinCos()
+				d := s.Mul(s).Add(c.Mul(c)).Sub(mf.New2(1.0))
+				dev = math.Abs(d[0])
+			case 3:
+				s, c := mf.Float64x3(a[:3]).SinCos()
+				d := s.Mul(s).Add(c.Mul(c)).Sub(mf.New3(1.0))
+				dev = math.Abs(d[0])
+			default:
+				s, c := mf.Float64x4(a[:4]).SinCos()
+				d := s.Mul(s).Add(c.Mul(c)).Sub(mf.New4(1.0))
+				dev = math.Abs(d[0])
+			}
+			if !(dev <= identBound[n]) {
+				t.Fatalf("width %d: |sin²+cos² - 1| = %g > %g for x = %v", n, dev, identBound[n], a)
+			}
+		}
+	})
+}
+
+// FuzzPow drives pow(x, y) through the differential tier: the exact
+// t = y·ln x classifier routes overflow/underflow to the saturation
+// table and everything else to the oracle.
+func FuzzPow(f *testing.F) {
+	f.Add(2.0, 0x1p-53, 0.0, 0.0, 10.0, 0.0, 0.0, 0.0)
+	f.Add(1.0, 0x1p-61, 0.0, 0.0, -0x1.6p70, 0.0, 0.0, 0.0) // t = y·ln x needs exact expansion values
+	f.Add(0.5, 0.0, 0.0, 0.0, -1000.0, 0x1p-44, 0.0, 0.0)   // deep underflow side
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)           // 0^0 = 1 (IEEE pow)
+	f.Add(-2.0, 0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0)          // negative base: NaN collapse
+	f.Add(math.Inf(1), 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0)   // non-finite operand
+	f.Add(math.E, 1e-18, 0.0, 0.0, 709.0, 0.0, 0.0, 0.0)    // near overflow
+	specs := mathSpecsFor(f, "pow")
+	f.Fuzz(func(t *testing.T, x0, x1, x2, x3, y0, y1, y2, y3 float64) {
+		xs := []float64{x0, x1, x2, x3}
+		ys := []float64{y0, y1, y2, y3}
+		for n := 2; n <= 4; n++ {
+			x, y := diffuzz.Operand(n, xs), diffuzz.Operand(n, ys)
+			if out := diffuzz.CheckMathBinary(specs[n], "pow", x, y); !out.OK {
+				t.Fatal(out.Reason)
+			}
+		}
+	})
+}

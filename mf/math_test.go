@@ -307,6 +307,130 @@ func TestHyperbolic(t *testing.T) {
 	}
 }
 
+// TestLogExtremes pins the exponent-splitting log path: subnormal and
+// near-max arguments (where Newton directly on x would overflow the exp
+// kernel) and arguments within a hair of 1 (where the log1p route keeps
+// relative accuracy through the cancellation).
+func TestLogExtremes(t *testing.T) {
+	check := func(name string, got, want *big.Float, bits float64) {
+		t.Helper()
+		if b := relBitsBig(want, got); b < bits {
+			t.Errorf("%s: 2^-%.1f, want ≥ 2^-%.0f (got %s want %s)",
+				name, b, bits, got.Text('g', 25), want.Text('g', 25))
+		}
+	}
+	// Subnormal argument: ln(2^-1074) = -744.44…; the old Newton form
+	// returned +Inf here because exp(+744) overflows.
+	sub := math.Ldexp(1, -1074)
+	wantSub := refLog(new(big.Float).SetPrec(refPrec).SetFloat64(sub))
+	check("Log2(2^-1074)", New2(sub).Log().Big(), wantSub, fnBits[2])
+	check("Log4(2^-1074)", New4(sub).Log().Big(), wantSub, fnBits[4])
+	// Near-max argument.
+	wantMax := refLog(new(big.Float).SetPrec(refPrec).SetFloat64(math.MaxFloat64))
+	check("Log3(max)", New3(math.MaxFloat64).Log().Big(), wantMax, fnBits[3])
+	// log(1+δ) for tiny δ must be relative-accurate, not absolute.
+	for _, d := range []float64{1e-25, -3e-28, 0x1p-90} {
+		x2 := New2(1.0).Add(New2(d))
+		want := refLog(new(big.Float).SetPrec(refPrec).Add(
+			big.NewFloat(1), new(big.Float).SetFloat64(d)))
+		check("Log2(1+δ)", x2.Log().Big(), want, fnBits[2])
+		x4 := New4(1.0).Add(New4(d))
+		check("Log4(1+δ)", x4.Log().Big(), want, fnBits[4])
+	}
+	if got := New2(1.0).Log(); !got.IsZero() {
+		t.Errorf("log(1) = %v, want exact 0", got)
+	}
+}
+
+// refLog is bigLog without the float64-seed restriction (bigLog seeds
+// Newton from math.Log of the argument, which flushes subnormal inputs'
+// precision; this seeds from the exponent split instead).
+func refLog(x *big.Float) *big.Float {
+	mant := new(big.Float)
+	e := x.MantExp(mant) // x = mant·2^e, mant ∈ [0.5, 1)
+	mf, _ := mant.Float64()
+	y := new(big.Float).SetPrec(refPrec).SetFloat64(math.Log(mf))
+	one := big.NewFloat(1)
+	for i := 0; i < 6; i++ {
+		ey := bigExp(new(big.Float).SetPrec(refPrec).Neg(y))
+		t := new(big.Float).SetPrec(refPrec).Mul(mant, ey)
+		t.Sub(t, one)
+		y.Add(y, t)
+	}
+	// ln2 to full reference precision by the same Newton (2·e^-l − 1 → 0
+	// at l = ln 2); each iteration doubles the accurate bits from the
+	// 53-bit float64 seed.
+	ln2 := new(big.Float).SetPrec(refPrec).SetFloat64(math.Ln2)
+	for i := 0; i < 6; i++ {
+		eln := bigExp(new(big.Float).SetPrec(refPrec).Neg(ln2))
+		c := new(big.Float).SetPrec(refPrec).Add(eln, eln)
+		c.Sub(c, one)
+		ln2.Add(ln2, c)
+	}
+	return y.Add(y, ln2.Mul(ln2, big.NewFloat(float64(e))))
+}
+
+// TestAsinNearOne pins the factored (1-x)(1+x) complement: x within a
+// few ulps of ±1 must keep full relative accuracy in both asin and acos.
+func TestAsinNearOne(t *testing.T) {
+	for _, d := range []float64{0x1p-60, 0x1p-80, 1e-20} {
+		x := New4(1.0).Sub(New4(d))
+		// acos(1-δ) ≈ √(2δ): relative check against the identity
+		// cos(acos x) = x, which is exact in the oracle sense.
+		ac := x.Acos()
+		_, c := ac.SinCos()
+		if f, _ := c.Sub(x).Div(x).Big().Float64(); math.Abs(f) > 0x1p-180 {
+			t.Errorf("cos(acos(1-%g)) relative error %g", d, f)
+		}
+		as := x.Asin()
+		s, _ := as.SinCos()
+		if f, _ := s.Sub(x).Div(x).Big().Float64(); math.Abs(f) > 0x1p-180 {
+			t.Errorf("sin(asin(1-%g)) relative error %g", d, f)
+		}
+		// Odd symmetry at -1+δ.
+		neg := x.Neg().Asin()
+		if f, _ := neg.Add(as).Big().Float64(); f != 0 {
+			t.Errorf("asin(-(1-%g)) + asin(1-%g) = %g, want 0", d, d, f)
+		}
+	}
+}
+
+// TestHyperbolicExtremes pins the overflow/underflow contracts: the old
+// kernels NaN-collapsed cosh/sinh of large negative arguments through a
+// Recip of an underflowed exp.
+func TestHyperbolicExtremes(t *testing.T) {
+	if got := New2(-800.0).Sinh().Float(); !math.IsInf(got, -1) {
+		t.Errorf("sinh(-800) = %g, want -Inf", got)
+	}
+	if got := New3(-800.0).Cosh().Float(); !math.IsInf(got, 1) {
+		t.Errorf("cosh(-800) = %g, want +Inf", got)
+	}
+	if got := New4(800.0).Sinh().Float(); !math.IsInf(got, 1) {
+		t.Errorf("sinh(800) = %g, want +Inf", got)
+	}
+	if got := New2(math.NaN()).Tanh().Float(); !math.IsNaN(got) {
+		t.Errorf("tanh(NaN) = %g, want NaN", got)
+	}
+	if got := New3(math.Inf(1)).Tanh(); !got.Eq(New3(1.0)) {
+		t.Errorf("tanh(+Inf) = %v, want 1", got)
+	}
+	// tanh(50) = 1 - 2e^-100 + O(e^-200): width 4 (~210 bits) resolves the
+	// gap below 1, so the clamp must not trigger there.
+	th := New4(50.0).Tanh()
+	gap := New4(1.0).Sub(th)
+	if gap.IsZero() {
+		t.Error("tanh(50) clamped to 1 at width 4; the gap 2e^-100 is representable")
+	}
+	wantGap := 2 * math.Exp(-100)
+	if f, _ := gap.Big().Float64(); math.Abs(f-wantGap) > wantGap*1e-9 {
+		t.Errorf("1 - tanh(50) = %g, want ≈ %g", f, wantGap)
+	}
+	// Width 2 (~104 bits) cannot represent the gap: exactly 1 is correct.
+	if got := New2(50.0).Tanh(); !got.Eq(New2(1.0)) {
+		t.Errorf("tanh(50) at width 2 = %v, want exactly 1", got)
+	}
+}
+
 func TestLogBases(t *testing.T) {
 	// log2(2^k) = k, log10(10^k) = k.
 	for _, k := range []int{1, 2, 10, -7} {

@@ -1,0 +1,147 @@
+package mf
+
+// Payne–Hanek argument reduction for the trigonometric kernels.
+//
+// For |x| beyond π/4 the naive reduction r = x − round(x/(π/2))·(π/2)
+// loses one bit of r per bit of |x|'s exponent and collapses entirely
+// near multiples of π/2. Payne–Hanek instead multiplies x by a stored
+// high-precision bit string of 2/π, keeps only the bits of the product
+// that matter modulo 4, and recovers the reduced argument from the
+// fractional part — the error is bounded by the table length, not by
+// |x|. The classic double worst case, x = 6381956970095103·2^797, lies
+// 4.687…·10⁻¹⁹ (≈2⁻⁶¹) from an odd multiple of π/2 and still reduces to
+// full format precision here (see the golden vectors in
+// payne_hanek_test.go).
+//
+// Layout: twoOverPiWords holds the leading 26×64 = 1664 fractional bits
+// of 2/π, most-significant word first (word k carries bits 64k+1…64k+64
+// after the binary point). A component m·2^e of the input multiplies
+// only the words that can affect the product modulo 4 and above the
+// guard precision — everything more significant is an exact multiple of
+// 4 (a whole number of turns), everything less significant is below the
+// 2⁻²⁵⁶ guard. The fixed-point accumulator keeps 3 integer bits (the
+// quadrant, mod 8 for rounding) plus bits+phGuardBits fraction bits.
+//
+// 1664 bits cover the full float64 range: the largest component
+// exponent is 971, and 971 + 117 + (210+256) + 8 < 26·64, so the word
+// window never runs off the end of the table even for the widest
+// format. Both tables are pinned bit-for-bit against an independently
+// computed (Machin + cross-formula) π in payne_hanek_test.go.
+
+import (
+	"math"
+	"math/big"
+)
+
+// phGuardBits is the fraction guard carried beyond the format precision.
+// It absorbs the worst-case leading-zero cancellation of the reduction
+// (≈61 bits for any single float64, more for adversarially constructed
+// multi-component expansions) with a wide margin.
+const phGuardBits = 256
+
+// twoOverPiWords: the leading 1664 fractional bits of 2/π,
+// most-significant word first. Generated from refmath.Pi at 2400 bits;
+// the test regenerates and compares every word.
+var twoOverPiWords = [26]uint64{
+	0xa2f9836e4e441529, 0xfc2757d1f534ddc0, 0xdb6295993c439041, 0xfe5163abdebbc561,
+	0xb7246e3a424dd2e0, 0x06492eea09d1921c, 0xfe1deb1cb129a73e, 0xe88235f52ebb4484,
+	0xe99c7026b45f7e41, 0x3991d639835339f4, 0x9c845f8bbdf9283b, 0x1ff897ffde05980f,
+	0xef2f118b5a0a6d1f, 0x6d367ecf27cb09b7, 0x4f463f669e5fea2d, 0x7527bac7ebe5f17b,
+	0x3d0739f78a5292ea, 0x6bfb5fb11f8d5d08, 0x56033046fc7b6bab, 0xf0cfbc209af4361d,
+	0xa9e391615ee61b08, 0x6599855f14a06840, 0x8dffd8804d732731, 0x06061556ca73a8c9,
+	0x60e27bc08c6b47c4, 0x19c367cddce8092a,
+}
+
+// piOver2Words: the leading 512 bits of π/2, most-significant word
+// first; the value is int(words)·2^(1−512). Used to scale the reduced
+// fraction back to radians at full guard precision.
+var piOver2Words = [8]uint64{
+	0xc90fdaa22168c234, 0xc4c6628b80dc1cd1, 0x29024e088a67cc74, 0x020bbea63b139b22,
+	0x514a08798e3404dd, 0xef9519b3cd3a431b, 0x302b0a6df25f1437, 0x4fe1356d6d51c245,
+}
+
+// piOver2Big is π/2 as a 512-bit big.Float built from piOver2Words.
+var piOver2Big = func() *big.Float {
+	n := new(big.Int)
+	w := new(big.Int)
+	for _, word := range piOver2Words {
+		n.Lsh(n, 64)
+		n.Or(n, w.SetUint64(word))
+	}
+	f := new(big.Float).SetPrec(512).SetInt(n)
+	return f.SetMantExp(f, 1-64*len(piOver2Words))
+}()
+
+// phReduce reduces the expansion with the given float64 components
+// against π/2: it returns the quadrant q = round(x/(π/2)) mod 4 and
+// r = x − round(x/(π/2))·(π/2) ∈ [−π/4, π/4] as a big.Float carrying
+// bits+phGuardBits fraction bits. comps may be any finite components
+// (the caller screens NaN/Inf); zero components are skipped.
+func phReduce(comps []float64, bits int) (quad int, r *big.Float) {
+	frac := bits + phGuardBits // fixed-point fraction bits carried
+	acc := new(big.Int)
+	term := new(big.Int)
+	mi := new(big.Int)
+	for _, cf := range comps {
+		if cf == 0 {
+			continue
+		}
+		fr, exp := math.Frexp(cf)
+		m := int64(fr * (1 << 53)) // exact: fr has ≤53 mantissa bits
+		e := exp - 53              // component value is m·2^e exactly
+		mi.SetInt64(m)
+		for k := 0; k < len(twoOverPiWords); k++ {
+			shift := e - 64*(k+1)
+			if shift >= 2 {
+				// m·W[k]·2^shift is an integer multiple of 4: a whole
+				// number of turns, invisible modulo 2π.
+				continue
+			}
+			if shift+117 < -frac-8 {
+				// |m·W[k]| < 2^117, so the term is below the guard; all
+				// later words are smaller still.
+				break
+			}
+			term.SetUint64(twoOverPiWords[k])
+			term.Mul(term, mi)
+			if s := shift + frac; s >= 0 {
+				term.Lsh(term, uint(s))
+			} else {
+				term.Rsh(term, uint(-s))
+			}
+			acc.Add(acc, term)
+		}
+	}
+	// acc ≈ x·(2/π)·2^frac; fold modulo 8 turns-of-π/2, split integer
+	// (quadrant) from fraction, round to nearest.
+	one := big.NewInt(1)
+	acc.Mod(acc, new(big.Int).Lsh(one, uint(frac+3))) // Euclidean: acc ≥ 0
+	v := new(big.Int).Rsh(acc, uint(frac))            // 0..7
+	acc.Sub(acc, new(big.Int).Lsh(v, uint(frac)))
+	vi := int(v.Int64())
+	if acc.Cmp(new(big.Int).Lsh(one, uint(frac-1))) >= 0 {
+		vi++
+		acc.Sub(acc, new(big.Int).Lsh(one, uint(frac)))
+	}
+	quad = vi & 3
+	// r = frac-part · (π/2), at guard precision.
+	prec := uint(frac + 32)
+	f := new(big.Float).SetPrec(prec).SetInt(acc)
+	f.SetMantExp(f, -frac)
+	r = new(big.Float).SetPrec(prec).Mul(f, piOver2Big)
+	return quad, r
+}
+
+// comps64 returns the expansion's components as float64 (exact for both
+// base types); it feeds phReduce.
+func (x F2[T]) comps64() []float64 {
+	return []float64{float64(x[0]), float64(x[1])}
+}
+
+func (x F3[T]) comps64() []float64 {
+	return []float64{float64(x[0]), float64(x[1]), float64(x[2])}
+}
+
+func (x F4[T]) comps64() []float64 {
+	return []float64{float64(x[0]), float64(x[1]), float64(x[2]), float64(x[3])}
+}

@@ -162,3 +162,167 @@ func TestNaNPoisonsDeepTerm(t *testing.T) {
 		t.Errorf("(1, NaN, 0, 0) * 2 = %v, want NaN", got)
 	}
 }
+
+// ----------------------- elementary-function algebraic properties -----------
+//
+// The identities below hold BIT-EXACTLY, not just within the error
+// bound, because the kernels are branch-free symmetric networks: sign
+// handling in the trig reduction is a multiplication, Hypot orders its
+// legs by magnitude before squaring, and power-of-two scaling touches
+// only exponents. A future "optimization" that breaks exactness here
+// (say, an early-exit branch on the argument sign) is a contract change
+// and must update these tests deliberately.
+
+// propArgs spans the quadrants, both trig reduction regimes (fast path
+// below 1e22, Payne–Hanek above), and the worst-case double for the
+// 2/π reduction.
+var propArgs = []float64{
+	0.5, 1.0, math.Pi / 3, 3.0, 1e10, 1e22, 4.7e80, 1e300,
+	math.Ldexp(6381956970095103, 797),
+}
+
+func TestSinOddCosEven(t *testing.T) {
+	for _, a := range propArgs {
+		x4, n4 := mf.New4(a), mf.New4(-a)
+		s, c := x4.SinCos()
+		ns, nc := n4.SinCos()
+		for i := 0; i < 4; i++ {
+			if math.Float64bits(ns[i]) != math.Float64bits(-s[i]) {
+				t.Errorf("F4 sin(-%g) term %d: %g, want %g (odd symmetry)", a, i, ns[i], -s[i])
+			}
+			if math.Float64bits(nc[i]) != math.Float64bits(c[i]) {
+				t.Errorf("F4 cos(-%g) term %d: %g, want %g (even symmetry)", a, i, nc[i], c[i])
+			}
+		}
+		s2, ns2 := mf.New2(a).Sin(), mf.New2(-a).Sin()
+		if math.Float64bits(ns2[0]) != math.Float64bits(-s2[0]) || math.Float64bits(ns2[1]) != math.Float64bits(-s2[1]) {
+			t.Errorf("F2 sin(-%g) = %v, want -Sin(%g) bit-exactly", a, ns2, a)
+		}
+	}
+}
+
+// TestPythagoreanIdentity checks sin²x + cos²x ≈ 1 to roughly the full
+// working precision at every width, including arguments that exercise
+// the Payne–Hanek path — an oracle-free cross-check of the reduction
+// (FuzzSinCos asserts the same identity on fuzzed expansions).
+func TestPythagoreanIdentity(t *testing.T) {
+	bound := map[int]float64{2: 0x1p-88, 3: 0x1p-138, 4: 0x1p-188}
+	for _, a := range propArgs {
+		s2, c2 := mf.New2(a).SinCos()
+		s3, c3 := mf.New3(a).SinCos()
+		s4, c4 := mf.New4(a).SinCos()
+		dev := map[int]float64{
+			2: math.Abs(s2.Mul(s2).Add(c2.Mul(c2)).Sub(mf.New2(1.0))[0]),
+			3: math.Abs(s3.Mul(s3).Add(c3.Mul(c3)).Sub(mf.New3(1.0))[0]),
+			4: math.Abs(s4.Mul(s4).Add(c4.Mul(c4)).Sub(mf.New4(1.0))[0]),
+		}
+		for n := 2; n <= 4; n++ {
+			if !(dev[n] <= bound[n]) {
+				t.Errorf("width %d, x = %g: |sin²+cos² - 1| = %g > %g", n, a, dev[n], bound[n])
+			}
+		}
+	}
+}
+
+// TestExpLogRoundTrip checks exp(log x) ≈ x in relative terms. The
+// round trip's error is the absolute error of log x fed through exp,
+// so the bounds sit ~10 bits below the per-op bounds in TESTING.md.
+func TestExpLogRoundTrip(t *testing.T) {
+	args := []float64{0.5, 1.0 + 0x1p-40, math.E, 42.0, 1e-200, 1e200, 0x1p-900}
+	bound := map[int]float64{2: 0x1p-80, 3: 0x1p-130, 4: 0x1p-180}
+	for _, a := range args {
+		rel := map[int]float64{}
+		{
+			x := mf.New2(a)
+			rel[2] = math.Abs(x.Log().Exp().Sub(x)[0] / a)
+		}
+		{
+			x := mf.New3(a)
+			rel[3] = math.Abs(x.Log().Exp().Sub(x)[0] / a)
+		}
+		{
+			x := mf.New4(a)
+			rel[4] = math.Abs(x.Log().Exp().Sub(x)[0] / a)
+		}
+		for n := 2; n <= 4; n++ {
+			if !(rel[n] <= bound[n]) {
+				t.Errorf("width %d, x = %g: |exp(log x)/x - 1| = %g > %g", n, a, rel[n], bound[n])
+			}
+		}
+	}
+}
+
+// TestHypotInvariance pins Hypot's leg-permutation and power-of-two
+// scale invariance bit-exactly: the kernel orders legs by magnitude, so
+// argument order cannot matter, and 2^k scaling is exponent-only.
+func TestHypotInvariance(t *testing.T) {
+	pairs := [][2]float64{{3, 4}, {1e200, 1e-200}, {5e150, 5e150}, {1, 1e-30}, {7e-250, 2e-251}}
+	for _, p := range pairs {
+		x, y := mf.New4(p[0]), mf.New4(p[1])
+		h, hp := x.Hypot(y), y.Hypot(x)
+		for i := 0; i < 4; i++ {
+			if math.Float64bits(h[i]) != math.Float64bits(hp[i]) {
+				t.Errorf("Hypot(%g, %g) term %d differs under permutation: %g vs %g", p[0], p[1], i, h[i], hp[i])
+			}
+		}
+		hs := mf.New4(p[0] * 0x1p50).Hypot(mf.New4(p[1] * 0x1p50))
+		for i := 0; i < 4; i++ {
+			if math.Float64bits(hs[i]) != math.Float64bits(h[i]*0x1p50) {
+				t.Errorf("Hypot(2^50·%g, 2^50·%g) term %d: %g, want %g (scale invariance)", p[0], p[1], i, hs[i], h[i]*0x1p50)
+			}
+		}
+	}
+}
+
+// TestAtan2QuadrantSigns pins the Atan2 quadrant table, including the
+// zero rows. Note the deviation from IEEE atan2: per the §4.4 contract
+// there is no signed-zero algebra, so the sign of a zero y is dropped —
+// atan2(±0, x<0) is +π (IEEE: ±π matching y's sign) and every
+// atan2(±0, ±0) is exact 0 (IEEE: ±0 or ±π).
+func TestAtan2QuadrantSigns(t *testing.T) {
+	negz := math.Copysign(0, -1)
+	cases := []struct {
+		y, x float64
+		want float64 // expected lead (the double-rounded value); "zero" when 0
+	}{
+		{0, 1, 0}, {negz, 1, 0},
+		{0, -1, math.Pi}, {negz, -1, math.Pi}, // IEEE would give -π for y = -0
+		{0, 0, 0}, {negz, 0, 0}, {0, negz, 0}, {negz, negz, 0}, // IEEE: ±0 or ±π
+		{1, 0, math.Pi / 2}, {-1, 0, -math.Pi / 2},
+		{1, negz, math.Pi / 2}, {-1, negz, -math.Pi / 2},
+		{1, 1, math.Pi / 4}, {1, -1, 3 * math.Pi / 4},
+		{-1, 1, -math.Pi / 4}, {-1, -1, -3 * math.Pi / 4},
+	}
+	for _, c := range cases {
+		got := mf.Atan2F4(mf.New4(c.y), mf.New4(c.x))
+		if got.IsNaN() {
+			t.Errorf("Atan2(%v, %v) collapsed to NaN", c.y, c.x)
+			continue
+		}
+		if c.want == 0 {
+			if !got.IsZero() {
+				t.Errorf("Atan2(%v, %v) = %v, want exact zero", c.y, c.x, got)
+			}
+			continue
+		}
+		// The lead must be the argument's double-rounded angle exactly
+		// (all table entries are ≥ 2^51 ulps from a double boundary).
+		if math.Float64bits(got[0]) != math.Float64bits(c.want) {
+			t.Errorf("Atan2(%v, %v) lead = %v, want %v", c.y, c.x, got[0], c.want)
+		}
+		// Odd symmetry in y is bit-exact across all four terms: the
+		// quadrant fix multiplies by the sign rather than branching.
+		// (Not at y = 0, where the sign of zero is dropped and both
+		// zeros land on the same +π result — the rows above pin that.)
+		if c.y == 0 {
+			continue
+		}
+		neg := mf.Atan2F4(mf.New4(-c.y), mf.New4(c.x))
+		want := got.Neg()
+		for i := 0; i < 4; i++ {
+			if math.Float64bits(neg[i]) != math.Float64bits(want[i]) {
+				t.Errorf("Atan2(%v, %v) term %d: %g, want %g (odd symmetry in y)", -c.y, c.x, i, neg[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package client
+
+import (
+	"context"
+	"fmt"
+
+	"multifloats/mf"
+	"multifloats/serve/wire"
+)
+
+// Transcendental operations. Unlike the arithmetic methods (Add2, …)
+// these take the op as a parameter — the family is twenty functions wide
+// and every member shares one wire shape, so a single method per width
+// keeps the surface reviewable. Unary ops ignore y (pass the zero value
+// or nil slice); wire.OpAtan2 takes (y-coordinate, x-coordinate) in
+// (x, y) argument order, matching mf.Atan2F2(y, x); wire.OpPow's first
+// operand is the base. Results are bit-identical to the corresponding
+// local mf call — the server runs the exact same scalar kernels.
+
+// mathOp validates op and issues the elementwise request.
+func (c *Client) mathOp(ctx context.Context, op wire.Op, width int, x, y []float64) ([]float64, error) {
+	if !op.Math() {
+		return nil, fmt.Errorf("%w: %s is not a transcendental op", ErrBadRequest, op)
+	}
+	if op.Unary() {
+		y = nil
+	}
+	return c.scalarOp(ctx, op, width, x, y)
+}
+
+// Math2 applies the transcendental op to one width-2 expansion remotely.
+func (c *Client) Math2(ctx context.Context, op wire.Op, x, y mf.Float64x2) (mf.Float64x2, error) {
+	out, err := c.mathOp(ctx, op, 2, x[:], y[:])
+	if err != nil {
+		return mf.Float64x2{}, err
+	}
+	return mf.Float64x2(out), nil
+}
+
+// Math3 applies the transcendental op to one width-3 expansion remotely.
+func (c *Client) Math3(ctx context.Context, op wire.Op, x, y mf.Float64x3) (mf.Float64x3, error) {
+	out, err := c.mathOp(ctx, op, 3, x[:], y[:])
+	if err != nil {
+		return mf.Float64x3{}, err
+	}
+	return mf.Float64x3(out), nil
+}
+
+// Math4 applies the transcendental op to one width-4 expansion remotely.
+func (c *Client) Math4(ctx context.Context, op wire.Op, x, y mf.Float64x4) (mf.Float64x4, error) {
+	out, err := c.mathOp(ctx, op, 4, x[:], y[:])
+	if err != nil {
+		return mf.Float64x4{}, err
+	}
+	return mf.Float64x4(out), nil
+}
+
+// MathSlice2 applies the transcendental op elementwise in one request.
+func (c *Client) MathSlice2(ctx context.Context, op wire.Op, x, y []mf.Float64x2) ([]mf.Float64x2, error) {
+	out, err := c.mathOp(ctx, op, 2, wire.Pack2(x), wire.Pack2(y))
+	if err != nil {
+		return nil, err
+	}
+	return wire.Unpack2(out), nil
+}
+
+// MathSlice3 applies the transcendental op elementwise in one request.
+func (c *Client) MathSlice3(ctx context.Context, op wire.Op, x, y []mf.Float64x3) ([]mf.Float64x3, error) {
+	out, err := c.mathOp(ctx, op, 3, wire.Pack3(x), wire.Pack3(y))
+	if err != nil {
+		return nil, err
+	}
+	return wire.Unpack3(out), nil
+}
+
+// MathSlice4 applies the transcendental op elementwise in one request.
+func (c *Client) MathSlice4(ctx context.Context, op wire.Op, x, y []mf.Float64x4) ([]mf.Float64x4, error) {
+	out, err := c.mathOp(ctx, op, 4, wire.Pack4(x), wire.Pack4(y))
+	if err != nil {
+		return nil, err
+	}
+	return wire.Unpack4(out), nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"multifloats/internal/blas"
+	"multifloats/mf"
 	"multifloats/serve/wire"
 )
 
@@ -30,9 +31,135 @@ var soaLaneOps = [...]blas.LaneOp{
 // width-w expansions held in SoA planes (y is ignored for unary ops).
 // op must be a validated scalar op (admission checks wire.Op.Scalar()).
 func execSoASlab(op wire.Op, width int, x, y, z *blas.SoA, count, workers int) {
+	if op.Math() {
+		execMathSlab(op, width, x, y, z, count, workers)
+		return
+	}
 	kern := blas.LaneKernel(soaLaneOps[op], width)
 	blas.Parallel(count, workers, func(lo, hi int) {
 		kern(x, y, z, lo, hi)
+	})
+}
+
+// transcender is the elementary-function surface shared by the three
+// expansion widths (mf/math.go); Atan2 is a package function, not a
+// method, so the per-width loops below special-case it.
+type transcender[E any] interface {
+	Exp() E
+	Expm1() E
+	Exp2() E
+	Log() E
+	Log1p() E
+	Log2() E
+	Log10() E
+	Sin() E
+	Cos() E
+	Tan() E
+	Asin() E
+	Acos() E
+	Atan() E
+	Sinh() E
+	Cosh() E
+	Tanh() E
+	Cbrt() E
+	Pow(E) E
+	Hypot(E) E
+}
+
+// applyMath dispatches one element through the mf scalar kernel for op.
+func applyMath[E transcender[E]](op wire.Op, x, y E) E {
+	switch op {
+	case wire.OpExp:
+		return x.Exp()
+	case wire.OpExpm1:
+		return x.Expm1()
+	case wire.OpExp2:
+		return x.Exp2()
+	case wire.OpLog:
+		return x.Log()
+	case wire.OpLog1p:
+		return x.Log1p()
+	case wire.OpLog2:
+		return x.Log2()
+	case wire.OpLog10:
+		return x.Log10()
+	case wire.OpSin:
+		return x.Sin()
+	case wire.OpCos:
+		return x.Cos()
+	case wire.OpTan:
+		return x.Tan()
+	case wire.OpAsin:
+		return x.Asin()
+	case wire.OpAcos:
+		return x.Acos()
+	case wire.OpAtan:
+		return x.Atan()
+	case wire.OpSinh:
+		return x.Sinh()
+	case wire.OpCosh:
+		return x.Cosh()
+	case wire.OpTanh:
+		return x.Tanh()
+	case wire.OpCbrt:
+		return x.Cbrt()
+	case wire.OpPow:
+		return x.Pow(y)
+	case wire.OpHypot:
+		return x.Hypot(y)
+	}
+	panic(fmt.Sprintf("applyMath: unreachable op %v", op))
+}
+
+// execMathSlab is execSoASlab for the transcendental family. The mf
+// kernels are scalar (no generated multi-lane transcription exists for
+// them), so the slab is walked element by element; the work per element
+// is hundreds of arithmetic ops, which keeps the loop overhead — and the
+// AoS reassembly per element — noise. Results remain bit-identical to
+// local mf calls: each element runs the exact same scalar code path.
+func execMathSlab(op wire.Op, width int, x, y, z *blas.SoA, count, workers int) {
+	blas.Parallel(count, workers, func(lo, hi int) {
+		switch width {
+		case 2:
+			for i := lo; i < hi; i++ {
+				a := mfF2{x[0][i], x[1][i]}
+				var r mfF2
+				if op == wire.OpAtan2 {
+					r = mf.Atan2F2(a, mfF2{y[0][i], y[1][i]})
+				} else if op.Unary() {
+					r = applyMath(op, a, mfF2{})
+				} else {
+					r = applyMath(op, a, mfF2{y[0][i], y[1][i]})
+				}
+				z[0][i], z[1][i] = r[0], r[1]
+			}
+		case 3:
+			for i := lo; i < hi; i++ {
+				a := mfF3{x[0][i], x[1][i], x[2][i]}
+				var r mfF3
+				if op == wire.OpAtan2 {
+					r = mf.Atan2F3(a, mfF3{y[0][i], y[1][i], y[2][i]})
+				} else if op.Unary() {
+					r = applyMath(op, a, mfF3{})
+				} else {
+					r = applyMath(op, a, mfF3{y[0][i], y[1][i], y[2][i]})
+				}
+				z[0][i], z[1][i], z[2][i] = r[0], r[1], r[2]
+			}
+		default:
+			for i := lo; i < hi; i++ {
+				a := mfF4{x[0][i], x[1][i], x[2][i], x[3][i]}
+				var r mfF4
+				if op == wire.OpAtan2 {
+					r = mf.Atan2F4(a, mfF4{y[0][i], y[1][i], y[2][i], y[3][i]})
+				} else if op.Unary() {
+					r = applyMath(op, a, mfF4{})
+				} else {
+					r = applyMath(op, a, mfF4{y[0][i], y[1][i], y[2][i], y[3][i]})
+				}
+				z[0][i], z[1][i], z[2][i], z[3][i] = r[0], r[1], r[2], r[3]
+			}
+		}
 	})
 }
 

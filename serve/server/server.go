@@ -6,9 +6,10 @@
 // via contexts, and graceful drain on shutdown.
 //
 // Request flow: each connection gets a reader goroutine. Scalar requests
-// (Add/Sub/Mul/Div/Sqrt) are enqueued on their lane and answered
-// asynchronously when the lane flushes (batch full, window expired, or a
-// member deadline imminent). BLAS requests (Axpy/Dot/Gemv/Gemv) are
+// (the Add/Sub/Mul/Div/Sqrt arithmetic and the Exp..Hypot transcendental
+// family) are enqueued on their lane and answered asynchronously when the
+// lane flushes (batch full, window expired, or a member deadline
+// imminent). BLAS requests (Axpy/Dot/Gemv/Gemv) are
 // already slab-shaped, so they execute immediately on the reader
 // goroutine against the specialized parallel kernels. All responses to a
 // connection are serialized through its buffered writer; a batch flush
@@ -125,7 +126,12 @@ func New(cfg Config) *Server {
 		baseCancel: cancel,
 		conns:      make(map[*srvConn]struct{}),
 	}
-	for _, op := range []wire.Op{wire.OpAdd, wire.OpSub, wire.OpMul, wire.OpDiv, wire.OpSqrt} {
+	// Every Scalar op — arithmetic and transcendental — gets a batching
+	// lane per width. The op code space has gaps, so walk it and filter.
+	for op := wire.OpAdd; op <= wire.OpHypot; op++ {
+		if !op.Scalar() {
+			continue
+		}
 		for w := 2; w <= 4; w++ {
 			s.lanes[laneKey{op, w}] = &lane{s: s, op: op, width: w}
 		}

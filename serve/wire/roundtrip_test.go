@@ -32,7 +32,9 @@ func bitsEqual(a, b []float64) bool {
 
 func TestWireRoundTripProperty(t *testing.T) {
 	g := diffuzz.NewGen(0x31337)
-	ops := []Op{OpAdd, OpSub, OpMul, OpDiv, OpSqrt, OpAxpy, OpDot, OpGemm}
+	// Unary, binary, and atan2 math shapes ride the Scalar arm below.
+	ops := []Op{OpAdd, OpSub, OpMul, OpDiv, OpSqrt, OpAxpy, OpDot, OpGemm,
+		OpExp, OpSin, OpCbrt, OpPow, OpAtan2, OpHypot}
 	var buf bytes.Buffer
 
 	for iter := 0; iter < 4000; iter++ {

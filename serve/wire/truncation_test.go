@@ -45,6 +45,14 @@ func truncationFrames(t *testing.T) map[string][]byte {
 			M: FlagReduceFinal, X: comps(4), Y: comps(4)},
 		"req-dotexact-w4-chunk": {ID: 16, Op: OpDotExact, Width: 4, Count: 2,
 			X: comps(8), Y: comps(8)},
+		// Transcendental shapes: a unary math op, a binary one (distinct
+		// X/Y slabs), and atan2 whose X slab is the y-coordinate operand.
+		"req-exp-w2": {ID: 20, Op: OpExp, Width: 2, Count: 3,
+			X: comps(6)},
+		"req-pow-w4": {ID: 21, Op: OpPow, Width: 4, Count: 2,
+			X: comps(8), Y: comps(8)},
+		"req-atan2-w3": {ID: 22, Op: OpAtan2, Width: 3, Count: 2,
+			X: comps(6), Y: comps(6), Deadline: time.Unix(0, 987654321)},
 		// Proxy-era shapes: a forwarded request carrying a nonzero hop
 		// count, and a raw-accumulator final chunk (the shard-merge form).
 		"req-add-w2-hops": {ID: 17, Op: OpAdd, Width: 2, Count: 3,

@@ -1,7 +1,8 @@
 // Package wire is the binary protocol of the mfserve compute service: a
 // compact, versioned framing for extended-precision expansion values and
-// the request/response pairs of the scalar (Add/Sub/Mul/Div/Sqrt) and
-// BLAS (Axpy/Dot/Gemv/Gemm) operations at widths 2, 3, and 4.
+// the request/response pairs of the scalar arithmetic (Add/Sub/Mul/Div/
+// Sqrt), transcendental (Exp..Hypot — see the Op block), and BLAS
+// (Axpy/Dot/Gemv/Gemm) operations at widths 2, 3, and 4.
 //
 // Expansion components travel as their raw IEEE-754 bit patterns
 // (little-endian uint64 per float64 component), so a decode(encode(x))
@@ -93,6 +94,35 @@ const (
 	OpGemv Op = 18
 	OpGemm Op = 19
 
+	// Transcendental elementwise ops (mf/math.go). Like the arithmetic
+	// scalar ops they apply to `count` operand expansions and are
+	// batching-eligible; unlike them they dispatch to the scalar mf
+	// kernels rather than the generated lane networks. The §4.4 collapse
+	// contract travels unchanged: non-finite operands (and domain
+	// violations) yield NaN expansions, bit-identical to a local call.
+	// OpAtan2's X slab is the y-coordinate operand, matching Atan2(y, x);
+	// OpPow's X slab is the base.
+	OpExp   Op = 48
+	OpExpm1 Op = 49
+	OpExp2  Op = 50
+	OpLog   Op = 51
+	OpLog1p Op = 52
+	OpLog2  Op = 53
+	OpLog10 Op = 54
+	OpSin   Op = 55
+	OpCos   Op = 56
+	OpTan   Op = 57
+	OpAsin  Op = 58
+	OpAcos  Op = 59
+	OpAtan  Op = 60
+	OpSinh  Op = 61
+	OpCosh  Op = 62
+	OpTanh  Op = 63
+	OpCbrt  Op = 64
+	OpPow   Op = 65
+	OpAtan2 Op = 66
+	OpHypot Op = 67
+
 	// Streaming reductions (exact superaccumulator — internal/exact).
 	// A reduction is a sequence of request frames sharing one request ID
 	// on one connection: the server folds each operand chunk into a
@@ -135,11 +165,21 @@ const MaxProxyHops = 3
 const ReduceRawElems = 137
 
 // Scalar reports whether op is one of the elementwise scalar operations
-// (the ones the server's batching scheduler may coalesce across requests).
-func (op Op) Scalar() bool { return op >= OpAdd && op <= OpSqrt }
+// (the ones the server's batching scheduler may coalesce across
+// requests): the arithmetic ops and the transcendental family.
+func (op Op) Scalar() bool { return (op >= OpAdd && op <= OpSqrt) || op.Math() }
 
-// Unary reports whether op takes a single operand slab.
-func (op Op) Unary() bool { return op == OpSqrt }
+// Math reports whether op is one of the transcendental elementwise
+// operations (OpExp..OpHypot). Math ops are Scalar — batched through
+// the same lanes — but execute on the scalar mf kernels instead of the
+// generated lane networks.
+func (op Op) Math() bool { return op >= OpExp && op <= OpHypot }
+
+// Unary reports whether op takes a single operand slab: Sqrt and every
+// math op except the binary Pow/Atan2/Hypot.
+func (op Op) Unary() bool {
+	return op == OpSqrt || (op.Math() && op < OpPow)
+}
 
 // Reduction reports whether op is a streaming exact reduction (chunked
 // requests folded into a per-(connection, ID) superaccumulator).
@@ -147,41 +187,34 @@ func (op Op) Reduction() bool { return op == OpSumExact || op == OpDotExact }
 
 // Valid reports whether op is a known operation code.
 func (op Op) Valid() bool {
-	return (op >= OpAdd && op <= OpSqrt) || (op >= OpAxpy && op <= OpGemm) || op.Reduction()
+	return op.Scalar() || (op >= OpAxpy && op <= OpGemm) || op.Reduction()
+}
+
+// opNames covers every valid op; String and ParseOp derive from it so
+// the two can never drift apart.
+var opNames = map[Op]string{
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpSqrt: "sqrt",
+	OpAxpy: "axpy", OpDot: "dot", OpGemv: "gemv", OpGemm: "gemm",
+	OpExp: "exp", OpExpm1: "expm1", OpExp2: "exp2",
+	OpLog: "log", OpLog1p: "log1p", OpLog2: "log2", OpLog10: "log10",
+	OpSin: "sin", OpCos: "cos", OpTan: "tan",
+	OpAsin: "asin", OpAcos: "acos", OpAtan: "atan",
+	OpSinh: "sinh", OpCosh: "cosh", OpTanh: "tanh",
+	OpCbrt: "cbrt", OpPow: "pow", OpAtan2: "atan2", OpHypot: "hypot",
+	OpSumExact: "sumexact", OpDotExact: "dotexact",
 }
 
 func (op Op) String() string {
-	switch op {
-	case OpAdd:
-		return "add"
-	case OpSub:
-		return "sub"
-	case OpMul:
-		return "mul"
-	case OpDiv:
-		return "div"
-	case OpSqrt:
-		return "sqrt"
-	case OpAxpy:
-		return "axpy"
-	case OpDot:
-		return "dot"
-	case OpGemv:
-		return "gemv"
-	case OpGemm:
-		return "gemm"
-	case OpSumExact:
-		return "sumexact"
-	case OpDotExact:
-		return "dotexact"
+	if s, ok := opNames[op]; ok {
+		return s
 	}
 	return fmt.Sprintf("op(%d)", uint8(op))
 }
 
 // ParseOp is the inverse of Op.String, for CLI flag parsing.
 func ParseOp(s string) (Op, error) {
-	for _, op := range []Op{OpAdd, OpSub, OpMul, OpDiv, OpSqrt, OpAxpy, OpDot, OpGemv, OpGemm, OpSumExact, OpDotExact} {
-		if op.String() == s {
+	for op, name := range opNames {
+		if name == s {
 			return op, nil
 		}
 	}

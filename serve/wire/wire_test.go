@@ -198,14 +198,67 @@ func TestReadErrors(t *testing.T) {
 }
 
 func TestOpParse(t *testing.T) {
-	for _, op := range []Op{OpAdd, OpSub, OpMul, OpDiv, OpSqrt, OpAxpy, OpDot, OpGemv, OpGemm} {
+	// Walk the whole code space so every Valid op — including the
+	// transcendental block — round-trips through String/ParseOp.
+	n := 0
+	for op := Op(1); op < Op(255); op++ {
+		if !op.Valid() {
+			continue
+		}
+		n++
 		back, err := ParseOp(op.String())
 		if err != nil || back != op {
 			t.Fatalf("ParseOp(%q) = %v, %v", op.String(), back, err)
 		}
 	}
+	if want := 5 + 4 + 20 + 2; n != want {
+		t.Fatalf("walked %d valid ops, want %d", n, want)
+	}
 	if _, err := ParseOp("nope"); err == nil {
 		t.Fatal("ParseOp accepted garbage")
+	}
+}
+
+func TestMathOpPredicates(t *testing.T) {
+	for op := OpExp; op <= OpHypot; op++ {
+		if !op.Math() || !op.Scalar() || !op.Valid() {
+			t.Errorf("%s: Math/Scalar/Valid = %v/%v/%v, want all true", op, op.Math(), op.Scalar(), op.Valid())
+		}
+		if op.Reduction() {
+			t.Errorf("%s: Reduction() = true", op)
+		}
+		binary := op == OpPow || op == OpAtan2 || op == OpHypot
+		if op.Unary() == binary {
+			t.Errorf("%s: Unary() = %v, want %v", op, op.Unary(), !binary)
+		}
+		// Unary math: X only, count·width components. Binary: X and Y.
+		nx, ny, na, err := ReqElems(op, 3, 5, 0)
+		if err != nil || na != 0 || nx != 15 {
+			t.Errorf("%s: ReqElems = %d/%d/%d, %v", op, nx, ny, na, err)
+		}
+		if wantY := 0; !binary {
+			if ny != wantY {
+				t.Errorf("%s: unary op wants no Y slab, got %d", op, ny)
+			}
+		} else if ny != 15 {
+			t.Errorf("%s: binary op Y slab = %d, want 15", op, ny)
+		}
+		if got := RespElems(op, 3, 5, 0); got != 15 {
+			t.Errorf("%s: RespElems = %d, want 15", op, got)
+		}
+		// M is meaningless for math ops; a frame carrying one is hostile.
+		req := Request{Op: op, Width: 3, Count: 1, M: 1, X: make([]float64, 3)}
+		if !op.Unary() {
+			req.Y = make([]float64, 3)
+		}
+		if err := req.Validate(); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s with nonzero M: Validate = %v, want ErrMalformed", op, err)
+		}
+	}
+	for _, op := range []Op{OpAdd, OpSqrt, OpAxpy, OpDot, OpGemv, OpGemm, OpSumExact, OpDotExact} {
+		if op.Math() {
+			t.Errorf("%s: Math() = true", op)
+		}
 	}
 }
 
