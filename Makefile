@@ -3,12 +3,13 @@
 
 GO ?= go
 
-.PHONY: check test race vet build lint mflint gensync fuzz-smoke conformance bench-smoke bench-ablation fig9 serve-smoke perf-smoke bench-serve bench-proxy proxy-smoke chaos chaos-smoke
+.PHONY: check test race vet build lint mflint gensync prove prove-smoke fuzz-smoke conformance bench-smoke bench-ablation fig9 serve-smoke perf-smoke bench-serve bench-proxy proxy-smoke chaos chaos-smoke
 
 # check is the full pre-merge gate: build, static analysis (vet + the
-# domain-aware mflint contract checks), generated-code drift, tests, and
-# the race detector over the worker pool and blocked kernels.
-check: build lint gensync test race
+# domain-aware mflint contract checks), generated-code drift, the proof
+# cache gate, tests, and the race detector over the worker pool and
+# blocked kernels.
+check: build lint gensync prove-smoke test race
 
 build:
 	$(GO) build ./...
@@ -19,7 +20,8 @@ vet:
 # lint is the required static-analysis gate: go vet plus mflint, the
 # in-tree analyzer suite that machine-checks the paper's contracts
 # (//mf:branchfree control flow, FMA-contraction hazards, constant
-# exactness, //mf:hotpath allocation sites — see DESIGN.md
+# exactness, //mf:hotpath allocation sites, //mf:fpan gate-network
+# lifting — see DESIGN.md
 # "Machine-checked contracts"). staticcheck and govulncheck run too when
 # installed, but are not fetched: the build must work offline.
 lint: vet mflint
@@ -38,11 +40,16 @@ lint: vet mflint
 mflint:
 	$(GO) run ./cmd/mflint
 
-# gensync fails when either generated file in internal/blas
-# (micro_generated.go, lanes_generated.go) drifts from its generator: it
-# regenerates both into scratch files and diffs. Regenerate for real with:
+# gensync fails when a committed derived file drifts from its generator:
+# the internal/blas generated kernels (micro_generated.go,
+# lanes_generated.go) are regenerated into scratch files and diffed, and
+# PROOFS.json is checked by mfprove's smoke mode, which rebuilds the
+# canonical proof-cache bytes from the lifted kernels (reusing valid
+# cached verifications, so no exhaustive re-run) and fails on any
+# difference. Regenerate for real with:
 #   go run ./internal/blas/genmicro -out internal/blas/micro_generated.go \
 #     -lanes-out internal/blas/lanes_generated.go
+#   make prove
 gensync:
 	@tmp=$$(mktemp /tmp/micro_generated.XXXXXX.go); \
 	ltmp=$$(mktemp /tmp/lanes_generated.XXXXXX.go); \
@@ -55,11 +62,28 @@ gensync:
 	if ! diff -u internal/blas/lanes_generated.go "$$ltmp"; then \
 		echo "gensync: internal/blas/lanes_generated.go is out of sync with genmicro"; ok=0; \
 	fi; \
+	if ! $(GO) run ./cmd/mfprove; then \
+		echo "gensync: PROOFS.json is out of sync with the //mf:fpan kernels; run 'make prove'"; ok=0; \
+	fi; \
 	if [ $$ok -eq 0 ]; then \
-		echo "gensync: run 'go run ./internal/blas/genmicro -out internal/blas/micro_generated.go -lanes-out internal/blas/lanes_generated.go'"; \
+		echo "gensync: run 'go run ./internal/blas/genmicro -out internal/blas/micro_generated.go -lanes-out internal/blas/lanes_generated.go' and/or 'make prove'"; \
 		exit 1; \
 	fi; \
-	echo "gensync: internal/blas generated files are in sync"
+	echo "gensync: generated kernels and PROOFS.json are in sync"
+
+# prove-smoke is the CI-sized proof gate: lift every //mf:fpan kernel,
+# structurally check it against its spec's reference network, and demand
+# a valid committed proof in PROOFS.json for every (spec, network hash)
+# obligation — a silently reordered gate changes the hash and fails here
+# with the lifter's gate-level diff, at lint cost. Runs in make check.
+prove-smoke:
+	$(GO) run ./cmd/mfprove
+
+# prove re-runs the exhaustive reduced-precision verification of every
+# obligation from scratch (~40 s) and rewrites PROOFS.json. Run after
+# any kernel or proof-spec change; commit the updated cache with it.
+prove:
+	$(GO) run ./cmd/mfprove -w -full
 
 test:
 	$(GO) test ./...

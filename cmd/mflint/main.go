@@ -2,13 +2,14 @@
 // machine-checks the floating-point contracts that the Go compiler
 // cannot see and the test suite can only probe pointwise.
 //
-// Four analyzers run over the module (see each package's doc comment for
+// Five analyzers run over the module (see each package's doc comment for
 // the precise contract and its limits):
 //
 //	fpcontract  kernel packages   no float a*b±c eligible for FMA contraction
 //	exactconst  kernel packages   every float constant is exactly representable
 //	branchfree  whole module      //mf:branchfree functions have no data-dependent branches
 //	hotalloc    whole module      //mf:hotpath functions have no allocation sites
+//	fpanlift    whole module      //mf:fpan functions lift to their proof spec's gate network
 //
 // plus a directive hygiene check (unknown //mf: comments, stray
 // annotations) so a typo cannot silently disable a contract.
@@ -43,6 +44,7 @@ import (
 	"multifloats/internal/analysis"
 	"multifloats/internal/analysis/branchfree"
 	"multifloats/internal/analysis/exactconst"
+	"multifloats/internal/analysis/fpanlift"
 	"multifloats/internal/analysis/fpcontract"
 	"multifloats/internal/analysis/hotalloc"
 )
@@ -68,6 +70,10 @@ var analyzers = []struct {
 	{exactconst.Analyzer, true},
 	{branchfree.Analyzer, false},
 	{hotalloc.Analyzer, false},
+	// fpanlift is the static half of the proof gate: //mf:fpan kernels
+	// must lift to their spec's reference network (cmd/mfprove re-checks
+	// this and adds the exhaustive verification).
+	{fpanlift.Analyzer, false},
 }
 
 func main() {

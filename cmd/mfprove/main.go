@@ -1,0 +1,262 @@
+// Command mfprove is the proof gate: it lifts every //mf:fpan-annotated
+// kernel in the module into the internal/fpan register IR (rejecting
+// anything that is not a straight-line gate network with a source-located
+// finding), checks each lifted instance against its proof spec's
+// reference kernel and — where the spec names one — against the paper's
+// canonical network, and then exhaustively verifies one program per
+// unique network hash over the reduced-precision softfloat model of
+// internal/verify.
+//
+// Proofs are cached in PROOFS.json at the module root, keyed on the
+// canonical network hash and a fingerprint of the proof spec, so
+// unchanged kernels re-verify for free. The file is committed: a kernel
+// edit (or a genmicro emitter change that reorders gates) changes the
+// hash, which makes the cached proof stale and fails the gate until the
+// proof is re-run — kernels and their proofs move together.
+//
+// Usage:
+//
+//	mfprove [-C dir] [-w] [-full] [-proofs file] [-workers n] [-list]
+//
+// Default (the prove-smoke mode): lift and structurally check everything,
+// reuse cached proofs, exhaustively verify only obligations whose hash or
+// spec changed, and fail if PROOFS.json needs updating. With -w the
+// updated cache is written instead. With -full every obligation is
+// re-verified from scratch. Exit status: 0 proven, 1 findings or
+// counterexamples or a stale cache, 2 operational errors.
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"multifloats/internal/analysis"
+	"multifloats/internal/analysis/fpanlift"
+	"multifloats/internal/fpan"
+	"multifloats/internal/verify"
+)
+
+// proofEntry is one committed proof record. Fields are ordered and the
+// file is sorted by spec name so regeneration is byte-deterministic
+// (PROOFS.json sits under the same drift gate as the generated kernels).
+type proofEntry struct {
+	Spec    string   `json:"spec"`
+	SpecFP  string   `json:"spec_fp"` // fingerprint of the Spec struct (space + bound)
+	Hash    string   `json:"hash"`    // canonical program hash
+	P       uint     `json:"p"`       // proof precision (mantissa bits)
+	Bound   int      `json:"bound_bits"`
+	Band    int64    `json:"band"`
+	Cases   int64    `json:"cases"`
+	MinQ    int      `json:"min_q"`    // tightest discarded-error exponent observed
+	MaxBand int64    `json:"max_band"` // widest output band observed
+	Funcs   []string `json:"funcs"`    // every lifted instance, "pkg.Func[#block]"
+}
+
+func main() {
+	chdir := flag.String("C", ".", "prove the module containing `dir`")
+	write := flag.Bool("w", false, "write the updated PROOFS.json instead of failing when stale")
+	full := flag.Bool("full", false, "re-verify every obligation, ignoring cached proofs")
+	proofsPath := flag.String("proofs", "", "proof cache `file` (default <module>/PROOFS.json)")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel verification workers")
+	list := flag.Bool("list", false, "list lifted kernels and exit")
+	flag.Parse()
+
+	ld, err := analysis.NewLoader(*chdir)
+	if err != nil {
+		fatal(err)
+	}
+	if *proofsPath == "" {
+		*proofsPath = filepath.Join(ld.Root(), "PROOFS.json")
+	}
+
+	lifted, diags, err := fpanlift.LiftModule(ld)
+	if err != nil {
+		fatal(err)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			report(ld, d)
+		}
+		os.Exit(1)
+	}
+
+	if *list {
+		for _, l := range lifted {
+			fmt.Printf("%-10s %s %s.%s\n", l.Spec.Name, l.Prog.Hash(), pkgBase(l.Pkg), l.Func)
+		}
+		return
+	}
+
+	obligations, err := collect(lifted)
+	if err != nil {
+		fatal(err)
+	}
+	cached := readProofs(*proofsPath)
+
+	var entries []proofEntry
+	failed := false
+	for _, ob := range obligations {
+		entry, ok := cached[ob.key()]
+		if ok && !*full && entry.Cases > 0 {
+			entry.Funcs = ob.funcs
+			entries = append(entries, entry)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "mfprove: verifying %s (%s, p=%d) ...", ob.spec.Name, ob.prog.Hash(), ob.spec.P)
+		res, err := verify.Exhaustive(ob.prog, ob.spec, &verify.ExhaustiveOptions{Workers: *workers})
+		if err != nil {
+			fmt.Fprintln(os.Stderr)
+			fatal(fmt.Errorf("verifying %s: %w", ob.spec.Name, err))
+		}
+		fmt.Fprintf(os.Stderr, " %d cases\n", res.Cases)
+		if !res.Ok() {
+			pos := ld.Fset.Position(ob.pos)
+			fmt.Printf("%s:%d:%d: [mfprove] %s fails spec %s: counterexample %v -> %v (q bound %d, band %d)\n",
+				relPath(ld, pos.Filename), pos.Line, pos.Column, ob.funcs[0], ob.spec.Name,
+				res.First, res.FirstOut, ob.spec.Bound.Bits(int(ob.spec.P)), ob.spec.Band)
+			failed = true
+			continue
+		}
+		entries = append(entries, proofEntry{
+			Spec: ob.spec.Name, SpecFP: specFingerprint(ob.spec), Hash: ob.prog.Hash(),
+			P: ob.spec.P, Bound: ob.spec.Bound.Bits(int(ob.spec.P)), Band: ob.spec.Band,
+			Cases: res.Cases, MinQ: res.MinQ, MaxBand: res.MaxBand, Funcs: ob.funcs,
+		})
+	}
+	if failed {
+		os.Exit(1)
+	}
+
+	blob := marshalProofs(entries)
+	prev, _ := os.ReadFile(*proofsPath)
+	if bytes.Equal(blob, prev) {
+		fmt.Fprintf(os.Stderr, "mfprove: %d kernels proven (%d obligations, cache clean)\n", len(lifted), len(entries))
+		return
+	}
+	if *write {
+		if err := os.WriteFile(*proofsPath, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mfprove: %d kernels proven (%d obligations); wrote %s\n", len(lifted), len(entries), *proofsPath)
+		return
+	}
+	fmt.Printf("%s: [mfprove] proof cache is stale (kernels or specs changed); run 'make prove' to re-verify and update it\n", relPath(ld, *proofsPath))
+	os.Exit(1)
+}
+
+// obligation is one unique (spec, network hash) proof: verified once, it
+// covers every lifted instance sharing the hash.
+type obligation struct {
+	spec  *fpan.Spec
+	prog  *fpan.Program
+	pos   token.Pos
+	funcs []string
+}
+
+func (ob *obligation) key() string { return ob.spec.Name + "/" + ob.prog.Hash() }
+
+func collect(lifted []fpanlift.Lifted) ([]*obligation, error) {
+	byKey := make(map[string]*obligation)
+	perSpec := make(map[string]string)
+	var order []string
+	for _, l := range lifted {
+		name := pkgBase(l.Pkg) + "." + l.Func
+		k := l.Spec.Name + "/" + l.Prog.Hash()
+		if prev, ok := perSpec[l.Spec.Name]; ok && prev != k {
+			return nil, fmt.Errorf("spec %s lifted with two distinct network hashes (%s vs %s) — the lifter's hash check should have caught this", l.Spec.Name, prev, k)
+		}
+		perSpec[l.Spec.Name] = k
+		ob, ok := byKey[k]
+		if !ok {
+			ob = &obligation{spec: l.Spec, prog: l.Prog, pos: l.Pos}
+			byKey[k] = ob
+			order = append(order, k)
+		}
+		if l.IsRef {
+			ob.prog, ob.pos = l.Prog, l.Pos
+		}
+		ob.funcs = append(ob.funcs, name)
+	}
+	sort.Strings(order)
+	out := make([]*obligation, 0, len(order))
+	for _, k := range order {
+		ob := byKey[k]
+		sort.Strings(ob.funcs)
+		out = append(out, ob)
+	}
+	return out, nil
+}
+
+// specFingerprint digests everything about a Spec that affects the proof,
+// so editing the space or bound in specs.go invalidates cached entries.
+func specFingerprint(s *fpan.Spec) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%+v", *s)))
+	return hex.EncodeToString(sum[:6])
+}
+
+func readProofs(path string) map[string]proofEntry {
+	out := make(map[string]proofEntry)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return out
+	}
+	var entries []proofEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return out
+	}
+	for _, e := range entries {
+		if e.SpecFP != "" {
+			spec := fpan.SpecByName(e.Spec)
+			if spec == nil || specFingerprint(spec) != e.SpecFP {
+				continue // spec changed or vanished: entry unusable
+			}
+		}
+		out[e.Spec+"/"+e.Hash] = e
+	}
+	return out
+}
+
+func marshalProofs(entries []proofEntry) []byte {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Spec < entries[j].Spec })
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(entries); err != nil {
+		fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func pkgBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func report(ld *analysis.Loader, d analysis.Diagnostic) {
+	pos := ld.Fset.Position(d.Pos)
+	fmt.Printf("%s:%d:%d: [mfprove] %s\n", relPath(ld, pos.Filename), pos.Line, pos.Column, d.Message)
+}
+
+func relPath(ld *analysis.Loader, name string) string {
+	if rel, err := filepath.Rel(ld.Root(), name); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return name
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mfprove: %v\n", err)
+	os.Exit(2)
+}

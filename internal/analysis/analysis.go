@@ -60,6 +60,10 @@ type Pass struct {
 	// Index resolves //mf:branchfree / //mf:hotpath annotations across
 	// every package the loader has seen (the facts mechanism).
 	Index *Index
+	// Loader gives analyzers that need more than the annotation index —
+	// fpanlift resolves //mf:fpan reference kernels in other packages —
+	// access to the module-wide loader.
+	Loader *Loader
 
 	diags []Diagnostic
 }
@@ -94,6 +98,7 @@ func Run(a *Analyzer, pkg *Package, ld *Loader) ([]Diagnostic, error) {
 		TypesInfo: pkg.Info,
 		Annots:    pkg.Annots,
 		Index:     ld.Index(),
+		Loader:    ld,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)

@@ -11,6 +11,10 @@ import (
 type Flags struct {
 	BranchFree bool // //mf:branchfree in the func doc comment
 	HotPath    bool // //mf:hotpath in the func doc comment
+	// FPAN is the //mf:fpan argument: a proof-spec name ("add2"), or
+	// "blocks=<spec>" for generated kernels whose naked inner blocks each
+	// lift to the named spec's reference program. Empty = not annotated.
+	FPAN string
 }
 
 // Allow is one parsed "//mf:allow <analyzer> -- <why>" line directive. It
@@ -48,7 +52,14 @@ const (
 	dirBranchFree = "//mf:branchfree"
 	dirHotPath    = "//mf:hotpath"
 	dirAllow      = "//mf:allow"
+	dirFPAN       = "//mf:fpan"
 )
+
+// isFPANDir reports whether text is an //mf:fpan directive (with or
+// without its argument).
+func isFPANDir(text string) bool {
+	return text == dirFPAN || strings.HasPrefix(text, dirFPAN+" ") || strings.HasPrefix(text, dirFPAN+"\t")
+}
 
 // wantClause strips trailing analysistest "want" clauses from an allow
 // justification, so test fixtures can both carry a directive and state
@@ -71,13 +82,26 @@ func ParseAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
 			}
 			var fl Flags
 			for _, c := range fd.Doc.List {
-				switch strings.TrimSpace(c.Text) {
-				case dirBranchFree:
+				text := strings.TrimSpace(c.Text)
+				switch {
+				case text == dirBranchFree:
 					fl.BranchFree = true
 					inDoc[c] = true
-				case dirHotPath:
+				case text == dirHotPath:
 					fl.HotPath = true
 					inDoc[c] = true
+				case isFPANDir(text):
+					inDoc[c] = true
+					arg := strings.TrimSpace(wantClause.ReplaceAllString(strings.TrimPrefix(text, dirFPAN), ""))
+					if arg == "" || strings.ContainsAny(arg, " \t") {
+						an.Unknown = append(an.Unknown, Diagnostic{
+							Pos:      c.Pos(),
+							Analyzer: "mfdirective",
+							Message:  "\"//mf:fpan\" requires a single spec argument: //mf:fpan <spec> or //mf:fpan blocks=<spec>",
+						})
+						continue
+					}
+					fl.FPAN = arg
 				}
 			}
 			if fl != (Flags{}) {
@@ -102,7 +126,7 @@ func (an *Annotations) parseComment(fset *token.FileSet, c *ast.Comment, inDoc m
 		return
 	}
 	switch {
-	case text == dirBranchFree, text == dirHotPath:
+	case text == dirBranchFree, text == dirHotPath, isFPANDir(text):
 		if inDoc[c] {
 			return
 		}
@@ -140,7 +164,7 @@ func (an *Annotations) parseComment(fset *token.FileSet, c *ast.Comment, inDoc m
 	an.Unknown = append(an.Unknown, Diagnostic{
 		Pos:      c.Pos(),
 		Analyzer: "mfdirective",
-		Message:  "unrecognized //mf: directive " + quoteDirective(text) + " (known: //mf:branchfree, //mf:hotpath, //mf:allow <analyzer> -- <why>)",
+		Message:  "unrecognized //mf: directive " + quoteDirective(text) + " (known: //mf:branchfree, //mf:hotpath, //mf:fpan <spec>, //mf:allow <analyzer> -- <why>)",
 	})
 }
 

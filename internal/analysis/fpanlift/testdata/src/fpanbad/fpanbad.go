@@ -1,0 +1,97 @@
+// Package fpanbad is the fpanlift analyzer fixture: kernels whose
+// //mf:fpan annotations must be rejected with a source-located finding,
+// plus one clean kernel that must lift silently. The reference kernels
+// resolve against the real internal/core package, so the gate-swap case
+// below is the committed negative test for the proof gate: a hand-edit
+// that silently reorders or weakens gates fails the build with a named
+// gate-level diff.
+package fpanbad
+
+import "multifloats/internal/eft"
+
+// GoodAdd2 is a verbatim copy of the core.Add2 gate network and must
+// lift cleanly to the add2 spec (hash-equal the reference kernel).
+//
+//mf:fpan add2
+func GoodAdd2(x0, x1, y0, y1 float64) (z0, z1 float64) {
+	s0, e0 := eft.TwoSum(x0, y0)
+	s1, e1 := eft.TwoSum(x1, y1)
+	c := e0 + s1
+	v, w := eft.FastTwoSum(s0, c)
+	t := e1 + w
+	return eft.FastTwoSum(v, t)
+}
+
+// SwappedAdd2 weakens the first TwoSum to FastTwoSum — a classic silent
+// miscompilation of a gate network. The wires still connect, so only the
+// structural hash can catch it.
+//
+//mf:fpan add2
+func SwappedAdd2(x0, x1, y0, y1 float64) (z0, z1 float64) { // want `SwappedAdd2 does not match spec add2's reference kernel core\.Add2`
+	s0, e0 := eft.FastTwoSum(x0, y0)
+	s1, e1 := eft.TwoSum(x1, y1)
+	c := e0 + s1
+	v, w := eft.FastTwoSum(s0, c)
+	t := e1 + w
+	return eft.FastTwoSum(v, t)
+}
+
+// Unknown names a spec that is not registered.
+//
+//mf:fpan add99
+func Unknown(a, b float64) (float64, float64) { // want `unknown proof spec "add99"`
+	return eft.TwoSum(a, b)
+}
+
+// WrongArity lifts fine but has the wrong parameter count for add2.
+//
+//mf:fpan add2
+func WrongArity(a, b float64) (float64, float64) { // want `WrongArity lifts with 2 scalar parameters; spec add2 expects 4`
+	return eft.TwoSum(a, b)
+}
+
+// Branchy hides a data-dependent branch inside a claimed gate network.
+//
+//mf:fpan twosum
+func Branchy(a, b float64) (s, e float64) {
+	if a == 0 { // want `stray branch`
+		return b, 0
+	}
+	return eft.TwoSum(a, b)
+}
+
+// Clobber overwrites a temporary before any gate consumes it, so the
+// textual wire structure no longer matches the dataflow. (The EFT prim
+// specs skip wire discipline, so this and Reassoc use a network spec.)
+//
+//mf:fpan add2
+func Clobber(x0, x1, y0, y1 float64) (float64, float64) {
+	s0, e0 := eft.TwoSum(x0, y0)
+	s1, e1 := eft.TwoSum(x1, y1)
+	c := e0 + s1
+	c = e0 + e1 // want `clobbered temporary`
+	v, w := eft.FastTwoSum(s0, c)
+	t := e1 + w
+	return eft.FastTwoSum(v, t)
+}
+
+// Reassoc fans one gate result into two downstream gates, which breaks
+// the single-use wire discipline of an FPAN.
+//
+//mf:fpan add2
+func Reassoc(x0, x1, y0, y1 float64) (z0, z1 float64) {
+	s0, e0 := eft.TwoSum(x0, y0)
+	s1, e1 := eft.TwoSum(x1, y1)
+	c := e0 + s1
+	v, w := eft.FastTwoSum(s0, c) // want `feeds 2 gates.*re-associated operand`
+	t := e1 + w
+	u := w + t
+	return eft.FastTwoSum(v, u)
+}
+
+// NoBlocks claims generated-block structure but has no naked blocks.
+//
+//mf:fpan blocks=add2
+func NoBlocks(a float64) float64 { // want `NoBlocks is annotated blocks=add2 but contains no naked inner blocks`
+	return a
+}

@@ -163,8 +163,20 @@ func laneBlock(b *bytes.Buffer, c cfg, op, idx string) {
 // Every kernel is an allocation-free hot path; the sqrt lanes cannot be
 // //mf:branchfree because core.SqrtN branches on a zero leading term
 // (the div lanes call core.DivN, which is annotated branch-free).
-func laneAnnots(op string) string {
-	if op == "sqrt" {
+//
+// The add/sub/mul lanes also carry //mf:fpan: each naked unroll block is
+// one flattened core.{Add,Mul}{n} gate network, and mfprove checks every
+// block hashes to that reference kernel (a sub lane lifts to the add
+// network — the negated loads fold into the inputs, which the proof
+// quantifies over). The div/sqrt lanes call whole Newton kernels rather
+// than inlining gates, so there is no network to lift.
+func laneAnnots(c cfg, op string) string {
+	switch op {
+	case "add", "sub":
+		return fmt.Sprintf("//mf:branchfree\n//mf:fpan blocks=add%d\n//mf:hotpath", c.n)
+	case "mul":
+		return fmt.Sprintf("//mf:branchfree\n//mf:fpan blocks=mul%d\n//mf:hotpath", c.n)
+	case "sqrt":
 		return "// (Not //mf:branchfree: core.SqrtN branches on a zero leading term.)\n//\n//mf:hotpath"
 	}
 	return "//mf:branchfree\n//mf:hotpath"
@@ -207,7 +219,7 @@ func laneKernelFn(b *bytes.Buffer, c cfg, op string, lanes int, nameSfx string) 
 	n := c.n
 	name := fmt.Sprintf("lane%s%d%s%s", opTitle(op), n, c.sfx, nameSfx)
 	fmt.Fprintf(b, "\n%s\n//\n%s\nfunc %s(x, y, z *SoA, lo, hi int) {\n",
-		laneDoc(c, op, lanes, name), laneAnnots(op), name)
+		laneDoc(c, op, lanes, name), laneAnnots(c, op), name)
 	for i := 0; i < n; i++ {
 		fmt.Fprintf(b, "xs%d := x[%d][lo:hi]\n", i, i)
 	}

@@ -217,12 +217,17 @@ func scalarLoad(prefix string, idx int) func(i int) string {
 // annots returns the mflint contract directives for a concrete kernel.
 // Both widths are allocation-free hot paths; only the float64 body is
 // branch-free, because the float32 TwoProd lines call eft.FMA32, whose
-// round-to-odd emulation branches internally.
+// round-to-odd emulation branches internally. Both widths carry the
+// //mf:fpan proof annotation: every naked accumulation block is one
+// flattened core.MulAcc{n} gate network, and mfprove checks each block
+// hashes to that reference and is covered by its exhaustive proof
+// (FMA32's fixup is a rounding detail below the network's gate level).
 func annots(c cfg) string {
+	fpan := fmt.Sprintf("//mf:fpan blocks=mulacc%d", c.n)
 	if c.typ == "float64" {
-		return "//mf:branchfree\n//mf:hotpath"
+		return "//mf:branchfree\n" + fpan + "\n//mf:hotpath"
 	}
-	return "// (Not //mf:branchfree: eft.FMA32's round-to-odd fixup branches.)\n//\n//mf:hotpath"
+	return "// (Not //mf:branchfree: eft.FMA32's round-to-odd fixup branches.)\n//\n" + fpan + "\n//mf:hotpath"
 }
 
 func accNames(r, c, n int) []string {

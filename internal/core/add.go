@@ -22,6 +22,7 @@ import "multifloats/internal/eft"
 // (6 gates, 20 FLOPs). Discarded error ≤ 2^-(2p-3)·|x+y|.
 //
 //mf:branchfree
+//mf:fpan add2
 func Add2[T eft.Float](x0, x1, y0, y1 T) (z0, z1 T) {
 	s0, e0 := eft.TwoSum(x0, y0)
 	s1, e1 := eft.TwoSum(x1, y1)
@@ -43,6 +44,7 @@ func Sub2[T eft.Float](x0, x1, y0, y1 T) (z0, z1 T) {
 // VecSum passes (22 gates). Discarded error ≤ 2^-(3p-3)·|x+y|.
 //
 //mf:branchfree
+//mf:fpan add3
 func Add3[T eft.Float](x0, x1, x2, y0, y1, y2 T) (z0, z1, z2 T) {
 	w0, w1, w2, w3, w4, w5 := x0, y0, x1, y1, x2, y2
 	// Sorting network (first layer = the commutative (x_i, y_i) layer).
@@ -86,6 +88,7 @@ func Sub3[T eft.Float](x0, x1, x2, y0, y1, y2 T) (z0, z1, z2 T) {
 // pass (37 gates). Discarded error ≤ 2^-(4p-4)·|x+y|.
 //
 //mf:branchfree
+//mf:fpan add4
 func Add4[T eft.Float](x0, x1, x2, x3, y0, y1, y2, y3 T) (z0, z1, z2, z3 T) {
 	w0, w1, w2, w3, w4, w5, w6, w7 := x0, y0, x1, y1, x2, y2, x3, y3
 	// Batcher odd-even mergesort network (19 TwoSum gates); the first
@@ -145,6 +148,7 @@ func Sub4[T eft.Float](x0, x1, x2, x3, y0, y1, y2, y3 T) (z0, z1, z2, z3 T) {
 // word kernel used by reductions and Newton iterations).
 //
 //mf:branchfree
+//mf:fpan add21
 func Add21[T eft.Float](x0, x1, c T) (z0, z1 T) {
 	s0, e0 := eft.TwoSum(x0, c)
 	t := e0 + x1
@@ -154,6 +158,7 @@ func Add21[T eft.Float](x0, x1, c T) (z0, z1 T) {
 // Add31 adds a machine number to a 3-term expansion.
 //
 //mf:branchfree
+//mf:fpan add31
 func Add31[T eft.Float](x0, x1, x2, c T) (z0, z1, z2 T) {
 	s0, e0 := eft.TwoSum(x0, c)
 	s1, e1 := eft.TwoSum(x1, e0)
@@ -168,6 +173,7 @@ func Add31[T eft.Float](x0, x1, x2, c T) (z0, z1, z2 T) {
 // Add41 adds a machine number to a 4-term expansion.
 //
 //mf:branchfree
+//mf:fpan add41
 func Add41[T eft.Float](x0, x1, x2, x3, c T) (z0, z1, z2, z3 T) {
 	s0, e0 := eft.TwoSum(x0, c)
 	s1, e1 := eft.TwoSum(x1, e0)

@@ -8,6 +8,7 @@ import "multifloats/internal/eft"
 // The cross-product pairing makes the operation exactly commutative.
 //
 //mf:branchfree
+//mf:fpan mul2
 func Mul2[T eft.Float](x0, x1, y0, y1 T) (z0, z1 T) {
 	p00, e00 := eft.TwoProd(x0, y0)
 	// Commutative pairing of the dropped-error products. The T(...)
@@ -24,6 +25,7 @@ func Mul2[T eft.Float](x0, x1, y0, y1 T) (z0, z1 T) {
 // the paper's Figure 6 size and depth).
 //
 //mf:branchfree
+//mf:fpan mul3
 func Mul3[T eft.Float](x0, x1, x2, y0, y1, y2 T) (z0, z1, z2 T) {
 	p00, e00 := eft.TwoProd(x0, y0)
 	p01, e01 := eft.TwoProd(x0, y1)
@@ -51,6 +53,7 @@ func Mul3[T eft.Float](x0, x1, x2, y0, y1, y2 T) (z0, z1, z2 T) {
 // plain products) followed by the mul4 FPAN (26 gates).
 //
 //mf:branchfree
+//mf:fpan mul4
 func Mul4[T eft.Float](x0, x1, x2, x3, y0, y1, y2, y3 T) (z0, z1, z2, z3 T) {
 	p00, e00 := eft.TwoProd(x0, y0)
 	p01, e01 := eft.TwoProd(x0, y1)
@@ -98,6 +101,7 @@ func Mul4[T eft.Float](x0, x1, x2, x3, y0, y1, y2, y3 T) (z0, z1, z2, z3 T) {
 // word), used by AXPY-style kernels and Newton iterations.
 //
 //mf:branchfree
+//mf:fpan mul21
 func Mul21[T eft.Float](x0, x1, c T) (z0, z1 T) {
 	p0, e0 := eft.TwoProd(x0, c)
 	p1 := eft.FMA(x1, c, e0)
@@ -107,6 +111,7 @@ func Mul21[T eft.Float](x0, x1, c T) (z0, z1 T) {
 // Mul31 multiplies a 3-term expansion by a machine number.
 //
 //mf:branchfree
+//mf:fpan mul31
 func Mul31[T eft.Float](x0, x1, x2, c T) (z0, z1, z2 T) {
 	p0, e0 := eft.TwoProd(x0, c)
 	p1, e1 := eft.TwoProd(x1, c)
@@ -121,6 +126,7 @@ func Mul31[T eft.Float](x0, x1, x2, c T) (z0, z1, z2 T) {
 // Mul41 multiplies a 4-term expansion by a machine number.
 //
 //mf:branchfree
+//mf:fpan mul41
 func Mul41[T eft.Float](x0, x1, x2, x3, c T) (z0, z1, z2, z3 T) {
 	p0, e0 := eft.TwoProd(x0, c)
 	p1, e1 := eft.TwoProd(x1, c)
@@ -142,6 +148,7 @@ func Mul41[T eft.Float](x0, x1, x2, x3, c T) (z0, z1, z2, z3 T) {
 // pairing is free.
 //
 //mf:branchfree
+//mf:fpan sqr2
 func Sqr2[T eft.Float](x0, x1 T) (z0, z1 T) {
 	p00, e00 := eft.TwoProd(x0, x0)
 	t := 2 * (x0 * x1)
@@ -153,6 +160,7 @@ func Sqr2[T eft.Float](x0, x1 T) (z0, z1 T) {
 // multiplication's 3 + 3).
 //
 //mf:branchfree
+//mf:fpan sqr3
 func Sqr3[T eft.Float](x0, x1, x2 T) (z0, z1, z2 T) {
 	p00, e00 := eft.TwoProd(x0, x0)
 	p01, e01 := eft.TwoProd(x0, x1) // doubled below
@@ -178,6 +186,7 @@ func Sqr3[T eft.Float](x0, x1, x2 T) (z0, z1, z2 T) {
 // multiplication's 6 + 4).
 //
 //mf:branchfree
+//mf:fpan sqr4
 func Sqr4[T eft.Float](x0, x1, x2, x3 T) (z0, z1, z2, z3 T) {
 	p00, e00 := eft.TwoProd(x0, x0)
 	p01, e01 := eft.TwoProd(x0, x1)

@@ -29,6 +29,7 @@ import "multifloats/internal/eft"
 // pre-renormalization wires (p00, e00 + cross terms) into the add2 FPAN.
 //
 //mf:branchfree
+//mf:fpan mulacc2
 func MulAcc2[T eft.Float](s0, s1, x0, x1, y0, y1 T) (T, T) {
 	// Mul2 expansion step, stopping before the final FastTwoSum.
 	p00, e00 := eft.TwoProd(x0, y0)
@@ -48,6 +49,7 @@ func MulAcc2[T eft.Float](s0, s1, x0, x1, y0, y1 T) (T, T) {
 // normalized product in the add3 FPAN.
 //
 //mf:branchfree
+//mf:fpan mulacc3
 func MulAcc3[T eft.Float](s0, s1, s2, x0, x1, x2, y0, y1, y2 T) (T, T, T) {
 	p00, e00 := eft.TwoProd(x0, y0)
 	p01, e01 := eft.TwoProd(x0, y1)
@@ -96,6 +98,7 @@ func MulAcc3[T eft.Float](s0, s1, s2, x0, x1, x2, y0, y1, y2 T) (T, T, T) {
 // the normalized product in the add4 FPAN.
 //
 //mf:branchfree
+//mf:fpan mulacc4
 func MulAcc4[T eft.Float](s0, s1, s2, s3, x0, x1, x2, x3, y0, y1, y2, y3 T) (T, T, T, T) {
 	p00, e00 := eft.TwoProd(x0, y0)
 	p01, e01 := eft.TwoProd(x0, y1)

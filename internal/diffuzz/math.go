@@ -53,7 +53,7 @@ var mathDefaultFloor = map[int]float64{2: 92, 3: 144, 4: 196}
 var mathFloorOverride = map[string]map[int]float64{
 	// tan divides two bounded kernels; asin/acos pay the cos-z Newton
 	// conditioning near the 0.9 identity switch; atan2 adds a π-shift.
-	"tan":   {2: 89, 3: 141, 4: 193},
+	"tan": {2: 89, 3: 141, 4: 193},
 	// sin/cos pay the Payne–Hanek reduced argument's conditioning on
 	// huge inputs (|x| up to 2^1000 maps to r ∈ (−π/4, π/4] with no
 	// headroom above the series' own error).
@@ -334,14 +334,14 @@ func checkMathAgainst(spec OpSpec, exact *big.Float, got []float64, inTh bool, p
 type mathClass int
 
 const (
-	mcOracle  mathClass = iota // compare against refmath
-	mcNaN                      // result must be NaN
-	mcPosInf                   // result must be +Inf
-	mcNegInf                   // result must be -Inf
-	mcExact                    // result must be exactly the given float64
-	mcApprox                   // lead must match the given float64 to ~1 ulp
-	mcGray                     // overflow/underflow gray band: anything but NaN
-	mcLoose                    // non-finite tail junk: any result accepted
+	mcOracle mathClass = iota // compare against refmath
+	mcNaN                     // result must be NaN
+	mcPosInf                  // result must be +Inf
+	mcNegInf                  // result must be -Inf
+	mcExact                   // result must be exactly the given float64
+	mcApprox                  // lead must match the given float64 to ~1 ulp
+	mcGray                    // overflow/underflow gray band: anything but NaN
+	mcLoose                   // non-finite tail junk: any result accepted
 )
 
 // specialMathOutcome checks got against a non-oracle class.

@@ -31,6 +31,7 @@ type Float interface {
 // 6 FLOPs, branch-free.
 //
 //mf:branchfree
+//mf:fpan twosum
 func TwoSum[T Float](x, y T) (s, e T) {
 	s = x + y
 	xEff := s - y
@@ -47,6 +48,7 @@ func TwoSum[T Float](x, y T) (s, e T) {
 // 3 FLOPs, branch-free.
 //
 //mf:branchfree
+//mf:fpan fasttwosum
 func FastTwoSum[T Float](x, y T) (s, e T) {
 	s = x + y
 	yEff := s - x
@@ -60,6 +62,7 @@ func FastTwoSum[T Float](x, y T) (s, e T) {
 // 2 FLOPs, branch-free.
 //
 //mf:branchfree
+//mf:fpan twoprod
 func TwoProd[T Float](x, y T) (p, e T) {
 	p = x * y
 	e = FMA(x, y, -p)

@@ -96,8 +96,8 @@ func (a *Accumulator) Reset() { *a = Accumulator{} }
 func decompose(b uint64) (m, u, sgnBit, nan, inf uint64) {
 	e := b >> 52 & 0x7FF
 	f := b & (1<<52 - 1)
-	nz := (e + 2047) >> 11  // 0 for zero/subnormal exponent, 1 otherwise
-	spec := (e + 1) >> 11   // 1 iff e == 0x7FF (Inf or NaN)
+	nz := (e + 2047) >> 11 // 0 for zero/subnormal exponent, 1 otherwise
+	spec := (e + 1) >> 11  // 1 iff e == 0x7FF (Inf or NaN)
 	fnz := (f | (0 - f)) >> 63
 	m = (f | nz<<52) &^ (0 - spec)
 	u = e - nz // max(e,1)-1, branch-free
@@ -169,6 +169,8 @@ func (a *Accumulator) addProd(x, y float64) {
 // bump charges n deposits against the renorm budget. The branch is on a
 // data-independent counter, so the kernels above stay branch-free while
 // overflow remains impossible (see renormEvery).
+//
+//mf:hotpath
 func (a *Accumulator) bump(n int) {
 	a.pending += n
 	if a.pending >= renormEvery {
@@ -180,6 +182,9 @@ func (a *Accumulator) bump(n int) {
 // restoring full per-bin headroom. It preserves the represented value
 // exactly (including the top carry word), so callers may renorm at any
 // time without affecting any future fold-down.
+//
+//mf:branchfree
+//mf:hotpath
 func (a *Accumulator) renorm() {
 	var carry int64
 	for i := range a.bins {
@@ -206,6 +211,8 @@ func (a *Accumulator) AddProduct(x, y float64) {
 // AddValues folds every value in xs. For expansion operands pass the
 // flat component slab: an expansion's value is the exact sum of its
 // components, so summing components individually is summing the values.
+//
+//mf:hotpath
 func (a *Accumulator) AddValues(xs []float64) {
 	for len(xs) > 0 {
 		n := renormEvery - a.pending
@@ -225,6 +232,8 @@ func (a *Accumulator) AddValues(xs []float64) {
 // product expands to the w² exact cross products of the components —
 // every one deposited exactly, so the fold is the correctly rounded
 // true dot product for any finite inputs.
+//
+//mf:hotpath
 func (a *Accumulator) AddDotSlab(w int, x, y []float64) {
 	for i := 0; i+w <= len(x); i += w {
 		for j := 0; j < w; j++ {
@@ -241,6 +250,8 @@ func (a *Accumulator) AddDotSlab(w int, x, y []float64) {
 // accumulators' inputs into one, in any order. Merge is associative and
 // commutative (bins add as integers; flags OR), which is what makes
 // sharded and chunked reductions reproducible. b is not modified.
+//
+//mf:hotpath
 func (a *Accumulator) Merge(b *Accumulator) {
 	a.renorm()
 	for i := range a.bins {
@@ -290,6 +301,9 @@ func (a *Accumulator) magnitude() (neg bool, mag [binCount]uint64) {
 }
 
 // bitAt returns bit pos (counting from 2^binExp at pos 0) of mag.
+//
+//mf:branchfree
+//mf:hotpath
 func bitAt(mag *[binCount]uint64, pos int) uint64 {
 	return mag[pos>>5] >> (pos & 31) & 1
 }

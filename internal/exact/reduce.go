@@ -71,6 +71,8 @@ func Sum4(xs []mf.Float64x4) mf.Float64x4 {
 
 // dotElem folds the w² exact component cross products of one element
 // pair.
+//
+//mf:hotpath
 func (a *Accumulator) dotElem(x, y []float64) {
 	for j := range x {
 		for k := range y {

@@ -27,6 +27,7 @@ func (a DD) Float() float64 { return a.Hi }
 // Add returns a + b using the accurate ("IEEE") double-double addition.
 //
 //mf:branchfree
+//mf:fpan ddadd
 func (a DD) Add(b DD) DD {
 	s1, s2 := eft.TwoSum(a.Hi, b.Hi)
 	t1, t2 := eft.TwoSum(a.Lo, b.Lo)
@@ -63,6 +64,7 @@ func (a DD) Neg() DD { return DD{-a.Hi, -a.Lo} }
 // each product rounds individually).
 //
 //mf:branchfree
+//mf:fpan ddmul
 func (a DD) Mul(b DD) DD {
 	p1, p2 := eft.TwoProd(a.Hi, b.Hi)
 	p2 += float64(a.Hi*b.Lo) + float64(a.Lo*b.Hi)
@@ -73,6 +75,7 @@ func (a DD) Mul(b DD) DD {
 // MulFloat returns a · c.
 //
 //mf:branchfree
+//mf:fpan ddmulf
 func (a DD) MulFloat(c float64) DD {
 	p1, p2 := eft.TwoProd(a.Hi, c)
 	p2 += float64(a.Lo * c) // barrier: contraction would fuse into the +=
@@ -83,6 +86,7 @@ func (a DD) MulFloat(c float64) DD {
 // AddFloat returns a + c.
 //
 //mf:branchfree
+//mf:fpan ddaddf
 func (a DD) AddFloat(c float64) DD {
 	s1, s2 := eft.TwoSum(a.Hi, c)
 	s2 += a.Lo

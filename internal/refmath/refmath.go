@@ -10,7 +10,10 @@
 // exact big.Int quotients, series are summed until the next term falls
 // below the working precision, and π/ln 2 are computed from scratch
 // (Machin / atanh series) and memoized per precision. Nothing here is on
-// a serving path.
+// a serving path, which is also why no function carries an //mf:
+// contract annotation: big.Float arithmetic allocates and branches by
+// design, and this package is the oracle the contracts are checked
+// against, not a kernel.
 package refmath
 
 import (

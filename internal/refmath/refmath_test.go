@@ -42,7 +42,7 @@ func TestPiDigits(t *testing.T) {
 // table in mf.
 func TestPiCrossFormula(t *testing.T) {
 	const prec = 4800
-	alt := new(big.Float).SetPrec(prec + 64).Add(atanInv(2, prec+64), atanInv(3, prec+64))
+	alt := new(big.Float).SetPrec(prec+64).Add(atanInv(2, prec+64), atanInv(3, prec+64))
 	alt.SetMantExp(alt, 2)
 	diff := new(big.Float).Sub(alt, Pi(prec+64))
 	if diff.Sign() != 0 && diff.MantExp(nil) > 2-int(prec) {

@@ -1,0 +1,62 @@
+package softfloat
+
+// Execution of lifted fpan.Programs in the exact small-p model.
+//
+// Values are dyadic rationals held in int64 exactly as in softfloat.go;
+// the enumeration spaces in internal/verify are constructed so that every
+// intermediate — including the exact products behind OpProd/OpFMA — fits
+// in int64 without overflow.
+
+import (
+	"fmt"
+
+	"multifloats/internal/fpan"
+)
+
+// RunProgram executes a lifted program on the given parameter values at
+// precision p, returning the output values. regs is scratch space (reused
+// across calls when non-nil and large enough); out is appended to and
+// returned.
+func RunProgram(prog *fpan.Program, in []int64, p uint, regs []int64, out []int64) []int64 {
+	if len(in) != prog.NumParams {
+		panic(fmt.Sprintf("softfloat: program %q wants %d params, got %d", prog.Name, prog.NumParams, len(in)))
+	}
+	if cap(regs) < prog.NumRegs {
+		regs = make([]int64, prog.NumRegs)
+	}
+	regs = regs[:prog.NumRegs]
+	copy(regs, in)
+	rd := func(o fpan.Operand) int64 {
+		v := regs[o.Reg]
+		if o.Neg {
+			return -v
+		}
+		return v
+	}
+	for _, inst := range prog.Insts {
+		switch inst.Op {
+		case fpan.OpTwoSum:
+			s, e := TwoSum(rd(inst.A), rd(inst.B), p)
+			regs[inst.Dst[0]], regs[inst.Dst[1]] = s, e
+		case fpan.OpFastTwoSum:
+			s, e := FastTwoSum(rd(inst.A), rd(inst.B), p)
+			regs[inst.Dst[0]], regs[inst.Dst[1]] = s, e
+		case fpan.OpAdd:
+			regs[inst.Dst[0]] = RNE(rd(inst.A)+rd(inst.B), p)
+		case fpan.OpProd:
+			regs[inst.Dst[0]] = RNE(rd(inst.A)*rd(inst.B), p)
+		case fpan.OpFMA:
+			// Single rounding of a·b + c: exactly the hardware FMA, and
+			// therefore exactly TwoProd's error term when c = -RN(a·b).
+			regs[inst.Dst[0]] = RNE(rd(inst.A)*rd(inst.B)+rd(inst.C), p)
+		case fpan.OpScale2:
+			regs[inst.Dst[0]] = 2 * rd(inst.A)
+		default:
+			panic(fmt.Sprintf("softfloat: program %q: unknown op %v", prog.Name, inst.Op))
+		}
+	}
+	for _, r := range prog.Outputs {
+		out = append(out, regs[r])
+	}
+	return out
+}

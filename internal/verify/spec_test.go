@@ -1,0 +1,93 @@
+package verify_test
+
+import (
+	"sort"
+	"testing"
+
+	"multifloats/internal/analysis"
+	"multifloats/internal/analysis/fpanlift"
+	"multifloats/internal/fpan"
+	"multifloats/internal/verify"
+)
+
+// liftRefPrograms lifts the whole module once and returns each proof
+// spec's reference program (the kernel the spec's Ref field names).
+func liftRefPrograms(t *testing.T) map[string]*fpan.Program {
+	t.Helper()
+	ld, err := analysis.NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifted, diags, err := fpanlift.LiftModule(ld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("lift: %s: %s", ld.Fset.Position(d.Pos), d.Message)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	refs := make(map[string]*fpan.Program)
+	for _, l := range lifted {
+		if l.IsRef {
+			refs[l.Spec.Name] = l.Prog
+		}
+	}
+	return refs
+}
+
+// TestSpecBoundsAreTight re-runs every registered proof spec exhaustively
+// (KeepGoing, full space) and pins the calibration in both directions:
+// the claimed bound and band must hold over the whole space, and they
+// must not be slack — a spec claiming a much weaker bound than the
+// network actually achieves is a stale calibration that would hide a
+// future regression inside the slack. The EFT specs are identity-checked
+// and carry no bound to calibrate.
+//
+// Slack tolerances: MinQ may exceed the claimed q by at most 2 (the
+// boundary-only spaces of the widest kernels cannot always witness the
+// exact worst case, and BoundSpec only represents q = A·p − B), and the
+// observed band must reach at least half the claimed multiplier.
+func TestSpecBoundsAreTight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full exhaustive sweep of every spec (seconds to minutes)")
+	}
+	refs := liftRefPrograms(t)
+	names := fpan.SpecNames()
+	sort.Strings(names)
+	for _, name := range names {
+		spec := fpan.SpecByName(name)
+		prog := refs[name]
+		if prog == nil {
+			t.Errorf("%s: reference kernel %s did not lift", name, spec.Ref)
+			continue
+		}
+		res, err := verify.Exhaustive(prog, spec, &verify.ExhaustiveOptions{KeepGoing: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch spec.Val {
+		case fpan.ValEFTSum, fpan.ValEFTFastSum, fpan.ValEFTProd:
+			if !res.Ok() {
+				t.Errorf("%s: %d violations over %d cases, first %v -> %v",
+					name, res.Violations, res.Cases, res.First, res.FirstOut)
+			}
+			continue
+		}
+		q := spec.Bound.Bits(int(spec.P))
+		t.Logf("%s: cases=%d minQ=%d (claimed %d) maxBand=%d (claimed %d)",
+			name, res.Cases, res.MinQ, q, res.MaxBand, spec.Band)
+		if !res.Ok() {
+			t.Errorf("%s: %d violations over %d cases, first %v -> %v (observed minQ=%d maxBand=%d)",
+				name, res.Violations, res.Cases, res.First, res.FirstOut, res.MinQ, res.MaxBand)
+			continue
+		}
+		if res.MinQ > q+2 {
+			t.Errorf("%s: claimed bound q=%d is slack; the network achieves %d — tighten the spec", name, q, res.MinQ)
+		}
+		if spec.Band > 0 && res.MaxBand < spec.Band/2 {
+			t.Errorf("%s: claimed band %d is slack; widest observed is %d — tighten the spec", name, spec.Band, res.MaxBand)
+		}
+	}
+}

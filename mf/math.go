@@ -227,40 +227,49 @@ func logE[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
 	return y.Add(c.ln2.MulFloat(T(k)))
 }
 
-// sincosE reduces x against π/2 by Payne–Hanek (payne_hanek.go) and
-// evaluates both Taylor kernels on the reduced argument. Arguments
-// already within [−π/4, π/4] skip the reduction entirely.
-func sincosE[E expLike[E, T], T Float](c *mathCtx[E, T], x E) (sin, cos E) {
+// trigReduce is the single Payne–Hanek reduction shared by every trig
+// entry point (Sin, Cos, SinCos, Tan): it reduces x against π/2 and
+// returns the reduced argument with its quadrant. Arguments already
+// within [−π/4, π/4] skip the reduction entirely. ok is false for
+// NaN/Inf inputs.
+func trigReduce[E expLike[E, T], T Float](c *mathCtx[E, T], x E) (r E, q int, ok bool) {
 	xf := float64(x.Float())
 	if math.IsNaN(xf) || math.IsInf(xf, 0) {
-		nan := c.new(T(math.NaN()))
-		return nan, nan
+		return r, 0, false
 	}
-	var (
-		r E
-		q int
-	)
 	if math.Abs(xf) <= math.Pi/4 {
-		r, q = x, 0
-	} else {
-		var rbig *big.Float
-		q, rbig = phReduce(x.comps64(), c.bits)
-		r = c.fromBig(rbig)
+		return x, 0, true
 	}
-	// Taylor on |r| ≤ π/4 + ε.
+	var rbig *big.Float
+	q, rbig = phReduce(x.comps64(), c.bits)
+	return c.fromBig(rbig), q, true
+}
+
+// sincosKernel evaluates the sin and cos Taylor kernels on one reduced
+// argument |r| ≤ π/4 + ε in a single fused pass. The two term chains
+// are independent, so interleaving them is bit-identical to running the
+// loops separately while sharing r² and the loop control.
+func sincosKernel[E expLike[E, T], T Float](c *mathCtx[E, T], r E) (s, co E) {
 	r2 := r.Mul(r)
-	s := r
-	term := r
-	for i := 3; i <= c.sinTerms; i += 2 {
-		term = term.Mul(r2).DivFloat(T((i - 1) * i)).Neg()
-		s = s.Add(term)
+	s = r
+	sterm := r
+	co = c.new(1)
+	cterm := c.new(1)
+	for i := 2; i <= c.sinTerms; i++ {
+		if i&1 == 0 {
+			cterm = cterm.Mul(r2).DivFloat(T((i - 1) * i)).Neg()
+			co = co.Add(cterm)
+		} else {
+			sterm = sterm.Mul(r2).DivFloat(T((i - 1) * i)).Neg()
+			s = s.Add(sterm)
+		}
 	}
-	co := c.new(1)
-	term = c.new(1)
-	for i := 2; i <= c.sinTerms; i += 2 {
-		term = term.Mul(r2).DivFloat(T((i - 1) * i)).Neg()
-		co = co.Add(term)
-	}
+	return s, co
+}
+
+// quadrantSwap maps kernel values on the reduced argument to the
+// requested quadrant (sin and cos trade places and signs).
+func quadrantSwap[E expLike[E, T], T Float](q int, s, co E) (sin, cos E) {
 	switch q {
 	case 0:
 		return s, co
@@ -271,6 +280,30 @@ func sincosE[E expLike[E, T], T Float](c *mathCtx[E, T], x E) (sin, cos E) {
 	default:
 		return co.Neg(), s
 	}
+}
+
+// sincosE is one reduction + one fused kernel pass + the quadrant swap.
+func sincosE[E expLike[E, T], T Float](c *mathCtx[E, T], x E) (sin, cos E) {
+	r, q, ok := trigReduce(c, x)
+	if !ok {
+		nan := c.new(T(math.NaN()))
+		return nan, nan
+	}
+	s, co := sincosKernel(c, r)
+	return quadrantSwap(q, s, co)
+}
+
+// tanE shares the same single reduction and fused kernel pass as
+// sincosE and only then divides — structurally one Payne–Hanek
+// reduction per Tan call, bit-identical to Sin(x)/Cos(x).
+func tanE[E expLike[E, T], T Float](c *mathCtx[E, T], x E) E {
+	r, q, ok := trigReduce(c, x)
+	if !ok {
+		return c.new(T(math.NaN()))
+	}
+	s, co := sincosKernel(c, r)
+	sin, cos := quadrantSwap(q, s, co)
+	return sin.Div(cos)
 }
 
 // asinE solves sin z = x by Newton from the machine seed.
@@ -712,7 +745,7 @@ func (x F2[T]) Sin() F2[T] { s, _ := sincosE(ctx2[T](), x); return s }
 func (x F2[T]) Cos() F2[T] { _, c := sincosE(ctx2[T](), x); return c }
 
 // Tan returns tan x.
-func (x F2[T]) Tan() F2[T] { s, c := sincosE(ctx2[T](), x); return s.Div(c) }
+func (x F2[T]) Tan() F2[T] { return tanE(ctx2[T](), x) }
 
 // Asin returns arcsin x.
 func (x F2[T]) Asin() F2[T] { return asinE(ctx2[T](), x) }
@@ -778,7 +811,7 @@ func (x F3[T]) Sin() F3[T] { s, _ := sincosE(ctx3[T](), x); return s }
 func (x F3[T]) Cos() F3[T] { _, c := sincosE(ctx3[T](), x); return c }
 
 // Tan returns tan x.
-func (x F3[T]) Tan() F3[T] { s, c := sincosE(ctx3[T](), x); return s.Div(c) }
+func (x F3[T]) Tan() F3[T] { return tanE(ctx3[T](), x) }
 
 // Asin returns arcsin x.
 func (x F3[T]) Asin() F3[T] { return asinE(ctx3[T](), x) }
@@ -844,7 +877,7 @@ func (x F4[T]) Sin() F4[T] { s, _ := sincosE(ctx4[T](), x); return s }
 func (x F4[T]) Cos() F4[T] { _, c := sincosE(ctx4[T](), x); return c }
 
 // Tan returns tan x.
-func (x F4[T]) Tan() F4[T] { s, c := sincosE(ctx4[T](), x); return s.Div(c) }
+func (x F4[T]) Tan() F4[T] { return tanE(ctx4[T](), x) }
 
 // Asin returns arcsin x.
 func (x F4[T]) Asin() F4[T] { return asinE(ctx4[T](), x) }

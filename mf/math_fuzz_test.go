@@ -49,15 +49,15 @@ func tameMathTerms(vs ...[]float64) bool {
 
 func seedUnary(f *testing.F) {
 	f.Add(0.5, 0x1p-55, 0.0, 0.0)
-	f.Add(709.0, 0x1p-46, 0.0, 0.0)                           // exp near overflow
-	f.Add(-745.0, 0.0, 0.0, 0.0)                              // exp underflow edge
-	f.Add(1.0, 0x1p-61, 0.0, 0.0)                             // log near 1: catastrophic conditioning
-	f.Add(math.Ldexp(6381956970095103, 797), 0.0, 0.0, 0.0)   // Payne–Hanek worst-case double
-	f.Add(1e300, -0x1p940, 0.0, 0.0)                          // huge trig argument with tail
-	f.Add(math.NaN(), 0.0, 0.0, 0.0)                          // §4.4 collapse
-	f.Add(math.Inf(1), 0.0, 0.0, 0.0)                         // saturation table
-	f.Add(math.Copysign(0, -1), 0.0, 0.0, 0.0)                // signed zero
-	f.Add(math.Pi/2, 6.123233995736766e-17, 0.0, 0.0)         // near a sin extremum / cos zero
+	f.Add(709.0, 0x1p-46, 0.0, 0.0)                         // exp near overflow
+	f.Add(-745.0, 0.0, 0.0, 0.0)                            // exp underflow edge
+	f.Add(1.0, 0x1p-61, 0.0, 0.0)                           // log near 1: catastrophic conditioning
+	f.Add(math.Ldexp(6381956970095103, 797), 0.0, 0.0, 0.0) // Payne–Hanek worst-case double
+	f.Add(1e300, -0x1p940, 0.0, 0.0)                        // huge trig argument with tail
+	f.Add(math.NaN(), 0.0, 0.0, 0.0)                        // §4.4 collapse
+	f.Add(math.Inf(1), 0.0, 0.0, 0.0)                       // saturation table
+	f.Add(math.Copysign(0, -1), 0.0, 0.0, 0.0)              // signed zero
+	f.Add(math.Pi/2, 6.123233995736766e-17, 0.0, 0.0)       // near a sin extremum / cos zero
 }
 
 // FuzzExp drives the exponential family (exp, expm1, exp2) through the

@@ -77,6 +77,10 @@ var piOver2Big = func() *big.Float {
 // r = x − round(x/(π/2))·(π/2) ∈ [−π/4, π/4] as a big.Float carrying
 // bits+phGuardBits fraction bits. comps may be any finite components
 // (the caller screens NaN/Inf); zero components are skipped.
+//
+// No //mf: contract applies here: the reduction is big.Int fixed-point
+// by design (allocating, data-dependent early exits), and it runs once
+// per huge-argument trig call, far off the expansion hot paths.
 func phReduce(comps []float64, bits int) (quad int, r *big.Float) {
 	frac := bits + phGuardBits // fixed-point fraction bits carried
 	acc := new(big.Int)

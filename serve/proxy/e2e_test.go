@@ -130,12 +130,12 @@ func TestProxyParityAndCache(t *testing.T) {
 
 	const rounds = 30
 	type captured struct {
-		x2, y2             mf.Float64x2
-		add, mul           mf.Float64x2
-		dx, dy             []mf.Float64x2
-		dot                mf.Float64x2
-		sumIn              []float64
-		sum                float64
+		x2, y2   mf.Float64x2
+		add, mul mf.Float64x2
+		dx, dy   []mf.Float64x2
+		dot      mf.Float64x2
+		sumIn    []float64
+		sum      float64
 	}
 	caps := make([]captured, rounds)
 

@@ -97,10 +97,10 @@ var (
 	evReshards       = expvar.NewInt("mfproxy.reshards")
 )
 
-func (s *Stats) reqIn()       { s.Requests.Add(1); evRequests.Add(1) }
-func (s *Stats) respOut()     { s.Responses.Add(1); evResponses.Add(1) }
-func (s *Stats) cacheHit()    { s.CacheHits.Add(1); evCacheHits.Add(1) }
-func (s *Stats) cacheMiss()   { s.CacheMisses.Add(1); evCacheMisses.Add(1) }
+func (s *Stats) reqIn()     { s.Requests.Add(1); evRequests.Add(1) }
+func (s *Stats) respOut()   { s.Responses.Add(1); evResponses.Add(1) }
+func (s *Stats) cacheHit()  { s.CacheHits.Add(1); evCacheHits.Add(1) }
+func (s *Stats) cacheMiss() { s.CacheMisses.Add(1); evCacheMisses.Add(1) }
 func (s *Stats) cacheSize(d int64) {
 	s.CacheBytes.Add(d)
 	evCacheBytes.Add(d)

@@ -71,6 +71,9 @@ type savedChunk struct {
 // shardHash spreads a stream's shard-open picks over the ring
 // independent of operand content (streams are routed by load, not by
 // key — their state is wherever their chunks went).
+//
+//mf:branchfree
+//mf:hotpath
 func shardHash(id uint64, shard int) uint64 {
 	h := id + uint64(shard)*0x9e3779b97f4a7c15
 	h ^= h >> 33
